@@ -1,0 +1,201 @@
+//! Bytecode definitions for the mini VM.
+//!
+//! The backend plays the role of `GenBCode`: it consumes fully lowered trees
+//! (no `Match`, no `Lambda`, no generics) and emits a simple stack bytecode
+//! that the in-crate VM interprets, so compiled MiniScala programs actually
+//! run.
+
+use mini_ir::Name;
+
+/// Index of a class in [`Program::classes`].
+pub type ClassId = u32;
+
+/// Index of a function in [`Program::functions`].
+pub type FnId = u32;
+
+/// A runtime type test target (for `isInstanceOf` / checked casts).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TypeTest {
+    /// Always true.
+    Any,
+    /// Any reference value (object, string, array, null is NOT AnyRef).
+    AnyRef,
+    /// 64-bit integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Unit.
+    Unit,
+    /// String.
+    Str,
+    /// Null.
+    Null,
+    /// Instance of the class (or a subclass / implementing class).
+    Class(ClassId),
+    /// Any array.
+    Array,
+}
+
+/// One bytecode instruction.
+///
+/// Every expression pushes exactly one value; statements are followed by
+/// `Pop`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Insn {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push a string constant.
+    ConstStr(Name),
+    /// Push unit.
+    ConstUnit,
+    /// Push null.
+    ConstNull,
+    /// Push local slot.
+    Load(u16),
+    /// Pop into local slot.
+    Store(u16),
+    /// Push object field (receiver on stack). The operand is a *global*
+    /// field id; the receiver's class resolves it to a local slot (trait
+    /// fields inherited by several classes may land in different slots).
+    GetField(u16),
+    /// Pop value and receiver, write field (global field id).
+    PutField(u16),
+    /// Call a static function with `argc` arguments.
+    CallStatic(FnId, u16),
+    /// Virtual dispatch on the receiver (receiver + args on stack).
+    CallVirtual(Name, u16),
+    /// Direct (non-virtual) call into a known class's method — `super`
+    /// calls and constructor invocations.
+    CallDirect(ClassId, Name, u16),
+    /// Allocate an instance of a class (fields null/zero-initialized).
+    New(ClassId),
+    /// Pop length, push a new array of unit values.
+    NewArray,
+    /// Pop index and array, push element.
+    ALoad,
+    /// Pop value, index, array; write element, push unit.
+    AStore,
+    /// Pop array, push length.
+    ALen,
+    /// Integer arithmetic.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (traps on zero → throws).
+    Div,
+    /// Integer remainder.
+    Mod,
+    /// Integer negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Universal value equality (numbers by value, strings by content,
+    /// objects by reference).
+    CmpEq,
+    /// Integer comparisons.
+    CmpLt,
+    /// `>`
+    CmpGt,
+    /// `<=`
+    CmpLe,
+    /// `>=`
+    CmpGe,
+    /// String concatenation (either operand stringified).
+    Concat,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop a boolean, jump when false.
+    JumpIfFalse(u32),
+    /// Pop a boolean, jump when true.
+    JumpIfTrue(u32),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Return the top of stack.
+    Ret,
+    /// Pop a value and throw it.
+    Throw,
+    /// Pop a value, push whether it passes the type test.
+    IsInstance(TypeTest),
+    /// Pop a value, push it if it passes the test, else throw a cast error.
+    Cast(TypeTest),
+    /// Pop a value, print it (captured by the VM), push unit.
+    Println,
+    /// Pop a value, push its runtime class name as a string.
+    GetClassName,
+    /// Pop a value, push its string rendering (default `toString`).
+    ToStr,
+    /// Pop a string, push its length.
+    SLen,
+}
+
+/// An exception-handler region (JVM-style table entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handler {
+    /// First covered instruction index.
+    pub start: u32,
+    /// One past the last covered instruction index.
+    pub end: u32,
+    /// Jump target; the VM clears the frame stack and pushes the thrown
+    /// value before continuing there.
+    pub target: u32,
+}
+
+/// One compiled function (static function, method or constructor; methods
+/// receive `this` in local slot 0).
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of parameters (including `this` for methods).
+    pub n_params: u16,
+    /// Total local slots.
+    pub n_locals: u16,
+    /// The code.
+    pub code: Vec<Insn>,
+    /// Exception handlers, inner-first.
+    pub handlers: Vec<Handler>,
+}
+
+/// One runtime class: field layout and virtual dispatch table.
+#[derive(Clone, Debug)]
+pub struct VmClass {
+    /// Diagnostic name.
+    pub name: String,
+    /// All base classes (linearization, self first) as class ids.
+    pub linearization: Vec<ClassId>,
+    /// Total number of field slots (including inherited).
+    pub n_fields: u16,
+    /// Global field id → local slot in this class's layout.
+    pub field_resolve: std::collections::HashMap<u16, u16>,
+    /// Virtual dispatch table.
+    pub vtable: std::collections::HashMap<Name, FnId>,
+}
+
+/// A complete compiled program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All classes.
+    pub classes: Vec<VmClass>,
+    /// All functions.
+    pub functions: Vec<Function>,
+    /// The `main` entry point, if present.
+    pub entry: Option<FnId>,
+}
+
+impl Program {
+    /// True if `sub` is `sup` or derives from it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.classes[sub as usize].linearization.contains(&sup)
+    }
+
+    /// Total instruction count (diagnostics).
+    pub fn code_size(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}

@@ -1,0 +1,19 @@
+//! # mini-backend — bytecode generation and execution
+//!
+//! The `GenBCode` analogue of the pipeline plus the runtime it targets: a
+//! small stack VM with objects, virtual dispatch (linearization-derived
+//! vtables), arrays, exceptions with handler tables, and a captured
+//! `println`. Compiled MiniScala programs actually run.
+
+#![warn(missing_docs)]
+
+pub mod bytecode;
+pub mod codegen;
+pub mod vm;
+
+pub use bytecode::{ClassId, FnId, Function, Handler, Insn, Program, TypeTest, VmClass};
+pub use codegen::{generate, CodegenError};
+pub use vm::{Value, Vm, VmError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,354 @@
+//! Unit tests for the VM, using hand-assembled programs (independent of the
+//! frontend and phases).
+
+use crate::bytecode::*;
+use crate::vm::{Value, Vm, VmError};
+use mini_ir::Name;
+use std::collections::HashMap;
+
+fn fun(name: &str, n_params: u16, n_locals: u16, code: Vec<Insn>) -> Function {
+    Function {
+        name: name.into(),
+        n_params,
+        n_locals,
+        code,
+        handlers: Vec::new(),
+    }
+}
+
+#[test]
+fn arithmetic_and_return() {
+    let p = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "f",
+            0,
+            0,
+            vec![Insn::ConstInt(6), Insn::ConstInt(7), Insn::Mul, Insn::Ret],
+        )],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    let v = vm.run_main().unwrap();
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn loops_and_locals() {
+    // sum of 0..10 == 45
+    let code = vec![
+        Insn::ConstInt(0),       // 0
+        Insn::Store(0),          // 1  i = 0
+        Insn::ConstInt(0),       // 2
+        Insn::Store(1),          // 3  acc = 0
+        Insn::Load(0),           // 4  loop:
+        Insn::ConstInt(10),      // 5
+        Insn::CmpLt,             // 6
+        Insn::JumpIfFalse(17),   // 7
+        Insn::Load(1),           // 8
+        Insn::Load(0),           // 9
+        Insn::Add,               // 10
+        Insn::Store(1),          // 11 acc += i
+        Insn::Load(0),           // 12
+        Insn::ConstInt(1),       // 13
+        Insn::Add,               // 14
+        Insn::Store(0),          // 15 i += 1
+        Insn::Jump(4),           // 16
+        Insn::Load(1),           // 17
+        Insn::Ret,               // 18
+    ];
+    let p = Program {
+        classes: vec![],
+        functions: vec![fun("sum", 0, 2, code)],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    let v = vm.run_main().unwrap();
+    assert!(matches!(v, Value::Int(45)), "{v:?}");
+}
+
+#[test]
+fn exceptions_unwind_to_handlers() {
+    let mut f = fun(
+        "risky",
+        0,
+        1,
+        vec![
+            Insn::ConstStr(Name::intern("boom")),
+            Insn::Throw,
+            // handler:
+            Insn::Store(0),
+            Insn::Load(0),
+            Insn::ConstStr(Name::intern(" caught")),
+            Insn::Concat,
+            Insn::Ret,
+        ],
+    );
+    f.handlers.push(Handler {
+        start: 0,
+        end: 2,
+        target: 2,
+    });
+    let p = Program {
+        classes: vec![],
+        functions: vec![f],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    let v = vm.run_main().unwrap();
+    match v {
+        Value::Str(s) => assert_eq!(&*s, "boom caught"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn uncaught_exceptions_propagate_across_calls() {
+    let thrower = fun(
+        "thrower",
+        0,
+        0,
+        vec![Insn::ConstStr(Name::intern("oops")), Insn::Throw],
+    );
+    let caller = fun("caller", 0, 0, vec![Insn::CallStatic(0, 0), Insn::Ret]);
+    let p = Program {
+        classes: vec![],
+        functions: vec![thrower, caller],
+        entry: Some(1),
+    };
+    let mut vm = Vm::new(&p);
+    match vm.run_main() {
+        Err(VmError::Uncaught(Value::Str(s))) => assert_eq!(&*s, "oops"),
+        other => panic!("expected uncaught, got {other:?}"),
+    }
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    // class A { def get(): Int = 1 }; class B extends A { override get = 2 }
+    let get_name = Name::intern("get");
+    let a_get = fun("A.get", 1, 1, vec![Insn::ConstInt(1), Insn::Ret]);
+    let b_get = fun("B.get", 1, 1, vec![Insn::ConstInt(2), Insn::Ret]);
+    let main = fun(
+        "main",
+        0,
+        0,
+        vec![Insn::New(1), Insn::CallVirtual(get_name, 1), Insn::Ret],
+    );
+    let mut a_vt = HashMap::new();
+    a_vt.insert(get_name, 0);
+    let mut b_vt = HashMap::new();
+    b_vt.insert(get_name, 1);
+    let p = Program {
+        classes: vec![
+            VmClass {
+                name: "A".into(),
+                linearization: vec![0],
+                n_fields: 0,
+                field_resolve: HashMap::new(),
+                vtable: a_vt,
+            },
+            VmClass {
+                name: "B".into(),
+                linearization: vec![1, 0],
+                n_fields: 0,
+                field_resolve: HashMap::new(),
+                vtable: b_vt,
+            },
+        ],
+        functions: vec![a_get, b_get, main],
+        entry: Some(2),
+    };
+    let mut vm = Vm::new(&p);
+    let v = vm.run_main().unwrap();
+    assert!(matches!(v, Value::Int(2)), "B overrides A: {v:?}");
+    assert!(p.is_subclass(1, 0));
+    assert!(!p.is_subclass(0, 1));
+}
+
+#[test]
+fn field_roundtrip() {
+    // obj.f = 7; return obj.f
+    let main = fun(
+        "main",
+        0,
+        1,
+        vec![
+            Insn::New(0),
+            Insn::Store(0),
+            Insn::Load(0),
+            Insn::ConstInt(7),
+            Insn::PutField(0),
+            Insn::Load(0),
+            Insn::GetField(0),
+            Insn::Ret,
+        ],
+    );
+    let p = Program {
+        classes: vec![VmClass {
+            name: "C".into(),
+            linearization: vec![0],
+            n_fields: 1,
+            field_resolve: HashMap::from([(0, 0)]),
+            vtable: HashMap::new(),
+        }],
+        functions: vec![main],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    assert!(matches!(vm.run_main().unwrap(), Value::Int(7)));
+}
+
+#[test]
+fn arrays_bounds_and_division_throw() {
+    let p = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "f",
+            0,
+            0,
+            vec![
+                Insn::ConstInt(2),
+                Insn::NewArray,
+                Insn::ConstInt(5),
+                Insn::ALoad,
+                Insn::Ret,
+            ],
+        )],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    match vm.run_main() {
+        Err(VmError::Uncaught(Value::Str(s))) => {
+            assert!(s.contains("ArrayIndexOutOfBounds"))
+        }
+        other => panic!("expected bounds exception, got {other:?}"),
+    }
+    let p2 = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "g",
+            0,
+            0,
+            vec![Insn::ConstInt(1), Insn::ConstInt(0), Insn::Div, Insn::Ret],
+        )],
+        entry: Some(0),
+    };
+    let mut vm2 = Vm::new(&p2);
+    assert!(matches!(
+        vm2.run_main(),
+        Err(VmError::Uncaught(Value::Str(_)))
+    ));
+}
+
+#[test]
+fn println_is_captured_and_fuel_guards_loops() {
+    let p = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "spin",
+            0,
+            0,
+            vec![
+                Insn::ConstStr(Name::intern("hello")),
+                Insn::Println,
+                Insn::Pop,
+                Insn::Jump(0),
+            ],
+        )],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    vm.fuel = 10_000;
+    match vm.run_main() {
+        Err(VmError::Trap(m)) => assert!(m.contains("fuel")),
+        other => panic!("expected fuel trap, got {other:?}"),
+    }
+    assert!(!vm.out.is_empty());
+    assert_eq!(vm.out[0], "hello");
+}
+
+#[test]
+fn type_tests_and_null_casts() {
+    let p = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "f",
+            0,
+            0,
+            vec![
+                Insn::ConstInt(1),
+                Insn::IsInstance(TypeTest::Int),
+                Insn::ConstStr(Name::intern("x")),
+                Insn::IsInstance(TypeTest::Int),
+                Insn::Not,
+                Insn::CmpEq, // true == true
+                Insn::Ret,
+            ],
+        )],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    assert!(matches!(vm.run_main().unwrap(), Value::Bool(true)));
+
+    // null passes reference casts.
+    let p2 = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "g",
+            0,
+            0,
+            vec![Insn::ConstNull, Insn::Cast(TypeTest::Str), Insn::Ret],
+        )],
+        entry: Some(0),
+    };
+    let mut vm2 = Vm::new(&p2);
+    assert!(matches!(vm2.run_main().unwrap(), Value::Null));
+
+    // but a bad cast throws.
+    let p3 = Program {
+        classes: vec![],
+        functions: vec![fun(
+            "h",
+            0,
+            0,
+            vec![Insn::ConstInt(3), Insn::Cast(TypeTest::Str), Insn::Ret],
+        )],
+        entry: Some(0),
+    };
+    let mut vm3 = Vm::new(&p3);
+    assert!(matches!(
+        vm3.run_main(),
+        Err(VmError::Uncaught(Value::Str(_)))
+    ));
+}
+
+#[test]
+fn universal_methods_have_defaults() {
+    let eq = Name::intern("equals");
+    let p = Program {
+        classes: vec![VmClass {
+            name: "C".into(),
+            linearization: vec![0],
+            n_fields: 0,
+            field_resolve: HashMap::new(),
+            vtable: HashMap::new(),
+        }],
+        functions: vec![fun(
+            "f",
+            0,
+            1,
+            vec![
+                Insn::New(0),
+                Insn::Store(0),
+                Insn::Load(0),
+                Insn::Load(0),
+                Insn::CallVirtual(eq, 2),
+                Insn::Ret,
+            ],
+        )],
+        entry: Some(0),
+    };
+    let mut vm = Vm::new(&p);
+    assert!(matches!(vm.run_main().unwrap(), Value::Bool(true)));
+}

@@ -1,0 +1,599 @@
+//! The stack VM that executes compiled [`Program`]s.
+
+use crate::bytecode::*;
+use mini_ir::Name;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. The representation is uniformly tagged, which is why the
+/// pipeline needs no boxing phase (see DESIGN.md).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(Rc<str>),
+    /// The null reference.
+    Null,
+    /// An object instance.
+    Obj(Rc<ObjCell>),
+    /// An array.
+    Arr(Rc<RefCell<Vec<Value>>>),
+}
+
+/// Heap storage of one object.
+#[derive(Debug)]
+pub struct ObjCell {
+    /// The object's class.
+    pub class: ClassId,
+    /// Field slots.
+    pub fields: RefCell<Vec<Value>>,
+}
+
+impl Value {
+    fn truthy(&self) -> Result<bool, VmError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(VmError::Trap(format!("expected boolean, got {other}"))),
+        }
+    }
+
+    fn int(&self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(VmError::Trap(format!("expected int, got {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "null"),
+            Value::Obj(o) => write!(f, "<obj#{}>", o.class),
+            Value::Arr(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum VmError {
+    /// A MiniScala exception that was never caught; carries the thrown value.
+    Uncaught(Value),
+    /// A VM-level fault (type confusion, missing method, fuel exhausted...).
+    Trap(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Uncaught(v) => write!(f, "uncaught exception: {v}"),
+            VmError::Trap(m) => write!(f, "vm trap: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+enum Flow {
+    Value(Value),
+    Exception(Value),
+}
+
+/// The virtual machine.
+///
+/// # Examples
+///
+/// Running a program requires compiling one first; see the `mini-driver`
+/// crate's `compile_and_run` for the end-to-end path.
+pub struct Vm<'p> {
+    program: &'p Program,
+    /// Captured `println` output, one entry per call.
+    pub out: Vec<String>,
+    /// Remaining instruction budget (guards against runaway programs).
+    pub fuel: u64,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with the default fuel budget (100M instructions).
+    pub fn new(program: &'p Program) -> Vm<'p> {
+        Vm {
+            program,
+            out: Vec::new(),
+            fuel: 100_000_000,
+        }
+    }
+
+    /// Runs the program's `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Uncaught`] for user exceptions that escape `main`,
+    /// or [`VmError::Trap`] for VM-level faults.
+    pub fn run_main(&mut self) -> Result<Value, VmError> {
+        let entry = self
+            .program
+            .entry
+            .ok_or_else(|| VmError::Trap("program has no main".into()))?;
+        self.call(entry, Vec::new())
+    }
+
+    /// Calls function `fid` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Vm::run_main`].
+    pub fn call(&mut self, fid: FnId, args: Vec<Value>) -> Result<Value, VmError> {
+        match self.invoke(fid, args)? {
+            Flow::Value(v) => Ok(v),
+            Flow::Exception(v) => Err(VmError::Uncaught(v)),
+        }
+    }
+
+    fn class_name(&self, v: &Value) -> &str {
+        match v {
+            Value::Unit => "Unit",
+            Value::Int(_) => "Int",
+            Value::Bool(_) => "Boolean",
+            Value::Str(_) => "String",
+            Value::Null => "Null",
+            Value::Obj(o) => &self.program.classes[o.class as usize].name,
+            Value::Arr(_) => "Array",
+        }
+    }
+
+    fn type_test(&self, v: &Value, t: TypeTest) -> bool {
+        match t {
+            TypeTest::Any => true,
+            TypeTest::AnyRef => matches!(v, Value::Obj(_) | Value::Str(_) | Value::Arr(_)),
+            TypeTest::Int => matches!(v, Value::Int(_)),
+            TypeTest::Bool => matches!(v, Value::Bool(_)),
+            TypeTest::Unit => matches!(v, Value::Unit),
+            TypeTest::Str => matches!(v, Value::Str(_)),
+            TypeTest::Null => matches!(v, Value::Null),
+            TypeTest::Array => matches!(v, Value::Arr(_)),
+            TypeTest::Class(c) => match v {
+                Value::Obj(o) => self.program.is_subclass(o.class, c),
+                _ => false,
+            },
+        }
+    }
+
+    fn values_equal(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            (Value::Str(x), Value::Str(y)) => x == y,
+            (Value::Null, Value::Null) => true,
+            (Value::Obj(x), Value::Obj(y)) => Rc::ptr_eq(x, y),
+            (Value::Arr(x), Value::Arr(y)) => Rc::ptr_eq(x, y),
+            _ => false,
+        }
+    }
+
+    fn invoke(&mut self, fid: FnId, args: Vec<Value>) -> Result<Flow, VmError> {
+        let f = &self.program.functions[fid as usize];
+        if f.code.is_empty() {
+            return Err(VmError::Trap(format!(
+                "call to abstract method `{}`",
+                f.name
+            )));
+        }
+        if args.len() != f.n_params as usize {
+            return Err(VmError::Trap(format!(
+                "arity mismatch calling `{}`: expected {}, got {}",
+                f.name,
+                f.n_params,
+                args.len()
+            )));
+        }
+        let mut locals = vec![Value::Unit; f.n_locals as usize];
+        locals[..args.len()].clone_from_slice(&args);
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc: usize = 0;
+        let code = &f.code;
+
+        macro_rules! pop {
+            () => {
+                stack
+                    .pop()
+                    .ok_or_else(|| VmError::Trap(format!("stack underflow in `{}`", f.name)))?
+            };
+        }
+        macro_rules! throw {
+            ($val:expr) => {{
+                let exc: Value = $val;
+                // `pc` was already advanced past the faulting instruction.
+                let at = pc - 1;
+                let mut handled = false;
+                for h in &f.handlers {
+                    if (h.start as usize) <= at && at < (h.end as usize) {
+                        stack.clear();
+                        stack.push(exc.clone());
+                        pc = h.target as usize;
+                        handled = true;
+                        break;
+                    }
+                }
+                if !handled {
+                    return Ok(Flow::Exception(exc));
+                }
+                continue;
+            }};
+        }
+
+        loop {
+            if self.fuel == 0 {
+                return Err(VmError::Trap("out of fuel".into()));
+            }
+            self.fuel -= 1;
+            let insn = code
+                .get(pc)
+                .ok_or_else(|| VmError::Trap(format!("pc out of range in `{}`", f.name)))?
+                .clone();
+            pc += 1;
+            match insn {
+                Insn::ConstInt(i) => stack.push(Value::Int(i)),
+                Insn::ConstBool(b) => stack.push(Value::Bool(b)),
+                Insn::ConstStr(s) => stack.push(Value::Str(Rc::from(s.as_str()))),
+                Insn::ConstUnit => stack.push(Value::Unit),
+                Insn::ConstNull => stack.push(Value::Null),
+                Insn::Load(s) => stack.push(locals[s as usize].clone()),
+                Insn::Store(s) => {
+                    let v = pop!();
+                    locals[s as usize] = v;
+                }
+                Insn::GetField(gid) => {
+                    let recv = pop!();
+                    match recv {
+                        Value::Obj(o) => {
+                            let slot = *self.program.classes[o.class as usize]
+                                .field_resolve
+                                .get(&gid)
+                                .ok_or_else(|| {
+                                    VmError::Trap(format!("unknown field #{gid} read"))
+                                })?;
+                            stack.push(o.fields.borrow()[slot as usize].clone())
+                        }
+                        Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
+                        other => {
+                            return Err(VmError::Trap(format!("field read on {other}")));
+                        }
+                    }
+                }
+                Insn::PutField(gid) => {
+                    let v = pop!();
+                    let recv = pop!();
+                    match recv {
+                        Value::Obj(o) => {
+                            let slot = *self.program.classes[o.class as usize]
+                                .field_resolve
+                                .get(&gid)
+                                .ok_or_else(|| {
+                                    VmError::Trap(format!("unknown field #{gid} write"))
+                                })?;
+                            o.fields.borrow_mut()[slot as usize] = v;
+                        }
+                        Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
+                        other => {
+                            return Err(VmError::Trap(format!("field write on {other}")));
+                        }
+                    }
+                }
+                Insn::CallStatic(g, argc) => {
+                    let split = stack.len() - argc as usize;
+                    let call_args = stack.split_off(split);
+                    match self.invoke(g, call_args)? {
+                        Flow::Value(v) => stack.push(v),
+                        Flow::Exception(e) => throw!(e),
+                    }
+                }
+                Insn::CallVirtual(name, argc) => {
+                    let split = stack.len() - argc as usize;
+                    let call_args = stack.split_off(split);
+                    let recv = call_args
+                        .first()
+                        .ok_or_else(|| VmError::Trap("virtual call without receiver".into()))?
+                        .clone();
+                    match self.dispatch(&recv, name) {
+                        Some(g) => match self.invoke(g, call_args)? {
+                            Flow::Value(v) => stack.push(v),
+                            Flow::Exception(e) => throw!(e),
+                        },
+                        None => match name.as_str() {
+                            // Universal defaults.
+                            "equals" => {
+                                let eq = Self::values_equal(&recv, &call_args[1]);
+                                stack.push(Value::Bool(eq));
+                            }
+                            "toString" => {
+                                stack.push(Value::Str(Rc::from(self.render(&recv))));
+                            }
+                            "getClass" => {
+                                stack.push(Value::Str(Rc::from(self.class_name(&recv))));
+                            }
+                            _ => {
+                                if matches!(recv, Value::Null) {
+                                    throw!(Value::Str(Rc::from("NullPointerException")));
+                                }
+                                return Err(VmError::Trap(format!(
+                                    "no method `{name}` on {}",
+                                    self.class_name(&recv)
+                                )));
+                            }
+                        },
+                    }
+                }
+                Insn::CallDirect(cls, name, argc) => {
+                    let split = stack.len() - argc as usize;
+                    let call_args = stack.split_off(split);
+                    let g = self.program.classes[cls as usize]
+                        .vtable
+                        .get(&name)
+                        .copied();
+                    match g {
+                        Some(g) => match self.invoke(g, call_args)? {
+                            Flow::Value(v) => stack.push(v),
+                            Flow::Exception(e) => throw!(e),
+                        },
+                        None if name == mini_ir::std_names::init() => {
+                            // Fieldless class without an explicit ctor.
+                            stack.push(Value::Unit);
+                        }
+                        None => {
+                            return Err(VmError::Trap(format!(
+                                "no direct method `{name}` on class {}",
+                                self.program.classes[cls as usize].name
+                            )))
+                        }
+                    }
+                }
+                Insn::New(cls) => {
+                    let n = self.program.classes[cls as usize].n_fields as usize;
+                    stack.push(Value::Obj(Rc::new(ObjCell {
+                        class: cls,
+                        fields: RefCell::new(vec![Value::Null; n]),
+                    })));
+                }
+                Insn::NewArray => {
+                    let n = pop!().int()?;
+                    if n < 0 {
+                        throw!(Value::Str(Rc::from("NegativeArraySizeException")));
+                    }
+                    stack.push(Value::Arr(Rc::new(RefCell::new(vec![
+                        Value::Unit;
+                        n as usize
+                    ]))));
+                }
+                Insn::ALoad => {
+                    let i = pop!().int()?;
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("array read on non-array".into()));
+                    };
+                    let b = a.borrow();
+                    match b.get(i as usize) {
+                        Some(v) => stack.push(v.clone()),
+                        None => {
+                            drop(b);
+                            throw!(Value::Str(Rc::from("ArrayIndexOutOfBoundsException")));
+                        }
+                    }
+                }
+                Insn::AStore => {
+                    let v = pop!();
+                    let i = pop!().int()?;
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("array write on non-array".into()));
+                    };
+                    let mut b = a.borrow_mut();
+                    let len = b.len();
+                    if (i as usize) < len && i >= 0 {
+                        b[i as usize] = v;
+                        drop(b);
+                        stack.push(Value::Unit);
+                    } else {
+                        drop(b);
+                        throw!(Value::Str(Rc::from("ArrayIndexOutOfBoundsException")));
+                    }
+                }
+                Insn::ALen => {
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("length of non-array".into()));
+                    };
+                    let n = a.borrow().len() as i64;
+                    stack.push(Value::Int(n));
+                }
+                Insn::Add => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                Insn::Sub => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                Insn::Mul => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_mul(b)));
+                }
+                Insn::Div => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    if b == 0 {
+                        throw!(Value::Str(Rc::from("ArithmeticException: / by zero")));
+                    }
+                    stack.push(Value::Int(a.wrapping_div(b)));
+                }
+                Insn::Mod => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    if b == 0 {
+                        throw!(Value::Str(Rc::from("ArithmeticException: % by zero")));
+                    }
+                    stack.push(Value::Int(a.wrapping_rem(b)));
+                }
+                Insn::Neg => {
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(-a));
+                }
+                Insn::Not => {
+                    let a = pop!().truthy()?;
+                    stack.push(Value::Bool(!a));
+                }
+                Insn::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(Self::values_equal(&a, &b)));
+                }
+                Insn::CmpLt => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a < b));
+                }
+                Insn::CmpGt => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a > b));
+                }
+                Insn::CmpLe => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a <= b));
+                }
+                Insn::CmpGe => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a >= b));
+                }
+                Insn::Concat => {
+                    let b = pop!();
+                    let a = pop!();
+                    let s = format!("{}{}", self.render(&a), self.render(&b));
+                    stack.push(Value::Str(Rc::from(s)));
+                }
+                Insn::Jump(t) => pc = t as usize,
+                Insn::JumpIfFalse(t) => {
+                    if !pop!().truthy()? {
+                        pc = t as usize;
+                    }
+                }
+                Insn::JumpIfTrue(t) => {
+                    if pop!().truthy()? {
+                        pc = t as usize;
+                    }
+                }
+                Insn::Pop => {
+                    let _ = pop!();
+                }
+                Insn::Dup => {
+                    let v = stack
+                        .last()
+                        .ok_or_else(|| VmError::Trap("dup on empty stack".into()))?
+                        .clone();
+                    stack.push(v);
+                }
+                Insn::Ret => {
+                    let v = pop!();
+                    return Ok(Flow::Value(v));
+                }
+                Insn::Throw => {
+                    let v = pop!();
+                    throw!(v);
+                }
+                Insn::IsInstance(t) => {
+                    let v = pop!();
+                    stack.push(Value::Bool(self.type_test(&v, t)));
+                }
+                Insn::Cast(t) => {
+                    let v = pop!();
+                    // `null` passes reference casts, as on the JVM.
+                    let ok = self.type_test(&v, t)
+                        || (matches!(v, Value::Null)
+                            && matches!(
+                                t,
+                                TypeTest::Class(_)
+                                    | TypeTest::AnyRef
+                                    | TypeTest::Str
+                                    | TypeTest::Array
+                            ));
+                    if ok {
+                        stack.push(v);
+                    } else {
+                        throw!(Value::Str(Rc::from(format!(
+                            "ClassCastException: {} is not {:?}",
+                            self.class_name(&v),
+                            t
+                        ))));
+                    }
+                }
+                Insn::Println => {
+                    let v = pop!();
+                    let line = self.render(&v);
+                    self.out.push(line);
+                    stack.push(Value::Unit);
+                }
+                Insn::GetClassName => {
+                    let v = pop!();
+                    stack.push(Value::Str(Rc::from(self.class_name(&v))));
+                }
+                Insn::ToStr => {
+                    let v = pop!();
+                    stack.push(Value::Str(Rc::from(self.render(&v))));
+                }
+                Insn::SLen => {
+                    let v = pop!();
+                    let Value::Str(s) = v else {
+                        return Err(VmError::Trap("length of non-string".into()));
+                    };
+                    stack.push(Value::Int(s.chars().count() as i64));
+                }
+            }
+        }
+    }
+
+    fn dispatch(&self, recv: &Value, name: Name) -> Option<FnId> {
+        match recv {
+            Value::Obj(o) => self.program.classes[o.class as usize]
+                .vtable
+                .get(&name)
+                .copied(),
+            _ => None,
+        }
+    }
+
+    fn render(&self, v: &Value) -> String {
+        match v {
+            Value::Obj(o) => format!(
+                "{}@{:p}",
+                self.program.classes[o.class as usize].name,
+                Rc::as_ptr(o)
+            ),
+            other => other.to_string(),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion bench for the fusion-optimization ablations (Listing 6): full
+//! fast paths vs no identity-skip vs no same-kind fast path, plus the
+//! prepare-dispatch variant (§4.1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mini_driver::{standard_plan, CompilerOptions};
+use mini_ir::Ctx;
+use miniphase::{CompilationUnit, FusionOptions, Pipeline};
+use workload::{generate, WorkloadConfig};
+
+fn typed_units(sources: &[(String, String)]) -> (Ctx, Vec<CompilationUnit>) {
+    let mut ctx = Ctx::new();
+    let units = sources
+        .iter()
+        .map(|(n, s)| {
+            let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
+            CompilationUnit::new(t.name, t.tree)
+        })
+        .collect();
+    assert!(!ctx.has_errors());
+    (ctx, units)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = generate(&WorkloadConfig {
+        target_loc: 2_000,
+        seed: 6,
+        unit_loc: 250,
+    });
+    let mut group = c.benchmark_group("fusion_ablation");
+    group.sample_size(20);
+    let variants: [(&str, FusionOptions); 4] = [
+        ("full", FusionOptions::default()),
+        (
+            "no_identity_skip",
+            FusionOptions {
+                identity_skip: false,
+                ..FusionOptions::default()
+            },
+        ),
+        (
+            "no_same_kind_fast_path",
+            FusionOptions {
+                same_kind_fast_path: false,
+                ..FusionOptions::default()
+            },
+        ),
+        (
+            "prepare_always",
+            FusionOptions {
+                prepare_always: true,
+                ..FusionOptions::default()
+            },
+        ),
+    ];
+    for (name, fusion) in variants {
+        let mut opts = CompilerOptions::fused();
+        opts.fusion = fusion;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || typed_units(&w.units),
+                |(mut ctx, units)| {
+                    let (phases, plan) = standard_plan(&opts).expect("plan");
+                    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+                    pipe.run_units(&mut ctx, units)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbench for the §3 design target: nanoseconds per tree-node
+//! visit for a fused block vs a single-phase traversal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mini_driver::{standard_plan, CompilerOptions};
+use mini_ir::Ctx;
+use miniphase::{CompilationUnit, Pipeline};
+use workload::{generate, WorkloadConfig};
+
+fn bench_visits(c: &mut Criterion) {
+    let w = generate(&WorkloadConfig {
+        target_loc: 1_500,
+        seed: 8,
+        unit_loc: 300,
+    });
+    let mut group = c.benchmark_group("node_visit");
+    group.sample_size(30);
+    for opts in [CompilerOptions::fused(), CompilerOptions::mega()] {
+        // Report per-visit throughput: count visits once.
+        let visits = {
+            let mut ctx = Ctx::new();
+            let units: Vec<CompilationUnit> = w
+                .units
+                .iter()
+                .map(|(n, s)| {
+                    let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
+                    CompilationUnit::new(t.name, t.tree)
+                })
+                .collect();
+            let (phases, plan) = standard_plan(&opts).expect("plan");
+            let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+            pipe.run_units(&mut ctx, units);
+            pipe.stats.node_visits
+        };
+        group.throughput(criterion::Throughput::Elements(visits));
+        group.bench_function(format!("{}_visits", opts.mode), |b| {
+            b.iter_batched(
+                || {
+                    let mut ctx = Ctx::new();
+                    let units: Vec<CompilationUnit> = w
+                        .units
+                        .iter()
+                        .map(|(n, s)| {
+                            let t =
+                                mini_front::compile_source(&mut ctx, n, s).expect("parses");
+                            CompilationUnit::new(t.name, t.tree)
+                        })
+                        .collect();
+                    (ctx, units)
+                },
+                |(mut ctx, units)| {
+                    let (phases, plan) = standard_plan(&opts).expect("plan");
+                    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+                    pipe.run_units(&mut ctx, units)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_visits);
+criterion_main!(benches);

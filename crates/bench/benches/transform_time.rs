@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 4: transform-pipeline time, Mini vs Mega, on
+//! a mid-size corpus. The frontend runs in (untimed) setup; the routine is
+//! exactly the tree-transformation pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mini_driver::{standard_plan, CompilerOptions};
+use mini_ir::Ctx;
+use miniphase::{CompilationUnit, Pipeline};
+use workload::{generate, WorkloadConfig};
+
+fn typed_units(sources: &[(String, String)]) -> (Ctx, Vec<CompilationUnit>) {
+    let mut ctx = Ctx::new();
+    let units = sources
+        .iter()
+        .map(|(n, s)| {
+            let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
+            CompilationUnit::new(t.name, t.tree)
+        })
+        .collect();
+    assert!(!ctx.has_errors());
+    (ctx, units)
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let w = generate(&WorkloadConfig {
+        target_loc: 3_000,
+        seed: 5,
+        unit_loc: 300,
+    });
+    let mut group = c.benchmark_group("figure4_transforms");
+    group.sample_size(20);
+    for opts in [CompilerOptions::fused(), CompilerOptions::mega()] {
+        group.bench_function(opts.mode.to_string(), |b| {
+            b.iter_batched(
+                || typed_units(&w.units),
+                |(mut ctx, units)| {
+                    let (phases, plan) = standard_plan(&opts).expect("plan");
+                    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+                    pipe.run_units(&mut ctx, units)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

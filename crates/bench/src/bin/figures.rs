@@ -1,0 +1,441 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- figure6 --quick
+//! ```
+//!
+//! Subcommands: `table2`, `section3`, `figure4`, `figure5`, `figure6`,
+//! `figure7`, `figure8a`..`figure8d`, `figure9`, `checker-overhead`,
+//! `ablation-fusion`, `ablation-granularity`, `ablation-prepare`, `all`.
+//! `--quick` shrinks the corpora for fast runs.
+
+use bench::{corpora, measured, pct, ratio, timed, Corpus};
+use mini_driver::metrics::{Instrumentation, Measurement};
+use mini_driver::{standard_plan, CompilerOptions};
+use miniphase::FusionOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let cs = corpora(quick);
+    match cmd {
+        "table2" => table2(),
+        "section3" => section3(&cs),
+        "figure4" => figure4(&cs),
+        "figure5" | "figure6" => {
+            let ms = instrumented_runs(&cs);
+            if cmd == "figure5" {
+                figure5(&ms)
+            } else {
+                figure6(&ms)
+            }
+        }
+        "figure7" => figure7(&instrumented_runs(&cs)),
+        "figure8a" => figure8a(&instrumented_runs(&cs)),
+        "figure8b" => figure8b(&instrumented_runs(&cs)),
+        "figure8c" => figure8c(&instrumented_runs(&cs)),
+        "figure8d" => figure8d(&instrumented_runs(&cs)),
+        "figure9" => figure9(&cs),
+        "checker-overhead" => checker_overhead(&cs),
+        "ablation-fusion" => ablation_fusion(&cs),
+        "ablation-granularity" => ablation_granularity(&cs),
+        "ablation-prepare" => ablation_prepare(&cs),
+        "all" => {
+            table2();
+            section3(&cs);
+            figure4(&cs);
+            let ms = instrumented_runs(&cs);
+            figure5(&ms);
+            figure6(&ms);
+            figure7(&ms);
+            figure8a(&ms);
+            figure8b(&ms);
+            figure8c(&ms);
+            figure8d(&ms);
+            figure9(&cs);
+            checker_overhead(&cs);
+            ablation_fusion(&cs);
+            ablation_granularity(&cs);
+            ablation_prepare(&cs);
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Runs<'c> {
+    corpus: &'c Corpus,
+    mini: Measurement,
+    mega: Measurement,
+}
+
+fn instrumented_runs<'c>(cs: &'c [Corpus]) -> Vec<Runs<'c>> {
+    cs.iter()
+        .map(|c| Runs {
+            corpus: c,
+            mini: measured(c, &CompilerOptions::fused(), Instrumentation::full()),
+            mega: measured(c, &CompilerOptions::mega(), Instrumentation::full()),
+        })
+        .collect()
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table2() {
+    header("Table 2 — phase plan with fusion blocks (* = fused Miniphase)");
+    let (phases, plan) = standard_plan(&CompilerOptions::fused()).expect("valid pipeline");
+    print!("{}", plan.describe(&phases));
+    println!(
+        "{} phases in {} groups (paper: 54 phases, 6 blocks; Megaphase mode runs {} traversals)",
+        phases.len(),
+        plan.group_count(),
+        phases.len()
+    );
+}
+
+fn section3(cs: &[Corpus]) {
+    header("Section 3 — target performance characteristics");
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>12} {:>10}",
+        "corpus", "mode", "LOC/s (xform)", "ns/node-visit", "visits", "traversals"
+    );
+    for c in cs {
+        for opts in [CompilerOptions::fused(), CompilerOptions::mega()] {
+            let m = timed(c, &opts, 3).expect("compiles");
+            println!(
+                "{:<12} {:>6} {:>14.0} {:>14.1} {:>12} {:>10}",
+                c.name,
+                m.opts.mode.to_string(),
+                m.loc_per_second(),
+                m.ns_per_visit(),
+                m.exec.node_visits,
+                m.exec.traversals
+            );
+        }
+    }
+}
+
+fn figure4(cs: &[Corpus]) {
+    header("Figure 4 — execution time per stage (ms), Mini vs Mega");
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>10} {:>10}",
+        "corpus", "mode", "frontend", "transforms", "backend", "total"
+    );
+    for c in cs {
+        let mini = timed(c, &CompilerOptions::fused(), 3).expect("compiles");
+        let mega = timed(c, &CompilerOptions::mega(), 3).expect("compiles");
+        for m in [&mini, &mega] {
+            println!(
+                "{:<12} {:>6} {:>10.1} {:>12.1} {:>10.1} {:>10.1}",
+                c.name,
+                m.opts.mode.to_string(),
+                m.times.frontend.as_secs_f64() * 1e3,
+                m.times.transforms.as_secs_f64() * 1e3,
+                m.times.backend.as_secs_f64() * 1e3,
+                m.times.total().as_secs_f64() * 1e3,
+            );
+        }
+        println!(
+            "{:<12} transform-time change: {:+.0}%  (paper: -34%..-37%); total: {:+.0}% (paper: -15%..-16%)",
+            c.name,
+            pct(
+                mini.times.transforms.as_secs_f64(),
+                mega.times.transforms.as_secs_f64()
+            ),
+            pct(
+                mini.times.total().as_secs_f64(),
+                mega.times.total().as_secs_f64()
+            ),
+        );
+    }
+}
+
+fn figure5(ms: &[Runs]) {
+    header("Figure 5 — total bytes allocated in the transform pipeline");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "corpus", "mini (KB)", "mega (KB)", "change"
+    );
+    for r in ms {
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>+7.1}%  (paper: -5%..-9%)",
+            r.corpus.name,
+            r.mini.alloc.bytes as f64 / 1024.0,
+            r.mega.alloc.bytes as f64 / 1024.0,
+            pct(r.mini.alloc.bytes as f64, r.mega.alloc.bytes as f64),
+        );
+    }
+}
+
+fn figure6(ms: &[Runs]) {
+    header("Figure 6 — bytes tenured (promoted to the old generation)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>12}",
+        "corpus", "mini (KB)", "mega (KB)", "change", "minor GCs"
+    );
+    for r in ms {
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>+7.1}%  {:>6}/{:<6} (paper: -49%..-55%)",
+            r.corpus.name,
+            r.mini.gc.tenured_bytes as f64 / 1024.0,
+            r.mega.gc.tenured_bytes as f64 / 1024.0,
+            pct(
+                r.mini.gc.tenured_bytes as f64,
+                r.mega.gc.tenured_bytes as f64
+            ),
+            r.mini.gc.minor_collections,
+            r.mega.gc.minor_collections,
+        );
+    }
+}
+
+fn figure7(ms: &[Runs]) {
+    header("Figure 7 — instructions, cycles and stalled cycles (modelled)");
+    println!(
+        "{:<12} {:>18} {:>18} {:>18}",
+        "corpus", "instructions", "cycles", "stalled"
+    );
+    for r in ms {
+        println!(
+            "{:<12} mini {:>12}  mega {:>12}   ({:+.0}% instr, {:+.0}% cycles; paper: -10% instr, -35% cycles)",
+            r.corpus.name,
+            r.mini.instructions,
+            r.mega.instructions,
+            pct(r.mini.instructions as f64, r.mega.instructions as f64),
+            pct(r.mini.cycles as f64, r.mega.cycles as f64),
+        );
+        println!(
+            "{:<12} cycles: mini {} mega {}; stalled: mini {} mega {}",
+            "",
+            r.mini.cycles,
+            r.mega.cycles,
+            r.mini.stalled_cycles,
+            r.mega.stalled_cycles
+        );
+    }
+}
+
+fn figure8a(ms: &[Runs]) {
+    header("Figure 8a — cache miss rates");
+    println!(
+        "{:<12} {:<18} {:>8} {:>8} {:>8}",
+        "corpus", "counter", "mini", "mega", "change"
+    );
+    for r in ms {
+        let rows = [
+            (
+                "L1d-load miss",
+                r.mini.cache.l1d_load_miss_rate(),
+                r.mega.cache.l1d_load_miss_rate(),
+            ),
+            (
+                "L1d-store miss",
+                r.mini.cache.l1d_store_miss_rate(),
+                r.mega.cache.l1d_store_miss_rate(),
+            ),
+            (
+                "LLC-load miss",
+                r.mini.cache.llc_miss_rate(),
+                r.mega.cache.llc_miss_rate(),
+            ),
+        ];
+        for (name, mini, mega) in rows {
+            println!(
+                "{:<12} {:<18} {:>7.1}% {:>7.1}% {:>+7.1}%",
+                r.corpus.name,
+                name,
+                mini * 100.0,
+                mega * 100.0,
+                pct(mini, mega),
+            );
+        }
+    }
+    println!("(paper: -47% L1-load, -17% L1-store, -40% LLC-load miss rates)");
+}
+
+fn figure8b(ms: &[Runs]) {
+    header("Figure 8b — L1 cache access counts");
+    for r in ms {
+        let mini = r.mini.cache.l1d_loads + r.mini.cache.l1d_stores;
+        let mega = r.mega.cache.l1d_loads + r.mega.cache.l1d_stores;
+        println!(
+            "{:<12} mini {:>12} mega {:>12}  ({:+.1}%; paper: ~-10%)",
+            r.corpus.name,
+            mini,
+            mega,
+            pct(mini as f64, mega as f64),
+        );
+    }
+}
+
+fn figure8c(ms: &[Runs]) {
+    header("Figure 8c — accesses that miss all caches (DRAM)");
+    for r in ms {
+        println!(
+            "{:<12} mini {:>12} mega {:>12}  ({:+.1}%; paper: -47%)",
+            r.corpus.name,
+            r.mini.cache.llc_misses,
+            r.mega.cache.llc_misses,
+            pct(
+                r.mini.cache.llc_misses as f64,
+                r.mega.cache.llc_misses as f64
+            ),
+        );
+    }
+}
+
+fn figure8d(ms: &[Runs]) {
+    header("Figure 8d — L1-icache misses (inclusive-LLC coupling)");
+    for r in ms {
+        println!(
+            "{:<12} mini {:>12} mega {:>12}  ({:+.1}%; paper: -24%)",
+            r.corpus.name,
+            r.mini.cache.l1i_misses,
+            r.mega.cache.l1i_misses,
+            pct(
+                r.mini.cache.l1i_misses as f64,
+                r.mega.cache.l1i_misses as f64
+            ),
+        );
+        println!(
+            "{:<12} back-invalidations: mini {} mega {}",
+            "",
+            r.mini.cache.back_invalidations,
+            r.mega.cache.back_invalidations
+        );
+    }
+}
+
+fn figure9(cs: &[Corpus]) {
+    header("Figure 9 — Dotty-style (mini) vs scalac-style (legacy) stage times (ms)");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "corpus", "mode", "frontend", "transforms", "backend", "total"
+    );
+    for c in cs {
+        let mini = timed(c, &CompilerOptions::fused(), 3).expect("compiles");
+        let legacy = timed(c, &CompilerOptions::legacy(), 3).expect("compiles");
+        for m in [&mini, &legacy] {
+            println!(
+                "{:<12} {:>8} {:>10.1} {:>12.1} {:>10.1} {:>10.1}",
+                c.name,
+                m.opts.mode.to_string(),
+                m.times.frontend.as_secs_f64() * 1e3,
+                m.times.transforms.as_secs_f64() * 1e3,
+                m.times.backend.as_secs_f64() * 1e3,
+                m.times.total().as_secs_f64() * 1e3,
+            );
+        }
+        println!(
+            "{:<12} mini transform time = {:.2}x of legacy (paper: Dotty = 0.39x..0.42x of scalac)",
+            c.name,
+            ratio(
+                mini.times.transforms.as_secs_f64(),
+                legacy.times.transforms.as_secs_f64()
+            ),
+        );
+    }
+}
+
+fn checker_overhead(cs: &[Corpus]) {
+    header("Section 6.3 — dynamic tree-checker overhead");
+    for c in cs {
+        let plain = timed(c, &CompilerOptions::fused(), 3).expect("compiles");
+        let mut opts = CompilerOptions::fused();
+        opts.check = true;
+        let checked = timed(c, &opts, 3).expect("compiles with checker");
+        println!(
+            "{:<12} transforms: plain {:.1} ms, checked {:.1} ms -> {:.2}x (paper: ~1.5x)",
+            c.name,
+            plain.times.transforms.as_secs_f64() * 1e3,
+            checked.times.transforms.as_secs_f64() * 1e3,
+            ratio(
+                checked.times.transforms.as_secs_f64(),
+                plain.times.transforms.as_secs_f64()
+            ),
+        );
+    }
+}
+
+fn ablation_fusion(cs: &[Corpus]) {
+    header("Ablation — fusion fast paths (Listing 6 optimizations)");
+    let variants: [(&str, FusionOptions); 3] = [
+        ("full", FusionOptions::default()),
+        (
+            "no identity-skip",
+            FusionOptions {
+                identity_skip: false,
+                ..FusionOptions::default()
+            },
+        ),
+        (
+            "no fast-path",
+            FusionOptions {
+                same_kind_fast_path: false,
+                ..FusionOptions::default()
+            },
+        ),
+    ];
+    for c in cs {
+        for (name, fusion) in variants {
+            let mut opts = CompilerOptions::fused();
+            opts.fusion = fusion;
+            let m = timed(c, &opts, 3).expect("compiles");
+            println!(
+                "{:<12} {:<18} transforms {:>8.1} ms, member transforms {:>10}",
+                c.name,
+                name,
+                m.times.transforms.as_secs_f64() * 1e3,
+                m.exec.member_transforms,
+            );
+        }
+    }
+}
+
+fn ablation_granularity(cs: &[Corpus]) {
+    header("Ablation — fusion granularity (max phases per group)");
+    for c in cs {
+        for cap in [1usize, 2, 4, 8, 22] {
+            let mut opts = CompilerOptions::fused();
+            opts.max_group_size = Some(cap);
+            let m = timed(c, &opts, 3).expect("compiles");
+            println!(
+                "{:<12} cap {:>2} -> {:>2} groups, transforms {:>8.1} ms, visits {:>12}",
+                c.name,
+                cap,
+                m.groups,
+                m.times.transforms.as_secs_f64() * 1e3,
+                m.exec.node_visits,
+            );
+        }
+    }
+}
+
+fn ablation_prepare(cs: &[Corpus]) {
+    header("Ablation — prepare dispatch (per-kind vs run-always, §4.1)");
+    for c in cs {
+        for (name, always) in [("per-kind", false), ("run-always", true)] {
+            let mut opts = CompilerOptions::fused();
+            opts.fusion.prepare_always = always;
+            let m = timed(c, &opts, 3).expect("compiles");
+            println!(
+                "{:<12} {:<10} transforms {:>8.1} ms, prepare calls {:>12}",
+                c.name,
+                name,
+                m.times.transforms.as_secs_f64() * 1e3,
+                m.exec.prepare_calls,
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # bench — experiment harness
+//!
+//! Shared helpers for the `figures` binary (which regenerates every table
+//! and figure of the paper's evaluation) and the Criterion benches.
+
+#![warn(missing_docs)]
+
+use mini_driver::metrics::{measure, Instrumentation, Measurement};
+use mini_driver::{CompileError, CompilerOptions};
+use workload::{generate, Workload, WorkloadConfig};
+
+/// A named corpus (the paper's two benchmark inputs).
+pub struct Corpus {
+    /// Display name.
+    pub name: &'static str,
+    /// The generated sources.
+    pub workload: Workload,
+}
+
+/// The two corpora of §5 — "Scala standard library" scale and "Dotty
+/// compiler" scale — optionally shrunk for quick runs.
+pub fn corpora(quick: bool) -> Vec<Corpus> {
+    let scale = |cfg: WorkloadConfig, loc: usize| WorkloadConfig {
+        target_loc: loc,
+        ..cfg
+    };
+    let (lib_loc, dotty_loc) = if quick { (4_000, 6_000) } else { (34_000, 50_000) };
+    vec![
+        Corpus {
+            name: "stdlib-like",
+            workload: generate(&scale(WorkloadConfig::stdlib_like(), lib_loc)),
+        },
+        Corpus {
+            name: "dotty-like",
+            workload: generate(&scale(WorkloadConfig::dotty_like(), dotty_loc)),
+        },
+    ]
+}
+
+/// Runs one fully instrumented measurement.
+///
+/// # Panics
+///
+/// Panics when the corpus fails to compile — the corpus generator and
+/// pipeline are tested to keep this impossible.
+pub fn measured(corpus: &Corpus, opts: &CompilerOptions, instr: Instrumentation) -> Measurement {
+    match measure(&corpus.workload.sources(), opts, instr) {
+        Ok(m) => m,
+        Err(e) => panic!("corpus {} failed under {:?}: {e}", corpus.name, opts.mode),
+    }
+}
+
+/// Runs `reps` timing-only measurements and keeps the fastest (the usual
+/// min-of-N wall-clock protocol).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn timed(
+    corpus: &Corpus,
+    opts: &CompilerOptions,
+    reps: usize,
+) -> Result<Measurement, CompileError> {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps.max(1) {
+        let m = measure(
+            &corpus.workload.sources(),
+            opts,
+            Instrumentation::default(),
+        )?;
+        let better = match &best {
+            None => true,
+            Some(b) => m.times.transforms < b.times.transforms,
+        };
+        if better {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+/// Percent change from `base` to `new` (negative = reduction).
+pub fn pct(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new / base - 1.0) * 100.0
+    }
+}
+
+/// `new` as a fraction of `base`, rendered like "0.65x".
+pub fn ratio(new: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        new / base
+    }
+}

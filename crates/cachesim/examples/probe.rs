@@ -1,0 +1,20 @@
+use cache_sim::*;
+fn main() {
+    let mut h = Hierarchy::new(CacheConfig::scaled_to_corpus());
+    // 3 passes over a 200k-line (12.8MB) region; L3 = 1MB = 16k lines.
+    for pass in 0..3 {
+        let before = h.counters();
+        for i in 0..200_000u64 {
+            h.access(i * 64, 48, Kind::Read);
+        }
+        let c = h.counters();
+        println!(
+            "pass {pass}: l1m={} l2acc={} l2m={} llcacc={} llcm={}",
+            c.l1d_load_misses - before.l1d_load_misses,
+            c.l2_accesses - before.l2_accesses,
+            c.l2_misses - before.l2_misses,
+            c.llc_accesses - before.llc_accesses,
+            c.llc_misses - before.llc_misses,
+        );
+    }
+}

@@ -1,0 +1,446 @@
+//! Traversal and pipeline execution (paper Listings 3 and 4).
+//!
+//! [`run_phase_on_unit`] is the paper's `runPhase`: a uniform post-order
+//! traversal that (pre-order) dispatches prepares, recursively transforms
+//! children, rebuilds the node through the reusing copier, and applies the
+//! phase's transform chain. [`Pipeline`] is Listing 3's `compileUnits` loop:
+//! one traversal per *group* of fused Miniphases (or one per phase in
+//! Megaphase mode).
+
+use crate::checker::{check_unit, CheckFailure};
+use crate::fused::{Fused, FusionOptions};
+use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase};
+use crate::plan::PhasePlan;
+use crate::unit::CompilationUnit;
+use mini_ir::{Ctx, TreeRef};
+
+/// Synthetic instruction address of the shared traversal machinery.
+pub const TRAVERSAL_CODE_ADDR: u64 = (1 << 40) + (1 << 30);
+
+/// Always-on execution counters (feed the §3 throughput table).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tree-node visits performed by traversals.
+    pub node_visits: u64,
+    /// Kind-specific transform dispatches (per node, per group).
+    pub transform_calls: u64,
+    /// Member-level transform invocations inside fused blocks (the true
+    /// per-phase work count; equals `transform_calls` for single-phase
+    /// groups).
+    pub member_transforms: u64,
+    /// Prepare invocations.
+    pub prepare_calls: u64,
+    /// Traversals (unit × group runs).
+    pub traversals: u64,
+}
+
+impl ExecStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: ExecStats) {
+        self.node_visits += other.node_visits;
+        self.transform_calls += other.transform_calls;
+        self.member_transforms += other.member_transforms;
+        self.prepare_calls += other.prepare_calls;
+        self.traversals += other.traversals;
+    }
+}
+
+fn traverse(
+    phase: &mut dyn MiniPhase,
+    opts: &FusionOptions,
+    ctx: &mut Ctx,
+    t: &TreeRef,
+    stats: &mut ExecStats,
+) -> TreeRef {
+    stats.node_visits += 1;
+    ctx.trace_read(t);
+    // Visiting a node also touches the symbol it defines or references —
+    // symbols and types are the other "major internal data structures" (§2).
+    if ctx.access.is_some() {
+        let s = t.def_sym();
+        let s = if s.exists() { s } else { t.ref_sym() };
+        if s.exists() {
+            ctx.trace_read_at(mini_ir::Ctx::symbol_addr(s), 112);
+        }
+    }
+    ctx.trace_exec(TRAVERSAL_CODE_ADDR, 224);
+
+    let kind = t.node_kind();
+    let phase_prepares = phase.prepares();
+    let eligible = if opts.prepare_always {
+        !phase_prepares.is_empty()
+    } else {
+        phase_prepares.contains(kind)
+    };
+    let pushed = if eligible {
+        stats.prepare_calls += 1;
+        dispatch_prepare(phase, ctx, t)
+    } else {
+        false
+    };
+
+    let rebuilt = ctx.map_children(t, &mut |ctx, c| traverse(&mut *phase, opts, ctx, c, stats));
+
+    let out_kind = rebuilt.node_kind();
+    let transformed = if !opts.identity_skip || phase.transforms().contains(out_kind) {
+        stats.transform_calls += 1;
+        dispatch_transform(phase, ctx, &rebuilt)
+    } else {
+        rebuilt
+    };
+
+    if pushed {
+        phase.finish_prepared(ctx, &transformed);
+    }
+    transformed
+}
+
+/// Runs one Miniphase (possibly a [`Fused`] block) over one compilation unit:
+/// `prepare_unit`, the post-order traversal, then `transform_unit`.
+pub fn run_phase_on_unit(
+    phase: &mut dyn MiniPhase,
+    opts: &FusionOptions,
+    ctx: &mut Ctx,
+    unit: &CompilationUnit,
+    stats: &mut ExecStats,
+) -> CompilationUnit {
+    stats.traversals += 1;
+    phase.prepare_unit(ctx, &unit.tree);
+    let tree = traverse(phase, opts, ctx, &unit.tree, stats);
+    let tree = phase.transform_unit(ctx, tree);
+    CompilationUnit {
+        name: unit.name.clone(),
+        tree,
+    }
+}
+
+/// A ready-to-run tree-transformation pipeline: the phases grouped per a
+/// [`PhasePlan`], each group fused into a single traversal.
+pub struct Pipeline {
+    groups: Vec<Fused>,
+    opts: FusionOptions,
+    /// Dynamic postcondition checking between groups (§6.3). Roughly a 1.5×
+    /// slowdown in the paper; intended for test runs.
+    pub check: bool,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Failures recorded by the checker, if enabled.
+    pub failures: Vec<CheckFailure>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from `phases` grouped according to `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly the given phases.
+    pub fn new(
+        phases: Vec<Box<dyn MiniPhase>>,
+        plan: &PhasePlan,
+        opts: FusionOptions,
+    ) -> Pipeline {
+        assert_eq!(
+            plan.phase_count(),
+            phases.len(),
+            "plan does not match phase list"
+        );
+        let mut slots: Vec<Option<Box<dyn MiniPhase>>> = phases.into_iter().map(Some).collect();
+        let mut groups = Vec::with_capacity(plan.groups.len());
+        for g in &plan.groups {
+            let members: Vec<Box<dyn MiniPhase>> = g
+                .iter()
+                .map(|&i| slots[i].take().expect("plan uses each phase once"))
+                .collect();
+            groups.push(Fused::combine(members, opts));
+        }
+        Pipeline {
+            groups,
+            opts,
+            check: false,
+            stats: ExecStats::default(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Number of fused groups (= tree traversals per unit).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The fused groups.
+    pub fn groups(&self) -> &[Fused] {
+        &self.groups
+    }
+
+    /// Runs the whole pipeline over one unit. Convenient for tests; note
+    /// that batch compilation ([`Pipeline::run_units`]) is *phase-major*
+    /// like the paper's Listing 3, which this single-unit path cannot
+    /// reproduce. With [`Pipeline::check`] enabled, the tree checker runs
+    /// after every group, replaying the postconditions of *all* phases run
+    /// so far.
+    pub fn run_unit(&mut self, ctx: &mut Ctx, unit: CompilationUnit) -> CompilationUnit {
+        let mut cur = unit;
+        for gi in 0..self.groups.len() {
+            let mut stats = ExecStats::default();
+            cur = run_phase_on_unit(&mut self.groups[gi], &self.opts, ctx, &cur, &mut stats);
+            stats.member_transforms = self.groups[gi].take_member_transforms();
+            self.stats.merge(stats);
+            if self.check {
+                let prev: Vec<&dyn MiniPhase> = self.groups[..=gi]
+                    .iter()
+                    .flat_map(|g| g.members().iter().map(|m| m.as_ref() as &dyn MiniPhase))
+                    .collect();
+                self.failures.extend(check_unit(&prev, ctx, &cur));
+            }
+        }
+        cur
+    }
+
+    /// Runs the pipeline over a batch of units — faithfully *phase-major*,
+    /// as in the paper's Listing 3: each group of fused phases processes
+    /// every compilation unit before the next group starts. This ordering
+    /// is what makes the Megaphase baseline's intermediate trees long-lived
+    /// (they survive a whole corpus pass), and is therefore essential to
+    /// the GC and cache behaviour the evaluation measures.
+    pub fn run_units(
+        &mut self,
+        ctx: &mut Ctx,
+        units: Vec<CompilationUnit>,
+    ) -> Vec<CompilationUnit> {
+        let mut units = units;
+        for gi in 0..self.groups.len() {
+            let mut next = Vec::with_capacity(units.len());
+            for u in units {
+                let mut stats = ExecStats::default();
+                let out =
+                    run_phase_on_unit(&mut self.groups[gi], &self.opts, ctx, &u, &mut stats);
+                drop(u); // the pre-group tree dies here, as in Listing 3
+                stats.member_transforms = self.groups[gi].take_member_transforms();
+                self.stats.merge(stats);
+                next.push(out);
+            }
+            units = next;
+            if self.check {
+                let prev: Vec<&dyn MiniPhase> = self.groups[..=gi]
+                    .iter()
+                    .flat_map(|g| g.members().iter().map(|m| m.as_ref() as &dyn MiniPhase))
+                    .collect();
+                for u in &units {
+                    self.failures.extend(check_unit(&prev, ctx, u));
+                }
+            }
+        }
+        units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini::PhaseInfo;
+    use crate::plan::{build_plan, PlanOptions};
+    use mini_ir::{NodeKind, NodeKindSet, TreeKind};
+
+    /// Increments literals; also counts how many times each hook ran.
+    struct Inc {
+        label: &'static str,
+    }
+    impl PhaseInfo for Inc {
+        fn name(&self) -> &str {
+            self.label
+        }
+    }
+    impl MiniPhase for Inc {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            if let TreeKind::Literal { value } = tree.kind() {
+                if let Some(i) = value.as_int() {
+                    return ctx.lit_int(i + 1);
+                }
+            }
+            tree.clone()
+        }
+    }
+
+    /// Uses prepares to know nesting depth of blocks; rewrites literals to
+    /// their depth. Exercises prepare/finish balance.
+    struct DepthMark {
+        depth: i64,
+    }
+    impl PhaseInfo for DepthMark {
+        fn name(&self) -> &str {
+            "depthMark"
+        }
+    }
+    impl MiniPhase for DepthMark {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn prepares(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Block)
+        }
+        fn prepare_block(&mut self, _ctx: &mut Ctx, _t: &TreeRef) -> bool {
+            self.depth += 1;
+            true
+        }
+        fn finish_prepared(&mut self, _ctx: &mut Ctx, _t: &TreeRef) {
+            self.depth -= 1;
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, _t: &TreeRef) -> TreeRef {
+            ctx.lit_int(self.depth)
+        }
+    }
+
+    fn unit_of(ctx: &mut Ctx, tree: TreeRef) -> CompilationUnit {
+        CompilationUnit::new("test.ms", tree)
+    }
+
+    #[test]
+    fn traversal_transforms_bottom_up() {
+        let mut ctx = Ctx::new();
+        let a = ctx.lit_int(0);
+        let b = ctx.lit_int(10);
+        let tree = ctx.block(vec![a], b);
+        let unit = unit_of(&mut ctx, tree);
+        let mut ph = Inc { label: "inc" };
+        let mut stats = ExecStats::default();
+        let out = run_phase_on_unit(
+            &mut ph,
+            &FusionOptions::default(),
+            &mut ctx,
+            &unit,
+            &mut stats,
+        );
+        let lits: Vec<i64> = out
+            .tree
+            .children()
+            .iter()
+            .filter_map(|c| match c.kind() {
+                TreeKind::Literal { value } => value.as_int(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec![1, 11]);
+        assert_eq!(stats.node_visits, 3);
+        assert_eq!(stats.transform_calls, 2, "identity skip avoids the block");
+        assert_eq!(stats.traversals, 1);
+    }
+
+    #[test]
+    fn prepares_observe_ancestors() {
+        // lit inside two nested blocks gets depth 2; top-level lit in one
+        // block gets 1.
+        let mut ctx = Ctx::new();
+        let deep = ctx.lit_int(-1);
+        let inner = {
+            let u = ctx.lit_unit();
+            ctx.block(vec![deep], u)
+        };
+        let shallow = ctx.lit_int(-1);
+        let tree = ctx.block(vec![shallow, inner.clone()], inner);
+        let unit = unit_of(&mut ctx, tree);
+        let mut ph = DepthMark { depth: 0 };
+        let mut stats = ExecStats::default();
+        let out = run_phase_on_unit(
+            &mut ph,
+            &FusionOptions::default(),
+            &mut ctx,
+            &unit,
+            &mut stats,
+        );
+        assert_eq!(ph.depth, 0, "prepare/finish balanced");
+        // Find the depths assigned to the literals.
+        let mut depths = Vec::new();
+        mini_ir::visit::for_each_subtree(&out.tree, &mut |s| {
+            if let TreeKind::Literal { value } = s.kind() {
+                if let Some(i) = value.as_int() {
+                    depths.push(i);
+                }
+            }
+        });
+        assert!(depths.contains(&1), "shallow literal at depth 1: {depths:?}");
+        assert!(depths.contains(&2), "deep literal at depth 2: {depths:?}");
+    }
+
+    #[test]
+    fn pipeline_megaphase_and_fused_agree() {
+        let phases = || -> Vec<Box<dyn MiniPhase>> {
+            vec![
+                Box::new(Inc { label: "i1" }),
+                Box::new(Inc { label: "i2" }),
+                Box::new(Inc { label: "i3" }),
+            ]
+        };
+        let run = |fuse: bool| -> (i64, usize) {
+            let mut ctx = Ctx::new();
+            let t = ctx.lit_int(0);
+            let e = ctx.lit_unit();
+            let tree = ctx.block(vec![t], e);
+            let ps = phases();
+            let plan = build_plan(
+                &ps,
+                &PlanOptions {
+                    fuse,
+                    ..PlanOptions::default()
+                },
+            )
+            .unwrap();
+            let mut pipe = Pipeline::new(ps, &plan, FusionOptions::default());
+            let out = pipe.run_unit(&mut ctx, CompilationUnit::new("u", tree));
+            let mut v = 0;
+            mini_ir::visit::for_each_subtree(&out.tree, &mut |s| {
+                if let TreeKind::Literal { value } = s.kind() {
+                    if let Some(i) = value.as_int() {
+                        if i > v {
+                            v = i;
+                        }
+                    }
+                }
+            });
+            (v, pipe.group_count())
+        };
+        let (fused_v, fused_groups) = run(true);
+        let (mega_v, mega_groups) = run(false);
+        assert_eq!(fused_v, 3);
+        assert_eq!(mega_v, 3);
+        assert_eq!(fused_groups, 1);
+        assert_eq!(mega_groups, 3);
+    }
+
+    #[test]
+    fn fused_pipeline_visits_fewer_nodes() {
+        let labels = ["p0", "p1", "p2", "p3", "p4"];
+        let mk_phases = || -> Vec<Box<dyn MiniPhase>> {
+            labels
+                .iter()
+                .map(|l| Box::new(Inc { label: l }) as Box<dyn MiniPhase>)
+                .collect()
+        };
+        let visits = |fuse: bool| -> u64 {
+            let mut ctx = Ctx::new();
+            let lits: Vec<TreeRef> = (0..50).map(|i| ctx.lit_int(i)).collect();
+            let e = ctx.lit_unit();
+            let tree = ctx.block(lits, e);
+            let ps = mk_phases();
+            let plan = build_plan(
+                &ps,
+                &PlanOptions {
+                    fuse,
+                    ..PlanOptions::default()
+                },
+            )
+            .unwrap();
+            let mut pipe = Pipeline::new(ps, &plan, FusionOptions::default());
+            pipe.run_unit(&mut ctx, CompilationUnit::new("u", tree));
+            pipe.stats.node_visits
+        };
+        let fused = visits(true);
+        let mega = visits(false);
+        assert!(
+            mega >= fused * 4,
+            "megaphase should visit ~5x more nodes (got fused={fused}, mega={mega})"
+        );
+    }
+}

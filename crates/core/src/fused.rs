@@ -1,0 +1,600 @@
+//! Miniphase fusion (paper §4, Listings 5, 6 and 8).
+//!
+//! [`Fused`] combines a sequence of Miniphases into a single phase whose
+//! per-node transform applies each constituent in order. It implements both
+//! optimizations from Listing 6:
+//!
+//! * **identity skip** — a constituent whose transform for the current node
+//!   kind is identity (not declared in its [`MiniPhase::transforms`] mask) is
+//!   not invoked at all; a precomputed per-kind index lists the interested
+//!   constituents;
+//! * **same-kind fast path** — as long as a transform returns a node of the
+//!   same kind, the walk continues down the precomputed per-kind list; when
+//!   the kind *changes*, the remaining constituents are re-entered through
+//!   the generic dispatch for the new kind (the paper's
+//!   `second.transform(other)` fallback).
+//!
+//! Prepares are chained in phase order (Listing 8) and the fused phase
+//! guarantees the per-constituent prepare/finish balance by recording which
+//! constituents fired at each node.
+
+use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase, PhaseInfo};
+use mini_ir::{Ctx, NodeKindSet, TreeRef, NODE_KIND_COUNT};
+
+/// Tunables for fusion and traversal; the ablation benches sweep these.
+#[derive(Clone, Copy, Debug)]
+pub struct FusionOptions {
+    /// Skip constituents whose transform for the current kind is identity
+    /// (Listing 6's `first.valDefTransform == id` test). Default on.
+    pub identity_skip: bool,
+    /// Walk the precomputed per-kind constituent list while the node kind is
+    /// unchanged instead of re-dispatching every step. Default on.
+    pub same_kind_fast_path: bool,
+    /// Dispatch prepares for *every* node kind rather than only declared
+    /// ones — the simpler design §4.1 muses about. Default off.
+    pub prepare_always: bool,
+}
+
+impl Default for FusionOptions {
+    fn default() -> FusionOptions {
+        FusionOptions {
+            identity_skip: true,
+            same_kind_fast_path: true,
+            prepare_always: false,
+        }
+    }
+}
+
+/// A block of Miniphases fused into one (the result of the paper's
+/// `combine`, Listing 5; `combine` with two elements is `chainMiniPhases`).
+pub struct Fused {
+    members: Vec<Box<dyn MiniPhase>>,
+    opts: FusionOptions,
+    name: String,
+    transforms_union: NodeKindSet,
+    prepares_union: NodeKindSet,
+    /// Per node kind: indices of members that transform that kind.
+    transform_index: Vec<Vec<u16>>,
+    /// Per node kind: indices of members that prepare for that kind.
+    prepare_index: Vec<Vec<u16>>,
+    member_code_addrs: Vec<u64>,
+    member_has_prepares: Vec<bool>,
+    /// Member-level transform invocations since last taken (feeds the
+    /// instruction model: the traversal only counts dispatches into the
+    /// block, not the per-constituent work).
+    pub member_transforms: u64,
+    /// Which members pushed prepare-state, per open node (a stack because
+    /// traversal is recursive).
+    prepared_stack: Vec<u64>,
+    runs_after: Vec<&'static str>,
+    runs_after_groups_of: Vec<&'static str>,
+}
+
+impl Fused {
+    /// Fuses `members` (applied first-to-last at every node) into a single
+    /// Miniphase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains more than 64 phases (the
+    /// prepare-mask word size; Dotty's largest real block has 22).
+    pub fn combine(members: Vec<Box<dyn MiniPhase>>, opts: FusionOptions) -> Fused {
+        assert!(!members.is_empty(), "cannot fuse zero phases");
+        assert!(members.len() <= 64, "fusion block larger than 64 phases");
+        let name = members
+            .iter()
+            .map(|m| m.name().to_owned())
+            .collect::<Vec<_>>()
+            .join("+");
+        let mut transforms_union = NodeKindSet::EMPTY;
+        let mut prepares_union = NodeKindSet::EMPTY;
+        let mut transform_index = vec![Vec::new(); NODE_KIND_COUNT];
+        let mut prepare_index = vec![Vec::new(); NODE_KIND_COUNT];
+        let mut member_code_addrs = Vec::with_capacity(members.len());
+        let mut member_has_prepares = Vec::with_capacity(members.len());
+        for (i, m) in members.iter().enumerate() {
+            let t = m.transforms();
+            let p = m.prepares();
+            transforms_union = transforms_union.union(t);
+            prepares_union = prepares_union.union(p);
+            for k in t.iter() {
+                transform_index[k as usize].push(i as u16);
+            }
+            for k in p.iter() {
+                prepare_index[k as usize].push(i as u16);
+            }
+            member_code_addrs.push(m.code_addr());
+            member_has_prepares.push(!p.is_empty());
+        }
+        // Listing 5: `second.runsAfter -- first ++ first.runsAfter` — the
+        // union of constraints minus those satisfied inside the block.
+        let internal: Vec<String> = members.iter().map(|m| m.name().to_owned()).collect();
+        let mut runs_after = Vec::new();
+        let mut runs_after_groups_of = Vec::new();
+        for m in &members {
+            for ra in m.runs_after() {
+                if !internal.iter().any(|n| n == ra) && !runs_after.contains(&ra) {
+                    runs_after.push(ra);
+                }
+            }
+            for ra in m.runs_after_groups_of() {
+                if !runs_after_groups_of.contains(&ra) {
+                    runs_after_groups_of.push(ra);
+                }
+            }
+        }
+        Fused {
+            members,
+            opts,
+            name,
+            transforms_union,
+            prepares_union,
+            transform_index,
+            prepare_index,
+            member_code_addrs,
+            member_has_prepares,
+            member_transforms: 0,
+            prepared_stack: Vec::new(),
+            runs_after,
+            runs_after_groups_of,
+        }
+    }
+
+    /// The fused constituents, in application order.
+    pub fn members(&self) -> &[Box<dyn MiniPhase>] {
+        &self.members
+    }
+
+    /// Number of constituents.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false: a `Fused` holds at least one phase.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    #[inline]
+    fn trace_member_code(&mut self, ctx: &mut Ctx, member: usize, kind: usize) {
+        self.member_transforms += 1;
+        ctx.trace_exec(
+            self.member_code_addrs[member] + (kind as u64) * 512,
+            320,
+        );
+    }
+
+    #[inline]
+    fn trace_member_data(ctx: &mut Ctx, tree: &TreeRef) {
+        // A constituent's transform inspects the node and the symbol/type
+        // information hanging off it (§2: symbols and types are the other
+        // major data structures).
+        ctx.trace_read(tree);
+        let s = tree.def_sym();
+        let s = if s.exists() { s } else { tree.ref_sym() };
+        if s.exists() {
+            ctx.trace_read_at(Ctx::symbol_addr(s), 112);
+        }
+    }
+
+    /// Drains the member-transform counter (used by the pipeline's stats).
+    pub fn take_member_transforms(&mut self) -> u64 {
+        std::mem::take(&mut self.member_transforms)
+    }
+
+    /// The fused transform chain for a node of kind `entry` (Listing 6).
+    fn chain(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+        let mut cur = tree.clone();
+        if !self.opts.identity_skip {
+            // Ablation: invoke every constituent through generic dispatch.
+            for i in 0..self.members.len() {
+                let k = cur.node_kind() as usize;
+                self.trace_member_code(ctx, i, k);
+                Self::trace_member_data(ctx, &cur);
+                cur = dispatch_transform(self.members[i].as_mut(), ctx, &cur);
+            }
+            return cur;
+        }
+        if !self.opts.same_kind_fast_path {
+            // Ablation: identity skip via mask check, but no per-kind index —
+            // scan all constituents, re-reading the kind each step.
+            for i in 0..self.members.len() {
+                let k = cur.node_kind();
+                if self.members[i].transforms().contains(k) {
+                    self.trace_member_code(ctx, i, k as usize);
+                    Self::trace_member_data(ctx, &cur);
+                    cur = dispatch_transform(self.members[i].as_mut(), ctx, &cur);
+                }
+            }
+            return cur;
+        }
+        // Fast path: walk the precomputed per-kind constituent list; on a
+        // kind change, fall back to the new kind's list (generic dispatch).
+        let mut kind = cur.node_kind();
+        let mut pos = 0usize;
+        loop {
+            let mi = {
+                let list = &self.transform_index[kind as usize];
+                match list.get(pos) {
+                    Some(&m) => m as usize,
+                    None => break,
+                }
+            };
+            self.trace_member_code(ctx, mi, kind as usize);
+            Self::trace_member_data(ctx, &cur);
+            cur = dispatch_transform(self.members[mi].as_mut(), ctx, &cur);
+            let new_kind = cur.node_kind();
+            if new_kind == kind {
+                pos += 1;
+            } else {
+                kind = new_kind;
+                let list = &self.transform_index[kind as usize];
+                pos = list.partition_point(|&x| (x as usize) <= mi);
+            }
+        }
+        cur
+    }
+
+    /// Chained prepares (Listing 8): dispatch to each interested constituent
+    /// in order, remembering which ones pushed state.
+    fn fan_prepare(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> bool {
+        let kind = tree.node_kind();
+        let mut mask = 0u64;
+        if self.opts.prepare_always {
+            for i in 0..self.members.len() {
+                if self.member_has_prepares[i]
+                    && dispatch_prepare(self.members[i].as_mut(), ctx, tree)
+                {
+                    mask |= 1 << i;
+                }
+            }
+        } else {
+            let list = self.prepare_index[kind as usize].clone();
+            for mi in list {
+                if dispatch_prepare(self.members[mi as usize].as_mut(), ctx, tree) {
+                    mask |= 1 << mi;
+                }
+            }
+        }
+        if mask != 0 {
+            self.prepared_stack.push(mask);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl PhaseInfo for Fused {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        "fused block"
+    }
+}
+
+macro_rules! impl_fused_hooks {
+    ($(($variant:ident, $t:ident, $p:ident),)*) => {
+        impl MiniPhase for Fused {
+            fn transforms(&self) -> NodeKindSet {
+                self.transforms_union
+            }
+
+            fn prepares(&self) -> NodeKindSet {
+                if self.opts.prepare_always && !self.prepares_union.is_empty() {
+                    NodeKindSet::ALL
+                } else {
+                    self.prepares_union
+                }
+            }
+
+            fn runs_after(&self) -> Vec<&'static str> {
+                self.runs_after.clone()
+            }
+
+            fn runs_after_groups_of(&self) -> Vec<&'static str> {
+                self.runs_after_groups_of.clone()
+            }
+
+            fn prepare_unit(&mut self, ctx: &mut Ctx, unit_tree: &TreeRef) {
+                for m in &mut self.members {
+                    m.prepare_unit(ctx, unit_tree);
+                }
+            }
+
+            fn transform_unit(&mut self, ctx: &mut Ctx, tree: TreeRef) -> TreeRef {
+                let mut cur = tree;
+                for m in &mut self.members {
+                    cur = m.transform_unit(ctx, cur);
+                }
+                cur
+            }
+
+            fn check_post_condition(&self, ctx: &Ctx, t: &TreeRef) -> Result<(), String> {
+                for m in &self.members {
+                    m.check_post_condition(ctx, t)
+                        .map_err(|e| format!("{}: {e}", m.name()))?;
+                }
+                Ok(())
+            }
+
+            fn finish_prepared(&mut self, ctx: &mut Ctx, t: &TreeRef) {
+                let mask = self.prepared_stack.pop().unwrap_or(0);
+                for i in 0..self.members.len() {
+                    if mask & (1 << i) != 0 {
+                        self.members[i].finish_prepared(ctx, t);
+                    }
+                }
+            }
+
+            $(
+                fn $t(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+                    self.chain(ctx, tree)
+                }
+
+                fn $p(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> bool {
+                    self.fan_prepare(ctx, tree)
+                }
+            )*
+        }
+    };
+}
+
+mini_ir::with_node_kinds!(impl_fused_hooks);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::{NodeKind, TreeKind, Type};
+
+    /// Adds `delta` to every int literal.
+    struct AddN {
+        label: &'static str,
+        delta: i64,
+        calls: u64,
+    }
+    impl AddN {
+        fn new(label: &'static str, delta: i64) -> AddN {
+            AddN {
+                label,
+                delta,
+                calls: 0,
+            }
+        }
+    }
+    impl PhaseInfo for AddN {
+        fn name(&self) -> &str {
+            self.label
+        }
+    }
+    impl MiniPhase for AddN {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            self.calls += 1;
+            if let TreeKind::Literal { value } = tree.kind() {
+                if let Some(i) = value.as_int() {
+                    return ctx.lit_int(i + self.delta);
+                }
+            }
+            tree.clone()
+        }
+    }
+
+    /// Turns int literals into `Typed` nodes (changes the node kind).
+    struct Wrap;
+    impl PhaseInfo for Wrap {
+        fn name(&self) -> &str {
+            "wrap"
+        }
+    }
+    impl MiniPhase for Wrap {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            ctx.mk(
+                TreeKind::Typed {
+                    expr: tree.clone(),
+                    tpe: Type::Int,
+                },
+                Type::Int,
+                tree.span(),
+            )
+        }
+    }
+
+    /// Counts `Typed` nodes it sees (shared counter so tests can observe it
+    /// after the phase moves into a `Fused`).
+    struct SeeTyped {
+        seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl PhaseInfo for SeeTyped {
+        fn name(&self) -> &str {
+            "seeTyped"
+        }
+    }
+    impl MiniPhase for SeeTyped {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Typed)
+        }
+        fn transform_typed(&mut self, _ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            tree.clone()
+        }
+    }
+
+    fn lit(ctx: &mut Ctx, v: i64) -> TreeRef {
+        ctx.lit_int(v)
+    }
+
+    #[test]
+    fn fused_applies_members_in_order() {
+        let mut ctx = Ctx::new();
+        let mut fused = Fused::combine(
+            vec![
+                Box::new(AddN::new("a", 1)),
+                Box::new(AddN::new("b", 10)),
+            ],
+            FusionOptions::default(),
+        );
+        let t = lit(&mut ctx, 0);
+        let out = dispatch_transform(&mut fused, &mut ctx, &t);
+        if let TreeKind::Literal { value } = out.kind() {
+            assert_eq!(value.as_int(), Some(11));
+        } else {
+            panic!("expected literal");
+        }
+    }
+
+    #[test]
+    fn kind_change_redispatches_later_members() {
+        // wrap turns Literal into Typed; seeTyped must then observe it, even
+        // though it was entered via the Literal chain (Listing 6 fallback).
+        let mut ctx = Ctx::new();
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut fused = Fused::combine(
+            vec![
+                Box::new(Wrap),
+                Box::new(SeeTyped {
+                    seen: std::sync::Arc::clone(&counter),
+                }),
+            ],
+            FusionOptions::default(),
+        );
+        let t = lit(&mut ctx, 5);
+        let out = dispatch_transform(&mut fused, &mut ctx, &t);
+        assert_eq!(out.node_kind(), NodeKind::Typed);
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "seeTyped observed the node wrap created"
+        );
+    }
+
+    #[test]
+    fn kind_change_does_not_rerun_earlier_members() {
+        // After the kind changes, members *before* the change point whose
+        // mask contains the new kind must not run again.
+        struct TypedToLit;
+        impl PhaseInfo for TypedToLit {
+            fn name(&self) -> &str {
+                "typedToLit"
+            }
+        }
+        impl MiniPhase for TypedToLit {
+            fn transforms(&self) -> NodeKindSet {
+                NodeKindSet::of(NodeKind::Typed)
+            }
+            fn transform_typed(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+                if let TreeKind::Typed { expr, .. } = tree.kind() {
+                    let _ = expr;
+                }
+                ctx.lit_int(99)
+            }
+        }
+        // Chain: typedToLit (Typed->Literal), wrap (Literal->Typed).
+        // Entering with Typed: typedToLit makes a Literal, wrap makes Typed
+        // again; typedToLit must NOT run a second time.
+        let mut ctx = Ctx::new();
+        let mut fused = Fused::combine(
+            vec![Box::new(TypedToLit), Box::new(Wrap)],
+            FusionOptions::default(),
+        );
+        let inner = lit(&mut ctx, 1);
+        let t = ctx.mk(
+            TreeKind::Typed {
+                expr: inner,
+                tpe: Type::Int,
+            },
+            Type::Int,
+            mini_ir::Span::SYNTHETIC,
+        );
+        let out = dispatch_transform(&mut fused, &mut ctx, &t);
+        assert_eq!(out.node_kind(), NodeKind::Typed);
+        if let TreeKind::Typed { expr, .. } = out.kind() {
+            if let TreeKind::Literal { value } = expr.kind() {
+                assert_eq!(value.as_int(), Some(99), "typedToLit ran exactly once");
+            } else {
+                panic!("expected literal inside");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_modes_agree_on_results() {
+        for opts in [
+            FusionOptions::default(),
+            FusionOptions {
+                identity_skip: false,
+                ..FusionOptions::default()
+            },
+            FusionOptions {
+                same_kind_fast_path: false,
+                ..FusionOptions::default()
+            },
+        ] {
+            let mut ctx = Ctx::new();
+            let mut fused = Fused::combine(
+                vec![
+                    Box::new(AddN::new("a", 2)),
+                    Box::new(AddN::new("b", 3)),
+                    Box::new(AddN::new("c", 5)),
+                ],
+                opts,
+            );
+            let t = lit(&mut ctx, 0);
+            let out = dispatch_transform(&mut fused, &mut ctx, &t);
+            if let TreeKind::Literal { value } = out.kind() {
+                assert_eq!(value.as_int(), Some(10), "opts: {opts:?}");
+            } else {
+                panic!("expected literal");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_after_of_block_drops_internal_constraints() {
+        struct P1;
+        impl PhaseInfo for P1 {
+            fn name(&self) -> &str {
+                "p1"
+            }
+        }
+        impl MiniPhase for P1 {
+            fn transforms(&self) -> NodeKindSet {
+                NodeKindSet::EMPTY
+            }
+        }
+        struct P2;
+        impl PhaseInfo for P2 {
+            fn name(&self) -> &str {
+                "p2"
+            }
+        }
+        impl MiniPhase for P2 {
+            fn transforms(&self) -> NodeKindSet {
+                NodeKindSet::EMPTY
+            }
+            fn runs_after(&self) -> Vec<&'static str> {
+                vec!["p1", "external"]
+            }
+        }
+        let fused = Fused::combine(
+            vec![Box::new(P1), Box::new(P2)],
+            FusionOptions::default(),
+        );
+        let ra = fused.runs_after();
+        assert!(ra.contains(&"external"));
+        assert!(!ra.contains(&"p1"), "satisfied inside the block");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fuse zero phases")]
+    fn combining_nothing_panics() {
+        let _ = Fused::combine(Vec::new(), FusionOptions::default());
+    }
+}

@@ -1,0 +1,72 @@
+//! # miniphase — the Miniphase framework
+//!
+//! The primary contribution of *"Miniphases: Compilation using Modular and
+//! Efficient Tree Transformations"* (PLDI 2017): compiler phases written as
+//! independent per-node-kind tree rewriters that the framework **fuses** into
+//! a single traversal of the tree.
+//!
+//! * [`MiniPhase`] — the phase abstraction: per-kind `transform_*` hooks,
+//!   per-kind `prepare_*` hooks (§4.1), unit init/finalize (§4.2), declared
+//!   ordering constraints and postconditions (§6.3).
+//! * [`Fused`] — the fusion combinator (Listings 5/6/8) with the
+//!   identity-skip and same-kind fast-path optimizations.
+//! * [`build_plan`] — the startup-validated phase planner that turns
+//!   `runs_after` / `runs_after_groups_of` constraints into fusion groups.
+//! * [`Pipeline`] / [`run_phase_on_unit`] — Listing 3/4's executors, with
+//!   Megaphase (one traversal per phase) and Miniphase (one per group) modes.
+//! * [`check_unit`] — the dynamic tree checker (Listing 9) replaying every
+//!   prior phase's postconditions to localize faults.
+//!
+//! # Examples
+//!
+//! ```
+//! use mini_ir::{Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef};
+//! use miniphase::{
+//!     build_plan, CompilationUnit, FusionOptions, MiniPhase, PhaseInfo, Pipeline, PlanOptions,
+//! };
+//!
+//! /// A phase that increments every integer literal.
+//! struct Inc(&'static str);
+//! impl PhaseInfo for Inc {
+//!     fn name(&self) -> &str { self.0 }
+//! }
+//! impl MiniPhase for Inc {
+//!     fn transforms(&self) -> NodeKindSet { NodeKindSet::of(NodeKind::Literal) }
+//!     fn transform_literal(&mut self, ctx: &mut Ctx, t: &TreeRef) -> TreeRef {
+//!         match t.kind() {
+//!             TreeKind::Literal { value } if value.as_int().is_some() => {
+//!                 ctx.lit_int(value.as_int().unwrap() + 1)
+//!             }
+//!             _ => t.clone(),
+//!         }
+//!     }
+//! }
+//!
+//! let mut ctx = Ctx::new();
+//! let tree = ctx.lit_int(0);
+//! let phases: Vec<Box<dyn MiniPhase>> = vec![Box::new(Inc("inc1")), Box::new(Inc("inc2"))];
+//! let plan = build_plan(&phases, &PlanOptions::default()).expect("valid plan");
+//! assert_eq!(plan.group_count(), 1); // both phases fused into one traversal
+//! let mut pipe = Pipeline::new(phases, &plan, FusionOptions::default());
+//! let out = pipe.run_unit(&mut ctx, CompilationUnit::new("demo", tree));
+//! assert!(matches!(
+//!     out.tree.kind(),
+//!     TreeKind::Literal { value } if value.as_int() == Some(2)
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod executor;
+pub mod fused;
+pub mod mini;
+pub mod plan;
+mod unit;
+
+pub use checker::{check_unit, CheckFailure};
+pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
+pub use fused::{Fused, FusionOptions};
+pub use mini::{dispatch_prepare, dispatch_transform, synthetic_code_addr, MiniPhase, PhaseInfo};
+pub use plan::{build_plan, PhasePlan, PlanError, PlanOptions};
+pub use unit::CompilationUnit;

@@ -1,0 +1,332 @@
+//! The phase planner.
+//!
+//! Given the pipeline's phases in order, the planner validates the declared
+//! constraints (`runs_after`, `runs_after_groups_of`) and partitions the
+//! phases into *fusion groups*: maximal runs of consecutive Miniphases that
+//! may legally share one traversal. A `runs_after_groups_of` constraint on a
+//! phase forces a group boundary before it (§6.3: "a Miniphase in
+//! `runsAfterGroupsOf` must completely finish transforming the tree before
+//! the current Miniphase can run").
+//!
+//! As in the paper, constraint validation happens "when the compiler runs ...
+//! as soon as the compiler starts up, so any violations are caught
+//! immediately, independent of any test input".
+
+use crate::mini::MiniPhase;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Planner tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanOptions {
+    /// Fuse consecutive phases (Miniphase mode). When false every phase gets
+    /// its own traversal (Megaphase mode — the paper's baseline).
+    pub fuse: bool,
+    /// Optional cap on group size, for the fusion-granularity ablation.
+    pub max_group_size: Option<usize>,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions {
+            fuse: true,
+            max_group_size: None,
+        }
+    }
+}
+
+/// A validated grouping of phase indices into fusion groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Phase indices per group, in pipeline order.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl PhasePlan {
+    /// Total number of phases covered.
+    pub fn phase_count(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// Number of groups (= traversals per unit).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Renders a Table 2-style listing: one line per phase, with horizontal
+    /// rules separating fusion groups and `*` marking fused Miniphases.
+    pub fn describe(&self, phases: &[Box<dyn MiniPhase>]) -> String {
+        let mut out = String::new();
+        let mut id = 1;
+        for (gi, g) in self.groups.iter().enumerate() {
+            if gi > 0 {
+                out.push_str("--------------------------------------------------------------\n");
+            }
+            for &pi in g {
+                let star = if g.len() > 1 { "*" } else { " " };
+                out.push_str(&format!(
+                    "{star} {id:>2}  {:<22} {}\n",
+                    phases[pi].name(),
+                    phases[pi].description()
+                ));
+                id += 1;
+            }
+        }
+        out
+    }
+}
+
+/// A constraint violation detected at startup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// Two phases share a name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A constraint names a phase that is not in the pipeline.
+    UnknownPhase {
+        /// The phase declaring the constraint.
+        phase: String,
+        /// The missing target.
+        target: String,
+    },
+    /// A `runs_after` target appears later in the pipeline.
+    OrderViolation {
+        /// The phase declaring the constraint.
+        phase: String,
+        /// The out-of-order target.
+        target: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::DuplicateName { name } => {
+                write!(f, "duplicate phase name `{name}`")
+            }
+            PlanError::UnknownPhase { phase, target } => {
+                write!(f, "phase `{phase}` constrains unknown phase `{target}`")
+            }
+            PlanError::OrderViolation { phase, target } => write!(
+                f,
+                "phase `{phase}` must run after `{target}`, which comes later in the pipeline"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Validates constraints and computes the fusion grouping.
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] found: duplicate phase names, constraints
+/// naming unknown phases, or `runs_after` targets that appear later in the
+/// pipeline.
+pub fn build_plan(
+    phases: &[Box<dyn MiniPhase>],
+    opts: &PlanOptions,
+) -> Result<PhasePlan, PlanError> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (i, p) in phases.iter().enumerate() {
+        if index.insert(p.name().to_owned(), i).is_some() {
+            return Err(PlanError::DuplicateName {
+                name: p.name().to_owned(),
+            });
+        }
+    }
+    // Startup validation of ordering constraints.
+    for (i, p) in phases.iter().enumerate() {
+        for target in p.runs_after().iter().chain(p.runs_after_groups_of().iter()) {
+            match index.get(*target) {
+                None => {
+                    return Err(PlanError::UnknownPhase {
+                        phase: p.name().to_owned(),
+                        target: (*target).to_owned(),
+                    })
+                }
+                Some(&j) if j >= i => {
+                    return Err(PlanError::OrderViolation {
+                        phase: p.name().to_owned(),
+                        target: (*target).to_owned(),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    // Grouping.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for (i, p) in phases.iter().enumerate() {
+        let mut must_split = !opts.fuse && !current.is_empty();
+        if let Some(cap) = opts.max_group_size {
+            if current.len() >= cap {
+                must_split = true;
+            }
+        }
+        if !must_split {
+            // A runs_after_groups_of target inside the current group forces
+            // a boundary: that target's group must *finish* first.
+            for target in p.runs_after_groups_of() {
+                let j = index[target];
+                if current.contains(&j) {
+                    must_split = true;
+                    break;
+                }
+            }
+        }
+        if must_split && !current.is_empty() {
+            groups.push(std::mem::take(&mut current));
+        }
+        current.push(i);
+        let _ = p;
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    Ok(PhasePlan { groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini::PhaseInfo;
+    use mini_ir::NodeKindSet;
+
+    struct P {
+        name: &'static str,
+        after: Vec<&'static str>,
+        after_groups: Vec<&'static str>,
+    }
+    impl P {
+        fn new(name: &'static str) -> Box<dyn MiniPhase> {
+            Box::new(P {
+                name,
+                after: vec![],
+                after_groups: vec![],
+            })
+        }
+        fn with(
+            name: &'static str,
+            after: Vec<&'static str>,
+            after_groups: Vec<&'static str>,
+        ) -> Box<dyn MiniPhase> {
+            Box::new(P {
+                name,
+                after,
+                after_groups,
+            })
+        }
+    }
+    impl PhaseInfo for P {
+        fn name(&self) -> &str {
+            self.name
+        }
+    }
+    impl MiniPhase for P {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::EMPTY
+        }
+        fn runs_after(&self) -> Vec<&'static str> {
+            self.after.clone()
+        }
+        fn runs_after_groups_of(&self) -> Vec<&'static str> {
+            self.after_groups.clone()
+        }
+    }
+
+    #[test]
+    fn unconstrained_phases_fuse_into_one_group() {
+        let ps = vec![P::new("a"), P::new("b"), P::new("c")];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        assert_eq!(plan.groups, vec![vec![0, 1, 2]]);
+        assert_eq!(plan.group_count(), 1);
+        assert_eq!(plan.phase_count(), 3);
+    }
+
+    #[test]
+    fn megaphase_mode_gives_singleton_groups() {
+        let ps = vec![P::new("a"), P::new("b"), P::new("c")];
+        let plan = build_plan(
+            &ps,
+            &PlanOptions {
+                fuse: false,
+                ..PlanOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn runs_after_groups_of_splits() {
+        // patmat-style: c must see the whole unit after a finished.
+        let ps = vec![
+            P::new("a"),
+            P::new("b"),
+            P::with("c", vec![], vec!["a"]),
+            P::new("d"),
+        ];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        assert_eq!(plan.groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn runs_after_within_group_is_allowed() {
+        let ps = vec![P::new("a"), P::with("b", vec!["a"], vec![])];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        assert_eq!(plan.groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn max_group_size_caps_fusion() {
+        let ps = vec![P::new("a"), P::new("b"), P::new("c"), P::new("d")];
+        let plan = build_plan(
+            &ps,
+            &PlanOptions {
+                fuse: true,
+                max_group_size: Some(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.groups, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn startup_validation_catches_unknown_and_order() {
+        let ps = vec![P::with("a", vec!["ghost"], vec![])];
+        assert_eq!(
+            build_plan(&ps, &PlanOptions::default()),
+            Err(PlanError::UnknownPhase {
+                phase: "a".into(),
+                target: "ghost".into()
+            })
+        );
+        let ps2 = vec![P::with("a", vec!["b"], vec![]), P::new("b")];
+        assert_eq!(
+            build_plan(&ps2, &PlanOptions::default()),
+            Err(PlanError::OrderViolation {
+                phase: "a".into(),
+                target: "b".into()
+            })
+        );
+        let ps3 = vec![P::new("x"), P::new("x")];
+        assert_eq!(
+            build_plan(&ps3, &PlanOptions::default()),
+            Err(PlanError::DuplicateName { name: "x".into() })
+        );
+    }
+
+    #[test]
+    fn describe_marks_fused_blocks() {
+        let ps = vec![P::new("a"), P::new("b"), P::with("c", vec![], vec!["a"])];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        let s = plan.describe(&ps);
+        assert!(s.contains("* "), "fused phases starred");
+        assert!(s.contains("----"), "group separator present");
+    }
+}

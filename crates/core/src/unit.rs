@@ -1,0 +1,31 @@
+//! Compilation units.
+
+use mini_ir::TreeRef;
+use std::fmt;
+
+/// One source file's worth of trees flowing through the pipeline (§2: "the
+/// program being compiled is represented as a sequence of compilation
+/// units").
+#[derive(Clone)]
+pub struct CompilationUnit {
+    /// The source file name (diagnostic only).
+    pub name: String,
+    /// The unit's tree, usually a `PackageDef`.
+    pub tree: TreeRef,
+}
+
+impl CompilationUnit {
+    /// Wraps a tree as a compilation unit.
+    pub fn new(name: impl Into<String>, tree: TreeRef) -> CompilationUnit {
+        CompilationUnit {
+            name: name.into(),
+            tree,
+        }
+    }
+}
+
+impl fmt::Debug for CompilationUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompilationUnit({})", self.name)
+    }
+}

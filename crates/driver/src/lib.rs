@@ -1,0 +1,287 @@
+//! # mini-driver — end-to-end compilation pipelines
+//!
+//! Wires the frontend, the Miniphase pipeline and the backend into the
+//! paper's three experimental configurations:
+//!
+//! * **Fused** (Miniphase): groups of phases share one traversal;
+//! * **Mega** (Megaphase): every phase runs its own traversal — the paper's
+//!   baseline;
+//! * **Legacy**: Megaphase plus scalac-era tree plumbing (no same-fields
+//!   node reuse in the copier) — the Fig 9 comparator stand-in.
+//!
+//! # Examples
+//!
+//! ```
+//! use mini_driver::{compile_and_run, CompilerOptions};
+//! let (value, out) = compile_and_run(
+//!     "def main(): Unit = println(6 * 7)",
+//!     &CompilerOptions::fused(),
+//! ).expect("compiles and runs");
+//! assert_eq!(out, vec!["42"]);
+//! # let _ = value;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+
+use mini_backend::{generate, Program, Value, Vm};
+use mini_ir::{Ctx, TreeRef};
+use miniphase::{
+    build_plan, CompilationUnit, FusionOptions, MiniPhase, PhasePlan, Pipeline, PlanOptions,
+};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The pipeline configuration under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Miniphases fused per plan group (the paper's contribution).
+    Fused,
+    /// One traversal per phase (the paper's baseline).
+    Mega,
+    /// Megaphase + always-copying copiers (scalac stand-in for Fig 9).
+    Legacy,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Fused => write!(f, "mini"),
+            Mode::Mega => write!(f, "mega"),
+            Mode::Legacy => write!(f, "legacy"),
+        }
+    }
+}
+
+/// Options for one compiler run.
+#[derive(Clone, Copy, Debug)]
+pub struct CompilerOptions {
+    /// Pipeline configuration.
+    pub mode: Mode,
+    /// Enable the dynamic tree checker between groups (§6.3; ≈1.5×).
+    pub check: bool,
+    /// Fusion tunables (ablations).
+    pub fusion: FusionOptions,
+    /// Optional cap on fusion-group size (granularity ablation).
+    pub max_group_size: Option<usize>,
+}
+
+impl CompilerOptions {
+    /// The standard fused configuration.
+    pub fn fused() -> CompilerOptions {
+        CompilerOptions {
+            mode: Mode::Fused,
+            check: false,
+            fusion: FusionOptions::default(),
+            max_group_size: None,
+        }
+    }
+
+    /// The Megaphase baseline.
+    pub fn mega() -> CompilerOptions {
+        CompilerOptions {
+            mode: Mode::Mega,
+            ..CompilerOptions::fused()
+        }
+    }
+
+    /// The scalac-era stand-in.
+    pub fn legacy() -> CompilerOptions {
+        CompilerOptions {
+            mode: Mode::Legacy,
+            ..CompilerOptions::fused()
+        }
+    }
+
+    fn plan_options(&self) -> PlanOptions {
+        PlanOptions {
+            fuse: self.mode == Mode::Fused,
+            max_group_size: self.max_group_size,
+        }
+    }
+}
+
+/// Wall-clock time per compiler stage (Fig 4 / Fig 9 rows).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// Parser + namer + typer.
+    pub frontend: Duration,
+    /// The tree-transformation pipeline.
+    pub transforms: Duration,
+    /// Code generation.
+    pub backend: Duration,
+}
+
+impl StageTimes {
+    /// Total of all stages.
+    pub fn total(&self) -> Duration {
+        self.frontend + self.transforms + self.backend
+    }
+}
+
+/// The result of compiling a batch of sources.
+pub struct Compiled {
+    /// The executable program.
+    pub program: Program,
+    /// The compilation context (symbol table, allocation stats).
+    pub ctx: Ctx,
+    /// Stage timings.
+    pub times: StageTimes,
+    /// Executor counters (node visits, traversals, ...).
+    pub exec: miniphase::ExecStats,
+    /// Tree-checker findings (only populated with `check`).
+    pub check_failures: Vec<miniphase::CheckFailure>,
+    /// Number of fusion groups the plan produced.
+    pub groups: usize,
+    /// Lowered unit trees (for inspection).
+    pub units: Vec<CompilationUnit>,
+}
+
+/// A compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexical or syntax error.
+    Parse(mini_front::ParseError),
+    /// One or more type/transform errors (see the diagnostics).
+    Diagnostics(Vec<mini_ir::Diagnostic>),
+    /// Invalid phase constraints.
+    Plan(miniphase::PlanError),
+    /// The lowered trees violated the backend contract.
+    Codegen(mini_backend::CodegenError),
+    /// The dynamic tree checker found invariant violations.
+    Check(Vec<miniphase::CheckFailure>),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Diagnostics(ds) => {
+                for d in ds {
+                    writeln!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            CompileError::Plan(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "{e}"),
+            CompileError::Check(cs) => {
+                for c in cs {
+                    writeln!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Builds the standard plan for the given options (exposed for the figures
+/// binary's Table 2 listing).
+///
+/// # Errors
+///
+/// Returns [`CompileError::Plan`] when phase constraints are invalid (never
+/// for the shipped pipeline).
+pub fn standard_plan(
+    opts: &CompilerOptions,
+) -> Result<(Vec<Box<dyn MiniPhase>>, PhasePlan), CompileError> {
+    let phases = mini_phases::standard_pipeline();
+    let plan = build_plan(&phases, &opts.plan_options()).map_err(CompileError::Plan)?;
+    Ok((phases, plan))
+}
+
+/// Compiles a batch of named sources through the full pipeline.
+///
+/// # Errors
+///
+/// Any stage can fail: parsing, type checking, planning, dynamic checking
+/// (when enabled) or code generation.
+pub fn compile_sources(
+    sources: &[(&str, &str)],
+    opts: &CompilerOptions,
+) -> Result<Compiled, CompileError> {
+    let mut ctx = Ctx::new();
+    if opts.mode == Mode::Legacy {
+        ctx.options.copier_reuse = false;
+    }
+
+    // Frontend.
+    let fe_start = Instant::now();
+    let mut units = Vec::with_capacity(sources.len());
+    for (name, src) in sources {
+        let typed =
+            mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
+        units.push(CompilationUnit::new(typed.name, typed.tree));
+    }
+    let frontend = fe_start.elapsed();
+    if ctx.has_errors() {
+        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+    }
+
+    // Transformation pipeline.
+    let (phases, plan) = standard_plan(opts)?;
+    let groups = plan.group_count();
+    let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
+    pipeline.check = opts.check;
+    let tr_start = Instant::now();
+    let units = pipeline.run_units(&mut ctx, units);
+    let transforms = tr_start.elapsed();
+    if ctx.has_errors() {
+        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+    }
+    if opts.check && !pipeline.failures.is_empty() {
+        return Err(CompileError::Check(std::mem::take(&mut pipeline.failures)));
+    }
+
+    // Backend.
+    let be_start = Instant::now();
+    let trees: Vec<TreeRef> = units.iter().map(|u| u.tree.clone()).collect();
+    let program = generate(&ctx, &trees).map_err(CompileError::Codegen)?;
+    let backend = be_start.elapsed();
+
+    Ok(Compiled {
+        program,
+        ctx,
+        times: StageTimes {
+            frontend,
+            transforms,
+            backend,
+        },
+        exec: pipeline.stats,
+        check_failures: Vec::new(),
+        groups,
+        units,
+    })
+}
+
+/// Compiles a single anonymous source.
+///
+/// # Errors
+///
+/// See [`compile_sources`].
+pub fn compile(src: &str, opts: &CompilerOptions) -> Result<Compiled, CompileError> {
+    compile_sources(&[("main.ms", src)], opts)
+}
+
+/// Compiles and executes `main`, returning the result value and the
+/// captured `println` output.
+///
+/// # Errors
+///
+/// Compilation errors as in [`compile_sources`]; runtime failures are
+/// reported as a codegen-style diagnostic.
+pub fn compile_and_run(
+    src: &str,
+    opts: &CompilerOptions,
+) -> Result<(Value, Vec<String>), CompileError> {
+    let compiled = compile(src, opts)?;
+    let mut vm = Vm::new(&compiled.program);
+    match vm.run_main() {
+        Ok(v) => Ok((v, vm.out)),
+        Err(e) => Err(CompileError::Codegen(mini_backend::CodegenError {
+            msg: format!("runtime failure: {e}"),
+        })),
+    }
+}

@@ -1,0 +1,340 @@
+//! Measured pipeline runs: wall-clock stage times plus the simulated GC and
+//! cache-hierarchy measurements that regenerate the paper's Figs 4–9.
+//!
+//! A measured run executes the *real* pipeline over the *real* corpus; the
+//! simulators passively consume the allocation/death stream
+//! ([`mini_ir::trace::HeapSink`]) and the memory-access stream
+//! ([`mini_ir::AccessSink`]) that the traversals produce. Only the
+//! transformation pipeline is instrumented, matching the paper's isolation
+//! of the middle phases from the front end and code generator (§5.3).
+
+use crate::{standard_plan, CompileError, CompilerOptions, StageTimes};
+use cache_sim::{CacheConfig, Counters, CycleModel, Hierarchy, Kind};
+use gc_sim::{GcConfig, GcSim, GcStats};
+use mini_ir::{trace, AccessSink, AllocStats, Ctx, NodeId};
+use miniphase::{CompilationUnit, ExecStats, Pipeline};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Cost weights of the abstract instruction model. One transform call is an
+/// order of magnitude more work than the traversal bookkeeping for a node —
+/// the paper's design target is "no more than 20% of the time traversing the
+/// tree" (§3).
+#[derive(Clone, Copy, Debug)]
+pub struct InstructionModel {
+    /// Instructions per node visit (traversal bookkeeping, copier checks).
+    pub per_visit: u64,
+    /// Instructions per kind-specific transform invocation.
+    pub per_transform: u64,
+    /// Instructions per prepare invocation.
+    pub per_prepare: u64,
+    /// Instructions per node allocation (copier rebuild).
+    pub per_alloc: u64,
+}
+
+impl Default for InstructionModel {
+    fn default() -> InstructionModel {
+        InstructionModel {
+            per_visit: 6,
+            per_transform: 170,
+            per_prepare: 40,
+            per_alloc: 50,
+        }
+    }
+}
+
+impl InstructionModel {
+    /// Instruction estimate for an execution-counter snapshot.
+    pub fn instructions(&self, exec: &ExecStats, alloc: &AllocStats) -> u64 {
+        exec.node_visits * self.per_visit
+            + exec.member_transforms * self.per_transform
+            + exec.prepare_calls * self.per_prepare
+            + alloc.nodes * self.per_alloc
+    }
+}
+
+/// Everything measured for one pipeline configuration over one corpus.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The configuration measured.
+    pub opts: CompilerOptions,
+    /// Wall-clock stage times.
+    pub times: StageTimes,
+    /// Executor counters (transform pipeline only).
+    pub exec: ExecStats,
+    /// Node allocations during the transform pipeline only.
+    pub alloc: AllocStats,
+    /// Generational-GC replay results (Figs 5–6).
+    pub gc: GcStats,
+    /// Cache-hierarchy counters (Fig 8).
+    pub cache: Counters,
+    /// Modelled instruction count (Fig 7).
+    pub instructions: u64,
+    /// Modelled cycles (Fig 7).
+    pub cycles: u64,
+    /// Modelled stalled cycles (Fig 7).
+    pub stalled_cycles: u64,
+    /// Number of fusion groups (traversals per unit).
+    pub groups: usize,
+    /// Corpus size in lines, for throughput numbers.
+    pub corpus_loc: usize,
+}
+
+impl Measurement {
+    /// Nanoseconds of transform time per node visit (§3's target table).
+    pub fn ns_per_visit(&self) -> f64 {
+        if self.exec.node_visits == 0 {
+            return 0.0;
+        }
+        self.times.transforms.as_nanos() as f64 / self.exec.node_visits as f64
+    }
+
+    /// Source lines processed per second of transform time (§3).
+    pub fn loc_per_second(&self) -> f64 {
+        let s = self.times.transforms.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.corpus_loc as f64 / s
+    }
+}
+
+struct GcHook {
+    sim: Rc<RefCell<GcSim>>,
+}
+
+impl trace::HeapSink for GcHook {
+    fn alloc(&mut self, id: NodeId, bytes: u32) {
+        self.sim.borrow_mut().alloc(id.0, bytes);
+    }
+    fn free(&mut self, id: NodeId, _bytes: u32) {
+        self.sim.borrow_mut().free(id.0);
+    }
+}
+
+struct CacheHook {
+    h: Rc<RefCell<Hierarchy>>,
+}
+
+impl AccessSink for CacheHook {
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.h.borrow_mut().access(addr, bytes, Kind::Read);
+    }
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.h.borrow_mut().access(addr, bytes, Kind::Write);
+    }
+    fn exec(&mut self, addr: u64, bytes: u32) {
+        self.h.borrow_mut().access(addr, bytes, Kind::Exec);
+    }
+}
+
+/// What to instrument in a measured run. The simulators add overhead, so
+/// timing-focused runs disable them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Instrumentation {
+    /// Replay allocations/deaths through the generational-GC simulator.
+    pub gc: bool,
+    /// Replay memory accesses through the cache-hierarchy simulator.
+    pub cache: bool,
+    /// Generational parameters; `None` uses [`GcConfig::default`]. Small
+    /// corpora need a small nursery for the generational effects to appear,
+    /// just as the paper's effects need allocation volume ≫ young gen.
+    pub gc_config: Option<GcConfig>,
+    /// Cache geometry; `None` uses [`CacheConfig::scaled_to_corpus`] (see
+    /// its docs for the scaling argument).
+    pub cache_config: Option<CacheConfig>,
+}
+
+impl Instrumentation {
+    /// Enable everything (for the figures binary).
+    pub fn full() -> Instrumentation {
+        Instrumentation {
+            gc: true,
+            cache: true,
+            gc_config: None,
+            cache_config: None,
+        }
+    }
+}
+
+/// Compiles `sources` under `opts`, instrumenting the transform pipeline.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::compile_sources`].
+pub fn measure(
+    sources: &[(&str, &str)],
+    opts: &CompilerOptions,
+    instr: Instrumentation,
+) -> Result<Measurement, CompileError> {
+    let mut ctx = Ctx::new();
+    if opts.mode == crate::Mode::Legacy {
+        ctx.options.copier_reuse = false;
+    }
+
+    // Frontend (not instrumented).
+    let fe_start = Instant::now();
+    let mut units = Vec::with_capacity(sources.len());
+    let mut corpus_loc = 0usize;
+    for (name, src) in sources {
+        corpus_loc += src.lines().count();
+        let typed =
+            mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
+        units.push(CompilationUnit::new(typed.name, typed.tree));
+    }
+    let frontend = fe_start.elapsed();
+    if ctx.has_errors() {
+        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+    }
+
+    // Instrumented transform pipeline.
+    let (phases, plan) = standard_plan(opts)?;
+    let groups = plan.group_count();
+    let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
+    pipeline.check = opts.check;
+
+    let gc = Rc::new(RefCell::new(GcSim::new(
+        instr.gc_config.unwrap_or_default(),
+    )));
+    let cache = Rc::new(RefCell::new(Hierarchy::new(
+        instr.cache_config
+            .unwrap_or_else(CacheConfig::scaled_to_corpus),
+    )));
+    if instr.gc {
+        trace::install_heap_sink(Box::new(GcHook {
+            sim: Rc::clone(&gc),
+        }));
+    }
+    if instr.cache {
+        ctx.access = Some(Box::new(CacheHook {
+            h: Rc::clone(&cache),
+        }));
+    }
+    let alloc_before = ctx.stats;
+
+    let tr_start = Instant::now();
+    let units = pipeline.run_units(&mut ctx, units);
+    let transforms = tr_start.elapsed();
+
+    if instr.gc {
+        let _ = trace::take_heap_sink();
+    }
+    ctx.access = None;
+    let alloc = AllocStats {
+        nodes: ctx.stats.nodes - alloc_before.nodes,
+        bytes: ctx.stats.bytes - alloc_before.bytes,
+    };
+    if ctx.has_errors() {
+        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+    }
+    if opts.check && !pipeline.failures.is_empty() {
+        return Err(CompileError::Check(std::mem::take(&mut pipeline.failures)));
+    }
+
+    // Backend (not instrumented).
+    let be_start = Instant::now();
+    let trees: Vec<mini_ir::TreeRef> = units.iter().map(|u| u.tree.clone()).collect();
+    let _program = mini_backend::generate(&ctx, &trees).map_err(CompileError::Codegen)?;
+    let backend = be_start.elapsed();
+
+    let exec = pipeline.stats;
+    let imodel = InstructionModel::default();
+    let instructions = imodel.instructions(&exec, &alloc);
+    let counters = cache.borrow().counters();
+    let cmodel = CycleModel::default();
+    let gc_stats = gc.borrow().stats();
+    drop(units);
+
+    Ok(Measurement {
+        opts: *opts,
+        times: StageTimes {
+            frontend,
+            transforms,
+            backend,
+        },
+        exec,
+        alloc,
+        gc: gc_stats,
+        cache: counters,
+        instructions,
+        cycles: cmodel.cycles(instructions, &counters),
+        stalled_cycles: cmodel.stalled_cycles(instructions, &counters),
+        groups,
+        corpus_loc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{generate, WorkloadConfig};
+
+    fn small_sources() -> workload::Workload {
+        generate(&WorkloadConfig {
+            target_loc: 1200,
+            seed: 11,
+            unit_loc: 300,
+        })
+    }
+
+    #[test]
+    fn fused_beats_mega_on_gc_and_cache_shape() {
+        let w = small_sources();
+        let instr = Instrumentation {
+            gc_config: Some(GcConfig {
+                nursery_bytes: 64 << 10,
+                tenure_age: 1,
+            }),
+            ..Instrumentation::full()
+        };
+        let fused =
+            measure(&w.sources(), &CompilerOptions::fused(), instr).expect("fused measures");
+        let mega =
+            measure(&w.sources(), &CompilerOptions::mega(), instr).expect("mega measures");
+
+        // Fig 6 shape: megaphase tenures substantially more.
+        assert!(
+            mega.gc.tenured_bytes > fused.gc.tenured_bytes,
+            "tenured: mega={} fused={}",
+            mega.gc.tenured_bytes,
+            fused.gc.tenured_bytes
+        );
+        // Fig 5 shape: megaphase allocates at least as much.
+        assert!(mega.alloc.bytes >= fused.alloc.bytes);
+        // Fig 8c shape: fused touches DRAM less.
+        assert!(
+            mega.cache.llc_misses > fused.cache.llc_misses,
+            "llc misses: mega={} fused={}",
+            mega.cache.llc_misses,
+            fused.cache.llc_misses
+        );
+        // Fig 7 shape: cycles drop by more than instructions.
+        let instr_ratio = fused.instructions as f64 / mega.instructions as f64;
+        let cycle_ratio = fused.cycles as f64 / mega.cycles as f64;
+        assert!(
+            cycle_ratio < instr_ratio,
+            "cycles should improve more than instructions: {cycle_ratio} vs {instr_ratio}"
+        );
+        assert_eq!(fused.groups, 6);
+        assert_eq!(mega.groups, 22);
+    }
+
+    #[test]
+    fn uninstrumented_runs_report_zero_sim_counters() {
+        let w = small_sources();
+        let m = measure(
+            &w.sources(),
+            &CompilerOptions::fused(),
+            Instrumentation::default(),
+        )
+        .expect("measures");
+        assert_eq!(m.gc.allocated_objects, 0);
+        assert_eq!(m.cache.l1d_loads, 0);
+        assert!(m.exec.node_visits > 0);
+        assert!(m.alloc.nodes > 0);
+        assert!(m.instructions > 0);
+        assert!(m.ns_per_visit() >= 0.0);
+        assert!(m.loc_per_second() > 0.0);
+    }
+}

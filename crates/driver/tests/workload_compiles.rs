@@ -1,0 +1,22 @@
+//! The generated corpus must compile cleanly through every pipeline mode.
+use mini_driver::{compile_sources, CompilerOptions};
+use workload::{generate, WorkloadConfig};
+
+#[test]
+fn small_corpus_compiles_in_all_modes() {
+    let w = generate(&WorkloadConfig::small());
+    for opts in [CompilerOptions::fused(), CompilerOptions::mega(), CompilerOptions::legacy()] {
+        let c = compile_sources(&w.sources(), &opts)
+            .unwrap_or_else(|e| panic!("mode {:?} failed:\n{e}", opts.mode));
+        assert!(c.program.entry.is_some());
+    }
+}
+
+#[test]
+fn small_corpus_passes_the_tree_checker() {
+    let w = generate(&WorkloadConfig::small());
+    let mut opts = CompilerOptions::fused();
+    opts.check = true;
+    compile_sources(&w.sources(), &opts)
+        .unwrap_or_else(|e| panic!("checker failures:\n{e}"));
+}

@@ -1,0 +1,278 @@
+//! The surface (untyped) abstract syntax produced by the parser.
+//!
+//! The frontend keeps its own small AST: the pipeline IR ([`mini_ir::Tree`])
+//! carries resolved symbols and types, which do not exist until the
+//! namer/typer has run. `FrontEnd` (parser + namer + typer) converts this
+//! surface AST into typed IR trees in one step, exactly like the paper's
+//! front-end "parses and type-checks source code, and generates trees
+//! annotated with type information".
+
+use mini_ir::{Constant, Name, Span};
+
+/// A syntactic type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SType {
+    /// A (possibly generic) named type `C[T1, ..., Tn]`.
+    Named {
+        /// The type name.
+        name: Name,
+        /// Type arguments.
+        targs: Vec<SType>,
+        /// Location.
+        span: Span,
+    },
+    /// A function type `(T1, ..., Tn) => R`.
+    Func {
+        /// Parameter types.
+        params: Vec<SType>,
+        /// Result type.
+        ret: Box<SType>,
+    },
+    /// A by-name parameter type `=> T`.
+    ByName(Box<SType>),
+    /// A repeated parameter type `T*`.
+    Repeated(Box<SType>),
+}
+
+impl SType {
+    /// The location of the type expression (synthetic for composites).
+    pub fn span(&self) -> Span {
+        match self {
+            SType::Named { span, .. } => *span,
+            SType::Func { ret, .. } => ret.span(),
+            SType::ByName(t) | SType::Repeated(t) => t.span(),
+        }
+    }
+}
+
+/// A value parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SParam {
+    /// Parameter name.
+    pub name: Name,
+    /// Declared type (possibly by-name or repeated).
+    pub tpe: SType,
+    /// Location.
+    pub span: Span,
+}
+
+/// A pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SPat {
+    /// `_` or `_: T`.
+    Wild {
+        /// Optional type-pattern ascription.
+        tpe: Option<SType>,
+        /// Location.
+        span: Span,
+    },
+    /// A binder `x` or typed binder `x: T`.
+    Var {
+        /// The bound name.
+        name: Name,
+        /// Optional type-pattern ascription.
+        tpe: Option<SType>,
+        /// Location.
+        span: Span,
+    },
+    /// A literal pattern.
+    Lit {
+        /// The constant to compare against.
+        value: Constant,
+        /// Location.
+        span: Span,
+    },
+    /// A bind `x @ pat`.
+    Bind {
+        /// The bound name.
+        name: Name,
+        /// The inner pattern.
+        pat: Box<SPat>,
+        /// Location.
+        span: Span,
+    },
+    /// Alternatives `p1 | p2 | ...`.
+    Alt {
+        /// The alternative patterns.
+        pats: Vec<SPat>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl SPat {
+    /// The pattern's location.
+    pub fn span(&self) -> Span {
+        match self {
+            SPat::Wild { span, .. }
+            | SPat::Var { span, .. }
+            | SPat::Lit { span, .. }
+            | SPat::Bind { span, .. }
+            | SPat::Alt { span, .. } => *span,
+        }
+    }
+}
+
+/// One `case pat [if guard] => body` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SCase {
+    /// The pattern.
+    pub pat: SPat,
+    /// The optional guard.
+    pub guard: Option<SExpr>,
+    /// The case body.
+    pub body: SExpr,
+    /// Location.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    /// A literal.
+    Lit(Constant, Span),
+    /// An identifier.
+    Ident(Name, Span),
+    /// `qual.name`.
+    Select(Box<SExpr>, Name, Span),
+    /// `fun(args)`.
+    Apply(Box<SExpr>, Vec<SExpr>, Span),
+    /// `fun[targs]`.
+    TypeApply(Box<SExpr>, Vec<SType>, Span),
+    /// `new C[T](args)`.
+    New(SType, Vec<SExpr>, Span),
+    /// `lhs = rhs`.
+    Assign(Box<SExpr>, Box<SExpr>, Span),
+    /// `{ stats }`.
+    Block(Vec<SStat>, Span),
+    /// `if (c) t else e`.
+    If(Box<SExpr>, Box<SExpr>, Option<Box<SExpr>>, Span),
+    /// `while (c) body`.
+    While(Box<SExpr>, Box<SExpr>, Span),
+    /// `sel match { cases }`.
+    Match(Box<SExpr>, Vec<SCase>, Span),
+    /// `try e catch { cases } finally f`.
+    Try(Box<SExpr>, Vec<SCase>, Option<Box<SExpr>>, Span),
+    /// `throw e`.
+    Throw(Box<SExpr>, Span),
+    /// `return [e]`.
+    Return(Option<Box<SExpr>>, Span),
+    /// `(p1: T1, ...) => body`.
+    Lambda(Vec<SParam>, Box<SExpr>, Span),
+    /// `this`.
+    This(Span),
+    /// `super` (only as a selection qualifier).
+    Super(Span),
+    /// A unary operator application.
+    Unary(Name, Box<SExpr>, Span),
+    /// A binary operator application.
+    Binary(Name, Box<SExpr>, Box<SExpr>, Span),
+}
+
+impl SExpr {
+    /// The expression's location.
+    pub fn span(&self) -> Span {
+        match self {
+            SExpr::Lit(_, s)
+            | SExpr::Ident(_, s)
+            | SExpr::Select(_, _, s)
+            | SExpr::Apply(_, _, s)
+            | SExpr::TypeApply(_, _, s)
+            | SExpr::New(_, _, s)
+            | SExpr::Assign(_, _, s)
+            | SExpr::Block(_, s)
+            | SExpr::If(_, _, _, s)
+            | SExpr::While(_, _, s)
+            | SExpr::Match(_, _, s)
+            | SExpr::Try(_, _, _, s)
+            | SExpr::Throw(_, s)
+            | SExpr::Return(_, s)
+            | SExpr::Lambda(_, _, s)
+            | SExpr::This(s)
+            | SExpr::Super(s)
+            | SExpr::Unary(_, _, s)
+            | SExpr::Binary(_, _, _, s) => *s,
+        }
+    }
+}
+
+/// A `val`/`var` definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SVal {
+    /// Defined name.
+    pub name: Name,
+    /// Optional declared type.
+    pub tpe: Option<SType>,
+    /// The initializer.
+    pub rhs: SExpr,
+    /// `var`?
+    pub mutable: bool,
+    /// `lazy val`?
+    pub lazy_: bool,
+    /// `private`?
+    pub private: bool,
+    /// Location.
+    pub span: Span,
+}
+
+/// A method definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SDef {
+    /// Defined name.
+    pub name: Name,
+    /// Type parameters.
+    pub tparams: Vec<Name>,
+    /// Parameter lists (possibly none for parameterless `def f = e`).
+    pub paramss: Vec<Vec<SParam>>,
+    /// Declared result type (required unless abstract).
+    pub ret: Option<SType>,
+    /// Body; `None` for abstract members.
+    pub body: Option<SExpr>,
+    /// `private`?
+    pub private: bool,
+    /// `override`?
+    pub override_: bool,
+    /// Location.
+    pub span: Span,
+}
+
+/// A class or trait definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SClass {
+    /// Defined name.
+    pub name: Name,
+    /// Is this a trait?
+    pub is_trait: bool,
+    /// Type parameters.
+    pub tparams: Vec<Name>,
+    /// Constructor parameters (empty for traits).
+    pub params: Vec<SParam>,
+    /// Parent types (superclass/traits).
+    pub parents: Vec<SType>,
+    /// Template body.
+    pub body: Vec<SStat>,
+    /// Location.
+    pub span: Span,
+}
+
+/// A statement (in blocks, template bodies, or at top level).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SStat {
+    /// A value definition.
+    Val(SVal),
+    /// A method definition.
+    Def(SDef),
+    /// A class definition.
+    Class(SClass),
+    /// A bare expression.
+    Expr(SExpr),
+}
+
+/// One parsed source file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SUnit {
+    /// File name for diagnostics.
+    pub name: String,
+    /// Top-level statements.
+    pub stats: Vec<SStat>,
+}

@@ -1,0 +1,483 @@
+//! The MiniScala lexer.
+
+use mini_ir::{Name, Span};
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier or keyword-free name.
+    Ident,
+    /// An integer literal.
+    Int,
+    /// A string literal.
+    Str,
+    // Keywords.
+    /// `class`
+    KwClass,
+    /// `trait`
+    KwTrait,
+    /// `def`
+    KwDef,
+    /// `val`
+    KwVal,
+    /// `var`
+    KwVar,
+    /// `lazy`
+    KwLazy,
+    /// `new`
+    KwNew,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `match`
+    KwMatch,
+    /// `case`
+    KwCase,
+    /// `try`
+    KwTry,
+    /// `catch`
+    KwCatch,
+    /// `finally`
+    KwFinally,
+    /// `throw`
+    KwThrow,
+    /// `return`
+    KwReturn,
+    /// `this`
+    KwThis,
+    /// `super`
+    KwSuper,
+    /// `extends`
+    KwExtends,
+    /// `with`
+    KwWith,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `null`
+    KwNull,
+    /// `private`
+    KwPrivate,
+    /// `override`
+    KwOverride,
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `=>`
+    Arrow,
+    /// `@`
+    At,
+    /// `_`
+    Underscore,
+    /// `*` used as repeated-parameter marker or multiply.
+    Star,
+    /// An operator (`+ - / % == != < > <= >= && || ! |`).
+    Op,
+    /// End of input.
+    Eof,
+}
+
+/// One lexed token.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// The kind.
+    pub tok: Tok,
+    /// Source range.
+    pub span: Span,
+    /// Identifier/operator/literal text, when applicable.
+    pub name: Option<Name>,
+    /// Integer value for `Int` tokens.
+    pub int_val: i64,
+    /// Whether a newline appeared between the previous token and this one
+    /// (drives statement separation).
+    pub newline_before: bool,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug)]
+pub struct LexError {
+    /// Where.
+    pub span: Span,
+    /// What.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "class" => Tok::KwClass,
+        "trait" => Tok::KwTrait,
+        "def" => Tok::KwDef,
+        "val" => Tok::KwVal,
+        "var" => Tok::KwVar,
+        "lazy" => Tok::KwLazy,
+        "new" => Tok::KwNew,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "match" => Tok::KwMatch,
+        "case" => Tok::KwCase,
+        "try" => Tok::KwTry,
+        "catch" => Tok::KwCatch,
+        "finally" => Tok::KwFinally,
+        "throw" => Tok::KwThrow,
+        "return" => Tok::KwReturn,
+        "this" => Tok::KwThis,
+        "super" => Tok::KwSuper,
+        "extends" => Tok::KwExtends,
+        "with" => Tok::KwWith,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        "null" => Tok::KwNull,
+        "private" => Tok::KwPrivate,
+        "override" => Tok::KwOverride,
+        _ => return None,
+    })
+}
+
+/// Lexes `src` into tokens (terminated by a single `Eof` token).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut newline = false;
+    macro_rules! push {
+        ($tok:expr, $start:expr, $end:expr, $name:expr, $int:expr) => {{
+            toks.push(Token {
+                tok: $tok,
+                span: Span::new($start as u32, $end as u32),
+                name: $name,
+                int_val: $int,
+                newline_before: newline,
+            });
+            newline = false;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                newline = true;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            span: Span::new(start as u32, i as u32),
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        newline = true;
+                    }
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                match keyword(text) {
+                    Some(kw) => push!(kw, start, i, None, 0),
+                    None => push!(Tok::Ident, start, i, Some(Name::intern(text)), 0),
+                }
+            }
+            '_' => {
+                // `_` alone is a wildcard; `_foo` is an identifier.
+                if i + 1 < bytes.len()
+                    && (bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == b'_')
+                {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    push!(Tok::Ident, start, i, Some(Name::intern(&src[start..i])), 0);
+                } else {
+                    push!(Tok::Underscore, i, i + 1, None, 0);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    span: Span::new(start as u32, i as u32),
+                    msg: format!("integer literal `{text}` out of range"),
+                })?;
+                push!(Tok::Int, start, i, None, v);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut out = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            span: Span::new(start as u32, i as u32),
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1] as char;
+                            out.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        b => {
+                            out.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str, start, i, Some(Name::intern(&out)), 0);
+            }
+            '(' => {
+                push!(Tok::LParen, i, i + 1, None, 0);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, i, i + 1, None, 0);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, i, i + 1, None, 0);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, i, i + 1, None, 0);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, i, i + 1, None, 0);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, i, i + 1, None, 0);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, i, i + 1, None, 0);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, i, i + 1, None, 0);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot, i, i + 1, None, 0);
+                i += 1;
+            }
+            '@' => {
+                push!(Tok::At, i, i + 1, None, 0);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, i, i + 1, None, 0);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star, i, i + 1, Some(Name::intern("*")), 0);
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Arrow, i, i + 2, None, 0);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Op, i, i + 2, Some(Name::intern("==")), 0);
+                    i += 2;
+                } else {
+                    push!(Tok::Eq, i, i + 1, None, 0);
+                    i += 1;
+                }
+            }
+            '!' | '<' | '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    let text = &src[i..i + 2];
+                    push!(Tok::Op, i, i + 2, Some(Name::intern(text)), 0);
+                    i += 2;
+                } else {
+                    let text = &src[i..i + 1];
+                    push!(Tok::Op, i, i + 1, Some(Name::intern(text)), 0);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    push!(Tok::Op, i, i + 2, Some(Name::intern("&&")), 0);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        span: Span::new(i as u32, i as u32 + 1),
+                        msg: "single `&` is not an operator".into(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    push!(Tok::Op, i, i + 2, Some(Name::intern("||")), 0);
+                    i += 2;
+                } else {
+                    push!(Tok::Op, i, i + 1, Some(Name::intern("|")), 0);
+                    i += 1;
+                }
+            }
+            '+' | '-' | '/' | '%' => {
+                let text = &src[i..i + 1];
+                push!(Tok::Op, i, i + 1, Some(Name::intern(text)), 0);
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    span: Span::new(i as u32, i as u32 + 1),
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len() as u32, src.len() as u32),
+        name: None,
+        int_val: 0,
+        newline_before: newline,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("class Foo extends Bar"),
+            vec![Tok::KwClass, Tok::Ident, Tok::KwExtends, Tok::Ident, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_arrows() {
+        let ts = lex("a == b => c != d <= e && f || !g").unwrap();
+        let ops: Vec<&str> = ts
+            .iter()
+            .filter(|t| t.tok == Tok::Op)
+            .map(|t| t.name.unwrap().as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "<=", "&&", "||", "!"]);
+        assert!(ts.iter().any(|t| t.tok == Tok::Arrow));
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let ts = lex("42 \"hi\\n\" true false null").unwrap();
+        assert_eq!(ts[0].tok, Tok::Int);
+        assert_eq!(ts[0].int_val, 42);
+        assert_eq!(ts[1].tok, Tok::Str);
+        assert_eq!(ts[1].name.unwrap().as_str(), "hi\n");
+        assert_eq!(ts[2].tok, Tok::KwTrue);
+        assert_eq!(ts[3].tok, Tok::KwFalse);
+        assert_eq!(ts[4].tok, Tok::KwNull);
+    }
+
+    #[test]
+    fn tracks_newlines_and_comments() {
+        let ts = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        let names: Vec<(&str, bool)> = ts
+            .iter()
+            .filter(|t| t.tok == Tok::Ident)
+            .map(|t| (t.name.unwrap().as_str(), t.newline_before))
+            .collect();
+        assert_eq!(names, vec![("a", false), ("b", true), ("c", true)]);
+    }
+
+    #[test]
+    fn wildcard_vs_identifier() {
+        let ts = lex("_ _x x_").unwrap();
+        assert_eq!(ts[0].tok, Tok::Underscore);
+        assert_eq!(ts[1].tok, Tok::Ident);
+        assert_eq!(ts[1].name.unwrap().as_str(), "_x");
+        assert_eq!(ts[2].tok, Tok::Ident);
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("/* oops").is_err());
+        assert!(lex("~").is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! # mini-front — the MiniScala frontend
+//!
+//! Lexer, parser, namer and typer for MiniScala, the Scala subset used to
+//! exercise the Miniphase framework. The frontend corresponds to the paper's
+//! `FrontEnd` phase: it "parses and type-checks source code, and generates
+//! trees annotated with type information" — the typed [`mini_ir::Tree`]s the
+//! transformation pipeline consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use mini_ir::Ctx;
+//! use mini_front::compile_source;
+//!
+//! let mut ctx = Ctx::new();
+//! let unit = compile_source(
+//!     &mut ctx,
+//!     "hello.ms",
+//!     "def main(): Unit = println(\"hello\")",
+//! )?;
+//! assert!(!ctx.has_errors());
+//! assert!(mini_ir::visit::count_nodes(&unit.tree) > 3);
+//! # Ok::<(), mini_front::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod typer;
+
+pub use lexer::{lex, LexError, Tok, Token};
+pub use parser::{parse, ParseError};
+pub use typer::{compile_source, type_unit, TypedUnit};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::{visit, Ctx, Flags, NodeKind, TreeKind, Type};
+
+    fn typed(src: &str) -> (Ctx, mini_ir::TreeRef) {
+        let mut ctx = Ctx::new();
+        let unit = compile_source(&mut ctx, "test.ms", src).expect("parses");
+        for e in &ctx.errors {
+            eprintln!("{e}");
+        }
+        assert!(!ctx.has_errors(), "type errors");
+        (ctx, unit.tree)
+    }
+
+    #[test]
+    fn types_hello_world() {
+        let (ctx, tree) = typed("def main(): Unit = println(\"hi\")");
+        assert_eq!(tree.node_kind(), NodeKind::PackageDef);
+        let mut found_apply = false;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if let TreeKind::Apply { fun, .. } = t.kind() {
+                if fun.ref_sym() == ctx.symbols.builtins().println_fn {
+                    found_apply = true;
+                    assert_eq!(*t.tpe(), Type::Unit);
+                }
+            }
+        });
+        assert!(found_apply);
+    }
+
+    #[test]
+    fn types_the_papers_listing_1() {
+        let (ctx, tree) = typed(
+            r#"
+trait Interface {
+  def interfaceMethod: Int = 1
+  lazy val interfaceField: Int = 2
+}
+
+class Increment(by: Int) extends Interface {
+  def incOrZero(b: Any): Int = b match {
+    case b: Int => b + by
+    case _ => 0
+  }
+}
+
+def main(): Unit = println(new Increment(3).incOrZero(4))
+"#,
+        );
+        // The trait member is lazy.
+        let mut lazy_found = false;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if let TreeKind::ValDef { sym, .. } = t.kind() {
+                if ctx.symbols.sym(*sym).flags.is(Flags::LAZY) {
+                    lazy_found = true;
+                    assert_eq!(ctx.symbols.sym(*sym).name.as_str(), "interfaceField");
+                }
+            }
+        });
+        assert!(lazy_found);
+        // The match is typed Int.
+        visit::for_each_subtree(&tree, &mut |t| {
+            if t.node_kind() == NodeKind::Match {
+                assert_eq!(*t.tpe(), Type::Int);
+            }
+        });
+    }
+
+    #[test]
+    fn member_access_goes_through_this() {
+        let (_, tree) = typed(
+            "class C(x: Int) { def get(): Int = x }\ndef main(): Unit = ()",
+        );
+        let mut saw_this_select = false;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if let TreeKind::Select { qual, .. } = t.kind() {
+                if qual.node_kind() == NodeKind::This {
+                    saw_this_select = true;
+                }
+            }
+        });
+        assert!(saw_this_select, "field access resolved to this.x");
+    }
+
+    #[test]
+    fn generics_and_inference() {
+        let (_, tree) = typed(
+            r#"
+def identity[T](x: T): T = x
+def main(): Unit = {
+  val a: Int = identity[Int](1)
+  val b: Int = identity(2)
+  println(a + b)
+}
+"#,
+        );
+        let mut type_applies = 0;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if t.node_kind() == NodeKind::TypeApply {
+                type_applies += 1;
+            }
+        });
+        assert_eq!(type_applies, 2, "explicit and inferred type application");
+    }
+
+    #[test]
+    fn function_values_apply_via_select() {
+        let (_, tree) = typed(
+            r#"
+def main(): Unit = {
+  val f: (Int) => Int = (x: Int) => x + 1
+  println(f(41))
+}
+"#,
+        );
+        let mut apply_select = false;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if let TreeKind::Select { name, qual, .. } = t.kind() {
+                if name.as_str() == "apply" && qual.tpe().is_function() {
+                    apply_select = true;
+                }
+            }
+        });
+        assert!(apply_select, "function application desugars to .apply");
+    }
+
+    #[test]
+    fn varargs_byname_curried_accept() {
+        let (_, _tree) = typed(
+            r#"
+def sum(xs: Int*): Int = xs.length
+def lazyOr(a: Boolean, b: => Boolean): Boolean = if (a) true else b
+def curried(a: Int)(b: Int): Int = a + b
+def main(): Unit = {
+  println(sum(1, 2, 3))
+  println(sum())
+  println(lazyOr(true, false))
+  println(curried(1)(2))
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn arrays_and_while() {
+        let (_, _tree) = typed(
+            r#"
+def main(): Unit = {
+  val a: Array[Int] = new Array[Int](3)
+  var i: Int = 0
+  while (i < 3) {
+    a(i) = i * 2
+    i = i + 1
+  }
+  println(a(2) + a.length)
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let cases = [
+            "def main(): Unit = unknownName",
+            "def f(): Int = \"no\"\ndef main(): Unit = ()",
+            "def main(): Unit = { val x: Int = 1; x = 2 }",
+            "class C { def m(): Int = 1 }\ndef main(): Unit = new C().missing()",
+            "def main(): Unit = if (3) () else ()",
+            "trait T\ndef main(): Unit = { val x: AnyRef = new T() }",
+        ];
+        for src in cases {
+            let mut ctx = Ctx::new();
+            let r = compile_source(&mut ctx, "err.ms", src);
+            assert!(
+                r.is_err() || ctx.has_errors(),
+                "expected an error for: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_functions_and_closures() {
+        let (_, _tree) = typed(
+            r#"
+def outer(n: Int): Int = {
+  var acc: Int = 0
+  def add(k: Int): Unit = acc = acc + k
+  add(n)
+  add(n)
+  acc
+}
+def main(): Unit = println(outer(21))
+"#,
+        );
+    }
+
+    #[test]
+    fn try_catch_and_throw() {
+        let (_, tree) = typed(
+            r#"
+def risky(n: Int): Int = try {
+  if (n < 0) throw "negative"
+  n
+} catch {
+  case s: String => 0 - 1
+} finally println("done")
+def main(): Unit = println(risky(5))
+"#,
+        );
+        let mut try_seen = false;
+        visit::for_each_subtree(&tree, &mut |t| {
+            if t.node_kind() == NodeKind::Try {
+                try_seen = true;
+                assert_eq!(*t.tpe(), Type::Int);
+            }
+        });
+        assert!(try_seen);
+    }
+}

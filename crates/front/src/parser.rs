@@ -1,0 +1,929 @@
+//! The MiniScala recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use mini_ir::{Constant, Name, Span};
+use std::fmt;
+
+/// A syntax error.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Where.
+    pub span: Span,
+    /// What.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            span: e.span,
+            msg: e.msg,
+        }
+    }
+}
+
+/// Parses one source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error encountered.
+pub fn parse(name: &str, src: &str) -> Result<SUnit, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stats = p.stats_until(Tok::Eof)?;
+    Ok(SUnit {
+        name: name.to_owned(),
+        stats,
+    })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Token {
+        self.toks[self.pos]
+    }
+
+    fn peek_at(&self, n: usize) -> Token {
+        self.toks[(self.pos + n).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, tok: Tok) -> bool {
+        self.peek().tok == tok
+    }
+
+    fn eat(&mut self, tok: Tok) -> bool {
+        if self.at(tok) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Token, ParseError> {
+        if self.at(tok) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek().tok)))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError {
+            span: self.peek().span,
+            msg,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Name, ParseError> {
+        let t = self.expect(Tok::Ident, what)?;
+        Ok(t.name.expect("ident token has name"))
+    }
+
+    fn op_is(&self, text: &str) -> bool {
+        self.peek().tok == Tok::Op && self.peek().name.map(|n| n.as_str()) == Some(text)
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    /// Statement separator: `;` or a newline before the next token.
+    fn stat_sep(&mut self) {
+        while self.eat(Tok::Semi) {}
+    }
+
+    fn at_stat_end(&self, closer: Tok) -> bool {
+        self.at(closer) || self.at(Tok::Eof)
+    }
+
+    fn stats_until(&mut self, closer: Tok) -> Result<Vec<SStat>, ParseError> {
+        let mut out = Vec::new();
+        self.stat_sep();
+        while !self.at_stat_end(closer) {
+            out.push(self.stat()?);
+            let had_sep = self.at(Tok::Semi) || self.peek().newline_before;
+            self.stat_sep();
+            if !had_sep && !self.at_stat_end(closer) {
+                return Err(self.err("expected newline or `;` between statements".into()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn stat(&mut self) -> Result<SStat, ParseError> {
+        let mut private = false;
+        let mut override_ = false;
+        let mut lazy_ = false;
+        loop {
+            if self.at(Tok::KwPrivate) {
+                self.bump();
+                private = true;
+            } else if self.at(Tok::KwOverride) {
+                self.bump();
+                override_ = true;
+            } else if self.at(Tok::KwLazy) {
+                self.bump();
+                lazy_ = true;
+            } else {
+                break;
+            }
+        }
+        match self.peek().tok {
+            Tok::KwVal | Tok::KwVar => {
+                let mutable = self.peek().tok == Tok::KwVar;
+                let start = self.bump().span;
+                let name = self.ident("value name")?;
+                let tpe = if self.eat(Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Eq, "`=` in value definition")?;
+                let rhs = self.expr()?;
+                let span = start.union(rhs.span());
+                Ok(SStat::Val(SVal {
+                    name,
+                    tpe,
+                    rhs,
+                    mutable,
+                    lazy_,
+                    private,
+                    span,
+                }))
+            }
+            Tok::KwDef => {
+                let start = self.bump().span;
+                let name = self.def_name()?;
+                let tparams = self.opt_tparams()?;
+                let mut paramss = Vec::new();
+                while self.at(Tok::LParen) {
+                    paramss.push(self.param_clause()?);
+                }
+                let ret = if self.eat(Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                let body = if self.eat(Tok::Eq) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let span = start.union(self.toks[self.pos.saturating_sub(1)].span);
+                Ok(SStat::Def(SDef {
+                    name,
+                    tparams,
+                    paramss,
+                    ret,
+                    body,
+                    private,
+                    override_,
+                    span,
+                }))
+            }
+            Tok::KwClass | Tok::KwTrait => Ok(SStat::Class(self.class_def()?)),
+            _ => {
+                if private || override_ || lazy_ {
+                    return Err(self.err("modifier must precede a definition".into()));
+                }
+                Ok(SStat::Expr(self.expr()?))
+            }
+        }
+    }
+
+    fn def_name(&mut self) -> Result<Name, ParseError> {
+        // Allow operator method names like `==` for completeness.
+        if self.peek().tok == Tok::Op || self.peek().tok == Tok::Star {
+            let t = self.bump();
+            return Ok(t.name.expect("operator token has name"));
+        }
+        self.ident("method name")
+    }
+
+    fn opt_tparams(&mut self) -> Result<Vec<Name>, ParseError> {
+        let mut out = Vec::new();
+        if self.eat(Tok::LBracket) {
+            loop {
+                out.push(self.ident("type parameter")?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket, "`]`")?;
+        }
+        Ok(out)
+    }
+
+    fn param_clause(&mut self) -> Result<Vec<SParam>, ParseError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut out = Vec::new();
+        if !self.at(Tok::RParen) {
+            loop {
+                let start = self.peek().span;
+                let name = self.ident("parameter name")?;
+                self.expect(Tok::Colon, "`:` in parameter")?;
+                let by_name = self.eat(Tok::Arrow);
+                let mut tpe = self.type_expr()?;
+                if by_name {
+                    tpe = SType::ByName(Box::new(tpe));
+                }
+                if self.at(Tok::Star) {
+                    self.bump();
+                    tpe = SType::Repeated(Box::new(tpe));
+                }
+                out.push(SParam {
+                    name,
+                    tpe,
+                    span: start,
+                });
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(out)
+    }
+
+    fn class_def(&mut self) -> Result<SClass, ParseError> {
+        let is_trait = self.peek().tok == Tok::KwTrait;
+        let start = self.bump().span;
+        let name = self.ident("class name")?;
+        let tparams = self.opt_tparams()?;
+        let params = if self.at(Tok::LParen) {
+            self.param_clause()?
+        } else {
+            Vec::new()
+        };
+        let mut parents = Vec::new();
+        if self.eat(Tok::KwExtends) {
+            parents.push(self.type_expr()?);
+            while self.eat(Tok::KwWith) {
+                parents.push(self.type_expr()?);
+            }
+        }
+        let body = if self.at(Tok::LBrace) {
+            self.bump();
+            let b = self.stats_until(Tok::RBrace)?;
+            self.expect(Tok::RBrace, "`}`")?;
+            b
+        } else {
+            Vec::new()
+        };
+        Ok(SClass {
+            name,
+            is_trait,
+            tparams,
+            params,
+            parents,
+            body,
+            span: start,
+        })
+    }
+
+    // ---- types ----------------------------------------------------------
+
+    fn type_expr(&mut self) -> Result<SType, ParseError> {
+        if self.at(Tok::LParen) {
+            // `(T1, ..., Tn) => R` or a parenthesized type.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.at(Tok::RParen) {
+                loop {
+                    params.push(self.type_expr()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen, "`)` in type")?;
+            if self.eat(Tok::Arrow) {
+                let ret = self.type_expr()?;
+                return Ok(SType::Func {
+                    params,
+                    ret: Box::new(ret),
+                });
+            }
+            if params.len() == 1 {
+                return Ok(params.into_iter().next().expect("one element"));
+            }
+            return Err(self.err("tuple types are not supported".into()));
+        }
+        let t = self.peek();
+        let name = self.ident("type name")?;
+        let mut targs = Vec::new();
+        if self.eat(Tok::LBracket) {
+            loop {
+                targs.push(self.type_expr()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket, "`]` in type")?;
+        }
+        // Note: the `T => R` sugar without parentheses is intentionally not
+        // supported — it is ambiguous with the `=>` of case clauses. Write
+        // `(T) => R`.
+        Ok(SType::Named {
+            name,
+            targs,
+            span: t.span,
+        })
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<SExpr, ParseError> {
+        match self.peek().tok {
+            Tok::KwIf => {
+                let start = self.bump().span;
+                self.expect(Tok::LParen, "`(` after if")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "`)` after condition")?;
+                let then_branch = self.expr()?;
+                let else_branch = if self.at(Tok::KwElse)
+                    || (self.peek().newline_before && self.at(Tok::KwElse))
+                {
+                    self.bump();
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                Ok(SExpr::If(
+                    Box::new(cond),
+                    Box::new(then_branch),
+                    else_branch,
+                    start,
+                ))
+            }
+            Tok::KwWhile => {
+                let start = self.bump().span;
+                self.expect(Tok::LParen, "`(` after while")?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen, "`)` after condition")?;
+                let body = self.expr()?;
+                Ok(SExpr::While(Box::new(cond), Box::new(body), start))
+            }
+            Tok::KwTry => {
+                let start = self.bump().span;
+                let block = self.expr()?;
+                let cases = if self.eat(Tok::KwCatch) {
+                    self.expect(Tok::LBrace, "`{` after catch")?;
+                    let cs = self.cases()?;
+                    self.expect(Tok::RBrace, "`}` after catch cases")?;
+                    cs
+                } else {
+                    Vec::new()
+                };
+                let finalizer = if self.eat(Tok::KwFinally) {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                Ok(SExpr::Try(Box::new(block), cases, finalizer, start))
+            }
+            Tok::KwThrow => {
+                let start = self.bump().span;
+                let e = self.expr()?;
+                Ok(SExpr::Throw(Box::new(e), start))
+            }
+            Tok::KwReturn => {
+                let start = self.bump().span;
+                let e = if self.peek().newline_before || self.at(Tok::RBrace) || self.at(Tok::Eof)
+                {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                Ok(SExpr::Return(e, start))
+            }
+            Tok::LParen if self.looks_like_lambda() => {
+                let start = self.peek().span;
+                let params = self.param_clause()?;
+                self.expect(Tok::Arrow, "`=>` in lambda")?;
+                let body = self.expr()?;
+                Ok(SExpr::Lambda(params, Box::new(body), start))
+            }
+            _ => {
+                let e = self.infix(0)?;
+                // match postfix (binds loosest).
+                let e = self.match_suffix(e)?;
+                // assignment.
+                if self.at(Tok::Eq) {
+                    match &e {
+                        SExpr::Ident(..) | SExpr::Select(..) | SExpr::Apply(..) => {
+                            let span = self.bump().span;
+                            let rhs = self.expr()?;
+                            return Ok(SExpr::Assign(Box::new(e), Box::new(rhs), span));
+                        }
+                        _ => return Err(self.err("illegal assignment target".into())),
+                    }
+                }
+                Ok(e)
+            }
+        }
+    }
+
+    fn looks_like_lambda(&self) -> bool {
+        // `() =>` or `(id:` .
+        if !self.at(Tok::LParen) {
+            return false;
+        }
+        if self.peek_at(1).tok == Tok::RParen && self.peek_at(2).tok == Tok::Arrow {
+            return true;
+        }
+        self.peek_at(1).tok == Tok::Ident && self.peek_at(2).tok == Tok::Colon
+    }
+
+    fn match_suffix(&mut self, mut e: SExpr) -> Result<SExpr, ParseError> {
+        while self.at(Tok::KwMatch) {
+            let span = self.bump().span;
+            self.expect(Tok::LBrace, "`{` after match")?;
+            let cases = self.cases()?;
+            self.expect(Tok::RBrace, "`}` after match cases")?;
+            e = SExpr::Match(Box::new(e), cases, span);
+        }
+        Ok(e)
+    }
+
+    fn precedence(op: &str) -> Option<u8> {
+        Some(match op {
+            "||" => 1,
+            "&&" => 2,
+            "==" | "!=" => 3,
+            "<" | ">" | "<=" | ">=" => 4,
+            "+" | "-" => 5,
+            "*" | "/" | "%" => 6,
+            _ => return None,
+        })
+    }
+
+    fn infix(&mut self, min_prec: u8) -> Result<SExpr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let (is_op, name) = match self.peek().tok {
+                Tok::Op => (true, self.peek().name),
+                Tok::Star => (true, self.peek().name),
+                _ => (false, None),
+            };
+            if !is_op {
+                break;
+            }
+            let op = name.expect("operator token has name");
+            let Some(prec) = Self::precedence(op.as_str()) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.bump().span;
+            let rhs = self.infix(prec + 1)?;
+            lhs = SExpr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<SExpr, ParseError> {
+        if self.op_is("!") {
+            let t = self.bump();
+            let e = self.prefix()?;
+            return Ok(SExpr::Unary(Name::intern("!"), Box::new(e), t.span));
+        }
+        if self.op_is("-") {
+            let t = self.bump();
+            // Fold negative integer literals directly.
+            if self.at(Tok::Int) {
+                let it = self.bump();
+                return Ok(SExpr::Lit(Constant::Int(-it.int_val), t.span.union(it.span)));
+            }
+            let e = self.prefix()?;
+            return Ok(SExpr::Unary(Name::intern("-"), Box::new(e), t.span));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<SExpr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at(Tok::Dot) {
+                self.bump();
+                let t = self.peek().span;
+                let name = self.select_name()?;
+                e = SExpr::Select(Box::new(e), name, t);
+            } else if self.at(Tok::LParen) && !self.peek().newline_before {
+                let span = self.peek().span;
+                let args = self.arg_list()?;
+                e = SExpr::Apply(Box::new(e), args, span);
+            } else if self.at(Tok::LBracket) {
+                let span = self.bump().span;
+                let mut targs = Vec::new();
+                loop {
+                    targs.push(self.type_expr()?);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBracket, "`]` in type application")?;
+                e = SExpr::TypeApply(Box::new(e), targs, span);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn select_name(&mut self) -> Result<Name, ParseError> {
+        if self.peek().tok == Tok::Op || self.peek().tok == Tok::Star {
+            let t = self.bump();
+            return Ok(t.name.expect("operator token has name"));
+        }
+        self.ident("member name")
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<SExpr>, ParseError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.at(Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<SExpr, ParseError> {
+        let t = self.peek();
+        match t.tok {
+            Tok::Int => {
+                self.bump();
+                Ok(SExpr::Lit(Constant::Int(t.int_val), t.span))
+            }
+            Tok::Str => {
+                self.bump();
+                Ok(SExpr::Lit(
+                    Constant::Str(t.name.expect("string token has name")),
+                    t.span,
+                ))
+            }
+            Tok::KwTrue => {
+                self.bump();
+                Ok(SExpr::Lit(Constant::Bool(true), t.span))
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Ok(SExpr::Lit(Constant::Bool(false), t.span))
+            }
+            Tok::KwNull => {
+                self.bump();
+                Ok(SExpr::Lit(Constant::Null, t.span))
+            }
+            Tok::Ident => {
+                self.bump();
+                Ok(SExpr::Ident(t.name.expect("ident has name"), t.span))
+            }
+            Tok::KwThis => {
+                self.bump();
+                Ok(SExpr::This(t.span))
+            }
+            Tok::KwSuper => {
+                self.bump();
+                Ok(SExpr::Super(t.span))
+            }
+            Tok::KwNew => {
+                self.bump();
+                let tpe = self.type_expr()?;
+                let args = if self.at(Tok::LParen) {
+                    self.arg_list()?
+                } else {
+                    Vec::new()
+                };
+                Ok(SExpr::New(tpe, args, t.span))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.eat(Tok::RParen) {
+                    return Ok(SExpr::Lit(Constant::Unit, t.span));
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let stats = self.stats_until(Tok::RBrace)?;
+                self.expect(Tok::RBrace, "`}`")?;
+                Ok(SExpr::Block(stats, t.span))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    // ---- patterns ---------------------------------------------------------
+
+    fn cases(&mut self) -> Result<Vec<SCase>, ParseError> {
+        let mut out = Vec::new();
+        self.stat_sep();
+        while self.at(Tok::KwCase) {
+            let start = self.bump().span;
+            let pat = self.pattern()?;
+            let guard = if self.at(Tok::KwIf) {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::Arrow, "`=>` in case")?;
+            // Case body: statements until the next `case` or closing brace.
+            let mut stats = Vec::new();
+            self.stat_sep();
+            while !self.at(Tok::KwCase) && !self.at(Tok::RBrace) && !self.at(Tok::Eof) {
+                stats.push(self.stat()?);
+                self.stat_sep();
+            }
+            let body = if stats.len() == 1 {
+                match stats.pop().expect("one element") {
+                    SStat::Expr(e) => e,
+                    s => SExpr::Block(vec![s], start),
+                }
+            } else {
+                SExpr::Block(stats, start)
+            };
+            out.push(SCase {
+                pat,
+                guard,
+                body,
+                span: start,
+            });
+            self.stat_sep();
+        }
+        Ok(out)
+    }
+
+    fn pattern(&mut self) -> Result<SPat, ParseError> {
+        let first = self.pattern1()?;
+        if self.op_is("|") {
+            let mut pats = vec![first];
+            while self.op_is("|") {
+                self.bump();
+                pats.push(self.pattern1()?);
+            }
+            let span = pats[0].span();
+            return Ok(SPat::Alt { pats, span });
+        }
+        Ok(first)
+    }
+
+    fn pattern1(&mut self) -> Result<SPat, ParseError> {
+        let t = self.peek();
+        match t.tok {
+            Tok::LParen => {
+                self.bump();
+                let p = self.pattern()?;
+                self.expect(Tok::RParen, "`)` in pattern")?;
+                Ok(p)
+            }
+            Tok::Underscore => {
+                self.bump();
+                let tpe = if self.eat(Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                Ok(SPat::Wild { tpe, span: t.span })
+            }
+            Tok::Int => {
+                self.bump();
+                Ok(SPat::Lit {
+                    value: Constant::Int(t.int_val),
+                    span: t.span,
+                })
+            }
+            Tok::Str => {
+                self.bump();
+                Ok(SPat::Lit {
+                    value: Constant::Str(t.name.expect("string token has name")),
+                    span: t.span,
+                })
+            }
+            Tok::KwTrue => {
+                self.bump();
+                Ok(SPat::Lit {
+                    value: Constant::Bool(true),
+                    span: t.span,
+                })
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Ok(SPat::Lit {
+                    value: Constant::Bool(false),
+                    span: t.span,
+                })
+            }
+            Tok::KwNull => {
+                self.bump();
+                Ok(SPat::Lit {
+                    value: Constant::Null,
+                    span: t.span,
+                })
+            }
+            Tok::Ident => {
+                let name = self.ident("pattern binder")?;
+                if self.at(Tok::At) {
+                    self.bump();
+                    let inner = self.pattern1()?;
+                    return Ok(SPat::Bind {
+                        name,
+                        pat: Box::new(inner),
+                        span: t.span,
+                    });
+                }
+                let tpe = if self.eat(Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                Ok(SPat::Var {
+                    name,
+                    tpe,
+                    span: t.span,
+                })
+            }
+            other => Err(self.err(format!("expected pattern, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> SUnit {
+        parse("test.ms", src).expect("parse ok")
+    }
+
+    #[test]
+    fn parses_the_papers_listing_1() {
+        let unit = p(r#"
+trait Interface {
+  def interfaceMethod: Int = 1
+  lazy val interfaceField: Int = 2
+}
+
+class Increment(by: Int) extends Interface {
+  def incOrZero(b: Any): Int = b match {
+    case b: Int => b + by
+    case _ => 0
+  }
+}
+"#);
+        assert_eq!(unit.stats.len(), 2);
+        let SStat::Class(t) = &unit.stats[0] else {
+            panic!("expected trait")
+        };
+        assert!(t.is_trait);
+        assert_eq!(t.body.len(), 2);
+        let SStat::Class(c) = &unit.stats[1] else {
+            panic!("expected class")
+        };
+        assert!(!c.is_trait);
+        assert_eq!(c.params.len(), 1);
+        assert_eq!(c.parents.len(), 1);
+        let SStat::Def(d) = &c.body[0] else {
+            panic!("expected def")
+        };
+        let Some(SExpr::Match(_, cases, _)) = &d.body else {
+            panic!("expected match body, got {:?}", d.body)
+        };
+        assert_eq!(cases.len(), 2);
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let unit = p("val x: Int = 1 + 2 * 3");
+        let SStat::Val(v) = &unit.stats[0] else {
+            panic!()
+        };
+        let SExpr::Binary(plus, _, rhs, _) = &v.rhs else {
+            panic!()
+        };
+        assert_eq!(plus.as_str(), "+");
+        let SExpr::Binary(times, ..) = rhs.as_ref() else {
+            panic!("expected * on the right")
+        };
+        assert_eq!(times.as_str(), "*");
+    }
+
+    #[test]
+    fn parses_lambdas_and_generic_calls() {
+        let unit = p("val f: (Int) => Int = (x: Int) => x + 1\nval y: Int = ident[Int](5)");
+        assert_eq!(unit.stats.len(), 2);
+        let SStat::Val(v) = &unit.stats[0] else {
+            panic!()
+        };
+        assert!(matches!(v.rhs, SExpr::Lambda(..)));
+        let SStat::Val(w) = &unit.stats[1] else {
+            panic!()
+        };
+        let SExpr::Apply(f, args, _) = &w.rhs else {
+            panic!()
+        };
+        assert!(matches!(f.as_ref(), SExpr::TypeApply(..)));
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_curried_defs_byname_and_varargs() {
+        let unit = p("def f(x: Int)(y: => Int)(zs: Int*): Int = x");
+        let SStat::Def(d) = &unit.stats[0] else {
+            panic!()
+        };
+        assert_eq!(d.paramss.len(), 3);
+        assert!(matches!(d.paramss[1][0].tpe, SType::ByName(_)));
+        assert!(matches!(d.paramss[2][0].tpe, SType::Repeated(_)));
+    }
+
+    #[test]
+    fn parses_try_catch_finally_and_while() {
+        let unit = p(r#"
+def risky(): Int = try {
+  1
+} catch {
+  case e: String => 0
+  case _ => -1
+} finally println("done")
+
+def spin(): Unit = while (true) println("x")
+"#);
+        assert_eq!(unit.stats.len(), 2);
+        let SStat::Def(d) = &unit.stats[0] else {
+            panic!()
+        };
+        let Some(SExpr::Try(_, cases, fin, _)) = &d.body else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(fin.is_some());
+    }
+
+    #[test]
+    fn parses_assignment_and_this_super() {
+        let unit = p("class C { var x: Int = 0\n def set(v: Int): Unit = this.x = v\n def s(): Int = super.m() }");
+        let SStat::Class(c) = &unit.stats[0] else {
+            panic!()
+        };
+        assert_eq!(c.body.len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("t", "def = 3").is_err());
+        assert!(parse("t", "val x Int = 3").is_err());
+        assert!(parse("t", "class {").is_err());
+        assert!(parse("t", "1 +").is_err());
+    }
+
+    #[test]
+    fn pattern_alternatives_and_binders() {
+        let unit = p(r#"
+def f(x: Any): Int = x match {
+  case 1 | 2 | 3 => 0
+  case n @ (i: Int) => n
+  case s: String => 1
+  case _ => 2
+}
+"#);
+        let SStat::Def(d) = &unit.stats[0] else {
+            panic!()
+        };
+        let Some(SExpr::Match(_, cases, _)) = &d.body else {
+            panic!()
+        };
+        assert_eq!(cases.len(), 4);
+        assert!(matches!(cases[0].pat, SPat::Alt { .. }));
+        assert!(matches!(cases[1].pat, SPat::Bind { .. }));
+    }
+}

@@ -1,0 +1,89 @@
+//! Literal constants carried by `Literal` tree nodes.
+
+use crate::names::Name;
+use std::fmt;
+
+/// A compile-time constant value.
+///
+/// The paper notes that in Dotty "types also encode constants"; we keep the
+/// simpler arrangement of scalac where constants live on literal trees, which
+/// is all the transformation pipeline needs.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::Constant;
+/// assert!(Constant::Bool(true).as_bool().unwrap());
+/// assert_eq!(Constant::Int(41).as_int(), Some(41));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Constant {
+    /// The unit value `()`.
+    Unit,
+    /// A boolean literal.
+    Bool(bool),
+    /// An integer literal (MiniScala has a single 64-bit integer type `Int`).
+    Int(i64),
+    /// A string literal, interned.
+    Str(Name),
+    /// The `null` reference.
+    Null,
+}
+
+impl Constant {
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Constant::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Constant::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(self) -> Option<&'static str> {
+        match self {
+            Constant::Str(n) => Some(n.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Unit => write!(f, "()"),
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{:?}", s.as_str()),
+            Constant::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reject_wrong_variants() {
+        assert_eq!(Constant::Unit.as_bool(), None);
+        assert_eq!(Constant::Bool(true).as_int(), None);
+        assert_eq!(Constant::Int(3).as_str(), None);
+    }
+
+    #[test]
+    fn display_is_source_like() {
+        assert_eq!(Constant::Int(-7).to_string(), "-7");
+        assert_eq!(Constant::Str(Name::intern("hi")).to_string(), "\"hi\"");
+        assert_eq!(Constant::Unit.to_string(), "()");
+        assert_eq!(Constant::Null.to_string(), "null");
+    }
+}

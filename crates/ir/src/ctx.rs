@@ -1,0 +1,574 @@
+//! The compilation context.
+//!
+//! [`Ctx`] owns the symbol table, the node-id/heap-address allocators, the
+//! diagnostics buffer and the optional memory-access sink used by the cache
+//! simulator. All tree nodes are created through it, so it is also where the
+//! copier (with the paper's same-fields reuse optimization) lives.
+
+use crate::constant::Constant;
+use crate::names::Name;
+use crate::span::Span;
+use crate::symbol::{SymbolId, SymbolTable};
+use crate::trace;
+use crate::tree::{NodeId, Tree, TreeKind, TreeRef};
+use crate::types::Type;
+use std::fmt;
+use std::sync::Arc;
+
+/// Consumer of the memory-access stream (reads/writes of tree nodes,
+/// instruction fetches of phase code). Drives the cache simulator.
+pub trait AccessSink {
+    /// A data read of `bytes` bytes at `addr`.
+    fn read(&mut self, addr: u64, bytes: u32);
+    /// A data write of `bytes` bytes at `addr`.
+    fn write(&mut self, addr: u64, bytes: u32);
+    /// An instruction fetch of `bytes` bytes at `addr`.
+    fn exec(&mut self, addr: u64, bytes: u32);
+}
+
+/// Tunables of the IR layer.
+#[derive(Clone, Copy, Debug)]
+pub struct IrOptions {
+    /// Enables the copier's "same fields ⇒ reuse original node" optimization
+    /// (§2 of the paper). The `legacy` pipeline mode disables it to imitate
+    /// scalac-era tree plumbing (Fig 9).
+    pub copier_reuse: bool,
+}
+
+impl Default for IrOptions {
+    fn default() -> IrOptions {
+        IrOptions { copier_reuse: true }
+    }
+}
+
+/// Always-on cheap allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of tree nodes allocated.
+    pub nodes: u64,
+    /// Modelled bytes allocated.
+    pub bytes: u64,
+}
+
+/// A reported compile error.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Where in the source.
+    pub span: Span,
+    /// Human-readable message.
+    pub msg: String,
+    /// Which component reported it.
+    pub phase: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] error at {}: {}", self.phase, self.span, self.msg)
+    }
+}
+
+/// The compilation context threaded through the whole pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::{Ctx, Type};
+/// let mut ctx = Ctx::new();
+/// let one = ctx.lit_int(1);
+/// assert_eq!(*one.tpe(), Type::Int);
+/// assert_eq!(ctx.stats.nodes, 1);
+/// ```
+pub struct Ctx {
+    /// The symbol table.
+    pub symbols: SymbolTable,
+    /// IR tunables.
+    pub options: IrOptions,
+    /// Optional memory-access sink (cache simulator).
+    pub access: Option<Box<dyn AccessSink>>,
+    /// Allocation counters.
+    pub stats: AllocStats,
+    /// Accumulated compile errors.
+    pub errors: Vec<Diagnostic>,
+    next_id: u64,
+    heap_cursor: u64,
+    fresh: u32,
+    shared_empty: Option<TreeRef>,
+}
+
+impl Ctx {
+    /// Creates a context with a fresh symbol table.
+    pub fn new() -> Ctx {
+        Ctx {
+            symbols: SymbolTable::new(),
+            options: IrOptions::default(),
+            access: None,
+            stats: AllocStats::default(),
+            errors: Vec::new(),
+            next_id: 1,
+            heap_cursor: 0x1000, // keep address 0 unused
+            fresh: 0,
+            shared_empty: None,
+        }
+    }
+
+    /// Creates a tree node: assigns id and heap address, reports the
+    /// allocation to the instrumentation sinks.
+    pub fn mk(&mut self, kind: TreeKind, tpe: Type, span: Span) -> TreeRef {
+        let bytes = kind.approx_bytes();
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let addr = self.heap_cursor;
+        self.heap_cursor += u64::from((bytes + 7) & !7);
+        self.stats.nodes += 1;
+        self.stats.bytes += u64::from(bytes);
+        trace::record_alloc(id, bytes);
+        if let Some(sink) = self.access.as_mut() {
+            sink.write(addr, bytes);
+        }
+        Arc::new(Tree {
+            id,
+            addr,
+            bytes,
+            span,
+            tpe,
+            kind,
+        })
+    }
+
+    /// Records a data read of node `t` into the access sink, if installed.
+    #[inline]
+    pub fn trace_read(&mut self, t: &Tree) {
+        if let Some(sink) = self.access.as_mut() {
+            sink.read(t.addr(), t.bytes());
+        }
+    }
+
+    /// Records an instruction fetch into the access sink, if installed.
+    #[inline]
+    pub fn trace_exec(&mut self, addr: u64, bytes: u32) {
+        if let Some(sink) = self.access.as_mut() {
+            sink.exec(addr, bytes);
+        }
+    }
+
+    /// Records a raw data read (used for symbol-table accesses, which live
+    /// in their own synthetic region).
+    #[inline]
+    pub fn trace_read_at(&mut self, addr: u64, bytes: u32) {
+        if let Some(sink) = self.access.as_mut() {
+            sink.read(addr, bytes);
+        }
+    }
+
+    /// The synthetic address of a symbol's table entry. Symbols are "the
+    /// major internal data structures" next to trees (§2 of the paper);
+    /// traversals read them alongside the nodes that reference them.
+    pub fn symbol_addr(sym: SymbolId) -> u64 {
+        (1 << 39) + u64::from(sym.index()) * 112
+    }
+
+    /// Reports a compile error.
+    pub fn error(&mut self, span: Span, phase: &'static str, msg: impl Into<String>) {
+        self.errors.push(Diagnostic {
+            span,
+            msg: msg.into(),
+            phase,
+        });
+    }
+
+    /// True if any error has been reported.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// Returns a fresh synthetic name `{base}$N`.
+    pub fn fresh_name(&mut self, base: &str) -> Name {
+        self.fresh += 1;
+        Name::fresh(base, self.fresh)
+    }
+
+    // ---- convenience builders -------------------------------------------
+
+    /// The shared empty tree.
+    pub fn empty(&mut self) -> TreeRef {
+        if let Some(e) = &self.shared_empty {
+            return Arc::clone(e);
+        }
+        let e = self.mk(TreeKind::Empty, Type::NoType, Span::SYNTHETIC);
+        self.shared_empty = Some(Arc::clone(&e));
+        e
+    }
+
+    /// A literal node.
+    pub fn lit(&mut self, c: Constant, span: Span) -> TreeRef {
+        let tpe = match c {
+            Constant::Unit => Type::Unit,
+            Constant::Bool(_) => Type::Boolean,
+            Constant::Int(_) => Type::Int,
+            Constant::Str(_) => Type::Str,
+            Constant::Null => Type::Null,
+        };
+        self.mk(TreeKind::Literal { value: c }, tpe, span)
+    }
+
+    /// An integer literal.
+    pub fn lit_int(&mut self, v: i64) -> TreeRef {
+        self.lit(Constant::Int(v), Span::SYNTHETIC)
+    }
+
+    /// A boolean literal.
+    pub fn lit_bool(&mut self, v: bool) -> TreeRef {
+        self.lit(Constant::Bool(v), Span::SYNTHETIC)
+    }
+
+    /// The unit literal.
+    pub fn lit_unit(&mut self) -> TreeRef {
+        self.lit(Constant::Unit, Span::SYNTHETIC)
+    }
+
+    /// A reference to `sym`, typed with the symbol's info.
+    pub fn ident(&mut self, sym: SymbolId) -> TreeRef {
+        let tpe = self.symbols.sym(sym).info.clone();
+        self.mk(TreeKind::Ident { sym }, tpe, Span::SYNTHETIC)
+    }
+
+    /// A `ValDef` node (its type is `Unit` as a statement).
+    pub fn val_def(&mut self, sym: SymbolId, rhs: TreeRef) -> TreeRef {
+        self.mk(TreeKind::ValDef { sym, rhs }, Type::Unit, Span::SYNTHETIC)
+    }
+
+    /// A block; its type is the type of the final expression.
+    pub fn block(&mut self, stats: Vec<TreeRef>, expr: TreeRef) -> TreeRef {
+        if stats.is_empty() {
+            return expr;
+        }
+        let tpe = expr.tpe().clone();
+        self.mk(TreeKind::Block { stats, expr }, tpe, Span::SYNTHETIC)
+    }
+
+    /// An application node with the given result type.
+    pub fn apply(&mut self, fun: TreeRef, args: Vec<TreeRef>, tpe: Type) -> TreeRef {
+        self.mk(TreeKind::Apply { fun, args }, tpe, Span::SYNTHETIC)
+    }
+
+    /// A selection node.
+    pub fn select(&mut self, qual: TreeRef, name: Name, sym: SymbolId, tpe: Type) -> TreeRef {
+        self.mk(
+            TreeKind::Select {
+                qual,
+                name,
+                sym,
+            },
+            tpe,
+            Span::SYNTHETIC,
+        )
+    }
+
+    /// A `this` reference typed as the class's self type.
+    pub fn this_ref(&mut self, cls: SymbolId) -> TreeRef {
+        let tpe = self.symbols.self_type(cls);
+        self.mk(TreeKind::This { cls }, tpe, Span::SYNTHETIC)
+    }
+
+    /// A `this` reference typed with the *monomorphic* class type — for
+    /// phases that run after erasure, where self types must carry no type
+    /// arguments.
+    pub fn this_mono(&mut self, cls: SymbolId) -> TreeRef {
+        let tpe = self.symbols.class_type(cls);
+        self.mk(TreeKind::This { cls }, tpe, Span::SYNTHETIC)
+    }
+
+    // ---- copiers ---------------------------------------------------------
+
+    /// Copies `t` with a new type (fresh node, same kind and span).
+    pub fn retyped(&mut self, t: &TreeRef, tpe: Type) -> TreeRef {
+        if *t.tpe() == tpe && self.options.copier_reuse {
+            return Arc::clone(t);
+        }
+        self.mk(t.kind().clone(), tpe, t.span())
+    }
+
+    /// Copies `t` with a new kind, keeping the type and span.
+    pub fn with_kind(&mut self, t: &TreeRef, kind: TreeKind) -> TreeRef {
+        self.mk(kind, t.tpe().clone(), t.span())
+    }
+
+    /// The copier: rebuilds `t` with every direct child passed through `f`.
+    ///
+    /// Implements the reuse optimization from §2 of the paper: when every
+    /// mapped child is pointer-identical to the original (and
+    /// [`IrOptions::copier_reuse`] is on), the original node is returned and
+    /// no allocation happens.
+    pub fn map_children(
+        &mut self,
+        t: &TreeRef,
+        f: &mut dyn FnMut(&mut Ctx, &TreeRef) -> TreeRef,
+    ) -> TreeRef {
+        let mut changed = false;
+        let mut map1 = |ctx: &mut Ctx, changed: &mut bool, c: &TreeRef| -> TreeRef {
+            let n = f(ctx, c);
+            if !Arc::ptr_eq(&n, c) {
+                *changed = true;
+            }
+            n
+        };
+        let new_kind = match t.kind() {
+            TreeKind::Empty
+            | TreeKind::Literal { .. }
+            | TreeKind::Ident { .. }
+            | TreeKind::Unresolved { .. }
+            | TreeKind::New { .. }
+            | TreeKind::This { .. }
+            | TreeKind::Super { .. } => t.kind().clone(),
+            TreeKind::Select { qual, name, sym } => TreeKind::Select {
+                qual: map1(self, &mut changed, qual),
+                name: *name,
+                sym: *sym,
+            },
+            TreeKind::Apply { fun, args } => TreeKind::Apply {
+                fun: map1(self, &mut changed, fun),
+                args: args
+                    .iter()
+                    .map(|a| map1(self, &mut changed, a))
+                    .collect(),
+            },
+            TreeKind::TypeApply { fun, targs } => TreeKind::TypeApply {
+                fun: map1(self, &mut changed, fun),
+                targs: targs.clone(),
+            },
+            TreeKind::Assign { lhs, rhs } => TreeKind::Assign {
+                lhs: map1(self, &mut changed, lhs),
+                rhs: map1(self, &mut changed, rhs),
+            },
+            TreeKind::Block { stats, expr } => TreeKind::Block {
+                stats: stats
+                    .iter()
+                    .map(|s| map1(self, &mut changed, s))
+                    .collect(),
+                expr: map1(self, &mut changed, expr),
+            },
+            TreeKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => TreeKind::If {
+                cond: map1(self, &mut changed, cond),
+                then_branch: map1(self, &mut changed, then_branch),
+                else_branch: map1(self, &mut changed, else_branch),
+            },
+            TreeKind::Match { selector, cases } => TreeKind::Match {
+                selector: map1(self, &mut changed, selector),
+                cases: cases
+                    .iter()
+                    .map(|c| map1(self, &mut changed, c))
+                    .collect(),
+            },
+            TreeKind::CaseDef { pat, guard, body } => TreeKind::CaseDef {
+                pat: map1(self, &mut changed, pat),
+                guard: map1(self, &mut changed, guard),
+                body: map1(self, &mut changed, body),
+            },
+            TreeKind::Bind { sym, pat } => TreeKind::Bind {
+                sym: *sym,
+                pat: map1(self, &mut changed, pat),
+            },
+            TreeKind::Alternative { pats } => TreeKind::Alternative {
+                pats: pats
+                    .iter()
+                    .map(|p| map1(self, &mut changed, p))
+                    .collect(),
+            },
+            TreeKind::Typed { expr, tpe } => TreeKind::Typed {
+                expr: map1(self, &mut changed, expr),
+                tpe: tpe.clone(),
+            },
+            TreeKind::Cast { expr, tpe } => TreeKind::Cast {
+                expr: map1(self, &mut changed, expr),
+                tpe: tpe.clone(),
+            },
+            TreeKind::IsInstance { expr, tpe } => TreeKind::IsInstance {
+                expr: map1(self, &mut changed, expr),
+                tpe: tpe.clone(),
+            },
+            TreeKind::While { cond, body } => TreeKind::While {
+                cond: map1(self, &mut changed, cond),
+                body: map1(self, &mut changed, body),
+            },
+            TreeKind::Try {
+                block,
+                cases,
+                finalizer,
+            } => TreeKind::Try {
+                block: map1(self, &mut changed, block),
+                cases: cases
+                    .iter()
+                    .map(|c| map1(self, &mut changed, c))
+                    .collect(),
+                finalizer: map1(self, &mut changed, finalizer),
+            },
+            TreeKind::Throw { expr } => TreeKind::Throw {
+                expr: map1(self, &mut changed, expr),
+            },
+            TreeKind::Return { expr, from } => TreeKind::Return {
+                expr: map1(self, &mut changed, expr),
+                from: *from,
+            },
+            TreeKind::Lambda { params, body } => TreeKind::Lambda {
+                params: params
+                    .iter()
+                    .map(|p| map1(self, &mut changed, p))
+                    .collect(),
+                body: map1(self, &mut changed, body),
+            },
+            TreeKind::Labeled { label, body } => TreeKind::Labeled {
+                label: *label,
+                body: map1(self, &mut changed, body),
+            },
+            TreeKind::JumpTo { label, args } => TreeKind::JumpTo {
+                label: *label,
+                args: args
+                    .iter()
+                    .map(|a| map1(self, &mut changed, a))
+                    .collect(),
+            },
+            TreeKind::SeqLiteral { elems, elem_tpe } => TreeKind::SeqLiteral {
+                elems: elems
+                    .iter()
+                    .map(|e| map1(self, &mut changed, e))
+                    .collect(),
+                elem_tpe: elem_tpe.clone(),
+            },
+            TreeKind::ValDef { sym, rhs } => TreeKind::ValDef {
+                sym: *sym,
+                rhs: map1(self, &mut changed, rhs),
+            },
+            TreeKind::DefDef { sym, paramss, rhs } => TreeKind::DefDef {
+                sym: *sym,
+                paramss: paramss
+                    .iter()
+                    .map(|ps| ps.iter().map(|p| map1(self, &mut changed, p)).collect())
+                    .collect(),
+                rhs: map1(self, &mut changed, rhs),
+            },
+            TreeKind::ClassDef { sym, body } => TreeKind::ClassDef {
+                sym: *sym,
+                body: body
+                    .iter()
+                    .map(|b| map1(self, &mut changed, b))
+                    .collect(),
+            },
+            TreeKind::PackageDef { pkg, stats } => TreeKind::PackageDef {
+                pkg: *pkg,
+                stats: stats
+                    .iter()
+                    .map(|s| map1(self, &mut changed, s))
+                    .collect(),
+            },
+        };
+        if !changed && self.options.copier_reuse {
+            Arc::clone(t)
+        } else {
+            self.mk(new_kind, t.tpe().clone(), t.span())
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Ctx {
+        Ctx::new()
+    }
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ctx(nodes={}, bytes={}, errors={})",
+            self.stats.nodes,
+            self.stats.bytes,
+            self.errors.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_children_reuses_unchanged_nodes() {
+        let mut ctx = Ctx::new();
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let blk = ctx.block(vec![one], two);
+        let before = ctx.stats.nodes;
+        let mapped = ctx.map_children(&blk, &mut |_, c| Arc::clone(c));
+        assert!(Arc::ptr_eq(&mapped, &blk), "identity map reuses node");
+        assert_eq!(ctx.stats.nodes, before, "no allocation on reuse");
+    }
+
+    #[test]
+    fn map_children_rebuilds_on_change() {
+        let mut ctx = Ctx::new();
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let blk = ctx.block(vec![one], two);
+        let mapped = ctx.map_children(&blk, &mut |ctx, c| {
+            if let TreeKind::Literal { .. } = c.kind() {
+                ctx.lit_int(42)
+            } else {
+                Arc::clone(c)
+            }
+        });
+        assert!(!Arc::ptr_eq(&mapped, &blk));
+        let kids = mapped.children();
+        for k in kids {
+            assert_eq!(
+                k.kind().node_kind(),
+                crate::tree::NodeKind::Literal
+            );
+            if let TreeKind::Literal { value } = k.kind() {
+                assert_eq!(value.as_int(), Some(42));
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_mode_always_copies() {
+        let mut ctx = Ctx::new();
+        ctx.options.copier_reuse = false;
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let blk = ctx.block(vec![one], two);
+        let mapped = ctx.map_children(&blk, &mut |_, c| Arc::clone(c));
+        assert!(!Arc::ptr_eq(&mapped, &blk), "legacy mode reallocates");
+    }
+
+    #[test]
+    fn heap_addresses_are_bump_allocated() {
+        let mut ctx = Ctx::new();
+        let a = ctx.lit_int(1);
+        let b = ctx.lit_int(2);
+        assert!(b.addr() > a.addr());
+        assert!(b.addr() - a.addr() >= u64::from(a.bytes() & !7));
+    }
+
+    #[test]
+    fn shared_empty_is_a_single_node() {
+        let mut ctx = Ctx::new();
+        let e1 = ctx.empty();
+        let before = ctx.stats.nodes;
+        let e2 = ctx.empty();
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(ctx.stats.nodes, before);
+    }
+
+    #[test]
+    fn diagnostics_accumulate() {
+        let mut ctx = Ctx::new();
+        assert!(!ctx.has_errors());
+        ctx.error(Span::new(1, 2), "typer", "kaboom");
+        assert!(ctx.has_errors());
+        assert!(ctx.errors[0].to_string().contains("kaboom"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Symbol flags.
+//!
+//! A compact bit set describing properties of a definition: whether it is a
+//! method, mutable, lazy, a trait, and so on. The phases in the pipeline both
+//! read these (e.g. `LazyVals` looks for `LAZY`) and write them (e.g.
+//! `Getters` marks synthesized accessors).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+/// A set of symbol property flags.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::Flags;
+/// let f = Flags::METHOD | Flags::PRIVATE;
+/// assert!(f.is(Flags::METHOD));
+/// assert!(!f.is(Flags::LAZY));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u32);
+
+macro_rules! flag_consts {
+    ($($(#[$doc:meta])* $name:ident = $bit:expr;)*) => {
+        impl Flags {
+            $( $(#[$doc])* pub const $name: Flags = Flags(1 << $bit); )*
+
+            /// All flag names paired with their values, for debugging.
+            pub const ALL_NAMED: &'static [(&'static str, Flags)] = &[
+                $( (stringify!($name), Flags::$name), )*
+            ];
+        }
+    };
+}
+
+flag_consts! {
+    /// A method definition (`def`).
+    METHOD = 0;
+    /// A mutable variable (`var`).
+    MUTABLE = 1;
+    /// A lazy value (`lazy val`).
+    LAZY = 2;
+    /// A trait.
+    TRAIT = 3;
+    /// A (term or type) parameter.
+    PARAM = 4;
+    /// Synthesized by the compiler rather than written by the user.
+    SYNTHETIC = 5;
+    /// `private` visibility.
+    PRIVATE = 6;
+    /// Definition overrides a member of a parent.
+    OVERRIDE = 7;
+    /// A singleton object definition.
+    MODULE = 8;
+    /// A synthesized accessor method for a field.
+    ACCESSOR = 9;
+    /// A backing field synthesized by `Memoize`.
+    FIELD = 10;
+    /// A label symbol introduced by `TailRec`/`PatternMatcher`.
+    LABEL = 11;
+    /// A by-name parameter (`=> T`).
+    BY_NAME = 12;
+    /// A repeated (vararg) parameter (`T*`).
+    REPEATED = 13;
+    /// A package.
+    PACKAGE = 14;
+    /// A type parameter.
+    TYPE_PARAM = 15;
+    /// A class or trait that is statically known never to be subclassed here.
+    FINAL = 16;
+    /// `abstract` member without a body.
+    DEFERRED = 17;
+    /// Captured by a nested closure and therefore heap-boxed by `CapturedVars`.
+    CAPTURED = 18;
+    /// A definition lifted to the enclosing class by `LambdaLift`.
+    LIFTED = 19;
+    /// Entry point (`def main`).
+    ENTRY_POINT = 20;
+    /// Symbol for a primary constructor.
+    CONSTRUCTOR = 21;
+    /// Marker that `ExpandPrivate` widened this symbol's access.
+    NOT_PRIVATE_ANYMORE = 22;
+    /// The self/this pseudo-parameter of a method.
+    SELF = 23;
+}
+
+impl Flags {
+    /// The empty flag set.
+    pub const EMPTY: Flags = Flags(0);
+
+    /// True if *all* flags in `other` are present in `self`.
+    pub fn is(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if *any* flag in `other` is present in `self`.
+    pub fn is_any(self, other: Flags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if no flags are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `self` with the flags of `other` removed.
+    pub fn without(self, other: Flags) -> Flags {
+        Flags(self.0 & !other.0)
+    }
+
+    /// Returns `self` with the flags of `other` added.
+    pub fn with(self, other: Flags) -> Flags {
+        Flags(self.0 | other.0)
+    }
+}
+
+impl BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Flags {
+    type Output = Flags;
+    fn bitand(self, rhs: Flags) -> Flags {
+        Flags(self.0 & rhs.0)
+    }
+}
+
+impl Not for Flags {
+    type Output = Flags;
+    fn not(self) -> Flags {
+        Flags(!self.0)
+    }
+}
+
+impl fmt::Debug for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Flags()");
+        }
+        let mut first = true;
+        write!(f, "Flags(")?;
+        for (name, flag) in Flags::ALL_NAMED {
+            if self.is(*flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_membership() {
+        let f = Flags::METHOD | Flags::LAZY;
+        assert!(f.is(Flags::METHOD));
+        assert!(f.is(Flags::LAZY));
+        assert!(f.is(Flags::METHOD | Flags::LAZY));
+        assert!(!f.is(Flags::METHOD | Flags::TRAIT));
+        assert!(f.is_any(Flags::METHOD | Flags::TRAIT));
+    }
+
+    #[test]
+    fn without_removes_only_named_bits() {
+        let f = (Flags::METHOD | Flags::PRIVATE).without(Flags::PRIVATE);
+        assert!(f.is(Flags::METHOD));
+        assert!(!f.is(Flags::PRIVATE));
+    }
+
+    #[test]
+    fn debug_lists_set_flags() {
+        let s = format!("{:?}", Flags::METHOD | Flags::LAZY);
+        assert!(s.contains("METHOD"));
+        assert!(s.contains("LAZY"));
+        assert_eq!(format!("{:?}", Flags::EMPTY), "Flags()");
+    }
+
+    #[test]
+    fn all_flags_are_distinct() {
+        for (i, (_, a)) in Flags::ALL_NAMED.iter().enumerate() {
+            for (_, b) in &Flags::ALL_NAMED[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Source spans.
+
+use std::fmt;
+
+/// A half-open byte range into a compilation unit's source text.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::Span;
+/// let s = Span::new(3, 9);
+/// assert_eq!(s.len(), 6);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(9));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span. `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Span {
+        assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// The zero-width span used for synthetic trees.
+    pub const SYNTHETIC: Span = Span { start: 0, end: 0 };
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if this span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `pos` falls inside the half-open range.
+    pub fn contains(self, pos: u32) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn union(self, other: Span) -> Span {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_of_disjoint_spans_covers_both() {
+        let u = Span::new(1, 3).union(Span::new(10, 12));
+        assert_eq!(u, Span::new(1, 12));
+    }
+
+    #[test]
+    fn union_with_synthetic_is_identity() {
+        let s = Span::new(4, 8);
+        assert_eq!(s.union(Span::SYNTHETIC), s);
+        assert_eq!(Span::SYNTHETIC.union(s), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

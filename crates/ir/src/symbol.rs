@@ -1,0 +1,956 @@
+//! Symbols and the symbol table.
+//!
+//! Symbols are unique identifiers for definitions — classes, methods, fields,
+//! parameters, locals — exactly as in the paper (§2). The [`SymbolTable`] is
+//! an arena indexed by [`SymbolId`]; it also owns the class hierarchy and
+//! therefore hosts the hierarchy-dependent type operations: subtyping, least
+//! upper bounds, linearization, member lookup and erasure.
+
+use crate::flags::Flags;
+use crate::names::{std_names, Name};
+use crate::span::Span;
+use crate::types::Type;
+use std::fmt;
+
+/// A compact handle identifying one definition.
+///
+/// `SymbolId::NONE` is the null symbol, used for not-yet-resolved references.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The null symbol.
+    pub const NONE: SymbolId = SymbolId(0);
+
+    /// True if this is the null symbol.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if this refers to an actual definition.
+    pub fn exists(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The raw arena index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw index (for dense side tables and tests).
+    pub fn from_index(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// What sort of definition a symbol names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SymKind {
+    /// A term definition: `val`, `var`, `def`, parameter, local.
+    Term,
+    /// A class or trait.
+    Class,
+    /// A package.
+    Package,
+    /// A type parameter.
+    TypeParam,
+    /// A jump label (introduced by `TailRec` / `PatternMatcher`).
+    Label,
+}
+
+/// The data stored for one symbol.
+#[derive(Clone, Debug)]
+pub struct SymbolData {
+    /// The definition's name.
+    pub name: Name,
+    /// Property flags.
+    pub flags: Flags,
+    /// The enclosing definition.
+    pub owner: SymbolId,
+    /// The sort of definition.
+    pub kind: SymKind,
+    /// The symbol's type: a method type for `def`s, the value type for
+    /// `val`s. `NoType` for packages.
+    pub info: Type,
+    /// Source location of the definition.
+    pub span: Span,
+    /// Class only: parent types, superclass first.
+    pub parents: Vec<Type>,
+    /// Class/package only: member symbols in declaration order.
+    pub decls: Vec<SymbolId>,
+    /// Class only: type parameters.
+    pub tparams: Vec<SymbolId>,
+}
+
+/// Well-known symbols created at table construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Builtins {
+    /// The root package.
+    pub root_pkg: SymbolId,
+    /// A pseudo-class holding the universal members of `Any`
+    /// (`equals`, `toString`, `getClass`).
+    pub any_class: SymbolId,
+    /// `equals(that: Any): Boolean` on `Any`.
+    pub equals_meth: SymbolId,
+    /// `toString(): String` on `Any`.
+    pub to_string_meth: SymbolId,
+    /// `getClass(): String` on `Any` (returns the runtime class name).
+    pub get_class_meth: SymbolId,
+    /// `println(x: Any): Unit`, the single built-in I/O primitive.
+    pub println_fn: SymbolId,
+    /// `Function0` .. `Function3` classes.
+    pub function_classes: [SymbolId; 4],
+}
+
+/// The arena of all symbols plus hierarchy-dependent type operations.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::{Flags, Name, SymKind, SymbolTable, Type};
+/// let mut tab = SymbolTable::new();
+/// let owner = tab.builtins().root_pkg;
+/// let c = tab.new_class(owner, Name::from("C"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
+/// assert!(tab.is_subtype(&tab.class_type(c), &Type::AnyRef));
+/// ```
+pub struct SymbolTable {
+    syms: Vec<SymbolData>,
+    builtins: Builtins,
+}
+
+impl SymbolTable {
+    /// Creates a table pre-populated with the built-in definitions.
+    pub fn new() -> SymbolTable {
+        let mut tab = SymbolTable {
+            syms: vec![SymbolData {
+                // Index 0 is the NONE sentinel.
+                name: std_names::root_pkg(),
+                flags: Flags::EMPTY,
+                owner: SymbolId::NONE,
+                kind: SymKind::Package,
+                info: Type::NoType,
+                span: Span::SYNTHETIC,
+                parents: Vec::new(),
+                decls: Vec::new(),
+                tparams: Vec::new(),
+            }],
+            builtins: Builtins {
+                root_pkg: SymbolId::NONE,
+                any_class: SymbolId::NONE,
+                equals_meth: SymbolId::NONE,
+                to_string_meth: SymbolId::NONE,
+                get_class_meth: SymbolId::NONE,
+                println_fn: SymbolId::NONE,
+                function_classes: [SymbolId::NONE; 4],
+            },
+        };
+        let root = tab.alloc(SymbolData {
+            name: std_names::root_pkg(),
+            flags: Flags::PACKAGE,
+            owner: SymbolId::NONE,
+            kind: SymKind::Package,
+            info: Type::NoType,
+            span: Span::SYNTHETIC,
+            parents: Vec::new(),
+            decls: Vec::new(),
+            tparams: Vec::new(),
+        });
+        tab.builtins.root_pkg = root;
+
+        // `Any`'s universal members live on a pseudo-class.
+        let any_class = tab.new_class(root, std_names::any(), Flags::SYNTHETIC, vec![], vec![]);
+        let equals_meth = tab.new_term(
+            any_class,
+            std_names::equals(),
+            Flags::METHOD,
+            Type::Method {
+                params: vec![vec![Type::Any]],
+                ret: Box::new(Type::Boolean),
+            },
+        );
+        let to_string_meth = tab.new_term(
+            any_class,
+            std_names::to_string(),
+            Flags::METHOD,
+            Type::Method {
+                params: vec![vec![]],
+                ret: Box::new(Type::Str),
+            },
+        );
+        let get_class_meth = tab.new_term(
+            any_class,
+            std_names::get_class(),
+            Flags::METHOD,
+            Type::Method {
+                params: vec![vec![]],
+                ret: Box::new(Type::Str),
+            },
+        );
+        let println_fn = tab.new_term(
+            root,
+            std_names::println(),
+            Flags::METHOD | Flags::SYNTHETIC,
+            Type::Method {
+                params: vec![vec![Type::Any]],
+                ret: Box::new(Type::Unit),
+            },
+        );
+
+        // Function0..Function3 with their `apply` methods.
+        let mut function_classes = [SymbolId::NONE; 4];
+        for (n, slot) in function_classes.iter_mut().enumerate() {
+            let cls_name = Name::intern(&format!("Function{n}"));
+            let cls = tab.new_class(
+                root,
+                cls_name,
+                Flags::TRAIT | Flags::SYNTHETIC,
+                vec![Type::AnyRef],
+                vec![],
+            );
+            let mut tparams = Vec::new();
+            for i in 0..n {
+                let tp = tab.alloc(SymbolData {
+                    name: Name::intern(&format!("T{}", i + 1)),
+                    flags: Flags::TYPE_PARAM,
+                    owner: cls,
+                    kind: SymKind::TypeParam,
+                    info: Type::Any,
+                    span: Span::SYNTHETIC,
+                    parents: Vec::new(),
+                    decls: Vec::new(),
+                    tparams: Vec::new(),
+                });
+                tparams.push(tp);
+            }
+            let r = tab.alloc(SymbolData {
+                name: Name::intern("R"),
+                flags: Flags::TYPE_PARAM,
+                owner: cls,
+                kind: SymKind::TypeParam,
+                info: Type::Any,
+                span: Span::SYNTHETIC,
+                parents: Vec::new(),
+                decls: Vec::new(),
+                tparams: Vec::new(),
+            });
+            let apply_info = Type::Method {
+                params: vec![tparams.iter().map(|&tp| Type::TypeParam(tp)).collect()],
+                ret: Box::new(Type::TypeParam(r)),
+            };
+            tab.new_term(
+                cls,
+                std_names::apply(),
+                Flags::METHOD | Flags::DEFERRED,
+                apply_info,
+            );
+            let mut all_tparams = tparams;
+            all_tparams.push(r);
+            tab.sym_mut(cls).tparams = all_tparams;
+            *slot = cls;
+        }
+
+        tab.builtins = Builtins {
+            root_pkg: root,
+            any_class,
+            equals_meth,
+            to_string_meth,
+            get_class_meth,
+            println_fn,
+            function_classes,
+        };
+        tab
+    }
+
+    /// The well-known symbols.
+    pub fn builtins(&self) -> &Builtins {
+        &self.builtins
+    }
+
+    /// Total number of symbols allocated (including builtins).
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True if only the sentinel exists (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.syms.len() <= 1
+    }
+
+    fn alloc(&mut self, data: SymbolData) -> SymbolId {
+        let id = SymbolId(self.syms.len() as u32);
+        let owner = data.owner;
+        self.syms.push(data);
+        if owner.exists() {
+            self.syms[owner.0 as usize].decls.push(id);
+        }
+        id
+    }
+
+    /// Creates a new term symbol (val/var/def/param/local) owned by `owner`
+    /// and enters it into the owner's declarations.
+    pub fn new_term(
+        &mut self,
+        owner: SymbolId,
+        name: Name,
+        flags: Flags,
+        info: Type,
+    ) -> SymbolId {
+        self.alloc(SymbolData {
+            name,
+            flags,
+            owner,
+            kind: SymKind::Term,
+            info,
+            span: Span::SYNTHETIC,
+            parents: Vec::new(),
+            decls: Vec::new(),
+            tparams: Vec::new(),
+        })
+    }
+
+    /// Creates a new class (or trait, if `flags` contains `TRAIT`).
+    pub fn new_class(
+        &mut self,
+        owner: SymbolId,
+        name: Name,
+        flags: Flags,
+        parents: Vec<Type>,
+        tparams: Vec<SymbolId>,
+    ) -> SymbolId {
+        self.alloc(SymbolData {
+            name,
+            flags,
+            owner,
+            kind: SymKind::Class,
+            info: Type::NoType,
+            span: Span::SYNTHETIC,
+            parents,
+            decls: Vec::new(),
+            tparams,
+        })
+    }
+
+    /// Creates a type-parameter symbol owned by `owner`.
+    pub fn new_type_param(&mut self, owner: SymbolId, name: Name) -> SymbolId {
+        self.alloc(SymbolData {
+            name,
+            flags: Flags::TYPE_PARAM,
+            owner,
+            kind: SymKind::TypeParam,
+            info: Type::Any,
+            span: Span::SYNTHETIC,
+            parents: Vec::new(),
+            decls: Vec::new(),
+            tparams: Vec::new(),
+        })
+    }
+
+    /// Creates a label symbol for jumps.
+    pub fn new_label(&mut self, owner: SymbolId, name: Name, info: Type) -> SymbolId {
+        self.alloc(SymbolData {
+            name,
+            flags: Flags::LABEL | Flags::SYNTHETIC,
+            owner,
+            kind: SymKind::Label,
+            info,
+            span: Span::SYNTHETIC,
+            parents: Vec::new(),
+            decls: Vec::new(),
+            tparams: Vec::new(),
+        })
+    }
+
+    /// Creates a package symbol.
+    pub fn new_package(&mut self, owner: SymbolId, name: Name) -> SymbolId {
+        self.alloc(SymbolData {
+            name,
+            flags: Flags::PACKAGE,
+            owner,
+            kind: SymKind::Package,
+            info: Type::NoType,
+            span: Span::SYNTHETIC,
+            parents: Vec::new(),
+            decls: Vec::new(),
+            tparams: Vec::new(),
+        })
+    }
+
+    /// Read access to a symbol's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is `NONE` or out of range.
+    pub fn sym(&self, id: SymbolId) -> &SymbolData {
+        assert!(id.exists(), "dereferencing SymbolId::NONE");
+        &self.syms[id.0 as usize]
+    }
+
+    /// Mutable access to a symbol's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is `NONE` or out of range.
+    pub fn sym_mut(&mut self, id: SymbolId) -> &mut SymbolData {
+        assert!(id.exists(), "dereferencing SymbolId::NONE");
+        &mut self.syms[id.0 as usize]
+    }
+
+    /// The monomorphic class type of `cls` (empty type arguments).
+    pub fn class_type(&self, cls: SymbolId) -> Type {
+        Type::Class {
+            sym: cls,
+            targs: Vec::new(),
+        }
+    }
+
+    /// The fully-applied class type of `cls` with its own type parameters as
+    /// arguments (the "this type" for checking purposes).
+    pub fn self_type(&self, cls: SymbolId) -> Type {
+        let tps = &self.sym(cls).tparams;
+        Type::Class {
+            sym: cls,
+            targs: tps.iter().map(|&t| Type::TypeParam(t)).collect(),
+        }
+    }
+
+    /// The chain of owners from `sym` (exclusive) to the root.
+    pub fn owner_chain(&self, sym: SymbolId) -> Vec<SymbolId> {
+        let mut out = Vec::new();
+        let mut cur = self.sym(sym).owner;
+        while cur.exists() {
+            out.push(cur);
+            cur = self.sym(cur).owner;
+        }
+        out
+    }
+
+    /// The innermost enclosing class of `sym` (or `NONE`).
+    pub fn enclosing_class(&self, sym: SymbolId) -> SymbolId {
+        let mut cur = sym;
+        while cur.exists() {
+            if self.sym(cur).kind == SymKind::Class {
+                return cur;
+            }
+            cur = self.sym(cur).owner;
+        }
+        SymbolId::NONE
+    }
+
+    /// Class linearization: the class itself followed by all base classes,
+    /// traits linearized right-to-left, duplicates keeping the first
+    /// occurrence.
+    pub fn linearization(&self, cls: SymbolId) -> Vec<SymbolId> {
+        let mut out = vec![cls];
+        let parents: Vec<SymbolId> = self
+            .sym(cls)
+            .parents
+            .iter()
+            .filter_map(|p| p.class_sym())
+            .collect();
+        for p in parents.iter().rev() {
+            for s in self.linearization(*p) {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `sub` is `sup` or inherits from it (symbol level).
+    pub fn is_subclass(&self, sub: SymbolId, sup: SymbolId) -> bool {
+        self.linearization(sub).contains(&sup)
+    }
+
+    /// The instantiation of base class `target` as seen from class type `t`,
+    /// or `None` if `t` does not derive from `target`.
+    pub fn base_type(&self, t: &Type, target: SymbolId) -> Option<Type> {
+        match t {
+            Type::Class { sym, targs } => {
+                if *sym == target {
+                    return Some(t.clone());
+                }
+                let data = self.sym(*sym);
+                let tparams = data.tparams.clone();
+                for parent in data.parents.clone() {
+                    let seen = parent.subst(&tparams, targs);
+                    if let Some(bt) = self.base_type(&seen, target) {
+                        return Some(bt);
+                    }
+                }
+                None
+            }
+            Type::Function { params, ret } => {
+                let n = params.len();
+                if n < self.builtins.function_classes.len() {
+                    let cls = self.builtins.function_classes[n];
+                    let mut targs = params.clone();
+                    targs.push((**ret).clone());
+                    self.base_type(
+                        &Type::Class {
+                            sym: cls,
+                            targs,
+                        },
+                        target,
+                    )
+                } else {
+                    None
+                }
+            }
+            Type::TermRef(s) => self.base_type(&self.widen(t.clone()), target).or_else(|| {
+                let _ = s;
+                None
+            }),
+            _ => None,
+        }
+    }
+
+    /// Widens singleton types to their underlying type.
+    pub fn widen(&self, t: Type) -> Type {
+        match t {
+            Type::TermRef(s) => {
+                let info = self.sym(s).info.clone();
+                self.widen(info)
+            }
+            other => other,
+        }
+    }
+
+    /// Structural subtyping with nominal class subtyping (invariant type
+    /// arguments, contravariant function parameters).
+    pub fn is_subtype(&self, a: &Type, b: &Type) -> bool {
+        if a == b {
+            return true;
+        }
+        match (a, b) {
+            (Type::Error, _) | (_, Type::Error) => true,
+            (_, Type::Any) => true,
+            (Type::Nothing, _) => true,
+            (Type::Null, t) if t.is_ref_like() => true,
+            (Type::TermRef(_), _) => self.is_subtype(&self.widen(a.clone()), b),
+            (_, Type::AnyRef) if a.is_ref_like() => true,
+            (Type::Or(x, y), _) => self.is_subtype(x, b) && self.is_subtype(y, b),
+            (_, Type::Or(x, y)) => self.is_subtype(a, x) || self.is_subtype(a, y),
+            (Type::Class { .. }, Type::Class { sym: bs, targs: bt }) => {
+                match self.base_type(a, *bs) {
+                    Some(Type::Class { targs: at, .. }) => at == *bt,
+                    _ => false,
+                }
+            }
+            (Type::Function { .. }, Type::Class { sym: bs, .. }) => match self.base_type(a, *bs) {
+                Some(Type::Class { targs: at, .. }) => {
+                    // Compare against the base instance; invariant args.
+                    match self.base_type(a, *bs) {
+                        Some(Type::Class { targs, .. }) => targs == at,
+                        _ => false,
+                    }
+                }
+                _ => false,
+            },
+            (
+                Type::Function { params: pa, ret: ra },
+                Type::Function { params: pb, ret: rb },
+            ) => {
+                pa.len() == pb.len()
+                    && pb
+                        .iter()
+                        .zip(pa.iter())
+                        .all(|(b_p, a_p)| self.is_subtype(b_p, a_p))
+                    && self.is_subtype(ra, rb)
+            }
+            (Type::Array(ea), Type::Array(eb)) => ea == eb,
+            (Type::ByName(x), Type::ByName(y)) => self.is_subtype(x, y),
+            (Type::ByName(x), _) => self.is_subtype(x, b),
+            (Type::Repeated(x), Type::Repeated(y)) => self.is_subtype(x, y),
+            _ => false,
+        }
+    }
+
+    /// Least upper bound, approximated: exact when one side subsumes the
+    /// other; otherwise the most specific common base class, falling back to
+    /// `AnyRef`/`Any`.
+    pub fn lub(&self, a: &Type, b: &Type) -> Type {
+        if self.is_subtype(a, b) {
+            return b.clone();
+        }
+        if self.is_subtype(b, a) {
+            return a.clone();
+        }
+        let wa = self.widen(a.clone());
+        let wb = self.widen(b.clone());
+        if let (Type::Class { sym: sa, .. }, Type::Class { .. }) = (&wa, &wb) {
+            for base in self.linearization(*sa) {
+                if let Some(bt) = self.base_type(&wa, base) {
+                    if self.is_subtype(&wb, &bt) {
+                        return bt;
+                    }
+                }
+            }
+        }
+        if wa.is_ref_like() && wb.is_ref_like() {
+            Type::AnyRef
+        } else {
+            Type::Any
+        }
+    }
+
+    /// Type erasure (the `Erasure` phase's type map):
+    /// * type parameters erase to `Any`;
+    /// * class types lose their type arguments;
+    /// * function types erase to the corresponding `FunctionN` class;
+    /// * by-name types erase to `Function0`;
+    /// * repeated types erase to arrays;
+    /// * polymorphic methods lose their binders;
+    /// * union members erase to their join.
+    pub fn erase(&self, t: &Type) -> Type {
+        match t {
+            Type::TypeParam(_) => Type::Any,
+            Type::TermRef(_) => self.erase(&self.widen(t.clone())),
+            Type::Class { sym, .. } => Type::Class {
+                sym: *sym,
+                targs: Vec::new(),
+            },
+            Type::Function { params, .. } => {
+                let n = params.len().min(self.builtins.function_classes.len() - 1);
+                Type::Class {
+                    sym: self.builtins.function_classes[n],
+                    targs: Vec::new(),
+                }
+            }
+            Type::ByName(_) => Type::Class {
+                sym: self.builtins.function_classes[0],
+                targs: Vec::new(),
+            },
+            Type::Repeated(e) => Type::Array(Box::new(self.erase(e))),
+            Type::Array(e) => Type::Array(Box::new(self.erase(e))),
+            Type::Method { params, ret } => {
+                let flat: Vec<Type> = params.iter().flatten().map(|p| self.erase(p)).collect();
+                Type::Method {
+                    params: vec![flat],
+                    ret: Box::new(self.erase(ret)),
+                }
+            }
+            Type::Poly { underlying, .. } => self.erase(underlying),
+            Type::Or(x, y) => {
+                let ex = self.erase(x);
+                let ey = self.erase(y);
+                if ex == ey {
+                    ex
+                } else if ex.is_ref_like() && ey.is_ref_like() {
+                    self.lub(&ex, &ey)
+                } else {
+                    Type::Any
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Looks up a declaration of `name` directly in `owner`.
+    pub fn decl(&self, owner: SymbolId, name: Name) -> Option<SymbolId> {
+        self.sym(owner)
+            .decls
+            .iter()
+            .copied()
+            .find(|&d| self.sym(d).name == name)
+    }
+
+    /// Member lookup on a type: walks the linearization of the underlying
+    /// class and returns the first member named `name` together with its info
+    /// *as seen from* `t` (type arguments substituted).
+    pub fn member(&self, t: &Type, name: Name) -> Option<(SymbolId, Type)> {
+        match t {
+            Type::TermRef(_) => self.member(&self.widen(t.clone()), name),
+            Type::Class { sym, .. } => {
+                for base in self.linearization(*sym) {
+                    if let Some(d) = self.decl(base, name) {
+                        let info = self.sym(d).info.clone();
+                        let seen = match self.base_type(t, base) {
+                            Some(Type::Class { targs, .. }) => {
+                                let tps = self.sym(base).tparams.clone();
+                                if tps.len() == targs.len() {
+                                    info.subst(&tps, &targs)
+                                } else {
+                                    info
+                                }
+                            }
+                            _ => info,
+                        };
+                        return Some((d, seen));
+                    }
+                }
+                self.universal_member(name)
+            }
+            Type::Function { params, ret } => {
+                let n = params.len();
+                if n < self.builtins.function_classes.len() {
+                    let mut targs = params.clone();
+                    targs.push((**ret).clone());
+                    self.member(
+                        &Type::Class {
+                            sym: self.builtins.function_classes[n],
+                            targs,
+                        },
+                        name,
+                    )
+                } else {
+                    None
+                }
+            }
+            Type::Any
+            | Type::AnyRef
+            | Type::Int
+            | Type::Boolean
+            | Type::Unit
+            | Type::Str
+            | Type::Array(_) => self.universal_member(name),
+            Type::Or(x, _) => {
+                // Selections on union types are the Splitter phase's business;
+                // for lookup we use the left member (checked symmetric by the
+                // typer).
+                self.member(x, name)
+            }
+            _ => None,
+        }
+    }
+
+    fn universal_member(&self, name: Name) -> Option<(SymbolId, Type)> {
+        self.decl(self.builtins.any_class, name)
+            .map(|d| (d, self.sym(d).info.clone()))
+    }
+
+    /// The member of a parent class that `m` (a member of `cls`) overrides,
+    /// if any: same name, same number of value parameters.
+    pub fn overridden(&self, cls: SymbolId, m: SymbolId) -> Option<SymbolId> {
+        let md = self.sym(m);
+        let nparams = md.info.param_count();
+        for base in self.linearization(cls).into_iter().skip(1) {
+            if let Some(d) = self.decl(base, md.name) {
+                if self.sym(d).info.param_count() == nparams {
+                    return Some(d);
+                }
+            }
+        }
+        None
+    }
+
+    /// All symbols whose owner is `owner` (snapshot).
+    pub fn decls_of(&self, owner: SymbolId) -> Vec<SymbolId> {
+        self.sym(owner).decls.clone()
+    }
+
+    /// Human-readable qualified name for diagnostics.
+    pub fn full_name(&self, sym: SymbolId) -> String {
+        if !sym.exists() {
+            return "<none>".to_owned();
+        }
+        let mut parts = vec![self.sym(sym).name.as_str().to_owned()];
+        for o in self.owner_chain(sym) {
+            if o == self.builtins.root_pkg || !o.exists() {
+                break;
+            }
+            parts.push(self.sym(o).name.as_str().to_owned());
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> SymbolTable {
+        SymbolTable::new()
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolTable({} symbols)", self.syms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (SymbolTable, SymbolId, SymbolId, SymbolId) {
+        // trait A; class B extends A; class C extends B
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        let a = tab.new_class(pkg, Name::from("A"), Flags::TRAIT, vec![Type::AnyRef], vec![]);
+        let b = {
+            let at = tab.class_type(a);
+            tab.new_class(pkg, Name::from("B"), Flags::EMPTY, vec![at], vec![])
+        };
+        let c = {
+            let bt = tab.class_type(b);
+            tab.new_class(pkg, Name::from("C"), Flags::EMPTY, vec![bt], vec![])
+        };
+        (tab, a, b, c)
+    }
+
+    #[test]
+    fn linearization_orders_self_first() {
+        let (tab, a, b, c) = fixture();
+        let lin = tab.linearization(c);
+        assert_eq!(lin[0], c);
+        assert!(lin.contains(&b));
+        assert!(lin.contains(&a));
+        let pos = |s| lin.iter().position(|&x| x == s).unwrap();
+        assert!(pos(c) < pos(b) && pos(b) < pos(a));
+    }
+
+    #[test]
+    fn subclass_and_subtype_follow_parents() {
+        let (tab, a, _b, c) = fixture();
+        assert!(tab.is_subclass(c, a));
+        assert!(!tab.is_subclass(a, c));
+        assert!(tab.is_subtype(&tab.class_type(c), &tab.class_type(a)));
+        assert!(tab.is_subtype(&tab.class_type(c), &Type::AnyRef));
+        assert!(tab.is_subtype(&tab.class_type(c), &Type::Any));
+        assert!(!tab.is_subtype(&Type::Int, &Type::AnyRef));
+    }
+
+    #[test]
+    fn generic_base_type_substitutes_args() {
+        // class Box[T]; class IntBox extends Box[Int]
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        let box_cls = tab.new_class(pkg, Name::from("Box"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
+        let t = tab.new_type_param(box_cls, Name::from("T"));
+        tab.sym_mut(box_cls).tparams = vec![t];
+        let int_box = tab.new_class(
+            pkg,
+            Name::from("IntBox"),
+            Flags::EMPTY,
+            vec![Type::Class {
+                sym: box_cls,
+                targs: vec![Type::Int],
+            }],
+            vec![],
+        );
+        let bt = tab
+            .base_type(&tab.class_type(int_box), box_cls)
+            .expect("IntBox derives Box");
+        assert_eq!(
+            bt,
+            Type::Class {
+                sym: box_cls,
+                targs: vec![Type::Int]
+            }
+        );
+        // Member as seen from IntBox substitutes T := Int.
+        let v = tab.new_term(box_cls, Name::from("value"), Flags::EMPTY, Type::TypeParam(t));
+        let (found, seen) = tab
+            .member(&tab.class_type(int_box), Name::from("value"))
+            .unwrap();
+        assert_eq!(found, v);
+        assert_eq!(seen, Type::Int);
+    }
+
+    #[test]
+    fn lub_finds_common_base() {
+        let (tab, a, b, c) = fixture();
+        let l = tab.lub(&tab.class_type(c), &tab.class_type(b));
+        assert_eq!(l, tab.class_type(b));
+        let l2 = tab.lub(&tab.class_type(c), &tab.class_type(a));
+        assert_eq!(l2, tab.class_type(a));
+        assert_eq!(tab.lub(&Type::Int, &Type::Str), Type::Any);
+        assert_eq!(tab.lub(&Type::Nothing, &Type::Int), Type::Int);
+    }
+
+    #[test]
+    fn erasure_produces_erased_types() {
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        let cls = tab.new_class(pkg, Name::from("Box"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
+        let t = tab.new_type_param(cls, Name::from("T"));
+        tab.sym_mut(cls).tparams = vec![t];
+        let generic = Type::Class {
+            sym: cls,
+            targs: vec![Type::Int],
+        };
+        assert!(tab.erase(&generic).is_erased());
+        let f = Type::Function {
+            params: vec![Type::Int],
+            ret: Box::new(Type::Boolean),
+        };
+        let ef = tab.erase(&f);
+        assert_eq!(ef.class_sym(), Some(tab.builtins().function_classes[1]));
+        let m = Type::Method {
+            params: vec![vec![Type::TypeParam(t)], vec![Type::Int]],
+            ret: Box::new(Type::Repeated(Box::new(Type::TypeParam(t)))),
+        };
+        let em = tab.erase(&m);
+        assert!(em.is_erased(), "{em}");
+        assert_eq!(em.param_lists().len(), 1);
+    }
+
+    #[test]
+    fn function_types_subtype_function_classes() {
+        let tab = SymbolTable::new();
+        let f1 = Type::Function {
+            params: vec![Type::Int],
+            ret: Box::new(Type::Boolean),
+        };
+        let cls = Type::Class {
+            sym: tab.builtins().function_classes[1],
+            targs: vec![Type::Int, Type::Boolean],
+        };
+        assert!(tab.is_subtype(&f1, &cls));
+        let apply = tab.member(&f1, std_names::apply()).expect("apply member");
+        assert_eq!(
+            apply.1,
+            Type::Method {
+                params: vec![vec![Type::Int]],
+                ret: Box::new(Type::Boolean)
+            }
+        );
+    }
+
+    #[test]
+    fn overridden_member_is_found() {
+        let (mut tab, a, _b, c) = fixture();
+        let base_m = tab.new_term(
+            a,
+            Name::from("m"),
+            Flags::METHOD,
+            Type::Method {
+                params: vec![vec![Type::Int]],
+                ret: Box::new(Type::Int),
+            },
+        );
+        let sub_m = tab.new_term(
+            c,
+            Name::from("m"),
+            Flags::METHOD | Flags::OVERRIDE,
+            Type::Method {
+                params: vec![vec![Type::Int]],
+                ret: Box::new(Type::Int),
+            },
+        );
+        assert_eq!(tab.overridden(c, sub_m), Some(base_m));
+    }
+
+    #[test]
+    fn full_name_walks_owners() {
+        let (tab, _a, _b, c) = fixture();
+        assert_eq!(tab.full_name(c), "C");
+        assert_eq!(tab.full_name(SymbolId::NONE), "<none>");
+    }
+
+    #[test]
+    fn union_subtyping() {
+        let tab = SymbolTable::new();
+        let u = Type::Or(Box::new(Type::Int), Box::new(Type::Str));
+        assert!(tab.is_subtype(&Type::Int, &u));
+        assert!(tab.is_subtype(&Type::Str, &u));
+        assert!(tab.is_subtype(&u, &Type::Any));
+        assert!(!tab.is_subtype(&u, &Type::Int));
+    }
+}

@@ -1,0 +1,827 @@
+//! Tree nodes.
+//!
+//! Trees are logically immutable and carry no parent links, exactly as in the
+//! paper (§2): this allows subtree sharing between versions of the program
+//! and means transformed trees are rebuilt through *copiers*. The copier
+//! implements the paper's reuse optimization — "an optimization avoids the
+//! copying in the (quite common) case where a transform returns a tree with
+//! the same fields as its input" — via [`Tree::map_children`], which returns
+//! the original `Arc` when no child changed.
+//!
+//! Each node carries a [`NodeId`] and a synthetic bump-allocated heap address
+//! used by the instrumentation sinks (`gc-sim`, `cache-sim`).
+
+use crate::constant::Constant;
+use crate::names::Name;
+use crate::span::Span;
+use crate::symbol::SymbolId;
+use crate::trace;
+use crate::types::Type;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity of one allocated tree node; doubles as the allocation-order
+/// timestamp consumed by the generational-GC simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u64);
+
+/// Shared handle to an immutable tree node.
+pub type TreeRef = Arc<Tree>;
+
+/// Enumerates the 32 tree node kinds; the per-kind transform/prepare hooks of
+/// the Miniphase framework dispatch on this.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// The empty tree.
+    Empty = 0,
+    /// A literal constant.
+    Literal,
+    /// A resolved reference to a definition.
+    Ident,
+    /// An unresolved identifier (parser output; gone after the frontend).
+    Unresolved,
+    /// A member selection `qual.name`.
+    Select,
+    /// A function/method application.
+    Apply,
+    /// A type application `f[T]`.
+    TypeApply,
+    /// An object allocation `new C`.
+    New,
+    /// An assignment `lhs = rhs`.
+    Assign,
+    /// A statement block.
+    Block,
+    /// A conditional.
+    If,
+    /// A pattern match.
+    Match,
+    /// One case of a `Match` or `Try`.
+    CaseDef,
+    /// A pattern binder `x @ pat`.
+    Bind,
+    /// A pattern alternative `p1 | p2`.
+    Alternative,
+    /// A type ascription (or type pattern).
+    Typed,
+    /// A checked cast (inserted by `Erasure`).
+    Cast,
+    /// A runtime type test (emitted by `PatternMatcher`).
+    IsInstance,
+    /// A while loop.
+    While,
+    /// A try/catch/finally.
+    Try,
+    /// A throw.
+    Throw,
+    /// A (possibly non-local) return.
+    Return,
+    /// An anonymous function.
+    Lambda,
+    /// A labeled block (jump target).
+    Labeled,
+    /// A jump to an enclosing label.
+    JumpTo,
+    /// A sequence literal (from vararg expansion).
+    SeqLiteral,
+    /// A `val`/`var` definition.
+    ValDef,
+    /// A `def` definition.
+    DefDef,
+    /// A class or trait definition.
+    ClassDef,
+    /// A package's top-level statements.
+    PackageDef,
+    /// A `this` reference.
+    This,
+    /// A `super` reference.
+    Super,
+}
+
+/// Number of distinct node kinds.
+pub const NODE_KIND_COUNT: usize = 32;
+
+/// All node kinds in discriminant order.
+pub const ALL_NODE_KINDS: [NodeKind; NODE_KIND_COUNT] = [
+    NodeKind::Empty,
+    NodeKind::Literal,
+    NodeKind::Ident,
+    NodeKind::Unresolved,
+    NodeKind::Select,
+    NodeKind::Apply,
+    NodeKind::TypeApply,
+    NodeKind::New,
+    NodeKind::Assign,
+    NodeKind::Block,
+    NodeKind::If,
+    NodeKind::Match,
+    NodeKind::CaseDef,
+    NodeKind::Bind,
+    NodeKind::Alternative,
+    NodeKind::Typed,
+    NodeKind::Cast,
+    NodeKind::IsInstance,
+    NodeKind::While,
+    NodeKind::Try,
+    NodeKind::Throw,
+    NodeKind::Return,
+    NodeKind::Lambda,
+    NodeKind::Labeled,
+    NodeKind::JumpTo,
+    NodeKind::SeqLiteral,
+    NodeKind::ValDef,
+    NodeKind::DefDef,
+    NodeKind::ClassDef,
+    NodeKind::PackageDef,
+    NodeKind::This,
+    NodeKind::Super,
+];
+
+/// A set of node kinds, used by the fusion engine to know which kinds a
+/// Miniphase actually transforms or prepares (the Rust equivalent of the
+/// paper's `transform == id` test, Listing 6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeKindSet(u64);
+
+impl NodeKindSet {
+    /// The empty set.
+    pub const EMPTY: NodeKindSet = NodeKindSet(0);
+
+    /// The set of all kinds.
+    pub const ALL: NodeKindSet = NodeKindSet((1u64 << NODE_KIND_COUNT) - 1);
+
+    /// A singleton set.
+    pub fn of(kind: NodeKind) -> NodeKindSet {
+        NodeKindSet(1u64 << kind as u8)
+    }
+
+    /// Builds a set from an iterator of kinds.
+    pub fn from_kinds<I: IntoIterator<Item = NodeKind>>(kinds: I) -> NodeKindSet {
+        let mut s = NodeKindSet::EMPTY;
+        for k in kinds {
+            s = s.with(k);
+        }
+        s
+    }
+
+    /// Returns the set with `kind` added.
+    pub fn with(self, kind: NodeKind) -> NodeKindSet {
+        NodeKindSet(self.0 | (1u64 << kind as u8))
+    }
+
+    /// True if `kind` is a member.
+    pub fn contains(self, kind: NodeKind) -> bool {
+        self.0 & (1u64 << kind as u8) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: NodeKindSet) -> NodeKindSet {
+        NodeKindSet(self.0 | other.0)
+    }
+
+    /// True if no kinds are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of member kinds.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the member kinds in discriminant order.
+    pub fn iter(self) -> impl Iterator<Item = NodeKind> {
+        ALL_NODE_KINDS
+            .into_iter()
+            .filter(move |&k| self.contains(k))
+    }
+}
+
+impl fmt::Debug for NodeKindSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// The shape of one tree node.
+#[derive(Clone, Debug)]
+pub enum TreeKind {
+    /// The empty tree (absent else-branch, empty guard, abstract body).
+    Empty,
+    /// A literal constant.
+    Literal {
+        /// The constant value.
+        value: Constant,
+    },
+    /// A resolved reference.
+    Ident {
+        /// The referenced definition.
+        sym: SymbolId,
+    },
+    /// An unresolved identifier produced by the parser.
+    Unresolved {
+        /// The source name.
+        name: Name,
+    },
+    /// A member selection.
+    Select {
+        /// The qualifier expression.
+        qual: TreeRef,
+        /// The selected name.
+        name: Name,
+        /// The resolved member (NONE before the typer).
+        sym: SymbolId,
+    },
+    /// An application `fun(args)`.
+    Apply {
+        /// The applied function.
+        fun: TreeRef,
+        /// Arguments.
+        args: Vec<TreeRef>,
+    },
+    /// A type application `fun[targs]`.
+    TypeApply {
+        /// The applied (polymorphic) function.
+        fun: TreeRef,
+        /// Type arguments.
+        targs: Vec<Type>,
+    },
+    /// An object allocation; the node's type is the allocated class type.
+    New {
+        /// The allocated class type.
+        tpe: Type,
+    },
+    /// An assignment.
+    Assign {
+        /// The assigned location (Ident or Select).
+        lhs: TreeRef,
+        /// The assigned value.
+        rhs: TreeRef,
+    },
+    /// A block of statements ending in an expression.
+    Block {
+        /// Leading statements.
+        stats: Vec<TreeRef>,
+        /// The result expression.
+        expr: TreeRef,
+    },
+    /// A conditional expression.
+    If {
+        /// Condition.
+        cond: TreeRef,
+        /// Then branch.
+        then_branch: TreeRef,
+        /// Else branch (`Empty` when absent).
+        else_branch: TreeRef,
+    },
+    /// A pattern match; eliminated by `PatternMatcher`.
+    Match {
+        /// The scrutinee.
+        selector: TreeRef,
+        /// `CaseDef` children.
+        cases: Vec<TreeRef>,
+    },
+    /// One case clause.
+    CaseDef {
+        /// The pattern.
+        pat: TreeRef,
+        /// The guard (`Empty` when absent).
+        guard: TreeRef,
+        /// The case body.
+        body: TreeRef,
+    },
+    /// A pattern binder.
+    Bind {
+        /// The bound variable's symbol.
+        sym: SymbolId,
+        /// The inner pattern.
+        pat: TreeRef,
+    },
+    /// A pattern alternative.
+    Alternative {
+        /// The alternatives.
+        pats: Vec<TreeRef>,
+    },
+    /// A type ascription, or a type pattern when under a `CaseDef`.
+    Typed {
+        /// The ascribed expression / inner pattern.
+        expr: TreeRef,
+        /// The ascribed type.
+        tpe: Type,
+    },
+    /// A checked cast.
+    Cast {
+        /// The cast expression.
+        expr: TreeRef,
+        /// The target type.
+        tpe: Type,
+    },
+    /// A runtime type test.
+    IsInstance {
+        /// The tested expression.
+        expr: TreeRef,
+        /// The tested-against type.
+        tpe: Type,
+    },
+    /// A while loop.
+    While {
+        /// Condition.
+        cond: TreeRef,
+        /// Body.
+        body: TreeRef,
+    },
+    /// Try/catch/finally; catch cases are `CaseDef`s.
+    Try {
+        /// The protected expression.
+        block: TreeRef,
+        /// Catch cases.
+        cases: Vec<TreeRef>,
+        /// Finalizer (`Empty` when absent).
+        finalizer: TreeRef,
+    },
+    /// A throw expression.
+    Throw {
+        /// The thrown value.
+        expr: TreeRef,
+    },
+    /// A return; `from` is the enclosing method (supports non-local returns).
+    Return {
+        /// The returned value (`Empty` for unit returns).
+        expr: TreeRef,
+        /// The method returned from.
+        from: SymbolId,
+    },
+    /// An anonymous function; params are `ValDef`s.
+    Lambda {
+        /// The parameters.
+        params: Vec<TreeRef>,
+        /// The body.
+        body: TreeRef,
+    },
+    /// A labeled block, target of `JumpTo` (loops after `TailRec`).
+    Labeled {
+        /// The label symbol.
+        label: SymbolId,
+        /// The body.
+        body: TreeRef,
+    },
+    /// A jump to an enclosing `Labeled`, re-binding its parameters.
+    JumpTo {
+        /// The target label.
+        label: SymbolId,
+        /// New values for the label's parameters.
+        args: Vec<TreeRef>,
+    },
+    /// A sequence literal produced by `ElimRepeated`.
+    SeqLiteral {
+        /// Element expressions.
+        elems: Vec<TreeRef>,
+        /// Element type.
+        elem_tpe: Type,
+    },
+    /// A value definition.
+    ValDef {
+        /// The defined symbol.
+        sym: SymbolId,
+        /// The right-hand side (`Empty` for abstract/param).
+        rhs: TreeRef,
+    },
+    /// A method definition.
+    DefDef {
+        /// The defined symbol.
+        sym: SymbolId,
+        /// Parameter lists of `ValDef`s.
+        paramss: Vec<Vec<TreeRef>>,
+        /// The body (`Empty` when abstract).
+        rhs: TreeRef,
+    },
+    /// A class or trait definition.
+    ClassDef {
+        /// The class symbol (parents and members recorded in the symbol).
+        sym: SymbolId,
+        /// The template body.
+        body: Vec<TreeRef>,
+    },
+    /// Top-level statements of a compilation unit.
+    PackageDef {
+        /// The package symbol.
+        pkg: SymbolId,
+        /// Top-level definitions.
+        stats: Vec<TreeRef>,
+    },
+    /// A `this` reference.
+    This {
+        /// The referenced class.
+        cls: SymbolId,
+    },
+    /// A `super` reference.
+    Super {
+        /// The class whose parent is referenced.
+        cls: SymbolId,
+    },
+}
+
+impl TreeKind {
+    /// The node kind discriminant.
+    pub fn node_kind(&self) -> NodeKind {
+        match self {
+            TreeKind::Empty => NodeKind::Empty,
+            TreeKind::Literal { .. } => NodeKind::Literal,
+            TreeKind::Ident { .. } => NodeKind::Ident,
+            TreeKind::Unresolved { .. } => NodeKind::Unresolved,
+            TreeKind::Select { .. } => NodeKind::Select,
+            TreeKind::Apply { .. } => NodeKind::Apply,
+            TreeKind::TypeApply { .. } => NodeKind::TypeApply,
+            TreeKind::New { .. } => NodeKind::New,
+            TreeKind::Assign { .. } => NodeKind::Assign,
+            TreeKind::Block { .. } => NodeKind::Block,
+            TreeKind::If { .. } => NodeKind::If,
+            TreeKind::Match { .. } => NodeKind::Match,
+            TreeKind::CaseDef { .. } => NodeKind::CaseDef,
+            TreeKind::Bind { .. } => NodeKind::Bind,
+            TreeKind::Alternative { .. } => NodeKind::Alternative,
+            TreeKind::Typed { .. } => NodeKind::Typed,
+            TreeKind::Cast { .. } => NodeKind::Cast,
+            TreeKind::IsInstance { .. } => NodeKind::IsInstance,
+            TreeKind::While { .. } => NodeKind::While,
+            TreeKind::Try { .. } => NodeKind::Try,
+            TreeKind::Throw { .. } => NodeKind::Throw,
+            TreeKind::Return { .. } => NodeKind::Return,
+            TreeKind::Lambda { .. } => NodeKind::Lambda,
+            TreeKind::Labeled { .. } => NodeKind::Labeled,
+            TreeKind::JumpTo { .. } => NodeKind::JumpTo,
+            TreeKind::SeqLiteral { .. } => NodeKind::SeqLiteral,
+            TreeKind::ValDef { .. } => NodeKind::ValDef,
+            TreeKind::DefDef { .. } => NodeKind::DefDef,
+            TreeKind::ClassDef { .. } => NodeKind::ClassDef,
+            TreeKind::PackageDef { .. } => NodeKind::PackageDef,
+            TreeKind::This { .. } => NodeKind::This,
+            TreeKind::Super { .. } => NodeKind::Super,
+        }
+    }
+
+    /// A deterministic estimate of the node's heap footprint in bytes,
+    /// modelling a JVM-style object header plus fields; feeds the allocation
+    /// figures (paper Figs 5–6) and the synthetic heap addresses.
+    pub fn approx_bytes(&self) -> u32 {
+        const HEADER: u32 = 48; // object header + id + span + type slot
+        let payload = match self {
+            TreeKind::Empty | TreeKind::This { .. } | TreeKind::Super { .. } => 8,
+            TreeKind::Literal { .. } | TreeKind::Ident { .. } | TreeKind::Unresolved { .. } => 16,
+            TreeKind::Select { .. } => 24,
+            TreeKind::Apply { args, .. } => 8 + vec_bytes(args.len()),
+            TreeKind::TypeApply { targs, .. } => 8 + vec_bytes(targs.len()),
+            TreeKind::New { .. } => 16,
+            TreeKind::Assign { .. } | TreeKind::While { .. } | TreeKind::Bind { .. } => 16,
+            TreeKind::Block { stats, .. } => 8 + vec_bytes(stats.len()),
+            TreeKind::If { .. } | TreeKind::CaseDef { .. } => 24,
+            TreeKind::Match { cases, .. } => 8 + vec_bytes(cases.len()),
+            TreeKind::Alternative { pats } => vec_bytes(pats.len()),
+            TreeKind::Typed { .. } | TreeKind::Cast { .. } | TreeKind::IsInstance { .. } => 24,
+            TreeKind::Try { cases, .. } => 16 + vec_bytes(cases.len()),
+            TreeKind::Throw { .. } => 8,
+            TreeKind::Return { .. } => 16,
+            TreeKind::Lambda { params, .. } => 8 + vec_bytes(params.len()),
+            TreeKind::Labeled { .. } => 16,
+            TreeKind::JumpTo { args, .. } => 8 + vec_bytes(args.len()),
+            TreeKind::SeqLiteral { elems, .. } => 16 + vec_bytes(elems.len()),
+            TreeKind::ValDef { .. } => 16,
+            TreeKind::DefDef { paramss, .. } => {
+                16 + paramss.iter().map(|l| vec_bytes(l.len())).sum::<u32>()
+            }
+            TreeKind::ClassDef { body, .. } => 8 + vec_bytes(body.len()),
+            TreeKind::PackageDef { stats, .. } => 8 + vec_bytes(stats.len()),
+        };
+        HEADER + payload
+    }
+}
+
+fn vec_bytes(n: usize) -> u32 {
+    24 + 8 * n as u32
+}
+
+/// One immutable tree node.
+///
+/// Nodes are only created through [`crate::Ctx::mk`] (or the convenience
+/// builders on `Ctx`), which assigns the id, the synthetic heap address and
+/// reports the allocation to the instrumentation sinks.
+pub struct Tree {
+    pub(crate) id: NodeId,
+    pub(crate) addr: u64,
+    pub(crate) bytes: u32,
+    pub(crate) span: Span,
+    pub(crate) tpe: Type,
+    pub(crate) kind: TreeKind,
+}
+
+impl Tree {
+    /// The node's identity / allocation timestamp.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's synthetic heap address (bump allocated).
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The node's modelled footprint in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The node's type.
+    pub fn tpe(&self) -> &Type {
+        &self.tpe
+    }
+
+    /// The node's shape.
+    pub fn kind(&self) -> &TreeKind {
+        &self.kind
+    }
+
+    /// The kind discriminant.
+    pub fn node_kind(&self) -> NodeKind {
+        self.kind.node_kind()
+    }
+
+    /// True if this is the empty tree.
+    pub fn is_empty_tree(&self) -> bool {
+        matches!(self.kind, TreeKind::Empty)
+    }
+
+    /// True for definition nodes (`ValDef`, `DefDef`, `ClassDef`).
+    pub fn is_def(&self) -> bool {
+        matches!(
+            self.kind,
+            TreeKind::ValDef { .. } | TreeKind::DefDef { .. } | TreeKind::ClassDef { .. }
+        )
+    }
+
+    /// The defined symbol for definition nodes, binders and labels.
+    pub fn def_sym(&self) -> SymbolId {
+        match &self.kind {
+            TreeKind::ValDef { sym, .. }
+            | TreeKind::DefDef { sym, .. }
+            | TreeKind::ClassDef { sym, .. }
+            | TreeKind::Bind { sym, .. } => *sym,
+            TreeKind::Labeled { label, .. } => *label,
+            _ => SymbolId::NONE,
+        }
+    }
+
+    /// The referenced symbol for reference nodes.
+    pub fn ref_sym(&self) -> SymbolId {
+        match &self.kind {
+            TreeKind::Ident { sym } => *sym,
+            TreeKind::Select { sym, .. } => *sym,
+            TreeKind::This { cls } | TreeKind::Super { cls } => *cls,
+            TreeKind::JumpTo { label, .. } => *label,
+            TreeKind::Return { from, .. } => *from,
+            _ => SymbolId::NONE,
+        }
+    }
+
+    /// Invokes `f` on every direct child, in evaluation order.
+    pub fn for_each_child(&self, f: &mut dyn FnMut(&TreeRef)) {
+        match &self.kind {
+            TreeKind::Empty
+            | TreeKind::Literal { .. }
+            | TreeKind::Ident { .. }
+            | TreeKind::Unresolved { .. }
+            | TreeKind::New { .. }
+            | TreeKind::This { .. }
+            | TreeKind::Super { .. } => {}
+            TreeKind::Select { qual, .. } => f(qual),
+            TreeKind::Apply { fun, args } => {
+                f(fun);
+                args.iter().for_each(&mut *f);
+            }
+            TreeKind::TypeApply { fun, .. } => f(fun),
+            TreeKind::Assign { lhs, rhs } => {
+                f(lhs);
+                f(rhs);
+            }
+            TreeKind::Block { stats, expr } => {
+                stats.iter().for_each(&mut *f);
+                f(expr);
+            }
+            TreeKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                f(cond);
+                f(then_branch);
+                f(else_branch);
+            }
+            TreeKind::Match { selector, cases } => {
+                f(selector);
+                cases.iter().for_each(&mut *f);
+            }
+            TreeKind::CaseDef { pat, guard, body } => {
+                f(pat);
+                f(guard);
+                f(body);
+            }
+            TreeKind::Bind { pat, .. } => f(pat),
+            TreeKind::Alternative { pats } => pats.iter().for_each(&mut *f),
+            TreeKind::Typed { expr, .. }
+            | TreeKind::Cast { expr, .. }
+            | TreeKind::IsInstance { expr, .. }
+            | TreeKind::Throw { expr }
+            | TreeKind::Return { expr, .. } => f(expr),
+            TreeKind::While { cond, body } => {
+                f(cond);
+                f(body);
+            }
+            TreeKind::Try {
+                block,
+                cases,
+                finalizer,
+            } => {
+                f(block);
+                cases.iter().for_each(&mut *f);
+                f(finalizer);
+            }
+            TreeKind::Lambda { params, body } => {
+                params.iter().for_each(&mut *f);
+                f(body);
+            }
+            TreeKind::Labeled { body, .. } => f(body),
+            TreeKind::JumpTo { args, .. } => args.iter().for_each(&mut *f),
+            TreeKind::SeqLiteral { elems, .. } => elems.iter().for_each(&mut *f),
+            TreeKind::ValDef { rhs, .. } => f(rhs),
+            TreeKind::DefDef { paramss, rhs, .. } => {
+                for ps in paramss {
+                    ps.iter().for_each(&mut *f);
+                }
+                f(rhs);
+            }
+            TreeKind::ClassDef { body, .. } => body.iter().for_each(&mut *f),
+            TreeKind::PackageDef { stats, .. } => stats.iter().for_each(&mut *f),
+        }
+    }
+
+    /// Collects the direct children.
+    pub fn children(&self) -> Vec<TreeRef> {
+        let mut out = Vec::new();
+        self.for_each_child(&mut |c| out.push(Arc::clone(c)));
+        out
+    }
+
+    /// Number of direct children.
+    pub fn child_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_child(&mut |_| n += 1);
+        n
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tree#{}({:?}, tpe={}, {} children)",
+            self.id.0,
+            self.node_kind(),
+            self.tpe,
+            self.child_count()
+        )
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        trace::record_free(self.id, self.bytes);
+    }
+}
+
+/// Invokes `macro_name!` with the list of all node kinds, each as
+/// `(Variant, transform_method, prepare_method)`.
+///
+/// This is how downstream crates (notably the `miniphase` framework)
+/// generate one hook per node kind without repeating the kind list.
+#[macro_export]
+macro_rules! with_node_kinds {
+    ($m:ident) => {
+        $m! {
+            (Empty, transform_empty, prepare_empty),
+            (Literal, transform_literal, prepare_literal),
+            (Ident, transform_ident, prepare_ident),
+            (Unresolved, transform_unresolved, prepare_unresolved),
+            (Select, transform_select, prepare_select),
+            (Apply, transform_apply, prepare_apply),
+            (TypeApply, transform_type_apply, prepare_type_apply),
+            (New, transform_new, prepare_new),
+            (Assign, transform_assign, prepare_assign),
+            (Block, transform_block, prepare_block),
+            (If, transform_if, prepare_if),
+            (Match, transform_match, prepare_match),
+            (CaseDef, transform_case_def, prepare_case_def),
+            (Bind, transform_bind, prepare_bind),
+            (Alternative, transform_alternative, prepare_alternative),
+            (Typed, transform_typed, prepare_typed),
+            (Cast, transform_cast, prepare_cast),
+            (IsInstance, transform_is_instance, prepare_is_instance),
+            (While, transform_while, prepare_while),
+            (Try, transform_try, prepare_try),
+            (Throw, transform_throw, prepare_throw),
+            (Return, transform_return, prepare_return),
+            (Lambda, transform_lambda, prepare_lambda),
+            (Labeled, transform_labeled, prepare_labeled),
+            (JumpTo, transform_jump_to, prepare_jump_to),
+            (SeqLiteral, transform_seq_literal, prepare_seq_literal),
+            (ValDef, transform_val_def, prepare_val_def),
+            (DefDef, transform_def_def, prepare_def_def),
+            (ClassDef, transform_class_def, prepare_class_def),
+            (PackageDef, transform_package_def, prepare_package_def),
+            (This, transform_this, prepare_this),
+            (Super, transform_super, prepare_super),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+
+    #[test]
+    fn node_kind_set_operations() {
+        let s = NodeKindSet::of(NodeKind::ValDef).with(NodeKind::Apply);
+        assert!(s.contains(NodeKind::ValDef));
+        assert!(s.contains(NodeKind::Apply));
+        assert!(!s.contains(NodeKind::If));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.union(NodeKindSet::of(NodeKind::If)).len(), 3);
+        assert_eq!(NodeKindSet::ALL.len(), NODE_KIND_COUNT);
+        let collected: Vec<NodeKind> = s.iter().collect();
+        assert_eq!(collected, vec![NodeKind::Apply, NodeKind::ValDef]);
+    }
+
+    #[test]
+    fn all_node_kinds_have_distinct_discriminants() {
+        for (i, k) in ALL_NODE_KINDS.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+        }
+    }
+
+    #[test]
+    fn children_follow_evaluation_order() {
+        let mut ctx = Ctx::new();
+        let a = ctx.lit_int(1);
+        let b = ctx.lit_int(2);
+        let c = ctx.lit_int(3);
+        let ids = [a.id(), b.id(), c.id()];
+        let ifn = ctx.mk(
+            TreeKind::If {
+                cond: a,
+                then_branch: b,
+                else_branch: c,
+            },
+            Type::Int,
+            Span::SYNTHETIC,
+        );
+        let got: Vec<NodeId> = ifn.children().iter().map(|t| t.id()).collect();
+        assert_eq!(got, ids);
+        assert_eq!(ifn.child_count(), 3);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_arity() {
+        let small = TreeKind::Apply {
+            fun: Ctx::new().lit_int(0),
+            args: vec![],
+        };
+        let mut ctx = Ctx::new();
+        let big = TreeKind::Apply {
+            fun: ctx.lit_int(0),
+            args: (0..10).map(|i| ctx.lit_int(i)).collect(),
+        };
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn def_and_ref_sym_accessors() {
+        let mut ctx = Ctx::new();
+        let sym = {
+            let b = ctx.symbols.builtins().root_pkg;
+            ctx.symbols
+                .new_term(b, Name::from("x"), crate::Flags::EMPTY, Type::Int)
+        };
+        let rhs = ctx.lit_int(1);
+        let vd = ctx.mk(TreeKind::ValDef { sym, rhs }, Type::Unit, Span::SYNTHETIC);
+        assert_eq!(vd.def_sym(), sym);
+        assert!(vd.is_def());
+        let id = ctx.ident(sym);
+        assert_eq!(id.ref_sym(), sym);
+        assert!(!id.is_def());
+    }
+}

@@ -1,0 +1,427 @@
+//! The MiniScala type representation.
+//!
+//! Types both describe values and, via [`Type::TermRef`], act as references
+//! to program definitions (the paper's "singleton types" generalization).
+//! Subtyping, least upper bounds and member lookup need the class hierarchy,
+//! so those operations live on [`crate::SymbolTable`]; this module holds the
+//! representation and the context-free operations (erasure structure,
+//! substitution, widening).
+
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// A MiniScala type.
+///
+/// # Examples
+///
+/// ```
+/// use mini_ir::Type;
+/// let t = Type::Function {
+///     params: vec![Type::Int],
+///     ret: Box::new(Type::Boolean),
+/// };
+/// assert!(t.is_function());
+/// assert!(!Type::Int.is_ref_like());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// Absence of a type; trees before the typer, and `checkNoOrphanTypes`'
+    /// target after it.
+    NoType,
+    /// A type produced from an erroneous program; absorbs further errors.
+    Error,
+    /// Top type.
+    Any,
+    /// Top of the reference types.
+    AnyRef,
+    /// Bottom type.
+    Nothing,
+    /// Type of `null`.
+    Null,
+    /// The unit type.
+    Unit,
+    /// 64-bit integers.
+    Int,
+    /// Booleans.
+    Boolean,
+    /// Built-in strings.
+    Str,
+    /// A (possibly generic) class or trait type `C[T1, ..., Tn]`.
+    Class {
+        /// The class symbol.
+        sym: SymbolId,
+        /// Type arguments; empty for monomorphic classes.
+        targs: Vec<Type>,
+    },
+    /// A reference to a type parameter.
+    TypeParam(SymbolId),
+    /// Singleton type of a stable term — a reference to a definition.
+    TermRef(SymbolId),
+    /// The type of a method, with one entry in `params` per parameter list
+    /// (MiniScala methods may be curried until `FirstTransform` flattens
+    /// them).
+    Method {
+        /// Parameter types per parameter list.
+        params: Vec<Vec<Type>>,
+        /// Result type.
+        ret: Box<Type>,
+    },
+    /// The type of a polymorphic method `[T1, ..., Tn](...)R`.
+    Poly {
+        /// The bound type parameters.
+        tparams: Vec<SymbolId>,
+        /// The underlying (usually method) type mentioning them.
+        underlying: Box<Type>,
+    },
+    /// A by-name parameter type `=> T`; eliminated by `ElimByName`.
+    ByName(Box<Type>),
+    /// A repeated parameter type `T*`; eliminated by `ElimRepeated`.
+    Repeated(Box<Type>),
+    /// An array type.
+    Array(Box<Type>),
+    /// A function type `(T1, ..., Tn) => R`; a shorthand for `FunctionN`.
+    Function {
+        /// Parameter types.
+        params: Vec<Type>,
+        /// Result type.
+        ret: Box<Type>,
+    },
+    /// A union type `A | B` (used by the optional `Splitter` extension).
+    Or(Box<Type>, Box<Type>),
+}
+
+impl Type {
+    /// True for types that are represented as heap references at runtime.
+    pub fn is_ref_like(&self) -> bool {
+        matches!(
+            self,
+            Type::AnyRef
+                | Type::Null
+                | Type::Str
+                | Type::Class { .. }
+                | Type::Array(_)
+                | Type::Function { .. }
+                | Type::Or(..)
+        )
+    }
+
+    /// True for primitive value types.
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Int | Type::Boolean | Type::Unit)
+    }
+
+    /// True if this is a method or polymorphic method type.
+    pub fn is_method_like(&self) -> bool {
+        matches!(self, Type::Method { .. } | Type::Poly { .. })
+    }
+
+    /// True if this is a function (closure) type.
+    pub fn is_function(&self) -> bool {
+        matches!(self, Type::Function { .. })
+    }
+
+    /// True if `NoType` or `Error`.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Type::NoType | Type::Error)
+    }
+
+    /// The class symbol, if this is a class type.
+    pub fn class_sym(&self) -> Option<SymbolId> {
+        match self {
+            Type::Class { sym, .. } => Some(*sym),
+            _ => None,
+        }
+    }
+
+    /// For method types: the final (uncurried) result after all parameter
+    /// lists. For other types, the type itself.
+    pub fn final_result(&self) -> &Type {
+        match self {
+            Type::Method { ret, .. } => ret.final_result(),
+            Type::Poly { underlying, .. } => underlying.final_result(),
+            _ => self,
+        }
+    }
+
+    /// The parameter lists of a method type (empty for non-methods).
+    pub fn param_lists(&self) -> &[Vec<Type>] {
+        match self {
+            Type::Method { params, .. } => params,
+            Type::Poly { underlying, .. } => underlying.param_lists(),
+            _ => &[],
+        }
+    }
+
+    /// Strips `ByName` and `Repeated` wrappers one level.
+    pub fn strip_param_wrappers(&self) -> &Type {
+        match self {
+            Type::ByName(t) | Type::Repeated(t) => t,
+            _ => self,
+        }
+    }
+
+    /// Substitutes type parameters `from[i] -> to[i]` throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` and `to` have different lengths.
+    pub fn subst(&self, from: &[SymbolId], to: &[Type]) -> Type {
+        assert_eq!(from.len(), to.len(), "subst arity mismatch");
+        if from.is_empty() {
+            return self.clone();
+        }
+        match self {
+            Type::TypeParam(s) => {
+                for (i, f) in from.iter().enumerate() {
+                    if f == s {
+                        return to[i].clone();
+                    }
+                }
+                self.clone()
+            }
+            Type::Class { sym, targs } => Type::Class {
+                sym: *sym,
+                targs: targs.iter().map(|t| t.subst(from, to)).collect(),
+            },
+            Type::Method { params, ret } => Type::Method {
+                params: params
+                    .iter()
+                    .map(|ps| ps.iter().map(|p| p.subst(from, to)).collect())
+                    .collect(),
+                ret: Box::new(ret.subst(from, to)),
+            },
+            Type::Poly {
+                tparams,
+                underlying,
+            } => {
+                // Inner binders shadow outer substitutions.
+                let keep: Vec<usize> = (0..from.len())
+                    .filter(|&i| !tparams.contains(&from[i]))
+                    .collect();
+                let f2: Vec<SymbolId> = keep.iter().map(|&i| from[i]).collect();
+                let t2: Vec<Type> = keep.iter().map(|&i| to[i].clone()).collect();
+                Type::Poly {
+                    tparams: tparams.clone(),
+                    underlying: Box::new(underlying.subst(&f2, &t2)),
+                }
+            }
+            Type::ByName(t) => Type::ByName(Box::new(t.subst(from, to))),
+            Type::Repeated(t) => Type::Repeated(Box::new(t.subst(from, to))),
+            Type::Array(t) => Type::Array(Box::new(t.subst(from, to))),
+            Type::Function { params, ret } => Type::Function {
+                params: params.iter().map(|p| p.subst(from, to)).collect(),
+                ret: Box::new(ret.subst(from, to)),
+            },
+            Type::Or(a, b) => Type::Or(
+                Box::new(a.subst(from, to)),
+                Box::new(b.subst(from, to)),
+            ),
+            _ => self.clone(),
+        }
+    }
+
+    /// True if the type mentions any of the given type parameters.
+    pub fn mentions(&self, tparams: &[SymbolId]) -> bool {
+        match self {
+            Type::TypeParam(s) => tparams.contains(s),
+            Type::Class { targs, .. } => targs.iter().any(|t| t.mentions(tparams)),
+            Type::Method { params, ret } => {
+                params.iter().flatten().any(|t| t.mentions(tparams)) || ret.mentions(tparams)
+            }
+            Type::Poly { underlying, .. } => underlying.mentions(tparams),
+            Type::ByName(t) | Type::Repeated(t) | Type::Array(t) => t.mentions(tparams),
+            Type::Function { params, ret } => {
+                params.iter().any(|t| t.mentions(tparams)) || ret.mentions(tparams)
+            }
+            Type::Or(a, b) => a.mentions(tparams) || b.mentions(tparams),
+            _ => false,
+        }
+    }
+
+    /// Structural "is fully erased" check: no type arguments, no type
+    /// parameters, no by-name/repeated/function/poly/union types anywhere.
+    /// This is `Erasure`'s postcondition.
+    pub fn is_erased(&self) -> bool {
+        match self {
+            Type::TypeParam(_)
+            | Type::ByName(_)
+            | Type::Repeated(_)
+            | Type::Poly { .. }
+            | Type::Function { .. }
+            | Type::Or(..) => false,
+            Type::Class { targs, .. } => targs.is_empty(),
+            Type::Method { params, ret } => {
+                params.len() <= 1
+                    && params.iter().flatten().all(|t| t.is_erased())
+                    && ret.is_erased()
+            }
+            Type::Array(t) => t.is_erased(),
+            _ => true,
+        }
+    }
+
+    /// The number of value parameters across all parameter lists.
+    pub fn param_count(&self) -> usize {
+        self.param_lists().iter().map(|l| l.len()).sum()
+    }
+}
+
+impl Default for Type {
+    fn default() -> Type {
+        Type::NoType
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::NoType => write!(f, "<notype>"),
+            Type::Error => write!(f, "<error>"),
+            Type::Any => write!(f, "Any"),
+            Type::AnyRef => write!(f, "AnyRef"),
+            Type::Nothing => write!(f, "Nothing"),
+            Type::Null => write!(f, "Null"),
+            Type::Unit => write!(f, "Unit"),
+            Type::Int => write!(f, "Int"),
+            Type::Boolean => write!(f, "Boolean"),
+            Type::Str => write!(f, "String"),
+            Type::Class { sym, targs } => {
+                write!(f, "#{}", sym.index())?;
+                if !targs.is_empty() {
+                    write!(f, "[")?;
+                    for (i, t) in targs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{t}")?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Type::TypeParam(s) => write!(f, "tp#{}", s.index()),
+            Type::TermRef(s) => write!(f, "ref#{}", s.index()),
+            Type::Method { params, ret } => {
+                for ps in params {
+                    write!(f, "(")?;
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, "{ret}")
+            }
+            Type::Poly {
+                tparams,
+                underlying,
+            } => {
+                write!(f, "[")?;
+                for (i, tp) in tparams.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "tp#{}", tp.index())?;
+                }
+                write!(f, "]{underlying}")
+            }
+            Type::ByName(t) => write!(f, "=> {t}"),
+            Type::Repeated(t) => write!(f, "{t}*"),
+            Type::Array(t) => write!(f, "Array[{t}]"),
+            Type::Function { params, ret } => {
+                write!(f, "(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") => {ret}")
+            }
+            Type::Or(a, b) => write!(f, "{a} | {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(i: u32) -> SymbolId {
+        SymbolId::from_index(i)
+    }
+
+    #[test]
+    fn subst_replaces_type_params() {
+        let t = Type::Function {
+            params: vec![Type::TypeParam(tp(1))],
+            ret: Box::new(Type::Array(Box::new(Type::TypeParam(tp(2))))),
+        };
+        let s = t.subst(&[tp(1), tp(2)], &[Type::Int, Type::Boolean]);
+        assert_eq!(
+            s,
+            Type::Function {
+                params: vec![Type::Int],
+                ret: Box::new(Type::Array(Box::new(Type::Boolean))),
+            }
+        );
+    }
+
+    #[test]
+    fn subst_respects_inner_binders() {
+        let inner = Type::Poly {
+            tparams: vec![tp(1)],
+            underlying: Box::new(Type::TypeParam(tp(1))),
+        };
+        let s = inner.subst(&[tp(1)], &[Type::Int]);
+        // The inner [tp1] shadows the outer substitution.
+        assert_eq!(s, inner);
+    }
+
+    #[test]
+    fn final_result_uncurries() {
+        let t = Type::Method {
+            params: vec![vec![Type::Int], vec![Type::Boolean]],
+            ret: Box::new(Type::Str),
+        };
+        assert_eq!(*t.final_result(), Type::Str);
+        assert_eq!(t.param_count(), 2);
+    }
+
+    #[test]
+    fn erased_check_rejects_generics() {
+        assert!(Type::Int.is_erased());
+        assert!(!Type::TypeParam(tp(3)).is_erased());
+        assert!(!Type::Function {
+            params: vec![],
+            ret: Box::new(Type::Unit)
+        }
+        .is_erased());
+        let generic = Type::Class {
+            sym: tp(4),
+            targs: vec![Type::Int],
+        };
+        assert!(!generic.is_erased());
+    }
+
+    #[test]
+    fn mentions_finds_nested_params() {
+        let t = Type::Array(Box::new(Type::Class {
+            sym: tp(9),
+            targs: vec![Type::TypeParam(tp(5))],
+        }));
+        assert!(t.mentions(&[tp(5)]));
+        assert!(!t.mentions(&[tp(6)]));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Type::Function {
+            params: vec![Type::Int, Type::Boolean],
+            ret: Box::new(Type::Unit),
+        };
+        assert_eq!(t.to_string(), "(Int, Boolean) => Unit");
+    }
+}

@@ -1,0 +1,113 @@
+//! Read-only tree traversal utilities.
+
+use crate::tree::{Tree, TreeRef};
+
+/// Applies `f` to every subtree of `t` (including `t` itself) in post-order —
+/// the traversal order the Miniphase framework imposes (§4).
+pub fn for_each_subtree(t: &TreeRef, f: &mut impl FnMut(&TreeRef)) {
+    fn walk(t: &TreeRef, f: &mut dyn FnMut(&TreeRef)) {
+        t.for_each_child(&mut |c| walk(c, f));
+        f(t);
+    }
+    walk(t, f);
+}
+
+/// True if any subtree (including `t`) satisfies `pred`.
+pub fn exists_subtree(t: &TreeRef, pred: &mut impl FnMut(&Tree) -> bool) -> bool {
+    fn walk(t: &TreeRef, pred: &mut dyn FnMut(&Tree) -> bool) -> bool {
+        if pred(t) {
+            return true;
+        }
+        let mut found = false;
+        t.for_each_child(&mut |c| {
+            if !found {
+                found = walk(c, pred);
+            }
+        });
+        found
+    }
+    walk(t, pred)
+}
+
+/// Number of nodes in the tree.
+pub fn count_nodes(t: &TreeRef) -> usize {
+    let mut n = 0;
+    for_each_subtree(t, &mut |_| n += 1);
+    n
+}
+
+/// Maximum depth of the tree (a leaf has depth 1).
+pub fn depth(t: &TreeRef) -> usize {
+    let mut max_child = 0;
+    t.for_each_child(&mut |c| max_child = max_child.max(depth(c)));
+    max_child + 1
+}
+
+/// Collects clones of all subtrees satisfying `pred`, in post-order.
+pub fn collect_subtrees(t: &TreeRef, pred: &mut impl FnMut(&Tree) -> bool) -> Vec<TreeRef> {
+    let mut out = Vec::new();
+    for_each_subtree(t, &mut |s| {
+        if pred(s) {
+            out.push(s.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+    use crate::tree::{NodeKind, TreeKind};
+    use crate::types::Type;
+    use crate::Span;
+
+    fn sample(ctx: &mut Ctx) -> TreeRef {
+        let a = ctx.lit_int(1);
+        let b = ctx.lit_int(2);
+        let inner = ctx.block(vec![a], b);
+        let c = ctx.lit_bool(true);
+        let e = ctx.empty();
+        ctx.mk(
+            TreeKind::If {
+                cond: c,
+                then_branch: inner,
+                else_branch: e,
+            },
+            Type::Int,
+            Span::SYNTHETIC,
+        )
+    }
+
+    #[test]
+    fn traversal_is_post_order() {
+        let mut ctx = Ctx::new();
+        let t = sample(&mut ctx);
+        let mut kinds = Vec::new();
+        for_each_subtree(&t, &mut |s| kinds.push(s.node_kind()));
+        // Root must come last in post-order.
+        assert_eq!(*kinds.last().unwrap(), NodeKind::If);
+        // Children of the block come before the block.
+        let block_pos = kinds.iter().position(|k| *k == NodeKind::Block).unwrap();
+        let first_lit = kinds.iter().position(|k| *k == NodeKind::Literal).unwrap();
+        assert!(first_lit < block_pos);
+    }
+
+    #[test]
+    fn count_and_depth() {
+        let mut ctx = Ctx::new();
+        let t = sample(&mut ctx);
+        assert_eq!(count_nodes(&t), 6); // if, cond, block, 2 lits, empty
+        assert_eq!(depth(&t), 3);
+    }
+
+    #[test]
+    fn exists_and_collect() {
+        let mut ctx = Ctx::new();
+        let t = sample(&mut ctx);
+        assert!(exists_subtree(&t, &mut |s| s.node_kind() == NodeKind::Block));
+        assert!(!exists_subtree(&t, &mut |s| s.node_kind() == NodeKind::Match));
+        let lits = collect_subtrees(&t, &mut |s| s.node_kind() == NodeKind::Literal);
+        assert_eq!(lits.len(), 3); // two ints and the bool condition
+    }
+}

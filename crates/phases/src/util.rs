@@ -1,0 +1,118 @@
+//! Shared helpers for concrete Miniphases.
+
+use mini_ir::{Ctx, SymbolId, TreeKind, TreeRef};
+
+/// Rewrites identifier/`this` references throughout a tree.
+///
+/// `f` is consulted for every `Ident` and `This` node; returning `Some`
+/// replaces that node (children of replaced nodes are not revisited). Used by
+/// `LambdaLift` to redirect captured variables into closure fields.
+pub fn rewrite_refs(
+    ctx: &mut Ctx,
+    t: &TreeRef,
+    f: &mut dyn FnMut(&mut Ctx, &TreeRef) -> Option<TreeRef>,
+) -> TreeRef {
+    match t.kind() {
+        TreeKind::Ident { .. } | TreeKind::This { .. } => {
+            if let Some(r) = f(ctx, t) {
+                return r;
+            }
+            t.clone()
+        }
+        _ => ctx.map_children(t, &mut |ctx, c| rewrite_refs(ctx, c, f)),
+    }
+}
+
+/// A stack of enclosing definitions maintained through prepare hooks; used by
+/// phases that need to know the current class or method (`LiftTry`,
+/// `ExplicitOuter`, `PatternMatcher`, ...).
+#[derive(Default, Debug)]
+pub struct OwnerStack {
+    stack: Vec<SymbolId>,
+}
+
+impl OwnerStack {
+    /// Pushes an owner on entry to its subtree.
+    pub fn push(&mut self, sym: SymbolId) {
+        self.stack.push(sym);
+    }
+
+    /// Pops on exit.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// The innermost owner, or `NONE`.
+    pub fn current(&self) -> SymbolId {
+        self.stack.last().copied().unwrap_or(SymbolId::NONE)
+    }
+
+    /// The innermost owner satisfying `pred`.
+    pub fn find(&self, pred: impl Fn(SymbolId) -> bool) -> SymbolId {
+        self.stack
+            .iter()
+            .rev()
+            .copied()
+            .find(|&s| pred(s))
+            .unwrap_or(SymbolId::NONE)
+    }
+
+    /// All entries, outermost first.
+    pub fn entries(&self) -> &[SymbolId] {
+        &self.stack
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::{Flags, Name, Type};
+
+    #[test]
+    fn rewrite_refs_replaces_idents() {
+        let mut ctx = Ctx::new();
+        let root = ctx.symbols.builtins().root_pkg;
+        let x = ctx
+            .symbols
+            .new_term(root, Name::from("x"), Flags::EMPTY, Type::Int);
+        let ix = ctx.ident(x);
+        let one = ctx.lit_int(1);
+        let blk = ctx.block(vec![one], ix);
+        let out = rewrite_refs(&mut ctx, &blk, &mut |ctx, t| {
+            if t.ref_sym() == x {
+                Some(ctx.lit_int(99))
+            } else {
+                None
+            }
+        });
+        let mut found = false;
+        mini_ir::visit::for_each_subtree(&out, &mut |s| {
+            if let TreeKind::Literal { value } = s.kind() {
+                if value.as_int() == Some(99) {
+                    found = true;
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn owner_stack_find() {
+        let mut s = OwnerStack::default();
+        assert!(s.current().is_none());
+        s.push(SymbolId::from_index(3));
+        s.push(SymbolId::from_index(5));
+        assert_eq!(s.current(), SymbolId::from_index(5));
+        assert_eq!(
+            s.find(|x| x.index() == 3),
+            SymbolId::from_index(3)
+        );
+        s.pop();
+        assert_eq!(s.current(), SymbolId::from_index(3));
+    }
+}

@@ -1,0 +1,152 @@
+//! Writing your own Miniphase and fusing it into a pipeline.
+//!
+//! This is the framework's extension story (§7 of the paper): a contributor
+//! writes one small phase against the uniform traversal, declares what it
+//! transforms and what must run before it, states a postcondition — and the
+//! planner fuses it into an existing block for free.
+//!
+//! The phase implemented here is a classic peephole: constant-folding of
+//! integer arithmetic (`2 * 3 + 1` → `7`), plus a postcondition that no
+//! foldable application remains.
+//!
+//! ```text
+//! cargo run --example custom_phase
+//! ```
+
+use miniphases::mini_ir::{Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef};
+use miniphases::miniphase::{
+    build_plan, CompilationUnit, FusionOptions, MiniPhase, PhaseInfo, Pipeline, PlanOptions,
+};
+
+/// Folds integer arithmetic on literal operands.
+struct ConstantFold;
+
+fn fold(op: &str, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        "+" => a.wrapping_add(b),
+        "-" => a.wrapping_sub(b),
+        "*" => a.wrapping_mul(b),
+        "/" if b != 0 => a.wrapping_div(b),
+        "%" if b != 0 => a.wrapping_rem(b),
+        _ => return None,
+    })
+}
+
+/// Destructures `lhs.op(rhs)` with literal ints on both sides.
+fn foldable(tree: &TreeRef) -> Option<(&'static str, i64, i64)> {
+    let TreeKind::Apply { fun, args } = tree.kind() else {
+        return None;
+    };
+    let TreeKind::Select { qual, name, sym } = fun.kind() else {
+        return None;
+    };
+    if sym.exists() || args.len() != 1 {
+        return None;
+    }
+    let (TreeKind::Literal { value: a }, TreeKind::Literal { value: b }) =
+        (qual.kind(), args[0].kind())
+    else {
+        return None;
+    };
+    match (a.as_int(), b.as_int()) {
+        (Some(a), Some(b)) => Some((name.as_str(), a, b)),
+        _ => None,
+    }
+}
+
+impl PhaseInfo for ConstantFold {
+    fn name(&self) -> &str {
+        "constantFold"
+    }
+    fn description(&self) -> &str {
+        "fold integer arithmetic on literal operands"
+    }
+}
+
+impl MiniPhase for ConstantFold {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::of(NodeKind::Apply)
+    }
+
+    // Run after FirstTransform so curried applications are already merged.
+    fn runs_after(&self) -> Vec<&'static str> {
+        vec!["firstTransform"]
+    }
+
+    fn transform_apply(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+        match foldable(tree) {
+            // Because traversal is bottom-up, operands are already folded:
+            // one pass folds arbitrarily deep constant expressions.
+            Some((op, a, b)) => match fold(op, a, b) {
+                Some(v) => ctx.lit_int(v),
+                None => tree.clone(),
+            },
+            None => tree.clone(),
+        }
+    }
+
+    fn check_post_condition(&self, _ctx: &Ctx, t: &TreeRef) -> Result<(), String> {
+        if let Some((op, _, _)) = foldable(t) {
+            if fold(op, 1, 1).is_some() {
+                return Err(format!("foldable `{op}` application survived"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    // Build the standard pipeline and splice the new phase in after
+    // firstTransform — exactly what a Dotty contributor would do.
+    let mut phases = miniphases::mini_phases::standard_pipeline();
+    let at = 1 + phases
+        .iter()
+        .position(|p| p.name() == "firstTransform")
+        .expect("firstTransform exists");
+    phases.insert(at, Box::new(ConstantFold));
+
+    let plan = build_plan(&phases, &PlanOptions::default()).expect("constraints still valid");
+    println!(
+        "pipeline now has {} phases in {} groups (the new phase fused into group 1):\n",
+        plan.phase_count(),
+        plan.group_count()
+    );
+    print!("{}", plan.describe(&phases));
+
+    // Compile a program whose arithmetic should fold away.
+    let mut ctx = Ctx::new();
+    let unit = miniphases::mini_front::compile_source(
+        &mut ctx,
+        "folded.ms",
+        "def main(): Unit = println(2 * 3 + 1 * (10 - 3))",
+    )
+    .expect("parses");
+    assert!(!ctx.has_errors());
+
+    let mut pipeline = Pipeline::new(phases, &plan, FusionOptions::default());
+    pipeline.check = true;
+    let units = pipeline.run_units(&mut ctx, vec![CompilationUnit::new(unit.name, unit.tree)]);
+    assert!(
+        pipeline.failures.is_empty(),
+        "checker: {:?}",
+        pipeline.failures
+    );
+
+    // Count remaining arithmetic: there should be none.
+    let mut remaining = 0;
+    miniphases::mini_ir::visit::for_each_subtree(&units[0].tree, &mut |t| {
+        if foldable(t).is_some() {
+            remaining += 1;
+        }
+    });
+    println!("\nfoldable applications remaining after the pipeline: {remaining}");
+    assert_eq!(remaining, 0);
+
+    // And the program still runs, printing the folded constant.
+    let trees: Vec<_> = units.iter().map(|u| u.tree.clone()).collect();
+    let program = miniphases::mini_backend::generate(&ctx, &trees).expect("codegen");
+    let mut vm = miniphases::mini_backend::Vm::new(&program);
+    vm.run_main().expect("runs");
+    println!("program output: {:?}", vm.out);
+    assert_eq!(vm.out, vec!["13"]);
+}

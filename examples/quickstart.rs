@@ -1,0 +1,58 @@
+//! Quickstart: compile and run a MiniScala program through the full
+//! Miniphase pipeline, then show the phase plan that fused it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use miniphases::mini_driver::{compile_and_run, standard_plan, CompilerOptions};
+
+fn main() {
+    let source = r#"
+trait Shape {
+  def area(): Int
+  def describe(): String = "area=" + area()
+}
+
+class Rect(w: Int, h: Int) extends Shape {
+  override def area(): Int = w * h
+}
+
+class Square(side: Int) extends Shape {
+  override def area(): Int = side * side
+}
+
+def largest(shapes: Shape*): Int = {
+  var i: Int = 0
+  var best: Int = 0
+  while (i < shapes.length) {
+    if (shapes(i).area() > best) best = shapes(i).area()
+    i = i + 1
+  }
+  best
+}
+
+def main(): Unit = {
+  val r: Shape = new Rect(3, 4)
+  val s: Shape = new Square(5)
+  println(r.describe())
+  println(s.describe())
+  println("largest: " + largest(r, s))
+}
+"#;
+
+    let opts = CompilerOptions::fused();
+    let (_, output) = compile_and_run(source, &opts).expect("program compiles and runs");
+    println!("program output:");
+    for line in &output {
+        println!("  {line}");
+    }
+
+    let (phases, plan) = standard_plan(&opts).expect("valid pipeline");
+    println!(
+        "\ncompiled through {} Miniphases fused into {} traversals:",
+        phases.len(),
+        plan.group_count()
+    );
+    print!("{}", plan.describe(&phases));
+}

@@ -1,0 +1,27 @@
+//! # miniphases — facade crate
+//!
+//! Re-exports the whole Miniphases reproduction so that workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) can span
+//! every subsystem with a single dependency.
+//!
+//! The interesting crates:
+//!
+//! * [`miniphase`] — the paper's contribution: the fusible-phase framework;
+//! * [`mini_ir`] — trees, types, symbols, instrumentation hooks;
+//! * [`mini_front`] — the MiniScala lexer/parser/namer/typer;
+//! * [`mini_phases`] — the concrete lowering Miniphases (Table 2 analogue);
+//! * [`mini_backend`] — bytecode generator and VM;
+//! * [`mini_driver`] — end-to-end pipelines and experiment runners;
+//! * [`gc_sim`] / [`cache_sim`] — the measurement substrates for the paper's
+//!   GC and CPU-counter figures;
+//! * [`workload`] — the deterministic MiniScala program generator.
+
+pub use cache_sim;
+pub use gc_sim;
+pub use mini_backend;
+pub use mini_driver;
+pub use mini_front;
+pub use mini_ir;
+pub use mini_phases;
+pub use miniphase;
+pub use workload;

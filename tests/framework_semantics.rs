@@ -1,0 +1,252 @@
+//! Integration tests of the Miniphase framework's documented semantics,
+//! exercised through the facade crate: the "seeing the future" property
+//! (§4, Figs 2–3), prepare/finish balance across fused kind changes, phase
+//! ordering validation, and Mega/Mini result agreement at the tree level.
+
+use miniphases::mini_ir::{visit, Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef, Type};
+use miniphases::miniphase::{
+    build_plan, CompilationUnit, FusionOptions, MiniPhase, PhaseInfo, Pipeline, PlanOptions,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wraps int literals into `Typed` nodes.
+struct Wrapper;
+impl PhaseInfo for Wrapper {
+    fn name(&self) -> &str {
+        "wrapper"
+    }
+}
+impl MiniPhase for Wrapper {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::of(NodeKind::Literal)
+    }
+    fn transform_literal(&mut self, ctx: &mut Ctx, t: &TreeRef) -> TreeRef {
+        ctx.mk(
+            TreeKind::Typed {
+                expr: t.clone(),
+                tpe: Type::Int,
+            },
+            Type::Int,
+            t.span(),
+        )
+    }
+}
+
+/// Counts how many of the blocks it visits have `Typed` children — if fused
+/// *after* Wrapper, it must see the future: children already wrapped.
+struct FutureObserver {
+    typed_children_seen: Arc<AtomicU64>,
+}
+impl PhaseInfo for FutureObserver {
+    fn name(&self) -> &str {
+        "futureObserver"
+    }
+}
+impl MiniPhase for FutureObserver {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::of(NodeKind::Block)
+    }
+    fn transform_block(&mut self, _ctx: &mut Ctx, t: &TreeRef) -> TreeRef {
+        let mut n = 0;
+        t.for_each_child(&mut |c| {
+            if c.node_kind() == NodeKind::Typed {
+                n += 1;
+            }
+        });
+        self.typed_children_seen.fetch_add(n, Ordering::Relaxed);
+        t.clone()
+    }
+}
+
+fn int_block(ctx: &mut Ctx, n: usize) -> TreeRef {
+    let lits: Vec<TreeRef> = (0..n as i64).map(|i| ctx.lit_int(i)).collect();
+    let last = ctx.lit_unit();
+    ctx.block(lits, last)
+}
+
+#[test]
+fn phases_see_the_future_of_their_children() {
+    // FutureObserver comes BEFORE Wrapper in pipeline order, yet when fused,
+    // it observes blocks whose literal children were already wrapped by
+    // Wrapper — the surprising property the paper documents (§4): "the
+    // children of t have been transformed by all Miniphases that have been
+    // fused with m, including ones that come both before and after m".
+    let seen = Arc::new(AtomicU64::new(0));
+    let phases: Vec<Box<dyn MiniPhase>> = vec![
+        Box::new(FutureObserver {
+            typed_children_seen: Arc::clone(&seen),
+        }),
+        Box::new(Wrapper),
+    ];
+    let plan = build_plan(&phases, &PlanOptions::default()).unwrap();
+    assert_eq!(plan.group_count(), 1);
+    let mut ctx = Ctx::new();
+    let tree = int_block(&mut ctx, 10);
+    let mut pipe = Pipeline::new(phases, &plan, FusionOptions::default());
+    pipe.run_units(&mut ctx, vec![CompilationUnit::new("u", tree)]);
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        11, // ten int literals plus the block's unit result
+        "the earlier phase saw children already transformed by the later one"
+    );
+}
+
+#[test]
+fn unfused_phases_do_not_see_the_future() {
+    let seen = Arc::new(AtomicU64::new(0));
+    let phases: Vec<Box<dyn MiniPhase>> = vec![
+        Box::new(FutureObserver {
+            typed_children_seen: Arc::clone(&seen),
+        }),
+        Box::new(Wrapper),
+    ];
+    let plan = build_plan(
+        &phases,
+        &PlanOptions {
+            fuse: false,
+            ..PlanOptions::default()
+        },
+    )
+    .unwrap();
+    let mut ctx = Ctx::new();
+    let tree = int_block(&mut ctx, 10);
+    let mut pipe = Pipeline::new(phases, &plan, FusionOptions::default());
+    pipe.run_units(&mut ctx, vec![CompilationUnit::new("u", tree)]);
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        0,
+        "in Megaphase mode the earlier phase runs on untouched trees"
+    );
+}
+
+/// A prepare-using phase that verifies its own push/pop balance even when
+/// another fused phase changes node kinds under it.
+struct DepthAuditor {
+    depth: i64,
+    max_seen: Arc<AtomicU64>,
+}
+impl PhaseInfo for DepthAuditor {
+    fn name(&self) -> &str {
+        "depthAuditor"
+    }
+}
+impl MiniPhase for DepthAuditor {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::EMPTY
+    }
+    fn prepares(&self) -> NodeKindSet {
+        NodeKindSet::of(NodeKind::Block).with(NodeKind::Literal)
+    }
+    fn prepare_block(&mut self, _ctx: &mut Ctx, _t: &TreeRef) -> bool {
+        self.depth += 1;
+        self.max_seen
+            .fetch_max(self.depth as u64, Ordering::Relaxed);
+        true
+    }
+    fn prepare_literal(&mut self, _ctx: &mut Ctx, _t: &TreeRef) -> bool {
+        self.depth += 1;
+        self.max_seen
+            .fetch_max(self.depth as u64, Ordering::Relaxed);
+        true
+    }
+    fn finish_prepared(&mut self, _ctx: &mut Ctx, _t: &TreeRef) {
+        self.depth -= 1;
+        assert!(self.depth >= 0, "prepare/finish imbalance");
+    }
+}
+
+#[test]
+fn prepare_finish_stays_balanced_across_kind_changes() {
+    let max = Arc::new(AtomicU64::new(0));
+    let phases: Vec<Box<dyn MiniPhase>> = vec![
+        Box::new(DepthAuditor {
+            depth: 0,
+            max_seen: Arc::clone(&max),
+        }),
+        // Wrapper changes Literal -> Typed *after* the auditor prepared on
+        // the literal; finish_prepared must still fire exactly once.
+        Box::new(Wrapper),
+    ];
+    let plan = build_plan(&phases, &PlanOptions::default()).unwrap();
+    let mut ctx = Ctx::new();
+    let inner = int_block(&mut ctx, 4);
+    let u = ctx.lit_unit();
+    let tree = ctx.block(vec![inner], u);
+    let mut pipe = Pipeline::new(phases, &plan, FusionOptions::default());
+    pipe.run_units(&mut ctx, vec![CompilationUnit::new("u", tree)]);
+    assert!(max.load(Ordering::Relaxed) >= 2, "nesting was observed");
+}
+
+#[test]
+fn run_always_prepare_mode_agrees_with_per_kind() {
+    for prepare_always in [false, true] {
+        let max = Arc::new(AtomicU64::new(0));
+        let phases: Vec<Box<dyn MiniPhase>> = vec![Box::new(DepthAuditor {
+            depth: 0,
+            max_seen: Arc::clone(&max),
+        })];
+        let plan = build_plan(&phases, &PlanOptions::default()).unwrap();
+        let mut ctx = Ctx::new();
+        let tree = int_block(&mut ctx, 3);
+        let mut pipe = Pipeline::new(
+            phases,
+            &plan,
+            FusionOptions {
+                prepare_always,
+                ..FusionOptions::default()
+            },
+        );
+        pipe.run_units(&mut ctx, vec![CompilationUnit::new("u", tree)]);
+        assert_eq!(max.load(Ordering::Relaxed), 2);
+    }
+}
+
+#[test]
+fn full_pipeline_trees_agree_between_modes() {
+    // Beyond runtime-output agreement (tested in mini-driver), the lowered
+    // trees themselves must be structurally identical between Mini and Mega.
+    let src = r#"
+trait T { val x: Int = 5 }
+class C extends T {
+  def f(v: Any): Int = v match {
+    case n: Int => n + x
+    case _ => x
+  }
+}
+def main(): Unit = println(new C().f(37))
+"#;
+    let shape = |opts: &miniphases::mini_driver::CompilerOptions| -> Vec<String> {
+        let c = miniphases::mini_driver::compile(src, opts).expect("compiles");
+        let mut kinds = Vec::new();
+        visit::for_each_subtree(&c.units[0].tree, &mut |t| {
+            kinds.push(format!("{:?}", t.node_kind()));
+        });
+        kinds
+    };
+    let fused = shape(&miniphases::mini_driver::CompilerOptions::fused());
+    let mega = shape(&miniphases::mini_driver::CompilerOptions::mega());
+    assert_eq!(fused, mega, "lowered tree shapes diverge between modes");
+}
+
+#[test]
+fn plan_rejects_cyclic_style_orderings() {
+    struct P(&'static str, Vec<&'static str>);
+    impl PhaseInfo for P {
+        fn name(&self) -> &str {
+            self.0
+        }
+    }
+    impl MiniPhase for P {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::EMPTY
+        }
+        fn runs_after(&self) -> Vec<&'static str> {
+            self.1.clone()
+        }
+    }
+    let phases: Vec<Box<dyn MiniPhase>> =
+        vec![Box::new(P("a", vec!["b"])), Box::new(P("b", vec![]))];
+    let err = build_plan(&phases, &PlanOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("must run after"));
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core data structures and the end-to-end
+//! pipeline: randomly generated expression programs must compile and run
+//! identically in every pipeline mode, `NodeKindSet` must behave like a set,
+//! and the copier's reuse optimization must preserve structure.
+
+use miniphases::mini_driver::{compile_and_run, CompilerOptions};
+use miniphases::mini_ir::{
+    visit, Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef, ALL_NODE_KINDS, NODE_KIND_COUNT,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------- expression generator --------------------------------
+
+/// A tiny expression AST rendered to MiniScala source, so shrinking works on
+/// a structured value rather than on strings.
+#[derive(Clone, Debug)]
+enum E {
+    Int(i64),
+    Bool(bool),
+    Str(u8),
+    Add(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Cmp(Box<E>, Box<E>),
+    If(Box<E>, Box<E>, Box<E>),
+    Match(Box<E>),
+    Call(Box<E>),
+    Concat(Box<E>),
+}
+
+impl E {
+    /// The MiniScala type of the rendered expression.
+    fn is_int(&self) -> bool {
+        matches!(
+            self,
+            E::Int(_) | E::Add(..) | E::Mul(..) | E::If(..) | E::Match(_) | E::Call(_)
+        )
+    }
+
+    fn render(&self) -> String {
+        match self {
+            E::Int(i) => format!("{i}"),
+            E::Bool(b) => format!("{b}"),
+            E::Str(n) => format!("\"s{n}\""),
+            E::Add(a, b) => format!("({} + {})", int(a), int(b)),
+            E::Mul(a, b) => format!("({} * {})", int(a), int(b)),
+            E::Cmp(a, b) => format!("({} < {})", int(a), int(b)),
+            E::If(c, a, b) => format!("(if ({}) {} else {})", cond(c), int(a), int(b)),
+            E::Match(s) => format!(
+                "({} match {{ case 0 => 100\n case n: Int if n < 0 => 0 - n\n case n: Int => n + 1\n case _ => 7 }})",
+                int(s)
+            ),
+            E::Call(a) => format!("helper({})", int(a)),
+            E::Concat(a) => format!("(\"v=\" + {})", a.render()),
+        }
+    }
+}
+
+fn int(e: &E) -> String {
+    if e.is_int() {
+        e.render()
+    } else {
+        format!("({}).length", E::Concat(Box::new(e.clone())).render())
+    }
+}
+
+fn cond(e: &E) -> String {
+    match e {
+        E::Bool(_) | E::Cmp(..) => e.render(),
+        other => format!("({} % 2 == 0)", int(other)),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(E::Int),
+        any::<bool>().prop_map(E::Bool),
+        (0u8..5).prop_map(E::Str),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::Cmp(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| E::If(Box::new(c), Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| E::Match(Box::new(e))),
+            inner.clone().prop_map(|e| E::Call(Box::new(e))),
+            inner.prop_map(|e| E::Concat(Box::new(e))),
+        ]
+    })
+}
+
+fn program(e: &E) -> String {
+    format!(
+        "def helper(x: Int): Int = x % 97\ndef main(): Unit = println({})\n",
+        e.render()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_agree_across_all_modes(e in arb_expr()) {
+        let src = program(&e);
+        let fused = compile_and_run(&src, &CompilerOptions::fused())
+            .unwrap_or_else(|err| panic!("fused failed on:\n{src}\n{err}"));
+        let mega = compile_and_run(&src, &CompilerOptions::mega())
+            .unwrap_or_else(|err| panic!("mega failed on:\n{src}\n{err}"));
+        let legacy = compile_and_run(&src, &CompilerOptions::legacy())
+            .unwrap_or_else(|err| panic!("legacy failed on:\n{src}\n{err}"));
+        prop_assert_eq!(&fused.1, &mega.1);
+        prop_assert_eq!(&fused.1, &legacy.1);
+    }
+
+    #[test]
+    fn random_programs_pass_the_tree_checker(e in arb_expr()) {
+        let src = program(&e);
+        let mut opts = CompilerOptions::fused();
+        opts.check = true;
+        let r = miniphases::mini_driver::compile(&src, &opts);
+        prop_assert!(r.is_ok(), "checker rejected:\n{}\n{}", src, r.err().unwrap());
+    }
+
+    // ---------------- NodeKindSet set laws -----------------------------
+
+    #[test]
+    fn node_kind_set_behaves_like_a_set(bits_a in 0usize..NODE_KIND_COUNT, bits_b in 0usize..NODE_KIND_COUNT) {
+        let a = ALL_NODE_KINDS[bits_a];
+        let b = ALL_NODE_KINDS[bits_b];
+        let s = NodeKindSet::of(a).with(b);
+        prop_assert!(s.contains(a));
+        prop_assert!(s.contains(b));
+        prop_assert_eq!(s.len(), if a == b { 1 } else { 2 });
+        // Union is idempotent and commutative.
+        prop_assert_eq!(s.union(s), s);
+        prop_assert_eq!(
+            NodeKindSet::of(a).union(NodeKindSet::of(b)),
+            NodeKindSet::of(b).union(NodeKindSet::of(a))
+        );
+        // Iteration yields exactly the members.
+        let members: Vec<NodeKind> = s.iter().collect();
+        prop_assert!(members.contains(&a) && members.contains(&b));
+        prop_assert_eq!(members.len(), s.len());
+    }
+
+    // ---------------- copier reuse invariants ---------------------------
+
+    #[test]
+    fn identity_map_children_is_pointer_identical(n in 1usize..20) {
+        let mut ctx = Ctx::new();
+        let lits: Vec<TreeRef> = (0..n as i64).map(|i| ctx.lit_int(i)).collect();
+        let u = ctx.lit_unit();
+        let block = ctx.block(lits, u);
+        let before = ctx.stats.nodes;
+        let mapped = ctx.map_children(&block, &mut |_, c| Arc::clone(c));
+        prop_assert!(Arc::ptr_eq(&mapped, &block));
+        prop_assert_eq!(ctx.stats.nodes, before);
+    }
+
+    #[test]
+    fn rebuilding_preserves_node_count_and_kinds(n in 1usize..20) {
+        let mut ctx = Ctx::new();
+        let lits: Vec<TreeRef> = (0..n as i64).map(|i| ctx.lit_int(i)).collect();
+        let u = ctx.lit_unit();
+        let block = ctx.block(lits, u);
+        // Replace every literal with a different literal: same shape.
+        let mapped = ctx.map_children(&block, &mut |ctx, c| {
+            if let TreeKind::Literal { .. } = c.kind() {
+                ctx.lit_int(999)
+            } else {
+                Arc::clone(c)
+            }
+        });
+        prop_assert!(!Arc::ptr_eq(&mapped, &block));
+        prop_assert_eq!(visit::count_nodes(&mapped), visit::count_nodes(&block));
+        let kinds = |t: &TreeRef| {
+            let mut v = Vec::new();
+            visit::for_each_subtree(t, &mut |s| v.push(s.node_kind()));
+            v
+        };
+        prop_assert_eq!(kinds(&mapped), kinds(&block));
+    }
+}
