@@ -1,0 +1,66 @@
+//! End-to-end pipeline throughput on the dotty-like corpus: the headline
+//! number for the traversal hot path. The frontend runs once (untimed); the
+//! routine is the full tree-transformation pipeline, phase-major over all
+//! units, exactly as `Pipeline::run_units` executes it in production.
+//!
+//! Run with `CRITERION_JSON=BENCH_pipeline.json cargo bench --bench
+//! pipeline_throughput` to refresh the checked-in baseline. `CORPUS_LOC`
+//! scales the corpus (defaults to a laptop-friendly 12 kLOC slice of the
+//! 50 kLOC dotty-like config).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mini_driver::{standard_plan, CompilerOptions};
+use mini_ir::Ctx;
+use miniphase::{CompilationUnit, Pipeline};
+use workload::{generate, WorkloadConfig};
+
+fn typed_units(sources: &[(String, String)]) -> (Ctx, Vec<CompilationUnit>) {
+    let mut ctx = Ctx::new();
+    let units = sources
+        .iter()
+        .map(|(n, s)| {
+            let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
+            CompilationUnit::new(t.name, t.tree)
+        })
+        .collect();
+    assert!(!ctx.has_errors());
+    (ctx, units)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let loc: usize = std::env::var("CORPUS_LOC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000);
+    let w = generate(&WorkloadConfig {
+        target_loc: loc,
+        ..WorkloadConfig::dotty_like()
+    });
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(w.total_loc as u64));
+    for opts in [
+        CompilerOptions::fused(),
+        CompilerOptions::mega(),
+        CompilerOptions::legacy(),
+    ] {
+        group.bench_function(format!("{}_dotty_like", opts.mode), |b| {
+            b.iter_batched(
+                || typed_units(&w.units),
+                |(mut ctx, units)| {
+                    if opts.mode == mini_driver::Mode::Legacy {
+                        ctx.options.copier_reuse = false;
+                    }
+                    let (phases, plan) = standard_plan(&opts).expect("plan");
+                    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+                    pipe.run_units(&mut ctx, units)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

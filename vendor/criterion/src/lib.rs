@@ -1,0 +1,322 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container cannot reach crates.io, so this vendored crate implements
+//! the subset of the criterion API the workspace's benches use — groups,
+//! `bench_function`, `iter`/`iter_batched`, element throughput — with a real
+//! wall-clock measurement loop (warm-up, then N timed samples, median/mean
+//! reporting).
+//!
+//! Extras over the real API surface we rely on:
+//!
+//! * `CRITERION_JSON=<path>`: append one JSON line per benchmark with the
+//!   sample statistics (used to produce `BENCH_pipeline.json`);
+//! * `CRITERION_SAMPLES=<n>`: override every group's sample size (quick CI
+//!   runs set this low).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times each routine
+/// invocation individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; time one call at a time).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per routine invocation.
+    Elements(u64),
+    /// Bytes processed per routine invocation.
+    Bytes(u64),
+}
+
+/// Collected statistics for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark id (`group/function`).
+    pub id: String,
+    /// Median sample time.
+    pub median: Duration,
+    /// Mean sample time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The per-call timer handed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with untimed `setup` producing its input each sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.rounds {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call, then the timed samples.
+    pub fn bench_function<F>(&mut self, id: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.to_string());
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let rounds = self
+            .criterion
+            .sample_override
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut samples = Vec::with_capacity(rounds);
+        // Warm-up pass (untimed samples are discarded).
+        {
+            let mut b = Bencher {
+                samples: &mut samples,
+                rounds: 1,
+            };
+            f(&mut b);
+        }
+        samples.clear();
+        let mut b = Bencher {
+            samples: &mut samples,
+            rounds,
+        };
+        f(&mut b);
+        if samples.is_empty() {
+            return self;
+        }
+        samples.sort();
+        let total: Duration = samples.iter().sum();
+        let stats = Stats {
+            id,
+            median: samples[samples.len() / 2],
+            mean: total / samples.len() as u32,
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            samples: samples.len(),
+        };
+        self.criterion.report(&stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point, usually built by [`criterion_main!`].
+pub struct Criterion {
+    filter: Option<String>,
+    sample_override: Option<usize>,
+    json_path: Option<String>,
+    /// All statistics collected so far, in execution order.
+    pub collected: Vec<Stats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` passes "--bench"; a trailing free argument filters.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            sample_override: std::env::var("CRITERION_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            json_path: std::env::var("CRITERION_JSON").ok(),
+            collected: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    fn report(&mut self, stats: &Stats, throughput: Option<Throughput>) {
+        let mut line = format!(
+            "{:<44} median {:>12?}  mean {:>12?}  range [{:?} .. {:?}]  n={}",
+            stats.id, stats.median, stats.mean, stats.min, stats.max, stats.samples
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let eps = n as f64 / stats.median.as_secs_f64();
+            let _ = write!(line, "  thrpt {:.1} Melem/s", eps / 1e6);
+        }
+        if let Some(Throughput::Bytes(n)) = throughput {
+            let bps = n as f64 / stats.median.as_secs_f64();
+            let _ = write!(line, "  thrpt {:.1} MiB/s", bps / (1024.0 * 1024.0));
+        }
+        println!("{line}");
+        if let Some(path) = &self.json_path {
+            let json = format!(
+                "{{\"id\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}\n",
+                stats.id,
+                stats.median.as_nanos(),
+                stats.mean.as_nanos(),
+                stats.min.as_nanos(),
+                stats.max.as_nanos(),
+                stats.samples
+            );
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = f.write_all(json.as_bytes());
+            }
+        }
+        self.collected.push(stats.clone());
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            sample_override: Some(5),
+            json_path: None,
+            collected: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.collected.len(), 1);
+        assert!(c.collected[0].median > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            filter: None,
+            sample_override: Some(4),
+            json_path: None,
+            collected: Vec::new(),
+        };
+        let mut setups = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 64]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+        // One warm-up setup + one per timed sample.
+        assert_eq!(setups, 5);
+    }
+}
