@@ -95,15 +95,12 @@ impl<'a> Gen<'a> {
                             field_resolve: HashMap::new(),
                             vtable: HashMap::new(),
                         });
-                        self.class_defs.push((*sym, body.clone()));
+                        self.class_defs.push((*sym, body.to_vec()));
                     }
                     TreeKind::DefDef { .. } => self.static_defs.push(s.clone()),
                     TreeKind::Empty => {}
                     other => {
-                        return err(format!(
-                            "unexpected top-level {:?} node",
-                            other.node_kind()
-                        ))
+                        return err(format!("unexpected top-level {:?} node", other.node_kind()))
                     }
                 }
             }
@@ -137,8 +134,7 @@ impl<'a> Gen<'a> {
                         if let TreeKind::ValDef { sym: f, .. } = m.kind() {
                             let next_gid = self.field_slot.len() as u16;
                             let gid = *self.field_slot.entry(*f).or_insert(next_gid);
-                            if let std::collections::hash_map::Entry::Vacant(e) =
-                                resolve.entry(gid)
+                            if let std::collections::hash_map::Entry::Vacant(e) = resolve.entry(gid)
                             {
                                 e.insert(local);
                                 local += 1;
@@ -590,12 +586,16 @@ impl FnCompiler<'_, '_> {
         Ok(())
     }
 
-    fn apply(&mut self, node: &TreeRef, fun: &TreeRef, args: &[TreeRef]) -> Result<(), CodegenError> {
+    fn apply(
+        &mut self,
+        node: &TreeRef,
+        fun: &TreeRef,
+        args: &[TreeRef],
+    ) -> Result<(), CodegenError> {
         match fun.kind() {
             // Constructor call: `new C(...)` / `new Array[T](n)`.
             TreeKind::Select { qual, name, .. }
-                if matches!(qual.kind(), TreeKind::New { .. })
-                    && *name == std_names::init() =>
+                if matches!(qual.kind(), TreeKind::New { .. }) && *name == std_names::init() =>
             {
                 let TreeKind::New { tpe } = qual.kind() else {
                     unreachable!("matched above")
@@ -655,10 +655,7 @@ impl FnCompiler<'_, '_> {
                 self.emit(Insn::CallStatic(fid, args.len() as u16));
                 Ok(())
             }
-            other => err(format!(
-                "cannot call through {:?} node",
-                other.node_kind()
-            )),
+            other => err(format!("cannot call through {:?} node", other.node_kind())),
         }
     }
 

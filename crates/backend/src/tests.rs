@@ -37,25 +37,25 @@ fn arithmetic_and_return() {
 fn loops_and_locals() {
     // sum of 0..10 == 45
     let code = vec![
-        Insn::ConstInt(0),       // 0
-        Insn::Store(0),          // 1  i = 0
-        Insn::ConstInt(0),       // 2
-        Insn::Store(1),          // 3  acc = 0
-        Insn::Load(0),           // 4  loop:
-        Insn::ConstInt(10),      // 5
-        Insn::CmpLt,             // 6
-        Insn::JumpIfFalse(17),   // 7
-        Insn::Load(1),           // 8
-        Insn::Load(0),           // 9
-        Insn::Add,               // 10
-        Insn::Store(1),          // 11 acc += i
-        Insn::Load(0),           // 12
-        Insn::ConstInt(1),       // 13
-        Insn::Add,               // 14
-        Insn::Store(0),          // 15 i += 1
-        Insn::Jump(4),           // 16
-        Insn::Load(1),           // 17
-        Insn::Ret,               // 18
+        Insn::ConstInt(0),     // 0
+        Insn::Store(0),        // 1  i = 0
+        Insn::ConstInt(0),     // 2
+        Insn::Store(1),        // 3  acc = 0
+        Insn::Load(0),         // 4  loop:
+        Insn::ConstInt(10),    // 5
+        Insn::CmpLt,           // 6
+        Insn::JumpIfFalse(17), // 7
+        Insn::Load(1),         // 8
+        Insn::Load(0),         // 9
+        Insn::Add,             // 10
+        Insn::Store(1),        // 11 acc += i
+        Insn::Load(0),         // 12
+        Insn::ConstInt(1),     // 13
+        Insn::Add,             // 14
+        Insn::Store(0),        // 15 i += 1
+        Insn::Jump(4),         // 16
+        Insn::Load(1),         // 17
+        Insn::Ret,             // 18
     ];
     let p = Program {
         classes: vec![],

@@ -41,8 +41,7 @@ fn bench_visits(c: &mut Criterion) {
                         .units
                         .iter()
                         .map(|(n, s)| {
-                            let t =
-                                mini_front::compile_source(&mut ctx, n, s).expect("parses");
+                            let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
                             CompilationUnit::new(t.name, t.tree)
                         })
                         .collect();

@@ -48,9 +48,7 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter_batched(
                 || typed_units(&w.units),
                 |(mut ctx, units)| {
-                    if opts.mode == mini_driver::Mode::Legacy {
-                        ctx.options.copier_reuse = false;
-                    }
+                    opts.configure_ctx(&mut ctx);
                     let (phases, plan) = standard_plan(&opts).expect("plan");
                     let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
                     pipe.run_units(&mut ctx, units)

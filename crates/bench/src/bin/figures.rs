@@ -217,11 +217,7 @@ fn figure7(ms: &[Runs]) {
         );
         println!(
             "{:<12} cycles: mini {} mega {}; stalled: mini {} mega {}",
-            "",
-            r.mini.cycles,
-            r.mega.cycles,
-            r.mini.stalled_cycles,
-            r.mega.stalled_cycles
+            "", r.mini.cycles, r.mega.cycles, r.mini.stalled_cycles, r.mega.stalled_cycles
         );
     }
 }
@@ -310,9 +306,7 @@ fn figure8d(ms: &[Runs]) {
         );
         println!(
             "{:<12} back-invalidations: mini {} mega {}",
-            "",
-            r.mini.cache.back_invalidations,
-            r.mega.cache.back_invalidations
+            "", r.mini.cache.back_invalidations, r.mega.cache.back_invalidations
         );
     }
 }

@@ -24,7 +24,11 @@ pub fn corpora(quick: bool) -> Vec<Corpus> {
         target_loc: loc,
         ..cfg
     };
-    let (lib_loc, dotty_loc) = if quick { (4_000, 6_000) } else { (34_000, 50_000) };
+    let (lib_loc, dotty_loc) = if quick {
+        (4_000, 6_000)
+    } else {
+        (34_000, 50_000)
+    };
     vec![
         Corpus {
             name: "stdlib-like",
@@ -63,11 +67,7 @@ pub fn timed(
 ) -> Result<Measurement, CompileError> {
     let mut best: Option<Measurement> = None;
     for _ in 0..reps.max(1) {
-        let m = measure(
-            &corpus.workload.sources(),
-            opts,
-            Instrumentation::default(),
-        )?;
+        let m = measure(&corpus.workload.sources(), opts, Instrumentation::default())?;
         let better = match &best {
             None => true,
             Some(b) => m.times.transforms < b.times.transforms,

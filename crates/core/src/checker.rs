@@ -150,7 +150,11 @@ fn retype_check(ctx: &Ctx, t: &TreeRef) -> Option<String> {
         }
         TreeKind::Assign { .. } | TreeKind::While { .. } => {
             if *t.tpe() != Type::Unit {
-                Some(format!("{:?} must have type Unit, has {}", t.node_kind(), t.tpe()))
+                Some(format!(
+                    "{:?} must have type Unit, has {}",
+                    t.node_kind(),
+                    t.tpe()
+                ))
             } else {
                 None
             }
@@ -292,7 +296,9 @@ mod tests {
         );
         let unit = CompilationUnit::new("u", bad);
         let fails = check_unit(&[], &ctx, &unit);
-        assert!(fails.iter().any(|f| f.phase == "global" && f.msg.contains("literal")));
+        assert!(fails
+            .iter()
+            .any(|f| f.phase == "global" && f.msg.contains("literal")));
     }
 
     #[test]

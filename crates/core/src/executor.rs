@@ -1,18 +1,51 @@
 //! Traversal and pipeline execution (paper Listings 3 and 4).
 //!
+//! # The iterative fused walk
+//!
 //! [`run_phase_on_unit`] is the paper's `runPhase`: a uniform post-order
-//! traversal that (pre-order) dispatches prepares, recursively transforms
-//! children, rebuilds the node through the reusing copier, and applies the
-//! phase's transform chain. [`Pipeline`] is Listing 3's `compileUnits` loop:
-//! one traversal per *group* of fused Miniphases (or one per phase in
-//! Megaphase mode).
+//! traversal that (pre-order) dispatches prepares, transforms children,
+//! rebuilds the node through the reusing copier, and applies the phase's
+//! transform chain. Since the traversal hot-path overhaul it is an
+//! **explicit-stack iterative walk**, not a recursive one:
+//!
+//! * a frame stack holds one [`Frame`] per *open* node — a cursor over its
+//!   children advanced through the positional [`mini_ir::Tree::child_at`]
+//!   accessor — so arbitrarily deep trees (the 100k-deep `Block` regression
+//!   corpus) walk in constant machine-stack space, and descending costs no
+//!   refcount traffic (frames borrow the child handle inside the parent's
+//!   own tree);
+//! * a result stack accumulates transformed children; when a node's last
+//!   child closes they are **moved** into the rebuilt kind through
+//!   [`mini_ir::Ctx::rebuild_with_children`] — or, on the pointer-identity
+//!   fast path (no child changed, tracked incrementally as children close),
+//!   the original node is reused without constructing a kind at all;
+//! * both stacks live in a [`TraversalScratch`] owned by the [`Pipeline`]
+//!   and are reused across units *and* groups — zero per-unit allocation
+//!   once the high-water mark is reached;
+//! * the phase's `prepares()` / `transforms()` kind masks are virtual calls,
+//!   so they are **hoisted**: queried once per `run_phase_on_unit` instead
+//!   of once per node (the masks are declared statically by contract — see
+//!   [`MiniPhase::transforms`]);
+//! * the pipeline's own walk drives [`Fused`] groups **directly** (static
+//!   dispatch into the fused chain and its precomputed per-kind member
+//!   lists) rather than re-entering the generic `dyn MiniPhase` dispatch at
+//!   every node.
+//!
+//! The pre-overhaul recursive traversal is retained verbatim as
+//! [`run_phase_on_unit_reference`] — it is the executable specification the
+//! traversal-equivalence property tests compare against (byte-identical
+//! output trees, identical [`ExecStats`]).
+//!
+//! [`Pipeline`] is Listing 3's `compileUnits` loop: one traversal per
+//! *group* of fused Miniphases (or one per phase in Megaphase mode),
+//! phase-major over the unit batch.
 
 use crate::checker::{check_unit, CheckFailure};
 use crate::fused::{Fused, FusionOptions};
 use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase};
 use crate::plan::PhasePlan;
 use crate::unit::CompilationUnit;
-use mini_ir::{Ctx, TreeRef};
+use mini_ir::{Ctx, NodeKindSet, TreeRef};
 
 /// Synthetic instruction address of the shared traversal machinery.
 pub const TRAVERSAL_CODE_ADDR: u64 = (1 << 40) + (1 << 30);
@@ -45,7 +78,253 @@ impl ExecStats {
     }
 }
 
-fn traverse(
+/// How the walk reaches one phase's hooks. The generic executor is
+/// instantiated once for `&mut dyn MiniPhase` (public API, arbitrary
+/// phases) and once for [`Fused`] (the pipeline's hot path, static dispatch
+/// into the fused chain).
+trait PhaseDriver {
+    /// The prepare mask, queried once per traversal.
+    fn prepares_mask(&self) -> NodeKindSet;
+    /// The transform mask, queried once per traversal.
+    fn transforms_mask(&self) -> NodeKindSet;
+    /// Kind-dispatched prepare; true if state was pushed.
+    fn prepare(&mut self, ctx: &mut Ctx, t: &TreeRef) -> bool;
+    /// Kind-dispatched transform.
+    fn transform(&mut self, ctx: &mut Ctx, t: &TreeRef) -> TreeRef;
+    /// Balanced completion for a pushed prepare.
+    fn finish(&mut self, ctx: &mut Ctx, t: &TreeRef);
+}
+
+/// Generic driver: any Miniphase through the virtual per-kind dispatch.
+struct DynDriver<'a>(&'a mut dyn MiniPhase);
+
+impl PhaseDriver for DynDriver<'_> {
+    fn prepares_mask(&self) -> NodeKindSet {
+        self.0.prepares()
+    }
+    fn transforms_mask(&self) -> NodeKindSet {
+        self.0.transforms()
+    }
+    fn prepare(&mut self, ctx: &mut Ctx, t: &TreeRef) -> bool {
+        dispatch_prepare(self.0, ctx, t)
+    }
+    fn transform(&mut self, ctx: &mut Ctx, t: &TreeRef) -> TreeRef {
+        dispatch_transform(self.0, ctx, t)
+    }
+    fn finish(&mut self, ctx: &mut Ctx, t: &TreeRef) {
+        self.0.finish_prepared(ctx, t);
+    }
+}
+
+/// Fused-block driver: statically dispatched into the fused transform chain
+/// and prepare fan-out, which consult the block's precomputed per-kind
+/// member lists directly. No per-node virtual dispatch, no per-node kind
+/// match to re-enter the chain.
+struct FusedDriver<'a>(&'a mut Fused);
+
+impl PhaseDriver for FusedDriver<'_> {
+    fn prepares_mask(&self) -> NodeKindSet {
+        self.0.prepares()
+    }
+    fn transforms_mask(&self) -> NodeKindSet {
+        self.0.transforms()
+    }
+    fn prepare(&mut self, ctx: &mut Ctx, t: &TreeRef) -> bool {
+        self.0.fan_prepare(ctx, t)
+    }
+    fn transform(&mut self, ctx: &mut Ctx, t: &TreeRef) -> TreeRef {
+        self.0.chain(ctx, t)
+    }
+    fn finish(&mut self, ctx: &mut Ctx, t: &TreeRef) {
+        self.0.finish_prepared_direct(ctx, t);
+    }
+}
+
+/// One open node of the explicit-stack walk: a borrow of the node's shared
+/// handle, a cursor over its children, and where its transformed children
+/// start on the result stack.
+///
+/// `node` is a raw pointer rather than a `TreeRef` clone so that descending
+/// does **zero** refcount traffic — the recursive walk it replaces borrowed
+/// children for free off the machine stack, and matching that cost is what
+/// makes the iterative walk competitive. Safety rests on three invariants,
+/// all local to [`walk`]:
+///
+/// 1. every `node` pointer aims at the `TreeRef` handle *owned by the
+///    parent node's `TreeKind`* (or at the caller-held root), which lives on
+///    the heap behind the parent's own `Rc` — never at scratch storage that
+///    could reallocate;
+/// 2. frames close strictly LIFO, so a child frame never outlives the
+///    parent frame whose tree keeps its handle alive;
+/// 3. trees are immutable — no transform mutates an existing node's kind,
+///    so the pointed-at handle is never moved or freed mid-walk.
+struct Frame {
+    node: *const TreeRef,
+    results_base: u32,
+    next_child: u32,
+    pushed: bool,
+    /// Whether any completed child came back pointer-distinct from the
+    /// original — maintained by the children as they close, so rebuilding
+    /// needs no second comparison pass.
+    children_changed: bool,
+}
+
+/// Reusable walk storage. Owned by [`Pipeline`] so batch compilation incurs
+/// no per-unit (or per-group) stack allocation; `run_phase_on_unit` creates
+/// a transient one for standalone calls.
+#[derive(Default)]
+pub struct TraversalScratch {
+    frames: Vec<Frame>,
+    results: Vec<TreeRef>,
+}
+
+impl TraversalScratch {
+    /// An empty scratch.
+    pub fn new() -> TraversalScratch {
+        TraversalScratch::default()
+    }
+}
+
+/// The iterative post-order walk shared by every execution mode: one frame
+/// per *open* node (constant machine-stack space regardless of tree depth),
+/// children advanced through the positional [`mini_ir::Tree::child_at`]
+/// cursor, completed children accumulated on a result stack and spliced
+/// back by moving them into the rebuilt node.
+fn walk<D: PhaseDriver>(
+    driver: &mut D,
+    opts: &FusionOptions,
+    ctx: &mut Ctx,
+    root: &TreeRef,
+    stats: &mut ExecStats,
+    scratch: &mut TraversalScratch,
+) -> TreeRef {
+    // Hoisted per-traversal: one virtual mask query instead of two per node.
+    let transforms = driver.transforms_mask();
+    let raw_prepares = driver.prepares_mask();
+    let prepares = if opts.prepare_always && !raw_prepares.is_empty() {
+        NodeKindSet::ALL
+    } else if opts.prepare_always {
+        NodeKindSet::EMPTY
+    } else {
+        raw_prepares
+    };
+
+    // A panic in a phase hook unwinds out of `walk` leaving stale frames
+    // behind — and stale frames hold raw pointers into trees that may since
+    // have been dropped. Clearing (not just asserting emptiness) makes a
+    // reused scratch safe even after a caught unwind.
+    scratch.frames.clear();
+    scratch.results.clear();
+    let TraversalScratch { frames, results } = scratch;
+
+    // Pre-order arrival: visit accounting, memory traces, prepare dispatch,
+    // then a new open frame. `t` must satisfy the `Frame::node` invariants.
+    macro_rules! open_frame {
+        ($t:expr) => {{
+            let t: &TreeRef = $t;
+            stats.node_visits += 1;
+            ctx.trace_read(t);
+            // Visiting a node also touches the symbol it defines or
+            // references — symbols and types are the other "major internal
+            // data structures" (§2).
+            if ctx.access.is_some() {
+                let s = t.def_sym();
+                let s = if s.exists() { s } else { t.ref_sym() };
+                if s.exists() {
+                    ctx.trace_read_at(Ctx::symbol_addr(s), 112);
+                }
+            }
+            ctx.trace_exec(TRAVERSAL_CODE_ADDR, 224);
+
+            let pushed = if prepares.contains(t.node_kind()) {
+                stats.prepare_calls += 1;
+                driver.prepare(ctx, t)
+            } else {
+                false
+            };
+            frames.push(Frame {
+                node: t as *const TreeRef,
+                results_base: results.len() as u32,
+                next_child: 0,
+                pushed,
+                children_changed: false,
+            });
+        }};
+    }
+
+    open_frame!(root);
+    while let Some(top) = frames.last_mut() {
+        // SAFETY: `top.node` satisfies the `Frame::node` invariants — it
+        // points at the root handle (caller-borrowed for the whole call) or
+        // at a handle inside an ancestor frame's live, immutable tree.
+        let node: &TreeRef = unsafe { &*top.node };
+        if let Some(c) = node.child_at(top.next_child as usize) {
+            // Descend into the next unvisited child. `c` borrows from
+            // `node`'s kind, upholding invariant 1 for the child frame.
+            top.next_child += 1;
+            open_frame!(c);
+            continue;
+        }
+        // All children done: rebuild, transform, balance prepares.
+        let Frame {
+            results_base,
+            pushed,
+            children_changed,
+            ..
+        } = frames.pop().expect("loop condition guarantees a frame");
+        let base = results_base as usize;
+        let rebuilt = if children_changed || !ctx.options.copier_reuse {
+            ctx.rebuild_with_children(node, true, &mut results.drain(base..))
+        } else {
+            results.truncate(base);
+            node.clone()
+        };
+        let transformed = if !opts.identity_skip || transforms.contains(rebuilt.node_kind()) {
+            stats.transform_calls += 1;
+            driver.transform(ctx, &rebuilt)
+        } else {
+            rebuilt
+        };
+        if pushed {
+            driver.finish(ctx, &transformed);
+        }
+        if let Some(parent) = frames.last_mut() {
+            parent.children_changed |= !mini_ir::TreeRef::ptr_eq(&transformed, node);
+        }
+        results.push(transformed);
+    }
+    results.pop().expect("walk produces exactly one root")
+}
+
+/// Runs one Miniphase (possibly a [`Fused`] block) over one compilation
+/// unit: `prepare_unit`, the iterative post-order traversal, then
+/// `transform_unit`.
+pub fn run_phase_on_unit(
+    phase: &mut dyn MiniPhase,
+    opts: &FusionOptions,
+    ctx: &mut Ctx,
+    unit: &CompilationUnit,
+    stats: &mut ExecStats,
+) -> CompilationUnit {
+    let mut scratch = TraversalScratch::new();
+    stats.traversals += 1;
+    phase.prepare_unit(ctx, &unit.tree);
+    let tree = walk(
+        &mut DynDriver(phase),
+        opts,
+        ctx,
+        &unit.tree,
+        stats,
+        &mut scratch,
+    );
+    let tree = phase.transform_unit(ctx, tree);
+    CompilationUnit {
+        name: unit.name.clone(),
+        tree,
+    }
+}
+
+fn traverse_reference(
     phase: &mut dyn MiniPhase,
     opts: &FusionOptions,
     ctx: &mut Ctx,
@@ -54,13 +333,11 @@ fn traverse(
 ) -> TreeRef {
     stats.node_visits += 1;
     ctx.trace_read(t);
-    // Visiting a node also touches the symbol it defines or references —
-    // symbols and types are the other "major internal data structures" (§2).
     if ctx.access.is_some() {
         let s = t.def_sym();
         let s = if s.exists() { s } else { t.ref_sym() };
         if s.exists() {
-            ctx.trace_read_at(mini_ir::Ctx::symbol_addr(s), 112);
+            ctx.trace_read_at(Ctx::symbol_addr(s), 112);
         }
     }
     ctx.trace_exec(TRAVERSAL_CODE_ADDR, 224);
@@ -79,7 +356,9 @@ fn traverse(
         false
     };
 
-    let rebuilt = ctx.map_children(t, &mut |ctx, c| traverse(&mut *phase, opts, ctx, c, stats));
+    let rebuilt = ctx.map_children(t, &mut |ctx, c| {
+        traverse_reference(&mut *phase, opts, ctx, c, stats)
+    });
 
     let out_kind = rebuilt.node_kind();
     let transformed = if !opts.identity_skip || phase.transforms().contains(out_kind) {
@@ -95,9 +374,12 @@ fn traverse(
     transformed
 }
 
-/// Runs one Miniphase (possibly a [`Fused`] block) over one compilation unit:
-/// `prepare_unit`, the post-order traversal, then `transform_unit`.
-pub fn run_phase_on_unit(
+/// The pre-overhaul **recursive** traversal, retained as the executable
+/// specification of `runPhase`. Produces byte-identical trees and identical
+/// [`ExecStats`] to [`run_phase_on_unit`] (a property test asserts this over
+/// generated workloads) but recurses per tree level, so deep inputs can
+/// overflow the stack — never call it on untrusted tree shapes.
+pub fn run_phase_on_unit_reference(
     phase: &mut dyn MiniPhase,
     opts: &FusionOptions,
     ctx: &mut Ctx,
@@ -106,7 +388,7 @@ pub fn run_phase_on_unit(
 ) -> CompilationUnit {
     stats.traversals += 1;
     phase.prepare_unit(ctx, &unit.tree);
-    let tree = traverse(phase, opts, ctx, &unit.tree, stats);
+    let tree = traverse_reference(phase, opts, ctx, &unit.tree, stats);
     let tree = phase.transform_unit(ctx, tree);
     CompilationUnit {
         name: unit.name.clone(),
@@ -126,6 +408,8 @@ pub struct Pipeline {
     pub stats: ExecStats,
     /// Failures recorded by the checker, if enabled.
     pub failures: Vec<CheckFailure>,
+    /// Walk stacks reused across every unit and group this pipeline runs.
+    scratch: TraversalScratch,
 }
 
 impl Pipeline {
@@ -134,11 +418,7 @@ impl Pipeline {
     /// # Panics
     ///
     /// Panics if the plan does not cover exactly the given phases.
-    pub fn new(
-        phases: Vec<Box<dyn MiniPhase>>,
-        plan: &PhasePlan,
-        opts: FusionOptions,
-    ) -> Pipeline {
+    pub fn new(phases: Vec<Box<dyn MiniPhase>>, plan: &PhasePlan, opts: FusionOptions) -> Pipeline {
         assert_eq!(
             plan.phase_count(),
             phases.len(),
@@ -159,6 +439,7 @@ impl Pipeline {
             check: false,
             stats: ExecStats::default(),
             failures: Vec::new(),
+            scratch: TraversalScratch::new(),
         }
     }
 
@@ -172,6 +453,37 @@ impl Pipeline {
         &self.groups
     }
 
+    /// Runs group `gi` over one unit through the statically dispatched fused
+    /// driver, reusing the pipeline's scratch stacks.
+    fn run_group_on_unit(
+        &mut self,
+        gi: usize,
+        ctx: &mut Ctx,
+        unit: &CompilationUnit,
+        stats: &mut ExecStats,
+    ) -> CompilationUnit {
+        let opts = self.opts;
+        let Pipeline {
+            groups, scratch, ..
+        } = self;
+        let group = &mut groups[gi];
+        stats.traversals += 1;
+        group.prepare_unit(ctx, &unit.tree);
+        let tree = walk(
+            &mut FusedDriver(group),
+            &opts,
+            ctx,
+            &unit.tree,
+            stats,
+            scratch,
+        );
+        let tree = group.transform_unit(ctx, tree);
+        CompilationUnit {
+            name: unit.name.clone(),
+            tree,
+        }
+    }
+
     /// Runs the whole pipeline over one unit. Convenient for tests; note
     /// that batch compilation ([`Pipeline::run_units`]) is *phase-major*
     /// like the paper's Listing 3, which this single-unit path cannot
@@ -182,7 +494,7 @@ impl Pipeline {
         let mut cur = unit;
         for gi in 0..self.groups.len() {
             let mut stats = ExecStats::default();
-            cur = run_phase_on_unit(&mut self.groups[gi], &self.opts, ctx, &cur, &mut stats);
+            cur = self.run_group_on_unit(gi, ctx, &cur, &mut stats);
             stats.member_transforms = self.groups[gi].take_member_transforms();
             self.stats.merge(stats);
             if self.check {
@@ -194,6 +506,39 @@ impl Pipeline {
             }
         }
         cur
+    }
+
+    /// Runs the pipeline over a batch of units — phase-major exactly like
+    /// [`Pipeline::run_units`] — but through the retained **recursive
+    /// reference** traversal ([`run_phase_on_unit_reference`]) instead of
+    /// the iterative walk. Exists for the traversal-equivalence property
+    /// tests, which assert byte-identical trees and identical stats between
+    /// the two executors; production paths use [`Pipeline::run_units`].
+    pub fn run_units_reference(
+        &mut self,
+        ctx: &mut Ctx,
+        units: Vec<CompilationUnit>,
+    ) -> Vec<CompilationUnit> {
+        let mut units = units;
+        for gi in 0..self.groups.len() {
+            let mut next = Vec::with_capacity(units.len());
+            for u in units {
+                let mut stats = ExecStats::default();
+                let out = run_phase_on_unit_reference(
+                    &mut self.groups[gi],
+                    &self.opts,
+                    ctx,
+                    &u,
+                    &mut stats,
+                );
+                drop(u);
+                stats.member_transforms = self.groups[gi].take_member_transforms();
+                self.stats.merge(stats);
+                next.push(out);
+            }
+            units = next;
+        }
+        units
     }
 
     /// Runs the pipeline over a batch of units — faithfully *phase-major*,
@@ -212,8 +557,7 @@ impl Pipeline {
             let mut next = Vec::with_capacity(units.len());
             for u in units {
                 let mut stats = ExecStats::default();
-                let out =
-                    run_phase_on_unit(&mut self.groups[gi], &self.opts, ctx, &u, &mut stats);
+                let out = self.run_group_on_unit(gi, ctx, &u, &mut stats);
                 drop(u); // the pre-group tree dies here, as in Listing 3
                 stats.member_transforms = self.groups[gi].take_member_transforms();
                 self.stats.merge(stats);
@@ -233,7 +577,6 @@ impl Pipeline {
         units
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,7 +636,7 @@ mod tests {
         }
     }
 
-    fn unit_of(ctx: &mut Ctx, tree: TreeRef) -> CompilationUnit {
+    fn unit_of(_ctx: &mut Ctx, tree: TreeRef) -> CompilationUnit {
         CompilationUnit::new("test.ms", tree)
     }
 
@@ -360,7 +703,10 @@ mod tests {
                 }
             }
         });
-        assert!(depths.contains(&1), "shallow literal at depth 1: {depths:?}");
+        assert!(
+            depths.contains(&1),
+            "shallow literal at depth 1: {depths:?}"
+        );
         assert!(depths.contains(&2), "deep literal at depth 2: {depths:?}");
     }
 

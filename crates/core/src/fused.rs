@@ -158,17 +158,18 @@ impl Fused {
     #[inline]
     fn trace_member_code(&mut self, ctx: &mut Ctx, member: usize, kind: usize) {
         self.member_transforms += 1;
-        ctx.trace_exec(
-            self.member_code_addrs[member] + (kind as u64) * 512,
-            320,
-        );
+        ctx.trace_exec(self.member_code_addrs[member] + (kind as u64) * 512, 320);
     }
 
     #[inline]
     fn trace_member_data(ctx: &mut Ctx, tree: &TreeRef) {
         // A constituent's transform inspects the node and the symbol/type
         // information hanging off it (§2: symbols and types are the other
-        // major data structures).
+        // major data structures). The symbol lookup only matters to the
+        // access sink, so skip it entirely on uninstrumented runs.
+        if ctx.access.is_none() {
+            return;
+        }
         ctx.trace_read(tree);
         let s = tree.def_sym();
         let s = if s.exists() { s } else { tree.ref_sym() };
@@ -183,7 +184,9 @@ impl Fused {
     }
 
     /// The fused transform chain for a node of kind `entry` (Listing 6).
-    fn chain(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+    /// Crate-visible so the executor's fused driver enters it directly,
+    /// without the per-kind `dyn MiniPhase` re-dispatch.
+    pub(crate) fn chain(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
         let mut cur = tree.clone();
         if !self.opts.identity_skip {
             // Ablation: invoke every constituent through generic dispatch.
@@ -236,8 +239,10 @@ impl Fused {
     }
 
     /// Chained prepares (Listing 8): dispatch to each interested constituent
-    /// in order, remembering which ones pushed state.
-    fn fan_prepare(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> bool {
+    /// in order, remembering which ones pushed state. Crate-visible for the
+    /// executor's fused driver; walks the precomputed per-kind prepare list
+    /// by index (no list clone on the hot path).
+    pub(crate) fn fan_prepare(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> bool {
         let kind = tree.node_kind();
         let mut mask = 0u64;
         if self.opts.prepare_always {
@@ -249,11 +254,12 @@ impl Fused {
                 }
             }
         } else {
-            let list = self.prepare_index[kind as usize].clone();
-            for mi in list {
+            let mut pos = 0usize;
+            while let Some(&mi) = self.prepare_index[kind as usize].get(pos) {
                 if dispatch_prepare(self.members[mi as usize].as_mut(), ctx, tree) {
                     mask |= 1 << mi;
                 }
+                pos += 1;
             }
         }
         if mask != 0 {
@@ -261,6 +267,18 @@ impl Fused {
             true
         } else {
             false
+        }
+    }
+
+    /// Statically dispatched twin of the `finish_prepared` hook: pops the
+    /// prepare mask this block recorded for the node and completes each
+    /// constituent that pushed state.
+    pub(crate) fn finish_prepared_direct(&mut self, ctx: &mut Ctx, t: &TreeRef) {
+        let mask = self.prepared_stack.pop().unwrap_or(0);
+        for i in 0..self.members.len() {
+            if mask & (1 << i) != 0 {
+                self.members[i].finish_prepared(ctx, t);
+            }
         }
     }
 }
@@ -321,12 +339,7 @@ macro_rules! impl_fused_hooks {
             }
 
             fn finish_prepared(&mut self, ctx: &mut Ctx, t: &TreeRef) {
-                let mask = self.prepared_stack.pop().unwrap_or(0);
-                for i in 0..self.members.len() {
-                    if mask & (1 << i) != 0 {
-                        self.members[i].finish_prepared(ctx, t);
-                    }
-                }
+                self.finish_prepared_direct(ctx, t);
             }
 
             $(
@@ -435,10 +448,7 @@ mod tests {
     fn fused_applies_members_in_order() {
         let mut ctx = Ctx::new();
         let mut fused = Fused::combine(
-            vec![
-                Box::new(AddN::new("a", 1)),
-                Box::new(AddN::new("b", 10)),
-            ],
+            vec![Box::new(AddN::new("a", 1)), Box::new(AddN::new("b", 10))],
             FusionOptions::default(),
         );
         let t = lit(&mut ctx, 0);
@@ -583,10 +593,7 @@ mod tests {
                 vec!["p1", "external"]
             }
         }
-        let fused = Fused::combine(
-            vec![Box::new(P1), Box::new(P2)],
-            FusionOptions::default(),
-        );
+        let fused = Fused::combine(vec![Box::new(P1), Box::new(P2)], FusionOptions::default());
         let ra = fused.runs_after();
         assert!(ra.contains(&"external"));
         assert!(!ra.contains(&"p1"), "satisfied inside the block");

@@ -214,10 +214,7 @@ mod tests {
         let mut ph = Doubler;
         let lit = ctx.lit_int(21);
         let out = dispatch_transform(&mut ph, &mut ctx, &lit);
-        assert_eq!(
-            out.kind().node_kind(),
-            NodeKind::Literal
-        );
+        assert_eq!(out.kind().node_kind(), NodeKind::Literal);
         if let TreeKind::Literal { value } = out.kind() {
             assert_eq!(value.as_int(), Some(42));
         }
@@ -228,7 +225,7 @@ mod tests {
             ctx.block(vec![s], l)
         };
         let out2 = dispatch_transform(&mut ph, &mut ctx, &blk);
-        assert!(std::sync::Arc::ptr_eq(&out2, &blk));
+        assert!(mini_ir::TreeRef::ptr_eq(&out2, &blk));
     }
 
     #[test]

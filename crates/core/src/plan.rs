@@ -203,6 +203,7 @@ mod tests {
         after_groups: Vec<&'static str>,
     }
     impl P {
+        #[allow(clippy::new_ret_no_self)]
         fn new(name: &'static str) -> Box<dyn MiniPhase> {
             Box::new(P {
                 name,

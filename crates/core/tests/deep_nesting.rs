@@ -1,0 +1,120 @@
+//! Regression tests for stack safety on pathologically deep trees.
+//!
+//! The pre-overhaul executor recursed once per tree level, so a 100k-deep
+//! `Block` chain overflowed the machine stack — first in the traversal,
+//! then again in `Tree`'s (automatic, recursive) destructor. The iterative
+//! walk and the depth-gated destructor must both survive it. Rust test
+//! threads get a 2 MiB stack by default, which makes any accidental
+//! per-level recursion fail loudly here.
+
+use mini_ir::{Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef};
+use miniphase::{
+    build_plan, run_phase_on_unit, CompilationUnit, ExecStats, FusionOptions, MiniPhase, PhaseInfo,
+    Pipeline, PlanOptions,
+};
+
+const DEPTH: usize = 100_000;
+
+/// Builds a `Block` chain `DEPTH` levels deep: each level is
+/// `{ <lit>; <deeper block> }`.
+fn deep_chain(ctx: &mut Ctx) -> TreeRef {
+    let mut t = ctx.lit_int(7);
+    for i in 0..DEPTH {
+        let stat = ctx.lit_int((i % 100) as i64);
+        t = ctx.block(vec![stat], t);
+    }
+    t
+}
+
+/// Increments every integer literal (forces a rebuild of the whole spine).
+struct Inc(&'static str);
+impl PhaseInfo for Inc {
+    fn name(&self) -> &str {
+        self.0
+    }
+}
+impl MiniPhase for Inc {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::of(NodeKind::Literal)
+    }
+    fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+        if let TreeKind::Literal { value } = tree.kind() {
+            if let Some(i) = value.as_int() {
+                return ctx.lit_int(i + 1);
+            }
+        }
+        tree.clone()
+    }
+}
+
+#[test]
+fn compiles_100k_deep_tree_without_stack_overflow() {
+    let mut ctx = Ctx::new();
+    let tree = deep_chain(&mut ctx);
+    assert_eq!(mini_ir::visit::depth(&tree), DEPTH + 1);
+
+    // A fused pipeline of several phases over the deep unit: traversal,
+    // rebuild, and the teardown of the replaced tree all happen here.
+    let phases: Vec<Box<dyn MiniPhase>> = vec![
+        Box::new(Inc("inc1")),
+        Box::new(Inc("inc2")),
+        Box::new(Inc("inc3")),
+    ];
+    let plan = build_plan(&phases, &PlanOptions::default()).expect("plan");
+    let mut pipe = Pipeline::new(phases, &plan, FusionOptions::default());
+    let unit = CompilationUnit::new("deep.ms", tree);
+    let out = pipe.run_unit(&mut ctx, unit);
+
+    assert_eq!(mini_ir::visit::depth(&out.tree), DEPTH + 1);
+    assert!(pipe.stats.node_visits >= (DEPTH as u64 + 1));
+    // The rebuilt spine replaced every block (literals changed at each
+    // level), so the original tree died level by level — iteratively.
+    drop(out);
+    drop(ctx);
+}
+
+#[test]
+fn identity_walk_reuses_the_deep_tree() {
+    // A phase that transforms nothing: the copier's pointer-identity fast
+    // path must hand back the original root, allocating zero nodes.
+    struct Nop;
+    impl PhaseInfo for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+    }
+    impl MiniPhase for Nop {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::EMPTY
+        }
+    }
+    let mut ctx = Ctx::new();
+    let tree = deep_chain(&mut ctx);
+    let before = ctx.stats.nodes;
+    let unit = CompilationUnit::new("deep.ms", tree.clone());
+    let mut stats = ExecStats::default();
+    let out = run_phase_on_unit(
+        &mut Nop,
+        &FusionOptions::default(),
+        &mut ctx,
+        &unit,
+        &mut stats,
+    );
+    assert!(
+        TreeRef::ptr_eq(&out.tree, &tree),
+        "identity walk reuses the root"
+    );
+    assert_eq!(
+        ctx.stats.nodes, before,
+        "no allocation on the identity walk"
+    );
+    assert_eq!(stats.node_visits, 2 * DEPTH as u64 + 1);
+}
+
+#[test]
+fn deep_tree_drops_without_stack_overflow() {
+    let mut ctx = Ctx::new();
+    let tree = deep_chain(&mut ctx);
+    drop(tree); // the whole point: this must not recurse per level
+    drop(ctx);
+}

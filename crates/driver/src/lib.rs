@@ -100,6 +100,16 @@ impl CompilerOptions {
             max_group_size: self.max_group_size,
         }
     }
+
+    /// Applies this configuration's IR tunables to `ctx`: `Legacy` imitates
+    /// scalac-era tree plumbing by disabling both the copier's same-fields
+    /// reuse and the synthetic-literal interning cache.
+    pub fn configure_ctx(&self, ctx: &mut Ctx) {
+        if self.mode == Mode::Legacy {
+            ctx.options.copier_reuse = false;
+            ctx.options.intern_literals = false;
+        }
+    }
 }
 
 /// Wall-clock time per compiler stage (Fig 4 / Fig 9 rows).
@@ -203,16 +213,13 @@ pub fn compile_sources(
     opts: &CompilerOptions,
 ) -> Result<Compiled, CompileError> {
     let mut ctx = Ctx::new();
-    if opts.mode == Mode::Legacy {
-        ctx.options.copier_reuse = false;
-    }
+    opts.configure_ctx(&mut ctx);
 
     // Frontend.
     let fe_start = Instant::now();
     let mut units = Vec::with_capacity(sources.len());
     for (name, src) in sources {
-        let typed =
-            mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
+        let typed = mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
         units.push(CompilationUnit::new(typed.name, typed.tree));
     }
     let frontend = fe_start.elapsed();

@@ -169,9 +169,7 @@ pub fn measure(
     instr: Instrumentation,
 ) -> Result<Measurement, CompileError> {
     let mut ctx = Ctx::new();
-    if opts.mode == crate::Mode::Legacy {
-        ctx.options.copier_reuse = false;
-    }
+    opts.configure_ctx(&mut ctx);
 
     // Frontend (not instrumented).
     let fe_start = Instant::now();
@@ -179,8 +177,7 @@ pub fn measure(
     let mut corpus_loc = 0usize;
     for (name, src) in sources {
         corpus_loc += src.lines().count();
-        let typed =
-            mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
+        let typed = mini_front::compile_source(&mut ctx, name, src).map_err(CompileError::Parse)?;
         units.push(CompilationUnit::new(typed.name, typed.tree));
     }
     let frontend = fe_start.elapsed();
@@ -198,7 +195,8 @@ pub fn measure(
         instr.gc_config.unwrap_or_default(),
     )));
     let cache = Rc::new(RefCell::new(Hierarchy::new(
-        instr.cache_config
+        instr
+            .cache_config
             .unwrap_or_else(CacheConfig::scaled_to_corpus),
     )));
     if instr.gc {
@@ -281,17 +279,20 @@ mod tests {
     #[test]
     fn fused_beats_mega_on_gc_and_cache_shape() {
         let w = small_sources();
+        // Nursery and tenure age calibrated so the generational effect has
+        // room to appear at this corpus size: with a 64 KiB nursery nearly
+        // every allocation tenures in *both* modes and the Fig 6 shape
+        // drowns (see the parameter sweep recorded in PR 1).
         let instr = Instrumentation {
             gc_config: Some(GcConfig {
-                nursery_bytes: 64 << 10,
-                tenure_age: 1,
+                nursery_bytes: 256 << 10,
+                tenure_age: 2,
             }),
             ..Instrumentation::full()
         };
         let fused =
             measure(&w.sources(), &CompilerOptions::fused(), instr).expect("fused measures");
-        let mega =
-            measure(&w.sources(), &CompilerOptions::mega(), instr).expect("mega measures");
+        let mega = measure(&w.sources(), &CompilerOptions::mega(), instr).expect("mega measures");
 
         // Fig 6 shape: megaphase tenures substantially more.
         assert!(

@@ -2,7 +2,7 @@
 //! three pipeline modes. Every feature here exercises at least one concrete
 //! Miniphase.
 
-use mini_driver::{compile_and_run, CompilerOptions, Mode};
+use mini_driver::{compile_and_run, CompilerOptions};
 
 fn run_all_modes(src: &str) -> Vec<String> {
     let mut reference: Option<Vec<String>> = None;
@@ -17,11 +17,7 @@ fn run_all_modes(src: &str) -> Vec<String> {
         };
         match &reference {
             None => reference = Some(out),
-            Some(r) => assert_eq!(
-                &out, r,
-                "mode {:?} disagrees with fused output",
-                opts.mode
-            ),
+            Some(r) => assert_eq!(&out, r, "mode {:?} disagrees with fused output", opts.mode),
         }
     }
     reference.expect("at least one mode ran")
@@ -35,7 +31,10 @@ fn run(src: &str) -> Vec<String> {
 
 #[test]
 fn hello_world() {
-    assert_eq!(run_all_modes(r#"def main(): Unit = println("hello")"#), ["hello"]);
+    assert_eq!(
+        run_all_modes(r#"def main(): Unit = println("hello")"#),
+        ["hello"]
+    );
 }
 
 #[test]
@@ -190,7 +189,10 @@ def main(): Unit = {
 }
 "#,
     );
-    assert_eq!(out, ["small", "negative", "big:100", "str:abc", "bool", "other"]);
+    assert_eq!(
+        out,
+        ["small", "negative", "big:100", "str:abc", "bool", "other"]
+    );
 }
 
 #[test]
@@ -434,8 +436,7 @@ def main(): Unit = println(new Derived().describe())
 
 #[test]
 fn match_on_result_of_match() {
-    let out = run(
-        r#"
+    let out = run(r#"
 def f(x: Int): Int = x match {
   case 0 => 10
   case n => n * 2
@@ -447,8 +448,7 @@ def main(): Unit = {
   }
   println(r)
 }
-"#,
-    );
+"#);
     assert_eq!(out, ["1"]);
 }
 

@@ -5,7 +5,11 @@ use workload::{generate, WorkloadConfig};
 #[test]
 fn small_corpus_compiles_in_all_modes() {
     let w = generate(&WorkloadConfig::small());
-    for opts in [CompilerOptions::fused(), CompilerOptions::mega(), CompilerOptions::legacy()] {
+    for opts in [
+        CompilerOptions::fused(),
+        CompilerOptions::mega(),
+        CompilerOptions::legacy(),
+    ] {
         let c = compile_sources(&w.sources(), &opts)
             .unwrap_or_else(|e| panic!("mode {:?} failed:\n{e}", opts.mode));
         assert!(c.program.entry.is_some());
@@ -17,6 +21,5 @@ fn small_corpus_passes_the_tree_checker() {
     let w = generate(&WorkloadConfig::small());
     let mut opts = CompilerOptions::fused();
     opts.check = true;
-    compile_sources(&w.sources(), &opts)
-        .unwrap_or_else(|e| panic!("checker failures:\n{e}"));
+    compile_sources(&w.sources(), &opts).unwrap_or_else(|e| panic!("checker failures:\n{e}"));
 }

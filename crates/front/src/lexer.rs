@@ -242,8 +242,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     && (bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == b'_')
                 {
                     let start = i;
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }
@@ -426,7 +425,13 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             kinds("class Foo extends Bar"),
-            vec![Tok::KwClass, Tok::Ident, Tok::KwExtends, Tok::Ident, Tok::Eof]
+            vec![
+                Tok::KwClass,
+                Tok::Ident,
+                Tok::KwExtends,
+                Tok::Ident,
+                Tok::Eof
+            ]
         );
     }
 

@@ -105,9 +105,7 @@ def main(): Unit = println(new Increment(3).incOrZero(4))
 
     #[test]
     fn member_access_goes_through_this() {
-        let (_, tree) = typed(
-            "class C(x: Int) { def get(): Int = x }\ndef main(): Unit = ()",
-        );
+        let (_, tree) = typed("class C(x: Int) { def get(): Int = x }\ndef main(): Unit = ()");
         let mut saw_this_select = false;
         visit::for_each_subtree(&tree, &mut |t| {
             if let TreeKind::Select { qual, .. } = t.kind() {

@@ -409,8 +409,7 @@ impl Parser {
             }
             Tok::KwReturn => {
                 let start = self.bump().span;
-                let e = if self.peek().newline_before || self.at(Tok::RBrace) || self.at(Tok::Eof)
-                {
+                let e = if self.peek().newline_before || self.at(Tok::RBrace) || self.at(Tok::Eof) {
                     None
                 } else {
                     Some(Box::new(self.expr()?))
@@ -514,7 +513,10 @@ impl Parser {
             // Fold negative integer literals directly.
             if self.at(Tok::Int) {
                 let it = self.bump();
-                return Ok(SExpr::Lit(Constant::Int(-it.int_val), t.span.union(it.span)));
+                return Ok(SExpr::Lit(
+                    Constant::Int(-it.int_val),
+                    t.span.union(it.span),
+                ));
             }
             let e = self.prefix()?;
             return Ok(SExpr::Unary(Name::intern("-"), Box::new(e), t.span));

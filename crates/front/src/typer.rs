@@ -47,9 +47,14 @@ pub fn type_unit(ctx: &mut Ctx, sunit: &SUnit) -> TypedUnit {
     typer.enter_top_level(&sunit.stats);
     let stats = typer.type_top_level(&sunit.stats);
     let pkg = typer.ctx.symbols.builtins().root_pkg;
-    let tree = typer
-        .ctx
-        .mk(TreeKind::PackageDef { pkg, stats }, Type::NoType, Span::SYNTHETIC);
+    let tree = typer.ctx.mk(
+        TreeKind::PackageDef {
+            pkg,
+            stats: stats.into(),
+        },
+        Type::NoType,
+        Span::SYNTHETIC,
+    );
     TypedUnit {
         tree,
         name: sunit.name.clone(),
@@ -134,7 +139,10 @@ impl<'a> Typer<'a> {
         if c.is_trait {
             flags |= Flags::TRAIT;
         }
-        let sym = self.ctx.symbols.new_class(owner, c.name, flags, Vec::new(), Vec::new());
+        let sym = self
+            .ctx
+            .symbols
+            .new_class(owner, c.name, flags, Vec::new(), Vec::new());
         let tparams: Vec<SymbolId> = c
             .tparams
             .iter()
@@ -169,7 +177,7 @@ impl<'a> Typer<'a> {
         self.push_class_tparams(sym);
         // Parents.
         let mut parents: Vec<Type> = c.parents.iter().map(|p| self.resolve_type(p)).collect();
-        let first_is_class = parents.first().map_or(false, |p| match p.class_sym() {
+        let first_is_class = parents.first().is_some_and(|p| match p.class_sym() {
             Some(ps) => !self.ctx.symbols.sym(ps).flags.is(Flags::TRAIT),
             None => false,
         });
@@ -294,7 +302,10 @@ impl<'a> Typer<'a> {
         if top_level && d.name == std_names::main() {
             flags |= Flags::ENTRY_POINT;
         }
-        let sym = self.ctx.symbols.new_term(owner, d.name, flags, Type::NoType);
+        let sym = self
+            .ctx
+            .symbols
+            .new_term(owner, d.name, flags, Type::NoType);
         self.ctx.symbols.sym_mut(sym).span = d.span;
 
         let tparams: Vec<SymbolId> = d
@@ -486,11 +497,10 @@ impl<'a> Typer<'a> {
                     let expected = self.ctx.symbols.sym(m).info.clone();
                     let rhs = self.type_expr(&v.rhs, Some(&expected));
                     self.check_conforms(rhs.tpe(), &expected, v.span);
-                    body.push(self.ctx.mk(
-                        TreeKind::ValDef { sym: m, rhs },
-                        Type::Unit,
-                        v.span,
-                    ));
+                    body.push(
+                        self.ctx
+                            .mk(TreeKind::ValDef { sym: m, rhs }, Type::Unit, v.span),
+                    );
                 }
                 SStat::Def(d) => {
                     let Some(m) = self.ctx.symbols.decl(sym, d.name) else {
@@ -512,8 +522,14 @@ impl<'a> Typer<'a> {
         }
         self.tscopes.pop();
         self.class_stack.pop();
-        self.ctx
-            .mk(TreeKind::ClassDef { sym, body }, Type::Unit, c.span)
+        self.ctx.mk(
+            TreeKind::ClassDef {
+                sym,
+                body: body.into(),
+            },
+            Type::Unit,
+            c.span,
+        )
     }
 
     fn type_def(&mut self, sym: SymbolId, d: &SDef) -> TreeRef {
@@ -542,7 +558,11 @@ impl<'a> Typer<'a> {
                     .iter()
                     .map(|&p| {
                         let e = self.ctx.empty();
-                        self.ctx.mk(TreeKind::ValDef { sym: p, rhs: e }, Type::Unit, Span::SYNTHETIC)
+                        self.ctx.mk(
+                            TreeKind::ValDef { sym: p, rhs: e },
+                            Type::Unit,
+                            Span::SYNTHETIC,
+                        )
                     })
                     .collect()
             })
@@ -561,15 +581,8 @@ impl<'a> Typer<'a> {
         self.scopes.pop();
         self.method_stack.pop();
         self.tscopes.pop();
-        self.ctx.mk(
-            TreeKind::DefDef {
-                sym,
-                paramss,
-                rhs,
-            },
-            Type::Unit,
-            d.span,
-        )
+        self.ctx
+            .mk(TreeKind::DefDef { sym, paramss, rhs }, Type::Unit, d.span)
     }
 
     fn check_conforms(&mut self, actual: &Type, expected: &Type, span: Span) {
@@ -611,7 +624,7 @@ impl<'a> Typer<'a> {
                 return self.ctx.mk(
                     TreeKind::Apply {
                         fun: tree.clone(),
-                        args: Vec::new(),
+                        args: Vec::new().into(),
                     },
                     (*ret).clone(),
                     tree.span(),
@@ -637,11 +650,7 @@ impl<'a> Typer<'a> {
             let cls = self.class_stack[i];
             let self_t = self.ctx.symbols.self_type(cls);
             if let Some((m, seen)) = self.ctx.symbols.member(&self_t, name) {
-                let this = self.ctx.mk(
-                    TreeKind::This { cls },
-                    self_t,
-                    span,
-                );
+                let this = self.ctx.mk(TreeKind::This { cls }, self_t, span);
                 let sel = self.ctx.mk(
                     TreeKind::Select {
                         qual: this,
@@ -745,7 +754,7 @@ impl<'a> Typer<'a> {
                 self.ctx.mk(
                     TreeKind::Match {
                         selector: s,
-                        cases: case_trees,
+                        cases: case_trees.into(),
                     },
                     result,
                     *span,
@@ -767,7 +776,7 @@ impl<'a> Typer<'a> {
                 self.ctx.mk(
                     TreeKind::Try {
                         block: b,
-                        cases: case_trees,
+                        cases: case_trees.into(),
                         finalizer: fin,
                     },
                     result,
@@ -795,11 +804,8 @@ impl<'a> Typer<'a> {
                         self.ctx.lit(Constant::Unit, *span)
                     }
                 };
-                self.ctx.mk(
-                    TreeKind::Return { expr: v, from: m },
-                    Type::Nothing,
-                    *span,
-                )
+                self.ctx
+                    .mk(TreeKind::Return { expr: v, from: m }, Type::Nothing, *span)
             }
             SExpr::Lambda(params, body, span) => {
                 let owner = self.current_owner();
@@ -819,7 +825,10 @@ impl<'a> Typer<'a> {
                     ptypes.push(t);
                     let empty = self.ctx.empty();
                     ptrees.push(self.ctx.mk(
-                        TreeKind::ValDef { sym: ps, rhs: empty },
+                        TreeKind::ValDef {
+                            sym: ps,
+                            rhs: empty,
+                        },
                         Type::Unit,
                         p.span,
                     ));
@@ -833,7 +842,7 @@ impl<'a> Typer<'a> {
                 };
                 self.ctx.mk(
                     TreeKind::Lambda {
-                        params: ptrees,
+                        params: ptrees.into(),
                         body: b,
                     },
                     tpe,
@@ -845,18 +854,28 @@ impl<'a> Typer<'a> {
                 match op.as_str() {
                     "!" => {
                         self.check_conforms(t.tpe(), &Type::Boolean, *span);
-                        let sel = self.ctx.select(t, *op, SymbolId::NONE, Type::Method {
-                            params: vec![vec![]],
-                            ret: Box::new(Type::Boolean),
-                        });
+                        let sel = self.ctx.select(
+                            t,
+                            *op,
+                            SymbolId::NONE,
+                            Type::Method {
+                                params: vec![vec![]],
+                                ret: Box::new(Type::Boolean),
+                            },
+                        );
                         self.ctx.apply(sel, vec![], Type::Boolean)
                     }
                     "-" => {
                         self.check_conforms(t.tpe(), &Type::Int, *span);
-                        let sel = self.ctx.select(t, *op, SymbolId::NONE, Type::Method {
-                            params: vec![vec![]],
-                            ret: Box::new(Type::Int),
-                        });
+                        let sel = self.ctx.select(
+                            t,
+                            *op,
+                            SymbolId::NONE,
+                            Type::Method {
+                                params: vec![vec![]],
+                                ret: Box::new(Type::Int),
+                            },
+                        );
                         self.ctx.apply(sel, vec![], Type::Int)
                     }
                     other => self.error_tree(*span, format!("unknown unary operator `{other}`")),
@@ -903,13 +922,7 @@ impl<'a> Typer<'a> {
         self.ctx.apply(sel, vec![r], result)
     }
 
-    fn type_select(
-        &mut self,
-        qual: &SExpr,
-        name: Name,
-        span: Span,
-        fun_position: bool,
-    ) -> TreeRef {
+    fn type_select(&mut self, qual: &SExpr, name: Name, span: Span, fun_position: bool) -> TreeRef {
         // super.m
         if let SExpr::Super(sspan) = qual {
             let Some(&cls) = self.class_stack.last() else {
@@ -1024,7 +1037,9 @@ impl<'a> Typer<'a> {
                 params: vec![vec![Type::Int]],
                 ret: elem.clone(),
             };
-            let sel = self.ctx.select(f, std_names::apply(), SymbolId::NONE, m.clone());
+            let sel = self
+                .ctx
+                .select(f, std_names::apply(), SymbolId::NONE, m.clone());
             return self.apply_method(sel, &m, args, span);
         }
 
@@ -1037,7 +1052,10 @@ impl<'a> Typer<'a> {
                     if explicit_targs.len() != tparams.len() {
                         return self.error_tree(span, "wrong number of type arguments");
                     }
-                    explicit_targs.iter().map(|t| self.resolve_type(t)).collect()
+                    explicit_targs
+                        .iter()
+                        .map(|t| self.resolve_type(t))
+                        .collect()
                 } else {
                     // Infer from argument types.
                     let arg_trees: Vec<TreeRef> =
@@ -1066,21 +1084,16 @@ impl<'a> Typer<'a> {
                     // below with resolved targs: we reuse arg_trees.
                     let inst = underlying.subst(&tparams, &out);
                     let ta = self.ctx.mk(
-                        TreeKind::TypeApply {
-                            fun: f,
-                            targs: out,
-                        },
+                        TreeKind::TypeApply { fun: f, targs: out },
                         inst.clone(),
                         span,
                     );
                     return self.apply_method_typed(ta, &inst, arg_trees, span);
                 };
                 let inst = underlying.subst(&tparams, &targs);
-                let ta = self.ctx.mk(
-                    TreeKind::TypeApply { fun: f, targs },
-                    inst.clone(),
-                    span,
-                );
+                let ta = self
+                    .ctx
+                    .mk(TreeKind::TypeApply { fun: f, targs }, inst.clone(), span);
                 self.apply_method(ta, &inst, args, span)
             }
             Type::Method { .. } => {
@@ -1092,13 +1105,7 @@ impl<'a> Typer<'a> {
         }
     }
 
-    fn apply_method(
-        &mut self,
-        fun: TreeRef,
-        m: &Type,
-        args: &[SExpr],
-        span: Span,
-    ) -> TreeRef {
+    fn apply_method(&mut self, fun: TreeRef, m: &Type, args: &[SExpr], span: Span) -> TreeRef {
         let arg_trees: Vec<TreeRef> = args.iter().map(|a| self.type_expr(a, None)).collect();
         self.apply_method_typed(fun, m, arg_trees, span)
     }
@@ -1158,7 +1165,7 @@ impl<'a> Typer<'a> {
         let out = self.ctx.mk(
             TreeKind::Apply {
                 fun,
-                args: arg_trees,
+                args: arg_trees.into(),
             },
             result.clone(),
             span,
@@ -1179,12 +1186,16 @@ impl<'a> Typer<'a> {
                 }
                 let n = self.type_expr(&args[0], Some(&Type::Int));
                 self.check_conforms(n.tpe(), &Type::Int, span);
-                let new_node = self.ctx.mk(TreeKind::New { tpe: t.clone() }, t.clone(), span);
+                let new_node = self
+                    .ctx
+                    .mk(TreeKind::New { tpe: t.clone() }, t.clone(), span);
                 let m = Type::Method {
                     params: vec![vec![Type::Int]],
                     ret: Box::new(t.clone()),
                 };
-                let sel = self.ctx.select(new_node, std_names::init(), SymbolId::NONE, m);
+                let sel = self
+                    .ctx
+                    .select(new_node, std_names::init(), SymbolId::NONE, m);
                 self.ctx.apply(sel, vec![n], t)
             }
             Type::Class { sym, targs } => {
@@ -1197,7 +1208,9 @@ impl<'a> Typer<'a> {
                 };
                 let tps = self.ctx.symbols.sym(*sym).tparams.clone();
                 let info = self.ctx.symbols.sym(ctor).info.clone().subst(&tps, targs);
-                let new_node = self.ctx.mk(TreeKind::New { tpe: t.clone() }, t.clone(), span);
+                let new_node = self
+                    .ctx
+                    .mk(TreeKind::New { tpe: t.clone() }, t.clone(), span);
                 let sel = self.ctx.mk(
                     TreeKind::Select {
                         qual: new_node,
@@ -1232,7 +1245,9 @@ impl<'a> Typer<'a> {
                     params: vec![vec![Type::Int, (*elem).clone()]],
                     ret: Box::new(Type::Unit),
                 };
-                let sel = self.ctx.select(a, Name::intern("update"), SymbolId::NONE, m);
+                let sel = self
+                    .ctx
+                    .select(a, Name::intern("update"), SymbolId::NONE, m);
                 return self.ctx.apply(sel, vec![i, v], Type::Unit);
             }
             return self.error_tree(span, "cannot assign to an application");
@@ -1296,11 +1311,10 @@ impl<'a> Typer<'a> {
                         .last_mut()
                         .expect("block scope pushed")
                         .insert(v.name, sym);
-                    trees.push(self.ctx.mk(
-                        TreeKind::ValDef { sym, rhs },
-                        Type::Unit,
-                        v.span,
-                    ));
+                    trees.push(
+                        self.ctx
+                            .mk(TreeKind::ValDef { sym, rhs }, Type::Unit, v.span),
+                    );
                     last_is_value = false;
                 }
                 SStat::Def(d) => {
@@ -1328,7 +1342,14 @@ impl<'a> Typer<'a> {
             return expr;
         }
         let tpe = expr.tpe().clone();
-        self.ctx.mk(TreeKind::Block { stats: trees, expr }, tpe, span)
+        self.ctx.mk(
+            TreeKind::Block {
+                stats: trees.into(),
+                expr,
+            },
+            tpe,
+            span,
+        )
     }
 
     fn type_case(&mut self, case: &SCase, sel_t: &Type, expected: Option<&Type>) -> TreeRef {
@@ -1345,15 +1366,8 @@ impl<'a> Typer<'a> {
         let body = self.type_expr(&case.body, expected);
         self.scopes.pop();
         let tpe = body.tpe().clone();
-        self.ctx.mk(
-            TreeKind::CaseDef {
-                pat,
-                guard,
-                body,
-            },
-            tpe,
-            case.span,
-        )
+        self.ctx
+            .mk(TreeKind::CaseDef { pat, guard, body }, tpe, case.span)
     }
 
     fn type_pattern(&mut self, pat: &SPat, sel_t: &Type) -> TreeRef {
@@ -1364,7 +1378,14 @@ impl<'a> Typer<'a> {
                     None => Type::Any,
                 };
                 let e = self.ctx.empty();
-                self.ctx.mk(TreeKind::Typed { expr: e, tpe: t.clone() }, t, *span)
+                self.ctx.mk(
+                    TreeKind::Typed {
+                        expr: e,
+                        tpe: t.clone(),
+                    },
+                    t,
+                    *span,
+                )
             }
             SPat::Var { name, tpe, span } => {
                 let t = match tpe {
@@ -1372,18 +1393,25 @@ impl<'a> Typer<'a> {
                     None => self.ctx.symbols.widen(sel_t.clone()),
                 };
                 let owner = self.current_owner();
-                let sym = self
-                    .ctx
-                    .symbols
-                    .new_term(owner, *name, Flags::PARAM | Flags::SYNTHETIC, t.clone());
+                let sym = self.ctx.symbols.new_term(
+                    owner,
+                    *name,
+                    Flags::PARAM | Flags::SYNTHETIC,
+                    t.clone(),
+                );
                 self.scopes
                     .last_mut()
                     .expect("case scope pushed")
                     .insert(*name, sym);
                 let e = self.ctx.empty();
-                let inner = self
-                    .ctx
-                    .mk(TreeKind::Typed { expr: e, tpe: t.clone() }, t.clone(), *span);
+                let inner = self.ctx.mk(
+                    TreeKind::Typed {
+                        expr: e,
+                        tpe: t.clone(),
+                    },
+                    t.clone(),
+                    *span,
+                );
                 self.ctx.mk(TreeKind::Bind { sym, pat: inner }, t, *span)
             }
             SPat::Lit { value, span } => self.ctx.lit(*value, *span),
@@ -1391,10 +1419,12 @@ impl<'a> Typer<'a> {
                 let inner = self.type_pattern(pat, sel_t);
                 let t = inner.tpe().clone();
                 let owner = self.current_owner();
-                let sym = self
-                    .ctx
-                    .symbols
-                    .new_term(owner, *name, Flags::PARAM | Flags::SYNTHETIC, t.clone());
+                let sym = self.ctx.symbols.new_term(
+                    owner,
+                    *name,
+                    Flags::PARAM | Flags::SYNTHETIC,
+                    t.clone(),
+                );
                 self.scopes
                     .last_mut()
                     .expect("case scope pushed")
@@ -1413,7 +1443,7 @@ impl<'a> Typer<'a> {
                     .iter()
                     .fold(Type::Nothing, |acc, t| self.ctx.symbols.lub(&acc, t.tpe()));
                 self.ctx
-                    .mk(TreeKind::Alternative { pats: trees }, tpe, *span)
+                    .mk(TreeKind::Alternative { pats: trees.into() }, tpe, *span)
             }
         }
     }
@@ -1425,17 +1455,27 @@ fn unify(param: &Type, arg: &Type, tparams: &[SymbolId], binding: &mut HashMap<S
         (Type::TypeParam(tp), a) if tparams.contains(tp) => {
             binding.entry(*tp).or_insert_with(|| a.clone());
         }
-        (Type::Class { sym: ps, targs: pt }, Type::Class { sym: as_, targs: at })
-            if ps == as_ && pt.len() == at.len() =>
-        {
+        (
+            Type::Class { sym: ps, targs: pt },
+            Type::Class {
+                sym: as_,
+                targs: at,
+            },
+        ) if ps == as_ && pt.len() == at.len() => {
             for (p, a) in pt.iter().zip(at.iter()) {
                 unify(p, a, tparams, binding);
             }
         }
         (Type::Array(p), Type::Array(a)) => unify(p, a, tparams, binding),
         (
-            Type::Function { params: pp, ret: pr },
-            Type::Function { params: ap, ret: ar },
+            Type::Function {
+                params: pp,
+                ret: pr,
+            },
+            Type::Function {
+                params: ap,
+                ret: ar,
+            },
         ) if pp.len() == ap.len() => {
             for (p, a) in pp.iter().zip(ap.iter()) {
                 unify(p, a, tparams, binding);
@@ -1447,4 +1487,3 @@ fn unify(param: &Type, arg: &Type, tparams: &[SymbolId], binding: &mut HashMap<S
         _ => {}
     }
 }
-

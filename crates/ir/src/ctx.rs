@@ -10,10 +10,10 @@ use crate::names::Name;
 use crate::span::Span;
 use crate::symbol::{SymbolId, SymbolTable};
 use crate::trace;
-use crate::tree::{NodeId, Tree, TreeKind, TreeRef};
+use crate::tree::{Kids, NodeId, Tree, TreeKind, TreeRef};
 use crate::types::Type;
 use std::fmt;
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// Consumer of the memory-access stream (reads/writes of tree nodes,
 /// instruction fetches of phase code). Drives the cache simulator.
@@ -33,12 +33,34 @@ pub struct IrOptions {
     /// (§2 of the paper). The `legacy` pipeline mode disables it to imitate
     /// scalac-era tree plumbing (Fig 9).
     pub copier_reuse: bool,
+    /// Interns synthetic common literals (unit, booleans, small ints) so
+    /// phase-created constants share one node instead of allocating per
+    /// rewrite. Off in `legacy` mode, which imitates scalac-era plumbing.
+    pub intern_literals: bool,
 }
 
 impl Default for IrOptions {
     fn default() -> IrOptions {
-        IrOptions { copier_reuse: true }
+        IrOptions {
+            copier_reuse: true,
+            intern_literals: true,
+        }
     }
+}
+
+/// Range of interned small ints (`INTERN_INT_MIN..=INTERN_INT_MAX`).
+const INTERN_INT_MIN: i64 = -8;
+/// Upper bound of the interned small-int range.
+const INTERN_INT_MAX: i64 = 63;
+const INTERN_INT_SLOTS: usize = (INTERN_INT_MAX - INTERN_INT_MIN + 1) as usize;
+
+/// Cache of shared synthetic nodes (the empty tree and common literals).
+#[derive(Default)]
+struct InternCache {
+    empty: Option<TreeRef>,
+    unit: Option<TreeRef>,
+    bools: [Option<TreeRef>; 2],
+    ints: Vec<Option<TreeRef>>,
 }
 
 /// Always-on cheap allocation counters.
@@ -92,7 +114,7 @@ pub struct Ctx {
     next_id: u64,
     heap_cursor: u64,
     fresh: u32,
-    shared_empty: Option<TreeRef>,
+    interned: InternCache,
 }
 
 impl Ctx {
@@ -107,7 +129,7 @@ impl Ctx {
             next_id: 1,
             heap_cursor: 0x1000, // keep address 0 unused
             fresh: 0,
-            shared_empty: None,
+            interned: InternCache::default(),
         }
     }
 
@@ -125,10 +147,17 @@ impl Ctx {
         if let Some(sink) = self.access.as_mut() {
             sink.write(addr, bytes);
         }
-        Arc::new(Tree {
+        let mut depth = 0u32;
+        let mut i = 0usize;
+        while let Some(c) = kind.child_at(i) {
+            depth = depth.max(c.depth);
+            i += 1;
+        }
+        Rc::new(Tree {
             id,
             addr,
             bytes,
+            depth: depth + 1,
             span,
             tpe,
             kind,
@@ -191,24 +220,69 @@ impl Ctx {
 
     /// The shared empty tree.
     pub fn empty(&mut self) -> TreeRef {
-        if let Some(e) = &self.shared_empty {
-            return Arc::clone(e);
+        if let Some(e) = &self.interned.empty {
+            return Rc::clone(e);
         }
         let e = self.mk(TreeKind::Empty, Type::NoType, Span::SYNTHETIC);
-        self.shared_empty = Some(Arc::clone(&e));
+        self.interned.empty = Some(Rc::clone(&e));
         e
     }
 
-    /// A literal node.
+    /// A literal node. Synthetic common constants (unit, booleans, small
+    /// ints) are interned: phases rewriting literals on the hot path share
+    /// one node per value instead of allocating per rewrite. Literals with a
+    /// real source span are never interned (their spans must stay distinct).
     pub fn lit(&mut self, c: Constant, span: Span) -> TreeRef {
-        let tpe = match c {
+        if self.options.intern_literals && span == Span::SYNTHETIC {
+            if let Some(hit) = self.interned_lit(&c) {
+                return hit;
+            }
+        }
+        let tpe = Self::lit_type(&c);
+        let made = self.mk(TreeKind::Literal { value: c }, tpe, span);
+        if self.options.intern_literals && span == Span::SYNTHETIC {
+            self.intern_lit(&made);
+        }
+        made
+    }
+
+    fn lit_type(c: &Constant) -> Type {
+        match c {
             Constant::Unit => Type::Unit,
             Constant::Bool(_) => Type::Boolean,
             Constant::Int(_) => Type::Int,
             Constant::Str(_) => Type::Str,
             Constant::Null => Type::Null,
+        }
+    }
+
+    fn interned_lit(&self, c: &Constant) -> Option<TreeRef> {
+        let slot = match c {
+            Constant::Unit => &self.interned.unit,
+            Constant::Bool(b) => &self.interned.bools[usize::from(*b)],
+            Constant::Int(i) if (INTERN_INT_MIN..=INTERN_INT_MAX).contains(i) => {
+                self.interned.ints.get((i - INTERN_INT_MIN) as usize)?
+            }
+            _ => return None,
         };
-        self.mk(TreeKind::Literal { value: c }, tpe, span)
+        slot.as_ref().map(Rc::clone)
+    }
+
+    fn intern_lit(&mut self, t: &TreeRef) {
+        let TreeKind::Literal { value } = t.kind() else {
+            return;
+        };
+        match value {
+            Constant::Unit => self.interned.unit = Some(Rc::clone(t)),
+            Constant::Bool(b) => self.interned.bools[usize::from(*b)] = Some(Rc::clone(t)),
+            Constant::Int(i) if (INTERN_INT_MIN..=INTERN_INT_MAX).contains(i) => {
+                if self.interned.ints.is_empty() {
+                    self.interned.ints = vec![None; INTERN_INT_SLOTS];
+                }
+                self.interned.ints[(i - INTERN_INT_MIN) as usize] = Some(Rc::clone(t));
+            }
+            _ => {}
+        }
     }
 
     /// An integer literal.
@@ -238,7 +312,8 @@ impl Ctx {
     }
 
     /// A block; its type is the type of the final expression.
-    pub fn block(&mut self, stats: Vec<TreeRef>, expr: TreeRef) -> TreeRef {
+    pub fn block(&mut self, stats: impl Into<Kids>, expr: TreeRef) -> TreeRef {
+        let stats = stats.into();
         if stats.is_empty() {
             return expr;
         }
@@ -247,21 +322,20 @@ impl Ctx {
     }
 
     /// An application node with the given result type.
-    pub fn apply(&mut self, fun: TreeRef, args: Vec<TreeRef>, tpe: Type) -> TreeRef {
-        self.mk(TreeKind::Apply { fun, args }, tpe, Span::SYNTHETIC)
-    }
-
-    /// A selection node.
-    pub fn select(&mut self, qual: TreeRef, name: Name, sym: SymbolId, tpe: Type) -> TreeRef {
+    pub fn apply(&mut self, fun: TreeRef, args: impl Into<Kids>, tpe: Type) -> TreeRef {
         self.mk(
-            TreeKind::Select {
-                qual,
-                name,
-                sym,
+            TreeKind::Apply {
+                fun,
+                args: args.into(),
             },
             tpe,
             Span::SYNTHETIC,
         )
+    }
+
+    /// A selection node.
+    pub fn select(&mut self, qual: TreeRef, name: Name, sym: SymbolId, tpe: Type) -> TreeRef {
+        self.mk(TreeKind::Select { qual, name, sym }, tpe, Span::SYNTHETIC)
     }
 
     /// A `this` reference typed as the class's self type.
@@ -283,7 +357,7 @@ impl Ctx {
     /// Copies `t` with a new type (fresh node, same kind and span).
     pub fn retyped(&mut self, t: &TreeRef, tpe: Type) -> TreeRef {
         if *t.tpe() == tpe && self.options.copier_reuse {
-            return Arc::clone(t);
+            return Rc::clone(t);
         }
         self.mk(t.kind().clone(), tpe, t.span())
     }
@@ -307,7 +381,7 @@ impl Ctx {
         let mut changed = false;
         let mut map1 = |ctx: &mut Ctx, changed: &mut bool, c: &TreeRef| -> TreeRef {
             let n = f(ctx, c);
-            if !Arc::ptr_eq(&n, c) {
+            if !Rc::ptr_eq(&n, c) {
                 *changed = true;
             }
             n
@@ -327,10 +401,7 @@ impl Ctx {
             },
             TreeKind::Apply { fun, args } => TreeKind::Apply {
                 fun: map1(self, &mut changed, fun),
-                args: args
-                    .iter()
-                    .map(|a| map1(self, &mut changed, a))
-                    .collect(),
+                args: args.iter().map(|a| map1(self, &mut changed, a)).collect(),
             },
             TreeKind::TypeApply { fun, targs } => TreeKind::TypeApply {
                 fun: map1(self, &mut changed, fun),
@@ -341,10 +412,7 @@ impl Ctx {
                 rhs: map1(self, &mut changed, rhs),
             },
             TreeKind::Block { stats, expr } => TreeKind::Block {
-                stats: stats
-                    .iter()
-                    .map(|s| map1(self, &mut changed, s))
-                    .collect(),
+                stats: stats.iter().map(|s| map1(self, &mut changed, s)).collect(),
                 expr: map1(self, &mut changed, expr),
             },
             TreeKind::If {
@@ -358,10 +426,7 @@ impl Ctx {
             },
             TreeKind::Match { selector, cases } => TreeKind::Match {
                 selector: map1(self, &mut changed, selector),
-                cases: cases
-                    .iter()
-                    .map(|c| map1(self, &mut changed, c))
-                    .collect(),
+                cases: cases.iter().map(|c| map1(self, &mut changed, c)).collect(),
             },
             TreeKind::CaseDef { pat, guard, body } => TreeKind::CaseDef {
                 pat: map1(self, &mut changed, pat),
@@ -373,10 +438,7 @@ impl Ctx {
                 pat: map1(self, &mut changed, pat),
             },
             TreeKind::Alternative { pats } => TreeKind::Alternative {
-                pats: pats
-                    .iter()
-                    .map(|p| map1(self, &mut changed, p))
-                    .collect(),
+                pats: pats.iter().map(|p| map1(self, &mut changed, p)).collect(),
             },
             TreeKind::Typed { expr, tpe } => TreeKind::Typed {
                 expr: map1(self, &mut changed, expr),
@@ -400,10 +462,7 @@ impl Ctx {
                 finalizer,
             } => TreeKind::Try {
                 block: map1(self, &mut changed, block),
-                cases: cases
-                    .iter()
-                    .map(|c| map1(self, &mut changed, c))
-                    .collect(),
+                cases: cases.iter().map(|c| map1(self, &mut changed, c)).collect(),
                 finalizer: map1(self, &mut changed, finalizer),
             },
             TreeKind::Throw { expr } => TreeKind::Throw {
@@ -414,10 +473,7 @@ impl Ctx {
                 from: *from,
             },
             TreeKind::Lambda { params, body } => TreeKind::Lambda {
-                params: params
-                    .iter()
-                    .map(|p| map1(self, &mut changed, p))
-                    .collect(),
+                params: params.iter().map(|p| map1(self, &mut changed, p)).collect(),
                 body: map1(self, &mut changed, body),
             },
             TreeKind::Labeled { label, body } => TreeKind::Labeled {
@@ -426,16 +482,10 @@ impl Ctx {
             },
             TreeKind::JumpTo { label, args } => TreeKind::JumpTo {
                 label: *label,
-                args: args
-                    .iter()
-                    .map(|a| map1(self, &mut changed, a))
-                    .collect(),
+                args: args.iter().map(|a| map1(self, &mut changed, a)).collect(),
             },
             TreeKind::SeqLiteral { elems, elem_tpe } => TreeKind::SeqLiteral {
-                elems: elems
-                    .iter()
-                    .map(|e| map1(self, &mut changed, e))
-                    .collect(),
+                elems: elems.iter().map(|e| map1(self, &mut changed, e)).collect(),
                 elem_tpe: elem_tpe.clone(),
             },
             TreeKind::ValDef { sym, rhs } => TreeKind::ValDef {
@@ -452,24 +502,41 @@ impl Ctx {
             },
             TreeKind::ClassDef { sym, body } => TreeKind::ClassDef {
                 sym: *sym,
-                body: body
-                    .iter()
-                    .map(|b| map1(self, &mut changed, b))
-                    .collect(),
+                body: body.iter().map(|b| map1(self, &mut changed, b)).collect(),
             },
             TreeKind::PackageDef { pkg, stats } => TreeKind::PackageDef {
                 pkg: *pkg,
-                stats: stats
-                    .iter()
-                    .map(|s| map1(self, &mut changed, s))
-                    .collect(),
+                stats: stats.iter().map(|s| map1(self, &mut changed, s)).collect(),
             },
         };
         if !changed && self.options.copier_reuse {
-            Arc::clone(t)
+            Rc::clone(t)
         } else {
             self.mk(new_kind, t.tpe().clone(), t.span())
         }
+    }
+
+    /// Splices `new_children` into a copy of `t`, comparing each against the
+    /// original children by pointer identity first: when nothing changed
+    /// (and [`IrOptions::copier_reuse`] is on) the original node is returned
+    /// without constructing a kind at all — the fast path the iterative
+    /// executor hits on every untouched subtree. The children are **moved**
+    /// into the rebuilt node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields fewer children than `t` has.
+    pub fn rebuild_with_children(
+        &mut self,
+        t: &TreeRef,
+        changed: bool,
+        new_children: &mut impl Iterator<Item = TreeRef>,
+    ) -> TreeRef {
+        if !changed && self.options.copier_reuse {
+            return Rc::clone(t);
+        }
+        let kind = t.kind().with_children_owned(new_children);
+        self.mk(kind, t.tpe().clone(), t.span())
     }
 }
 
@@ -502,8 +569,8 @@ mod tests {
         let two = ctx.lit_int(2);
         let blk = ctx.block(vec![one], two);
         let before = ctx.stats.nodes;
-        let mapped = ctx.map_children(&blk, &mut |_, c| Arc::clone(c));
-        assert!(Arc::ptr_eq(&mapped, &blk), "identity map reuses node");
+        let mapped = ctx.map_children(&blk, &mut |_, c| Rc::clone(c));
+        assert!(Rc::ptr_eq(&mapped, &blk), "identity map reuses node");
         assert_eq!(ctx.stats.nodes, before, "no allocation on reuse");
     }
 
@@ -517,16 +584,13 @@ mod tests {
             if let TreeKind::Literal { .. } = c.kind() {
                 ctx.lit_int(42)
             } else {
-                Arc::clone(c)
+                Rc::clone(c)
             }
         });
-        assert!(!Arc::ptr_eq(&mapped, &blk));
+        assert!(!Rc::ptr_eq(&mapped, &blk));
         let kids = mapped.children();
         for k in kids {
-            assert_eq!(
-                k.kind().node_kind(),
-                crate::tree::NodeKind::Literal
-            );
+            assert_eq!(k.kind().node_kind(), crate::tree::NodeKind::Literal);
             if let TreeKind::Literal { value } = k.kind() {
                 assert_eq!(value.as_int(), Some(42));
             }
@@ -540,8 +604,8 @@ mod tests {
         let one = ctx.lit_int(1);
         let two = ctx.lit_int(2);
         let blk = ctx.block(vec![one], two);
-        let mapped = ctx.map_children(&blk, &mut |_, c| Arc::clone(c));
-        assert!(!Arc::ptr_eq(&mapped, &blk), "legacy mode reallocates");
+        let mapped = ctx.map_children(&blk, &mut |_, c| Rc::clone(c));
+        assert!(!Rc::ptr_eq(&mapped, &blk), "legacy mode reallocates");
     }
 
     #[test]
@@ -559,7 +623,7 @@ mod tests {
         let e1 = ctx.empty();
         let before = ctx.stats.nodes;
         let e2 = ctx.empty();
-        assert!(Arc::ptr_eq(&e1, &e2));
+        assert!(Rc::ptr_eq(&e1, &e2));
         assert_eq!(ctx.stats.nodes, before);
     }
 

@@ -45,6 +45,6 @@ pub use names::{std_names, Name};
 pub use span::Span;
 pub use symbol::{Builtins, SymKind, SymbolData, SymbolId, SymbolTable};
 pub use tree::{
-    NodeId, NodeKind, NodeKindSet, Tree, TreeKind, TreeRef, ALL_NODE_KINDS, NODE_KIND_COUNT,
+    Kids, NodeId, NodeKind, NodeKindSet, Tree, TreeKind, TreeRef, ALL_NODE_KINDS, NODE_KIND_COUNT,
 };
 pub use types::Type;

@@ -234,8 +234,7 @@ impl Printer<'_> {
                 }
                 self.out.push_str(&self.name_of(*sym));
                 self.out.push_str(": ");
-                self.out
-                    .push_str(&self.symbols.sym(*sym).info.to_string());
+                self.out.push_str(&self.symbols.sym(*sym).info.to_string());
                 if !rhs.is_empty_tree() {
                     self.out.push_str(" = ");
                     self.tree(rhs);
@@ -250,9 +249,8 @@ impl Printer<'_> {
                     self.out.push(')');
                 }
                 self.out.push_str(": ");
-                self.out.push_str(
-                    &self.symbols.sym(*sym).info.final_result().to_string(),
-                );
+                self.out
+                    .push_str(&self.symbols.sym(*sym).info.final_result().to_string());
                 if !rhs.is_empty_tree() {
                     self.out.push_str(" = ");
                     self.tree(rhs);

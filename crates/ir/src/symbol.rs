@@ -294,13 +294,7 @@ impl SymbolTable {
 
     /// Creates a new term symbol (val/var/def/param/local) owned by `owner`
     /// and enters it into the owner's declarations.
-    pub fn new_term(
-        &mut self,
-        owner: SymbolId,
-        name: Name,
-        flags: Flags,
-        info: Type,
-    ) -> SymbolId {
+    pub fn new_term(&mut self, owner: SymbolId, name: Name, flags: Flags, info: Type) -> SymbolId {
         self.alloc(SymbolData {
             name,
             flags,
@@ -492,13 +486,7 @@ impl SymbolTable {
                     let cls = self.builtins.function_classes[n];
                     let mut targs = params.clone();
                     targs.push((**ret).clone());
-                    self.base_type(
-                        &Type::Class {
-                            sym: cls,
-                            targs,
-                        },
-                        target,
-                    )
+                    self.base_type(&Type::Class { sym: cls, targs }, target)
                 } else {
                     None
                 }
@@ -554,8 +542,14 @@ impl SymbolTable {
                 _ => false,
             },
             (
-                Type::Function { params: pa, ret: ra },
-                Type::Function { params: pb, ret: rb },
+                Type::Function {
+                    params: pa,
+                    ret: ra,
+                },
+                Type::Function {
+                    params: pb,
+                    ret: rb,
+                },
             ) => {
                 pa.len() == pb.len()
                     && pb
@@ -782,7 +776,13 @@ mod tests {
         // trait A; class B extends A; class C extends B
         let mut tab = SymbolTable::new();
         let pkg = tab.builtins().root_pkg;
-        let a = tab.new_class(pkg, Name::from("A"), Flags::TRAIT, vec![Type::AnyRef], vec![]);
+        let a = tab.new_class(
+            pkg,
+            Name::from("A"),
+            Flags::TRAIT,
+            vec![Type::AnyRef],
+            vec![],
+        );
         let b = {
             let at = tab.class_type(a);
             tab.new_class(pkg, Name::from("B"), Flags::EMPTY, vec![at], vec![])
@@ -821,7 +821,13 @@ mod tests {
         // class Box[T]; class IntBox extends Box[Int]
         let mut tab = SymbolTable::new();
         let pkg = tab.builtins().root_pkg;
-        let box_cls = tab.new_class(pkg, Name::from("Box"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
+        let box_cls = tab.new_class(
+            pkg,
+            Name::from("Box"),
+            Flags::EMPTY,
+            vec![Type::AnyRef],
+            vec![],
+        );
         let t = tab.new_type_param(box_cls, Name::from("T"));
         tab.sym_mut(box_cls).tparams = vec![t];
         let int_box = tab.new_class(
@@ -845,7 +851,12 @@ mod tests {
             }
         );
         // Member as seen from IntBox substitutes T := Int.
-        let v = tab.new_term(box_cls, Name::from("value"), Flags::EMPTY, Type::TypeParam(t));
+        let v = tab.new_term(
+            box_cls,
+            Name::from("value"),
+            Flags::EMPTY,
+            Type::TypeParam(t),
+        );
         let (found, seen) = tab
             .member(&tab.class_type(int_box), Name::from("value"))
             .unwrap();
@@ -868,7 +879,13 @@ mod tests {
     fn erasure_produces_erased_types() {
         let mut tab = SymbolTable::new();
         let pkg = tab.builtins().root_pkg;
-        let cls = tab.new_class(pkg, Name::from("Box"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
+        let cls = tab.new_class(
+            pkg,
+            Name::from("Box"),
+            Flags::EMPTY,
+            vec![Type::AnyRef],
+            vec![],
+        );
         let t = tab.new_type_param(cls, Name::from("T"));
         tab.sym_mut(cls).tparams = vec![t];
         let generic = Type::Class {

@@ -103,7 +103,9 @@ mod tests {
 
         let mut ctx = Ctx::new();
         let id = {
-            let t = ctx.lit_int(1);
+            // 1000 is outside the interned small-int range, so the node is
+            // uniquely owned and dies with the binding.
+            let t = ctx.lit_int(1000);
             t.id().0
         }; // dropped here
 

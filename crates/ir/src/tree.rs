@@ -18,7 +18,7 @@ use crate::symbol::SymbolId;
 use crate::trace;
 use crate::types::Type;
 use std::fmt;
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// Identity of one allocated tree node; doubles as the allocation-order
 /// timestamp consumed by the generational-GC simulator.
@@ -26,7 +26,181 @@ use std::sync::Arc;
 pub struct NodeId(pub u64);
 
 /// Shared handle to an immutable tree node.
-pub type TreeRef = Arc<Tree>;
+pub type TreeRef = Rc<Tree>;
+
+/// Child list with inline storage for up to two children.
+///
+/// Arity profiling on the dotty-like corpus shows the overwhelming majority
+/// of variadic child lists (`Apply` args, `Block` stats, `JumpTo` args, …)
+/// hold one or two entries, so the traversal hot path was paying a heap
+/// `Vec` allocation per rebuilt node for nothing. `Kids` stores 0–2 children
+/// inline in the node and only spills to a heap `Vec` at three or more.
+///
+/// Dereferences to `[TreeRef]`, so read sites (`iter`, `len`, indexing) work
+/// exactly as they did when the fields were `Vec<TreeRef>`.
+#[derive(Clone, Default)]
+pub enum Kids {
+    /// No children.
+    #[default]
+    K0,
+    /// One inline child.
+    K1([TreeRef; 1]),
+    /// Two inline children.
+    K2([TreeRef; 2]),
+    /// Three or more children, heap-allocated.
+    Spilled(Vec<TreeRef>),
+}
+
+impl Kids {
+    /// The empty list.
+    pub const fn new() -> Kids {
+        Kids::K0
+    }
+
+    /// Appends a child (spilling to the heap on the third).
+    pub fn push(&mut self, child: TreeRef) {
+        let cur = std::mem::replace(self, Kids::K0);
+        *self = match cur {
+            Kids::K0 => Kids::K1([child]),
+            Kids::K1([a]) => Kids::K2([a, child]),
+            Kids::K2([a, b]) => Kids::Spilled(vec![a, b, child]),
+            Kids::Spilled(mut v) => {
+                v.push(child);
+                Kids::Spilled(v)
+            }
+        }
+    }
+
+    /// Consumes the list, feeding each child to `f` (no allocation for the
+    /// inline variants — this is the destructor's path).
+    pub fn drain(self, f: &mut impl FnMut(TreeRef)) {
+        match self {
+            Kids::K0 => {}
+            Kids::K1([a]) => f(a),
+            Kids::K2([a, b]) => {
+                f(a);
+                f(b);
+            }
+            Kids::Spilled(v) => {
+                for c in v {
+                    f(c);
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Kids {
+    type Target = [TreeRef];
+    fn deref(&self) -> &[TreeRef] {
+        match self {
+            Kids::K0 => &[],
+            Kids::K1(a) => a,
+            Kids::K2(a) => a,
+            Kids::Spilled(v) => v,
+        }
+    }
+}
+
+impl From<Vec<TreeRef>> for Kids {
+    fn from(mut v: Vec<TreeRef>) -> Kids {
+        match v.len() {
+            0 => Kids::K0,
+            1 => Kids::K1([v.pop().expect("len 1")]),
+            2 => {
+                let b = v.pop().expect("len 2");
+                let a = v.pop().expect("len 2");
+                Kids::K2([a, b])
+            }
+            _ => Kids::Spilled(v),
+        }
+    }
+}
+
+impl<const N: usize> From<[TreeRef; N]> for Kids {
+    fn from(arr: [TreeRef; N]) -> Kids {
+        let mut it = arr.into_iter();
+        match N {
+            0 => Kids::K0,
+            1 => Kids::K1([it.next().expect("len 1")]),
+            2 => Kids::K2([it.next().expect("len 2"), it.next().expect("len 2")]),
+            _ => Kids::Spilled(it.collect()),
+        }
+    }
+}
+
+impl FromIterator<TreeRef> for Kids {
+    fn from_iter<I: IntoIterator<Item = TreeRef>>(iter: I) -> Kids {
+        let mut it = iter.into_iter();
+        let Some(a) = it.next() else { return Kids::K0 };
+        let Some(b) = it.next() else {
+            return Kids::K1([a]);
+        };
+        let Some(c) = it.next() else {
+            return Kids::K2([a, b]);
+        };
+        let mut v = Vec::with_capacity(it.size_hint().0 + 3);
+        v.push(a);
+        v.push(b);
+        v.push(c);
+        v.extend(it);
+        Kids::Spilled(v)
+    }
+}
+
+/// Owned iterator over a [`Kids`] list — no heap allocation for the
+/// inline variants.
+pub enum KidsIntoIter {
+    /// Inline children, emitted front to back.
+    Inline([Option<TreeRef>; 2]),
+    /// Spilled children.
+    Heap(std::vec::IntoIter<TreeRef>),
+}
+
+impl Iterator for KidsIntoIter {
+    type Item = TreeRef;
+    fn next(&mut self) -> Option<TreeRef> {
+        match self {
+            KidsIntoIter::Inline([a, b]) => a.take().or_else(|| b.take()),
+            KidsIntoIter::Heap(it) => it.next(),
+        }
+    }
+}
+
+impl Extend<TreeRef> for Kids {
+    fn extend<I: IntoIterator<Item = TreeRef>>(&mut self, iter: I) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+impl IntoIterator for Kids {
+    type Item = TreeRef;
+    type IntoIter = KidsIntoIter;
+    fn into_iter(self) -> KidsIntoIter {
+        match self {
+            Kids::K0 => KidsIntoIter::Inline([None, None]),
+            Kids::K1([a]) => KidsIntoIter::Inline([Some(a), None]),
+            Kids::K2([a, b]) => KidsIntoIter::Inline([Some(a), Some(b)]),
+            Kids::Spilled(v) => KidsIntoIter::Heap(v.into_iter()),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Kids {
+    type Item = &'a TreeRef;
+    type IntoIter = std::slice::Iter<'a, TreeRef>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for Kids {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
 
 /// Enumerates the 32 tree node kinds; the per-kind transform/prepare hooks of
 /// the Miniphase framework dispatch on this.
@@ -238,7 +412,7 @@ pub enum TreeKind {
         /// The applied function.
         fun: TreeRef,
         /// Arguments.
-        args: Vec<TreeRef>,
+        args: Kids,
     },
     /// A type application `fun[targs]`.
     TypeApply {
@@ -262,7 +436,7 @@ pub enum TreeKind {
     /// A block of statements ending in an expression.
     Block {
         /// Leading statements.
-        stats: Vec<TreeRef>,
+        stats: Kids,
         /// The result expression.
         expr: TreeRef,
     },
@@ -280,7 +454,7 @@ pub enum TreeKind {
         /// The scrutinee.
         selector: TreeRef,
         /// `CaseDef` children.
-        cases: Vec<TreeRef>,
+        cases: Kids,
     },
     /// One case clause.
     CaseDef {
@@ -301,7 +475,7 @@ pub enum TreeKind {
     /// A pattern alternative.
     Alternative {
         /// The alternatives.
-        pats: Vec<TreeRef>,
+        pats: Kids,
     },
     /// A type ascription, or a type pattern when under a `CaseDef`.
     Typed {
@@ -336,7 +510,7 @@ pub enum TreeKind {
         /// The protected expression.
         block: TreeRef,
         /// Catch cases.
-        cases: Vec<TreeRef>,
+        cases: Kids,
         /// Finalizer (`Empty` when absent).
         finalizer: TreeRef,
     },
@@ -355,7 +529,7 @@ pub enum TreeKind {
     /// An anonymous function; params are `ValDef`s.
     Lambda {
         /// The parameters.
-        params: Vec<TreeRef>,
+        params: Kids,
         /// The body.
         body: TreeRef,
     },
@@ -371,12 +545,12 @@ pub enum TreeKind {
         /// The target label.
         label: SymbolId,
         /// New values for the label's parameters.
-        args: Vec<TreeRef>,
+        args: Kids,
     },
     /// A sequence literal produced by `ElimRepeated`.
     SeqLiteral {
         /// Element expressions.
-        elems: Vec<TreeRef>,
+        elems: Kids,
         /// Element type.
         elem_tpe: Type,
     },
@@ -401,14 +575,14 @@ pub enum TreeKind {
         /// The class symbol (parents and members recorded in the symbol).
         sym: SymbolId,
         /// The template body.
-        body: Vec<TreeRef>,
+        body: Kids,
     },
     /// Top-level statements of a compilation unit.
     PackageDef {
         /// The package symbol.
         pkg: SymbolId,
         /// Top-level definitions.
-        stats: Vec<TreeRef>,
+        stats: Kids,
     },
     /// A `this` reference.
     This {
@@ -495,6 +669,238 @@ impl TreeKind {
         };
         HEADER + payload
     }
+
+    /// Rebuilds this kind with the children drawn from `ch`, **moving**
+    /// each ref in, in the exact order [`Tree::for_each_child`] /
+    /// [`Tree::child_at`] report them. Non-child payload (names, symbols,
+    /// types) is cloned from `self`. This is the copier's assembly step: the
+    /// iterative executor drains its result stack straight into the rebuilt
+    /// node, with no per-child refcount round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` yields fewer children than the node requires.
+    pub fn with_children_owned(&self, ch: &mut impl Iterator<Item = TreeRef>) -> TreeKind {
+        fn one(ch: &mut impl Iterator<Item = TreeRef>) -> TreeRef {
+            ch.next().expect("child iterator exhausted")
+        }
+        match self {
+            TreeKind::Empty
+            | TreeKind::Literal { .. }
+            | TreeKind::Ident { .. }
+            | TreeKind::Unresolved { .. }
+            | TreeKind::New { .. }
+            | TreeKind::This { .. }
+            | TreeKind::Super { .. } => self.clone(),
+            TreeKind::Select { name, sym, .. } => TreeKind::Select {
+                qual: one(ch),
+                name: *name,
+                sym: *sym,
+            },
+            TreeKind::Apply { .. } => TreeKind::Apply {
+                fun: one(ch),
+                args: ch.collect(),
+            },
+            TreeKind::TypeApply { targs, .. } => TreeKind::TypeApply {
+                fun: one(ch),
+                targs: targs.clone(),
+            },
+            TreeKind::Assign { .. } => TreeKind::Assign {
+                lhs: one(ch),
+                rhs: one(ch),
+            },
+            TreeKind::Block { stats, .. } => TreeKind::Block {
+                stats: ch.by_ref().take(stats.len()).collect(),
+                expr: one(ch),
+            },
+            TreeKind::If { .. } => TreeKind::If {
+                cond: one(ch),
+                then_branch: one(ch),
+                else_branch: one(ch),
+            },
+            TreeKind::Match { .. } => TreeKind::Match {
+                selector: one(ch),
+                cases: ch.collect(),
+            },
+            TreeKind::CaseDef { .. } => TreeKind::CaseDef {
+                pat: one(ch),
+                guard: one(ch),
+                body: one(ch),
+            },
+            TreeKind::Bind { sym, .. } => TreeKind::Bind {
+                sym: *sym,
+                pat: one(ch),
+            },
+            TreeKind::Alternative { .. } => TreeKind::Alternative { pats: ch.collect() },
+            TreeKind::Typed { tpe, .. } => TreeKind::Typed {
+                expr: one(ch),
+                tpe: tpe.clone(),
+            },
+            TreeKind::Cast { tpe, .. } => TreeKind::Cast {
+                expr: one(ch),
+                tpe: tpe.clone(),
+            },
+            TreeKind::IsInstance { tpe, .. } => TreeKind::IsInstance {
+                expr: one(ch),
+                tpe: tpe.clone(),
+            },
+            TreeKind::While { .. } => TreeKind::While {
+                cond: one(ch),
+                body: one(ch),
+            },
+            TreeKind::Try { cases, .. } => TreeKind::Try {
+                block: one(ch),
+                cases: ch.by_ref().take(cases.len()).collect(),
+                finalizer: one(ch),
+            },
+            TreeKind::Throw { .. } => TreeKind::Throw { expr: one(ch) },
+            TreeKind::Return { from, .. } => TreeKind::Return {
+                expr: one(ch),
+                from: *from,
+            },
+            TreeKind::Lambda { params, .. } => TreeKind::Lambda {
+                params: ch.by_ref().take(params.len()).collect(),
+                body: one(ch),
+            },
+            TreeKind::Labeled { label, .. } => TreeKind::Labeled {
+                label: *label,
+                body: one(ch),
+            },
+            TreeKind::JumpTo { label, .. } => TreeKind::JumpTo {
+                label: *label,
+                args: ch.collect(),
+            },
+            TreeKind::SeqLiteral { elem_tpe, .. } => TreeKind::SeqLiteral {
+                elems: ch.collect(),
+                elem_tpe: elem_tpe.clone(),
+            },
+            TreeKind::ValDef { sym, .. } => TreeKind::ValDef {
+                sym: *sym,
+                rhs: one(ch),
+            },
+            TreeKind::DefDef { sym, paramss, .. } => TreeKind::DefDef {
+                sym: *sym,
+                paramss: paramss
+                    .iter()
+                    .map(|ps| ch.by_ref().take(ps.len()).collect())
+                    .collect(),
+                rhs: one(ch),
+            },
+            TreeKind::ClassDef { sym, .. } => TreeKind::ClassDef {
+                sym: *sym,
+                body: ch.collect(),
+            },
+            TreeKind::PackageDef { pkg, .. } => TreeKind::PackageDef {
+                pkg: *pkg,
+                stats: ch.collect(),
+            },
+        }
+    }
+
+    /// The `i`-th direct child in evaluation order, or `None` past the end.
+    ///
+    /// Positional access is what lets the executor walk trees with an
+    /// external cursor (one frame per open node) instead of internal
+    /// `for_each_child` iteration; the order agrees exactly with
+    /// [`Tree::for_each_child`] and [`TreeKind::with_children_owned`].
+    pub fn child_at(&self, i: usize) -> Option<&TreeRef> {
+        fn only(i: usize, c: &TreeRef) -> Option<&TreeRef> {
+            (i == 0).then_some(c)
+        }
+        match self {
+            TreeKind::Empty
+            | TreeKind::Literal { .. }
+            | TreeKind::Ident { .. }
+            | TreeKind::Unresolved { .. }
+            | TreeKind::New { .. }
+            | TreeKind::This { .. }
+            | TreeKind::Super { .. } => None,
+            TreeKind::Select { qual, .. } => only(i, qual),
+            TreeKind::Apply { fun, args } => {
+                if i == 0 {
+                    Some(fun)
+                } else {
+                    args.get(i - 1)
+                }
+            }
+            TreeKind::TypeApply { fun, .. } => only(i, fun),
+            TreeKind::Assign { lhs, rhs } => match i {
+                0 => Some(lhs),
+                1 => Some(rhs),
+                _ => None,
+            },
+            TreeKind::Block { stats, expr } => {
+                stats.get(i).or_else(|| (i == stats.len()).then_some(expr))
+            }
+            TreeKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match i {
+                0 => Some(cond),
+                1 => Some(then_branch),
+                2 => Some(else_branch),
+                _ => None,
+            },
+            TreeKind::Match { selector, cases } => {
+                if i == 0 {
+                    Some(selector)
+                } else {
+                    cases.get(i - 1)
+                }
+            }
+            TreeKind::CaseDef { pat, guard, body } => match i {
+                0 => Some(pat),
+                1 => Some(guard),
+                2 => Some(body),
+                _ => None,
+            },
+            TreeKind::Bind { pat, .. } => only(i, pat),
+            TreeKind::Alternative { pats } => pats.get(i),
+            TreeKind::Typed { expr, .. }
+            | TreeKind::Cast { expr, .. }
+            | TreeKind::IsInstance { expr, .. }
+            | TreeKind::Throw { expr }
+            | TreeKind::Return { expr, .. } => only(i, expr),
+            TreeKind::While { cond, body } => match i {
+                0 => Some(cond),
+                1 => Some(body),
+                _ => None,
+            },
+            TreeKind::Try {
+                block,
+                cases,
+                finalizer,
+            } => {
+                if i == 0 {
+                    Some(block)
+                } else {
+                    cases
+                        .get(i - 1)
+                        .or_else(|| (i == 1 + cases.len()).then_some(finalizer))
+                }
+            }
+            TreeKind::Lambda { params, body } => params
+                .get(i)
+                .or_else(|| (i == params.len()).then_some(body)),
+            TreeKind::Labeled { body, .. } => only(i, body),
+            TreeKind::JumpTo { args, .. } => args.get(i),
+            TreeKind::SeqLiteral { elems, .. } => elems.get(i),
+            TreeKind::ValDef { rhs, .. } => only(i, rhs),
+            TreeKind::DefDef { paramss, rhs, .. } => {
+                let mut at = i;
+                for ps in paramss {
+                    if at < ps.len() {
+                        return Some(&ps[at]);
+                    }
+                    at -= ps.len();
+                }
+                (at == 0).then_some(rhs)
+            }
+            TreeKind::ClassDef { body, .. } => body.get(i),
+            TreeKind::PackageDef { stats, .. } => stats.get(i),
+        }
+    }
 }
 
 fn vec_bytes(n: usize) -> u32 {
@@ -510,6 +916,10 @@ pub struct Tree {
     pub(crate) id: NodeId,
     pub(crate) addr: u64,
     pub(crate) bytes: u32,
+    /// Height of this subtree (a leaf is 1). Lets the destructor prove that
+    /// plain automatic recursion is safe for ordinary trees and divert only
+    /// genuinely deep ones onto the explicit teardown worklist.
+    pub(crate) depth: u32,
     pub(crate) span: Span,
     pub(crate) tpe: Type,
     pub(crate) kind: TreeKind,
@@ -529,6 +939,11 @@ impl Tree {
     /// The node's modelled footprint in bytes.
     pub fn bytes(&self) -> u32 {
         self.bytes
+    }
+
+    /// Height of this subtree (a leaf is 1), cached at construction.
+    pub fn depth(&self) -> u32 {
+        self.depth
     }
 
     /// Source span.
@@ -588,8 +1003,31 @@ impl Tree {
         }
     }
 
-    /// Invokes `f` on every direct child, in evaluation order.
-    pub fn for_each_child(&self, f: &mut dyn FnMut(&TreeRef)) {
+    /// The `i`-th direct child in evaluation order (see
+    /// [`TreeKind::child_at`]).
+    pub fn child_at(&self, i: usize) -> Option<&TreeRef> {
+        self.kind.child_at(i)
+    }
+
+    /// True if the node holds any child tree references (used by the
+    /// iterative destructor to skip leaves without touching a worklist).
+    pub fn has_child_refs(&self) -> bool {
+        !matches!(
+            self.kind,
+            TreeKind::Empty
+                | TreeKind::Literal { .. }
+                | TreeKind::Ident { .. }
+                | TreeKind::Unresolved { .. }
+                | TreeKind::New { .. }
+                | TreeKind::This { .. }
+                | TreeKind::Super { .. }
+        )
+    }
+
+    /// Invokes `f` on every direct child, in evaluation order. The refs
+    /// passed to `f` borrow from `self`, so callers may retain them for the
+    /// lifetime of the node (the iterative walkers rely on this).
+    pub fn for_each_child<'t>(&'t self, f: &mut dyn FnMut(&'t TreeRef)) {
         match &self.kind {
             TreeKind::Empty
             | TreeKind::Literal { .. }
@@ -672,7 +1110,7 @@ impl Tree {
     /// Collects the direct children.
     pub fn children(&self) -> Vec<TreeRef> {
         let mut out = Vec::new();
-        self.for_each_child(&mut |c| out.push(Arc::clone(c)));
+        self.for_each_child(&mut |c| out.push(Rc::clone(c)));
         out
     }
 
@@ -697,9 +1135,131 @@ impl fmt::Debug for Tree {
     }
 }
 
+/// Depth bound for the destructor's direct recursion; kinds below this
+/// depth spill onto an explicit worklist instead of deepening the machine
+/// stack.
+const DROP_RECURSION_LIMIT: u32 = 1_000;
+
 impl Drop for Tree {
     fn drop(&mut self) {
         trace::record_free(self.id, self.bytes);
+        // Ordinary trees (the overwhelming majority) tear down through the
+        // compiler-generated recursive field drops — zero bookkeeping.
+        // Genuinely deep trees (the 100k-deep `Block` regression corpus)
+        // would overflow the machine stack that way, so past the depth bound
+        // the destructor switches to an explicit worklist: it steals the
+        // kind of every uniquely-owned child, keeping each child's own
+        // `drop` shallow.
+        if self.depth <= DROP_RECURSION_LIMIT {
+            return;
+        }
+        let kind = std::mem::replace(&mut self.kind, TreeKind::Empty);
+        let mut spill: Vec<TreeKind> = Vec::new();
+        drop_kind(kind, 0, &mut spill);
+        while let Some(k) = spill.pop() {
+            drop_kind(k, 0, &mut spill);
+        }
+    }
+}
+
+/// Moves every child ref out of `kind`; uniquely-owned children with
+/// children of their own surrender their kind before their ref drops
+/// (keeping the eventual automatic drop shallow), recursing while `depth`
+/// allows and spilling beyond.
+fn drop_kind(kind: TreeKind, depth: u32, spill: &mut Vec<TreeKind>) {
+    let mut sink = |mut c: TreeRef| {
+        // Leaf children (the majority) drop directly - no uniqueness probe.
+        if c.has_child_refs() {
+            if let Some(t) = Rc::get_mut(&mut c) {
+                let k = std::mem::replace(&mut t.kind, TreeKind::Empty);
+                if depth < DROP_RECURSION_LIMIT {
+                    drop_kind(k, depth + 1, spill);
+                } else {
+                    spill.push(k);
+                }
+            }
+        }
+        // `c` drops here: either the shallow unique node or a refcount
+        // decrement on a shared subtree.
+    };
+    match kind {
+        TreeKind::Empty
+        | TreeKind::Literal { .. }
+        | TreeKind::Ident { .. }
+        | TreeKind::Unresolved { .. }
+        | TreeKind::New { .. }
+        | TreeKind::This { .. }
+        | TreeKind::Super { .. } => {}
+        TreeKind::Select { qual, .. } => sink(qual),
+        TreeKind::Apply { fun, args } => {
+            sink(fun);
+            args.drain(&mut sink);
+        }
+        TreeKind::TypeApply { fun, .. } => sink(fun),
+        TreeKind::Assign { lhs, rhs } => {
+            sink(lhs);
+            sink(rhs);
+        }
+        TreeKind::Block { stats, expr } => {
+            stats.drain(&mut sink);
+            sink(expr);
+        }
+        TreeKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            sink(cond);
+            sink(then_branch);
+            sink(else_branch);
+        }
+        TreeKind::Match { selector, cases } => {
+            sink(selector);
+            cases.drain(&mut sink);
+        }
+        TreeKind::CaseDef { pat, guard, body } => {
+            sink(pat);
+            sink(guard);
+            sink(body);
+        }
+        TreeKind::Bind { pat, .. } => sink(pat),
+        TreeKind::Alternative { pats } => pats.drain(&mut sink),
+        TreeKind::Typed { expr, .. }
+        | TreeKind::Cast { expr, .. }
+        | TreeKind::IsInstance { expr, .. }
+        | TreeKind::Throw { expr }
+        | TreeKind::Return { expr, .. } => sink(expr),
+        TreeKind::While { cond, body } => {
+            sink(cond);
+            sink(body);
+        }
+        TreeKind::Try {
+            block,
+            cases,
+            finalizer,
+        } => {
+            sink(block);
+            cases.drain(&mut sink);
+            sink(finalizer);
+        }
+        TreeKind::Lambda { params, body } => {
+            params.drain(&mut sink);
+            sink(body);
+        }
+        TreeKind::Labeled { body, .. } => sink(body),
+        TreeKind::JumpTo { args, .. } => args.drain(&mut sink),
+        TreeKind::SeqLiteral { elems, .. } => elems.drain(&mut sink),
+        TreeKind::ValDef { rhs, .. } => sink(rhs),
+        TreeKind::DefDef { paramss, rhs, .. } => {
+            for ps in paramss {
+                for p in ps {
+                    sink(p);
+                }
+            }
+            sink(rhs);
+        }
+        TreeKind::ClassDef { body, .. } => body.drain(&mut sink),
+        TreeKind::PackageDef { stats, .. } => stats.drain(&mut sink),
     }
 }
 
@@ -767,6 +1327,41 @@ mod tests {
     }
 
     #[test]
+    fn kids_inline_storage_and_iteration() {
+        let mut ctx = Ctx::new();
+        let mut kids = Kids::new();
+        assert!(kids.is_empty());
+        for i in 0..4 {
+            kids.push(ctx.lit_int(100 + i));
+            assert_eq!(kids.len(), i as usize + 1);
+            assert!(matches!(
+                (&kids, i),
+                (Kids::K1(_), 0) | (Kids::K2(_), 1) | (Kids::Spilled(_), _)
+            ));
+        }
+        // Owned iteration preserves order without losing children.
+        let vals: Vec<i64> = kids
+            .into_iter()
+            .filter_map(|t| match t.kind() {
+                TreeKind::Literal { value } => value.as_int(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![100, 101, 102, 103]);
+        // Inline variants iterate without spilling to a Vec first.
+        let two: Kids = [ctx.lit_int(1000), ctx.lit_int(2000)].into();
+        assert!(matches!(two, Kids::K2(_)));
+        let got: Vec<i64> = two
+            .into_iter()
+            .filter_map(|t| match t.kind() {
+                TreeKind::Literal { value } => value.as_int(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(got, vec![1000, 2000]);
+    }
+
+    #[test]
     fn all_node_kinds_have_distinct_discriminants() {
         for (i, k) in ALL_NODE_KINDS.iter().enumerate() {
             assert_eq!(*k as usize, i);
@@ -798,7 +1393,7 @@ mod tests {
     fn approx_bytes_scales_with_arity() {
         let small = TreeKind::Apply {
             fun: Ctx::new().lit_int(0),
-            args: vec![],
+            args: Kids::new(),
         };
         let mut ctx = Ctx::new();
         let big = TreeKind::Apply {

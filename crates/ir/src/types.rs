@@ -23,10 +23,11 @@ use std::fmt;
 /// assert!(t.is_function());
 /// assert!(!Type::Int.is_ref_like());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Type {
     /// Absence of a type; trees before the typer, and `checkNoOrphanTypes`'
     /// target after it.
+    #[default]
     NoType,
     /// A type produced from an erroneous program; absorbs further errors.
     Error,
@@ -212,10 +213,7 @@ impl Type {
                 params: params.iter().map(|p| p.subst(from, to)).collect(),
                 ret: Box::new(ret.subst(from, to)),
             },
-            Type::Or(a, b) => Type::Or(
-                Box::new(a.subst(from, to)),
-                Box::new(b.subst(from, to)),
-            ),
+            Type::Or(a, b) => Type::Or(Box::new(a.subst(from, to)), Box::new(b.subst(from, to))),
             _ => self.clone(),
         }
     }
@@ -263,12 +261,6 @@ impl Type {
     /// The number of value parameters across all parameter lists.
     pub fn param_count(&self) -> usize {
         self.param_lists().iter().map(|l| l.len()).sum()
-    }
-}
-
-impl Default for Type {
-    fn default() -> Type {
-        Type::NoType
     }
 }
 

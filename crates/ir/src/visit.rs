@@ -4,29 +4,35 @@ use crate::tree::{Tree, TreeRef};
 
 /// Applies `f` to every subtree of `t` (including `t` itself) in post-order —
 /// the traversal order the Miniphase framework imposes (§4).
-pub fn for_each_subtree(t: &TreeRef, f: &mut impl FnMut(&TreeRef)) {
-    fn walk(t: &TreeRef, f: &mut dyn FnMut(&TreeRef)) {
-        t.for_each_child(&mut |c| walk(c, f));
-        f(t);
+///
+/// Iterative (explicit stack): safe on arbitrarily deep trees, matching the
+/// executor's stack-overflow guarantee.
+pub fn for_each_subtree<'a>(t: &'a TreeRef, f: &mut impl FnMut(&'a TreeRef)) {
+    // (node, expanded): a node is emitted only after its children.
+    let mut stack: Vec<(&'a TreeRef, bool)> = vec![(t, false)];
+    while let Some((n, expanded)) = stack.pop() {
+        if expanded {
+            f(n);
+        } else {
+            stack.push((n, true));
+            let first_child = stack.len();
+            n.for_each_child(&mut |c| stack.push((c, false)));
+            stack[first_child..].reverse();
+        }
     }
-    walk(t, f);
 }
 
-/// True if any subtree (including `t`) satisfies `pred`.
-pub fn exists_subtree(t: &TreeRef, pred: &mut impl FnMut(&Tree) -> bool) -> bool {
-    fn walk(t: &TreeRef, pred: &mut dyn FnMut(&Tree) -> bool) -> bool {
-        if pred(t) {
+/// True if any subtree (including `t`) satisfies `pred`. Iterative, with
+/// early exit on the first hit.
+pub fn exists_subtree<'a>(t: &'a TreeRef, pred: &mut impl FnMut(&Tree) -> bool) -> bool {
+    let mut stack: Vec<&'a TreeRef> = vec![t];
+    while let Some(n) = stack.pop() {
+        if pred(n) {
             return true;
         }
-        let mut found = false;
-        t.for_each_child(&mut |c| {
-            if !found {
-                found = walk(c, pred);
-            }
-        });
-        found
+        n.for_each_child(&mut |c| stack.push(c));
     }
-    walk(t, pred)
+    false
 }
 
 /// Number of nodes in the tree.
@@ -37,10 +43,11 @@ pub fn count_nodes(t: &TreeRef) -> usize {
 }
 
 /// Maximum depth of the tree (a leaf has depth 1).
+///
+/// O(1): every node caches its subtree height at construction (the
+/// destructor's depth gate relies on the same field).
 pub fn depth(t: &TreeRef) -> usize {
-    let mut max_child = 0;
-    t.for_each_child(&mut |c| max_child = max_child.max(depth(c)));
-    max_child + 1
+    t.depth() as usize
 }
 
 /// Collects clones of all subtrees satisfying `pred`, in post-order.

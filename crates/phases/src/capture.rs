@@ -6,8 +6,7 @@
 //! boundary into a thrown control token caught by the target method.
 
 use mini_ir::{
-    std_names, Ctx, Flags, Name, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef,
-    Type,
+    std_names, Ctx, Flags, Name, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef, Type,
 };
 use miniphase::{MiniPhase, PhaseInfo};
 use std::collections::{HashMap, HashSet};
@@ -43,7 +42,10 @@ fn make_runtime_class(
         field_syms.push(f);
     }
     let tree = ctx.mk(
-        TreeKind::ClassDef { sym: cls, body },
+        TreeKind::ClassDef {
+            sym: cls,
+            body: body.into(),
+        },
         Type::Unit,
         mini_ir::Span::SYNTHETIC,
     );
@@ -53,7 +55,11 @@ fn make_runtime_class(
 /// Allocates `new cls` without a constructor symbol (fields start out null).
 fn raw_new(ctx: &mut Ctx, cls: SymbolId) -> TreeRef {
     let t = ctx.symbols.class_type(cls);
-    let new_node = ctx.mk(TreeKind::New { tpe: t.clone() }, t.clone(), mini_ir::Span::SYNTHETIC);
+    let new_node = ctx.mk(
+        TreeKind::New { tpe: t.clone() },
+        t.clone(),
+        mini_ir::Span::SYNTHETIC,
+    );
     let m = Type::Method {
         params: vec![vec![]],
         ret: Box::new(Type::Unit),
@@ -190,12 +196,9 @@ impl MiniPhase for CapturedVars {
         }
         let owner = ctx.symbols.sym(*sym).owner;
         let tmp_name = ctx.fresh_name("cell");
-        let tmp = ctx.symbols.new_term(
-            owner,
-            tmp_name,
-            Flags::SYNTHETIC,
-            cell_t.clone(),
-        );
+        let tmp = ctx
+            .symbols
+            .new_term(owner, tmp_name, Flags::SYNTHETIC, cell_t.clone());
         let alloc = raw_new(ctx, cls);
         let tmp_def = ctx.val_def(tmp, alloc);
         let tmp_ref = ctx.ident(tmp);
@@ -211,13 +214,19 @@ impl MiniPhase for CapturedVars {
         let tmp_ref2 = ctx.ident(tmp);
         let boxed = ctx.mk(
             TreeKind::Block {
-                stats: vec![tmp_def, init],
+                stats: [tmp_def, init].into(),
                 expr: tmp_ref2,
             },
             cell_t,
             tree.span(),
         );
-        ctx.with_kind(tree, TreeKind::ValDef { sym: *sym, rhs: boxed })
+        ctx.with_kind(
+            tree,
+            TreeKind::ValDef {
+                sym: *sym,
+                rhs: boxed,
+            },
+        )
     }
 
     fn transform_ident(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
@@ -360,12 +369,9 @@ impl MiniPhase for NonLocalReturns {
         let cell_t = ctx.symbols.class_type(cls);
         let owner = *from;
         let tmp_name = ctx.fresh_name("nlr");
-        let tmp = ctx.symbols.new_term(
-            owner,
-            tmp_name,
-            Flags::SYNTHETIC,
-            cell_t.clone(),
-        );
+        let tmp = ctx
+            .symbols
+            .new_term(owner, tmp_name, Flags::SYNTHETIC, cell_t.clone());
         let alloc = raw_new(ctx, cls);
         let tmp_def = ctx.val_def(tmp, alloc);
         let t1 = ctx.ident(tmp);
@@ -393,7 +399,7 @@ impl MiniPhase for NonLocalReturns {
         let thr = ctx.mk(TreeKind::Throw { expr: t3 }, Type::Nothing, tree.span());
         ctx.mk(
             TreeKind::Block {
-                stats: vec![tmp_def, set_key, set_value],
+                stats: [tmp_def, set_key, set_value].into(),
                 expr: thr,
             },
             Type::Nothing,
@@ -416,12 +422,9 @@ impl MiniPhase for NonLocalReturns {
         //     e.asInstanceOf[Token].value.asInstanceOf[R]
         //   else throw e
         let exc_name = ctx.fresh_name("exc");
-        let exc = ctx.symbols.new_term(
-            *sym,
-            exc_name,
-            Flags::PARAM | Flags::SYNTHETIC,
-            Type::Any,
-        );
+        let exc = ctx
+            .symbols
+            .new_term(*sym, exc_name, Flags::PARAM | Flags::SYNTHETIC, Type::Any);
         let e1 = ctx.ident(exc);
         let is_tok = ctx.mk(
             TreeKind::IsInstance {
@@ -518,7 +521,7 @@ impl MiniPhase for NonLocalReturns {
         let wrapped = ctx.mk(
             TreeKind::Try {
                 block: rhs.clone(),
-                cases: vec![case],
+                cases: [case].into(),
                 finalizer: ef,
             },
             ret_t,

@@ -4,8 +4,7 @@
 
 use crate::simple::is_accessorable;
 use mini_ir::{
-    Constant, Ctx, Flags, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef,
-    Type,
+    Constant, Ctx, Flags, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef, Type,
 };
 use miniphase::{MiniPhase, PhaseInfo};
 
@@ -156,8 +155,7 @@ impl LazyVals {
             dm.flags = dm.flags.without(Flags::LAZY | Flags::ACCESSOR);
         }
         let e1 = ctx.empty();
-        self.pending_fields
-            .push((cls, ctx.val_def(value_f, e1)));
+        self.pending_fields.push((cls, ctx.val_def(value_f, e1)));
         let false_lit = ctx.lit_bool(false);
         self.pending_fields
             .push((cls, ctx.val_def(flag_f, false_lit)));
@@ -173,7 +171,12 @@ impl LazyVals {
         let cond = ctx.apply(not_sel, vec![], Type::Boolean);
 
         let this2 = ctx.this_mono(cls);
-        let value_lhs = ctx.select(this2, ctx.symbols.sym(value_f).name, value_f, value_t.clone());
+        let value_lhs = ctx.select(
+            this2,
+            ctx.symbols.sym(value_f).name,
+            value_f,
+            value_t.clone(),
+        );
         let set_value = ctx.mk(
             TreeKind::Assign {
                 lhs: value_lhs,
@@ -206,10 +209,15 @@ impl LazyVals {
             tree.span(),
         );
         let this4 = ctx.this_mono(cls);
-        let read = ctx.select(this4, ctx.symbols.sym(value_f).name, value_f, value_t.clone());
+        let read = ctx.select(
+            this4,
+            ctx.symbols.sym(value_f).name,
+            value_f,
+            value_t.clone(),
+        );
         let body = ctx.mk(
             TreeKind::Block {
-                stats: vec![check],
+                stats: [check].into(),
                 expr: read,
             },
             value_t,
@@ -334,8 +342,7 @@ impl MiniPhase for LazyVals {
                 params: vec![vec![]],
                 ret: Box::new(Type::Boolean),
             };
-            let not_sel =
-                ctx.select(flag_read, mini_ir::Name::intern("!"), SymbolId::NONE, not_t);
+            let not_sel = ctx.select(flag_read, mini_ir::Name::intern("!"), SymbolId::NONE, not_t);
             let cond = ctx.apply(not_sel, vec![], Type::Boolean);
             let v_lhs = ctx.ident(value_sym);
             let set_v = ctx.mk(
@@ -371,7 +378,7 @@ impl MiniPhase for LazyVals {
             let read = ctx.ident(value_sym);
             let body = ctx.mk(
                 TreeKind::Block {
-                    stats: vec![check],
+                    stats: [check].into(),
                     expr: read,
                 },
                 value_t,
@@ -390,7 +397,7 @@ impl MiniPhase for LazyVals {
         ctx.with_kind(
             tree,
             TreeKind::Block {
-                stats: new_stats,
+                stats: new_stats.into(),
                 expr: expr.clone(),
             },
         )
@@ -485,8 +492,7 @@ impl MiniPhase for Memoize {
                     // into <init>.
                     new_body.push(ctx.val_def(field, rhs.clone()));
                     let this = ctx.this_mono(cls);
-                    let read =
-                        ctx.select(this, ctx.symbols.sym(field).name, field, value_t);
+                    let read = ctx.select(this, ctx.symbols.sym(field).name, field, value_t);
                     new_body.push(ctx.mk(
                         TreeKind::DefDef {
                             sym: *sym,
@@ -504,7 +510,7 @@ impl MiniPhase for Memoize {
             tree,
             TreeKind::ClassDef {
                 sym: cls,
-                body: new_body,
+                body: new_body.into(),
             },
         )
     }

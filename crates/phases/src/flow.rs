@@ -49,7 +49,7 @@ fn rewrite_tails(
         }
         TreeKind::Block { stats, expr } => {
             let new_expr = rewrite_tails(ctx, expr, m, label, n_params, found);
-            if std::sync::Arc::ptr_eq(&new_expr, expr) {
+            if TreeRef::ptr_eq(&new_expr, expr) {
                 t.clone()
             } else {
                 ctx.with_kind(
@@ -68,8 +68,7 @@ fn rewrite_tails(
         } => {
             let nt = rewrite_tails(ctx, then_branch, m, label, n_params, found);
             let ne = rewrite_tails(ctx, else_branch, m, label, n_params, found);
-            if std::sync::Arc::ptr_eq(&nt, then_branch) && std::sync::Arc::ptr_eq(&ne, else_branch)
-            {
+            if TreeRef::ptr_eq(&nt, then_branch) && TreeRef::ptr_eq(&ne, else_branch) {
                 t.clone()
             } else {
                 ctx.with_kind(
@@ -89,7 +88,7 @@ fn rewrite_tails(
                 .map(|c| {
                     if let TreeKind::CaseDef { pat, guard, body } = c.kind() {
                         let nb = rewrite_tails(ctx, body, m, label, n_params, found);
-                        if std::sync::Arc::ptr_eq(&nb, body) {
+                        if TreeRef::ptr_eq(&nb, body) {
                             c.clone()
                         } else {
                             changed = true;
@@ -112,7 +111,7 @@ fn rewrite_tails(
                     t,
                     TreeKind::Match {
                         selector: selector.clone(),
-                        cases: new_cases,
+                        cases: new_cases.into(),
                     },
                 )
             } else {
@@ -154,11 +153,7 @@ impl MiniPhase for TailRec {
         if !(owner_is_pkg || d.flags.is_any(Flags::PRIVATE | Flags::FINAL)) {
             return tree.clone();
         }
-        let param_syms: Vec<SymbolId> = paramss
-            .iter()
-            .flatten()
-            .map(|p| p.def_sym())
-            .collect();
+        let param_syms: Vec<SymbolId> = paramss.iter().flatten().map(|p| p.def_sym()).collect();
         let info = d.info.clone();
         let label_name = ctx.fresh_name("tailLoop");
         let label = ctx.symbols.new_label(*sym, label_name, info);
@@ -203,7 +198,7 @@ pub struct LiftTry {
 
 impl LiftTry {
     fn in_expr(&self) -> bool {
-        self.stack.last().map_or(false, |e| e.1)
+        self.stack.last().is_some_and(|e| e.1)
     }
 
     fn current_owner(&self, ctx: &Ctx) -> SymbolId {
@@ -330,7 +325,7 @@ impl MiniPhase for LiftTry {
         let call = ctx.apply(fun, vec![], t.clone());
         ctx.mk(
             TreeKind::Block {
-                stats: vec![def],
+                stats: [def].into(),
                 expr: call,
             },
             t,
@@ -425,7 +420,7 @@ impl MiniPhase for ElimByName {
                 };
                 let thunk = ctx.mk(
                     TreeKind::Lambda {
-                        params: vec![],
+                        params: vec![].into(),
                         body: a.clone(),
                     },
                     thunk_t,
@@ -445,7 +440,7 @@ impl MiniPhase for ElimByName {
             tree,
             TreeKind::Apply {
                 fun: new_fun,
-                args: new_args,
+                args: new_args.into(),
             },
         )
     }

@@ -15,8 +15,7 @@
 
 use crate::util::rewrite_refs;
 use mini_ir::{
-    std_names, Ctx, Flags, Name, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef,
-    Type,
+    std_names, Ctx, Flags, Name, NodeKind, NodeKindSet, SymKind, SymbolId, TreeKind, TreeRef, Type,
 };
 use miniphase::{MiniPhase, PhaseInfo};
 use std::collections::{HashMap, HashSet};
@@ -240,10 +239,7 @@ impl LambdaLift {
                 } else {
                     ps.push(cap_types);
                 }
-                ctx.symbols.sym_mut(*d).info = Type::Method {
-                    params: ps,
-                    ret,
-                };
+                ctx.symbols.sym_mut(*d).info = Type::Method { params: ps, ret };
             }
         }
     }
@@ -274,10 +270,8 @@ impl LambdaLift {
                     defined.insert(p.def_sym());
                 }
             }
-            TreeKind::Ident { sym } => {
-                if is_local_value(ctx, *sym) && !free.contains(sym) {
-                    free.push(*sym);
-                }
+            TreeKind::Ident { sym } if is_local_value(ctx, *sym) && !free.contains(sym) => {
+                free.push(*sym);
             }
             TreeKind::This { cls } => {
                 this_cls = Some(*cls);
@@ -320,11 +314,7 @@ impl MiniPhase for LambdaLift {
             .iter()
             .map(|&v| {
                 let e = ctx.empty();
-                ctx.mk(
-                    TreeKind::ValDef { sym: v, rhs: e },
-                    Type::Unit,
-                    tree.span(),
-                )
+                ctx.mk(TreeKind::ValDef { sym: v, rhs: e }, Type::Unit, tree.span())
             })
             .collect();
         if let Some(old_first) = paramss.first() {
@@ -367,7 +357,7 @@ impl MiniPhase for LambdaLift {
             tree,
             TreeKind::Apply {
                 fun: new_fun,
-                args: new_args,
+                args: new_args.into(),
             },
         )
     }
@@ -406,7 +396,7 @@ impl MiniPhase for LambdaLift {
         ctx.with_kind(
             tree,
             TreeKind::Block {
-                stats: kept,
+                stats: kept.into(),
                 expr: expr.clone(),
             },
         )
@@ -423,9 +413,13 @@ impl MiniPhase for LambdaLift {
         let n = params.len().min(3);
         let fn_cls = ctx.symbols.builtins().function_classes[n];
         let parents = vec![Type::AnyRef, ctx.symbols.class_type(fn_cls)];
-        let anon = ctx
-            .symbols
-            .new_class(pkg, anon_name, Flags::SYNTHETIC | Flags::FINAL, parents, vec![]);
+        let anon = ctx.symbols.new_class(
+            pkg,
+            anon_name,
+            Flags::SYNTHETIC | Flags::FINAL,
+            parents,
+            vec![],
+        );
         // Capture fields.
         let mut field_of: HashMap<SymbolId, SymbolId> = HashMap::new();
         let mut body_defs: Vec<TreeRef> = Vec::new();
@@ -487,7 +481,7 @@ impl MiniPhase for LambdaLift {
         body_defs.push(ctx.mk(
             TreeKind::DefDef {
                 sym: apply_sym,
-                paramss: vec![params.clone()],
+                paramss: vec![params.to_vec()],
                 rhs: new_body,
             },
             Type::Unit,
@@ -496,7 +490,7 @@ impl MiniPhase for LambdaLift {
         let class_def = ctx.mk(
             TreeKind::ClassDef {
                 sym: anon,
-                body: body_defs,
+                body: body_defs.into(),
             },
             Type::Unit,
             tree.span(),
@@ -512,7 +506,13 @@ impl MiniPhase for LambdaLift {
             ctx.symbols.class_type(anon),
         );
         let anon_t = ctx.symbols.class_type(anon);
-        let new_node = ctx.mk(TreeKind::New { tpe: anon_t.clone() }, anon_t.clone(), tree.span());
+        let new_node = ctx.mk(
+            TreeKind::New {
+                tpe: anon_t.clone(),
+            },
+            anon_t.clone(),
+            tree.span(),
+        );
         let ctor_m = Type::Method {
             params: vec![vec![]],
             ret: Box::new(Type::Unit),
@@ -527,28 +527,20 @@ impl MiniPhase for LambdaLift {
             let fname = ctx.symbols.sym(f).name;
             let lhs = ctx.select(tref, fname, f, ft);
             let rhs = ctx.ident(v);
-            stats.push(ctx.mk(
-                TreeKind::Assign { lhs, rhs },
-                Type::Unit,
-                tree.span(),
-            ));
+            stats.push(ctx.mk(TreeKind::Assign { lhs, rhs }, Type::Unit, tree.span()));
         }
         if let (Some(f), Some(c)) = (this_field, this_cls) {
             let tref = ctx.ident(tmp);
             let ft = ctx.symbols.sym(f).info.clone();
             let lhs = ctx.select(tref, Name::intern("$this"), f, ft);
             let rhs = ctx.this_mono(c);
-            stats.push(ctx.mk(
-                TreeKind::Assign { lhs, rhs },
-                Type::Unit,
-                tree.span(),
-            ));
+            stats.push(ctx.mk(TreeKind::Assign { lhs, rhs }, Type::Unit, tree.span()));
         }
         let result = ctx.ident(tmp);
         let result = ctx.retyped(&result, closure_t.clone());
         ctx.mk(
             TreeKind::Block {
-                stats,
+                stats: stats.into(),
                 expr: result,
             },
             closure_t,

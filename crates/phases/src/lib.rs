@@ -82,7 +82,7 @@ pub fn standard_pipeline_len() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use miniphase::{build_plan, PhaseInfo, PlanOptions};
+    use miniphase::{build_plan, PlanOptions};
 
     #[test]
     fn pipeline_has_expected_size() {
@@ -95,12 +95,7 @@ mod tests {
         let plan = build_plan(&phases, &PlanOptions::default()).expect("constraints are valid");
         // Six blocks — the same count as the Dotty pipeline in the paper
         // ("our compiler has 6 separate blocks of Miniphases", §6.2).
-        assert_eq!(
-            plan.group_count(),
-            6,
-            "plan:\n{}",
-            plan.describe(&phases)
-        );
+        assert_eq!(plan.group_count(), 6, "plan:\n{}", plan.describe(&phases));
         // Erasure stands alone (rules 2+3, §6.2.2).
         let erasure_group = plan
             .groups

@@ -95,7 +95,7 @@ impl MiniPhase for Mixin {
             tree,
             TreeKind::ClassDef {
                 sym: cls,
-                body: stats,
+                body: stats.into(),
             },
         )
     }
@@ -126,13 +126,7 @@ fn is_loose_stat(t: &TreeRef) -> bool {
 }
 
 impl Constructors {
-    fn field_assign(
-        &self,
-        ctx: &mut Ctx,
-        cls: SymbolId,
-        field: SymbolId,
-        rhs: TreeRef,
-    ) -> TreeRef {
+    fn field_assign(&self, ctx: &mut Ctx, cls: SymbolId, field: SymbolId, rhs: TreeRef) -> TreeRef {
         let this = ctx.this_mono(cls);
         let ft = ctx.symbols.sym(field).info.clone();
         let name = ctx.symbols.sym(field).name;
@@ -216,11 +210,7 @@ impl Constructors {
         if let Some(p) = super_cls {
             if let Some(pctor) = ctx.symbols.decl(p, std_names::init()) {
                 let sup_t = ctx.symbols.class_type(p);
-                let sup = ctx.mk(
-                    TreeKind::Super { cls },
-                    sup_t,
-                    mini_ir::Span::SYNTHETIC,
-                );
+                let sup = ctx.mk(TreeKind::Super { cls }, sup_t, mini_ir::Span::SYNTHETIC);
                 let m = ctx.symbols.sym(pctor).info.clone();
                 let sel = ctx.select(sup, std_names::init(), pctor, m);
                 init_stats.push(ctx.apply(sel, vec![], Type::Unit));
@@ -308,7 +298,7 @@ impl MiniPhase for Constructors {
             tree,
             TreeKind::ClassDef {
                 sym: cls,
-                body: new_body,
+                body: new_body.into(),
             },
         )
     }

@@ -73,8 +73,7 @@ impl MiniPhase for ExplicitOuter {
         // Entering a nested class: give it an `$outer` parameter-field and
         // extend its constructor signature (idempotent).
         let owner = ctx.symbols.sym(cls).owner;
-        if ctx.symbols.sym(owner).kind == mini_ir::SymKind::Class
-            && outer_field(ctx, cls).is_none()
+        if ctx.symbols.sym(owner).kind == mini_ir::SymKind::Class && outer_field(ctx, cls).is_none()
         {
             let outer_t = ctx.symbols.class_type(owner);
             ctx.symbols.new_term(
@@ -89,10 +88,7 @@ impl MiniPhase for ExplicitOuter {
                     if let Some(first) = ps.first_mut() {
                         first.push(outer_t);
                     }
-                    ctx.symbols.sym_mut(ctor).info = Type::Method {
-                        params: ps,
-                        ret,
-                    };
+                    ctx.symbols.sym_mut(ctor).info = Type::Method { params: ps, ret };
                 }
             }
         }
@@ -145,18 +141,20 @@ impl MiniPhase for ExplicitOuter {
             // reference within the unit): create the field now, mirroring
             // prepare_class_def.
             let outer_t = ctx.symbols.class_type(owner);
-            ctx.symbols.new_term(
-                cls,
-                outer_name(),
-                Flags::PARAM | Flags::SYNTHETIC,
-                outer_t,
-            );
+            ctx.symbols
+                .new_term(cls, outer_name(), Flags::PARAM | Flags::SYNTHETIC, outer_t);
             return self.transform_apply(ctx, tree);
         };
-        let expected = ctx.symbols.sym(cls).decls.iter().filter(|&&d| {
-            let sd = ctx.symbols.sym(d);
-            sd.flags.is(Flags::PARAM) && !sd.flags.is(Flags::METHOD)
-        }).count();
+        let expected = ctx
+            .symbols
+            .sym(cls)
+            .decls
+            .iter()
+            .filter(|&&d| {
+                let sd = ctx.symbols.sym(d);
+                sd.flags.is(Flags::PARAM) && !sd.flags.is(Flags::METHOD)
+            })
+            .count();
         if args.len() >= expected {
             return tree.clone(); // already expanded
         }

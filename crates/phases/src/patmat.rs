@@ -155,21 +155,15 @@ impl PatternMatcher {
     ) -> TreeRef {
         let owner = self.owner(ctx);
         let sel_name = ctx.fresh_name("sel");
-        let sel_sym = ctx.symbols.new_term(
-            owner,
-            sel_name,
-            Flags::SYNTHETIC,
-            selector.tpe().clone(),
-        );
+        let sel_sym =
+            ctx.symbols
+                .new_term(owner, sel_name, Flags::SYNTHETIC, selector.tpe().clone());
         let sel_def = ctx.val_def(sel_sym, selector.clone());
 
         // Fallback def.
         let fb_body = match fallback {
             Fallback::MatchError => {
-                let msg = ctx.lit(
-                    Constant::Str(Name::intern("MatchError")),
-                    span,
-                );
+                let msg = ctx.lit(Constant::Str(Name::intern("MatchError")), span);
                 ctx.mk(TreeKind::Throw { expr: msg }, Type::Nothing, span)
             }
             Fallback::Rethrow => {
@@ -233,7 +227,7 @@ impl PatternMatcher {
                 let tpe = success.tpe().clone();
                 ctx.mk(
                     TreeKind::Block {
-                        stats: binds,
+                        stats: binds.into(),
                         expr: success,
                     },
                     tpe,
@@ -267,7 +261,7 @@ impl PatternMatcher {
         stats.extend(defs.into_iter().rev());
         ctx.mk(
             TreeKind::Block {
-                stats,
+                stats: stats.into(),
                 expr: call,
             },
             result_t.clone(),
@@ -396,7 +390,7 @@ impl MiniPhase for PatternMatcher {
         ctx.mk(
             TreeKind::Try {
                 block: block.clone(),
-                cases: vec![case],
+                cases: [case].into(),
                 finalizer: finalizer.clone(),
             },
             t,

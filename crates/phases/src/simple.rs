@@ -192,11 +192,7 @@ impl MiniPhase for RefChecks {
                 }
             } else if is_override {
                 let span = ctx.symbols.sym(m).span;
-                ctx.error(
-                    span,
-                    "refChecks",
-                    format!("`{name}` overrides nothing"),
-                );
+                ctx.error(span, "refChecks", format!("`{name}` overrides nothing"));
             }
         }
         tree.clone()
@@ -240,7 +236,7 @@ impl MiniPhase for InterceptedMethods {
             // Preserve the receiver's evaluation for effects.
             return ctx.mk(
                 TreeKind::Block {
-                    stats: vec![qual.clone()],
+                    stats: [qual.clone()].into(),
                     expr: lit,
                 },
                 Type::Str,
@@ -373,7 +369,7 @@ impl MiniPhase for ElimRepeated {
         } else {
             ctx.mk(
                 TreeKind::SeqLiteral {
-                    elems: rest,
+                    elems: rest.into(),
                     elem_tpe: (**elem).clone(),
                 },
                 Type::Array(elem.clone()),
@@ -395,7 +391,7 @@ impl MiniPhase for ElimRepeated {
             tree,
             TreeKind::Apply {
                 fun: new_fun,
-                args: new_args,
+                args: new_args.into(),
             },
         )
     }
@@ -454,7 +450,11 @@ impl MiniPhase for SeqLiterals {
         let arr_sym = ctx
             .symbols
             .new_term(owner, name, Flags::SYNTHETIC, arr_t.clone());
-        let new_node = ctx.mk(TreeKind::New { tpe: arr_t.clone() }, arr_t.clone(), tree.span());
+        let new_node = ctx.mk(
+            TreeKind::New { tpe: arr_t.clone() },
+            arr_t.clone(),
+            tree.span(),
+        );
         let ctor_t = Type::Method {
             params: vec![vec![Type::Int]],
             ret: Box::new(arr_t.clone()),
@@ -477,7 +477,7 @@ impl MiniPhase for SeqLiterals {
         let result = ctx.ident(arr_sym);
         ctx.mk(
             TreeKind::Block {
-                stats,
+                stats: stats.into(),
                 expr: result,
             },
             arr_t,
@@ -604,7 +604,7 @@ impl MiniPhase for Flatten {
             tree,
             TreeKind::ClassDef {
                 sym: *sym,
-                body: kept,
+                body: kept.into(),
             },
         )
     }
@@ -617,7 +617,7 @@ impl MiniPhase for Flatten {
             return tree.clone();
         };
         let mut new_stats = stats.clone();
-        new_stats.append(&mut self.pending);
+        new_stats.extend(self.pending.drain(..));
         ctx.with_kind(
             tree,
             TreeKind::PackageDef {
@@ -746,9 +746,9 @@ pub fn is_accessorable(ctx: &Ctx, sym: SymbolId) -> bool {
     }
     let d = ctx.symbols.sym(sym);
     d.kind == SymKind::Term
-        && !d.flags.is_any(
-            Flags::METHOD | Flags::PARAM | Flags::PRIVATE | Flags::MUTABLE | Flags::FIELD,
-        )
+        && !d
+            .flags
+            .is_any(Flags::METHOD | Flags::PARAM | Flags::PRIVATE | Flags::MUTABLE | Flags::FIELD)
         && ctx.symbols.sym(d.owner).kind == SymKind::Class
         && d.owner != ctx.symbols.builtins().any_class
 }

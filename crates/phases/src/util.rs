@@ -108,10 +108,7 @@ mod tests {
         s.push(SymbolId::from_index(3));
         s.push(SymbolId::from_index(5));
         assert_eq!(s.current(), SymbolId::from_index(5));
-        assert_eq!(
-            s.find(|x| x.index() == 3),
-            SymbolId::from_index(3)
-        );
+        assert_eq!(s.find(|x| x.index() == 3), SymbolId::from_index(3));
         s.pop();
         assert_eq!(s.current(), SymbolId::from_index(3));
     }

@@ -344,8 +344,18 @@ mod tests {
         });
         let all: String = w.units.iter().map(|(_, s)| s.as_str()).collect();
         for feature in [
-            "trait ", "lazy val", " match {", "case ", "=> Int", "Int*", "try {", "catch",
-            "(Int) => Int", "def ", "while (", "[T]",
+            "trait ",
+            "lazy val",
+            " match {",
+            "case ",
+            "=> Int",
+            "Int*",
+            "try {",
+            "catch",
+            "(Int) => Int",
+            "def ",
+            "while (",
+            "[T]",
         ] {
             assert!(all.contains(feature), "missing feature: {feature}");
         }

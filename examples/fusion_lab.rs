@@ -31,8 +31,8 @@ fn main() {
     for cap in [1usize, 2, 3, 4, 8, 22] {
         let mut opts = CompilerOptions::fused();
         opts.max_group_size = Some(cap);
-        let m = measure(&corpus.sources(), &opts, Instrumentation::full())
-            .expect("corpus compiles");
+        let m =
+            measure(&corpus.sources(), &opts, Instrumentation::full()).expect("corpus compiles");
         println!(
             "{:>5} {:>7} {:>12} {:>12} {:>12} {:>12}",
             cap,

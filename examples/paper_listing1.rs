@@ -10,8 +10,8 @@
 //! cargo run --example paper_listing1
 //! ```
 
-use miniphases::mini_driver::{compile, CompilerOptions, Mode};
 use miniphases::mini_backend::Vm;
+use miniphases::mini_driver::{compile, CompilerOptions, Mode};
 
 const LISTING_1: &str = r#"
 trait Interface {
@@ -48,10 +48,7 @@ fn main() {
         vm.run_main().expect("Listing 1 runs");
         println!(
             "{mode}: groups={:2} node visits={:6} transform time={:?} output={:?}",
-            compiled.groups,
-            compiled.exec.node_visits,
-            compiled.times.transforms,
-            vm.out
+            compiled.groups, compiled.exec.node_visits, compiled.times.transforms, vm.out
         );
         assert_eq!(vm.out, vec!["42", "0", "1", "2"]);
     }

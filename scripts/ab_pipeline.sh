@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Paired in-process A/B of the tree-transformation pipeline: the current
+# working tree ("new") against the pre-overhaul bootstrap commit ("old").
+#
+# Cross-process benchmark runs on shared hosts drift by double-digit
+# percentages, so this harness links BOTH stacks into ONE binary (the old
+# crates are vendored under renamed packages) and alternates paired
+# repetitions, reporting per-mode minima and the median of per-repetition
+# paired ratios. This is the measurement behind BENCH_pipeline.json.
+#
+# Usage: scripts/ab_pipeline.sh [REPS] [CORPUS_LOC]
+#   MODES=fused,mega scripts/ab_pipeline.sh 30    # skip legacy for speed
+set -euo pipefail
+
+REPS="${1:-16}"
+LOC="${2:-12000}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d /tmp/miniphases-ab.XXXXXX)"
+trap 'git -C "$REPO" worktree remove --force "$WORK/pre" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# The pre-overhaul baseline is the workspace-bootstrap commit: seed
+# sources plus manifests, before the traversal overhaul.
+PRE="$(git -C "$REPO" rev-list HEAD --grep='Bootstrap cargo workspace' | tail -1)"
+if [ -z "$PRE" ]; then
+    echo "error: could not find the 'Bootstrap cargo workspace' commit" >&2
+    exit 1
+fi
+echo "old = $PRE (workspace bootstrap)"
+echo "new = working tree at $REPO"
+
+git -C "$REPO" worktree add --detach "$WORK/pre" "$PRE" >/dev/null
+
+# Vendor the old crates under renamed packages so both stacks can link
+# into one binary. Internal deps are renamed back via cargo's
+# `package = ...` dependency renaming, so the old sources compile as-is.
+OLD="$WORK/oldstack"
+mkdir -p "$OLD"
+for c in ir core front phases backend driver; do
+    cp -r "$WORK/pre/crates/$c" "$OLD/$c"
+    rm -rf "$OLD/$c/tests"
+done
+
+old_dep() { echo "$1 = { package = \"$2_old\", path = \"../$3\" }"; }
+cat > "$OLD/ir/Cargo.toml" <<EOF
+[package]
+name = "mini_ir_old"
+version = "0.1.0"
+edition = "2021"
+EOF
+cat > "$OLD/core/Cargo.toml" <<EOF
+[package]
+name = "miniphase_old"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+$(old_dep mini_ir mini_ir ir)
+EOF
+cat > "$OLD/front/Cargo.toml" <<EOF
+[package]
+name = "mini_front_old"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+$(old_dep mini_ir mini_ir ir)
+EOF
+cat > "$OLD/phases/Cargo.toml" <<EOF
+[package]
+name = "mini_phases_old"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+$(old_dep mini_ir mini_ir ir)
+$(old_dep miniphase miniphase core)
+EOF
+cat > "$OLD/backend/Cargo.toml" <<EOF
+[package]
+name = "mini_backend_old"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+$(old_dep mini_ir mini_ir ir)
+EOF
+cat > "$OLD/driver/Cargo.toml" <<EOF
+[package]
+name = "mini_driver_old"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+$(old_dep mini_ir mini_ir ir)
+$(old_dep miniphase miniphase core)
+$(old_dep mini_front mini_front front)
+$(old_dep mini_phases mini_phases phases)
+$(old_dep mini_backend mini_backend backend)
+cache_sim = { path = "$REPO/crates/cachesim" }
+gc_sim = { path = "$REPO/crates/gcsim" }
+EOF
+
+# The combined harness binary.
+mkdir -p "$WORK/ab/src"
+cp "$REPO/scripts/ab_pipeline_main.rs" "$WORK/ab/src/main.rs"
+cat > "$WORK/ab/Cargo.toml" <<EOF
+[workspace]
+
+[package]
+name = "ab"
+version = "0.1.0"
+edition = "2021"
+
+[dependencies]
+mini_ir = { path = "$REPO/crates/ir" }
+miniphase = { path = "$REPO/crates/core" }
+mini_front = { path = "$REPO/crates/front" }
+mini_driver = { path = "$REPO/crates/driver" }
+workload = { path = "$REPO/crates/workload" }
+ir_old = { package = "mini_ir_old", path = "$OLD/ir" }
+phase_old = { package = "miniphase_old", path = "$OLD/core" }
+front_old = { package = "mini_front_old", path = "$OLD/front" }
+driver_old = { package = "mini_driver_old", path = "$OLD/driver" }
+
+[profile.release]
+debug = true
+EOF
+
+cargo build --release --manifest-path "$WORK/ab/Cargo.toml"
+REPS="$REPS" CORPUS_LOC="$LOC" "$WORK/ab/target/release/ab"

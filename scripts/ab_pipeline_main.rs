@@ -1,0 +1,83 @@
+use std::time::{Duration, Instant};
+
+fn run_new(w: &workload::Workload, mode: &str) -> Duration {
+    let opts = match mode {
+        "fused" => mini_driver::CompilerOptions::fused(),
+        "mega" => mini_driver::CompilerOptions::mega(),
+        _ => mini_driver::CompilerOptions::legacy(),
+    };
+    let mut ctx = mini_ir::Ctx::new();
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("parses");
+        units.push(miniphase::CompilationUnit::new(t.name, t.tree));
+    }
+    let start = Instant::now();
+    opts.configure_ctx(&mut ctx);
+    let (phases, plan) = mini_driver::standard_plan(&opts).expect("plan");
+    let mut pipe = miniphase::Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units(&mut ctx, units);
+    std::hint::black_box(&out);
+    drop(out);
+    drop(pipe);
+    drop(ctx);
+    start.elapsed()
+}
+
+fn run_old(w: &workload::Workload, mode: &str) -> Duration {
+    let opts = match mode {
+        "fused" => driver_old::CompilerOptions::fused(),
+        "mega" => driver_old::CompilerOptions::mega(),
+        _ => driver_old::CompilerOptions::legacy(),
+    };
+    let mut ctx = ir_old::Ctx::new();
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = front_old::compile_source(&mut ctx, n, s).expect("parses");
+        units.push(phase_old::CompilationUnit::new(t.name, t.tree));
+    }
+    let start = Instant::now();
+    if opts.mode == driver_old::Mode::Legacy {
+        ctx.options.copier_reuse = false;
+    }
+    let (phases, plan) = driver_old::standard_plan(&opts).expect("plan");
+    let mut pipe = phase_old::Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units(&mut ctx, units);
+    std::hint::black_box(&out);
+    drop(out);
+    drop(pipe);
+    drop(ctx);
+    start.elapsed()
+}
+
+fn main() {
+    let loc: usize = std::env::var("CORPUS_LOC").ok().and_then(|v| v.parse().ok()).unwrap_or(12_000);
+    let reps: usize = std::env::var("REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let w = workload::generate(&workload::WorkloadConfig { target_loc: loc, seed: 0xd077, unit_loc: 400 });
+    let mut ratios: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    let mut mins: std::collections::BTreeMap<String, Duration> = Default::default();
+    for rep in 0..reps {
+        for mode in ["fused", "mega", "legacy"] {
+            if let Ok(f) = std::env::var("MODES") { if !f.contains(mode) { continue; } }
+            // alternate order each rep to cancel ordering bias
+            let (a, b) = if rep % 2 == 0 { ("old", "new") } else { ("new", "old") };
+            let mut t = std::collections::HashMap::new();
+            for stack in [a, b] {
+                let el = if stack == "old" { run_old(&w, mode) } else { run_new(&w, mode) };
+                t.insert(stack, el);
+                let e = mins.entry(format!("{mode}-{stack}")).or_insert(el);
+                if el < *e { *e = el; }
+            }
+            ratios.entry(mode.to_string()).or_default()
+                .push(t["new"].as_secs_f64() / t["old"].as_secs_f64());
+        }
+    }
+    for (m, rs) in &mut ratios {
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = rs[rs.len() / 2];
+        let o = mins[&format!("{m}-old")].as_secs_f64();
+        let n = mins[&format!("{m}-new")].as_secs_f64();
+        println!("{m:7}: min old {:>7.1}ms  min new {:>7.1}ms  min-ratio {:+.1}%  median paired ratio {:+.1}%",
+            o * 1e3, n * 1e3, (n / o - 1.0) * 100.0, (med - 1.0) * 100.0);
+    }
+}

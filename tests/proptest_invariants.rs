@@ -8,7 +8,7 @@ use miniphases::mini_ir::{
     visit, Ctx, NodeKind, NodeKindSet, TreeKind, TreeRef, ALL_NODE_KINDS, NODE_KIND_COUNT,
 };
 use proptest::prelude::*;
-use std::sync::Arc;
+use std::rc::Rc as Arc;
 
 // ---------------- expression generator --------------------------------
 
@@ -79,14 +79,14 @@ fn arb_expr() -> impl Strategy<Value = E> {
     ];
     leaf.prop_recursive(4, 40, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::Cmp(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| E::If(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Cmp(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, a, b)| E::If(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|e| E::Match(Box::new(e))),
             inner.clone().prop_map(|e| E::Call(Box::new(e))),
             inner.prop_map(|e| E::Concat(Box::new(e))),

@@ -1,0 +1,89 @@
+//! Property tests pinning the iterative executor to its executable
+//! specification: over generated MiniScala workloads, the explicit-stack
+//! walk (`Pipeline::run_units`) must produce **byte-identical** trees and
+//! **identical** `ExecStats` to the retained recursive reference
+//! implementation (`Pipeline::run_units_reference`), in every pipeline mode
+//! and fusion-option ablation.
+
+use miniphases::mini_driver::{standard_plan, CompilerOptions};
+use miniphases::mini_ir::{printer, Ctx};
+use miniphases::miniphase::{CompilationUnit, ExecStats, Pipeline};
+use miniphases::{mini_front, workload};
+use proptest::prelude::*;
+
+/// Runs the standard pipeline over a generated corpus and renders every
+/// output tree to text. `reference` selects the recursive executor.
+fn run_pipeline(
+    cfg: &workload::WorkloadConfig,
+    opts: &CompilerOptions,
+    reference: bool,
+) -> (Vec<String>, ExecStats) {
+    let w = workload::generate(cfg);
+    let mut ctx = Ctx::new();
+    opts.configure_ctx(&mut ctx);
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        units.push(CompilationUnit::new(t.name, t.tree));
+    }
+    assert!(!ctx.has_errors(), "corpus type-checks");
+    let (phases, plan) = standard_plan(opts).expect("plan");
+    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+    let out = if reference {
+        pipe.run_units_reference(&mut ctx, units)
+    } else {
+        pipe.run_units(&mut ctx, units)
+    };
+    let printed = out
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                printer::print_tree(&u.tree, &ctx.symbols)
+            )
+        })
+        .collect();
+    (printed, pipe.stats)
+}
+
+fn opts_for(mode: u8, ablation: u8) -> CompilerOptions {
+    let mut opts = match mode % 3 {
+        0 => CompilerOptions::fused(),
+        1 => CompilerOptions::mega(),
+        _ => CompilerOptions::legacy(),
+    };
+    match ablation % 4 {
+        1 => opts.fusion.identity_skip = false,
+        2 => opts.fusion.same_kind_fast_path = false,
+        3 => opts.fusion.prepare_always = true,
+        _ => {}
+    }
+    opts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn iterative_walk_matches_recursive_reference(
+        seed in 0u64..10_000,
+        loc in 200usize..900,
+        mode in 0u8..3,
+        ablation in 0u8..4,
+    ) {
+        let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 250 };
+        let opts = opts_for(mode, ablation);
+        let (trees_iter, stats_iter) = run_pipeline(&cfg, &opts, false);
+        let (trees_ref, stats_ref) = run_pipeline(&cfg, &opts, true);
+        prop_assert_eq!(
+            &stats_iter, &stats_ref,
+            "ExecStats diverged (mode {}, ablation {}): {:?} vs {:?}",
+            mode, ablation, stats_iter, stats_ref
+        );
+        prop_assert_eq!(trees_iter.len(), trees_ref.len());
+        for (a, b) in trees_iter.iter().zip(trees_ref.iter()) {
+            prop_assert!(a == b, "printed trees diverged:\n--- iterative\n{}\n--- reference\n{}", a, b);
+        }
+    }
+}
