@@ -1,0 +1,216 @@
+//! `ab` — the productized paired in-process A/B harness.
+//!
+//! Cross-process benchmark timings on shared hosts drift by double-digit
+//! percentages minute to minute, so `scripts/ab_pipeline.sh` pioneered a
+//! paired methodology: run both contenders in ONE process, alternating
+//! paired repetitions, and report per-side minima plus the median of
+//! per-repetition paired ratios. That script exists to compare the working
+//! tree against a *historical* stack (it vendors old crates via a git
+//! worktree); this binary wraps the same methodology for comparing two
+//! **configurations of the current stack**, which is what perf PRs need
+//! day to day:
+//!
+//! ```text
+//! cargo run --release -p bench --bin ab -- [SPEC_B] [SPEC_A] [REPS] [LOC]
+//! ```
+//!
+//! A spec is `plan` or `plan+prune`, where `plan` is one of
+//!
+//! * `fused` / `mega` / `legacy` — the standard 22-phase pipeline in the
+//!   usual modes;
+//! * `patmat` — a sparse single-group plan of `patternMatcher` alone
+//!   (transforms `Match`/`Try`, prepares `DefDef`/`ClassDef`);
+//! * `tailrec` — a sparse single-group plan of `tailRec` alone (transforms
+//!   `DefDef` only);
+//!
+//! and `+prune` switches on `FusionOptions::subtree_pruning`. The default
+//! comparison is `patmat+prune` vs `patmat` over the dotty-like corpus
+//! slice — the headline sparse-kind pruning measurement recorded in
+//! `BENCH_pipeline.json`. The reported ratio is B (first spec) relative to
+//! A (second spec); negative means B is faster.
+
+use mini_driver::{standard_plan, CompilerOptions};
+use mini_ir::Ctx;
+use miniphase::{CompilationUnit, ExecStats, MiniPhase, PhasePlan, Pipeline};
+use std::time::{Duration, Instant};
+
+/// Which phase list / grouping a spec runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    /// The standard pipeline, fused per the planner.
+    Fused,
+    /// The standard pipeline, one group per phase.
+    Mega,
+    /// The standard pipeline in scalac-imitation mode (no copier reuse, no
+    /// interning), one group per phase.
+    Legacy,
+    /// `patternMatcher` alone in one group.
+    Patmat,
+    /// `tailRec` alone in one group.
+    Tailrec,
+}
+
+#[derive(Clone)]
+struct Spec {
+    plan: Plan,
+    prune: bool,
+    label: String,
+}
+
+fn parse_spec(s: &str) -> Spec {
+    let (plan_s, prune) = match s.strip_suffix("+prune") {
+        Some(p) => (p, true),
+        None => (s, false),
+    };
+    let plan = match plan_s {
+        "fused" => Plan::Fused,
+        "mega" => Plan::Mega,
+        "legacy" => Plan::Legacy,
+        "patmat" => Plan::Patmat,
+        "tailrec" => Plan::Tailrec,
+        other => {
+            eprintln!("unknown spec `{other}` (want fused|mega|legacy|patmat|tailrec[+prune])");
+            std::process::exit(2);
+        }
+    };
+    Spec {
+        plan,
+        prune,
+        label: s.to_string(),
+    }
+}
+
+impl Spec {
+    fn compiler_options(&self) -> CompilerOptions {
+        let base = match self.plan {
+            Plan::Mega => CompilerOptions::mega(),
+            Plan::Legacy => CompilerOptions::legacy(),
+            _ => CompilerOptions::fused(),
+        };
+        base.with_subtree_pruning(self.prune)
+    }
+
+    /// The phase list and plan; sparse plans bypass `build_plan` (their
+    /// constraints name phases deliberately absent from the list).
+    fn phases_and_plan(&self, opts: &CompilerOptions) -> (Vec<Box<dyn MiniPhase>>, PhasePlan) {
+        let sparse: Option<Vec<Box<dyn MiniPhase>>> = match self.plan {
+            Plan::Patmat => Some(vec![Box::new(mini_phases::PatternMatcher::default())]),
+            Plan::Tailrec => Some(vec![Box::new(mini_phases::TailRec)]),
+            _ => None,
+        };
+        match sparse {
+            Some(phases) => {
+                let plan = PhasePlan {
+                    groups: vec![(0..phases.len()).collect()],
+                };
+                (phases, plan)
+            }
+            None => standard_plan(opts).expect("standard plan is valid"),
+        }
+    }
+}
+
+/// One timed run: untimed frontend, then plan construction +
+/// `Pipeline::run_units` + teardown under the clock (the same routine as
+/// `scripts/ab_pipeline.sh` and the `pipeline_throughput` bench).
+fn run_once(w: &workload::Workload, spec: &Spec) -> (Duration, ExecStats) {
+    let opts = spec.compiler_options();
+    let mut ctx = Ctx::new();
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        units.push(CompilationUnit::new(t.name, t.tree));
+    }
+    let start = Instant::now();
+    opts.configure_ctx(&mut ctx);
+    let (phases, plan) = spec.phases_and_plan(&opts);
+    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units(&mut ctx, units);
+    std::hint::black_box(&out);
+    let stats = pipe.stats;
+    drop(out);
+    drop(pipe);
+    drop(ctx);
+    (start.elapsed(), stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec_b = parse_spec(args.first().map(String::as_str).unwrap_or("patmat+prune"));
+    let spec_a = parse_spec(args.get(1).map(String::as_str).unwrap_or("patmat"));
+    let reps: usize = args
+        .get(2)
+        .cloned()
+        .or_else(|| std::env::var("REPS").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let loc: usize = args
+        .get(3)
+        .cloned()
+        .or_else(|| std::env::var("CORPUS_LOC").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000);
+
+    if reps == 0 {
+        eprintln!("REPS must be at least 1");
+        std::process::exit(2);
+    }
+
+    let w = workload::generate(&workload::WorkloadConfig {
+        target_loc: loc,
+        seed: 0xd077,
+        unit_loc: 400,
+    });
+    println!(
+        "paired in-process A/B: B = {} vs A = {} ({} reps, {} LOC dotty-like slice)",
+        spec_b.label, spec_a.label, reps, w.total_loc
+    );
+
+    let mut min_a = Duration::MAX;
+    let mut min_b = Duration::MAX;
+    let mut ratios: Vec<f64> = Vec::with_capacity(reps);
+    let mut stats_a = ExecStats::default();
+    let mut stats_b = ExecStats::default();
+    for rep in 0..reps {
+        // Alternate order each repetition to cancel ordering bias.
+        let b_first = rep % 2 == 0;
+        let mut t_a = Duration::ZERO;
+        let mut t_b = Duration::ZERO;
+        for side in 0..2 {
+            if (side == 0) == b_first {
+                let (t, s) = run_once(&w, &spec_b);
+                t_b = t;
+                stats_b = s;
+            } else {
+                let (t, s) = run_once(&w, &spec_a);
+                t_a = t;
+                stats_a = s;
+            }
+        }
+        min_a = min_a.min(t_a);
+        min_b = min_b.min(t_b);
+        ratios.push(t_b.as_secs_f64() / t_a.as_secs_f64());
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median = ratios[ratios.len() / 2];
+    let (a, b) = (min_a.as_secs_f64(), min_b.as_secs_f64());
+    println!(
+        "A {label_a:>14}: min {a_ms:>8.1} ms  visits {va:>10}  pruned {pa:>10}",
+        label_a = spec_a.label,
+        a_ms = a * 1e3,
+        va = stats_a.node_visits,
+        pa = stats_a.nodes_pruned,
+    );
+    println!(
+        "B {label_b:>14}: min {b_ms:>8.1} ms  visits {vb:>10}  pruned {pb:>10}",
+        label_b = spec_b.label,
+        b_ms = b * 1e3,
+        vb = stats_b.node_visits,
+        pb = stats_b.nodes_pruned,
+    );
+    println!(
+        "B vs A: min-ratio {:+.1}%  median paired ratio {:+.1}%",
+        (b / a - 1.0) * 100.0,
+        (median - 1.0) * 100.0
+    );
+}

@@ -107,19 +107,29 @@ fn table2() {
 fn section3(cs: &[Corpus]) {
     header("Section 3 — target performance characteristics");
     println!(
-        "{:<12} {:>6} {:>14} {:>14} {:>12} {:>10}",
-        "corpus", "mode", "LOC/s (xform)", "ns/node-visit", "visits", "traversals"
+        "{:<12} {:>12} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "corpus", "mode", "LOC/s (xform)", "ns/node-visit", "visits", "pruned", "traversals"
     );
     for c in cs {
-        for opts in [CompilerOptions::fused(), CompilerOptions::mega()] {
+        for opts in [
+            CompilerOptions::fused(),
+            CompilerOptions::fused().with_subtree_pruning(true),
+            CompilerOptions::mega(),
+        ] {
             let m = timed(c, &opts, 3).expect("compiles");
+            let mode = if m.opts.fusion.subtree_pruning {
+                format!("{}+prune", m.opts.mode)
+            } else {
+                m.opts.mode.to_string()
+            };
             println!(
-                "{:<12} {:>6} {:>14.0} {:>14.1} {:>12} {:>10}",
+                "{:<12} {:>12} {:>14.0} {:>14.1} {:>12} {:>12} {:>10}",
                 c.name,
-                m.opts.mode.to_string(),
+                mode,
                 m.loc_per_second(),
                 m.ns_per_visit(),
                 m.exec.node_visits,
+                m.exec.nodes_pruned,
                 m.exec.traversals
             );
         }

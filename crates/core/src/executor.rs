@@ -29,7 +29,16 @@
 //! * the pipeline's own walk drives [`Fused`] groups **directly** (static
 //!   dispatch into the fused chain and its precomputed per-kind member
 //!   lists) rather than re-entering the generic `dyn MiniPhase` dispatch at
-//!   every node.
+//!   every node;
+//! * with [`FusionOptions::subtree_pruning`] on, the walk intersects the
+//!   group's combined prepare/transform mask with each child's cached
+//!   kinds-below summary ([`mini_ir::Tree::kinds_below`]) and skips whole
+//!   subtrees no member can affect, counting what it skipped in
+//!   [`ExecStats::nodes_pruned`] (off by default — see the flag's docs);
+//! * when the copier's reuse optimization is off (`legacy` mode), shallow
+//!   trees take [`walk_eager`] — the recursive eager copier — instead of
+//!   paying the splice machinery for rebuilds that happen at every node
+//!   anyway.
 //!
 //! The pre-overhaul recursive traversal is retained verbatim as
 //! [`run_phase_on_unit_reference`] — it is the executable specification the
@@ -55,6 +64,12 @@ pub const TRAVERSAL_CODE_ADDR: u64 = (1 << 40) + (1 << 30);
 pub struct ExecStats {
     /// Tree-node visits performed by traversals.
     pub node_visits: u64,
+    /// Tree nodes *not* visited because subtree kind-summary pruning skipped
+    /// their whole subtree (priced from the cached
+    /// [`mini_ir::Tree::subtree_size`]). Always 0 unless
+    /// [`FusionOptions::subtree_pruning`] is on; with it on,
+    /// `node_visits + nodes_pruned` equals the unpruned run's `node_visits`.
+    pub nodes_pruned: u64,
     /// Kind-specific transform dispatches (per node, per group).
     pub transform_calls: u64,
     /// Member-level transform invocations inside fused blocks (the true
@@ -71,6 +86,7 @@ impl ExecStats {
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: ExecStats) {
         self.node_visits += other.node_visits;
+        self.nodes_pruned += other.nodes_pruned;
         self.transform_calls += other.transform_calls;
         self.member_transforms += other.member_transforms;
         self.prepare_calls += other.prepare_calls;
@@ -185,6 +201,70 @@ impl TraversalScratch {
     }
 }
 
+/// The per-traversal mask snapshot shared by the iterative and eager walks:
+/// one virtual query per traversal instead of two per node.
+struct Masks {
+    transforms: NodeKindSet,
+    /// Effective prepare mask after the `prepare_always` ablation is applied.
+    prepares: NodeKindSet,
+    /// `Some(transforms ∪ prepares)` when subtree pruning is on: a subtree
+    /// whose kinds-below summary does not intersect this can receive no hook
+    /// from any member of the group, so the walk hands it back untouched.
+    prune: Option<NodeKindSet>,
+}
+
+impl Masks {
+    fn hoist<D: PhaseDriver>(driver: &D, opts: &FusionOptions) -> Masks {
+        let transforms = driver.transforms_mask();
+        let raw_prepares = driver.prepares_mask();
+        let prepares = if opts.prepare_always && !raw_prepares.is_empty() {
+            NodeKindSet::ALL
+        } else if opts.prepare_always {
+            NodeKindSet::EMPTY
+        } else {
+            raw_prepares
+        };
+        let prune = opts.subtree_pruning.then(|| transforms.union(prepares));
+        Masks {
+            transforms,
+            prepares,
+            prune,
+        }
+    }
+
+    /// True if pruning is on and `t`'s subtree contains no kind the group
+    /// prepares or transforms.
+    #[inline]
+    fn skips(&self, t: &TreeRef) -> bool {
+        match self.prune {
+            Some(relevant) => !t.kinds_below().intersects(relevant),
+            None => false,
+        }
+    }
+}
+
+/// Per-node visit accounting shared by [`walk`] and [`walk_eager`]: the
+/// visit counter and the memory-trace model (node read, defined/referenced
+/// symbol read, traversal instruction fetch). One definition keeps the two
+/// production walks bit-identical in [`ExecStats`] and trace output — the
+/// equivalence proptests pin both against the (intentionally standalone)
+/// recursive reference executor.
+#[inline]
+fn visit_node(ctx: &mut Ctx, t: &TreeRef, stats: &mut ExecStats) {
+    stats.node_visits += 1;
+    ctx.trace_read(t);
+    // Visiting a node also touches the symbol it defines or references —
+    // symbols and types are the other "major internal data structures" (§2).
+    if ctx.access.is_some() {
+        let s = t.def_sym();
+        let s = if s.exists() { s } else { t.ref_sym() };
+        if s.exists() {
+            ctx.trace_read_at(Ctx::symbol_addr(s), 112);
+        }
+    }
+    ctx.trace_exec(TRAVERSAL_CODE_ADDR, 224);
+}
+
 /// The iterative post-order walk shared by every execution mode: one frame
 /// per *open* node (constant machine-stack space regardless of tree depth),
 /// children advanced through the positional [`mini_ir::Tree::child_at`]
@@ -199,15 +279,23 @@ fn walk<D: PhaseDriver>(
     scratch: &mut TraversalScratch,
 ) -> TreeRef {
     // Hoisted per-traversal: one virtual mask query instead of two per node.
-    let transforms = driver.transforms_mask();
-    let raw_prepares = driver.prepares_mask();
-    let prepares = if opts.prepare_always && !raw_prepares.is_empty() {
-        NodeKindSet::ALL
-    } else if opts.prepare_always {
-        NodeKindSet::EMPTY
-    } else {
-        raw_prepares
-    };
+    let masks = Masks::hoist(driver, opts);
+    if masks.skips(root) {
+        // Nothing in the whole unit interests this group.
+        stats.nodes_pruned += u64::from(root.subtree_size());
+        return root.clone();
+    }
+    if !ctx.options.copier_reuse && root.depth() <= EAGER_WALK_DEPTH_LIMIT {
+        // No-reuse mode rebuilds every node, so the splice machinery below
+        // (frames, result stack, children-changed tracking) is pure
+        // overhead; build eagerly through the recursive copier instead.
+        return walk_eager(driver, opts, ctx, root, stats, &masks);
+    }
+    let Masks {
+        transforms,
+        prepares,
+        ..
+    } = masks;
 
     // A panic in a phase hook unwinds out of `walk` leaving stale frames
     // behind — and stale frames hold raw pointers into trees that may since
@@ -222,19 +310,7 @@ fn walk<D: PhaseDriver>(
     macro_rules! open_frame {
         ($t:expr) => {{
             let t: &TreeRef = $t;
-            stats.node_visits += 1;
-            ctx.trace_read(t);
-            // Visiting a node also touches the symbol it defines or
-            // references — symbols and types are the other "major internal
-            // data structures" (§2).
-            if ctx.access.is_some() {
-                let s = t.def_sym();
-                let s = if s.exists() { s } else { t.ref_sym() };
-                if s.exists() {
-                    ctx.trace_read_at(Ctx::symbol_addr(s), 112);
-                }
-            }
-            ctx.trace_exec(TRAVERSAL_CODE_ADDR, 224);
+            visit_node(ctx, t, stats);
 
             let pushed = if prepares.contains(t.node_kind()) {
                 stats.prepare_calls += 1;
@@ -262,6 +338,14 @@ fn walk<D: PhaseDriver>(
             // Descend into the next unvisited child. `c` borrows from
             // `node`'s kind, upholding invariant 1 for the child frame.
             top.next_child += 1;
+            if masks.skips(c) {
+                // Subtree pruning: no member hook can fire below `c`, so it
+                // passes through unchanged — no frame, no visits, and the
+                // parent's children-changed tracking stays untouched.
+                stats.nodes_pruned += u64::from(c.subtree_size());
+                results.push(c.clone());
+                continue;
+            }
             open_frame!(c);
             continue;
         }
@@ -296,6 +380,56 @@ fn walk<D: PhaseDriver>(
     results.pop().expect("walk produces exactly one root")
 }
 
+/// Depth bound for the eager no-reuse walk's direct recursion. Trees deeper
+/// than this stay on the iterative splice path (constant machine-stack
+/// space); ordinary corpus trees are a few dozen levels deep.
+const EAGER_WALK_DEPTH_LIMIT: u32 = 512;
+
+/// The eager-build walk used when [`mini_ir::IrOptions::copier_reuse`] is
+/// off (`legacy` mode): every node rebuilds, so the iterative walk's
+/// drain-and-splice machinery only adds overhead over the old recursive
+/// copier (the ~8% legacy-mode gap recorded after the traversal overhaul).
+/// This path recurses through [`mini_ir::Ctx::map_children`] — the eager
+/// copier — with the same hoisted masks, pruning gate, accounting and hook
+/// order as the iterative walk, so it produces byte-identical trees and
+/// identical [`ExecStats`]; only trees deeper than
+/// [`EAGER_WALK_DEPTH_LIMIT`] fall back to the splice walk.
+fn walk_eager<D: PhaseDriver>(
+    driver: &mut D,
+    opts: &FusionOptions,
+    ctx: &mut Ctx,
+    t: &TreeRef,
+    stats: &mut ExecStats,
+    masks: &Masks,
+) -> TreeRef {
+    visit_node(ctx, t, stats);
+
+    let pushed = if masks.prepares.contains(t.node_kind()) {
+        stats.prepare_calls += 1;
+        driver.prepare(ctx, t)
+    } else {
+        false
+    };
+    let rebuilt = ctx.map_children(t, &mut |ctx, c| {
+        if masks.skips(c) {
+            stats.nodes_pruned += u64::from(c.subtree_size());
+            c.clone()
+        } else {
+            walk_eager(driver, opts, ctx, c, stats, masks)
+        }
+    });
+    let transformed = if !opts.identity_skip || masks.transforms.contains(rebuilt.node_kind()) {
+        stats.transform_calls += 1;
+        driver.transform(ctx, &rebuilt)
+    } else {
+        rebuilt
+    };
+    if pushed {
+        driver.finish(ctx, &transformed);
+    }
+    transformed
+}
+
 /// Runs one Miniphase (possibly a [`Fused`] block) over one compilation
 /// unit: `prepare_unit`, the iterative post-order traversal, then
 /// `transform_unit`.
@@ -322,6 +456,25 @@ pub fn run_phase_on_unit(
         name: unit.name.clone(),
         tree,
     }
+}
+
+/// The reference executor's per-node pruning mask: `None` when pruning is
+/// off, otherwise the same `transforms ∪ effective-prepares` combination the
+/// hoisted [`Masks`] computes (queried naively per node, in the reference
+/// style).
+fn reference_prune_mask(phase: &dyn MiniPhase, opts: &FusionOptions) -> Option<NodeKindSet> {
+    if !opts.subtree_pruning {
+        return None;
+    }
+    let raw_prepares = phase.prepares();
+    let prepares = if opts.prepare_always && !raw_prepares.is_empty() {
+        NodeKindSet::ALL
+    } else if opts.prepare_always {
+        NodeKindSet::EMPTY
+    } else {
+        raw_prepares
+    };
+    Some(phase.transforms().union(prepares))
 }
 
 fn traverse_reference(
@@ -356,7 +509,14 @@ fn traverse_reference(
         false
     };
 
+    let prune = reference_prune_mask(phase, opts);
     let rebuilt = ctx.map_children(t, &mut |ctx, c| {
+        if let Some(relevant) = prune {
+            if !c.kinds_below().intersects(relevant) {
+                stats.nodes_pruned += u64::from(c.subtree_size());
+                return c.clone();
+            }
+        }
         traverse_reference(&mut *phase, opts, ctx, c, stats)
     });
 
@@ -388,7 +548,13 @@ pub fn run_phase_on_unit_reference(
 ) -> CompilationUnit {
     stats.traversals += 1;
     phase.prepare_unit(ctx, &unit.tree);
-    let tree = traverse_reference(phase, opts, ctx, &unit.tree, stats);
+    let tree = match reference_prune_mask(phase, opts) {
+        Some(relevant) if !unit.tree.kinds_below().intersects(relevant) => {
+            stats.nodes_pruned += u64::from(unit.tree.subtree_size());
+            unit.tree.clone()
+        }
+        _ => traverse_reference(phase, opts, ctx, &unit.tree, stats),
+    };
     let tree = phase.transform_unit(ctx, tree);
     CompilationUnit {
         name: unit.name.clone(),

@@ -33,6 +33,21 @@ pub struct FusionOptions {
     /// Dispatch prepares for *every* node kind rather than only declared
     /// ones — the simpler design §4.1 muses about. Default off.
     pub prepare_always: bool,
+    /// Skip whole subtrees whose cached kinds-below summary
+    /// ([`mini_ir::Tree::kinds_below`]) shares no kind with the group's
+    /// combined prepare/transform masks — no hook of any member can fire in
+    /// such a subtree, so the executor hands the child back untouched without
+    /// descending.
+    ///
+    /// Default **off**: pruning changes `node_visits` (and, in `legacy`
+    /// mode, allocation counts), which the §5 figures and the fused-vs-mega
+    /// visit ratios depend on. Paper-exact accounting therefore stays the
+    /// default; turn this on for production-style runs where sparse-kind
+    /// groups (`patmat`-only, `erasure`-only plans) dominate. Soundness
+    /// rests on the declared-mask contract ([`MiniPhase::transforms`] /
+    /// [`MiniPhase::prepares`] are supersets of the overridden hooks), the
+    /// same contract the identity-skip optimization already assumes.
+    pub subtree_pruning: bool,
 }
 
 impl Default for FusionOptions {
@@ -41,6 +56,7 @@ impl Default for FusionOptions {
             identity_skip: true,
             same_kind_fast_path: true,
             prepare_always: false,
+            subtree_pruning: false,
         }
     }
 }

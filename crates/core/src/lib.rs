@@ -17,6 +17,30 @@
 //! * [`check_unit`] — the dynamic tree checker (Listing 9) replaying every
 //!   prior phase's postconditions to localize faults.
 //!
+//! ## Subtree kind-summary pruning (`FusionOptions::subtree_pruning`)
+//!
+//! The fused walk still *visits* every node even when an entire subtree
+//! contains no kind any member of the group prepares or transforms. Every
+//! tree node caches a "kinds at-or-below" summary
+//! ([`mini_ir::Tree::kinds_below`], maintained for free through every
+//! copier/splice path because nodes are immutable and only built through
+//! `Ctx::mk`); with the flag on, the executors intersect the group's
+//! hoisted masks with each child's summary and skip whole subtrees outright,
+//! reporting what they skipped in [`ExecStats::nodes_pruned`].
+//!
+//! The flag defaults to **off** — paper-exact mode — because pruning
+//! changes `node_visits` (and, without copier reuse, allocation counts),
+//! which the §5 figures and the fused-vs-mega visit ratios depend on. It
+//! pays off on *sparse-kind* plans (a `patmat`-only or `tailRec`-only group
+//! skips >90% of the dotty-like corpus); on the dense standard pipeline the
+//! group masks cover most interior kinds, so pruning is roughly
+//! wall-clock-neutral there and the default loses nothing. Soundness rests
+//! on the same declared-mask contract as identity skip: masks are supersets
+//! of the hooks a phase actually overrides, so a subtree without mask kinds
+//! can receive no hook at all. Property tests assert byte-identical output
+//! trees and exact `node_visits + nodes_pruned` accounting between pruned
+//! and unpruned runs in every mode and ablation.
+//!
 //! # Examples
 //!
 //! ```

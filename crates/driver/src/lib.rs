@@ -94,6 +94,16 @@ impl CompilerOptions {
         }
     }
 
+    /// Returns a copy with subtree kind-summary pruning switched on or off
+    /// ([`FusionOptions::subtree_pruning`]). Off is the default: pruning
+    /// changes `node_visits` accounting, so the paper-exact figures keep it
+    /// disabled; turn it on for production-style runs dominated by
+    /// sparse-kind groups.
+    pub fn with_subtree_pruning(mut self, on: bool) -> CompilerOptions {
+        self.fusion.subtree_pruning = on;
+        self
+    }
+
     fn plan_options(&self) -> PlanOptions {
         PlanOptions {
             fuse: self.mode == Mode::Fused,

@@ -52,6 +52,45 @@ impl Default for GcConfig {
     }
 }
 
+impl GcConfig {
+    /// Nursery calibration point: a 1.2 kLOC corpus needs a 256 KiB nursery
+    /// (with tenure age 2) for the Fig 6 generational shape to appear — the
+    /// sweep recorded in PR 1 showed a 64 KiB nursery tenures essentially
+    /// everything in *both* pipeline modes at that size, drowning the shape.
+    const CALIBRATED_LOC: u64 = 1_200;
+    /// Nursery bytes at the calibration point.
+    const CALIBRATED_NURSERY: u64 = 256 << 10;
+
+    /// A generational configuration scaled to the corpus being replayed —
+    /// the analogue of `CacheConfig::scaled_to_corpus` for the GC simulator.
+    ///
+    /// The paper's generational effects need allocation volume ≫ young
+    /// generation, but a nursery too small for the corpus tenures everything
+    /// in every mode and hides the fused-vs-mega gap. Transform-pipeline
+    /// allocation grows roughly linearly with corpus LOC, so the nursery
+    /// scales linearly from the calibrated 1.2 kLOC / 256 KiB point, then
+    /// rounds to the nearest power of two (real young generations are sized
+    /// that way, and quantizing keeps the configuration stable when a
+    /// generator overshoots its LOC target by a few percent), clamped to
+    /// [64 KiB, 16 MiB]. The tenure age stays at the calibrated 2
+    /// collections.
+    pub fn scaled_to_corpus(corpus_loc: usize) -> GcConfig {
+        let linear = (corpus_loc as u64)
+            .saturating_mul(Self::CALIBRATED_NURSERY)
+            .checked_div(Self::CALIBRATED_LOC)
+            .unwrap_or(Self::CALIBRATED_NURSERY)
+            .clamp(64 << 10, 16 << 20);
+        // Round to the nearest power of two (ties go up).
+        let hi = linear.next_power_of_two();
+        let lo = hi >> 1;
+        let nursery = if linear - lo < hi - linear { lo } else { hi };
+        GcConfig {
+            nursery_bytes: nursery,
+            tenure_age: 2,
+        }
+    }
+}
+
 /// Aggregate results of a replay.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GcStats {
@@ -181,6 +220,32 @@ mod tests {
         assert_eq!(s.tenured_objects, 0);
         assert_eq!(s.died_young, 100);
         assert_eq!(s.tenure_ratio(), 0.0);
+    }
+
+    #[test]
+    fn scaled_to_corpus_tracks_the_calibration_point() {
+        // The calibrated 1.2 kLOC point reproduces the hand-tuned Fig 6
+        // parameters exactly.
+        let c = GcConfig::scaled_to_corpus(1_200);
+        assert_eq!(c.nursery_bytes, 256 << 10);
+        assert_eq!(c.tenure_age, 2);
+        // A generator overshooting its LOC target by a few percent lands on
+        // the same quantized nursery.
+        assert_eq!(GcConfig::scaled_to_corpus(1_226).nursery_bytes, 256 << 10);
+        // Linear-then-quantized in corpus size between the clamps…
+        assert_eq!(GcConfig::scaled_to_corpus(2_400).nursery_bytes, 512 << 10);
+        let small = GcConfig::scaled_to_corpus(10);
+        let large = GcConfig::scaled_to_corpus(100_000_000);
+        // …and clamped at both ends.
+        assert_eq!(small.nursery_bytes, 64 << 10);
+        assert_eq!(large.nursery_bytes, 16 << 20);
+        // Monotone non-decreasing across three orders of magnitude.
+        let mut prev = 0;
+        for loc in [100, 1_000, 10_000, 100_000, 1_000_000] {
+            let n = GcConfig::scaled_to_corpus(loc).nursery_bytes;
+            assert!(n >= prev, "nursery shrank at {loc} LOC");
+            prev = n;
+        }
     }
 
     #[test]

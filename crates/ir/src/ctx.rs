@@ -33,10 +33,19 @@ pub struct IrOptions {
     /// (§2 of the paper). The `legacy` pipeline mode disables it to imitate
     /// scalac-era tree plumbing (Fig 9).
     pub copier_reuse: bool,
-    /// Interns synthetic common literals (unit, booleans, small ints) so
-    /// phase-created constants share one node instead of allocating per
-    /// rewrite. Off in `legacy` mode, which imitates scalac-era plumbing.
+    /// Interns synthetic common literals (unit, booleans, small ints and
+    /// strings) so phase-created constants share one node instead of
+    /// allocating per rewrite. Off in `legacy` mode, which imitates
+    /// scalac-era plumbing.
     pub intern_literals: bool,
+    /// Lower bound (inclusive) of the interned small-int range. Per-`Ctx`
+    /// tunable; the default mirrors JVM `Integer.valueOf` caching shifted
+    /// toward the non-negative constants phases actually synthesize.
+    pub intern_int_min: i64,
+    /// Upper bound (inclusive) of the interned small-int range. Setting
+    /// `intern_int_max < intern_int_min` disables small-int interning
+    /// without touching the other literal kinds.
+    pub intern_int_max: i64,
 }
 
 impl Default for IrOptions {
@@ -44,23 +53,28 @@ impl Default for IrOptions {
         IrOptions {
             copier_reuse: true,
             intern_literals: true,
+            intern_int_min: -8,
+            intern_int_max: 63,
         }
     }
 }
 
-/// Range of interned small ints (`INTERN_INT_MIN..=INTERN_INT_MAX`).
-const INTERN_INT_MIN: i64 = -8;
-/// Upper bound of the interned small-int range.
-const INTERN_INT_MAX: i64 = 63;
-const INTERN_INT_SLOTS: usize = (INTERN_INT_MAX - INTERN_INT_MIN + 1) as usize;
-
 /// Cache of shared synthetic nodes (the empty tree and common literals).
+///
+/// String literals are keyed by their (already-interned) [`Name`], so the
+/// map is bounded by the number of distinct string constants the program and
+/// its phases ever synthesize. The int cache records the range it was built
+/// for; retuning [`IrOptions::intern_int_min`]/[`IrOptions::intern_int_max`]
+/// mid-flight simply drops the stale cache.
 #[derive(Default)]
 struct InternCache {
     empty: Option<TreeRef>,
     unit: Option<TreeRef>,
     bools: [Option<TreeRef>; 2],
     ints: Vec<Option<TreeRef>>,
+    /// The `intern_int_min` the `ints` slots were allocated for.
+    ints_min: i64,
+    strs: std::collections::HashMap<Name, TreeRef>,
 }
 
 /// Always-on cheap allocation counters.
@@ -148,9 +162,13 @@ impl Ctx {
             sink.write(addr, bytes);
         }
         let mut depth = 0u32;
+        let mut size = 0u32;
+        let mut summary = crate::tree::NodeKindSet::of(kind.node_kind());
         let mut i = 0usize;
         while let Some(c) = kind.child_at(i) {
             depth = depth.max(c.depth);
+            size = size.saturating_add(c.size);
+            summary = summary.union(c.summary);
             i += 1;
         }
         Rc::new(Tree {
@@ -158,6 +176,8 @@ impl Ctx {
             addr,
             bytes,
             depth: depth + 1,
+            size: size.saturating_add(1),
+            summary,
             span,
             tpe,
             kind,
@@ -256,13 +276,43 @@ impl Ctx {
         }
     }
 
+    /// Hard cap on int-intern slots: a pathological tunable range (say the
+    /// whole `i64` domain) interns only its first `MAX_INT_SLOTS` values
+    /// instead of allocating an unbounded cache.
+    const MAX_INT_SLOTS: usize = 1 << 16;
+
+    /// Number of slots the tuned small-int range needs (0 when the range is
+    /// empty, i.e. small-int interning is disabled), capped at
+    /// [`Self::MAX_INT_SLOTS`].
+    fn intern_int_slots(&self) -> usize {
+        let span = self.options.intern_int_max as i128 - self.options.intern_int_min as i128 + 1;
+        span.clamp(0, Self::MAX_INT_SLOTS as i128) as usize
+    }
+
+    /// Slot index of `i` in the tuned range, or `None` when `i` is outside
+    /// the range (or past the slot cap). Overflow-safe for any tunables.
+    fn intern_int_slot_of(&self, i: i64) -> Option<usize> {
+        let (min, max) = (self.options.intern_int_min, self.options.intern_int_max);
+        if !(min..=max).contains(&i) {
+            return None;
+        }
+        let off = i as i128 - min as i128;
+        (off < self.intern_int_slots() as i128).then_some(off as usize)
+    }
+
     fn interned_lit(&self, c: &Constant) -> Option<TreeRef> {
         let slot = match c {
             Constant::Unit => &self.interned.unit,
             Constant::Bool(b) => &self.interned.bools[usize::from(*b)],
-            Constant::Int(i) if (INTERN_INT_MIN..=INTERN_INT_MAX).contains(i) => {
-                self.interned.ints.get((i - INTERN_INT_MIN) as usize)?
+            Constant::Int(i) => {
+                // A retuned range invalidates the cache (slots are indexed
+                // relative to the min it was built for).
+                if self.interned.ints_min != self.options.intern_int_min {
+                    return None;
+                }
+                self.interned.ints.get(self.intern_int_slot_of(*i)?)?
             }
+            Constant::Str(n) => return self.interned.strs.get(n).map(Rc::clone),
             _ => return None,
         };
         slot.as_ref().map(Rc::clone)
@@ -275,11 +325,20 @@ impl Ctx {
         match value {
             Constant::Unit => self.interned.unit = Some(Rc::clone(t)),
             Constant::Bool(b) => self.interned.bools[usize::from(*b)] = Some(Rc::clone(t)),
-            Constant::Int(i) if (INTERN_INT_MIN..=INTERN_INT_MAX).contains(i) => {
-                if self.interned.ints.is_empty() {
-                    self.interned.ints = vec![None; INTERN_INT_SLOTS];
+            Constant::Int(i) => {
+                let Some(slot) = self.intern_int_slot_of(*i) else {
+                    return;
+                };
+                let slots = self.intern_int_slots();
+                let min = self.options.intern_int_min;
+                if self.interned.ints.len() != slots || self.interned.ints_min != min {
+                    self.interned.ints = vec![None; slots];
+                    self.interned.ints_min = min;
                 }
-                self.interned.ints[(i - INTERN_INT_MIN) as usize] = Some(Rc::clone(t));
+                self.interned.ints[slot] = Some(Rc::clone(t));
+            }
+            Constant::Str(n) => {
+                self.interned.strs.insert(*n, Rc::clone(t));
             }
             _ => {}
         }
@@ -298,6 +357,11 @@ impl Ctx {
     /// The unit literal.
     pub fn lit_unit(&mut self) -> TreeRef {
         self.lit(Constant::Unit, Span::SYNTHETIC)
+    }
+
+    /// A synthetic string literal (interned per distinct [`Name`]).
+    pub fn lit_str(&mut self, s: &str) -> TreeRef {
+        self.lit(Constant::Str(Name::intern(s)), Span::SYNTHETIC)
     }
 
     /// A reference to `sym`, typed with the symbol's info.
@@ -625,6 +689,66 @@ mod tests {
         let e2 = ctx.empty();
         assert!(Rc::ptr_eq(&e1, &e2));
         assert_eq!(ctx.stats.nodes, before);
+    }
+
+    #[test]
+    fn string_literals_are_interned() {
+        let mut ctx = Ctx::new();
+        let a = ctx.lit_str("hello");
+        let before = ctx.stats.nodes;
+        let b = ctx.lit_str("hello");
+        assert!(Rc::ptr_eq(&a, &b), "same name shares one node");
+        assert_eq!(ctx.stats.nodes, before, "no allocation on the hit");
+        let c = ctx.lit_str("world");
+        assert!(!Rc::ptr_eq(&a, &c));
+        // Literals with real source spans keep distinct nodes.
+        let spanned = ctx.lit(Constant::Str(Name::intern("hello")), Span::new(1, 6));
+        assert!(!Rc::ptr_eq(&a, &spanned));
+    }
+
+    #[test]
+    fn small_int_range_is_per_ctx_tunable() {
+        let mut ctx = Ctx::new();
+        // Default range −8..=63.
+        let a = ctx.lit_int(63);
+        let b = ctx.lit_int(63);
+        assert!(Rc::ptr_eq(&a, &b));
+        let wide1 = ctx.lit_int(1000);
+        let wide2 = ctx.lit_int(1000);
+        assert!(
+            !Rc::ptr_eq(&wide1, &wide2),
+            "1000 outside the default range"
+        );
+
+        // Widen the range: 1000 now interns; the stale −8-based cache must
+        // not serve hits for the new range.
+        ctx.options.intern_int_min = 0;
+        ctx.options.intern_int_max = 1023;
+        let w1 = ctx.lit_int(1000);
+        let w2 = ctx.lit_int(1000);
+        assert!(Rc::ptr_eq(&w1, &w2));
+        let re63a = ctx.lit_int(63);
+        let re63b = ctx.lit_int(63);
+        assert!(Rc::ptr_eq(&re63a, &re63b), "rebuilt cache serves new range");
+
+        // An empty range disables small-int interning entirely.
+        ctx.options.intern_int_min = 0;
+        ctx.options.intern_int_max = -1;
+        let n1 = ctx.lit_int(5);
+        let n2 = ctx.lit_int(5);
+        assert!(!Rc::ptr_eq(&n1, &n2));
+    }
+
+    #[test]
+    fn legacy_mode_interns_nothing() {
+        let mut ctx = Ctx::new();
+        ctx.options.intern_literals = false;
+        let a = ctx.lit_str("x");
+        let b = ctx.lit_str("x");
+        assert!(!Rc::ptr_eq(&a, &b));
+        let i1 = ctx.lit_int(0);
+        let i2 = ctx.lit_int(0);
+        assert!(!Rc::ptr_eq(&i1, &i2));
     }
 
     #[test]

@@ -354,6 +354,14 @@ impl NodeKindSet {
         NodeKindSet(self.0 | other.0)
     }
 
+    /// True if the sets share at least one kind. This is the subtree-pruning
+    /// test: one AND against a node's cached kinds-below summary decides
+    /// whether a whole subtree can interest a phase group.
+    #[inline]
+    pub fn intersects(self, other: NodeKindSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
     /// True if no kinds are present.
     pub fn is_empty(self) -> bool {
         self.0 == 0
@@ -920,6 +928,18 @@ pub struct Tree {
     /// plain automatic recursion is safe for ordinary trees and divert only
     /// genuinely deep ones onto the explicit teardown worklist.
     pub(crate) depth: u32,
+    /// Node count of this subtree (a leaf is 1; shared children count once
+    /// per occurrence, i.e. as a traversal would visit them). Saturates at
+    /// `u32::MAX` on pathological DAGs. Cached like `depth`, it prices what
+    /// a skipped traversal *would* have visited, so pruned executors can
+    /// report exact `nodes_pruned` without walking the subtree.
+    pub(crate) size: u32,
+    /// Kinds at-or-below this node: the union of the child summaries and the
+    /// node's own kind, computed once at construction (trees are immutable,
+    /// so it never changes). Executors intersect a phase group's hoisted
+    /// prepare/transform masks with a child's summary to skip whole subtrees
+    /// the group cannot affect.
+    pub(crate) summary: NodeKindSet,
     pub(crate) span: Span,
     pub(crate) tpe: Type,
     pub(crate) kind: TreeKind,
@@ -944,6 +964,22 @@ impl Tree {
     /// Height of this subtree (a leaf is 1), cached at construction.
     pub fn depth(&self) -> u32 {
         self.depth
+    }
+
+    /// Node count of this subtree (a leaf is 1), cached at construction;
+    /// saturating. Shared children count once per occurrence, matching what
+    /// a traversal would visit.
+    pub fn subtree_size(&self) -> u32 {
+        self.size
+    }
+
+    /// The kinds occurring at or below this node, cached at construction.
+    /// This is the pruning summary: if a phase group's combined
+    /// prepare/transform mask does not [`NodeKindSet::intersects`] it, no
+    /// hook of the group can fire anywhere in the subtree.
+    #[inline]
+    pub fn kinds_below(&self) -> NodeKindSet {
+        self.summary
     }
 
     /// Source span.

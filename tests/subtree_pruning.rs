@@ -1,0 +1,205 @@
+//! Subtree kind-summary pruning: semantic equivalence and effectiveness.
+//!
+//! With `FusionOptions::subtree_pruning` on, the executors skip whole
+//! subtrees whose cached kinds-below summary shares no kind with the phase
+//! group's combined prepare/transform masks. These tests pin down the two
+//! sides of that optimization:
+//!
+//! * **equivalence** — over generated corpora, in every pipeline mode and
+//!   fusion ablation, the pruned run produces byte-identical output trees to
+//!   the unpruned run, and `node_visits + nodes_pruned` of the pruned run
+//!   equals the unpruned run's `node_visits` (pruning only ever skips what
+//!   would have been visited);
+//! * **effectiveness** — a sparse-kind plan (`patmat`-only) over the
+//!   dotty-like corpus actually prunes (`nodes_pruned > 0`) and visits
+//!   strictly fewer nodes;
+//! * **paper-exact default** — with the flag off, `nodes_pruned` stays 0.
+
+use miniphases::mini_driver::{standard_plan, CompilerOptions};
+use miniphases::mini_ir::{printer, Ctx};
+use miniphases::miniphase::{CompilationUnit, ExecStats, MiniPhase, PhasePlan, Pipeline};
+use miniphases::{mini_front, mini_phases, workload};
+use proptest::prelude::*;
+
+/// Parses a generated corpus into compilation units under `opts`' IR
+/// tunables.
+fn frontend(cfg: &workload::WorkloadConfig, opts: &CompilerOptions) -> (Ctx, Vec<CompilationUnit>) {
+    let w = workload::generate(cfg);
+    let mut ctx = Ctx::new();
+    opts.configure_ctx(&mut ctx);
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        units.push(CompilationUnit::new(t.name, t.tree));
+    }
+    assert!(!ctx.has_errors(), "corpus type-checks");
+    (ctx, units)
+}
+
+/// Runs the standard pipeline, returning printed output trees and stats.
+fn run_standard(
+    cfg: &workload::WorkloadConfig,
+    opts: &CompilerOptions,
+) -> (Vec<String>, ExecStats) {
+    let (mut ctx, units) = frontend(cfg, opts);
+    let (phases, plan) = standard_plan(opts).expect("plan");
+    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units(&mut ctx, units);
+    let printed = out
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                printer::print_tree(&u.tree, &ctx.symbols)
+            )
+        })
+        .collect();
+    (printed, pipe.stats)
+}
+
+fn opts_for(mode: u8, ablation: u8) -> CompilerOptions {
+    let mut opts = match mode % 3 {
+        0 => CompilerOptions::fused(),
+        1 => CompilerOptions::mega(),
+        _ => CompilerOptions::legacy(),
+    };
+    match ablation % 4 {
+        1 => opts.fusion.identity_skip = false,
+        2 => opts.fusion.same_kind_fast_path = false,
+        3 => opts.fusion.prepare_always = true,
+        _ => {}
+    }
+    opts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pruned_run_matches_unpruned_run(
+        seed in 0u64..10_000,
+        loc in 200usize..900,
+        mode in 0u8..3,
+        ablation in 0u8..4,
+    ) {
+        let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 250 };
+        let off = opts_for(mode, ablation);
+        let on = off.with_subtree_pruning(true);
+        let (trees_off, stats_off) = run_standard(&cfg, &off);
+        let (trees_on, stats_on) = run_standard(&cfg, &on);
+
+        prop_assert_eq!(stats_off.nodes_pruned, 0, "paper-exact mode never prunes");
+        prop_assert_eq!(
+            stats_on.node_visits + stats_on.nodes_pruned,
+            stats_off.node_visits,
+            "pruning must account for exactly the nodes it skipped \
+             (mode {}, ablation {}): {:?} vs {:?}",
+            mode, ablation, stats_on, stats_off
+        );
+        prop_assert_eq!(stats_on.traversals, stats_off.traversals);
+        if ablation % 4 == 0 {
+            // With identity skip on and per-kind prepares, hooks only ever
+            // fire on mask kinds — which pruning never skips — so the work
+            // counters are bit-identical too.
+            prop_assert_eq!(stats_on.transform_calls, stats_off.transform_calls);
+            prop_assert_eq!(stats_on.member_transforms, stats_off.member_transforms);
+            prop_assert_eq!(stats_on.prepare_calls, stats_off.prepare_calls);
+        }
+        prop_assert_eq!(trees_on.len(), trees_off.len());
+        for (a, b) in trees_on.iter().zip(trees_off.iter()) {
+            prop_assert!(
+                a == b,
+                "pruned and unpruned trees diverged:\n--- pruned\n{}\n--- unpruned\n{}",
+                a, b
+            );
+        }
+    }
+}
+
+/// Builds a single-group plan from an explicit phase list, bypassing
+/// `build_plan`'s constraint validation (sparse plans deliberately omit the
+/// phases the constraints name).
+fn solo_plan(phases: &[Box<dyn MiniPhase>]) -> PhasePlan {
+    PhasePlan {
+        groups: vec![(0..phases.len()).collect()],
+    }
+}
+
+/// Runs a sparse single-group plan over the corpus with and without pruning;
+/// returns (pruned stats, unpruned stats, trees equal).
+fn run_sparse(mk: fn() -> Vec<Box<dyn MiniPhase>>, prune: bool) -> (ExecStats, Vec<String>) {
+    let cfg = workload::WorkloadConfig {
+        target_loc: 2_000,
+        seed: 0xd077,
+        unit_loc: 400,
+    };
+    let opts = CompilerOptions::fused().with_subtree_pruning(prune);
+    let (mut ctx, units) = frontend(&cfg, &opts);
+    let phases = mk();
+    let plan = solo_plan(&phases);
+    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units(&mut ctx, units);
+    let printed = out
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                printer::print_tree(&u.tree, &ctx.symbols)
+            )
+        })
+        .collect();
+    (pipe.stats, printed)
+}
+
+fn patmat_only() -> Vec<Box<dyn MiniPhase>> {
+    vec![Box::new(mini_phases::PatternMatcher::default())]
+}
+
+fn tailrec_only() -> Vec<Box<dyn MiniPhase>> {
+    vec![Box::new(mini_phases::TailRec)]
+}
+
+#[test]
+fn sparse_patmat_plan_prunes_subtrees() {
+    let (on, trees_on) = run_sparse(patmat_only, true);
+    let (off, trees_off) = run_sparse(patmat_only, false);
+    assert!(on.nodes_pruned > 0, "sparse plan must prune: {on:?}");
+    assert!(
+        on.node_visits < off.node_visits,
+        "pruned visits {} must shrink below unpruned {}",
+        on.node_visits,
+        off.node_visits
+    );
+    assert_eq!(
+        on.node_visits + on.nodes_pruned,
+        off.node_visits,
+        "skipped nodes are priced exactly"
+    );
+    assert_eq!(off.nodes_pruned, 0);
+    assert_eq!(trees_on, trees_off, "pruning must not change the output");
+}
+
+#[test]
+fn sparse_tailrec_plan_prunes_subtrees() {
+    // `tailRec` transforms only `DefDef`: everything below a method's
+    // signature line that contains no nested def is skippable.
+    let (on, trees_on) = run_sparse(tailrec_only, true);
+    let (off, trees_off) = run_sparse(tailrec_only, false);
+    assert!(on.nodes_pruned > 0, "sparse plan must prune: {on:?}");
+    assert!(on.node_visits < off.node_visits);
+    assert_eq!(trees_on, trees_off);
+}
+
+#[test]
+fn full_standard_pipeline_stays_paper_exact_by_default() {
+    let cfg = workload::WorkloadConfig {
+        target_loc: 600,
+        seed: 7,
+        unit_loc: 300,
+    };
+    let (_, stats) = run_standard(&cfg, &CompilerOptions::fused());
+    assert_eq!(stats.nodes_pruned, 0);
+    assert!(stats.node_visits > 0);
+}

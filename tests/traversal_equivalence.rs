@@ -53,10 +53,11 @@ fn opts_for(mode: u8, ablation: u8) -> CompilerOptions {
         1 => CompilerOptions::mega(),
         _ => CompilerOptions::legacy(),
     };
-    match ablation % 4 {
+    match ablation % 5 {
         1 => opts.fusion.identity_skip = false,
         2 => opts.fusion.same_kind_fast_path = false,
         3 => opts.fusion.prepare_always = true,
+        4 => opts.fusion.subtree_pruning = true,
         _ => {}
     }
     opts
@@ -70,7 +71,7 @@ proptest! {
         seed in 0u64..10_000,
         loc in 200usize..900,
         mode in 0u8..3,
-        ablation in 0u8..4,
+        ablation in 0u8..5,
     ) {
         let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 250 };
         let opts = opts_for(mode, ablation);
