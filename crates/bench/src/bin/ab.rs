@@ -14,7 +14,8 @@
 //! cargo run --release -p bench --bin ab -- [SPEC_B] [SPEC_A] [REPS] [LOC]
 //! ```
 //!
-//! A spec is `plan` or `plan+prune`, where `plan` is one of
+//! A spec is `plan` followed by optional `+`-separated modifiers, where
+//! `plan` is one of
 //!
 //! * `fused` / `mega` / `legacy` — the standard 22-phase pipeline in the
 //!   usual modes;
@@ -23,15 +24,21 @@
 //! * `tailrec` — a sparse single-group plan of `tailRec` alone (transforms
 //!   `DefDef` only);
 //!
-//! and `+prune` switches on `FusionOptions::subtree_pruning`. The default
+//! and the modifiers are `+prune` (switch on
+//! `FusionOptions::subtree_pruning`) and `+jobsN` (run the transform
+//! pipeline on `N` worker threads — e.g. `fused+jobs4`). The default
 //! comparison is `patmat+prune` vs `patmat` over the dotty-like corpus
 //! slice — the headline sparse-kind pruning measurement recorded in
 //! `BENCH_pipeline.json`. The reported ratio is B (first spec) relative to
 //! A (second spec); negative means B is faster.
+//!
+//! Argument parsing is strict: an unknown spec, modifier, or non-numeric
+//! `REPS`/`LOC` prints usage and exits non-zero rather than silently
+//! benchmarking the defaults.
 
 use mini_driver::{standard_plan, CompilerOptions};
 use mini_ir::Ctx;
-use miniphase::{CompilationUnit, ExecStats, MiniPhase, PhasePlan, Pipeline};
+use miniphase::{CompilationUnit, ExecStats, MiniPhase, NoInstrumentation, PhasePlan, Pipeline};
 use std::time::{Duration, Instant};
 
 /// Which phase list / grouping a spec runs.
@@ -54,28 +61,48 @@ enum Plan {
 struct Spec {
     plan: Plan,
     prune: bool,
+    jobs: usize,
     label: String,
 }
 
+const USAGE: &str = "usage: ab [SPEC_B] [SPEC_A] [REPS] [LOC]\n\
+     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune][+jobsN]\n\
+     REPS    = positive integer (default 16, env REPS)\n\
+     LOC     = positive integer (default 12000, env CORPUS_LOC)";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn parse_spec(s: &str) -> Spec {
-    let (plan_s, prune) = match s.strip_suffix("+prune") {
-        Some(p) => (p, true),
-        None => (s, false),
-    };
-    let plan = match plan_s {
+    let mut parts = s.split('+');
+    let plan = match parts.next().unwrap_or_default() {
         "fused" => Plan::Fused,
         "mega" => Plan::Mega,
         "legacy" => Plan::Legacy,
         "patmat" => Plan::Patmat,
         "tailrec" => Plan::Tailrec,
-        other => {
-            eprintln!("unknown spec `{other}` (want fused|mega|legacy|patmat|tailrec[+prune])");
-            std::process::exit(2);
-        }
+        other => usage_exit(&format!("unknown spec `{other}`")),
     };
+    let mut prune = false;
+    let mut jobs = 1usize;
+    for modifier in parts {
+        if modifier == "prune" {
+            prune = true;
+        } else if let Some(n) = modifier.strip_prefix("jobs") {
+            jobs = match n.parse() {
+                Ok(j) if j >= 1 => j,
+                _ => usage_exit(&format!("bad jobs count in `+{modifier}`")),
+            };
+        } else {
+            usage_exit(&format!("unknown spec modifier `+{modifier}`"));
+        }
+    }
     Spec {
         plan,
         prune,
+        jobs,
         label: s.to_string(),
     }
 }
@@ -87,32 +114,34 @@ impl Spec {
             Plan::Legacy => CompilerOptions::legacy(),
             _ => CompilerOptions::fused(),
         };
-        base.with_subtree_pruning(self.prune)
+        base.with_subtree_pruning(self.prune).with_jobs(self.jobs)
     }
 
-    /// The phase list and plan; sparse plans bypass `build_plan` (their
-    /// constraints name phases deliberately absent from the list).
-    fn phases_and_plan(&self, opts: &CompilerOptions) -> (Vec<Box<dyn MiniPhase>>, PhasePlan) {
-        let sparse: Option<Vec<Box<dyn MiniPhase>>> = match self.plan {
-            Plan::Patmat => Some(vec![Box::new(mini_phases::PatternMatcher::default())]),
-            Plan::Tailrec => Some(vec![Box::new(mini_phases::TailRec)]),
-            _ => None,
-        };
-        match sparse {
-            Some(phases) => {
-                let plan = PhasePlan {
-                    groups: vec![(0..phases.len()).collect()],
-                };
-                (phases, plan)
-            }
-            None => standard_plan(opts).expect("standard plan is valid"),
+    /// One phase-list instance (workers each build their own); sparse plans
+    /// bypass `build_plan` (their constraints name phases deliberately
+    /// absent from the list).
+    fn make_phases(&self) -> Vec<Box<dyn MiniPhase>> {
+        match self.plan {
+            Plan::Patmat => vec![Box::new(mini_phases::PatternMatcher::default())],
+            Plan::Tailrec => vec![Box::new(mini_phases::TailRec)],
+            _ => mini_phases::standard_pipeline(),
+        }
+    }
+
+    fn plan_for(&self, opts: &CompilerOptions) -> PhasePlan {
+        match self.plan {
+            Plan::Patmat | Plan::Tailrec => PhasePlan {
+                groups: vec![vec![0]],
+            },
+            _ => standard_plan(opts).expect("standard plan is valid").1,
         }
     }
 }
 
 /// One timed run: untimed frontend, then plan construction +
-/// `Pipeline::run_units` + teardown under the clock (the same routine as
-/// `scripts/ab_pipeline.sh` and the `pipeline_throughput` bench).
+/// `Pipeline::run_units` (or the parallel executor for `+jobsN` specs) +
+/// teardown under the clock (the same routine as `scripts/ab_pipeline.sh`
+/// and the `pipeline_throughput` bench).
 fn run_once(w: &workload::Workload, spec: &Spec) -> (Duration, ExecStats) {
     let opts = spec.compiler_options();
     let mut ctx = Ctx::new();
@@ -123,38 +152,61 @@ fn run_once(w: &workload::Workload, spec: &Spec) -> (Duration, ExecStats) {
     }
     let start = Instant::now();
     opts.configure_ctx(&mut ctx);
-    let (phases, plan) = spec.phases_and_plan(&opts);
-    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
-    let out = pipe.run_units(&mut ctx, units);
+    let plan = spec.plan_for(&opts);
+    let (out, stats) = if spec.jobs > 1 {
+        let run = miniphase::run_units_parallel(
+            &mut ctx,
+            &|| spec.make_phases(),
+            &plan,
+            opts.fusion,
+            units,
+            spec.jobs,
+            &NoInstrumentation,
+        );
+        (run.units, run.stats)
+    } else {
+        let mut pipe = Pipeline::new(spec.make_phases(), &plan, opts.fusion);
+        let out = pipe.run_units(&mut ctx, units);
+        let stats = pipe.stats;
+        drop(pipe);
+        (out, stats)
+    };
     std::hint::black_box(&out);
-    let stats = pipe.stats;
     drop(out);
-    drop(pipe);
     drop(ctx);
     (start.elapsed(), stats)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 4 {
+        usage_exit(&format!("unexpected extra argument `{}`", args[4]));
+    }
     let spec_b = parse_spec(args.first().map(String::as_str).unwrap_or("patmat+prune"));
     let spec_a = parse_spec(args.get(1).map(String::as_str).unwrap_or("patmat"));
-    let reps: usize = args
-        .get(2)
-        .cloned()
-        .or_else(|| std::env::var("REPS").ok())
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
-    let loc: usize = args
-        .get(3)
-        .cloned()
-        .or_else(|| std::env::var("CORPUS_LOC").ok())
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12_000);
-
-    if reps == 0 {
-        eprintln!("REPS must be at least 1");
-        std::process::exit(2);
-    }
+    // Strict numeric parsing: a typo like `3O` must fail loudly, not
+    // silently benchmark the default configuration.
+    let parse_count = |what: &str, v: Option<String>, default: usize| -> usize {
+        match v {
+            None => default,
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage_exit(&format!("{what} must be a positive integer, got `{v}`")),
+            },
+        }
+    };
+    let reps = parse_count(
+        "REPS",
+        args.get(2).cloned().or_else(|| std::env::var("REPS").ok()),
+        16,
+    );
+    let loc = parse_count(
+        "LOC",
+        args.get(3)
+            .cloned()
+            .or_else(|| std::env::var("CORPUS_LOC").ok()),
+        12_000,
+    );
 
     let w = workload::generate(&workload::WorkloadConfig {
         target_loc: loc,
@@ -213,4 +265,16 @@ fn main() {
         (b / a - 1.0) * 100.0,
         (median - 1.0) * 100.0
     );
+
+    // Specs that differ only in `jobs` (same plan, same pruning) must
+    // report identical executor counters — the parallel-determinism
+    // invariant. Enforce it here so a CI smoke like `ab fused+jobs4 fused`
+    // is a real check, not just a no-crash run.
+    if spec_a.plan == spec_b.plan && spec_a.prune == spec_b.prune && stats_a != stats_b {
+        eprintln!(
+            "FAIL: same-plan specs disagree on ExecStats (jobs must not change accounting):\n  A {}: {stats_a:?}\n  B {}: {stats_b:?}",
+            spec_a.label, spec_b.label
+        );
+        std::process::exit(1);
+    }
 }

@@ -114,20 +114,29 @@ fn section3(cs: &[Corpus]) {
         for opts in [
             CompilerOptions::fused(),
             CompilerOptions::fused().with_subtree_pruning(true),
+            CompilerOptions::fused().with_jobs(4),
             CompilerOptions::mega(),
         ] {
             let m = timed(c, &opts, 3).expect("compiles");
-            let mode = if m.opts.fusion.subtree_pruning {
-                format!("{}+prune", m.opts.mode)
-            } else {
-                m.opts.mode.to_string()
+            let mut mode = m.opts.mode.to_string();
+            if m.opts.fusion.subtree_pruning {
+                mode.push_str("+prune");
+            }
+            if m.opts.jobs > 1 {
+                mode.push_str(&format!("+jobs{}", m.opts.jobs));
+            }
+            // Zero-duration timer artifacts surface as `None`; print `n/a`
+            // rather than a fabricated 0 LOC/s datapoint.
+            let fmt_opt = |v: Option<f64>, prec: usize| match v {
+                Some(v) => format!("{v:.prec$}"),
+                None => "n/a".to_owned(),
             };
             println!(
-                "{:<12} {:>12} {:>14.0} {:>14.1} {:>12} {:>12} {:>10}",
+                "{:<12} {:>12} {:>14} {:>14} {:>12} {:>12} {:>10}",
                 c.name,
                 mode,
-                m.loc_per_second(),
-                m.ns_per_visit(),
+                fmt_opt(m.loc_per_second(), 0),
+                fmt_opt(m.ns_per_visit(), 1),
                 m.exec.node_visits,
                 m.exec.nodes_pruned,
                 m.exec.traversals

@@ -68,7 +68,10 @@ pub struct ExecStats {
     /// their whole subtree (priced from the cached
     /// [`mini_ir::Tree::subtree_size`]). Always 0 unless
     /// [`FusionOptions::subtree_pruning`] is on; with it on,
-    /// `node_visits + nodes_pruned` equals the unpruned run's `node_visits`.
+    /// `node_visits + nodes_pruned` equals the unpruned run's `node_visits`
+    /// — exactly, because subtrees whose cached size saturated at
+    /// `u32::MAX` are visited rather than pruned (their true count is
+    /// unknown, so pricing them would corrupt this invariant).
     pub nodes_pruned: u64,
     /// Kind-specific transform dispatches (per node, per group).
     pub transform_calls: u64,
@@ -234,10 +237,18 @@ impl Masks {
 
     /// True if pruning is on and `t`'s subtree contains no kind the group
     /// prepares or transforms.
+    ///
+    /// A subtree whose cached [`mini_ir::Tree::subtree_size`] saturated at
+    /// `u32::MAX` (pathological sharing can push the structural count past
+    /// 2³²) is **never** pruned: its true size is unknown, so skipping it
+    /// would credit `nodes_pruned` with a wrong count and silently break
+    /// the `node_visits + nodes_pruned == unpruned node_visits` invariant.
+    /// The walk visits such a node instead and prunes its (exactly-sized)
+    /// descendants as usual.
     #[inline]
     fn skips(&self, t: &TreeRef) -> bool {
         match self.prune {
-            Some(relevant) => !t.kinds_below().intersects(relevant),
+            Some(relevant) => !t.kinds_below().intersects(relevant) && t.subtree_size() != u32::MAX,
             None => false,
         }
     }
@@ -512,7 +523,9 @@ fn traverse_reference(
     let prune = reference_prune_mask(phase, opts);
     let rebuilt = ctx.map_children(t, &mut |ctx, c| {
         if let Some(relevant) = prune {
-            if !c.kinds_below().intersects(relevant) {
+            // A saturated subtree size means the true count is unknown —
+            // visit instead of pruning (same rule as `Masks::skips`).
+            if !c.kinds_below().intersects(relevant) && c.subtree_size() != u32::MAX {
                 stats.nodes_pruned += u64::from(c.subtree_size());
                 return c.clone();
             }
@@ -549,7 +562,10 @@ pub fn run_phase_on_unit_reference(
     stats.traversals += 1;
     phase.prepare_unit(ctx, &unit.tree);
     let tree = match reference_prune_mask(phase, opts) {
-        Some(relevant) if !unit.tree.kinds_below().intersects(relevant) => {
+        Some(relevant)
+            if !unit.tree.kinds_below().intersects(relevant)
+                && unit.tree.subtree_size() != u32::MAX =>
+        {
             stats.nodes_pruned += u64::from(unit.tree.subtree_size());
             unit.tree.clone()
         }
@@ -686,10 +702,12 @@ impl Pipeline {
         units: Vec<CompilationUnit>,
     ) -> Vec<CompilationUnit> {
         let mut units = units;
+        let mut fresh_scopes = vec![0u32; units.len()];
         for gi in 0..self.groups.len() {
             let mut next = Vec::with_capacity(units.len());
-            for u in units {
+            for (ui, u) in units.into_iter().enumerate() {
                 let mut stats = ExecStats::default();
+                ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 let out = run_phase_on_unit_reference(
                     &mut self.groups[gi],
                     &self.opts,
@@ -697,6 +715,7 @@ impl Pipeline {
                     &u,
                     &mut stats,
                 );
+                ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u);
                 stats.member_transforms = self.groups[gi].take_member_transforms();
                 self.stats.merge(stats);
@@ -718,18 +737,44 @@ impl Pipeline {
         ctx: &mut Ctx,
         units: Vec<CompilationUnit>,
     ) -> Vec<CompilationUnit> {
+        self.run_units_recorded(ctx, units).0
+    }
+
+    /// [`Pipeline::run_units`], additionally returning the per-traversal
+    /// counters as a `grid[group][unit]` of [`ExecStats`] (each entry is one
+    /// unit × group traversal, `member_transforms` included). The parallel
+    /// executor uses the grid to merge worker counters deterministically in
+    /// unit order at group boundaries; `self.stats` accumulates the same
+    /// totals as the plain entry point.
+    ///
+    /// The fresh-name counter is scoped per unit (see
+    /// [`mini_ir::Ctx::swap_fresh_scope`]): a unit's synthetic names depend
+    /// only on its own rewrite history, which is what keeps this pipeline
+    /// byte-identical whether units run sequentially or on worker threads.
+    pub fn run_units_recorded(
+        &mut self,
+        ctx: &mut Ctx,
+        units: Vec<CompilationUnit>,
+    ) -> (Vec<CompilationUnit>, Vec<Vec<ExecStats>>) {
         let mut units = units;
+        let mut fresh_scopes = vec![0u32; units.len()];
+        let mut grid: Vec<Vec<ExecStats>> = Vec::with_capacity(self.groups.len());
         for gi in 0..self.groups.len() {
             let mut next = Vec::with_capacity(units.len());
-            for u in units {
+            let mut row = Vec::with_capacity(units.len());
+            for (ui, u) in units.into_iter().enumerate() {
                 let mut stats = ExecStats::default();
+                ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 let out = self.run_group_on_unit(gi, ctx, &u, &mut stats);
+                ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u); // the pre-group tree dies here, as in Listing 3
                 stats.member_transforms = self.groups[gi].take_member_transforms();
                 self.stats.merge(stats);
+                row.push(stats);
                 next.push(out);
             }
             units = next;
+            grid.push(row);
             if self.check {
                 let prev: Vec<&dyn MiniPhase> = self.groups[..=gi]
                     .iter()
@@ -740,7 +785,7 @@ impl Pipeline {
                 }
             }
         }
-        units
+        (units, grid)
     }
 }
 #[cfg(test)]

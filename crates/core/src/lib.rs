@@ -41,6 +41,17 @@
 //! trees and exact `node_visits + nodes_pruned` accounting between pruned
 //! and unpruned runs in every mode and ablation.
 //!
+//! ## Unit-level parallel compilation ([`parallel`])
+//!
+//! Fusion keeps each unit's traversal self-contained, so unit batches run
+//! across worker threads: each worker owns a contiguous chunk of units
+//! end-to-end with a private `Rc` tree arena, phase instances, scratch
+//! stacks and a forked symbol table — **trees never cross threads**, and
+//! workers' symbol shards and counters merge back deterministically in unit
+//! order at group boundaries. `jobs = 1` is byte-identical to the
+//! sequential pipeline; see the [`parallel`] module docs for the full
+//! ownership and determinism rules.
+//!
 //! # Examples
 //!
 //! ```
@@ -85,6 +96,7 @@ pub mod checker;
 pub mod executor;
 pub mod fused;
 pub mod mini;
+pub mod parallel;
 pub mod plan;
 mod unit;
 
@@ -92,5 +104,6 @@ pub use checker::{check_unit, CheckFailure};
 pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
 pub use fused::{Fused, FusionOptions};
 pub use mini::{dispatch_prepare, dispatch_transform, synthetic_code_addr, MiniPhase, PhaseInfo};
+pub use parallel::{run_units_parallel, NoInstrumentation, ParallelRun, WorkerInstrumentation};
 pub use plan::{build_plan, PhasePlan, PlanError, PlanOptions};
 pub use unit::CompilationUnit;

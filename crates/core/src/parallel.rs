@@ -1,0 +1,454 @@
+//! Unit-level parallel compilation.
+//!
+//! The paper's fusion argument makes each compilation unit's traversal
+//! self-contained — no phase looks at another unit's tree mid-walk — which
+//! makes units embarrassingly parallel. This module schedules a unit batch
+//! across [`std::thread::scope`] workers while keeping the run
+//! **byte-identical** to the sequential pipeline (a property test pins
+//! `jobs ∈ {2,4,8}` against `jobs = 1` over generated corpora).
+//!
+//! # Threading design — what is shared, what is replicated
+//!
+//! Trees are `Rc`-based since the traversal hot-path overhaul, so the hard
+//! ownership rule is: **trees never cross threads**. Each worker owns a
+//! contiguous chunk of units and compiles them end-to-end (every phase
+//! group, phase-major over its chunk) on its own thread:
+//!
+//! * **Replicated per worker** — the whole mutable heart of [`Ctx`]: the
+//!   `Rc` tree arena (each unit's tree is deep-copied into its worker's
+//!   arena through [`mini_ir::Ctx::import_tree`] before any phase runs; the
+//!   originals are only *read* during the copy, never cloned or dropped
+//!   off-thread), the literal-intern caches, the executor's reused scratch
+//!   stacks, the phase instances themselves (built per worker via the
+//!   caller's factory), and a fork of the symbol table.
+//! * **Shared, thread-safe** — the global [`mini_ir::Name`] interner (a
+//!   mutex over leaked `'static` strings) and the read-only
+//!   [`PhasePlan`] / [`FusionOptions`].
+//! * **Shared via fork + deterministic merge** — the symbol table. Each
+//!   worker gets a full copy whose *new* symbols are allocated in a
+//!   worker-private id shard (globally unique from birth, so worker trees
+//!   need no id rewriting at merge time), and whose mutations of pre-fork
+//!   symbols are journaled. After the join, shards and journals merge back
+//!   in worker order — which is unit order, because chunks are contiguous
+//!   (see [`mini_ir::SymbolTable::adopt`] for the field-wise merge rules).
+//!
+//! # Determinism
+//!
+//! Output equality with the sequential pipeline holds because everything a
+//! phase can observe is per-unit deterministic: fresh-name counters are
+//! scoped per unit in *both* executors ([`mini_ir::Ctx::swap_fresh_scope`]),
+//! symbol lookups resolve in the forked table exactly as they would in the
+//! shared one (generated units only mutate symbols they own), and node
+//! ids/addresses — which *do* differ across `jobs` values — are never
+//! consulted by phases or printed output. [`ExecStats`] and
+//! [`mini_ir::AllocStats`] merge in unit order at group boundaries, giving
+//! identical `ExecStats` to the sequential run. The merged `AllocStats`
+//! deliberately cover the **transform pipeline only** — the per-worker
+//! floor is snapshotted *after* the import copies, mirroring the
+//! sequential measurement — so they stay comparable to `jobs = 1`; they
+//! still run slightly higher because each worker's private intern cache
+//! re-allocates literals another worker (or the frontend) already interned.
+//!
+//! Diagnostics merge in unit order too (sequential emission interleaves
+//! groups, so the *order* can differ from `jobs = 1`; the set cannot).
+//! Instrumented simulator runs install per-worker sinks through
+//! [`WorkerInstrumentation`] and fan the per-worker results back in worker
+//! order.
+
+use crate::executor::{ExecStats, Pipeline};
+use crate::fused::FusionOptions;
+use crate::mini::MiniPhase;
+use crate::plan::PhasePlan;
+use crate::unit::CompilationUnit;
+use mini_ir::{Ctx, Tree};
+
+/// Spacing between worker node-id ranges: no worker can allocate this many
+/// nodes, so ranges never collide (ids are `u64`; 8 workers use < 2⁴⁴ of
+/// the space).
+const ID_STRIDE: u64 = 1 << 40;
+
+/// Spacing between worker modelled-heap ranges (addresses only feed the
+/// per-worker cache simulator, which never sees another worker's range).
+const HEAP_STRIDE: u64 = 1 << 36;
+
+/// Symbol-id headroom left above the base region for sequential allocation
+/// *after* a parallel run (the base region cannot grow past the first
+/// adopted worker shard).
+const SYM_BASE_HEADROOM: u32 = 1 << 20;
+
+/// Symbol-id capacity reserved per worker shard (~16.7M symbols — two
+/// orders of magnitude above any realistic per-run count; overflow panics
+/// with a clear message). Fixed rather than `remaining / jobs` so repeated
+/// parallel runs on one context consume id space linearly, not
+/// geometrically.
+const SYM_SHARD_CAPACITY: u32 = 1 << 24;
+
+/// Per-worker instrumentation hooks for parallel runs: `install` runs on
+/// the worker thread after the unit trees are imported (so simulators see
+/// the transform pipeline only, as in sequential measured runs), `finish`
+/// runs after the worker's last group. `Data` is shipped back to the caller
+/// in worker order — the deterministic fan-in for GC-/cache-simulator
+/// counters.
+pub trait WorkerInstrumentation: Sync {
+    /// Worker-thread-local state (simulator handles); never crosses threads.
+    type State;
+    /// Per-worker results returned to the calling thread.
+    type Data: Send;
+    /// Installs sinks into the worker's context; runs on the worker thread.
+    fn install(&self, worker: usize, ctx: &mut Ctx) -> Self::State;
+    /// Uninstalls sinks and extracts the worker's results.
+    fn finish(&self, worker: usize, state: Self::State, ctx: &mut Ctx) -> Self::Data;
+}
+
+/// The no-op instrumentation used by plain (untimed, unsimulated) runs.
+pub struct NoInstrumentation;
+
+impl WorkerInstrumentation for NoInstrumentation {
+    type State = ();
+    type Data = ();
+    fn install(&self, _worker: usize, _ctx: &mut Ctx) {}
+    fn finish(&self, _worker: usize, _state: (), _ctx: &mut Ctx) {}
+}
+
+/// The result of a parallel batch run.
+pub struct ParallelRun<D> {
+    /// The lowered units, in input order.
+    pub units: Vec<CompilationUnit>,
+    /// Executor counters, merged in unit order at group boundaries;
+    /// identical to the sequential run's [`Pipeline::stats`].
+    pub stats: ExecStats,
+    /// Per-worker instrumentation results, in worker (= unit-chunk) order.
+    pub worker_data: Vec<D>,
+}
+
+/// A loan of one unit's tree to a worker thread.
+///
+/// `&Tree` is not `Send` (trees hold `Rc` children), but the worker only
+/// *reads* borrowed nodes — field access and `child_at` traversal inside
+/// [`mini_ir::Ctx::import_tree`] — and never clones or drops any reachable
+/// `Rc` handle, so no reference count is touched off the owning thread. The
+/// calling thread keeps the originals alive (and unmutated — trees are
+/// immutable) until the scope joins.
+struct UnitLoan<'a> {
+    name: &'a str,
+    tree: &'a Tree,
+}
+
+// SAFETY: see the type docs — loaned trees are read-only on the worker and
+// outlive it; refcounted handles are neither cloned nor dropped off-thread.
+unsafe impl Send for UnitLoan<'_> {}
+
+/// A worker's finished units travelling back to the calling thread.
+///
+/// Wrapped because `TreeRef` is `Rc`: every handle reachable from these
+/// units lives in the worker's own arena (imported roots, worker-built
+/// nodes, worker-interned literals), and the worker thread terminates
+/// before the wrapper is opened, with the scope join providing the
+/// happens-before edge. After the join the calling thread is the sole owner.
+struct UnitsHandoff(Vec<CompilationUnit>);
+
+// SAFETY: see the type docs — whole-arena ownership transfer synchronized
+// by `thread::scope` join; no handle is shared with any live thread.
+unsafe impl Send for UnitsHandoff {}
+
+struct WorkerOutcome<D> {
+    units: UnitsHandoff,
+    /// `grid[group][chunk-local unit]` traversal counters.
+    grid: Vec<Vec<ExecStats>>,
+    delta: mini_ir::SymbolDelta,
+    alloc: mini_ir::AllocStats,
+    errors: Vec<mini_ir::Diagnostic>,
+    data: D,
+}
+
+/// Runs the pipeline over `units` on `jobs` worker threads, phase-major
+/// within each worker's contiguous chunk, and merges trees, counters,
+/// diagnostics and symbol-table changes back deterministically (unit order
+/// at group boundaries). With `jobs <= 1` — or fewer units than workers
+/// would need — this *is* the sequential [`Pipeline::run_units`], run
+/// in-place on `ctx`.
+///
+/// `make_phases` builds one phase list per worker (phase instances hold
+/// traversal state and are not shared); every list must match `plan`.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (phase hooks are not unwind-fenced, as
+/// in the sequential executor) or if `make_phases` disagrees with `plan`.
+pub fn run_units_parallel<F, I>(
+    ctx: &mut Ctx,
+    make_phases: &F,
+    plan: &PhasePlan,
+    opts: FusionOptions,
+    units: Vec<CompilationUnit>,
+    jobs: usize,
+    instr: &I,
+) -> ParallelRun<I::Data>
+where
+    F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
+    I: WorkerInstrumentation,
+{
+    let n = units.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        let mut pipeline = Pipeline::new(make_phases(), plan, opts);
+        let state = instr.install(0, ctx);
+        let units = pipeline.run_units(ctx, units);
+        let data = instr.finish(0, state, ctx);
+        return ParallelRun {
+            units,
+            stats: pipeline.stats,
+            worker_data: vec![data],
+        };
+    }
+
+    let (id_floor, heap_floor) = ctx.alloc_watermarks();
+    // Shard capacity is a fixed generous bound, NOT a division of all
+    // remaining id space: dividing the remainder would shrink the space
+    // geometrically on every parallel run of a long-lived context (each
+    // run's last shard starts near the top of the previous remainder) and
+    // exhaust u32 after a handful of runs. With a fixed capacity, each run
+    // consumes at most `jobs × capacity + headroom` ids regardless of how
+    // little the workers allocate (empty shards are dropped at adoption),
+    // supporting hundreds of parallel runs per context.
+    let sym_floor = ctx
+        .symbols
+        .id_ceiling()
+        .saturating_add(SYM_BASE_HEADROOM)
+        .min(u32::MAX - 1);
+    let sym_stride = SYM_SHARD_CAPACITY.min((u32::MAX - sym_floor) / jobs as u32);
+    assert!(
+        sym_stride > 0,
+        "symbol id space exhausted: too many parallel runs on one long-lived Ctx"
+    );
+    // Contiguous, balanced chunks: worker `w` owns units [w*n/jobs, (w+1)*n/jobs).
+    let bounds: Vec<(usize, usize)> = (0..jobs)
+        .map(|w| (w * n / jobs, (w + 1) * n / jobs))
+        .collect();
+
+    let outcomes: Vec<WorkerOutcome<I::Data>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .enumerate()
+            .map(|(w, &(lo, hi))| {
+                let loans: Vec<UnitLoan<'_>> = units[lo..hi]
+                    .iter()
+                    .map(|u| UnitLoan {
+                        name: &u.name,
+                        tree: &u.tree,
+                    })
+                    .collect();
+                let table = ctx
+                    .symbols
+                    .fork_for_worker(sym_floor + w as u32 * sym_stride, sym_stride);
+                let ir_options = ctx.options;
+                scope.spawn(move || {
+                    let mut wctx = Ctx::worker(
+                        table,
+                        ir_options,
+                        id_floor + w as u64 * ID_STRIDE,
+                        heap_floor + w as u64 * HEAP_STRIDE,
+                    );
+                    let local: Vec<CompilationUnit> = loans
+                        .iter()
+                        .map(|l| CompilationUnit::new(l.name, wctx.import_tree(l.tree)))
+                        .collect();
+                    drop(loans);
+                    // Floor AFTER the import copies: the merged AllocStats
+                    // cover the transform pipeline only, like sequential
+                    // measured runs (see the module docs).
+                    let alloc_floor = wctx.stats;
+                    let state = instr.install(w, &mut wctx);
+                    let mut pipeline = Pipeline::new(make_phases(), plan, opts);
+                    let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
+                    let data = instr.finish(w, state, &mut wctx);
+                    let alloc = mini_ir::AllocStats {
+                        nodes: wctx.stats.nodes - alloc_floor.nodes,
+                        bytes: wctx.stats.bytes - alloc_floor.bytes,
+                    };
+                    let errors = std::mem::take(&mut wctx.errors);
+                    // Drop the worker's intern cache and scratch before the
+                    // hand-off; the remaining arena rides out in `units`.
+                    let delta = wctx.into_symbol_delta();
+                    WorkerOutcome {
+                        units: UnitsHandoff(out),
+                        grid,
+                        delta,
+                        alloc,
+                        errors,
+                        data,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel compilation worker panicked"))
+            .collect()
+    });
+    // The originals were only loaned; the workers returned fresh arenas.
+    drop(units);
+
+    // Deterministic fan-in, worker order = unit order throughout.
+    let groups = outcomes.first().map_or(0, |o| o.grid.len());
+    let mut stats = ExecStats::default();
+    for gi in 0..groups {
+        for o in &outcomes {
+            for s in &o.grid[gi] {
+                stats.merge(*s);
+            }
+        }
+    }
+    let mut out_units = Vec::with_capacity(n);
+    let mut worker_data = Vec::with_capacity(jobs);
+    for o in outcomes {
+        out_units.extend(o.units.0);
+        ctx.stats.nodes += o.alloc.nodes;
+        ctx.stats.bytes += o.alloc.bytes;
+        ctx.errors.extend(o.errors);
+        ctx.symbols.adopt(o.delta);
+        worker_data.push(o.data);
+    }
+    ctx.advance_watermarks(
+        id_floor + jobs as u64 * ID_STRIDE,
+        heap_floor + jobs as u64 * HEAP_STRIDE,
+    );
+    ParallelRun {
+        units: out_units,
+        stats,
+        worker_data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini::PhaseInfo;
+    use crate::plan::{build_plan, PlanOptions};
+    use mini_ir::{NodeKind, NodeKindSet, TreeKind, TreeRef};
+
+    /// Increments literals (same fixture as the executor tests).
+    struct Inc(&'static str);
+    impl PhaseInfo for Inc {
+        fn name(&self) -> &str {
+            self.0
+        }
+    }
+    impl MiniPhase for Inc {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            if let TreeKind::Literal { value } = tree.kind() {
+                if let Some(i) = value.as_int() {
+                    return ctx.lit_int(i + 1);
+                }
+            }
+            tree.clone()
+        }
+    }
+
+    fn make_units(ctx: &mut Ctx, n: usize) -> Vec<CompilationUnit> {
+        (0..n)
+            .map(|u| {
+                let lits: Vec<TreeRef> = (0..10).map(|i| ctx.lit_int(u as i64 * 100 + i)).collect();
+                let e = ctx.lit_unit();
+                let tree = ctx.block(lits, e);
+                CompilationUnit::new(format!("u{u}"), tree)
+            })
+            .collect()
+    }
+
+    fn phases() -> Vec<Box<dyn MiniPhase>> {
+        vec![Box::new(Inc("inc1")), Box::new(Inc("inc2"))]
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_synthetic_units() {
+        let run = |jobs: usize| -> (Vec<String>, ExecStats) {
+            let mut ctx = Ctx::new();
+            let units = make_units(&mut ctx, 7);
+            let ps = phases();
+            let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+            let run = run_units_parallel(
+                &mut ctx,
+                &phases,
+                &plan,
+                FusionOptions::default(),
+                units,
+                jobs,
+                &NoInstrumentation,
+            );
+            let printed = run
+                .units
+                .iter()
+                .map(|u| mini_ir::printer::print_tree(&u.tree, &ctx.symbols))
+                .collect();
+            (printed, run.stats)
+        };
+        let (seq, seq_stats) = run(1);
+        for jobs in [2, 3, 8] {
+            let (par, par_stats) = run(jobs);
+            assert_eq!(seq, par, "printed trees diverged at jobs={jobs}");
+            assert_eq!(seq_stats, par_stats, "stats diverged at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_on_one_ctx_do_not_exhaust_id_space() {
+        // Regression: shard strides were once carved as `remaining / jobs`,
+        // shrinking the free u32 symbol-id space geometrically — a
+        // long-lived Ctx (REPL/watch-server style) panicked after ~6
+        // parallel runs. Fixed strides consume space linearly instead.
+        let mut ctx = Ctx::new();
+        let ps = phases();
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        let mut first: Option<ExecStats> = None;
+        for _run in 0..24 {
+            let units = make_units(&mut ctx, 5);
+            let run = run_units_parallel(
+                &mut ctx,
+                &phases,
+                &plan,
+                FusionOptions::default(),
+                units,
+                4,
+                &NoInstrumentation,
+            );
+            assert_eq!(run.units.len(), 5);
+            match &first {
+                None => first = Some(run.stats),
+                Some(f) => assert_eq!(f, &run.stats, "runs stay deterministic"),
+            }
+        }
+        // The base region kept room to allocate sequentially afterwards
+        // (headroom below the first adopted shard).
+        let root = ctx.symbols.builtins().root_pkg;
+        let sym = ctx.symbols.new_term(
+            root,
+            mini_ir::Name::intern("post_parallel"),
+            mini_ir::Flags::EMPTY,
+            mini_ir::Type::Int,
+        );
+        assert!(sym.exists());
+    }
+
+    #[test]
+    fn more_workers_than_units_degrades_gracefully() {
+        let mut ctx = Ctx::new();
+        let units = make_units(&mut ctx, 2);
+        let ps = phases();
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        let run = run_units_parallel(
+            &mut ctx,
+            &phases,
+            &plan,
+            FusionOptions::default(),
+            units,
+            16,
+            &NoInstrumentation,
+        );
+        assert_eq!(run.units.len(), 2);
+        assert_eq!(run.worker_data.len(), 2, "clamped to one worker per unit");
+    }
+}

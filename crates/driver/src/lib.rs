@@ -65,6 +65,15 @@ pub struct CompilerOptions {
     pub fusion: FusionOptions,
     /// Optional cap on fusion-group size (granularity ablation).
     pub max_group_size: Option<usize>,
+    /// Worker threads for the transform pipeline. `1` (the default) runs
+    /// the sequential phase-major loop; higher values schedule unit-level
+    /// parallel compilation ([`miniphase::parallel`]): workers own
+    /// contiguous unit chunks end-to-end with private tree arenas and
+    /// forked symbol tables, and results merge back deterministically in
+    /// unit order — output trees and [`miniphase::ExecStats`] are
+    /// byte-identical to `jobs = 1` (proptest-enforced). The dynamic
+    /// checker (`check`) forces sequential execution regardless of `jobs`.
+    pub jobs: usize,
 }
 
 impl CompilerOptions {
@@ -75,6 +84,7 @@ impl CompilerOptions {
             check: false,
             fusion: FusionOptions::default(),
             max_group_size: None,
+            jobs: 1,
         }
     }
 
@@ -102,6 +112,19 @@ impl CompilerOptions {
     pub fn with_subtree_pruning(mut self, on: bool) -> CompilerOptions {
         self.fusion.subtree_pruning = on;
         self
+    }
+
+    /// Returns a copy compiling with `jobs` worker threads (see
+    /// [`CompilerOptions::jobs`]); values below 1 are treated as 1.
+    pub fn with_jobs(mut self, jobs: usize) -> CompilerOptions {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// True if this run takes the parallel executor (more than one job and
+    /// no dynamic checking).
+    fn parallel(&self) -> bool {
+        self.jobs > 1 && !self.check
     }
 
     fn plan_options(&self) -> PlanOptions {
@@ -240,16 +263,32 @@ pub fn compile_sources(
     // Transformation pipeline.
     let (phases, plan) = standard_plan(opts)?;
     let groups = plan.group_count();
-    let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
-    pipeline.check = opts.check;
     let tr_start = Instant::now();
-    let units = pipeline.run_units(&mut ctx, units);
+    let (units, exec, failures) = if opts.parallel() {
+        drop(phases); // each worker builds its own instances via the factory
+        let run = miniphase::run_units_parallel(
+            &mut ctx,
+            &mini_phases::standard_pipeline,
+            &plan,
+            opts.fusion,
+            units,
+            opts.jobs,
+            &miniphase::NoInstrumentation,
+        );
+        (run.units, run.stats, Vec::new())
+    } else {
+        let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
+        pipeline.check = opts.check;
+        let units = pipeline.run_units(&mut ctx, units);
+        let failures = std::mem::take(&mut pipeline.failures);
+        (units, pipeline.stats, failures)
+    };
     let transforms = tr_start.elapsed();
     if ctx.has_errors() {
         return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
     }
-    if opts.check && !pipeline.failures.is_empty() {
-        return Err(CompileError::Check(std::mem::take(&mut pipeline.failures)));
+    if opts.check && !failures.is_empty() {
+        return Err(CompileError::Check(failures));
     }
 
     // Backend.
@@ -266,7 +305,7 @@ pub fn compile_sources(
             transforms,
             backend,
         },
-        exec: pipeline.stats,
+        exec,
         check_failures: Vec::new(),
         groups,
         units,

@@ -532,3 +532,53 @@ fn runtime_exceptions_propagate() {
     let err = compile_and_run(src, &CompilerOptions::fused()).unwrap_err();
     assert!(err.to_string().contains("Arithmetic"), "{err}");
 }
+
+/// Parallel compilation end to end: a multi-unit batch compiled with
+/// `jobs = 4` must produce a runnable program with the same VM output as
+/// the sequential pipeline — this exercises the whole hand-off chain
+/// (per-worker tree arenas, worker symbol shards, the deterministic table
+/// merge) all the way through codegen, which resolves classes, vtables and
+/// field slots out of the *merged* symbol table.
+#[test]
+fn parallel_batch_runs_identically() {
+    use mini_backend::Vm;
+    use mini_driver::compile_sources;
+
+    // Units that force transform-created symbols (closures → lifted anon
+    // classes, captured vars → Ref cells) in *every* unit, so worker shards
+    // are non-empty and codegen must resolve shard ids.
+    let unit = |i: usize| {
+        format!(
+            "def work{i}(n: Int): Int = {{\n\
+               var acc: Int = 0\n\
+               val add = (d: Int) => {{ acc = acc + d; acc }}\n\
+               var j: Int = 0\n\
+               while (j < n) {{ add(j); j = j + 1 }}\n\
+               acc + {i}\n\
+             }}\n"
+        )
+    };
+    let mut sources: Vec<(String, String)> =
+        (0..6).map(|i| (format!("u{i}.ms"), unit(i))).collect();
+    sources.push((
+        "main.ms".to_owned(),
+        "def main(): Unit = {\n  println(work0(4) + work1(4) + work2(4) + work3(4) + work4(4) + work5(4))\n}\n"
+            .to_owned(),
+    ));
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+
+    let run_with = |jobs: usize| -> Vec<String> {
+        let compiled = compile_sources(&borrowed, &CompilerOptions::fused().with_jobs(jobs))
+            .unwrap_or_else(|e| panic!("jobs={jobs} failed:\n{e}"));
+        let mut vm = Vm::new(&compiled.program);
+        vm.run_main().expect("runs");
+        vm.out
+    };
+    let seq = run_with(1);
+    let par = run_with(4);
+    assert_eq!(seq, par, "VM output must not depend on jobs");
+    assert!(!seq.is_empty());
+}

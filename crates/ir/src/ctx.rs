@@ -147,6 +147,118 @@ impl Ctx {
         }
     }
 
+    /// Builds a worker-private context for parallel compilation: a forked
+    /// symbol table (see [`SymbolTable::fork_for_worker`]), the origin's IR
+    /// tunables, and node-id/heap allocators started at caller-chosen
+    /// watermarks so ids never collide across workers. The literal-intern
+    /// cache starts empty (interned nodes are `Rc`-shared and must never
+    /// cross threads) and no access sink is installed.
+    pub fn worker(symbols: SymbolTable, options: IrOptions, next_id: u64, heap_cursor: u64) -> Ctx {
+        Ctx {
+            symbols,
+            options,
+            access: None,
+            stats: AllocStats::default(),
+            errors: Vec::new(),
+            next_id,
+            heap_cursor,
+            fresh: 0,
+            interned: InternCache::default(),
+        }
+    }
+
+    /// The node-id and heap-address allocation watermarks, for carving
+    /// disjoint per-worker allocation ranges.
+    pub fn alloc_watermarks(&self) -> (u64, u64) {
+        (self.next_id, self.heap_cursor)
+    }
+
+    /// Raises the allocators to at least the given watermarks (no-op for
+    /// values already passed). Called after a parallel run so subsequent
+    /// sequential allocations land above every worker's range.
+    pub fn advance_watermarks(&mut self, next_id: u64, heap_cursor: u64) {
+        self.next_id = self.next_id.max(next_id);
+        self.heap_cursor = self.heap_cursor.max(heap_cursor);
+    }
+
+    /// Consumes a worker context into the symbol-table delta its origin
+    /// needs for the merge ([`SymbolTable::adopt`]); everything else — the
+    /// intern cache in particular — drops here, on the worker's own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was not built by [`Ctx::worker`] over a forked
+    /// table.
+    pub fn into_symbol_delta(self) -> crate::symbol::SymbolDelta {
+        self.symbols.into_delta()
+    }
+
+    /// Swaps the fresh-name counter with `scope`. The executors scope the
+    /// counter **per compilation unit** (swap in before a unit's traversal,
+    /// swap out after): a unit's fresh names then depend only on its own
+    /// rewrite history, never on how many names *other* units consumed —
+    /// the invariant that makes parallel compilation byte-identical to the
+    /// sequential pipeline. Fresh names from different units may repeat;
+    /// symbols stay distinct (lookup is by [`SymbolId`], names are labels).
+    pub fn swap_fresh_scope(&mut self, scope: &mut u32) {
+        std::mem::swap(&mut self.fresh, scope);
+    }
+
+    /// Deep-copies a tree that lives in *another* context's arena into this
+    /// one, allocating every node afresh through [`Ctx::mk`] (new ids,
+    /// addresses and alloc accounting here) while preserving within-tree
+    /// node sharing via a pointer memo. This is the hand-off primitive of
+    /// parallel compilation: the original tree's `Rc` handles are only ever
+    /// *read* (never cloned or dropped), so the copy is safe to build on a
+    /// different thread from the one that owns the original, and the result
+    /// is wholly owned by this context's thread.
+    pub fn import_tree(&mut self, root: &Tree) -> TreeRef {
+        struct ImportFrame<'t> {
+            node: &'t Tree,
+            next_child: usize,
+            results_base: usize,
+        }
+        let mut memo: std::collections::HashMap<*const Tree, TreeRef> =
+            std::collections::HashMap::new();
+        let mut frames = vec![ImportFrame {
+            node: root,
+            next_child: 0,
+            results_base: 0,
+        }];
+        let mut results: Vec<TreeRef> = Vec::new();
+        while !frames.is_empty() {
+            let (node, i) = {
+                let top = frames.last_mut().expect("loop condition");
+                let r = (top.node, top.next_child);
+                top.next_child += 1;
+                r
+            };
+            if let Some(c) = node.child_at(i) {
+                let key = Rc::as_ptr(c);
+                if let Some(hit) = memo.get(&key) {
+                    results.push(Rc::clone(hit));
+                } else {
+                    frames.push(ImportFrame {
+                        node: c,
+                        next_child: 0,
+                        results_base: results.len(),
+                    });
+                }
+                continue;
+            }
+            let ImportFrame {
+                node, results_base, ..
+            } = frames.pop().expect("loop condition");
+            let kind = node
+                .kind()
+                .with_children_owned(&mut results.drain(results_base..));
+            let imported = self.mk(kind, node.tpe().clone(), node.span());
+            memo.insert(node as *const Tree, Rc::clone(&imported));
+            results.push(imported);
+        }
+        results.pop().expect("import produces exactly one root")
+    }
+
     /// Creates a tree node: assigns id and heap address, reports the
     /// allocation to the instrumentation sinks.
     pub fn mk(&mut self, kind: TreeKind, tpe: Type, span: Span) -> TreeRef {

@@ -2,11 +2,16 @@
 
 use crate::symbol::SymbolTable;
 use crate::tree::{TreeKind, TreeRef};
+use crate::types::Type;
 
 /// Renders `t` as indented pseudo-source.
 ///
 /// The output is stable and intended for debugging and golden tests, not for
-/// re-parsing.
+/// re-parsing. Symbols in both term and *type* position render as their
+/// names (via [`print_type`]), never as raw ids: ids depend on allocation
+/// order — and, under parallel compilation, on the worker id shard — while
+/// names are reproducible, which is what lets the determinism property
+/// tests compare printed output byte for byte across `jobs` values.
 pub fn print_tree(t: &TreeRef, symbols: &SymbolTable) -> String {
     let mut out = String::new();
     let mut p = Printer {
@@ -16,6 +21,98 @@ pub fn print_tree(t: &TreeRef, symbols: &SymbolTable) -> String {
     };
     p.tree(t);
     out
+}
+
+/// Renders a type with symbol references resolved to names through
+/// `symbols` (the id-based [`std::fmt::Display`] on [`Type`] remains for
+/// contexts without a table).
+pub fn print_type(t: &Type, symbols: &SymbolTable) -> String {
+    let mut out = String::new();
+    type_into(t, symbols, &mut out);
+    out
+}
+
+fn sym_name(symbols: &SymbolTable, sym: crate::SymbolId, out: &mut String) {
+    if sym.exists() {
+        out.push_str(symbols.sym(sym).name.as_str());
+    } else {
+        out.push_str("<none>");
+    }
+}
+
+fn types_into(ts: &[Type], symbols: &SymbolTable, sep: &str, out: &mut String) {
+    for (i, t) in ts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(sep);
+        }
+        type_into(t, symbols, out);
+    }
+}
+
+fn type_into(t: &Type, symbols: &SymbolTable, out: &mut String) {
+    match t {
+        Type::Class { sym, targs } => {
+            sym_name(symbols, *sym, out);
+            if !targs.is_empty() {
+                out.push('[');
+                types_into(targs, symbols, ", ", out);
+                out.push(']');
+            }
+        }
+        Type::TypeParam(s) => sym_name(symbols, *s, out),
+        Type::TermRef(s) => {
+            sym_name(symbols, *s, out);
+            out.push_str(".type");
+        }
+        Type::Method { params, ret } => {
+            for ps in params {
+                out.push('(');
+                types_into(ps, symbols, ", ", out);
+                out.push(')');
+            }
+            type_into(ret, symbols, out);
+        }
+        Type::Poly {
+            tparams,
+            underlying,
+        } => {
+            out.push('[');
+            for (i, tp) in tparams.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                sym_name(symbols, *tp, out);
+            }
+            out.push(']');
+            type_into(underlying, symbols, out);
+        }
+        Type::ByName(t) => {
+            out.push_str("=> ");
+            type_into(t, symbols, out);
+        }
+        Type::Repeated(t) => {
+            type_into(t, symbols, out);
+            out.push('*');
+        }
+        Type::Array(t) => {
+            out.push_str("Array[");
+            type_into(t, symbols, out);
+            out.push(']');
+        }
+        Type::Function { params, ret } => {
+            out.push('(');
+            types_into(params, symbols, ", ", out);
+            out.push_str(") => ");
+            type_into(ret, symbols, out);
+        }
+        Type::Or(a, b) => {
+            type_into(a, symbols, out);
+            out.push_str(" | ");
+            type_into(b, symbols, out);
+        }
+        // Nullary structural types render exactly as their `Display`.
+        other => out.push_str(&other.to_string()),
+    }
 }
 
 struct Printer<'a> {
@@ -38,6 +135,10 @@ impl Printer<'_> {
         } else {
             "<none>".to_owned()
         }
+    }
+
+    fn type_str(&self, t: &Type) -> String {
+        print_type(t, self.symbols)
     }
 
     fn trees(&mut self, ts: &[TreeRef], sep: &str) {
@@ -76,13 +177,15 @@ impl Printer<'_> {
                     if i > 0 {
                         self.out.push_str(", ");
                     }
-                    self.out.push_str(&ta.to_string());
+                    let t = self.type_str(ta);
+                    self.out.push_str(&t);
                 }
                 self.out.push(']');
             }
             TreeKind::New { tpe } => {
                 self.out.push_str("new ");
-                self.out.push_str(&tpe.to_string());
+                let t = self.type_str(tpe);
+                self.out.push_str(&t);
             }
             TreeKind::Assign { lhs, rhs } => {
                 self.tree(lhs);
@@ -148,19 +251,22 @@ impl Printer<'_> {
                 self.out.push('(');
                 self.tree(expr);
                 self.out.push_str(": ");
-                self.out.push_str(&tpe.to_string());
+                let t = self.type_str(tpe);
+                self.out.push_str(&t);
                 self.out.push(')');
             }
             TreeKind::Cast { expr, tpe } => {
                 self.tree(expr);
                 self.out.push_str(".asInstanceOf[");
-                self.out.push_str(&tpe.to_string());
+                let t = self.type_str(tpe);
+                self.out.push_str(&t);
                 self.out.push(']');
             }
             TreeKind::IsInstance { expr, tpe } => {
                 self.tree(expr);
                 self.out.push_str(".isInstanceOf[");
-                self.out.push_str(&tpe.to_string());
+                let t = self.type_str(tpe);
+                self.out.push_str(&t);
                 self.out.push(']');
             }
             TreeKind::While { cond, body } => {
@@ -234,7 +340,8 @@ impl Printer<'_> {
                 }
                 self.out.push_str(&self.name_of(*sym));
                 self.out.push_str(": ");
-                self.out.push_str(&self.symbols.sym(*sym).info.to_string());
+                let t = self.type_str(&self.symbols.sym(*sym).info);
+                self.out.push_str(&t);
                 if !rhs.is_empty_tree() {
                     self.out.push_str(" = ");
                     self.tree(rhs);
@@ -249,8 +356,8 @@ impl Printer<'_> {
                     self.out.push(')');
                 }
                 self.out.push_str(": ");
-                self.out
-                    .push_str(&self.symbols.sym(*sym).info.final_result().to_string());
+                let t = self.type_str(self.symbols.sym(*sym).info.final_result());
+                self.out.push_str(&t);
                 if !rhs.is_empty_tree() {
                     self.out.push_str(" = ");
                     self.tree(rhs);

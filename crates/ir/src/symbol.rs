@@ -10,6 +10,7 @@ use crate::flags::Flags;
 use crate::names::{std_names, Name};
 use crate::span::Span;
 use crate::types::Type;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A compact handle identifying one definition.
@@ -108,6 +109,35 @@ pub struct Builtins {
     pub function_classes: [SymbolId; 4],
 }
 
+/// A contiguous block of symbols whose ids start at `start` instead of
+/// extending the base arena — the unit of symbol-id space handed to one
+/// parallel-compilation worker (see [`SymbolTable::fork_for_worker`]).
+#[derive(Clone, Debug)]
+struct Shard {
+    /// First id of the shard; slot `k` holds id `start + k`.
+    start: u32,
+    /// Exclusive upper bound on ids this shard may allocate.
+    capacity: u32,
+    syms: Vec<SymbolData>,
+}
+
+impl Shard {
+    fn contains(&self, id: u32) -> bool {
+        id >= self.start && ((id - self.start) as usize) < self.syms.len()
+    }
+}
+
+/// Everything a parallel-compilation worker did to its forked
+/// [`SymbolTable`], packaged for the deterministic merge back into the
+/// origin table: the shard of newly created symbols (globally unique ids,
+/// adopted verbatim) and the base symbols it mutated (fork-time snapshot +
+/// final value, merged field-wise with append-aware `decls` handling).
+pub struct SymbolDelta {
+    shard: Shard,
+    /// `(id, fork-time snapshot, final value)`, ascending by id.
+    dirty: Vec<(SymbolId, SymbolData, SymbolData)>,
+}
+
 /// The arena of all symbols plus hierarchy-dependent type operations.
 ///
 /// # Examples
@@ -122,6 +152,16 @@ pub struct Builtins {
 pub struct SymbolTable {
     syms: Vec<SymbolData>,
     builtins: Builtins,
+    /// Worker tables only: where this fork allocates new symbols. `None` on
+    /// ordinary tables, which extend `syms` contiguously.
+    shard: Option<Shard>,
+    /// Shards merged in from finished workers, sorted by `start`. Resolved
+    /// read-only; a table with adopted shards keeps allocating in the gap
+    /// between `syms.len()` and the first shard.
+    adopted: Vec<Shard>,
+    /// Worker tables only: fork-time snapshots of base symbols mutated
+    /// through [`SymbolTable::sym_mut`], keyed by id.
+    journal: Option<BTreeMap<u32, SymbolData>>,
 }
 
 impl SymbolTable {
@@ -149,6 +189,9 @@ impl SymbolTable {
                 println_fn: SymbolId::NONE,
                 function_classes: [SymbolId::NONE; 4],
             },
+            shard: None,
+            adopted: Vec::new(),
+            journal: None,
         };
         let root = tab.alloc(SymbolData {
             name: std_names::root_pkg(),
@@ -272,22 +315,191 @@ impl SymbolTable {
         &self.builtins
     }
 
-    /// Total number of symbols allocated (including builtins).
+    /// Total number of symbols allocated (including builtins and any worker
+    /// shards this table allocated or adopted).
     pub fn len(&self) -> usize {
         self.syms.len()
+            + self.shard.as_ref().map_or(0, |s| s.syms.len())
+            + self.adopted.iter().map(|s| s.syms.len()).sum::<usize>()
     }
 
     /// True if only the sentinel exists (never the case after `new`).
     pub fn is_empty(&self) -> bool {
-        self.syms.len() <= 1
+        self.len() <= 1
+    }
+
+    /// Every resolvable symbol id except the `NONE` sentinel, ascending:
+    /// the base arena, then adopted shards, then this table's own shard
+    /// (a fork's own shard always starts above every shard it inherited,
+    /// so this chain *is* ascending id order — the deterministic sweep
+    /// order the parallel-determinism guarantee relies on). Whole-table
+    /// sweeps (`ElimByName`, `Erasure`, `Flatten`) must use this rather
+    /// than `1..len()` — ids are **not** contiguous once a table has a
+    /// worker shard.
+    pub fn ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        let base = 1..self.syms.len() as u32;
+        let own = self
+            .shard
+            .iter()
+            .flat_map(|s| s.start..s.start + s.syms.len() as u32);
+        let adopted = self
+            .adopted
+            .iter()
+            .flat_map(|s| s.start..s.start + s.syms.len() as u32);
+        base.chain(adopted).chain(own).map(SymbolId)
+    }
+
+    /// The lowest id guaranteed to be above every symbol this table can
+    /// resolve — the floor from which fresh worker shards may be carved.
+    pub fn id_ceiling(&self) -> u32 {
+        let base = self.syms.len() as u32;
+        self.adopted
+            .iter()
+            .map(|s| s.start + s.syms.len() as u32)
+            .fold(base, u32::max)
+    }
+
+    /// Forks a worker-private table for parallel compilation: a full copy of
+    /// the current symbols whose *new* allocations receive ids in
+    /// `start..start + capacity` instead of extending the base arena, so
+    /// every worker's ids stay globally unique without coordination. All
+    /// mutations of pre-fork symbols are journaled; ship the result back
+    /// through [`SymbolTable::into_delta`] / [`SymbolTable::adopt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is below [`SymbolTable::id_ceiling`] (the shard
+    /// would shadow resolvable ids) or if called on a table that is itself a
+    /// worker fork.
+    pub fn fork_for_worker(&self, start: u32, capacity: u32) -> SymbolTable {
+        assert!(self.shard.is_none(), "cannot fork a worker fork");
+        assert!(start >= self.id_ceiling(), "worker shard shadows live ids");
+        SymbolTable {
+            syms: self.syms.clone(),
+            builtins: self.builtins,
+            shard: Some(Shard {
+                start,
+                capacity,
+                syms: Vec::new(),
+            }),
+            adopted: self.adopted.clone(),
+            journal: Some(BTreeMap::new()),
+        }
+    }
+
+    /// Consumes a worker fork into the delta its origin table needs for the
+    /// merge: the shard of new symbols plus every journaled base mutation as
+    /// a `(fork snapshot, final value)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not a worker fork.
+    pub fn into_delta(mut self) -> SymbolDelta {
+        let shard = self.shard.take().expect("into_delta on a non-fork table");
+        let journal = self.journal.take().unwrap_or_default();
+        let dirty = journal
+            .into_iter()
+            .map(|(id, fork)| {
+                // `sym` rather than direct indexing: journaled ids cover the
+                // base arena *and* shards adopted from earlier parallel runs.
+                let fin = self.sym(SymbolId(id)).clone();
+                (SymbolId(id), fork, fin)
+            })
+            .collect();
+        SymbolDelta { shard, dirty }
+    }
+
+    /// Merges one worker's [`SymbolDelta`] back in. Call once per worker,
+    /// in unit order (workers own contiguous unit chunks, so worker order
+    /// *is* unit order); the merge is then deterministic:
+    ///
+    /// * the shard of worker-created symbols is adopted verbatim — its ids
+    ///   were globally unique from birth, so trees referencing them resolve
+    ///   with no rewriting;
+    /// * mutated pre-fork symbols (base arena or previously adopted shards)
+    ///   merge field-wise against the fork snapshot: only fields the worker
+    ///   actually changed overwrite, and a `decls` list that grew by
+    ///   appends re-appends just the new ids (preserving appends merged
+    ///   from earlier workers); a reordered/rewritten list replaces
+    ///   wholesale.
+    ///
+    /// Known, deliberate divergence: for owners shared across unit chunks
+    /// (in practice only the root package), the merged `decls` order is
+    /// *worker-major* — all of worker 0's appends across every phase group,
+    /// then worker 1's — while the sequential pipeline interleaves appends
+    /// *group-major*. The membership set is identical either way, printed
+    /// trees and codegen never consume package-decls order (codegen walks
+    /// unit trees; `RestoreScopes` guards with `decls.contains`), and
+    /// first-match [`SymbolTable::decl`] lookups on the root package are
+    /// not used to disambiguate the per-unit synthetic classes that share
+    /// names. Reconstructing the exact sequential interleaving would need
+    /// per-(group, unit) deltas; do that before adding any consumer that
+    /// reads shared-owner decls order.
+    pub fn adopt(&mut self, delta: SymbolDelta) {
+        for (id, fork, fin) in delta.dirty {
+            let cur = self.sym_mut(id);
+            if fin.name != fork.name {
+                cur.name = fin.name;
+            }
+            if fin.flags != fork.flags {
+                cur.flags = fin.flags;
+            }
+            if fin.owner != fork.owner {
+                cur.owner = fin.owner;
+            }
+            if fin.kind != fork.kind {
+                cur.kind = fin.kind;
+            }
+            if fin.info != fork.info {
+                cur.info = fin.info;
+            }
+            if fin.span != fork.span {
+                cur.span = fin.span;
+            }
+            if fin.parents != fork.parents {
+                cur.parents = fin.parents;
+            }
+            if fin.tparams != fork.tparams {
+                cur.tparams = fin.tparams;
+            }
+            if fin.decls.len() >= fork.decls.len()
+                && fin.decls[..fork.decls.len()] == fork.decls[..]
+            {
+                cur.decls.extend_from_slice(&fin.decls[fork.decls.len()..]);
+            } else if fin.decls != fork.decls {
+                cur.decls = fin.decls;
+            }
+        }
+        if !delta.shard.syms.is_empty() {
+            self.adopted.push(delta.shard);
+            self.adopted.sort_by_key(|s| s.start);
+        }
     }
 
     fn alloc(&mut self, data: SymbolData) -> SymbolId {
-        let id = SymbolId(self.syms.len() as u32);
         let owner = data.owner;
-        self.syms.push(data);
+        let id = match &mut self.shard {
+            Some(sh) => {
+                assert!(
+                    (sh.syms.len() as u32) < sh.capacity,
+                    "worker symbol shard overflow"
+                );
+                let id = SymbolId(sh.start + sh.syms.len() as u32);
+                sh.syms.push(data);
+                id
+            }
+            None => {
+                let id = SymbolId(self.syms.len() as u32);
+                assert!(
+                    self.adopted.iter().all(|s| id.0 < s.start),
+                    "base symbol region collided with an adopted worker shard"
+                );
+                self.syms.push(data);
+                id
+            }
+        };
         if owner.exists() {
-            self.syms[owner.0 as usize].decls.push(id);
+            self.sym_mut(owner).decls.push(id);
         }
         id
     }
@@ -380,19 +592,71 @@ impl SymbolTable {
     /// # Panics
     ///
     /// Panics if `id` is `NONE` or out of range.
+    #[inline]
     pub fn sym(&self, id: SymbolId) -> &SymbolData {
         assert!(id.exists(), "dereferencing SymbolId::NONE");
-        &self.syms[id.0 as usize]
+        let i = id.0 as usize;
+        if i < self.syms.len() {
+            &self.syms[i]
+        } else {
+            self.shard_sym(id)
+        }
     }
 
-    /// Mutable access to a symbol's data.
+    /// Out-of-base lookup: the table's own shard, then adopted shards.
+    #[cold]
+    fn shard_sym(&self, id: SymbolId) -> &SymbolData {
+        if let Some(sh) = self.shard.as_ref().filter(|s| s.contains(id.0)) {
+            return &sh.syms[(id.0 - sh.start) as usize];
+        }
+        let at = self
+            .adopted
+            .partition_point(|s| s.start + s.syms.len() as u32 <= id.0);
+        match self.adopted.get(at) {
+            Some(sh) if sh.contains(id.0) => &sh.syms[(id.0 - sh.start) as usize],
+            _ => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
+        }
+    }
+
+    /// Mutable access to a symbol's data. On a worker fork, the first
+    /// mutation of any pre-fork symbol — base arena **or** a shard adopted
+    /// from an earlier parallel run — journals its fork-time snapshot for
+    /// the deterministic merge ([`SymbolTable::adopt`]); only the fork's
+    /// own shard is exempt (it ships back wholesale).
     ///
     /// # Panics
     ///
     /// Panics if `id` is `NONE` or out of range.
     pub fn sym_mut(&mut self, id: SymbolId) -> &mut SymbolData {
         assert!(id.exists(), "dereferencing SymbolId::NONE");
-        &mut self.syms[id.0 as usize]
+        let SymbolTable {
+            syms,
+            shard,
+            adopted,
+            journal,
+            ..
+        } = self;
+        let i = id.0 as usize;
+        if i < syms.len() {
+            if let Some(j) = journal {
+                j.entry(id.0).or_insert_with(|| syms[i].clone());
+            }
+            return &mut syms[i];
+        }
+        if let Some(sh) = shard.as_mut().filter(|s| s.contains(id.0)) {
+            return &mut sh.syms[(id.0 - sh.start) as usize];
+        }
+        let at = adopted.partition_point(|s| s.start + s.syms.len() as u32 <= id.0);
+        match adopted.get_mut(at) {
+            Some(sh) if sh.contains(id.0) => {
+                let slot = &mut sh.syms[(id.0 - sh.start) as usize];
+                if let Some(j) = journal {
+                    j.entry(id.0).or_insert_with(|| slot.clone());
+                }
+                slot
+            }
+            _ => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
+        }
     }
 
     /// The monomorphic class type of `cls` (empty type arguments).
@@ -764,7 +1028,7 @@ impl Default for SymbolTable {
 
 impl fmt::Debug for SymbolTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SymbolTable({} symbols)", self.syms.len())
+        write!(f, "SymbolTable({} symbols)", self.len())
     }
 }
 
@@ -969,5 +1233,43 @@ mod tests {
         assert!(tab.is_subtype(&Type::Str, &u));
         assert!(tab.is_subtype(&u, &Type::Any));
         assert!(!tab.is_subtype(&u, &Type::Int));
+    }
+
+    #[test]
+    fn worker_fork_and_adopt_round_trip() {
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        let base_len = tab.id_ceiling();
+
+        // Run 1: worker creates a shard symbol and mutates a base symbol.
+        let mut fork = tab.fork_for_worker(base_len + 100, 50);
+        let c = fork.new_class(
+            pkg,
+            Name::from("W1"),
+            Flags::EMPTY,
+            vec![Type::AnyRef],
+            vec![],
+        );
+        assert_eq!(c.index(), base_len + 100, "shard ids start at the carve");
+        fork.sym_mut(pkg).flags |= Flags::SYNTHETIC;
+        tab.adopt(fork.into_delta());
+        assert_eq!(tab.sym(c).name, Name::from("W1"), "shard adopted verbatim");
+        assert!(
+            tab.sym(pkg).flags.is(Flags::SYNTHETIC),
+            "base mutation merged"
+        );
+        assert!(tab.sym(pkg).decls.contains(&c), "owner decls append merged");
+        assert!(tab.ids().any(|i| i == c), "ids() covers adopted shards");
+
+        // Run 2: a later fork mutates the symbol that lives in run 1's
+        // adopted shard — the journal must carry it back (regression:
+        // adopted-shard mutations were once silently dropped at merge).
+        let mut fork2 = tab.fork_for_worker(tab.id_ceiling() + 100, 50);
+        fork2.sym_mut(c).flags |= Flags::LIFTED;
+        tab.adopt(fork2.into_delta());
+        assert!(
+            tab.sym(c).flags.is(Flags::LIFTED),
+            "adopted-shard mutation survives the merge"
+        );
     }
 }

@@ -124,6 +124,13 @@ impl MiniPhase for CapturedVars {
     }
 
     fn prepare_unit(&mut self, ctx: &mut Ctx, unit_tree: &TreeRef) {
+        // The `Ref$cell` runtime class is **per unit**: every unit that
+        // boxes a captured local carries its own ClassDef, so no unit's
+        // output depends on whether an *earlier* unit already created the
+        // class — the self-containment that unit-level parallel compilation
+        // (and honest per-unit incremental reuse) requires.
+        self.ref_class = None;
+        self.pending_class = None;
         // Mark mutable locals referenced from a nested function.
         struct Walk<'a> {
             ctx: &'a mut Ctx,
@@ -337,6 +344,14 @@ impl MiniPhase for NonLocalReturns {
 
     fn prepares(&self) -> NodeKindSet {
         NodeKindSet::of(NodeKind::DefDef).with(NodeKind::Lambda)
+    }
+
+    fn prepare_unit(&mut self, _ctx: &mut Ctx, _unit_tree: &TreeRef) {
+        // Per-unit token class, for the same self-containment reason as
+        // `CapturedVars::prepare_unit`: no unit's output may depend on which
+        // earlier unit first needed the class.
+        self.token_class = None;
+        self.pending_class = None;
     }
 
     fn runs_after_groups_of(&self) -> Vec<&'static str> {

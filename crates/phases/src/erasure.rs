@@ -150,9 +150,10 @@ impl Erasure {
             return;
         }
         self.swept = true;
-        let n = ctx.symbols.len() as u32;
-        for i in 1..n {
-            let id = SymbolId::from_index(i);
+        // `ids()` rather than `1..len()`: ids are not contiguous once the
+        // table carries a parallel-worker shard.
+        let ids: Vec<SymbolId> = ctx.symbols.ids().collect();
+        for id in ids {
             let info = ctx.symbols.sym(id).info.clone();
             let erased = ctx.symbols.erase(&info);
             let parents = ctx.symbols.sym(id).parents.clone();

@@ -387,8 +387,10 @@ impl MiniPhase for ElimByName {
             return;
         }
         self.swept = true;
-        for i in 1..ctx.symbols.len() as u32 {
-            let id = SymbolId::from_index(i);
+        // `ids()` rather than `1..len()`: ids are not contiguous once the
+        // table carries a parallel-worker shard.
+        let ids: Vec<SymbolId> = ctx.symbols.ids().collect();
+        for id in ids {
             let info = ctx.symbols.sym(id).info.clone();
             let stripped = strip_by_name(&info);
             if stripped != info {

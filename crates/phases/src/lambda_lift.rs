@@ -299,6 +299,12 @@ impl MiniPhase for LambdaLift {
     }
 
     fn prepare_unit(&mut self, ctx: &mut Ctx, unit_tree: &TreeRef) {
+        // Anon-class numbering restarts per unit so a unit's lifted-closure
+        // names depend only on its own lambdas, never on how many closures
+        // *earlier* units lifted — the self-containment that unit-level
+        // parallel compilation requires (names may repeat across units;
+        // symbols stay distinct and lookup is by id).
+        self.anon_counter = 0;
         self.analyze(ctx, unit_tree);
     }
 

@@ -335,8 +335,10 @@ impl MiniPhase for ElimRepeated {
                 other => other.clone(),
             }
         }
-        for i in 1..ctx.symbols.len() as u32 {
-            let id = SymbolId::from_index(i);
+        // `ids()` rather than `1..len()`: ids are not contiguous once the
+        // table carries a parallel-worker shard.
+        let ids: Vec<SymbolId> = ctx.symbols.ids().collect();
+        for id in ids {
             let info = ctx.symbols.sym(id).info.clone();
             let stripped = strip(&info);
             if stripped != info {

@@ -1,0 +1,138 @@
+//! Property tests pinning unit-level parallel compilation to the sequential
+//! pipeline: over generated MiniScala workloads, `jobs ∈ {2,4,8}` must
+//! produce **byte-identical** printed trees and **identical** merged
+//! `ExecStats` (including `nodes_pruned`) to `jobs = 1`, across the
+//! fused/mega/legacy modes and the subtree-pruning ablation. This is the
+//! headline guarantee of the parallel executor: scheduling is allowed to
+//! change wall clock and allocation counts, never output or executor
+//! accounting.
+
+use miniphases::mini_driver::{standard_plan, CompilerOptions};
+use miniphases::mini_ir::{printer, Ctx};
+use miniphases::miniphase::{
+    run_units_parallel, CompilationUnit, ExecStats, NoInstrumentation, Pipeline,
+};
+use miniphases::{mini_front, mini_phases, workload};
+use proptest::prelude::*;
+
+/// Runs the standard pipeline over a generated corpus on `jobs` workers and
+/// renders every output tree to text. `jobs = 1` is the sequential
+/// `Pipeline::run_units` path, byte for byte.
+fn run_pipeline(
+    cfg: &workload::WorkloadConfig,
+    opts: &CompilerOptions,
+    jobs: usize,
+) -> (Vec<String>, ExecStats) {
+    let w = workload::generate(cfg);
+    let mut ctx = Ctx::new();
+    opts.configure_ctx(&mut ctx);
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        units.push(CompilationUnit::new(t.name, t.tree));
+    }
+    assert!(!ctx.has_errors(), "corpus type-checks");
+    let plan = standard_plan(opts).expect("plan").1;
+    let (out, stats) = if jobs > 1 {
+        let run = run_units_parallel(
+            &mut ctx,
+            &mini_phases::standard_pipeline,
+            &plan,
+            opts.fusion,
+            units,
+            jobs,
+            &NoInstrumentation,
+        );
+        (run.units, run.stats)
+    } else {
+        let mut pipe = Pipeline::new(mini_phases::standard_pipeline(), &plan, opts.fusion);
+        let out = pipe.run_units(&mut ctx, units);
+        (out, pipe.stats)
+    };
+    let printed = out
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                printer::print_tree(&u.tree, &ctx.symbols)
+            )
+        })
+        .collect();
+    (printed, stats)
+}
+
+fn opts_for(mode: u8, prune: bool) -> CompilerOptions {
+    let mut opts = match mode % 3 {
+        0 => CompilerOptions::fused(),
+        1 => CompilerOptions::mega(),
+        _ => CompilerOptions::legacy(),
+    };
+    opts.fusion.subtree_pruning = prune;
+    opts
+}
+
+fn assert_equivalent(
+    label: &str,
+    seq: &(Vec<String>, ExecStats),
+    par: &(Vec<String>, ExecStats),
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        &seq.1,
+        &par.1,
+        "merged ExecStats diverged ({}): {:?} vs {:?}",
+        label,
+        seq.1,
+        par.1
+    );
+    prop_assert_eq!(seq.0.len(), par.0.len());
+    for (a, b) in seq.0.iter().zip(par.0.iter()) {
+        prop_assert!(
+            a == b,
+            "printed trees diverged ({}):\n--- sequential\n{}\n--- parallel\n{}",
+            label,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_jobs_match_sequential(
+        seed in 0u64..10_000,
+        loc in 300usize..1_000,
+        mode in 0u8..3,
+        prune in 0u8..2,
+    ) {
+        let prune = prune == 1;
+        // Small units force a multi-unit corpus, so chunking really splits.
+        let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 150 };
+        let opts = opts_for(mode, prune);
+        let seq = run_pipeline(&cfg, &opts, 1);
+        for jobs in [2usize, 4, 8] {
+            let par = run_pipeline(&cfg, &opts, jobs);
+            assert_equivalent(&format!("mode {mode}, prune {prune}, jobs {jobs}"), &seq, &par)?;
+        }
+    }
+}
+
+/// Many-units smoke on the dotty-like 12 kLOC slice (the benchmark corpus):
+/// ~30 units, every mode's headline configuration, `jobs = 4` vs
+/// sequential.
+#[test]
+fn twelve_kloc_corpus_smoke() {
+    let cfg = workload::WorkloadConfig {
+        target_loc: 12_000,
+        seed: 0xd077,
+        unit_loc: 400,
+    };
+    let opts = CompilerOptions::fused();
+    let seq = run_pipeline(&cfg, &opts, 1);
+    let par = run_pipeline(&cfg, &opts, 4);
+    assert_eq!(seq.1, par.1, "merged ExecStats diverged on the 12k corpus");
+    assert_eq!(seq.0, par.0, "printed trees diverged on the 12k corpus");
+}

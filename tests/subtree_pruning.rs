@@ -203,3 +203,142 @@ fn full_standard_pipeline_stays_paper_exact_by_default() {
     assert_eq!(stats.nodes_pruned, 0);
     assert!(stats.node_visits > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Saturated subtree sizes (regression).
+//
+// `Tree::subtree_size` counts *structural* occurrences and saturates at
+// `u32::MAX`; pathological sharing (a node referenced three times per level)
+// overflows 2³² with ~20 allocations. Pruning prices a skipped subtree from
+// that cached size, so skipping a saturated one would add a wrong count to
+// `nodes_pruned` and silently break the documented
+// `node_visits + nodes_pruned == unpruned node_visits` invariant. The walk
+// must refuse to prune a saturated subtree — visit it, then prune its
+// exactly-sized descendants.
+// ---------------------------------------------------------------------------
+
+/// A phase with empty masks: under pruning, *every* subtree is skippable.
+struct NoopPhase;
+impl miniphases::miniphase::PhaseInfo for NoopPhase {
+    fn name(&self) -> &str {
+        "noop"
+    }
+}
+impl MiniPhase for NoopPhase {
+    fn transforms(&self) -> miniphases::mini_ir::NodeKindSet {
+        miniphases::mini_ir::NodeKindSet::EMPTY
+    }
+}
+
+/// Structural node count as the walk would count it, computed exactly in
+/// `u64` via pointer-memoized subtree sums (the tree is a DAG, so this is
+/// O(distinct nodes) even though the structural count is astronomical).
+fn structural_count(t: &miniphases::mini_ir::TreeRef) -> u64 {
+    use std::collections::HashMap;
+    fn go(
+        t: &miniphases::mini_ir::TreeRef,
+        memo: &mut HashMap<*const miniphases::mini_ir::Tree, u64>,
+    ) -> u64 {
+        let key = std::rc::Rc::as_ptr(t);
+        if let Some(&n) = memo.get(&key) {
+            return n;
+        }
+        let mut n = 1u64;
+        let mut i = 0usize;
+        while let Some(c) = t.child_at(i) {
+            n += go(c, memo);
+            i += 1;
+        }
+        memo.insert(key, n);
+        n
+    }
+    go(t, &mut HashMap::new())
+}
+
+/// Builds `levels` of `Block { stats: [t, t], expr: t }` over one literal:
+/// structural size 3ⁿ-ish from ~20 allocations, saturating the cached
+/// summary at the root while keeping every child's size exact.
+fn saturated_dag(ctx: &mut Ctx, levels: u32) -> miniphases::mini_ir::TreeRef {
+    let mut t = ctx.lit_int(999);
+    for _ in 0..levels {
+        let a = t.clone();
+        let b = t.clone();
+        t = ctx.block(vec![a, b], t);
+    }
+    t
+}
+
+#[test]
+fn saturated_subtree_size_is_never_pruned() {
+    use miniphases::miniphase::executor::run_phase_on_unit_reference;
+    use miniphases::miniphase::{run_phase_on_unit, FusionOptions};
+
+    let mut ctx = Ctx::new();
+    let root = saturated_dag(&mut ctx, 20);
+    assert_eq!(
+        root.subtree_size(),
+        u32::MAX,
+        "fixture must saturate the cached size"
+    );
+    let child = root.child_at(0).expect("root has children");
+    assert_ne!(
+        child.subtree_size(),
+        u32::MAX,
+        "children must stay exactly sized (the walk prunes them)"
+    );
+    let truth = structural_count(&root);
+    assert!(truth > u64::from(u32::MAX), "true size exceeds u32");
+
+    let opts = FusionOptions {
+        subtree_pruning: true,
+        ..FusionOptions::default()
+    };
+    let unit = CompilationUnit::new("sat", root.clone());
+
+    // Iterative walk, reference executor, and the legacy eager path (no
+    // copier reuse) must all account identically.
+    let run = |ctx: &mut Ctx, reference: bool| -> ExecStats {
+        let mut stats = ExecStats::default();
+        let mut ph = NoopPhase;
+        if reference {
+            run_phase_on_unit_reference(&mut ph, &opts, ctx, &unit, &mut stats);
+        } else {
+            run_phase_on_unit(&mut ph, &opts, ctx, &unit, &mut stats);
+        }
+        stats
+    };
+    let iter = run(&mut ctx, false);
+    let refr = run(&mut ctx, true);
+    assert_eq!(iter, refr, "executors agree on saturated trees");
+    assert_eq!(
+        iter.node_visits + iter.nodes_pruned,
+        truth,
+        "the invariant holds exactly: visits {} + pruned {} == structural {}",
+        iter.node_visits,
+        iter.nodes_pruned,
+        truth
+    );
+    assert!(
+        iter.node_visits >= 1,
+        "the saturated root is visited, not skipped"
+    );
+
+    let mut legacy_ctx = Ctx::new();
+    legacy_ctx.options.copier_reuse = false;
+    legacy_ctx.options.intern_literals = false;
+    let legacy_root = legacy_ctx.import_tree(&root);
+    let legacy_unit = CompilationUnit::new("sat", legacy_root);
+    let mut stats = ExecStats::default();
+    run_phase_on_unit(
+        &mut NoopPhase,
+        &opts,
+        &mut legacy_ctx,
+        &legacy_unit,
+        &mut stats,
+    );
+    assert_eq!(
+        stats.node_visits + stats.nodes_pruned,
+        truth,
+        "eager no-reuse walk prices saturated subtrees exactly"
+    );
+}
