@@ -25,12 +25,15 @@
 //!   `DefDef` only);
 //!
 //! and the modifiers are `+prune` (switch on
-//! `FusionOptions::subtree_pruning`) and `+jobsN` (run the transform
-//! pipeline on `N` worker threads — e.g. `fused+jobs4`). The default
-//! comparison is `patmat+prune` vs `patmat` over the dotty-like corpus
-//! slice — the headline sparse-kind pruning measurement recorded in
-//! `BENCH_pipeline.json`. The reported ratio is B (first spec) relative to
-//! A (second spec); negative means B is faster.
+//! `FusionOptions::subtree_pruning`), `+jobsN` (run the transform
+//! pipeline on `N` worker threads — e.g. `fused+jobs4`) and `+check` (run
+//! the dynamic tree checker between groups; composes with `+jobsN`, since
+//! checked runs no longer force sequential execution — e.g.
+//! `fused+jobs4+check`). The default comparison is `patmat+prune` vs
+//! `patmat` over the dotty-like corpus slice — the headline sparse-kind
+//! pruning measurement recorded in `BENCH_pipeline.json`. The reported
+//! ratio is B (first spec) relative to A (second spec); negative means B
+//! is faster.
 //!
 //! Argument parsing is strict: an unknown spec, modifier, or non-numeric
 //! `REPS`/`LOC` prints usage and exits non-zero rather than silently
@@ -62,11 +65,12 @@ struct Spec {
     plan: Plan,
     prune: bool,
     jobs: usize,
+    check: bool,
     label: String,
 }
 
 const USAGE: &str = "usage: ab [SPEC_B] [SPEC_A] [REPS] [LOC]\n\
-     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune][+jobsN]\n\
+     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune][+jobsN][+check]\n\
      REPS    = positive integer (default 16, env REPS)\n\
      LOC     = positive integer (default 12000, env CORPUS_LOC)";
 
@@ -87,9 +91,12 @@ fn parse_spec(s: &str) -> Spec {
     };
     let mut prune = false;
     let mut jobs = 1usize;
+    let mut check = false;
     for modifier in parts {
         if modifier == "prune" {
             prune = true;
+        } else if modifier == "check" {
+            check = true;
         } else if let Some(n) = modifier.strip_prefix("jobs") {
             jobs = match n.parse() {
                 Ok(j) if j >= 1 => j,
@@ -103,6 +110,7 @@ fn parse_spec(s: &str) -> Spec {
         plan,
         prune,
         jobs,
+        check,
         label: s.to_string(),
     }
 }
@@ -114,7 +122,9 @@ impl Spec {
             Plan::Legacy => CompilerOptions::legacy(),
             _ => CompilerOptions::fused(),
         };
-        base.with_subtree_pruning(self.prune).with_jobs(self.jobs)
+        base.with_subtree_pruning(self.prune)
+            .with_jobs(self.jobs)
+            .with_check(self.check)
     }
 
     /// One phase-list instance (workers each build their own); sparse plans
@@ -153,7 +163,7 @@ fn run_once(w: &workload::Workload, spec: &Spec) -> (Duration, ExecStats) {
     let start = Instant::now();
     opts.configure_ctx(&mut ctx);
     let plan = spec.plan_for(&opts);
-    let (out, stats) = if spec.jobs > 1 {
+    let (out, stats, failures) = if spec.jobs > 1 {
         let run = miniphase::run_units_parallel(
             &mut ctx,
             &|| spec.make_phases(),
@@ -161,16 +171,29 @@ fn run_once(w: &workload::Workload, spec: &Spec) -> (Duration, ExecStats) {
             opts.fusion,
             units,
             spec.jobs,
+            spec.check,
             &NoInstrumentation,
         );
-        (run.units, run.stats)
+        (run.units, run.stats, run.failures)
     } else {
         let mut pipe = Pipeline::new(spec.make_phases(), &plan, opts.fusion);
+        pipe.check = spec.check;
         let out = pipe.run_units(&mut ctx, units);
         let stats = pipe.stats;
+        let failures = std::mem::take(&mut pipe.failures);
         drop(pipe);
-        (out, stats)
+        (out, stats, failures)
     };
+    if !failures.is_empty() {
+        eprintln!(
+            "FAIL: the tree checker flagged the benchmark corpus under `{}`:",
+            spec.label
+        );
+        for f in failures.iter().take(5) {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
     std::hint::black_box(&out);
     drop(out);
     drop(ctx);
@@ -266,10 +289,13 @@ fn main() {
         (median - 1.0) * 100.0
     );
 
-    // Specs that differ only in `jobs` (same plan, same pruning) must
-    // report identical executor counters — the parallel-determinism
-    // invariant. Enforce it here so a CI smoke like `ab fused+jobs4 fused`
-    // is a real check, not just a no-crash run.
+    // Specs that differ only in `jobs` and/or `check` (same plan, same
+    // pruning) must report identical executor counters — the
+    // parallel-determinism invariant, plus the rule that the dynamic
+    // checker observes without perturbing the accounting. Enforce it here
+    // so CI smokes like `ab fused+jobs4 fused` and
+    // `ab fused+jobs4+check fused+check` are real checks, not just
+    // no-crash runs.
     if spec_a.plan == spec_b.plan && spec_a.prune == spec_b.prune && stats_a != stats_b {
         eprintln!(
             "FAIL: same-plan specs disagree on ExecStats (jobs must not change accounting):\n  A {}: {stats_a:?}\n  B {}: {stats_b:?}",

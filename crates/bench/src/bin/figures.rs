@@ -123,7 +123,13 @@ fn section3(cs: &[Corpus]) {
                 mode.push_str("+prune");
             }
             if m.opts.jobs > 1 {
-                mode.push_str(&format!("+jobs{}", m.opts.jobs));
+                // Report the jobs the run *actually* used: a corpus with
+                // fewer units than workers (or any other downgrade) must
+                // show up here, never the silently-echoed request.
+                mode.push_str(&format!("+jobs{}", m.effective_jobs));
+                if m.effective_jobs != m.opts.jobs {
+                    mode.push_str(&format!("(req {})", m.opts.jobs));
+                }
             }
             // Zero-duration timer artifacts surface as `None`; print `n/a`
             // rather than a fabricated 0 LOC/s datapoint.

@@ -11,17 +11,26 @@
 
 use crate::mini::MiniPhase;
 use crate::unit::CompilationUnit;
-use mini_ir::{visit, Ctx, NodeId, TreeKind, TreeRef, Type};
+use mini_ir::{visit, Ctx, NodeKind, Span, TreeKind, TreeRef, Type};
 
 /// One checker finding, attributed to the phase whose invariant failed.
-#[derive(Clone, Debug)]
+///
+/// Findings locate the offending node by **span and kind**, not by raw
+/// `NodeId`: node ids are allocator artifacts that differ between the
+/// sequential pipeline and every parallel chunking, while spans and kinds
+/// are preserved byte-for-byte by the cross-arena tree import — which is
+/// what lets `jobs ∈ {2,4,8}` produce checker diagnostics identical to
+/// `jobs = 1` (a proptest-pinned guarantee).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckFailure {
     /// Name of the phase whose postcondition failed, or `"global"`.
     pub phase: String,
     /// The offending unit.
     pub unit: String,
-    /// The offending node.
-    pub node: NodeId,
+    /// The offending node's source location.
+    pub span: Span,
+    /// The offending node's kind.
+    pub node_kind: NodeKind,
     /// What went wrong.
     pub msg: String,
 }
@@ -30,8 +39,8 @@ impl std::fmt::Display for CheckFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "[{}] {} node#{}: {}",
-            self.phase, self.unit, self.node.0, self.msg
+            "[{}] {} {:?}@{}: {}",
+            self.phase, self.unit, self.node_kind, self.span, self.msg
         )
     }
 }
@@ -50,11 +59,12 @@ pub fn check_unit(
     unit: &CompilationUnit,
 ) -> Vec<CheckFailure> {
     let mut failures = Vec::new();
-    let fail = |phase: &str, node: NodeId, msg: String, out: &mut Vec<CheckFailure>| {
+    let fail = |phase: &str, t: &TreeRef, msg: String, out: &mut Vec<CheckFailure>| {
         out.push(CheckFailure {
             phase: phase.to_owned(),
             unit: unit.name.clone(),
-            node,
+            span: t.span(),
+            node_kind: t.node_kind(),
             msg,
         });
     };
@@ -62,21 +72,21 @@ pub fn check_unit(
     visit::for_each_subtree(&unit.tree, &mut |t| {
         // ---- global invariants (Listing 9's non-phase-specific checks) ----
         if let Some(msg) = orphan_type_check(t) {
-            fail("global", t.id(), msg, &mut failures);
+            fail("global", t, msg, &mut failures);
         }
         if let Some(msg) = retype_check(ctx, t) {
-            fail("global", t.id(), msg, &mut failures);
+            fail("global", t, msg, &mut failures);
         }
         if let Some(msg) = double_definition_check(ctx, t) {
-            fail("global", t.id(), msg, &mut failures);
+            fail("global", t, msg, &mut failures);
         }
         if let Some(msg) = backend_name_check(ctx, t) {
-            fail("global", t.id(), msg, &mut failures);
+            fail("global", t, msg, &mut failures);
         }
         // ---- accumulated phase postconditions ----
         for p in prev_phases {
             if let Err(msg) = p.check_post_condition(ctx, t) {
-                fail(p.name(), t.id(), msg, &mut failures);
+                fail(p.name(), t, msg, &mut failures);
             }
         }
     });

@@ -590,6 +590,12 @@ pub struct Pipeline {
     pub stats: ExecStats,
     /// Failures recorded by the checker, if enabled.
     pub failures: Vec<CheckFailure>,
+    /// The same checker findings, split per phase group (one entry per
+    /// group, unit order within it). Populated by
+    /// [`Pipeline::run_units_recorded`] when [`Pipeline::check`] is on; the
+    /// parallel executor re-sequences these across unit chunks so the
+    /// merged failure list is byte-identical to a sequential run.
+    failures_by_group: Vec<Vec<CheckFailure>>,
     /// Walk stacks reused across every unit and group this pipeline runs.
     scratch: TraversalScratch,
 }
@@ -621,8 +627,16 @@ impl Pipeline {
             check: false,
             stats: ExecStats::default(),
             failures: Vec::new(),
+            failures_by_group: Vec::new(),
             scratch: TraversalScratch::new(),
         }
+    }
+
+    /// Takes the per-group checker findings recorded by
+    /// [`Pipeline::run_units_recorded`] (empty unless [`Pipeline::check`]
+    /// was on). Group-major; unit order within each group.
+    pub fn take_failures_by_group(&mut self) -> Vec<Vec<CheckFailure>> {
+        std::mem::take(&mut self.failures_by_group)
     }
 
     /// Number of fused groups (= tree traversals per unit).
@@ -780,9 +794,12 @@ impl Pipeline {
                     .iter()
                     .flat_map(|g| g.members().iter().map(|m| m.as_ref() as &dyn MiniPhase))
                     .collect();
+                let mut found = Vec::new();
                 for u in &units {
-                    self.failures.extend(check_unit(&prev, ctx, u));
+                    found.extend(check_unit(&prev, ctx, u));
                 }
+                self.failures.extend(found.iter().cloned());
+                self.failures_by_group.push(found);
             }
         }
         (units, grid)

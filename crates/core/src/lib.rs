@@ -44,13 +44,16 @@
 //! ## Unit-level parallel compilation ([`parallel`])
 //!
 //! Fusion keeps each unit's traversal self-contained, so unit batches run
-//! across worker threads: each worker owns a contiguous chunk of units
-//! end-to-end with a private `Rc` tree arena, phase instances, scratch
-//! stacks and a forked symbol table — **trees never cross threads**, and
-//! workers' symbol shards and counters merge back deterministically in unit
-//! order at group boundaries. `jobs = 1` is byte-identical to the
-//! sequential pipeline; see the [`parallel`] module docs for the full
-//! ownership and determinism rules.
+//! across worker threads: the batch is carved into interleaved unit chunks
+//! that workers claim through an atomic index (cheap work stealing for
+//! skewed unit sizes), and each chunk compiles end-to-end with a private
+//! `Rc` tree arena, phase instances, scratch stacks and an O(1)
+//! copy-on-write fork of the symbol table — **trees never cross threads**,
+//! and chunk shards, counters and dynamic-checker findings merge back
+//! deterministically in unit order at group boundaries. `jobs = 1` is
+//! byte-identical to the sequential pipeline, with the checker on or off;
+//! see the [`parallel`] module docs for the full ownership, scheduling and
+//! determinism rules.
 //!
 //! # Examples
 //!
@@ -104,6 +107,9 @@ pub use checker::{check_unit, CheckFailure};
 pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
 pub use fused::{Fused, FusionOptions};
 pub use mini::{dispatch_prepare, dispatch_transform, synthetic_code_addr, MiniPhase, PhaseInfo};
-pub use parallel::{run_units_parallel, NoInstrumentation, ParallelRun, WorkerInstrumentation};
+pub use parallel::{
+    run_units_parallel, run_units_parallel_tuned, NoInstrumentation, ParallelRun, ParallelTuning,
+    WorkerInstrumentation,
+};
 pub use plan::{build_plan, PhasePlan, PlanError, PlanOptions};
 pub use unit::CompilationUnit;

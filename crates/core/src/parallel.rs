@@ -5,32 +5,68 @@
 //! makes units embarrassingly parallel. This module schedules a unit batch
 //! across [`std::thread::scope`] workers while keeping the run
 //! **byte-identical** to the sequential pipeline (a property test pins
-//! `jobs ∈ {2,4,8}` against `jobs = 1` over generated corpora).
+//! `jobs ∈ {2,4,8}` against `jobs = 1` over generated corpora, with the
+//! dynamic checker both off *and on*).
+//!
+//! # Scheduling — interleaved chunks, claimed by an atomic index
+//!
+//! The batch is carved into `jobs × chunks_per_worker` contiguous **unit
+//! chunks** (more chunks than workers), and worker threads claim chunks
+//! through a single atomic counter — cheap work stealing. A corpus with
+//! skewed unit sizes no longer serializes behind the worker that drew the
+//! one giant contiguous chunk: whoever finishes early claims the next
+//! chunk. Which *thread* runs a chunk is irrelevant to the output, because
+//! every chunk is hermetic — it gets its own [`Ctx`] (private `Rc` tree
+//! arena, intern caches, scratch stacks, phase instances) over its own
+//! disjoint node-id/heap/symbol-id ranges, all derived from the **chunk
+//! index**, never from the claiming thread. Results are re-sequenced by
+//! chunk index (= unit order) at the fan-in, so deltas, counters,
+//! diagnostics and checker findings merge identically no matter how the
+//! race for chunks played out.
 //!
 //! # Threading design — what is shared, what is replicated
 //!
 //! Trees are `Rc`-based since the traversal hot-path overhaul, so the hard
-//! ownership rule is: **trees never cross threads**. Each worker owns a
-//! contiguous chunk of units and compiles them end-to-end (every phase
-//! group, phase-major over its chunk) on its own thread:
+//! ownership rule is: **trees never cross threads**. Each chunk compiles
+//! end-to-end (every phase group, phase-major over its units) on whichever
+//! thread claimed it:
 //!
-//! * **Replicated per worker** — the whole mutable heart of [`Ctx`]: the
-//!   `Rc` tree arena (each unit's tree is deep-copied into its worker's
+//! * **Replicated per chunk** — the whole mutable heart of [`Ctx`]: the
+//!   `Rc` tree arena (each unit's tree is deep-copied into the chunk's
 //!   arena through [`mini_ir::Ctx::import_tree`] before any phase runs; the
 //!   originals are only *read* during the copy, never cloned or dropped
 //!   off-thread), the literal-intern caches, the executor's reused scratch
-//!   stacks, the phase instances themselves (built per worker via the
-//!   caller's factory), and a fork of the symbol table.
+//!   stacks, and the phase instances themselves (built per chunk via the
+//!   caller's factory).
 //! * **Shared, thread-safe** — the global [`mini_ir::Name`] interner (a
 //!   mutex over leaked `'static` strings) and the read-only
 //!   [`PhasePlan`] / [`FusionOptions`].
-//! * **Shared via fork + deterministic merge** — the symbol table. Each
-//!   worker gets a full copy whose *new* symbols are allocated in a
-//!   worker-private id shard (globally unique from birth, so worker trees
-//!   need no id rewriting at merge time), and whose mutations of pre-fork
-//!   symbols are journaled. After the join, shards and journals merge back
-//!   in worker order — which is unit order, because chunks are contiguous
-//!   (see [`mini_ir::SymbolTable::adopt`] for the field-wise merge rules).
+//! * **Shared via copy-on-write fork + deterministic merge** — the symbol
+//!   table. Each chunk forks the origin table in **O(1)**
+//!   ([`mini_ir::SymbolTable::fork_for_worker`]): the fork aliases the
+//!   `Arc`-shared frozen base arena, allocates *new* symbols in a
+//!   chunk-private id shard (globally unique from birth, so chunk trees
+//!   need no id rewriting at merge time; a symbol-heavy chunk that
+//!   outgrows its shard chains interleaved overflow shards instead of
+//!   aborting), and routes mutations of pre-fork symbols to a private
+//!   overlay. After the join, shards and overlays merge back in chunk
+//!   order — which is unit order, because chunks are contiguous unit
+//!   ranges (see [`mini_ir::SymbolTable::adopt`] for the field-wise merge
+//!   rules).
+//!
+//! # The per-chunk dynamic checker and its failure-ordering rule
+//!
+//! With `check` on, each chunk runs the between-group tree checker
+//! ([`crate::check_unit`]) against its **own private context** — checker
+//! reads resolve in the fork exactly as they would in the shared
+//! sequential table, because whole-table symbol sweeps run per chunk and
+//! per-unit mutations only touch symbols the unit owns. Findings are
+//! recorded per (group, unit) and re-sequenced at the fan-in
+//! **group-major, then unit order**: the merged failure list is
+//! byte-identical (content *and* order) to the sequential pipeline's, so
+//! the *first failing unit in unit order wins* regardless of which worker
+//! thread happened to hit a failure first on the wall clock. `check` no
+//! longer forces `jobs = 1` anywhere.
 //!
 //! # Determinism
 //!
@@ -43,32 +79,35 @@
 //! consulted by phases or printed output. [`ExecStats`] and
 //! [`mini_ir::AllocStats`] merge in unit order at group boundaries, giving
 //! identical `ExecStats` to the sequential run. The merged `AllocStats`
-//! deliberately cover the **transform pipeline only** — the per-worker
+//! deliberately cover the **transform pipeline only** — the per-chunk
 //! floor is snapshotted *after* the import copies, mirroring the
 //! sequential measurement — so they stay comparable to `jobs = 1`; they
-//! still run slightly higher because each worker's private intern cache
-//! re-allocates literals another worker (or the frontend) already interned.
+//! still run slightly higher because each chunk's private intern cache
+//! re-allocates literals another chunk (or the frontend) already interned.
 //!
 //! Diagnostics merge in unit order too (sequential emission interleaves
 //! groups, so the *order* can differ from `jobs = 1`; the set cannot).
-//! Instrumented simulator runs install per-worker sinks through
-//! [`WorkerInstrumentation`] and fan the per-worker results back in worker
+//! Instrumented simulator runs install per-chunk sinks through
+//! [`WorkerInstrumentation`] and fan the per-chunk results back in chunk
 //! order.
 
+use crate::checker::CheckFailure;
 use crate::executor::{ExecStats, Pipeline};
 use crate::fused::FusionOptions;
 use crate::mini::MiniPhase;
 use crate::plan::PhasePlan;
 use crate::unit::CompilationUnit;
-use mini_ir::{Ctx, Tree};
+use mini_ir::{Ctx, ShardGrowth, Tree};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Spacing between worker node-id ranges: no worker can allocate this many
-/// nodes, so ranges never collide (ids are `u64`; 8 workers use < 2⁴⁴ of
-/// the space).
+/// Spacing between chunk node-id ranges: no chunk can allocate this many
+/// nodes, so ranges never collide (ids are `u64`; even hundreds of chunks
+/// use < 2⁴⁸ of the space).
 const ID_STRIDE: u64 = 1 << 40;
 
-/// Spacing between worker modelled-heap ranges (addresses only feed the
-/// per-worker cache simulator, which never sees another worker's range).
+/// Spacing between chunk modelled-heap ranges (addresses only feed the
+/// per-chunk cache simulator, which never sees another chunk's range).
 const HEAP_STRIDE: u64 = 1 << 36;
 
 /// Symbol-id headroom left above the base region for sequential allocation
@@ -76,27 +115,50 @@ const HEAP_STRIDE: u64 = 1 << 36;
 /// adopted worker shard).
 const SYM_BASE_HEADROOM: u32 = 1 << 20;
 
-/// Symbol-id capacity reserved per worker shard (~16.7M symbols — two
-/// orders of magnitude above any realistic per-run count; overflow panics
-/// with a clear message). Fixed rather than `remaining / jobs` so repeated
-/// parallel runs on one context consume id space linearly, not
-/// geometrically.
-const SYM_SHARD_CAPACITY: u32 = 1 << 24;
+/// Scheduling and id-space tunables of the parallel executor. The defaults
+/// suit production runs; tests shrink them to force the rare paths
+/// (overflow-shard chaining) on small corpora.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelTuning {
+    /// Unit chunks carved per worker thread. More chunks let the atomic
+    /// claim index balance skewed unit sizes (a worker that finishes early
+    /// steals the next chunk); `1` reproduces the old one-contiguous-chunk-
+    /// per-worker schedule. Chunk count is always capped at the unit count.
+    pub chunks_per_worker: usize,
+    /// Symbol-id capacity of each chunk's primary shard and of every
+    /// chained overflow shard. Exceeding it no longer panics — the fork
+    /// chains overflow shards with globally unique interleaved ids — so
+    /// this only trades id-space consumption against chain length.
+    pub sym_shard_capacity: u32,
+}
 
-/// Per-worker instrumentation hooks for parallel runs: `install` runs on
-/// the worker thread after the unit trees are imported (so simulators see
-/// the transform pipeline only, as in sequential measured runs), `finish`
-/// runs after the worker's last group. `Data` is shipped back to the caller
-/// in worker order — the deterministic fan-in for GC-/cache-simulator
-/// counters.
+impl Default for ParallelTuning {
+    fn default() -> ParallelTuning {
+        ParallelTuning {
+            chunks_per_worker: 4,
+            // 65k fresh symbols per chunk before the first overflow shard:
+            // two orders of magnitude above any realistic per-chunk count,
+            // while keeping per-run id-space consumption low enough for
+            // thousands of parallel runs on one long-lived `Ctx`.
+            sym_shard_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Per-chunk instrumentation hooks for parallel runs: `install` runs on the
+/// claiming thread after the chunk's unit trees are imported (so simulators
+/// see the transform pipeline only, as in sequential measured runs),
+/// `finish` runs after the chunk's last group. `Data` is shipped back to
+/// the caller in chunk (= unit) order — the deterministic fan-in for
+/// GC-/cache-simulator counters.
 pub trait WorkerInstrumentation: Sync {
-    /// Worker-thread-local state (simulator handles); never crosses threads.
+    /// Thread-local state (simulator handles); never crosses threads.
     type State;
-    /// Per-worker results returned to the calling thread.
+    /// Per-chunk results returned to the calling thread.
     type Data: Send;
-    /// Installs sinks into the worker's context; runs on the worker thread.
+    /// Installs sinks into the chunk's context; runs on the claiming thread.
     fn install(&self, worker: usize, ctx: &mut Ctx) -> Self::State;
-    /// Uninstalls sinks and extracts the worker's results.
+    /// Uninstalls sinks and extracts the chunk's results.
     fn finish(&self, worker: usize, state: Self::State, ctx: &mut Ctx) -> Self::Data;
 }
 
@@ -117,7 +179,16 @@ pub struct ParallelRun<D> {
     /// Executor counters, merged in unit order at group boundaries;
     /// identical to the sequential run's [`Pipeline::stats`].
     pub stats: ExecStats,
-    /// Per-worker instrumentation results, in worker (= unit-chunk) order.
+    /// Dynamic-checker findings (empty unless `check` was on), re-sequenced
+    /// group-major then unit order — byte-identical in content and order to
+    /// the sequential pipeline's [`Pipeline::failures`].
+    pub failures: Vec<CheckFailure>,
+    /// Worker threads actually used after clamping (at least 1, at most
+    /// one per unit). Callers surfacing parallelism in stats or figures
+    /// must report this, never the requested value — a silent downgrade is
+    /// a lie in the measurement.
+    pub effective_jobs: usize,
+    /// Per-chunk instrumentation results, in chunk (= unit) order.
     pub worker_data: Vec<D>,
 }
 
@@ -138,43 +209,122 @@ struct UnitLoan<'a> {
 // outlive it; refcounted handles are neither cloned nor dropped off-thread.
 unsafe impl Send for UnitLoan<'_> {}
 
-/// A worker's finished units travelling back to the calling thread.
+/// A chunk's finished units travelling back to the calling thread.
 ///
 /// Wrapped because `TreeRef` is `Rc`: every handle reachable from these
-/// units lives in the worker's own arena (imported roots, worker-built
-/// nodes, worker-interned literals), and the worker thread terminates
-/// before the wrapper is opened, with the scope join providing the
-/// happens-before edge. After the join the calling thread is the sole owner.
+/// units lives in the chunk's own arena (imported roots, chunk-built
+/// nodes, chunk-interned literals), and the claiming thread is done with
+/// the chunk before the wrapper is opened, with the scope join providing
+/// the happens-before edge. After the join the calling thread is the sole
+/// owner.
 struct UnitsHandoff(Vec<CompilationUnit>);
 
 // SAFETY: see the type docs — whole-arena ownership transfer synchronized
 // by `thread::scope` join; no handle is shared with any live thread.
 unsafe impl Send for UnitsHandoff {}
 
-struct WorkerOutcome<D> {
+/// Everything one chunk needs to compile: loans of its unit trees, an O(1)
+/// symbol-table fork, and the chunk's disjoint allocator floors. Built on
+/// the calling thread, claimed (via the atomic index) by exactly one
+/// worker.
+struct ChunkJob<'a> {
+    loans: Vec<UnitLoan<'a>>,
+    table: mini_ir::SymbolTable,
+    id_floor: u64,
+    heap_floor: u64,
+}
+
+struct ChunkOutcome<D> {
     units: UnitsHandoff,
     /// `grid[group][chunk-local unit]` traversal counters.
     grid: Vec<Vec<ExecStats>>,
+    /// `failures[group]` checker findings, unit order within the chunk.
+    /// Empty unless `check` was on.
+    failures: Vec<Vec<CheckFailure>>,
     delta: mini_ir::SymbolDelta,
     alloc: mini_ir::AllocStats,
     errors: Vec<mini_ir::Diagnostic>,
     data: D,
 }
 
-/// Runs the pipeline over `units` on `jobs` worker threads, phase-major
-/// within each worker's contiguous chunk, and merges trees, counters,
-/// diagnostics and symbol-table changes back deterministically (unit order
-/// at group boundaries). With `jobs <= 1` — or fewer units than workers
-/// would need — this *is* the sequential [`Pipeline::run_units`], run
-/// in-place on `ctx`.
+/// Compiles one claimed chunk end-to-end on the current thread. Entirely
+/// determined by the chunk's job (floors, fork, loans) — the identity of
+/// the claiming thread leaves no trace in the outcome.
+#[allow(clippy::too_many_arguments)]
+fn compile_chunk<F, I>(
+    chunk: usize,
+    job: ChunkJob<'_>,
+    ir_options: mini_ir::IrOptions,
+    make_phases: &F,
+    plan: &PhasePlan,
+    opts: FusionOptions,
+    check: bool,
+    instr: &I,
+) -> ChunkOutcome<I::Data>
+where
+    F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
+    I: WorkerInstrumentation,
+{
+    let ChunkJob {
+        loans,
+        table,
+        id_floor,
+        heap_floor,
+    } = job;
+    let mut wctx = Ctx::worker(table, ir_options, id_floor, heap_floor);
+    let local: Vec<CompilationUnit> = loans
+        .iter()
+        .map(|l| CompilationUnit::new(l.name, wctx.import_tree(l.tree)))
+        .collect();
+    drop(loans);
+    // Floor AFTER the import copies: the merged AllocStats cover the
+    // transform pipeline only, like sequential measured runs (see the
+    // module docs).
+    let alloc_floor = wctx.stats;
+    let state = instr.install(chunk, &mut wctx);
+    let mut pipeline = Pipeline::new(make_phases(), plan, opts);
+    pipeline.check = check;
+    let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
+    let failures = pipeline.take_failures_by_group();
+    let data = instr.finish(chunk, state, &mut wctx);
+    let alloc = mini_ir::AllocStats {
+        nodes: wctx.stats.nodes - alloc_floor.nodes,
+        bytes: wctx.stats.bytes - alloc_floor.bytes,
+    };
+    let errors = std::mem::take(&mut wctx.errors);
+    // Drop the chunk's intern cache and scratch before the hand-off; the
+    // remaining arena rides out in `units`.
+    let delta = wctx.into_symbol_delta();
+    ChunkOutcome {
+        units: UnitsHandoff(out),
+        grid,
+        failures,
+        delta,
+        alloc,
+        errors,
+        data,
+    }
+}
+
+/// Runs the pipeline over `units` on `jobs` worker threads — interleaved
+/// unit chunks claimed through an atomic index, phase-major within each
+/// chunk — and merges trees, counters, diagnostics, checker findings and
+/// symbol-table changes back deterministically (unit order at group
+/// boundaries). With `jobs <= 1` — after clamping `0` up and the unit
+/// count down — this *is* the sequential [`Pipeline::run_units`], run
+/// in-place on `ctx`. With `check` on, each chunk replays the dynamic tree
+/// checker against its private context; the merged failure list is
+/// byte-identical to a sequential checked run (see the module docs for the
+/// ordering rule).
 ///
-/// `make_phases` builds one phase list per worker (phase instances hold
+/// `make_phases` builds one phase list per chunk (phase instances hold
 /// traversal state and are not shared); every list must match `plan`.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics (phase hooks are not unwind-fenced, as
 /// in the sequential executor) or if `make_phases` disagrees with `plan`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_units_parallel<F, I>(
     ctx: &mut Ctx,
     make_phases: &F,
@@ -182,7 +332,40 @@ pub fn run_units_parallel<F, I>(
     opts: FusionOptions,
     units: Vec<CompilationUnit>,
     jobs: usize,
+    check: bool,
     instr: &I,
+) -> ParallelRun<I::Data>
+where
+    F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
+    I: WorkerInstrumentation,
+{
+    run_units_parallel_tuned(
+        ctx,
+        make_phases,
+        plan,
+        opts,
+        units,
+        jobs,
+        check,
+        instr,
+        ParallelTuning::default(),
+    )
+}
+
+/// [`run_units_parallel`] with explicit [`ParallelTuning`] — exposed so
+/// tests and benchmarks can shrink chunk sizes and shard capacities to
+/// exercise the scheduler's rare paths on small corpora.
+#[allow(clippy::too_many_arguments)]
+pub fn run_units_parallel_tuned<F, I>(
+    ctx: &mut Ctx,
+    make_phases: &F,
+    plan: &PhasePlan,
+    opts: FusionOptions,
+    units: Vec<CompilationUnit>,
+    jobs: usize,
+    check: bool,
+    instr: &I,
+    tuning: ParallelTuning,
 ) -> ParallelRun<I::Data>
 where
     F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
@@ -192,104 +375,123 @@ where
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
         let mut pipeline = Pipeline::new(make_phases(), plan, opts);
+        pipeline.check = check;
         let state = instr.install(0, ctx);
         let units = pipeline.run_units(ctx, units);
         let data = instr.finish(0, state, ctx);
         return ParallelRun {
             units,
             stats: pipeline.stats,
+            failures: std::mem::take(&mut pipeline.failures),
+            effective_jobs: 1,
             worker_data: vec![data],
         };
     }
 
     let (id_floor, heap_floor) = ctx.alloc_watermarks();
-    // Shard capacity is a fixed generous bound, NOT a division of all
-    // remaining id space: dividing the remainder would shrink the space
-    // geometrically on every parallel run of a long-lived context (each
-    // run's last shard starts near the top of the previous remainder) and
-    // exhaust u32 after a handful of runs. With a fixed capacity, each run
-    // consumes at most `jobs × capacity + headroom` ids regardless of how
-    // little the workers allocate (empty shards are dropped at adoption),
-    // supporting hundreds of parallel runs per context.
+    let chunk_count = (jobs * tuning.chunks_per_worker.max(1)).clamp(jobs, n);
+    // Symbol-id layout: `chunk_count` primary shards above the headroom
+    // floor, then an overflow region where chunk `c`'s chained shards live
+    // at `overflow_base + (k·chunk_count + c)·stride` — disjoint from every
+    // primary and from every other chunk's chain by construction. The
+    // stride is capped so primaries plus one full overflow round always
+    // fit in the remaining u32 space; symbol-heavy chunks keep chaining
+    // beyond that until the id domain truly runs out (which panics with a
+    // clear message in the allocator, not a shard-overflow abort).
     let sym_floor = ctx
         .symbols
         .id_ceiling()
         .saturating_add(SYM_BASE_HEADROOM)
         .min(u32::MAX - 1);
-    let sym_stride = SYM_SHARD_CAPACITY.min((u32::MAX - sym_floor) / jobs as u32);
+    let chunks_u32 = chunk_count as u32;
+    // A clear diagnostic (not a wrapped-arithmetic assert deep in the fork
+    // guards) when the u32 id domain genuinely has no room left for even
+    // 1-symbol shards plus one overflow round.
     assert!(
-        sym_stride > 0,
+        (u32::MAX - sym_floor) / (chunks_u32 * 2) > 0,
         "symbol id space exhausted: too many parallel runs on one long-lived Ctx"
     );
-    // Contiguous, balanced chunks: worker `w` owns units [w*n/jobs, (w+1)*n/jobs).
-    let bounds: Vec<(usize, usize)> = (0..jobs)
-        .map(|w| (w * n / jobs, (w + 1) * n / jobs))
+    let sym_stride = tuning
+        .sym_shard_capacity
+        .max(1)
+        .min((u32::MAX - sym_floor) / (chunks_u32 * 2));
+    let overflow_base = sym_floor + chunks_u32 * sym_stride;
+    // Contiguous, balanced chunks: chunk `c` owns units
+    // [c*n/chunks, (c+1)*n/chunks) — so chunk order IS unit order.
+    let bounds: Vec<(usize, usize)> = (0..chunk_count)
+        .map(|c| (c * n / chunk_count, (c + 1) * n / chunk_count))
         .collect();
 
-    let outcomes: Vec<WorkerOutcome<I::Data>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .enumerate()
-            .map(|(w, &(lo, hi))| {
-                let loans: Vec<UnitLoan<'_>> = units[lo..hi]
-                    .iter()
-                    .map(|u| UnitLoan {
-                        name: &u.name,
-                        tree: &u.tree,
-                    })
-                    .collect();
-                let table = ctx
-                    .symbols
-                    .fork_for_worker(sym_floor + w as u32 * sym_stride, sym_stride);
-                let ir_options = ctx.options;
-                scope.spawn(move || {
-                    let mut wctx = Ctx::worker(
-                        table,
-                        ir_options,
-                        id_floor + w as u64 * ID_STRIDE,
-                        heap_floor + w as u64 * HEAP_STRIDE,
-                    );
-                    let local: Vec<CompilationUnit> = loans
-                        .iter()
-                        .map(|l| CompilationUnit::new(l.name, wctx.import_tree(l.tree)))
-                        .collect();
-                    drop(loans);
-                    // Floor AFTER the import copies: the merged AllocStats
-                    // cover the transform pipeline only, like sequential
-                    // measured runs (see the module docs).
-                    let alloc_floor = wctx.stats;
-                    let state = instr.install(w, &mut wctx);
-                    let mut pipeline = Pipeline::new(make_phases(), plan, opts);
-                    let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
-                    let data = instr.finish(w, state, &mut wctx);
-                    let alloc = mini_ir::AllocStats {
-                        nodes: wctx.stats.nodes - alloc_floor.nodes,
-                        bytes: wctx.stats.bytes - alloc_floor.bytes,
-                    };
-                    let errors = std::mem::take(&mut wctx.errors);
-                    // Drop the worker's intern cache and scratch before the
-                    // hand-off; the remaining arena rides out in `units`.
-                    let delta = wctx.into_symbol_delta();
-                    WorkerOutcome {
-                        units: UnitsHandoff(out),
-                        grid,
-                        delta,
-                        alloc,
-                        errors,
-                        data,
+    let jobs_slots: Vec<Mutex<Option<ChunkJob<'_>>>> = bounds
+        .iter()
+        .enumerate()
+        .map(|(c, &(lo, hi))| {
+            let loans: Vec<UnitLoan<'_>> = units[lo..hi]
+                .iter()
+                .map(|u| UnitLoan {
+                    name: &u.name,
+                    tree: &u.tree,
+                })
+                .collect();
+            let table = ctx.symbols.fork_for_worker(
+                sym_floor + c as u32 * sym_stride,
+                sym_stride,
+                ShardGrowth {
+                    next_start: overflow_base.saturating_add(c as u32 * sym_stride),
+                    step: chunks_u32 * sym_stride,
+                    capacity: sym_stride,
+                },
+            );
+            Mutex::new(Some(ChunkJob {
+                loans,
+                table,
+                id_floor: id_floor + c as u64 * ID_STRIDE,
+                heap_floor: heap_floor + c as u64 * HEAP_STRIDE,
+            }))
+        })
+        .collect();
+    let outcome_slots: Vec<Mutex<Option<ChunkOutcome<I::Data>>>> =
+        (0..chunk_count).map(|_| Mutex::new(None)).collect();
+    let next_chunk = AtomicUsize::new(0);
+    let ir_options = ctx.options;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunk_count {
+                        break;
                     }
+                    let job = jobs_slots[c]
+                        .lock()
+                        .expect("chunk job mutex")
+                        .take()
+                        .expect("atomic index hands each chunk to exactly one worker");
+                    let outcome =
+                        compile_chunk(c, job, ir_options, make_phases, plan, opts, check, instr);
+                    *outcome_slots[c].lock().expect("chunk outcome mutex") = Some(outcome);
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel compilation worker panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("parallel compilation worker panicked");
+        }
     });
-    // The originals were only loaned; the workers returned fresh arenas.
+    // The originals were only loaned; the chunks returned fresh arenas.
+    drop(jobs_slots);
     drop(units);
 
-    // Deterministic fan-in, worker order = unit order throughout.
+    let outcomes: Vec<ChunkOutcome<I::Data>> = outcome_slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("chunk outcome mutex")
+                .expect("every chunk index below the cap was compiled")
+        })
+        .collect();
+
+    // Deterministic fan-in, chunk order = unit order throughout.
     let groups = outcomes.first().map_or(0, |o| o.grid.len());
     let mut stats = ExecStats::default();
     for gi in 0..groups {
@@ -299,9 +501,16 @@ where
             }
         }
     }
+    let mut failure_groups: Vec<Vec<CheckFailure>> = Vec::new();
     let mut out_units = Vec::with_capacity(n);
-    let mut worker_data = Vec::with_capacity(jobs);
+    let mut worker_data = Vec::with_capacity(chunk_count);
     for o in outcomes {
+        for (gi, fs) in o.failures.into_iter().enumerate() {
+            if failure_groups.len() <= gi {
+                failure_groups.resize_with(gi + 1, Vec::new);
+            }
+            failure_groups[gi].extend(fs);
+        }
         out_units.extend(o.units.0);
         ctx.stats.nodes += o.alloc.nodes;
         ctx.stats.bytes += o.alloc.bytes;
@@ -310,12 +519,14 @@ where
         worker_data.push(o.data);
     }
     ctx.advance_watermarks(
-        id_floor + jobs as u64 * ID_STRIDE,
-        heap_floor + jobs as u64 * HEAP_STRIDE,
+        id_floor + chunk_count as u64 * ID_STRIDE,
+        heap_floor + chunk_count as u64 * HEAP_STRIDE,
     );
     ParallelRun {
         units: out_units,
         stats,
+        failures: failure_groups.into_iter().flatten().collect(),
+        effective_jobs: jobs,
         worker_data,
     }
 }
@@ -377,6 +588,7 @@ mod tests {
                 FusionOptions::default(),
                 units,
                 jobs,
+                false,
                 &NoInstrumentation,
             );
             let printed = run
@@ -413,6 +625,7 @@ mod tests {
                 FusionOptions::default(),
                 units,
                 4,
+                false,
                 &NoInstrumentation,
             );
             assert_eq!(run.units.len(), 5);
@@ -446,9 +659,170 @@ mod tests {
             FusionOptions::default(),
             units,
             16,
+            false,
             &NoInstrumentation,
         );
         assert_eq!(run.units.len(), 2);
-        assert_eq!(run.worker_data.len(), 2, "clamped to one worker per unit");
+        assert_eq!(run.effective_jobs, 2, "clamped to one worker per unit");
+        assert_eq!(run.worker_data.len(), 2, "one chunk per unit");
+    }
+
+    #[test]
+    fn zero_jobs_clamp_to_sequential() {
+        // `CompilerOptions { jobs: 0, .. }` built by struct literal
+        // bypasses the driver's `with_jobs` clamp; the executor must clamp
+        // at the use site rather than feed 0 into the chunk math.
+        let mut ctx = Ctx::new();
+        let units = make_units(&mut ctx, 3);
+        let ps = phases();
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        let run = run_units_parallel(
+            &mut ctx,
+            &phases,
+            &plan,
+            FusionOptions::default(),
+            units,
+            0,
+            false,
+            &NoInstrumentation,
+        );
+        assert_eq!(run.units.len(), 3);
+        assert_eq!(run.effective_jobs, 1, "jobs=0 runs sequentially");
+    }
+
+    /// Allocates a fresh symbol for every literal it sees — a symbol-heavy
+    /// phase that overflows deliberately tiny shards.
+    struct SymHungry;
+    impl PhaseInfo for SymHungry {
+        fn name(&self) -> &str {
+            "symHungry"
+        }
+    }
+    impl MiniPhase for SymHungry {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, tree: &TreeRef) -> TreeRef {
+            let root = ctx.symbols.builtins().root_pkg;
+            let name = ctx.fresh_name("hungry");
+            ctx.symbols
+                .new_term(root, name, mini_ir::Flags::EMPTY, mini_ir::Type::Int);
+            tree.clone()
+        }
+    }
+
+    #[test]
+    fn shard_overflow_chains_and_stays_deterministic() {
+        // Regression for the hard `worker symbol shard overflow` abort: a
+        // chunk allocating more symbols than its stride must chain
+        // overflow shards and still merge byte-identically to sequential.
+        let hungry = || -> Vec<Box<dyn MiniPhase>> { vec![Box::new(SymHungry)] };
+        let tiny = ParallelTuning {
+            chunks_per_worker: 1,
+            sym_shard_capacity: 2, // 10 literals per unit ⇒ 5 overflow shards per chunk
+        };
+        let run = |jobs: usize| -> (Vec<String>, ExecStats, usize) {
+            let mut ctx = Ctx::new();
+            let units = make_units(&mut ctx, 6);
+            let ps = hungry();
+            let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+            let run = run_units_parallel_tuned(
+                &mut ctx,
+                &hungry,
+                &plan,
+                FusionOptions::default(),
+                units,
+                jobs,
+                false,
+                &NoInstrumentation,
+                tiny,
+            );
+            let printed: Vec<String> = run
+                .units
+                .iter()
+                .map(|u| mini_ir::printer::print_tree(&u.tree, &ctx.symbols))
+                .collect();
+            // Every created symbol resolves through the merged table, and
+            // the sweep order stays strictly ascending.
+            let ids: Vec<u32> = ctx.symbols.ids().map(|s| s.index()).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids ascending");
+            for id in ctx.symbols.ids() {
+                let _ = ctx.symbols.sym(id);
+            }
+            (printed, run.stats, ctx.symbols.len())
+        };
+        let (seq, seq_stats, seq_len) = run(1);
+        for jobs in [2, 3] {
+            let (par, par_stats, par_len) = run(jobs);
+            assert_eq!(seq, par, "trees diverged at jobs={jobs}");
+            assert_eq!(seq_stats, par_stats, "stats diverged at jobs={jobs}");
+            assert_eq!(seq_len, par_len, "symbol counts diverged at jobs={jobs}");
+        }
+    }
+
+    /// A phase whose postcondition rejects negative literals — used to
+    /// plant deterministic checker failures in chosen units.
+    struct NoNegatives;
+    impl PhaseInfo for NoNegatives {
+        fn name(&self) -> &str {
+            "noNegatives"
+        }
+    }
+    impl MiniPhase for NoNegatives {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::EMPTY
+        }
+        fn check_post_condition(&self, _ctx: &Ctx, t: &TreeRef) -> Result<(), String> {
+            if let TreeKind::Literal { value } = t.kind() {
+                if value.as_int().is_some_and(|i| i < 0) {
+                    return Err("negative literal survived".into());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn checker_failures_merge_in_unit_order() {
+        // Units 2 and 5 carry planted violations. Whichever worker thread
+        // trips first on the wall clock, the merged failure list must be
+        // byte-identical to the sequential one — so the *first* failure
+        // always names the first failing unit in unit order (u2).
+        let mk = || -> Vec<Box<dyn MiniPhase>> { vec![Box::new(NoNegatives)] };
+        let run = |jobs: usize| -> Vec<String> {
+            let mut ctx = Ctx::new();
+            let units: Vec<CompilationUnit> = (0..7)
+                .map(|u| {
+                    let v = if u == 2 || u == 5 {
+                        -(u as i64)
+                    } else {
+                        u as i64
+                    };
+                    let lit = ctx.lit_int(v);
+                    let e = ctx.lit_unit();
+                    let tree = ctx.block(vec![lit], e);
+                    CompilationUnit::new(format!("u{u}"), tree)
+                })
+                .collect();
+            let ps = mk();
+            let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+            let run = run_units_parallel(
+                &mut ctx,
+                &mk,
+                &plan,
+                FusionOptions::default(),
+                units,
+                jobs,
+                true,
+                &NoInstrumentation,
+            );
+            run.failures.iter().map(|f| f.to_string()).collect()
+        };
+        let seq = run(1);
+        assert!(!seq.is_empty(), "planted violations are found");
+        assert!(seq[0].contains("u2"), "first failure is unit-order first");
+        for jobs in [2, 3, 8] {
+            assert_eq!(seq, run(jobs), "failure lists diverged at jobs={jobs}");
+        }
     }
 }

@@ -67,12 +67,17 @@ pub struct CompilerOptions {
     pub max_group_size: Option<usize>,
     /// Worker threads for the transform pipeline. `1` (the default) runs
     /// the sequential phase-major loop; higher values schedule unit-level
-    /// parallel compilation ([`miniphase::parallel`]): workers own
-    /// contiguous unit chunks end-to-end with private tree arenas and
-    /// forked symbol tables, and results merge back deterministically in
-    /// unit order — output trees and [`miniphase::ExecStats`] are
-    /// byte-identical to `jobs = 1` (proptest-enforced). The dynamic
-    /// checker (`check`) forces sequential execution regardless of `jobs`.
+    /// parallel compilation ([`miniphase::parallel`]): worker threads
+    /// claim interleaved unit chunks through an atomic index, each chunk
+    /// compiling end-to-end with a private tree arena and an O(1)
+    /// copy-on-write symbol-table fork, and results merge back
+    /// deterministically in unit order — output trees,
+    /// [`miniphase::ExecStats`] and dynamic-checker diagnostics are
+    /// byte-identical to `jobs = 1` (proptest-enforced). The checker
+    /// (`check`) runs per worker chunk and **no longer forces sequential
+    /// execution**; verified production runs keep their parallelism.
+    /// Execution sites must read [`CompilerOptions::effective_jobs`], which
+    /// clamps struct-literal zeros.
     pub jobs: usize,
 }
 
@@ -121,10 +126,23 @@ impl CompilerOptions {
         self
     }
 
-    /// True if this run takes the parallel executor (more than one job and
-    /// no dynamic checking).
-    fn parallel(&self) -> bool {
-        self.jobs > 1 && !self.check
+    /// Returns a copy with the dynamic tree checker switched on or off
+    /// (§6.3; ≈1.5×). Checked runs keep their `jobs` parallelism — the
+    /// checker replays per worker chunk with deterministic failure
+    /// ordering.
+    pub fn with_check(mut self, on: bool) -> CompilerOptions {
+        self.check = on;
+        self
+    }
+
+    /// The worker-thread count this configuration actually compiles with:
+    /// `jobs` clamped to at least 1. Struct-literal construction can
+    /// bypass [`CompilerOptions::with_jobs`]'s clamp with `jobs: 0`, so
+    /// every execution site must go through this accessor rather than read
+    /// `jobs` raw — a zero must select the sequential path, not reach the
+    /// parallel chunk math.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.max(1)
     }
 
     fn plan_options(&self) -> PlanOptions {
@@ -177,6 +195,11 @@ pub struct Compiled {
     pub check_failures: Vec<miniphase::CheckFailure>,
     /// Number of fusion groups the plan produced.
     pub groups: usize,
+    /// Worker threads the transform pipeline actually used — the requested
+    /// [`CompilerOptions::jobs`] after clamping (zero → 1, and never more
+    /// than one worker per unit). Surfaced so a downgraded run is visible
+    /// in reports instead of silently claiming the requested parallelism.
+    pub effective_jobs: usize,
     /// Lowered unit trees (for inspection).
     pub units: Vec<CompilationUnit>,
 }
@@ -264,7 +287,7 @@ pub fn compile_sources(
     let (phases, plan) = standard_plan(opts)?;
     let groups = plan.group_count();
     let tr_start = Instant::now();
-    let (units, exec, failures) = if opts.parallel() {
+    let (units, exec, failures, effective_jobs) = if opts.effective_jobs() > 1 {
         drop(phases); // each worker builds its own instances via the factory
         let run = miniphase::run_units_parallel(
             &mut ctx,
@@ -272,16 +295,17 @@ pub fn compile_sources(
             &plan,
             opts.fusion,
             units,
-            opts.jobs,
+            opts.effective_jobs(),
+            opts.check,
             &miniphase::NoInstrumentation,
         );
-        (run.units, run.stats, Vec::new())
+        (run.units, run.stats, run.failures, run.effective_jobs)
     } else {
         let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
         pipeline.check = opts.check;
         let units = pipeline.run_units(&mut ctx, units);
         let failures = std::mem::take(&mut pipeline.failures);
-        (units, pipeline.stats, failures)
+        (units, pipeline.stats, failures, 1)
     };
     let transforms = tr_start.elapsed();
     if ctx.has_errors() {
@@ -308,6 +332,7 @@ pub fn compile_sources(
         exec,
         check_failures: Vec::new(),
         groups,
+        effective_jobs,
         units,
     })
 }

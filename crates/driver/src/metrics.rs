@@ -77,6 +77,10 @@ pub struct Measurement {
     pub stalled_cycles: u64,
     /// Number of fusion groups (traversals per unit).
     pub groups: usize,
+    /// Worker threads the transform pipeline actually used (requested
+    /// `jobs` clamped to ≥ 1 and to the unit count). Figures must report
+    /// this, not the requested value — a downgraded run must be visible.
+    pub effective_jobs: usize,
     /// Corpus size in lines, for throughput numbers.
     pub corpus_loc: usize,
 }
@@ -280,81 +284,102 @@ pub fn measure(
         .cache_config
         .unwrap_or_else(CacheConfig::scaled_to_corpus);
 
-    let (units, exec, alloc, gc_stats, counters, transforms) = if opts.parallel() {
-        // Parallel measured run: one simulator pair per worker (installed
-        // after the trees are imported, so the streams cover the transform
-        // pipeline only, as below), counters fanned back in in unit order.
-        drop(phases);
-        let sims = PerWorkerSims {
-            gc: instr.gc,
-            cache: instr.cache,
-            gc_config,
-            cache_config,
+    let (units, exec, alloc, gc_stats, counters, transforms, effective_jobs) =
+        if opts.effective_jobs() > 1 {
+            // Parallel measured run: one simulator pair per chunk (installed
+            // after the trees are imported, so the streams cover the transform
+            // pipeline only, as below), counters fanned back in in unit order.
+            drop(phases);
+            let sims = PerWorkerSims {
+                gc: instr.gc,
+                cache: instr.cache,
+                gc_config,
+                cache_config,
+            };
+            let tr_start = Instant::now();
+            let run = miniphase::run_units_parallel(
+                &mut ctx,
+                &mini_phases::standard_pipeline,
+                &plan,
+                opts.fusion,
+                units,
+                opts.effective_jobs(),
+                opts.check,
+                &sims,
+            );
+            let transforms = tr_start.elapsed();
+            let mut gc_stats = GcStats::default();
+            let mut counters = Counters::default();
+            let mut alloc = AllocStats::default();
+            for (g, c, a) in &run.worker_data {
+                merge_gc(&mut gc_stats, g);
+                merge_cache(&mut counters, c);
+                alloc.nodes += a.nodes;
+                alloc.bytes += a.bytes;
+            }
+            if ctx.has_errors() {
+                return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+            }
+            if opts.check && !run.failures.is_empty() {
+                return Err(CompileError::Check(run.failures));
+            }
+            (
+                run.units,
+                run.stats,
+                alloc,
+                gc_stats,
+                counters,
+                transforms,
+                run.effective_jobs,
+            )
+        } else {
+            let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
+            pipeline.check = opts.check;
+
+            let gc = Rc::new(RefCell::new(GcSim::new(gc_config)));
+            let cache = Rc::new(RefCell::new(Hierarchy::new(cache_config)));
+            if instr.gc {
+                trace::install_heap_sink(Box::new(GcHook {
+                    sim: Rc::clone(&gc),
+                }));
+            }
+            if instr.cache {
+                ctx.access = Some(Box::new(CacheHook {
+                    h: Rc::clone(&cache),
+                }));
+            }
+            let alloc_before = ctx.stats;
+
+            let tr_start = Instant::now();
+            let units = pipeline.run_units(&mut ctx, units);
+            let transforms = tr_start.elapsed();
+
+            if instr.gc {
+                let _ = trace::take_heap_sink();
+            }
+            ctx.access = None;
+            let alloc = AllocStats {
+                nodes: ctx.stats.nodes - alloc_before.nodes,
+                bytes: ctx.stats.bytes - alloc_before.bytes,
+            };
+            if ctx.has_errors() {
+                return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+            }
+            if opts.check && !pipeline.failures.is_empty() {
+                return Err(CompileError::Check(std::mem::take(&mut pipeline.failures)));
+            }
+            let gc_stats = gc.borrow().stats();
+            let counters = cache.borrow().counters();
+            (
+                units,
+                pipeline.stats,
+                alloc,
+                gc_stats,
+                counters,
+                transforms,
+                1,
+            )
         };
-        let tr_start = Instant::now();
-        let run = miniphase::run_units_parallel(
-            &mut ctx,
-            &mini_phases::standard_pipeline,
-            &plan,
-            opts.fusion,
-            units,
-            opts.jobs,
-            &sims,
-        );
-        let transforms = tr_start.elapsed();
-        let mut gc_stats = GcStats::default();
-        let mut counters = Counters::default();
-        let mut alloc = AllocStats::default();
-        for (g, c, a) in &run.worker_data {
-            merge_gc(&mut gc_stats, g);
-            merge_cache(&mut counters, c);
-            alloc.nodes += a.nodes;
-            alloc.bytes += a.bytes;
-        }
-        if ctx.has_errors() {
-            return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
-        }
-        (run.units, run.stats, alloc, gc_stats, counters, transforms)
-    } else {
-        let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
-        pipeline.check = opts.check;
-
-        let gc = Rc::new(RefCell::new(GcSim::new(gc_config)));
-        let cache = Rc::new(RefCell::new(Hierarchy::new(cache_config)));
-        if instr.gc {
-            trace::install_heap_sink(Box::new(GcHook {
-                sim: Rc::clone(&gc),
-            }));
-        }
-        if instr.cache {
-            ctx.access = Some(Box::new(CacheHook {
-                h: Rc::clone(&cache),
-            }));
-        }
-        let alloc_before = ctx.stats;
-
-        let tr_start = Instant::now();
-        let units = pipeline.run_units(&mut ctx, units);
-        let transforms = tr_start.elapsed();
-
-        if instr.gc {
-            let _ = trace::take_heap_sink();
-        }
-        ctx.access = None;
-        let alloc = AllocStats {
-            nodes: ctx.stats.nodes - alloc_before.nodes,
-            bytes: ctx.stats.bytes - alloc_before.bytes,
-        };
-        if ctx.has_errors() {
-            return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
-        }
-        if opts.check && !pipeline.failures.is_empty() {
-            return Err(CompileError::Check(std::mem::take(&mut pipeline.failures)));
-        }
-        let gc_stats = gc.borrow().stats();
-        let counters = cache.borrow().counters();
-        (units, pipeline.stats, alloc, gc_stats, counters, transforms)
-    };
 
     // Backend (not instrumented).
     let be_start = Instant::now();
@@ -382,6 +407,7 @@ pub fn measure(
         cycles: cmodel.cycles(instructions, &counters),
         stalled_cycles: cmodel.stalled_cycles(instructions, &counters),
         groups,
+        effective_jobs,
         corpus_loc,
     })
 }
@@ -493,6 +519,18 @@ mod tests {
         let par =
             measure(&w.sources(), &CompilerOptions::fused().with_jobs(4), instr).expect("par");
         assert_eq!(seq.exec, par.exec, "ExecStats must not depend on jobs");
+        assert_eq!(seq.effective_jobs, 1);
+        assert_eq!(par.effective_jobs, 4, "measured runs report actual jobs");
+        // Checked parallel measured runs work too (no silent downgrade) and
+        // keep the same executor counters.
+        let checked = measure(
+            &w.sources(),
+            &CompilerOptions::fused().with_jobs(4).with_check(true),
+            instr,
+        )
+        .expect("checked par");
+        assert_eq!(seq.exec, checked.exec, "checker must not perturb ExecStats");
+        assert_eq!(checked.effective_jobs, 4);
         // Simulated totals exist and are in the same ballpark. The merged
         // counters cover the transform pipeline only (import copies are
         // excluded by the post-import floor), but each worker's private

@@ -570,15 +570,45 @@ fn parallel_batch_runs_identically() {
         .map(|(n, s)| (n.as_str(), s.as_str()))
         .collect();
 
-    let run_with = |jobs: usize| -> Vec<String> {
-        let compiled = compile_sources(&borrowed, &CompilerOptions::fused().with_jobs(jobs))
-            .unwrap_or_else(|e| panic!("jobs={jobs} failed:\n{e}"));
+    let run_with = |jobs: usize, check: bool| -> Vec<String> {
+        let opts = CompilerOptions::fused().with_jobs(jobs).with_check(check);
+        let compiled = compile_sources(&borrowed, &opts)
+            .unwrap_or_else(|e| panic!("jobs={jobs} check={check} failed:\n{e}"));
+        assert_eq!(
+            compiled.effective_jobs,
+            jobs.min(borrowed.len()),
+            "driver must report the jobs actually used"
+        );
         let mut vm = Vm::new(&compiled.program);
         vm.run_main().expect("runs");
         vm.out
     };
-    let seq = run_with(1);
-    let par = run_with(4);
+    let seq = run_with(1, false);
+    let par = run_with(4, false);
     assert_eq!(seq, par, "VM output must not depend on jobs");
+    // The dynamic checker no longer forces jobs=1; a checked parallel run
+    // compiles, checks cleanly, and executes identically.
+    let par_checked = run_with(4, true);
+    assert_eq!(seq, par_checked, "VM output must not depend on check+jobs");
     assert!(!seq.is_empty());
+}
+
+/// `CompilerOptions { jobs: 0, .. }` built by struct literal bypasses the
+/// `with_jobs` clamp; the driver must clamp at the use site
+/// (`effective_jobs()`) instead of feeding 0 into the chunk math.
+#[test]
+fn struct_literal_zero_jobs_runs_sequentially() {
+    let opts = CompilerOptions {
+        jobs: 0,
+        ..CompilerOptions::fused()
+    };
+    assert_eq!(opts.effective_jobs(), 1);
+    let compiled = mini_driver::compile("def main(): Unit = println(6 * 7)", &opts)
+        .expect("jobs=0 compiles via the sequential path");
+    assert_eq!(
+        compiled.effective_jobs, 1,
+        "downgrade is reported, not hidden"
+    );
+    let (_, out) = compile_and_run("def main(): Unit = println(6 * 7)", &opts).expect("runs");
+    assert_eq!(out, vec!["42"]);
 }

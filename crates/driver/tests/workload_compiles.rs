@@ -23,3 +23,17 @@ fn small_corpus_passes_the_tree_checker() {
     opts.check = true;
     compile_sources(&w.sources(), &opts).unwrap_or_else(|e| panic!("checker failures:\n{e}"));
 }
+
+#[test]
+fn small_corpus_passes_the_tree_checker_in_parallel() {
+    // `check = true` no longer downgrades to sequential execution: the
+    // checker replays per worker chunk and the run keeps its parallelism.
+    let w = generate(&WorkloadConfig::small());
+    let opts = CompilerOptions::fused().with_jobs(4).with_check(true);
+    let c = compile_sources(&w.sources(), &opts)
+        .unwrap_or_else(|e| panic!("parallel checker failures:\n{e}"));
+    assert!(
+        c.effective_jobs > 1,
+        "checked run was silently downgraded to sequential"
+    );
+}

@@ -12,6 +12,7 @@ use crate::span::Span;
 use crate::types::Type;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A compact handle identifying one definition.
 ///
@@ -127,13 +128,39 @@ impl Shard {
     }
 }
 
+/// Index into a `start`-sorted, disjoint shard list of the shard containing
+/// `id`, or `None`. The one definition of shard resolution shared by every
+/// read, write, and fork-snapshot path — a boundary fix here fixes all of
+/// them at once.
+fn find_shard(shards: &[Shard], id: u32) -> Option<usize> {
+    let at = shards.partition_point(|s| s.start + s.syms.len() as u32 <= id);
+    shards.get(at).filter(|s| s.contains(id)).map(|_| at)
+}
+
+/// Where a worker fork carves **overflow shards** once its primary shard
+/// fills. A symbol-heavy unit chunk no longer aborts the compile: the fork
+/// chains a fresh shard at `next_start`, then advances `next_start` by
+/// `step`. The scheduler interleaves forks' overflow regions (fork `c` of
+/// `k` concurrent forks steps by `k × capacity`), so chained ids stay
+/// globally unique without any cross-thread coordination.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardGrowth {
+    /// First id of this fork's next overflow shard.
+    pub next_start: u32,
+    /// Id distance between this fork's consecutive overflow shards.
+    pub step: u32,
+    /// Capacity of each overflow shard.
+    pub capacity: u32,
+}
+
 /// Everything a parallel-compilation worker did to its forked
 /// [`SymbolTable`], packaged for the deterministic merge back into the
-/// origin table: the shard of newly created symbols (globally unique ids,
-/// adopted verbatim) and the base symbols it mutated (fork-time snapshot +
-/// final value, merged field-wise with append-aware `decls` handling).
+/// origin table: the shards of newly created symbols (globally unique ids,
+/// adopted verbatim; a primary shard plus any chained overflow shards) and
+/// the base symbols it mutated (fork-time snapshot + final value, merged
+/// field-wise with append-aware `decls` handling).
 pub struct SymbolDelta {
-    shard: Shard,
+    shards: Vec<Shard>,
     /// `(id, fork-time snapshot, final value)`, ascending by id.
     dirty: Vec<(SymbolId, SymbolData, SymbolData)>,
 }
@@ -150,25 +177,37 @@ pub struct SymbolDelta {
 /// assert!(tab.is_subtype(&tab.class_type(c), &Type::AnyRef));
 /// ```
 pub struct SymbolTable {
-    syms: Vec<SymbolData>,
+    /// The base arena. `Arc`-shared so [`SymbolTable::fork_for_worker`] is
+    /// O(1) in base-table size: forks alias the same frozen snapshot, and
+    /// ordinary tables mutate through [`Arc::make_mut`] (free while no fork
+    /// is alive, which the fork/merge protocol guarantees at mutation time).
+    syms: Arc<Vec<SymbolData>>,
     builtins: Builtins,
-    /// Worker tables only: where this fork allocates new symbols. `None` on
-    /// ordinary tables, which extend `syms` contiguously.
-    shard: Option<Shard>,
+    /// Worker tables only: where this fork allocates new symbols — the
+    /// primary shard plus any chained overflow shards, ascending by
+    /// `start`. Empty on ordinary tables, which extend `syms` contiguously.
+    shards: Vec<Shard>,
+    /// Worker tables only: where overflow shards carve fresh id ranges once
+    /// the primary shard fills.
+    growth: Option<ShardGrowth>,
     /// Shards merged in from finished workers, sorted by `start`. Resolved
     /// read-only; a table with adopted shards keeps allocating in the gap
-    /// between `syms.len()` and the first shard.
-    adopted: Vec<Shard>,
-    /// Worker tables only: fork-time snapshots of base symbols mutated
-    /// through [`SymbolTable::sym_mut`], keyed by id.
-    journal: Option<BTreeMap<u32, SymbolData>>,
+    /// between `syms.len()` and the first shard. `Arc`-shared with forks
+    /// for the same O(1)-fork reason as `syms`.
+    adopted: Arc<Vec<Shard>>,
+    /// Worker tables only: copy-on-write overlay holding this fork's
+    /// mutations of pre-fork symbols (base arena **or** previously adopted
+    /// shards), keyed by id. The shared base is never written; the
+    /// fork-time snapshot a [`SymbolDelta`] needs *is* the frozen base
+    /// value. `None` on ordinary tables.
+    overlay: Option<BTreeMap<u32, SymbolData>>,
 }
 
 impl SymbolTable {
     /// Creates a table pre-populated with the built-in definitions.
     pub fn new() -> SymbolTable {
         let mut tab = SymbolTable {
-            syms: vec![SymbolData {
+            syms: Arc::new(vec![SymbolData {
                 // Index 0 is the NONE sentinel.
                 name: std_names::root_pkg(),
                 flags: Flags::EMPTY,
@@ -179,7 +218,7 @@ impl SymbolTable {
                 parents: Vec::new(),
                 decls: Vec::new(),
                 tparams: Vec::new(),
-            }],
+            }]),
             builtins: Builtins {
                 root_pkg: SymbolId::NONE,
                 any_class: SymbolId::NONE,
@@ -189,9 +228,10 @@ impl SymbolTable {
                 println_fn: SymbolId::NONE,
                 function_classes: [SymbolId::NONE; 4],
             },
-            shard: None,
-            adopted: Vec::new(),
-            journal: None,
+            shards: Vec::new(),
+            growth: None,
+            adopted: Arc::new(Vec::new()),
+            overlay: None,
         };
         let root = tab.alloc(SymbolData {
             name: std_names::root_pkg(),
@@ -316,10 +356,11 @@ impl SymbolTable {
     }
 
     /// Total number of symbols allocated (including builtins and any worker
-    /// shards this table allocated or adopted).
+    /// shards this table allocated or adopted). Mutated pre-fork symbols in
+    /// a fork's overlay shadow base entries, so they do not count twice.
     pub fn len(&self) -> usize {
         self.syms.len()
-            + self.shard.as_ref().map_or(0, |s| s.syms.len())
+            + self.shards.iter().map(|s| s.syms.len()).sum::<usize>()
             + self.adopted.iter().map(|s| s.syms.len()).sum::<usize>()
     }
 
@@ -329,17 +370,17 @@ impl SymbolTable {
     }
 
     /// Every resolvable symbol id except the `NONE` sentinel, ascending:
-    /// the base arena, then adopted shards, then this table's own shard
-    /// (a fork's own shard always starts above every shard it inherited,
-    /// so this chain *is* ascending id order — the deterministic sweep
-    /// order the parallel-determinism guarantee relies on). Whole-table
-    /// sweeps (`ElimByName`, `Erasure`, `Flatten`) must use this rather
-    /// than `1..len()` — ids are **not** contiguous once a table has a
-    /// worker shard.
+    /// the base arena, then adopted shards, then this table's own shards
+    /// (a fork's own shards always start above every shard it inherited
+    /// and chain upward, so this chain *is* ascending id order — the
+    /// deterministic sweep order the parallel-determinism guarantee relies
+    /// on). Whole-table sweeps (`ElimByName`, `Erasure`, `Flatten`) must
+    /// use this rather than `1..len()` — ids are **not** contiguous once a
+    /// table has a worker shard.
     pub fn ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
         let base = 1..self.syms.len() as u32;
         let own = self
-            .shard
+            .shards
             .iter()
             .flat_map(|s| s.start..s.start + s.syms.len() as u32);
         let adopted = self
@@ -355,67 +396,115 @@ impl SymbolTable {
         let base = self.syms.len() as u32;
         self.adopted
             .iter()
+            .chain(self.shards.iter())
             .map(|s| s.start + s.syms.len() as u32)
             .fold(base, u32::max)
     }
 
-    /// Forks a worker-private table for parallel compilation: a full copy of
-    /// the current symbols whose *new* allocations receive ids in
-    /// `start..start + capacity` instead of extending the base arena, so
-    /// every worker's ids stay globally unique without coordination. All
-    /// mutations of pre-fork symbols are journaled; ship the result back
-    /// through [`SymbolTable::into_delta`] / [`SymbolTable::adopt`].
+    /// True if `self` and `other` alias the same frozen base arena and
+    /// adopted-shard list — i.e. no symbol data was copied between them.
+    /// This is the copy-on-write fork invariant the fork-cost regression
+    /// test pins: [`SymbolTable::fork_for_worker`] is O(1) in base-table
+    /// size precisely because this holds for every fresh fork.
+    pub fn base_shared_with(&self, other: &SymbolTable) -> bool {
+        Arc::ptr_eq(&self.syms, &other.syms) && Arc::ptr_eq(&self.adopted, &other.adopted)
+    }
+
+    /// Forks a worker-private table for parallel compilation in **O(1)**:
+    /// the fork aliases the origin's frozen base arena and adopted shards
+    /// (no symbol is copied), *new* allocations receive ids in
+    /// `start..start + capacity` — chaining overflow shards per `growth`
+    /// when the primary shard fills — and mutations of pre-fork symbols go
+    /// to a private copy-on-write overlay, so every worker's ids stay
+    /// globally unique and every worker's writes stay invisible to its
+    /// siblings without coordination. Ship the result back through
+    /// [`SymbolTable::into_delta`] / [`SymbolTable::adopt`].
+    ///
+    /// The origin table must not allocate or mutate symbols while forks are
+    /// alive (the parallel scheduler forks before spawning workers and
+    /// merges after joining them, so this holds by construction); ordinary
+    /// mutation resumes for free once every fork has been consumed.
     ///
     /// # Panics
     ///
     /// Panics if `start` is below [`SymbolTable::id_ceiling`] (the shard
-    /// would shadow resolvable ids) or if called on a table that is itself a
-    /// worker fork.
-    pub fn fork_for_worker(&self, start: u32, capacity: u32) -> SymbolTable {
-        assert!(self.shard.is_none(), "cannot fork a worker fork");
+    /// would shadow resolvable ids), if the overflow region overlaps the
+    /// primary shard, if a capacity is zero, or if called on a table that
+    /// is itself a worker fork.
+    pub fn fork_for_worker(&self, start: u32, capacity: u32, growth: ShardGrowth) -> SymbolTable {
+        assert!(self.overlay.is_none(), "cannot fork a worker fork");
         assert!(start >= self.id_ceiling(), "worker shard shadows live ids");
+        assert!(
+            capacity > 0 && growth.capacity > 0 && growth.step >= growth.capacity,
+            "degenerate shard capacities"
+        );
+        assert!(
+            growth.next_start >= start.saturating_add(capacity),
+            "overflow region overlaps the primary shard"
+        );
         SymbolTable {
-            syms: self.syms.clone(),
+            syms: Arc::clone(&self.syms),
             builtins: self.builtins,
-            shard: Some(Shard {
+            shards: vec![Shard {
                 start,
                 capacity,
                 syms: Vec::new(),
-            }),
-            adopted: self.adopted.clone(),
-            journal: Some(BTreeMap::new()),
+            }],
+            growth: Some(growth),
+            adopted: Arc::clone(&self.adopted),
+            overlay: Some(BTreeMap::new()),
+        }
+    }
+
+    /// Resolves `id` in the frozen pre-fork state only (base arena and
+    /// adopted shards), bypassing the overlay — the fork-time snapshot of a
+    /// mutated symbol.
+    fn pre_fork_sym(&self, id: SymbolId) -> &SymbolData {
+        let i = id.0 as usize;
+        if i < self.syms.len() {
+            return &self.syms[i];
+        }
+        match find_shard(&self.adopted, id.0) {
+            Some(at) => {
+                let sh = &self.adopted[at];
+                &sh.syms[(id.0 - sh.start) as usize]
+            }
+            None => panic!("dangling {id:?} (not in base or any adopted shard)"),
         }
     }
 
     /// Consumes a worker fork into the delta its origin table needs for the
-    /// merge: the shard of new symbols plus every journaled base mutation as
-    /// a `(fork snapshot, final value)` pair.
+    /// merge: the shards of new symbols plus every overlay mutation as a
+    /// `(fork snapshot, final value)` pair. The snapshot is read straight
+    /// from the shared frozen base — it *is* the fork-time value, because
+    /// the base never changes while a fork is alive.
     ///
     /// # Panics
     ///
     /// Panics if the table is not a worker fork.
     pub fn into_delta(mut self) -> SymbolDelta {
-        let shard = self.shard.take().expect("into_delta on a non-fork table");
-        let journal = self.journal.take().unwrap_or_default();
-        let dirty = journal
+        let overlay = self.overlay.take().expect("into_delta on a non-fork table");
+        let shards = std::mem::take(&mut self.shards)
             .into_iter()
-            .map(|(id, fork)| {
-                // `sym` rather than direct indexing: journaled ids cover the
-                // base arena *and* shards adopted from earlier parallel runs.
-                let fin = self.sym(SymbolId(id)).clone();
+            .filter(|s| !s.syms.is_empty())
+            .collect();
+        let dirty = overlay
+            .into_iter()
+            .map(|(id, fin)| {
+                let fork = self.pre_fork_sym(SymbolId(id)).clone();
                 (SymbolId(id), fork, fin)
             })
             .collect();
-        SymbolDelta { shard, dirty }
+        SymbolDelta { shards, dirty }
     }
 
-    /// Merges one worker's [`SymbolDelta`] back in. Call once per worker,
-    /// in unit order (workers own contiguous unit chunks, so worker order
-    /// *is* unit order); the merge is then deterministic:
+    /// Merges one worker's [`SymbolDelta`] back in. Call once per worker
+    /// fork, in unit order (forks own contiguous unit chunks, so chunk
+    /// order *is* unit order); the merge is then deterministic:
     ///
-    /// * the shard of worker-created symbols is adopted verbatim — its ids
-    ///   were globally unique from birth, so trees referencing them resolve
-    ///   with no rewriting;
+    /// * the shards of worker-created symbols are adopted verbatim — their
+    ///   ids were globally unique from birth, so trees referencing them
+    ///   resolve with no rewriting;
     /// * mutated pre-fork symbols (base arena or previously adopted shards)
     ///   merge field-wise against the fork snapshot: only fields the worker
     ///   actually changed overwrite, and a `decls` list that grew by
@@ -425,8 +514,8 @@ impl SymbolTable {
     ///
     /// Known, deliberate divergence: for owners shared across unit chunks
     /// (in practice only the root package), the merged `decls` order is
-    /// *worker-major* — all of worker 0's appends across every phase group,
-    /// then worker 1's — while the sequential pipeline interleaves appends
+    /// *chunk-major* — all of chunk 0's appends across every phase group,
+    /// then chunk 1's — while the sequential pipeline interleaves appends
     /// *group-major*. The membership set is identical either way, printed
     /// trees and codegen never consume package-decls order (codegen walks
     /// unit trees; `RestoreScopes` guards with `decls.contains`), and
@@ -470,33 +559,47 @@ impl SymbolTable {
                 cur.decls = fin.decls;
             }
         }
-        if !delta.shard.syms.is_empty() {
-            self.adopted.push(delta.shard);
-            self.adopted.sort_by_key(|s| s.start);
+        if delta.shards.iter().any(|s| !s.syms.is_empty()) {
+            let adopted = Arc::make_mut(&mut self.adopted);
+            adopted.extend(delta.shards.into_iter().filter(|s| !s.syms.is_empty()));
+            adopted.sort_by_key(|s| s.start);
         }
     }
 
     fn alloc(&mut self, data: SymbolData) -> SymbolId {
         let owner = data.owner;
-        let id = match &mut self.shard {
-            Some(sh) => {
-                assert!(
-                    (sh.syms.len() as u32) < sh.capacity,
-                    "worker symbol shard overflow"
+        let id = if self.overlay.is_some() {
+            // Worker fork: allocate in the current own shard, chaining a
+            // fresh overflow shard from the growth plan when it fills —
+            // a symbol-heavy chunk grows instead of aborting the compile.
+            if self
+                .shards
+                .last()
+                .is_none_or(|s| s.syms.len() as u32 >= s.capacity)
+            {
+                let g = self.growth.as_mut().expect("worker fork has a growth plan");
+                let start = g.next_start;
+                g.next_start = start.checked_add(g.step).expect(
+                    "symbol id space exhausted: overflow shard chain wrapped the u32 id domain",
                 );
-                let id = SymbolId(sh.start + sh.syms.len() as u32);
-                sh.syms.push(data);
-                id
+                self.shards.push(Shard {
+                    start,
+                    capacity: g.capacity,
+                    syms: Vec::new(),
+                });
             }
-            None => {
-                let id = SymbolId(self.syms.len() as u32);
-                assert!(
-                    self.adopted.iter().all(|s| id.0 < s.start),
-                    "base symbol region collided with an adopted worker shard"
-                );
-                self.syms.push(data);
-                id
-            }
+            let sh = self.shards.last_mut().expect("shard chained above");
+            let id = SymbolId(sh.start + sh.syms.len() as u32);
+            sh.syms.push(data);
+            id
+        } else {
+            let id = SymbolId(self.syms.len() as u32);
+            assert!(
+                self.adopted.iter().all(|s| id.0 < s.start),
+                "base symbol region collided with an adopted worker shard"
+            );
+            Arc::make_mut(&mut self.syms).push(data);
+            id
         };
         if owner.exists() {
             self.sym_mut(owner).decls.push(id);
@@ -587,7 +690,9 @@ impl SymbolTable {
         })
     }
 
-    /// Read access to a symbol's data.
+    /// Read access to a symbol's data. On a worker fork, mutated pre-fork
+    /// symbols resolve from the copy-on-write overlay; everything else
+    /// reads the shared frozen base.
     ///
     /// # Panics
     ///
@@ -595,6 +700,11 @@ impl SymbolTable {
     #[inline]
     pub fn sym(&self, id: SymbolId) -> &SymbolData {
         assert!(id.exists(), "dereferencing SymbolId::NONE");
+        if let Some(ov) = &self.overlay {
+            if let Some(d) = ov.get(&id.0) {
+                return d;
+            }
+        }
         let i = id.0 as usize;
         if i < self.syms.len() {
             &self.syms[i]
@@ -603,26 +713,28 @@ impl SymbolTable {
         }
     }
 
-    /// Out-of-base lookup: the table's own shard, then adopted shards.
+    /// Out-of-base lookup: the table's own shards, then adopted shards.
     #[cold]
     fn shard_sym(&self, id: SymbolId) -> &SymbolData {
-        if let Some(sh) = self.shard.as_ref().filter(|s| s.contains(id.0)) {
+        if let Some(sh) = self.shards.iter().find(|s| s.contains(id.0)) {
             return &sh.syms[(id.0 - sh.start) as usize];
         }
-        let at = self
-            .adopted
-            .partition_point(|s| s.start + s.syms.len() as u32 <= id.0);
-        match self.adopted.get(at) {
-            Some(sh) if sh.contains(id.0) => &sh.syms[(id.0 - sh.start) as usize],
-            _ => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
+        match find_shard(&self.adopted, id.0) {
+            Some(at) => {
+                let sh = &self.adopted[at];
+                &sh.syms[(id.0 - sh.start) as usize]
+            }
+            None => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
         }
     }
 
     /// Mutable access to a symbol's data. On a worker fork, the first
     /// mutation of any pre-fork symbol — base arena **or** a shard adopted
-    /// from an earlier parallel run — journals its fork-time snapshot for
-    /// the deterministic merge ([`SymbolTable::adopt`]); only the fork's
-    /// own shard is exempt (it ships back wholesale).
+    /// from an earlier parallel run — copies it into the fork's private
+    /// overlay and mutates the copy; the shared frozen base is never
+    /// written, which is what makes the O(1) fork sound and gives
+    /// [`SymbolTable::into_delta`] its fork-time snapshots for free. Only
+    /// the fork's own shards mutate in place (they ship back wholesale).
     ///
     /// # Panics
     ///
@@ -631,31 +743,48 @@ impl SymbolTable {
         assert!(id.exists(), "dereferencing SymbolId::NONE");
         let SymbolTable {
             syms,
-            shard,
+            shards,
             adopted,
-            journal,
+            overlay,
             ..
         } = self;
-        let i = id.0 as usize;
-        if i < syms.len() {
-            if let Some(j) = journal {
-                j.entry(id.0).or_insert_with(|| syms[i].clone());
-            }
-            return &mut syms[i];
-        }
-        if let Some(sh) = shard.as_mut().filter(|s| s.contains(id.0)) {
+        // Fork-created symbols (own shards) mutate in place on both table
+        // kinds; their ids are disjoint from everything pre-fork.
+        if let Some(sh) = shards.iter_mut().find(|s| s.contains(id.0)) {
             return &mut sh.syms[(id.0 - sh.start) as usize];
         }
-        let at = adopted.partition_point(|s| s.start + s.syms.len() as u32 <= id.0);
-        match adopted.get_mut(at) {
-            Some(sh) if sh.contains(id.0) => {
-                let slot = &mut sh.syms[(id.0 - sh.start) as usize];
-                if let Some(j) = journal {
-                    j.entry(id.0).or_insert_with(|| slot.clone());
+        if let Some(ov) = overlay {
+            // Worker fork touching a pre-fork symbol: copy-on-write.
+            return ov.entry(id.0).or_insert_with(|| {
+                let i = id.0 as usize;
+                if i < syms.len() {
+                    syms[i].clone()
+                } else {
+                    match find_shard(adopted, id.0) {
+                        Some(at) => {
+                            let sh = &adopted[at];
+                            sh.syms[(id.0 - sh.start) as usize].clone()
+                        }
+                        None => {
+                            panic!("dangling {id:?} (not in base, own shard, or any adopted shard)")
+                        }
+                    }
                 }
-                slot
+            });
+        }
+        // Ordinary table: mutate the base arena or an adopted shard via
+        // copy-on-write `Arc`s (free while no fork aliases them).
+        let i = id.0 as usize;
+        if i < syms.len() {
+            return &mut Arc::make_mut(syms)[i];
+        }
+        let adopted = Arc::make_mut(adopted);
+        match find_shard(adopted, id.0) {
+            Some(at) => {
+                let sh = &mut adopted[at];
+                &mut sh.syms[(id.0 - sh.start) as usize]
             }
-            _ => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
+            None => panic!("dangling {id:?} (not in base, own shard, or any adopted shard)"),
         }
     }
 
@@ -1235,6 +1364,15 @@ mod tests {
         assert!(!tab.is_subtype(&u, &Type::Int));
     }
 
+    /// A generous growth plan for tests that don't exercise overflow.
+    fn roomy_growth(start: u32, capacity: u32) -> ShardGrowth {
+        ShardGrowth {
+            next_start: start + capacity,
+            step: capacity,
+            capacity,
+        }
+    }
+
     #[test]
     fn worker_fork_and_adopt_round_trip() {
         let mut tab = SymbolTable::new();
@@ -1242,7 +1380,7 @@ mod tests {
         let base_len = tab.id_ceiling();
 
         // Run 1: worker creates a shard symbol and mutates a base symbol.
-        let mut fork = tab.fork_for_worker(base_len + 100, 50);
+        let mut fork = tab.fork_for_worker(base_len + 100, 50, roomy_growth(base_len + 150, 50));
         let c = fork.new_class(
             pkg,
             Name::from("W1"),
@@ -1262,14 +1400,111 @@ mod tests {
         assert!(tab.ids().any(|i| i == c), "ids() covers adopted shards");
 
         // Run 2: a later fork mutates the symbol that lives in run 1's
-        // adopted shard — the journal must carry it back (regression:
+        // adopted shard — the overlay must carry it back (regression:
         // adopted-shard mutations were once silently dropped at merge).
-        let mut fork2 = tab.fork_for_worker(tab.id_ceiling() + 100, 50);
+        let start2 = tab.id_ceiling() + 100;
+        let mut fork2 = tab.fork_for_worker(start2, 50, roomy_growth(start2, 50));
         fork2.sym_mut(c).flags |= Flags::LIFTED;
         tab.adopt(fork2.into_delta());
         assert!(
             tab.sym(c).flags.is(Flags::LIFTED),
             "adopted-shard mutation survives the merge"
+        );
+    }
+
+    #[test]
+    fn fork_is_copy_on_write_not_a_deep_copy() {
+        // Build a base table with a few thousand symbols so a deep copy
+        // would be unmistakable, then assert the fork copies *nothing*: it
+        // aliases the same frozen arena (pointer equality), and stays
+        // aliased until it actually mutates a pre-fork symbol.
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        for i in 0..4000 {
+            tab.new_term(pkg, Name::intern(&format!("t{i}")), Flags::EMPTY, Type::Int);
+        }
+        let start = tab.id_ceiling() + 10;
+        let fork = tab.fork_for_worker(start, 100, roomy_growth(start + 100, 100));
+        assert!(
+            fork.base_shared_with(&tab),
+            "fork must alias the origin's base arena, not copy it"
+        );
+
+        // Reads don't break sharing; writes to pre-fork symbols go to the
+        // overlay, also without touching the shared base.
+        let mut fork = fork;
+        let probe = SymbolId::from_index(5);
+        let before = fork.sym(probe).flags;
+        fork.sym_mut(probe).flags |= Flags::SYNTHETIC;
+        assert!(
+            fork.base_shared_with(&tab),
+            "COW overlay keeps the base shared"
+        );
+        assert_eq!(
+            tab.sym(probe).flags,
+            before,
+            "origin never sees fork writes"
+        );
+        assert!(fork.sym(probe).flags.is(Flags::SYNTHETIC));
+
+        // The origin resumes cheap in-place mutation after the fork dies.
+        tab.adopt(fork.into_delta());
+        assert!(tab.sym(probe).flags.is(Flags::SYNTHETIC), "merge lands");
+    }
+
+    #[test]
+    fn shard_exhaustion_chains_overflow_instead_of_panicking() {
+        // Regression: a chunk allocating more than its primary shard's
+        // capacity used to abort the whole compile with a hard
+        // `worker symbol shard overflow` assert. It must now chain
+        // overflow shards with globally unique ids.
+        let mut tab = SymbolTable::new();
+        let pkg = tab.builtins().root_pkg;
+        let start = tab.id_ceiling();
+        // Deliberately tiny stride: primary holds 3, each overflow holds 3,
+        // and the interleaved step leaves room for a sibling fork.
+        let mut fork = tab.fork_for_worker(
+            start,
+            3,
+            ShardGrowth {
+                next_start: start + 6,
+                step: 6,
+                capacity: 3,
+            },
+        );
+        let made: Vec<SymbolId> = (0..11)
+            .map(|i| {
+                fork.new_term(
+                    pkg,
+                    Name::intern(&format!("ov{i}")),
+                    Flags::EMPTY,
+                    Type::Int,
+                )
+            })
+            .collect();
+        // All ids unique and all resolvable in the fork.
+        let mut sorted = made.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), made.len(), "chained ids stay unique");
+        for (i, id) in made.iter().enumerate() {
+            assert_eq!(fork.sym(*id).name, Name::intern(&format!("ov{i}")));
+        }
+
+        // The merge adopts every chained shard; the origin resolves all of
+        // them and `ids()` stays strictly ascending.
+        tab.adopt(fork.into_delta());
+        for (i, id) in made.iter().enumerate() {
+            assert_eq!(tab.sym(*id).name, Name::intern(&format!("ov{i}")));
+        }
+        let ids: Vec<u32> = tab.ids().map(SymbolId::index).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids() ascending after adopting chained shards"
+        );
+        assert!(
+            tab.id_ceiling() > made.iter().map(|s| s.index()).max().unwrap(),
+            "ceiling covers overflow shards"
         );
     }
 }
