@@ -24,8 +24,9 @@
 //! * `tailrec` — a sparse single-group plan of `tailRec` alone (transforms
 //!   `DefDef` only);
 //!
-//! and the modifiers are `+prune` (switch on
-//! `FusionOptions::subtree_pruning`), `+jobsN` (run the transform
+//! and the modifiers are `+prune` (set `FusionOptions::subtree_pruning`
+//! to `On`), `+autoprune` (`SubtreePruning::Auto` — the per-traversal
+//! sparseness heuristic), `+jobsN` (run the transform
 //! pipeline on `N` worker threads — e.g. `fused+jobs4`) and `+check` (run
 //! the dynamic tree checker between groups; composes with `+jobsN`, since
 //! checked runs no longer force sequential execution — e.g.
@@ -41,7 +42,9 @@
 
 use mini_driver::{standard_plan, CompilerOptions};
 use mini_ir::Ctx;
-use miniphase::{CompilationUnit, ExecStats, MiniPhase, NoInstrumentation, PhasePlan, Pipeline};
+use miniphase::{
+    CompilationUnit, ExecStats, MiniPhase, NoInstrumentation, PhasePlan, Pipeline, SubtreePruning,
+};
 use std::time::{Duration, Instant};
 
 /// Which phase list / grouping a spec runs.
@@ -63,14 +66,14 @@ enum Plan {
 #[derive(Clone)]
 struct Spec {
     plan: Plan,
-    prune: bool,
+    prune: SubtreePruning,
     jobs: usize,
     check: bool,
     label: String,
 }
 
 const USAGE: &str = "usage: ab [SPEC_B] [SPEC_A] [REPS] [LOC]\n\
-     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune][+jobsN][+check]\n\
+     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune|+autoprune][+jobsN][+check]\n\
      REPS    = positive integer (default 16, env REPS)\n\
      LOC     = positive integer (default 12000, env CORPUS_LOC)";
 
@@ -89,12 +92,14 @@ fn parse_spec(s: &str) -> Spec {
         "tailrec" => Plan::Tailrec,
         other => usage_exit(&format!("unknown spec `{other}`")),
     };
-    let mut prune = false;
+    let mut prune = SubtreePruning::Off;
     let mut jobs = 1usize;
     let mut check = false;
     for modifier in parts {
         if modifier == "prune" {
-            prune = true;
+            prune = SubtreePruning::On;
+        } else if modifier == "autoprune" {
+            prune = SubtreePruning::Auto;
         } else if modifier == "check" {
             check = true;
         } else if let Some(n) = modifier.strip_prefix("jobs") {
@@ -122,7 +127,7 @@ impl Spec {
             Plan::Legacy => CompilerOptions::legacy(),
             _ => CompilerOptions::fused(),
         };
-        base.with_subtree_pruning(self.prune)
+        base.with_pruning_mode(self.prune)
             .with_jobs(self.jobs)
             .with_check(self.check)
     }

@@ -13,11 +13,18 @@
 use bench::{corpora, measured, pct, ratio, timed, Corpus};
 use mini_driver::metrics::{Instrumentation, Measurement};
 use mini_driver::{standard_plan, CompilerOptions};
-use miniphase::FusionOptions;
+use miniphase::{FusionOptions, SubtreePruning};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--plan") {
+        // The Table 2-style plan listing on its own: the fusion grouping is
+        // inspectable without running a single measurement (or reading the
+        // planner's code).
+        table2();
+        return;
+    }
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -114,13 +121,16 @@ fn section3(cs: &[Corpus]) {
         for opts in [
             CompilerOptions::fused(),
             CompilerOptions::fused().with_subtree_pruning(true),
+            CompilerOptions::fused().with_pruning_mode(SubtreePruning::Auto),
             CompilerOptions::fused().with_jobs(4),
             CompilerOptions::mega(),
         ] {
             let m = timed(c, &opts, 3).expect("compiles");
             let mut mode = m.opts.mode.to_string();
-            if m.opts.fusion.subtree_pruning {
-                mode.push_str("+prune");
+            match m.opts.fusion.subtree_pruning {
+                SubtreePruning::Off => {}
+                SubtreePruning::On => mode.push_str("+prune"),
+                SubtreePruning::Auto => mode.push_str("+autoprune"),
             }
             if m.opts.jobs > 1 {
                 // Report the jobs the run *actually* used: a corpus with

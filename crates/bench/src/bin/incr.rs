@@ -1,0 +1,195 @@
+//! `incr` — the incremental-compilation benchmark.
+//!
+//! Compares three request shapes of the service workload over a linked
+//! corpus (units with cross-unit dependencies):
+//!
+//! * **cold** — a full `CompileSession` compile from empty caches (the
+//!   one-shot baseline every request used to pay);
+//! * **warm body edit** — one unit's definition *bodies* change: the
+//!   session must recompile **exactly that unit** and splice the other
+//!   `N − 1` from cache;
+//! * **warm signature edit** — one unit's exported interface changes: the
+//!   session recompiles the edited unit plus its (transitive) dependents.
+//!
+//! ```text
+//! cargo run --release -p bench --bin incr -- [UNITS] [REPS]
+//! ```
+//!
+//! Defaults: 16 units, 5 reps (median reported). The run **fails** (exit 1)
+//! if a warm body edit recompiles anything but exactly 1 unit, or if a warm
+//! signature edit fails to cascade — the cache-correctness smoke CI relies
+//! on. Wall-clock numbers are recorded to `BENCH_incremental.json` when
+//! `INCR_JSON` names a path.
+
+use mini_driver::{CompileSession, CompilerOptions};
+use std::time::{Duration, Instant};
+use workload::{generate_linked, linked_unit_name, linked_unit_source, LinkedConfig};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: incr [UNITS] [REPS]   (positive integers; defaults 16 and 5)");
+    std::process::exit(2);
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// How many units a signature edit of `unit0000` must recompile: unit 0,
+/// its *direct* dependents, and the driver (`zmain.ms`, which calls every
+/// unit). Indirect dependents stay cached — their direct deps' interfaces
+/// are untouched by the edit, which is exactly the non-cascade the
+/// interface hash buys.
+fn signature_cascade_size(cfg: &LinkedConfig) -> usize {
+    let direct = (1..cfg.units)
+        .filter(|&uid| workload::linked_deps(cfg, uid).contains(&0))
+        .count();
+    direct + 2 // + unit0000 itself + zmain.ms
+}
+
+/// One full measurement pass; returns (cold, warm-body, warm-sig) times,
+/// the dependent count the signature edit cascaded to, and the session's
+/// cache bookkeeping.
+fn run_once(
+    cfg: &LinkedConfig,
+    body_salt: u64,
+) -> (Duration, Duration, Duration, usize, mini_driver::CacheStats) {
+    let opts = CompilerOptions::fused();
+    let base = generate_linked(cfg);
+
+    // Cold: fresh session, full compile.
+    let mut session = CompileSession::new(opts);
+    for (n, s) in &base.units {
+        session.update(n.clone(), s.clone());
+    }
+    let t0 = Instant::now();
+    let cold = session.compile().expect("cold compile succeeds");
+    let cold_t = t0.elapsed();
+    assert_eq!(cold.recompiled_units, base.units.len());
+
+    // Warm body edit: a middle unit's bodies change.
+    let body_uid = cfg.units / 2;
+    session.update(
+        linked_unit_name(body_uid),
+        linked_unit_source(cfg, body_uid, body_salt, 0),
+    );
+    let t1 = Instant::now();
+    let warm_body = session.compile().expect("warm body compile succeeds");
+    let body_t = t1.elapsed();
+    if warm_body.recompiled_units != 1 {
+        eprintln!(
+            "FAIL: warm body edit of {} recompiled {} units (expected exactly 1; reused {})",
+            linked_unit_name(body_uid),
+            warm_body.recompiled_units,
+            warm_body.reused_units
+        );
+        std::process::exit(1);
+    }
+
+    // Warm signature edit: unit 0 (the most depended-on) toggles its
+    // exported helper's arity.
+    session.update(linked_unit_name(0), linked_unit_source(cfg, 0, 0, 1));
+    let t2 = Instant::now();
+    let warm_sig = session.compile().expect("warm signature compile succeeds");
+    let sig_t = t2.elapsed();
+    // Dependency-aware invalidation must recompile *exactly* the transitive
+    // dependents of unit 0 (plus unit 0 itself and the driver, which calls
+    // every unit) — the dep graph is deterministic, so the expected cascade
+    // is computable, and both under- and over-invalidation are failures.
+    let expected = signature_cascade_size(cfg);
+    if warm_sig.recompiled_units != expected {
+        eprintln!(
+            "FAIL: signature edit of unit0000 recompiled {} unit(s), expected exactly {} (the edited unit, its transitive dependents, and the driver)",
+            warm_sig.recompiled_units, expected
+        );
+        std::process::exit(1);
+    }
+    (
+        cold_t,
+        body_t,
+        sig_t,
+        warm_sig.recompiled_units,
+        session.cache_stats(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 2 {
+        usage_exit(&format!("unexpected extra argument `{}`", args[2]));
+    }
+    let parse = |what: &str, v: Option<&String>, default: usize| -> usize {
+        match v {
+            None => default,
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage_exit(&format!("{what} must be a positive integer, got `{v}`")),
+            },
+        }
+    };
+    let units = parse("UNITS", args.first(), 16);
+    if units < 2 {
+        usage_exit("UNITS must be at least 2 (the signature edit needs a dependent)");
+    }
+    let reps = parse("REPS", args.get(1), 5);
+    let cfg = LinkedConfig {
+        units,
+        ..LinkedConfig::incr_bench()
+    };
+    let loc = generate_linked(&cfg).total_loc;
+    println!("incr: {units}-unit linked corpus ({loc} LOC), {reps} reps, fused pipeline");
+
+    let mut colds = Vec::new();
+    let mut bodies = Vec::new();
+    let mut sigs = Vec::new();
+    let mut cascade = 0usize;
+    let mut cache = mini_driver::CacheStats::default();
+    for rep in 0..reps {
+        let (c, b, s, n, cs) = run_once(&cfg, rep as u64 + 1);
+        colds.push(c);
+        bodies.push(b);
+        sigs.push(s);
+        cascade = n;
+        cache = cs;
+    }
+    let (cold, body, sig) = (median(colds), median(bodies), median(sigs));
+    println!(
+        "cold full compile         : {:>8.1} ms  ({} units recompiled)",
+        ms(cold),
+        units
+    );
+    println!(
+        "warm body edit            : {:>8.1} ms  (1 unit recompiled, {} reused)  {:+.0}% vs cold",
+        ms(body),
+        units - 1,
+        (ms(body) / ms(cold) - 1.0) * 100.0
+    );
+    println!(
+        "warm signature edit       : {:>8.1} ms  ({} units recompiled)  {:+.0}% vs cold",
+        ms(sig),
+        cascade,
+        (ms(sig) / ms(cold) - 1.0) * 100.0
+    );
+    println!(
+        "session cache (per rep)   : {} reused / {} recompiled; invalidations: {} source, {} dep-cascade",
+        cache.units_reused,
+        cache.units_recompiled,
+        cache.invalidated_by_source,
+        cache.invalidated_by_deps
+    );
+
+    if let Ok(path) = std::env::var("INCR_JSON") {
+        let json = format!(
+            "{{\n  \"note\": \"CompileSession medians over the linked corpus (fused pipeline, jobs=1): cold = full compile from empty caches; warm body edit recompiles exactly 1 unit; warm signature edit recompiles the edited unit plus its transitive dependents\",\n  \"units\": {units},\n  \"corpus_loc\": {loc},\n  \"reps\": {reps},\n  \"cold_ms\": {:.3},\n  \"warm_body_edit_ms\": {:.3},\n  \"warm_signature_edit_ms\": {:.3},\n  \"signature_cascade_units\": {cascade}\n}}\n",
+            ms(cold),
+            ms(body),
+            ms(sig)
+        );
+        std::fs::write(&path, json).expect("write INCR_JSON");
+        println!("recorded {path}");
+    }
+}

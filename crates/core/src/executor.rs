@@ -50,11 +50,11 @@
 //! phase-major over the unit batch.
 
 use crate::checker::{check_unit, CheckFailure};
-use crate::fused::{Fused, FusionOptions};
+use crate::fused::{Fused, FusionOptions, SubtreePruning};
 use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase};
 use crate::plan::PhasePlan;
 use crate::unit::CompilationUnit;
-use mini_ir::{Ctx, NodeKindSet, TreeRef};
+use mini_ir::{Ctx, NodeKindSet, Tree, TreeRef};
 
 /// Synthetic instruction address of the shared traversal machinery.
 pub const TRAVERSAL_CODE_ADDR: u64 = (1 << 40) + (1 << 30);
@@ -70,8 +70,9 @@ pub struct ExecStats {
     /// [`FusionOptions::subtree_pruning`] is on; with it on,
     /// `node_visits + nodes_pruned` equals the unpruned run's `node_visits`
     /// — exactly, because subtrees whose cached size saturated at
-    /// `u32::MAX` are visited rather than pruned (their true count is
-    /// unknown, so pricing them would corrupt this invariant).
+    /// [`mini_ir::Tree::SIZE_SATURATED`] are visited rather than pruned
+    /// (their true count is unknown, so pricing them would corrupt this
+    /// invariant).
     pub nodes_pruned: u64,
     /// Kind-specific transform dispatches (per node, per group).
     pub transform_calls: u64,
@@ -204,20 +205,49 @@ impl TraversalScratch {
     }
 }
 
+/// The `Auto` pruning decision for one traversal: prune only when the
+/// group's combined mask is *sparse* relative to the kinds the unit
+/// actually contains — the mask may cover at most a third of the kinds in
+/// the unit root's cached summary. Dense standard-pipeline groups blanket
+/// most interior kinds (pruning there is overhead with nothing to skip);
+/// sparse plans keep the win. Pure function of `(mask, root summary)`, so
+/// the decision is identical across executors and `jobs` values.
+fn auto_prune_enabled(relevant: NodeKindSet, root: &Tree) -> bool {
+    let present = root.kinds_below();
+    relevant.intersect(present).len() * 3 <= present.len()
+}
+
+/// Resolves a [`SubtreePruning`] policy into this traversal's effective
+/// prune mask (`None` = walk everything). Shared by the hoisted [`Masks`]
+/// and the reference executor so the two can never disagree on `Auto`.
+fn prune_mask_for(
+    policy: SubtreePruning,
+    relevant: NodeKindSet,
+    root: &Tree,
+) -> Option<NodeKindSet> {
+    match policy {
+        SubtreePruning::Off => None,
+        SubtreePruning::On => Some(relevant),
+        SubtreePruning::Auto => auto_prune_enabled(relevant, root).then_some(relevant),
+    }
+}
+
 /// The per-traversal mask snapshot shared by the iterative and eager walks:
 /// one virtual query per traversal instead of two per node.
 struct Masks {
     transforms: NodeKindSet,
     /// Effective prepare mask after the `prepare_always` ablation is applied.
     prepares: NodeKindSet,
-    /// `Some(transforms ∪ prepares)` when subtree pruning is on: a subtree
-    /// whose kinds-below summary does not intersect this can receive no hook
-    /// from any member of the group, so the walk hands it back untouched.
+    /// `Some(transforms ∪ prepares)` when subtree pruning is enabled for
+    /// this traversal (always for `On`, per the sparseness heuristic for
+    /// `Auto`): a subtree whose kinds-below summary does not intersect this
+    /// can receive no hook from any member of the group, so the walk hands
+    /// it back untouched.
     prune: Option<NodeKindSet>,
 }
 
 impl Masks {
-    fn hoist<D: PhaseDriver>(driver: &D, opts: &FusionOptions) -> Masks {
+    fn hoist<D: PhaseDriver>(driver: &D, opts: &FusionOptions, root: &Tree) -> Masks {
         let transforms = driver.transforms_mask();
         let raw_prepares = driver.prepares_mask();
         let prepares = if opts.prepare_always && !raw_prepares.is_empty() {
@@ -227,7 +257,7 @@ impl Masks {
         } else {
             raw_prepares
         };
-        let prune = opts.subtree_pruning.then(|| transforms.union(prepares));
+        let prune = prune_mask_for(opts.subtree_pruning, transforms.union(prepares), root);
         Masks {
             transforms,
             prepares,
@@ -239,16 +269,19 @@ impl Masks {
     /// prepares or transforms.
     ///
     /// A subtree whose cached [`mini_ir::Tree::subtree_size`] saturated at
-    /// `u32::MAX` (pathological sharing can push the structural count past
-    /// 2³²) is **never** pruned: its true size is unknown, so skipping it
-    /// would credit `nodes_pruned` with a wrong count and silently break
-    /// the `node_visits + nodes_pruned == unpruned node_visits` invariant.
+    /// [`Tree::SIZE_SATURATED`] (pathological sharing can push the
+    /// structural count past the header's 24-bit size lane) is **never**
+    /// pruned: its true size is unknown, so skipping it would credit
+    /// `nodes_pruned` with a wrong count and silently break the
+    /// `node_visits + nodes_pruned == unpruned node_visits` invariant.
     /// The walk visits such a node instead and prunes its (exactly-sized)
     /// descendants as usual.
     #[inline]
     fn skips(&self, t: &TreeRef) -> bool {
         match self.prune {
-            Some(relevant) => !t.kinds_below().intersects(relevant) && t.subtree_size() != u32::MAX,
+            Some(relevant) => {
+                !t.kinds_below().intersects(relevant) && t.subtree_size() != Tree::SIZE_SATURATED
+            }
             None => false,
         }
     }
@@ -290,7 +323,7 @@ fn walk<D: PhaseDriver>(
     scratch: &mut TraversalScratch,
 ) -> TreeRef {
     // Hoisted per-traversal: one virtual mask query instead of two per node.
-    let masks = Masks::hoist(driver, opts);
+    let masks = Masks::hoist(driver, opts, root);
     if masks.skips(root) {
         // Nothing in the whole unit interests this group.
         stats.nodes_pruned += u64::from(root.subtree_size());
@@ -469,12 +502,17 @@ pub fn run_phase_on_unit(
     }
 }
 
-/// The reference executor's per-node pruning mask: `None` when pruning is
-/// off, otherwise the same `transforms ∪ effective-prepares` combination the
-/// hoisted [`Masks`] computes (queried naively per node, in the reference
-/// style).
-fn reference_prune_mask(phase: &dyn MiniPhase, opts: &FusionOptions) -> Option<NodeKindSet> {
-    if !opts.subtree_pruning {
+/// The reference executor's pruning mask: `None` when pruning is disabled
+/// for this traversal, otherwise the same `transforms ∪ effective-prepares`
+/// combination the hoisted [`Masks`] computes. Resolved **once per unit
+/// traversal** against the unit root (the `Auto` policy's sparseness test
+/// needs the root's kind summary) and threaded through the recursion.
+fn reference_prune_mask(
+    phase: &dyn MiniPhase,
+    opts: &FusionOptions,
+    root: &Tree,
+) -> Option<NodeKindSet> {
+    if !opts.subtree_pruning.may_prune() {
         return None;
     }
     let raw_prepares = phase.prepares();
@@ -485,7 +523,11 @@ fn reference_prune_mask(phase: &dyn MiniPhase, opts: &FusionOptions) -> Option<N
     } else {
         raw_prepares
     };
-    Some(phase.transforms().union(prepares))
+    prune_mask_for(
+        opts.subtree_pruning,
+        phase.transforms().union(prepares),
+        root,
+    )
 }
 
 fn traverse_reference(
@@ -494,6 +536,7 @@ fn traverse_reference(
     ctx: &mut Ctx,
     t: &TreeRef,
     stats: &mut ExecStats,
+    prune: Option<NodeKindSet>,
 ) -> TreeRef {
     stats.node_visits += 1;
     ctx.trace_read(t);
@@ -520,17 +563,16 @@ fn traverse_reference(
         false
     };
 
-    let prune = reference_prune_mask(phase, opts);
     let rebuilt = ctx.map_children(t, &mut |ctx, c| {
         if let Some(relevant) = prune {
             // A saturated subtree size means the true count is unknown —
             // visit instead of pruning (same rule as `Masks::skips`).
-            if !c.kinds_below().intersects(relevant) && c.subtree_size() != u32::MAX {
+            if !c.kinds_below().intersects(relevant) && c.subtree_size() != Tree::SIZE_SATURATED {
                 stats.nodes_pruned += u64::from(c.subtree_size());
                 return c.clone();
             }
         }
-        traverse_reference(&mut *phase, opts, ctx, c, stats)
+        traverse_reference(&mut *phase, opts, ctx, c, stats, prune)
     });
 
     let out_kind = rebuilt.node_kind();
@@ -561,15 +603,16 @@ pub fn run_phase_on_unit_reference(
 ) -> CompilationUnit {
     stats.traversals += 1;
     phase.prepare_unit(ctx, &unit.tree);
-    let tree = match reference_prune_mask(phase, opts) {
+    let prune = reference_prune_mask(phase, opts, &unit.tree);
+    let tree = match prune {
         Some(relevant)
             if !unit.tree.kinds_below().intersects(relevant)
-                && unit.tree.subtree_size() != u32::MAX =>
+                && unit.tree.subtree_size() != Tree::SIZE_SATURATED =>
         {
             stats.nodes_pruned += u64::from(unit.tree.subtree_size());
             unit.tree.clone()
         }
-        _ => traverse_reference(phase, opts, ctx, &unit.tree, stats),
+        _ => traverse_reference(phase, opts, ctx, &unit.tree, stats, prune),
     };
     let tree = phase.transform_unit(ctx, tree);
     CompilationUnit {

@@ -21,6 +21,37 @@
 use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase, PhaseInfo};
 use mini_ir::{Ctx, NodeKindSet, TreeRef, NODE_KIND_COUNT};
 
+/// Subtree kind-summary pruning policy (see
+/// [`FusionOptions::subtree_pruning`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SubtreePruning {
+    /// Never prune — paper-exact `node_visits` accounting. The default.
+    #[default]
+    Off,
+    /// Prune on every traversal. Wins on sparse-kind plans, roughly
+    /// wall-clock-neutral on the dense standard pipeline.
+    On,
+    /// Decide **per traversal** (fusion group × unit): prune only when the
+    /// group's hoisted prepare/transform mask is *sparse* relative to the
+    /// kinds the unit actually contains — specifically, when the mask
+    /// covers at most a third of the kinds in the unit root's cached
+    /// kinds-below summary. Dense standard-pipeline groups (whose masks
+    /// blanket most interior kinds, making pruning pure overhead) keep the
+    /// paper-exact walk; sparse groups (`patternMatcher`-only,
+    /// `tailRec`-only plans) get the −17..−37% pruning win. The decision is
+    /// a pure function of (mask, unit summary), so it is identical across
+    /// `jobs` values and between the iterative and reference executors —
+    /// the equivalence proptests cover it like any other ablation.
+    Auto,
+}
+
+impl SubtreePruning {
+    /// True when this policy can ever skip a subtree (i.e. not `Off`).
+    pub fn may_prune(self) -> bool {
+        self != SubtreePruning::Off
+    }
+}
+
 /// Tunables for fusion and traversal; the ablation benches sweep these.
 #[derive(Clone, Copy, Debug)]
 pub struct FusionOptions {
@@ -39,15 +70,18 @@ pub struct FusionOptions {
     /// such a subtree, so the executor hands the child back untouched without
     /// descending.
     ///
-    /// Default **off**: pruning changes `node_visits` (and, in `legacy`
-    /// mode, allocation counts), which the §5 figures and the fused-vs-mega
-    /// visit ratios depend on. Paper-exact accounting therefore stays the
-    /// default; turn this on for production-style runs where sparse-kind
-    /// groups (`patmat`-only, `erasure`-only plans) dominate. Soundness
-    /// rests on the declared-mask contract ([`MiniPhase::transforms`] /
-    /// [`MiniPhase::prepares`] are supersets of the overridden hooks), the
-    /// same contract the identity-skip optimization already assumes.
-    pub subtree_pruning: bool,
+    /// Default [`SubtreePruning::Off`]: pruning changes `node_visits` (and,
+    /// in `legacy` mode, allocation counts), which the §5 figures and the
+    /// fused-vs-mega visit ratios depend on. Paper-exact accounting
+    /// therefore stays the default; use [`SubtreePruning::On`] for runs
+    /// dominated by sparse-kind groups (`patmat`-only, `erasure`-only
+    /// plans), or [`SubtreePruning::Auto`] — the production-safe policy —
+    /// to let each traversal decide from the group mask and the unit's kind
+    /// summary. Soundness rests on the declared-mask contract
+    /// ([`MiniPhase::transforms`] / [`MiniPhase::prepares`] are supersets
+    /// of the overridden hooks), the same contract the identity-skip
+    /// optimization already assumes.
+    pub subtree_pruning: SubtreePruning,
 }
 
 impl Default for FusionOptions {
@@ -56,7 +90,7 @@ impl Default for FusionOptions {
             identity_skip: true,
             same_kind_fast_path: true,
             prepare_always: false,
-            subtree_pruning: false,
+            subtree_pruning: SubtreePruning::Off,
         }
     }
 }

@@ -105,11 +105,12 @@ mod unit;
 
 pub use checker::{check_unit, CheckFailure};
 pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
-pub use fused::{Fused, FusionOptions};
+pub use fused::{Fused, FusionOptions, SubtreePruning};
 pub use mini::{dispatch_prepare, dispatch_transform, synthetic_code_addr, MiniPhase, PhaseInfo};
 pub use parallel::{
-    run_units_parallel, run_units_parallel_tuned, NoInstrumentation, ParallelRun, ParallelTuning,
-    WorkerInstrumentation,
+    run_units_isolated, run_units_parallel, run_units_parallel_tuned, IsolatedLayout,
+    IsolatedUnitRun, NoInstrumentation, ParallelRun, ParallelTuning, WorkerInstrumentation,
+    UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
 };
 pub use plan::{build_plan, PhasePlan, PlanError, PlanOptions};
 pub use unit::CompilationUnit;

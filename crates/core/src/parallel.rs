@@ -103,12 +103,16 @@ use std::sync::Mutex;
 
 /// Spacing between chunk node-id ranges: no chunk can allocate this many
 /// nodes, so ranges never collide (ids are `u64`; even hundreds of chunks
-/// use < 2⁴⁸ of the space).
-const ID_STRIDE: u64 = 1 << 40;
+/// use < 2⁴⁸ of the space). Public so compile sessions can advance their
+/// own node-id cursor by whole strides across compiles.
+pub const UNIT_ID_STRIDE: u64 = 1 << 40;
+const ID_STRIDE: u64 = UNIT_ID_STRIDE;
 
 /// Spacing between chunk modelled-heap ranges (addresses only feed the
 /// per-chunk cache simulator, which never sees another chunk's range).
-const HEAP_STRIDE: u64 = 1 << 36;
+/// Public for the same cursor-keeping reason as [`UNIT_ID_STRIDE`].
+pub const UNIT_HEAP_STRIDE: u64 = 1 << 36;
+const HEAP_STRIDE: u64 = UNIT_HEAP_STRIDE;
 
 /// Symbol-id headroom left above the base region for sequential allocation
 /// *after* a parallel run (the base region cannot grow past the first
@@ -529,6 +533,199 @@ where
         effective_jobs: jobs,
         worker_data,
     }
+}
+
+/// Allocator floors for one [`run_units_isolated`] batch — the caller (a
+/// compile session) owns the cursors so ranges stay disjoint across *many*
+/// batches on one long-lived frontend context, not just within one batch.
+#[derive(Clone, Copy, Debug)]
+pub struct IsolatedLayout {
+    /// First symbol id available to this batch's forks. Must clear the
+    /// origin table's [`mini_ir::SymbolTable::id_ceiling`] **and** the used
+    /// range of every delta a previous batch produced that is still live
+    /// (spliced into rebuilt tables).
+    pub sym_floor: u32,
+    /// Primary-shard (and overflow-shard) symbol capacity per unit.
+    pub sym_shard_capacity: u32,
+    /// First node id for this batch; unit `i` allocates from
+    /// `id_floor + i × UNIT_ID_STRIDE`.
+    pub id_floor: u64,
+    /// First modelled heap address; strided like `id_floor`.
+    pub heap_floor: u64,
+}
+
+/// One unit's end-to-end pipeline outcome from [`run_units_isolated`]:
+/// everything a compile session needs to cache the unit — the lowered tree,
+/// per-group counters and checker findings, and the symbol-table delta to
+/// splice when assembling a full program around cached neighbours.
+pub struct IsolatedUnitRun {
+    /// The lowered unit (tree lives in the unit's own arena; after the
+    /// batch returns the calling thread is its sole owner).
+    pub unit: CompilationUnit,
+    /// Traversal counters per phase group, in group order.
+    pub stats_by_group: Vec<ExecStats>,
+    /// Checker findings per phase group (all empty unless `check` was on).
+    pub failures_by_group: Vec<Vec<CheckFailure>>,
+    /// New symbols + mutations of pre-fork symbols this unit's pipeline
+    /// made. **Not** adopted anywhere by this call — the origin context
+    /// stays byte-for-byte untouched.
+    pub delta: mini_ir::SymbolDelta,
+    /// Diagnostics the unit's pipeline reported.
+    pub errors: Vec<mini_ir::Diagnostic>,
+}
+
+/// Compiles every unit **in full isolation** — one fork, one private arena,
+/// one phase-list instance and one pipeline per *unit* (a chunk of exactly
+/// one) — and returns the per-unit outcomes **without adopting anything**
+/// into `ctx`. This is the executor of the incremental compile session: the
+/// session caches each outcome keyed by content hashes and splices deltas
+/// itself when assembling a program, so the shared frontend context must
+/// stay pristine (phase mutations would otherwise leak into the symbol
+/// state the *typer* sees on later edits).
+///
+/// `jobs` worker threads claim units through an atomic index exactly like
+/// [`run_units_parallel`]; with `jobs <= 1` the same per-unit chunks run on
+/// the calling thread. Because every per-unit input (fork floors, loans) is
+/// derived from the unit index, the outcome vector is byte-identical across
+/// `jobs` values.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, if `make_phases` disagrees with
+/// `plan`, or if the layout's symbol floor is below the origin table's id
+/// ceiling.
+#[allow(clippy::too_many_arguments)]
+pub fn run_units_isolated<F>(
+    ctx: &Ctx,
+    make_phases: &F,
+    plan: &PhasePlan,
+    opts: FusionOptions,
+    units: &[CompilationUnit],
+    jobs: usize,
+    check: bool,
+    layout: IsolatedLayout,
+) -> Vec<IsolatedUnitRun>
+where
+    F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
+{
+    let n = units.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_u32 = n as u32;
+    let cap = layout
+        .sym_shard_capacity
+        .max(1)
+        .min((u32::MAX - layout.sym_floor) / (n_u32 * 2).max(1));
+    assert!(cap > 0, "symbol id space exhausted below the session floor");
+    let overflow_base = layout.sym_floor + n_u32 * cap;
+    let mut jobs_slots: Vec<Mutex<Option<ChunkJob<'_>>>> = Vec::with_capacity(n);
+    for (i, u) in units.iter().enumerate() {
+        let table = ctx.symbols.fork_for_worker(
+            layout.sym_floor + i as u32 * cap,
+            cap,
+            ShardGrowth {
+                next_start: overflow_base.saturating_add(i as u32 * cap),
+                step: n_u32 * cap,
+                capacity: cap,
+            },
+        );
+        jobs_slots.push(Mutex::new(Some(ChunkJob {
+            loans: vec![UnitLoan {
+                name: &u.name,
+                tree: &u.tree,
+            }],
+            table,
+            id_floor: layout.id_floor + i as u64 * ID_STRIDE,
+            heap_floor: layout.heap_floor + i as u64 * HEAP_STRIDE,
+        })));
+    }
+    let ir_options = ctx.options;
+    let take_job = |i: usize| {
+        jobs_slots[i]
+            .lock()
+            .expect("unit job mutex")
+            .take()
+            .expect("each unit is compiled exactly once")
+    };
+
+    let mut outcomes: Vec<ChunkOutcome<()>> = Vec::with_capacity(n);
+    if jobs <= 1 {
+        for i in 0..n {
+            let job = take_job(i);
+            outcomes.push(compile_chunk(
+                i,
+                job,
+                ir_options,
+                make_phases,
+                plan,
+                opts,
+                check,
+                &NoInstrumentation,
+            ));
+        }
+    } else {
+        let outcome_slots: Vec<Mutex<Option<ChunkOutcome<()>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next_unit = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs.min(n))
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next_unit.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = take_job(i);
+                        let outcome = compile_chunk(
+                            i,
+                            job,
+                            ir_options,
+                            make_phases,
+                            plan,
+                            opts,
+                            check,
+                            &NoInstrumentation,
+                        );
+                        *outcome_slots[i].lock().expect("unit outcome mutex") = Some(outcome);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("isolated unit compilation worker panicked");
+            }
+        });
+        outcomes.extend(outcome_slots.into_iter().map(|m| {
+            m.into_inner()
+                .expect("unit outcome mutex")
+                .expect("every unit index below the count was compiled")
+        }));
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| {
+            let ChunkOutcome {
+                units,
+                grid,
+                failures,
+                delta,
+                errors,
+                ..
+            } = o;
+            let mut units = units.0;
+            assert_eq!(units.len(), 1, "isolated chunks hold exactly one unit");
+            IsolatedUnitRun {
+                unit: units.pop().expect("length checked above"),
+                // `run_units_recorded` fills member_transforms per grid row,
+                // so row[0] is the complete per-group counter set.
+                stats_by_group: grid.iter().map(|row| row[0]).collect(),
+                failures_by_group: failures,
+                delta,
+                errors,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

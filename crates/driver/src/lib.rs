@@ -9,6 +9,11 @@
 //! * **Legacy**: Megaphase plus scalac-era tree plumbing (no same-fields
 //!   node reuse in the copier) — the Fig 9 comparator stand-in.
 //!
+//! [`compile_sources`] is the one-shot batch entry point; the
+//! [`session`] module hosts [`CompileSession`], the incremental
+//! (edit-and-recompile) service shape of the same pipeline with
+//! content-addressed per-unit caching and dependency-aware invalidation.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,11 +29,15 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod session;
+
+pub use session::{CacheStats, CompileSession};
 
 use mini_backend::{generate, Program, Value, Vm};
 use mini_ir::{Ctx, TreeRef};
 use miniphase::{
     build_plan, CompilationUnit, FusionOptions, MiniPhase, PhasePlan, Pipeline, PlanOptions,
+    SubtreePruning,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -109,13 +118,27 @@ impl CompilerOptions {
         }
     }
 
-    /// Returns a copy with subtree kind-summary pruning switched on or off
-    /// ([`FusionOptions::subtree_pruning`]). Off is the default: pruning
-    /// changes `node_visits` accounting, so the paper-exact figures keep it
-    /// disabled; turn it on for production-style runs dominated by
-    /// sparse-kind groups.
-    pub fn with_subtree_pruning(mut self, on: bool) -> CompilerOptions {
-        self.fusion.subtree_pruning = on;
+    /// Returns a copy with subtree kind-summary pruning switched fully on
+    /// or off ([`FusionOptions::subtree_pruning`]). Off is the default:
+    /// pruning changes `node_visits` accounting, so the paper-exact figures
+    /// keep it disabled; turn it on for production-style runs dominated by
+    /// sparse-kind groups, or use [`CompilerOptions::with_pruning_mode`]
+    /// with [`SubtreePruning::Auto`] to let each traversal decide.
+    pub fn with_subtree_pruning(self, on: bool) -> CompilerOptions {
+        self.with_pruning_mode(if on {
+            SubtreePruning::On
+        } else {
+            SubtreePruning::Off
+        })
+    }
+
+    /// Returns a copy with the given subtree-pruning policy
+    /// ([`FusionOptions::subtree_pruning`]); [`SubtreePruning::Auto`]
+    /// enables pruning per fusion group only when the group's hoisted mask
+    /// is sparse relative to the unit's kind summary, which makes the flag
+    /// safe for production-style runs over the dense standard pipeline.
+    pub fn with_pruning_mode(mut self, mode: SubtreePruning) -> CompilerOptions {
+        self.fusion.subtree_pruning = mode;
         self
     }
 
@@ -200,6 +223,12 @@ pub struct Compiled {
     /// than one worker per unit). Surfaced so a downgraded run is visible
     /// in reports instead of silently claiming the requested parallelism.
     pub effective_jobs: usize,
+    /// Units whose cached pipeline output a [`CompileSession`] spliced in
+    /// without recompiling. Always 0 for one-shot [`compile_sources`] runs.
+    pub reused_units: usize,
+    /// Units that went through the frontend + transform pipeline in this
+    /// compile. Equals the unit count for one-shot [`compile_sources`] runs.
+    pub recompiled_units: usize,
     /// Lowered unit trees (for inspection).
     pub units: Vec<CompilationUnit>,
 }
@@ -333,6 +362,8 @@ pub fn compile_sources(
         check_failures: Vec::new(),
         groups,
         effective_jobs,
+        reused_units: 0,
+        recompiled_units: sources.len(),
         units,
     })
 }

@@ -1,0 +1,813 @@
+//! Incremental compile sessions: content-addressed unit caching with
+//! dependency-aware invalidation.
+//!
+//! [`compile_sources`](crate::compile_sources) is one-shot: every call
+//! re-lexes, re-types and re-transforms every unit from scratch. A
+//! [`CompileSession`] is the persistent-service shape of the same pipeline:
+//! [`CompileSession::update`] / [`CompileSession::remove`] stage edits, and
+//! [`CompileSession::compile`] recompiles **only the invalidated units**,
+//! splicing cached pipeline outputs for the rest and returning a
+//! [`Compiled`] extended with [`Compiled::reused_units`] /
+//! [`Compiled::recompiled_units`].
+//!
+//! # Design note
+//!
+//! The session is built on four invariants, each carried by a different
+//! layer:
+//!
+//! 1. **A pristine frontend context.** The session owns one long-lived
+//!    [`Ctx`] that only the namer/typer ever mutates. The transform
+//!    pipeline runs on **copy-on-write forks** of it
+//!    ([`miniphase::run_units_isolated`], one fork per unit) and *nothing
+//!    is adopted back*: phase mutations (erasure's whole-table info sweep,
+//!    getter synthesis, lambda lifting) must never leak into the symbol
+//!    state a later edit's typing observes, or an incremental re-type would
+//!    see post-pipeline types where a batch compile sees frontend types.
+//!
+//! 2. **Stable symbol identity across edits.** Re-typing an edited unit
+//!    goes through the typer's redefinition mode
+//!    ([`mini_front::compile_source_reusing`]): top-level definitions and
+//!    class members that persist across the edit keep their [`SymbolId`]s
+//!    and are updated in place. Identity is what keeps *other* units'
+//!    cached post-pipeline trees valid — their `Ident`/`Select` nodes
+//!    resolve by id. Definitions that disappear are retracted from the
+//!    package scope here.
+//!
+//! 3. **Content-addressed unit artifacts.** Each compiled unit caches its
+//!    post-pipeline tree, per-group [`ExecStats`] and checker findings, and
+//!    its symbol-table delta, keyed by `(source hash, dep-interface
+//!    hashes, plan fingerprint, options fingerprint)`. The *dep-interface
+//!    hash* ([`mini_ir::fingerprint::export_interface_hash`]) covers a
+//!    dependency's exported surface only — names, flags, rendered types,
+//!    member signatures — so **body-only edits do not cascade**: the
+//!    edited unit recompiles alone, its dependents' keys still match.
+//!    Signature edits change the dep hash and invalidate exactly the
+//!    (transitive) dependents, discovered by the typer's recorded dep set.
+//!
+//! 4. **Delta splicing instead of table mutation.** `compile()` assembles
+//!    the program table by cloning the pristine frontend table (cheap —
+//!    `Arc`-shared) and adopting every live unit's cached delta in unit
+//!    order. Cached deltas are **filtered at cache time** down to the
+//!    symbols the unit owns (plus the builtin region and the root
+//!    package's append-only decls): whole-table sweeps also touch *other*
+//!    units' symbols, and those residues would go stale — and poison the
+//!    rebuild — the moment their owner is re-typed. Every unit's own delta
+//!    carries its own sweep results, so the union over live units is
+//!    complete.
+//!
+//! Determinism: a session compile after any edit series is byte-identical
+//! — printed trees, VM output, checker findings, merged `ExecStats` — to a
+//! from-scratch [`compile_sources`](crate::compile_sources) over the same
+//! sources in unit-name order, across fused/mega, `jobs`, pruning and
+//! checker configurations (`tests/incremental_equivalence.rs` pins this).
+//! Two deliberate, output-invisible divergences: symbol/node *ids* differ
+//! (printing and codegen never consume raw ids), and the root package's
+//! `decls` order differs (nothing consumes it — see
+//! [`mini_ir::SymbolTable::adopt`]).
+//!
+//! Units compile in **unit-name order** (the `BTreeMap` order), so a
+//! from-scratch comparison must sort its sources by name. Dependencies must
+//! point to units earlier in name order — the same constraint a batch
+//! compile imposes, since the typer processes units in sequence.
+
+use crate::{standard_plan, CompileError, Compiled, CompilerOptions, StageTimes};
+use mini_backend::generate;
+use mini_ir::fingerprint::{export_interface_hash, source_fingerprint, Fnv64};
+use mini_ir::{Ctx, SymbolDelta, SymbolId, SymbolTable, TreeRef};
+use miniphase::{
+    CheckFailure, CompilationUnit, ExecStats, IsolatedLayout, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+/// First symbol id the session's per-unit pipeline forks may use. The
+/// pristine frontend table allocates contiguously from the bottom; a
+/// frontend that ever reached this many symbols would make the fork guard
+/// panic loudly rather than corrupt ids.
+const SESSION_SYM_FLOOR: u32 = 1 << 20;
+
+/// Symbol capacity of each per-unit shard (overflow shards chain beyond).
+const SESSION_SHARD_CAPACITY: u32 = 1 << 16;
+
+/// First node id / heap address handed to pipeline forks — far above
+/// anything the frontend context will ever allocate itself.
+const SESSION_NODE_FLOOR: u64 = 1 << 44;
+
+/// Symbol-id high-water mark: when the shard cursor passes this, the next
+/// `compile()` retires the whole id space by rebuilding the frontend (one
+/// expensive full recompile) instead of risking `u32` wrap-around — wrapped
+/// shard ids would silently collide with live cached deltas. Leaves
+/// generous headroom for the largest single batch below the `u32` ceiling.
+const SESSION_SYM_HIGH_WATER: u32 = u32::MAX - (1 << 28);
+
+/// Cumulative cache bookkeeping for one [`CompileSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `compile()` calls that ran to completion.
+    pub compiles: u64,
+    /// Compiles that rebuilt everything (first compile, options change, or
+    /// recovery after a failed compile poisoned the frontend).
+    pub full_rebuilds: u64,
+    /// Unit compilations served from cache across all compiles.
+    pub units_reused: u64,
+    /// Unit compilations that ran the frontend + pipeline.
+    pub units_recompiled: u64,
+    /// Units invalidated because their own source changed.
+    pub invalidated_by_source: u64,
+    /// Units invalidated because a dependency's exported interface changed
+    /// (or a dependency disappeared) — the cascade a body-only edit never
+    /// triggers.
+    pub invalidated_by_deps: u64,
+}
+
+/// One unit's cached pipeline artifact plus the key that validates it.
+struct UnitArtifact {
+    /// Source hash the artifact was compiled from.
+    source_hash: u64,
+    /// Dependency units and their exported-interface hashes at compile
+    /// time. Valid only while every dep still exists with that hash.
+    deps: BTreeMap<String, u64>,
+    /// Options + plan fingerprint the artifact was compiled under.
+    config_fp: u64,
+    /// The post-pipeline tree.
+    tree: TreeRef,
+    /// Per-group traversal counters.
+    stats_by_group: Vec<ExecStats>,
+    /// Per-group checker findings (empty unless `check`).
+    failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Filtered symbol-table delta (this unit's own symbols, builtins,
+    /// root-package appends).
+    delta: SymbolDelta,
+}
+
+/// Per-unit session state.
+struct UnitState {
+    source: String,
+    source_hash: u64,
+    /// Top-level symbols of the current generation (declaration order).
+    top_syms: Vec<SymbolId>,
+    /// Exported-interface hash of the current generation.
+    iface_hash: u64,
+    cached: Option<UnitArtifact>,
+}
+
+/// A staged, not-yet-compiled edit.
+enum Staged {
+    Update(String),
+    Remove,
+}
+
+/// A persistent, incremental compilation service over one evolving program.
+///
+/// # Examples
+///
+/// ```
+/// use mini_driver::{CompileSession, CompilerOptions};
+/// let mut s = CompileSession::new(CompilerOptions::fused());
+/// s.update("a.ms", "def one(): Int = 1");
+/// s.update("b.ms", "def main(): Unit = println(one() + 41)");
+/// let cold = s.compile().expect("compiles");
+/// assert_eq!(cold.recompiled_units, 2);
+/// // A body-only edit recompiles exactly the edited unit.
+/// s.update("a.ms", "def one(): Int = 2 - 1");
+/// let warm = s.compile().expect("compiles");
+/// assert_eq!(warm.recompiled_units, 1);
+/// assert_eq!(warm.reused_units, 1);
+/// ```
+pub struct CompileSession {
+    opts: CompilerOptions,
+    /// Hash over everything except `jobs` that can change pipeline output:
+    /// mode, checker, fusion tunables, group-size cap, and the resolved
+    /// plan. `jobs` is excluded deliberately — parallelism is
+    /// proptest-pinned output-invariant, so artifacts stay valid across
+    /// `with_jobs` changes.
+    config_fp: u64,
+    /// The pristine frontend context (invariant 1 in the module docs).
+    front: Ctx,
+    /// Unit states in canonical (name) order.
+    units: BTreeMap<String, UnitState>,
+    staged: BTreeMap<String, Staged>,
+    /// Top-level symbol → defining unit, for resolving recorded dep roots.
+    owner_unit: HashMap<SymbolId, String>,
+    /// Next free symbol id for pipeline forks (monotonic across compiles;
+    /// must clear every live cached delta's range).
+    sym_cursor: u32,
+    node_cursor: u64,
+    heap_cursor: u64,
+    /// Symbols below this index are builtins (created by `SymbolTable::new`
+    /// before any unit) — their sweep mutations are kept in every delta.
+    builtin_len: u32,
+    stats: CacheStats,
+    /// A failed compile may leave the frontend half-updated; the next
+    /// compile rebuilds from scratch instead of trusting it.
+    poisoned: bool,
+}
+
+impl CompileSession {
+    /// Creates an empty session compiling under `opts`.
+    ///
+    /// `opts` is fixed for the session's lifetime; sessions with different
+    /// options maintain independent caches by construction.
+    pub fn new(opts: CompilerOptions) -> CompileSession {
+        let mut front = Ctx::new();
+        opts.configure_ctx(&mut front);
+        let builtin_len = front.symbols.len() as u32;
+        CompileSession {
+            opts,
+            config_fp: config_fingerprint(&opts),
+            front,
+            units: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            owner_unit: HashMap::new(),
+            sym_cursor: SESSION_SYM_FLOOR,
+            node_cursor: SESSION_NODE_FLOOR,
+            heap_cursor: SESSION_NODE_FLOOR,
+            builtin_len,
+            stats: CacheStats::default(),
+            poisoned: false,
+        }
+    }
+
+    /// The session's compiler options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.opts
+    }
+
+    /// Cumulative cache bookkeeping.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of units currently in the program (staged edits included).
+    pub fn unit_count(&self) -> usize {
+        let mut n = self.units.len();
+        for (name, s) in &self.staged {
+            match s {
+                Staged::Update(_) if !self.units.contains_key(name) => n += 1,
+                Staged::Remove if self.units.contains_key(name) => n -= 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// Stages an added or edited unit. No work happens until
+    /// [`CompileSession::compile`]; staging the unchanged source is a
+    /// no-op.
+    pub fn update(&mut self, name: impl Into<String>, src: impl Into<String>) {
+        let name = name.into();
+        let src = src.into();
+        if let Some(state) = self.units.get(&name) {
+            if state.source == src && !matches!(self.staged.get(&name), Some(Staged::Remove)) {
+                self.staged.remove(&name);
+                return;
+            }
+        }
+        self.staged.insert(name, Staged::Update(src));
+    }
+
+    /// Stages a unit removal.
+    pub fn remove(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.units.contains_key(&name) {
+            self.staged.insert(name, Staged::Remove);
+        } else {
+            self.staged.remove(&name);
+        }
+    }
+
+    /// Compiles the staged program: re-runs the frontend + transform
+    /// pipeline for invalidated units only, splices cached artifacts for
+    /// the rest, and assembles a full [`Compiled`] program.
+    ///
+    /// # Errors
+    ///
+    /// The same failure modes as [`crate::compile_sources`]. After a
+    /// parse/type/pipeline error the session frontend may hold partial
+    /// state, so the next `compile()` transparently rebuilds from scratch;
+    /// checker findings ([`CompileError::Check`]) do not poison the session
+    /// (the pipeline completed — the artifacts are cached and valid).
+    pub fn compile(&mut self) -> Result<Compiled, CompileError> {
+        if self.poisoned || self.sym_cursor >= SESSION_SYM_HIGH_WATER {
+            // Poisoned state or a nearly exhausted symbol-id space: retire
+            // everything and start from a fresh frontend (ids reset too).
+            self.rebuild_frontend();
+        }
+        let full_rebuild = self.units.values().all(|u| u.cached.is_none());
+        self.apply_staged()?;
+
+        // ---- frontend: re-type the invalidation closure, in name order --
+        let fe_start = Instant::now();
+        let names: Vec<String> = self.units.keys().cloned().collect();
+        let mut retyped: BTreeMap<String, mini_front::TypedUnit> = BTreeMap::new();
+        loop {
+            let mut progressed = false;
+            for name in &names {
+                if retyped.contains_key(name) {
+                    continue;
+                }
+                if self.artifact_valid(name) {
+                    continue;
+                }
+                let state = self.units.get(name).expect("name enumerated above");
+                let by_source = state
+                    .cached
+                    .as_ref()
+                    .is_none_or(|a| a.source_hash != state.source_hash);
+                if by_source {
+                    self.stats.invalidated_by_source += 1;
+                } else {
+                    self.stats.invalidated_by_deps += 1;
+                }
+                self.retype_unit(name, &mut retyped)?;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let frontend = fe_start.elapsed();
+
+        // ---- transform pipeline over the dirty set ----------------------
+        let (phases, plan) = standard_plan(&self.opts)?;
+        drop(phases); // per-unit forks build their own instances
+        let groups = plan.group_count();
+        let tr_start = Instant::now();
+        let dirty: Vec<String> = retyped.keys().cloned().collect();
+        let effective_jobs = self.opts.effective_jobs().min(dirty.len()).max(1);
+        if !dirty.is_empty() {
+            let inputs: Vec<CompilationUnit> = dirty
+                .iter()
+                .map(|n| CompilationUnit::new(n.clone(), retyped[n].tree.clone()))
+                .collect();
+            let layout = IsolatedLayout {
+                sym_floor: self.sym_cursor,
+                sym_shard_capacity: SESSION_SHARD_CAPACITY,
+                id_floor: self.node_cursor,
+                heap_floor: self.heap_cursor,
+            };
+            let runs = miniphase::run_units_isolated(
+                &self.front,
+                &mini_phases::standard_pipeline,
+                &plan,
+                self.opts.fusion,
+                &inputs,
+                effective_jobs,
+                self.opts.check,
+                layout,
+            );
+            // Advance the cursors past everything this batch consumed. The
+            // checked add is a backstop only — the high-water check at the
+            // top of `compile()` retires the id space long before this can
+            // overflow for any batch the floor's headroom admits.
+            let n = dirty.len() as u32;
+            self.sym_cursor = runs.iter().map(|r| r.delta.max_id_end()).fold(
+                n.checked_mul(SESSION_SHARD_CAPACITY)
+                    .and_then(|span| self.sym_cursor.checked_add(span))
+                    .expect("session symbol-id space exhausted within a single batch"),
+                u32::max,
+            );
+            self.node_cursor += u64::from(n) * UNIT_ID_STRIDE;
+            self.heap_cursor += u64::from(n) * UNIT_HEAP_STRIDE;
+
+            let mut errors = Vec::new();
+            for r in &runs {
+                errors.extend(r.errors.iter().cloned());
+            }
+            if !errors.is_empty() {
+                self.poisoned = true;
+                return Err(CompileError::Diagnostics(errors));
+            }
+            for (name, run) in dirty.iter().zip(runs) {
+                let typed = &retyped[name];
+                let deps = self.dep_map(name, typed);
+                let state = self.units.get_mut(name).expect("dirty unit exists");
+                let top_set: HashSet<SymbolId> = state.top_syms.iter().copied().collect();
+                let delta =
+                    filter_unit_delta(run.delta, &self.front.symbols, &top_set, self.builtin_len);
+                state.cached = Some(UnitArtifact {
+                    source_hash: state.source_hash,
+                    deps,
+                    config_fp: self.config_fp,
+                    tree: run.unit.tree,
+                    stats_by_group: run.stats_by_group,
+                    failures_by_group: run.failures_by_group,
+                    delta,
+                });
+            }
+        }
+        let transforms = tr_start.elapsed();
+        self.stats.compiles += 1;
+        if full_rebuild {
+            self.stats.full_rebuilds += 1;
+        }
+        self.stats.units_recompiled += dirty.len() as u64;
+        self.stats.units_reused += (self.units.len() - dirty.len()) as u64;
+
+        // ---- splice: merged table, stats, findings, program -------------
+        let be_start = Instant::now();
+        let mut exec = ExecStats::default();
+        let mut failure_groups: Vec<Vec<CheckFailure>> = vec![Vec::new(); groups];
+        let mut table = self.front.symbols.clone();
+        let mut trees: Vec<TreeRef> = Vec::with_capacity(self.units.len());
+        let mut out_units: Vec<CompilationUnit> = Vec::with_capacity(self.units.len());
+        for (name, state) in &self.units {
+            let a = state
+                .cached
+                .as_ref()
+                .expect("every unit is cached after the dirty pass");
+            for s in &a.stats_by_group {
+                exec.merge(*s);
+            }
+            for (gi, fs) in a.failures_by_group.iter().enumerate() {
+                failure_groups
+                    .get_mut(gi)
+                    .expect("group count matches the plan")
+                    .extend(fs.iter().cloned());
+            }
+            table.adopt(a.delta.clone());
+            trees.push(a.tree.clone());
+            out_units.push(CompilationUnit::new(name.clone(), a.tree.clone()));
+        }
+        let failures: Vec<CheckFailure> = failure_groups.into_iter().flatten().collect();
+        if self.opts.check && !failures.is_empty() {
+            // The pipeline completed and the artifacts are valid — findings
+            // are a verdict on the program, not on the session state.
+            return Err(CompileError::Check(failures));
+        }
+        let mut backend_ctx = Ctx::new();
+        backend_ctx.options = self.front.options;
+        backend_ctx.symbols = table;
+        let program = generate(&backend_ctx, &trees).map_err(CompileError::Codegen)?;
+        let backend = be_start.elapsed();
+
+        Ok(Compiled {
+            program,
+            ctx: backend_ctx,
+            times: StageTimes {
+                frontend,
+                transforms,
+                backend,
+            },
+            exec,
+            check_failures: Vec::new(),
+            groups,
+            effective_jobs,
+            reused_units: self.units.len() - dirty.len(),
+            recompiled_units: dirty.len(),
+            units: out_units,
+        })
+    }
+
+    /// True when `name`'s cached artifact is still valid under the current
+    /// sources, options and dependency interfaces.
+    fn artifact_valid(&self, name: &str) -> bool {
+        let Some(state) = self.units.get(name) else {
+            return false;
+        };
+        let Some(a) = &state.cached else {
+            return false;
+        };
+        // A dep that was just re-typed has no artifact *yet* (it compiles
+        // later this same pass); what gates reuse is purely whether its
+        // exported interface still hashes the same.
+        a.config_fp == self.config_fp
+            && a.source_hash == state.source_hash
+            && a.deps
+                .iter()
+                .all(|(dep, h)| self.units.get(dep).is_some_and(|d| d.iface_hash == *h))
+    }
+
+    /// Applies staged removals/updates to the unit states and the package
+    /// scope (artifact invalidation happens afterwards, key-driven).
+    fn apply_staged(&mut self) -> Result<(), CompileError> {
+        let staged = std::mem::take(&mut self.staged);
+        for (name, action) in staged {
+            match action {
+                Staged::Remove => {
+                    if let Some(state) = self.units.remove(&name) {
+                        self.retract_top_syms(&state.top_syms);
+                        for s in &state.top_syms {
+                            self.owner_unit.remove(s);
+                        }
+                    }
+                }
+                Staged::Update(src) => {
+                    let source_hash = source_fingerprint(&src);
+                    match self.units.get_mut(&name) {
+                        Some(state) => {
+                            state.source = src;
+                            state.source_hash = source_hash;
+                        }
+                        None => {
+                            self.units.insert(
+                                name,
+                                UnitState {
+                                    source: src,
+                                    source_hash,
+                                    top_syms: Vec::new(),
+                                    iface_hash: 0,
+                                    cached: None,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-runs the frontend for one unit in redefinition mode, maintaining
+    /// the package scope, the symbol→unit map and the interface hash.
+    fn retype_unit(
+        &mut self,
+        name: &str,
+        retyped: &mut BTreeMap<String, mini_front::TypedUnit>,
+    ) -> Result<(), CompileError> {
+        let state = self.units.get(name).expect("unit exists");
+        let prev: HashSet<SymbolId> = state.top_syms.iter().copied().collect();
+        let src = state.source.clone();
+        let typed = match mini_front::compile_source_reusing(&mut self.front, name, &src, &prev) {
+            Ok(t) => t,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(CompileError::Parse(e));
+            }
+        };
+        if self.front.has_errors() {
+            self.poisoned = true;
+            return Err(CompileError::Diagnostics(std::mem::take(
+                &mut self.front.errors,
+            )));
+        }
+        // Retract definitions this generation dropped; refresh the maps.
+        let fresh: HashSet<SymbolId> = typed.top_syms.iter().copied().collect();
+        let stale: Vec<SymbolId> = prev.difference(&fresh).copied().collect();
+        self.retract_top_syms(&stale);
+        for s in &stale {
+            self.owner_unit.remove(s);
+        }
+        for s in &typed.top_syms {
+            self.owner_unit.insert(*s, name.to_owned());
+        }
+        let state = self.units.get_mut(name).expect("unit exists");
+        state.top_syms = typed.top_syms.clone();
+        state.iface_hash = export_interface_hash(&self.front.symbols, &state.top_syms);
+        state.cached = None;
+        retyped.insert(name.to_owned(), typed);
+        Ok(())
+    }
+
+    /// The `(dep unit → interface hash)` snapshot for a just-compiled unit.
+    fn dep_map(&self, name: &str, typed: &mini_front::TypedUnit) -> BTreeMap<String, u64> {
+        let mut deps = BTreeMap::new();
+        for s in &typed.pkg_refs {
+            if let Some(dep) = self.owner_unit.get(s) {
+                if dep != name {
+                    if let Some(d) = self.units.get(dep) {
+                        deps.insert(dep.clone(), d.iface_hash);
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    /// Removes the given top-level symbols from the root package's scope.
+    fn retract_top_syms(&mut self, syms: &[SymbolId]) {
+        if syms.is_empty() {
+            return;
+        }
+        let gone: HashSet<SymbolId> = syms.iter().copied().collect();
+        let pkg = self.front.symbols.builtins().root_pkg;
+        self.front
+            .symbols
+            .sym_mut(pkg)
+            .decls
+            .retain(|d| !gone.contains(d));
+    }
+
+    /// Recovery after a failed compile: fresh frontend, every unit dirty,
+    /// caches dropped (their symbol ids referenced the old frontend).
+    fn rebuild_frontend(&mut self) {
+        let mut front = Ctx::new();
+        self.opts.configure_ctx(&mut front);
+        self.builtin_len = front.symbols.len() as u32;
+        self.front = front;
+        self.owner_unit.clear();
+        self.sym_cursor = SESSION_SYM_FLOOR;
+        self.node_cursor = SESSION_NODE_FLOOR;
+        self.heap_cursor = SESSION_NODE_FLOOR;
+        for state in self.units.values_mut() {
+            state.top_syms.clear();
+            state.iface_hash = 0;
+            state.cached = None;
+        }
+        self.poisoned = false;
+    }
+}
+
+/// Hashes the output-relevant compiler configuration: mode, checker, fusion
+/// tunables, group-size cap and the resolved plan listing. `jobs` is
+/// excluded (parallelism is output-invariant by the determinism guarantee).
+fn config_fingerprint(opts: &CompilerOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.str(&format!(
+        "{:?}|{}|{:?}|{:?}",
+        opts.mode, opts.check, opts.fusion, opts.max_group_size
+    ));
+    if let Ok((phases, plan)) = standard_plan(opts) {
+        h.str(&plan.describe(&phases));
+        h.u64(plan.group_count() as u64);
+    }
+    h.finish()
+}
+
+/// Filters a unit's pipeline delta down to the entries that stay valid for
+/// the unit's whole cache lifetime: mutations of symbols the unit owns
+/// (frontend owner chain leads to one of its top-levels), of builtins
+/// (mutated identically by every unit's whole-table sweeps), and of the
+/// root package (append-only decls merges). Sweep residue over *other*
+/// units' symbols is dropped — each unit's own delta re-creates it, and
+/// keeping it would let a stale value overwrite a re-typed dep's fresh one
+/// during table splicing.
+fn filter_unit_delta(
+    mut delta: SymbolDelta,
+    front: &SymbolTable,
+    top_set: &HashSet<SymbolId>,
+    builtin_len: u32,
+) -> SymbolDelta {
+    let owned_by_unit = |id: SymbolId| -> bool {
+        let mut cur = id;
+        for _ in 0..64 {
+            if top_set.contains(&cur) {
+                return true;
+            }
+            let owner = front.sym(cur).owner;
+            if !owner.exists() {
+                return false;
+            }
+            cur = owner;
+        }
+        false
+    };
+    delta.retain_dirty(|id, _| id.index() < builtin_len || owned_by_unit(id));
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_sources;
+    use mini_backend::Vm;
+
+    fn sources() -> Vec<(&'static str, &'static str)> {
+        vec![
+            (
+                "a.ms",
+                "def base(n: Int): Int = n * 2\ndef spare(n: Int): Int = n + 1\n",
+            ),
+            (
+                "b.ms",
+                "class Acc(seed: Int) {\n  var total: Int = seed\n  def add(k: Int): Int = {\n    total = total + base(k)\n    total\n  }\n}\n",
+            ),
+            (
+                "z.ms",
+                "def main(): Unit = {\n  val acc: Acc = new Acc(base(3))\n  println(acc.add(1) + acc.add(2))\n}\n",
+            ),
+        ]
+    }
+
+    fn run(compiled: &Compiled) -> Vec<String> {
+        let mut vm = Vm::new(&compiled.program);
+        vm.run_main().expect("runs");
+        vm.out.clone()
+    }
+
+    fn scratch(sources: &[(&str, &str)]) -> Compiled {
+        let mut sorted = sources.to_vec();
+        sorted.sort_by_key(|(n, _)| n.to_string());
+        compile_sources(&sorted, &CompilerOptions::fused()).expect("compiles")
+    }
+
+    #[test]
+    fn cold_compile_matches_one_shot() {
+        let srcs = sources();
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &srcs {
+            session.update(*n, *s);
+        }
+        let cold = session.compile().expect("compiles");
+        let batch = scratch(&srcs);
+        assert_eq!(run(&cold), run(&batch), "VM output matches one-shot");
+        assert_eq!(cold.exec, batch.exec, "merged ExecStats match one-shot");
+        assert_eq!(cold.recompiled_units, 3);
+        assert_eq!(cold.reused_units, 0);
+    }
+
+    #[test]
+    fn body_edit_recompiles_exactly_one_unit() {
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        session.compile().expect("cold compiles");
+        // Body-only edit of `a.ms` (same signatures).
+        let edited = "def base(n: Int): Int = n + n\ndef spare(n: Int): Int = n + 1\n";
+        session.update("a.ms", edited);
+        let warm = session.compile().expect("warm compiles");
+        assert_eq!(warm.recompiled_units, 1, "body edit must not cascade");
+        assert_eq!(warm.reused_units, 2);
+        let batch = scratch(&[("a.ms", edited), sources()[1], sources()[2]]);
+        assert_eq!(run(&warm), run(&batch));
+        assert_eq!(warm.exec, batch.exec);
+        let stats = session.cache_stats();
+        assert_eq!(stats.invalidated_by_source, 4, "3 cold + 1 warm");
+        assert_eq!(stats.invalidated_by_deps, 0);
+    }
+
+    #[test]
+    fn signature_edit_cascades_to_dependents_only() {
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        session.compile().expect("cold compiles");
+        // Signature edit: `spare` (uncalled by others) changes arity — the
+        // unit interface hash moves, so everything depending on `a.ms`
+        // recompiles; `b.ms` and `z.ms` both call `base`.
+        let edited = "def base(n: Int): Int = n * 2\ndef spare(n: Int, m: Int): Int = n + m\n";
+        session.update("a.ms", edited);
+        let warm = session.compile().expect("warm compiles");
+        assert_eq!(
+            warm.recompiled_units, 3,
+            "signature change cascades to dependents"
+        );
+        let batch = scratch(&[("a.ms", edited), sources()[1], sources()[2]]);
+        assert_eq!(run(&warm), run(&batch));
+        assert!(session.cache_stats().invalidated_by_deps >= 2);
+    }
+
+    #[test]
+    fn no_edit_recompiles_nothing() {
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        let cold = session.compile().expect("cold");
+        let idle = session.compile().expect("idle");
+        assert_eq!(idle.recompiled_units, 0);
+        assert_eq!(idle.reused_units, 3);
+        assert_eq!(run(&cold), run(&idle));
+        assert_eq!(cold.exec, idle.exec);
+        // Re-staging identical sources is also a no-op.
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        let still = session.compile().expect("still idle");
+        assert_eq!(still.recompiled_units, 0);
+    }
+
+    #[test]
+    fn unit_removal_invalidates_dependents() {
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        session.compile().expect("cold");
+        session.remove("z.ms");
+        let shrunk = session.compile().expect("compiles without main unit");
+        assert_eq!(shrunk.units.len(), 2);
+        assert_eq!(
+            shrunk.recompiled_units, 0,
+            "remaining units did not depend on z.ms"
+        );
+        // Removing the dep breaks its dependents: the next compile errors
+        // and the one after (with the dep restored) recovers.
+        session.remove("a.ms");
+        assert!(session.compile().is_err(), "b.ms lost `base`");
+        let (a_name, a_src) = sources()[0];
+        session.update(a_name, a_src);
+        session.update("z.ms", sources()[2].1);
+        let recovered = session.compile().expect("recovers after poison");
+        let batch = scratch(&sources());
+        assert_eq!(run(&recovered), run(&batch));
+    }
+
+    #[test]
+    fn failed_edit_poisons_then_recovers() {
+        let mut session = CompileSession::new(CompilerOptions::fused());
+        for (n, s) in &sources() {
+            session.update(*n, *s);
+        }
+        session.compile().expect("cold");
+        session.update("a.ms", "def base(n: Int): Int = unknownIdentifier\n");
+        assert!(session.compile().is_err(), "type error surfaces");
+        let (a_name, a_src) = sources()[0];
+        session.update(a_name, a_src);
+        let recovered = session.compile().expect("recovers");
+        assert_eq!(run(&recovered), run(&scratch(&sources())));
+        assert!(session.cache_stats().full_rebuilds >= 2, "cold + recovery");
+    }
+}

@@ -32,7 +32,7 @@ pub mod typer;
 
 pub use lexer::{lex, LexError, Tok, Token};
 pub use parser::{parse, ParseError};
-pub use typer::{compile_source, type_unit, TypedUnit};
+pub use typer::{compile_source, compile_source_reusing, type_unit, TypedUnit};
 
 #[cfg(test)]
 mod tests {
@@ -191,6 +191,89 @@ def main(): Unit = {
 }
 "#,
         );
+    }
+
+    #[test]
+    fn redefinition_mode_keeps_symbol_identity() {
+        use mini_ir::fingerprint::export_interface_hash;
+        use std::collections::HashSet;
+
+        let mut ctx = Ctx::new();
+        let v1 = "class C(x: Int) { def m(k: Int): Int = x + k }\ndef f(n: Int): Int = n + 1\n";
+        let u1 = compile_source(&mut ctx, "u.ms", v1).expect("parses");
+        assert!(!ctx.has_errors());
+        assert_eq!(u1.top_syms.len(), 2, "class C and def f");
+        let iface1 = export_interface_hash(&ctx.symbols, &u1.top_syms);
+        let c = u1.top_syms[0];
+        let m = ctx.symbols.decl(c, mini_ir::Name::intern("m")).expect("m");
+
+        // Body-only edit: every symbol id survives, the interface hash is
+        // bit-identical, and the member's signature is untouched.
+        let prev: HashSet<_> = u1.top_syms.iter().copied().collect();
+        let v2 = "class C(x: Int) { def m(k: Int): Int = x * k + 7 }\ndef f(n: Int): Int = n + 2\n";
+        let u2 = compile_source_reusing(&mut ctx, "u.ms", v2, &prev).expect("parses");
+        assert!(!ctx.has_errors(), "{:?}", ctx.errors);
+        assert_eq!(u1.top_syms, u2.top_syms, "top-level ids are stable");
+        assert_eq!(
+            ctx.symbols.decl(c, mini_ir::Name::intern("m")),
+            Some(m),
+            "member ids are stable"
+        );
+        assert_eq!(
+            export_interface_hash(&ctx.symbols, &u2.top_syms),
+            iface1,
+            "body edits leave the exported interface hash unchanged"
+        );
+
+        // Signature edit: ids still stable (dependents re-type against the
+        // same id), but the interface hash moves.
+        let v3 = "class C(x: Int) { def m(k: Int): String = \"s\" }\ndef f(n: Int): Int = n + 2\n";
+        let u3 = compile_source_reusing(&mut ctx, "u.ms", v3, &prev).expect("parses");
+        assert!(!ctx.has_errors(), "{:?}", ctx.errors);
+        assert_eq!(u1.top_syms, u3.top_syms);
+        assert_ne!(
+            export_interface_hash(&ctx.symbols, &u3.top_syms),
+            iface1,
+            "signature edits change the exported interface hash"
+        );
+
+        // Dropping a definition: the survivor keeps its id, the casualty is
+        // reported back through top_syms for the session to retract.
+        let v4 = "def f(n: Int): Int = n + 3\n";
+        let u4 = compile_source_reusing(&mut ctx, "u.ms", v4, &prev).expect("parses");
+        assert!(!ctx.has_errors(), "{:?}", ctx.errors);
+        assert_eq!(u4.top_syms, vec![u1.top_syms[1]]);
+    }
+
+    #[test]
+    fn redefinition_mode_records_cross_unit_deps() {
+        let mut ctx = Ctx::new();
+        let lib = compile_source(
+            &mut ctx,
+            "lib.ms",
+            "class Box(v: Int) { def get(): Int = v }\ndef mk(n: Int): Int = n\n",
+        )
+        .expect("parses");
+        let user = compile_source(
+            &mut ctx,
+            "user.ms",
+            "def use(n: Int): Int = mk(n) + new Box(n).get()\ndef main(): Unit = println(use(1))\n",
+        )
+        .expect("parses");
+        assert!(!ctx.has_errors(), "{:?}", ctx.errors);
+        for dep in &lib.top_syms {
+            assert!(
+                user.pkg_refs.contains(dep),
+                "user must record {:?} ({}) as a dependency root",
+                dep,
+                ctx.symbols.sym(*dep).name.as_str()
+            );
+        }
+        // Dep roots never include purely local resolutions.
+        for local in &user.top_syms {
+            let name = ctx.symbols.sym(*local).name;
+            assert!(name.as_str() == "use" || name.as_str() == "main");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::ast::*;
 use mini_ir::{
     std_names, Constant, Ctx, Flags, Name, Span, SymKind, SymbolId, TreeKind, TreeRef, Type,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Typed result of the frontend for one unit.
 pub struct TypedUnit {
@@ -24,6 +24,17 @@ pub struct TypedUnit {
     pub tree: TreeRef,
     /// The unit name.
     pub name: String,
+    /// The unit's top-level symbols (classes, traits, defs), in declaration
+    /// order. Together with their members these form the unit's *exported
+    /// interface* — what [`mini_ir::fingerprint::export_interface_hash`]
+    /// hashes and what dependent units resolve against.
+    pub top_syms: Vec<SymbolId>,
+    /// Every symbol this unit resolved through the package scope or through
+    /// member lookup on another class — the roots of its cross-unit
+    /// dependencies. Includes builtins and the unit's own definitions;
+    /// callers (the incremental compile session) filter by symbol→unit
+    /// ownership. Sorted and deduplicated.
+    pub pkg_refs: Vec<SymbolId>,
 }
 
 /// Parses and types one source file into a typed tree.
@@ -41,9 +52,36 @@ pub fn compile_source(
     Ok(type_unit(ctx, &sunit))
 }
 
+/// [`compile_source`] in **redefinition mode** for incremental sessions:
+/// `prev_top` names the top-level symbols this unit defined in an earlier
+/// generation, and the namer re-enters matching definitions *in place* —
+/// same [`SymbolId`], updated flags/type/span/members — instead of minting
+/// fresh symbols. Symbol identity is what keeps *other* units' cached
+/// post-pipeline trees valid across a body-only edit of this unit: their
+/// `Ident`/`Select` nodes keep resolving to the same ids. Definitions that
+/// vanished from the source stay in `prev_top` ∖ `top_syms`; the session
+/// retracts them from the package scope.
+///
+/// # Errors
+///
+/// As [`compile_source`].
+pub fn compile_source_reusing(
+    ctx: &mut Ctx,
+    name: &str,
+    src: &str,
+    prev_top: &HashSet<SymbolId>,
+) -> Result<TypedUnit, crate::parser::ParseError> {
+    let sunit = crate::parser::parse(name, src)?;
+    Ok(type_unit_with(ctx, &sunit, Some(prev_top)))
+}
+
 /// Types one parsed unit.
 pub fn type_unit(ctx: &mut Ctx, sunit: &SUnit) -> TypedUnit {
-    let mut typer = Typer::new(ctx);
+    type_unit_with(ctx, sunit, None)
+}
+
+fn type_unit_with(ctx: &mut Ctx, sunit: &SUnit, reuse: Option<&HashSet<SymbolId>>) -> TypedUnit {
+    let mut typer = Typer::new(ctx, reuse);
     typer.enter_top_level(&sunit.stats);
     let stats = typer.type_top_level(&sunit.stats);
     let pkg = typer.ctx.symbols.builtins().root_pkg;
@@ -55,9 +93,18 @@ pub fn type_unit(ctx: &mut Ctx, sunit: &SUnit) -> TypedUnit {
         Type::NoType,
         Span::SYNTHETIC,
     );
+    let Typer {
+        top_syms,
+        mut pkg_refs,
+        ..
+    } = typer;
+    pkg_refs.sort_unstable();
+    pkg_refs.dedup();
     TypedUnit {
         tree,
         name: sunit.name.clone(),
+        top_syms,
+        pkg_refs,
     }
 }
 
@@ -73,10 +120,26 @@ struct Typer<'a> {
     method_stack: Vec<SymbolId>,
     /// Parameter symbols per method, recorded by the namer.
     params_of: HashMap<SymbolId, Vec<Vec<SymbolId>>>,
+    /// Redefinition mode: the unit's previous-generation top-level symbols,
+    /// eligible for in-place reuse (`None` = ordinary batch compile).
+    reuse: Option<HashSet<SymbolId>>,
+    /// Symbols whose definition is being re-entered in place this pass;
+    /// their existing `decls` are reuse candidates for member symbols.
+    reused_owners: HashSet<SymbolId>,
+    /// `(owner, name)` pairs entered *this* pass — duplicate detection must
+    /// not confuse a previous generation's symbol with a same-pass clash.
+    entered: HashSet<(SymbolId, Name)>,
+    /// Replacement `decls` lists (in entry order) for reused owners; stale
+    /// previous-generation members are dropped when the list is installed.
+    rebuilt_decls: HashMap<SymbolId, Vec<SymbolId>>,
+    /// Top-level symbols in declaration order.
+    top_syms: Vec<SymbolId>,
+    /// Package-scope and foreign-member resolutions (cross-unit dep roots).
+    pkg_refs: Vec<SymbolId>,
 }
 
 impl<'a> Typer<'a> {
-    fn new(ctx: &'a mut Ctx) -> Typer<'a> {
+    fn new(ctx: &'a mut Ctx, reuse: Option<&HashSet<SymbolId>>) -> Typer<'a> {
         Typer {
             ctx,
             scopes: Vec::new(),
@@ -84,7 +147,71 @@ impl<'a> Typer<'a> {
             class_stack: Vec::new(),
             method_stack: Vec::new(),
             params_of: HashMap::new(),
+            reuse: reuse.cloned(),
+            reused_owners: HashSet::new(),
+            entered: HashSet::new(),
+            rebuilt_decls: HashMap::new(),
+            top_syms: Vec::new(),
+            pkg_refs: Vec::new(),
         }
+    }
+
+    /// True when `existing`, found under `owner`, belongs to this unit's
+    /// previous generation and may be redefined in place: a top-level from
+    /// the caller-supplied reuse set, or any member of an owner already
+    /// being reused.
+    fn is_prev_gen(&self, owner: SymbolId, existing: SymbolId) -> bool {
+        if owner == self.ctx.symbols.builtins().root_pkg {
+            self.reuse.as_ref().is_some_and(|s| s.contains(&existing))
+        } else {
+            self.reused_owners.contains(&owner)
+        }
+    }
+
+    /// Appends `sym` to the rebuilt `decls` list of `owner`, if `owner` is
+    /// being redefined in place (no-op otherwise — fresh owners keep the
+    /// order `SymbolTable::alloc` gives them).
+    fn push_rebuilt(&mut self, owner: SymbolId, sym: SymbolId) {
+        if let Some(list) = self.rebuilt_decls.get_mut(&owner) {
+            list.push(sym);
+        }
+    }
+
+    /// Re-enters or creates a term member of `owner` (field, constructor,
+    /// `val` member): in redefinition mode an existing same-name term of a
+    /// reused owner keeps its [`SymbolId`] and has flags/type/span
+    /// overwritten; otherwise a fresh symbol is created exactly as in batch
+    /// mode.
+    fn reuse_or_new_term(
+        &mut self,
+        owner: SymbolId,
+        name: Name,
+        flags: Flags,
+        info: Type,
+        span: Span,
+    ) -> SymbolId {
+        let first_entry = self.entered.insert((owner, name));
+        if first_entry && self.reused_owners.contains(&owner) {
+            if let Some(e) = self.ctx.symbols.decl(owner, name) {
+                if self.ctx.symbols.sym(e).kind == SymKind::Term {
+                    let d = self.ctx.symbols.sym_mut(e);
+                    d.flags = flags;
+                    d.info = info;
+                    d.span = span;
+                    d.decls.clear();
+                    d.tparams.clear();
+                    self.push_rebuilt(owner, e);
+                    return e;
+                }
+                // The name now means something of a different kind; retire
+                // the stale symbol from the owner's scope and mint fresh.
+                self.ctx.symbols.sym_mut(owner).decls.retain(|&x| x != e);
+            }
+        }
+        let s = self.ctx.symbols.new_term(owner, name, flags, info);
+        self.ctx.symbols.sym_mut(s).span = span;
+        self.push_rebuilt(owner, s);
+        s
     }
 
     fn error(&mut self, span: Span, msg: impl Into<String>) {
@@ -103,22 +230,25 @@ impl<'a> Typer<'a> {
         // Pass 0: class symbols (so parents/member types can refer to them).
         for s in stats {
             if let SStat::Class(c) = s {
-                self.enter_class_symbol(pkg, c);
+                if let Some(sym) = self.enter_class_symbol(pkg, c) {
+                    self.top_syms.push(sym);
+                }
             }
         }
         // Pass 1: signatures.
         for s in stats {
             match s {
                 SStat::Class(c) => {
-                    let sym = self
-                        .ctx
-                        .symbols
-                        .decl(pkg, c.name)
-                        .expect("class symbol entered in pass 0");
+                    let sym = match self.ctx.symbols.decl(pkg, c.name) {
+                        Some(s) => s,
+                        // Pass 0 refused the definition (duplicate).
+                        None => continue,
+                    };
                     self.complete_class(sym, c);
                 }
                 SStat::Def(d) => {
-                    self.enter_def_symbol(pkg, d, true);
+                    let sym = self.enter_def_symbol(pkg, d, true);
+                    self.top_syms.push(sym);
                 }
                 SStat::Val(v) => {
                     self.error(v.span, "top-level values are not supported; use a def");
@@ -130,23 +260,63 @@ impl<'a> Typer<'a> {
         }
     }
 
-    fn enter_class_symbol(&mut self, owner: SymbolId, c: &SClass) {
-        if self.ctx.symbols.decl(owner, c.name).is_some() {
-            self.error(c.span, format!("duplicate class `{}`", c.name));
-            return;
-        }
+    fn enter_class_symbol(&mut self, owner: SymbolId, c: &SClass) -> Option<SymbolId> {
         let mut flags = Flags::EMPTY;
         if c.is_trait {
             flags |= Flags::TRAIT;
         }
-        let sym = self
-            .ctx
-            .symbols
-            .new_class(owner, c.name, flags, Vec::new(), Vec::new());
+        let first_entry = self.entered.insert((owner, c.name));
+        let existing = self.ctx.symbols.decl(owner, c.name);
+        let sym = match existing {
+            Some(e) if !first_entry || !self.is_prev_gen(owner, e) => {
+                // Same-pass clash or a name owned by another unit.
+                self.error(c.span, format!("duplicate class `{}`", c.name));
+                return None;
+            }
+            Some(e) if self.ctx.symbols.sym(e).kind == SymKind::Class => {
+                // Redefinition in place: keep the SymbolId (other units'
+                // cached trees reference it), reset the surface.
+                self.reused_owners.insert(e);
+                self.rebuilt_decls.insert(e, Vec::new());
+                // A reused *nested* class must survive its enclosing reused
+                // class's decls rebuild.
+                self.push_rebuilt(owner, e);
+                let d = self.ctx.symbols.sym_mut(e);
+                d.flags = flags;
+                d.span = c.span;
+                d.parents = Vec::new();
+                d.tparams = Vec::new();
+                e
+            }
+            Some(e) => {
+                // The name changed kind (e.g. a def became a class): retire
+                // the previous-generation symbol and mint a fresh one.
+                self.ctx.symbols.sym_mut(owner).decls.retain(|&x| x != e);
+                let s = self
+                    .ctx
+                    .symbols
+                    .new_class(owner, c.name, flags, Vec::new(), Vec::new());
+                self.push_rebuilt(owner, s);
+                s
+            }
+            None => {
+                let s = self
+                    .ctx
+                    .symbols
+                    .new_class(owner, c.name, flags, Vec::new(), Vec::new());
+                self.push_rebuilt(owner, s);
+                s
+            }
+        };
         let tparams: Vec<SymbolId> = c
             .tparams
             .iter()
-            .map(|&tp| self.ctx.symbols.new_type_param(sym, tp))
+            .map(|&tp| {
+                self.entered.insert((sym, tp));
+                let t = self.ctx.symbols.new_type_param(sym, tp);
+                self.push_rebuilt(sym, t);
+                t
+            })
             .collect();
         self.ctx.symbols.sym_mut(sym).tparams = tparams;
         self.ctx.symbols.sym_mut(sym).span = c.span;
@@ -159,6 +329,7 @@ impl<'a> Typer<'a> {
                 self.enter_class_symbol(sym, nested);
             }
         }
+        Some(sym)
     }
 
     fn push_class_tparams(&mut self, cls: SymbolId) {
@@ -217,16 +388,12 @@ impl<'a> Typer<'a> {
             if matches!(t, Type::ByName(_) | Type::Repeated(_)) {
                 self.error(p.span, "class parameters cannot be by-name or repeated");
             }
-            let f = self
-                .ctx
-                .symbols
-                .new_term(sym, p.name, Flags::PARAM, t.clone());
-            self.ctx.symbols.sym_mut(f).span = p.span;
+            let f = self.reuse_or_new_term(sym, p.name, Flags::PARAM, t.clone(), p.span);
             ctor_param_types.push(t);
             ctor_param_syms.push(f);
         }
         if !c.is_trait {
-            let ctor = self.ctx.symbols.new_term(
+            let ctor = self.reuse_or_new_term(
                 sym,
                 std_names::init(),
                 Flags::METHOD | Flags::CONSTRUCTOR | Flags::SYNTHETIC,
@@ -234,6 +401,7 @@ impl<'a> Typer<'a> {
                     params: vec![ctor_param_types],
                     ret: Box::new(Type::Unit),
                 },
+                Span::SYNTHETIC,
             );
             self.params_of.insert(ctor, vec![ctor_param_syms]);
         }
@@ -257,22 +425,26 @@ impl<'a> Typer<'a> {
                     if v.private {
                         flags |= Flags::PRIVATE;
                     }
-                    if self.ctx.symbols.decl(sym, v.name).is_some() {
+                    if self.entered.contains(&(sym, v.name))
+                        || self
+                            .ctx
+                            .symbols
+                            .decl(sym, v.name)
+                            .is_some_and(|e| !self.is_prev_gen(sym, e))
+                    {
                         self.error(v.span, format!("duplicate member `{}`", v.name));
                         continue;
                     }
-                    let m = self.ctx.symbols.new_term(sym, v.name, flags, t);
-                    self.ctx.symbols.sym_mut(m).span = v.span;
+                    self.reuse_or_new_term(sym, v.name, flags, t, v.span);
                 }
                 SStat::Def(d) => {
                     self.enter_def_symbol(sym, d, false);
                 }
                 SStat::Class(nested) => {
-                    let nsym = self
-                        .ctx
-                        .symbols
-                        .decl(sym, nested.name)
-                        .expect("nested class entered");
+                    let Some(nsym) = self.ctx.symbols.decl(sym, nested.name) else {
+                        // Pass 0 refused the definition (duplicate).
+                        continue;
+                    };
                     self.complete_class(nsym, nested);
                 }
                 SStat::Expr(_) => {
@@ -281,12 +453,30 @@ impl<'a> Typer<'a> {
                 }
             }
         }
+        if self.reused_owners.contains(&sym) {
+            // Install the rebuilt member list: the same symbols, in fresh
+            // declaration order, with stale previous-generation members
+            // dropped. (Locals entered later by body typing append after
+            // this, exactly as they do on the batch path.)
+            if let Some(rebuilt) = self.rebuilt_decls.remove(&sym) {
+                self.ctx.symbols.sym_mut(sym).decls = rebuilt;
+            }
+        }
         self.tscopes.pop();
     }
 
     fn enter_def_symbol(&mut self, owner: SymbolId, d: &SDef, top_level: bool) -> SymbolId {
-        // Overloading is not supported.
-        if self.ctx.symbols.decl(owner, d.name).is_some() {
+        // Overloading is not supported: a same-pass re-entry or a clash with
+        // a name owned by another unit is an error (a previous generation of
+        // *this* unit's definition is redefined in place instead).
+        let same_pass = self.entered.contains(&(owner, d.name));
+        if same_pass
+            || self
+                .ctx
+                .symbols
+                .decl(owner, d.name)
+                .is_some_and(|e| !self.is_prev_gen(owner, e))
+        {
             self.error(d.span, format!("duplicate definition `{}`", d.name));
         }
         let mut flags = Flags::METHOD;
@@ -302,10 +492,52 @@ impl<'a> Typer<'a> {
         if top_level && d.name == std_names::main() {
             flags |= Flags::ENTRY_POINT;
         }
-        let sym = self
-            .ctx
-            .symbols
-            .new_term(owner, d.name, flags, Type::NoType);
+        self.entered.insert((owner, d.name));
+        let reusable = if same_pass {
+            // A genuine duplicate keeps minting a second symbol, exactly as
+            // the batch namer always has.
+            None
+        } else {
+            self.ctx.symbols.decl(owner, d.name).filter(|&e| {
+                self.is_prev_gen(owner, e) && self.ctx.symbols.sym(e).kind == SymKind::Term
+            })
+        };
+        let sym = match reusable {
+            Some(e) => {
+                // Redefinition in place: keep the SymbolId, reset the
+                // surface. Old parameter/local/type-parameter symbols are
+                // unit-internal, so dropping them from `decls` orphans
+                // nothing another unit can reference.
+                let data = self.ctx.symbols.sym_mut(e);
+                data.flags = flags;
+                data.info = Type::NoType;
+                data.span = d.span;
+                data.decls.clear();
+                data.tparams.clear();
+                self.push_rebuilt(owner, e);
+                e
+            }
+            None => {
+                if !same_pass {
+                    if let Some(stale) = self.ctx.symbols.decl(owner, d.name) {
+                        if self.is_prev_gen(owner, stale) {
+                            // The name changed kind; retire the stale symbol.
+                            self.ctx
+                                .symbols
+                                .sym_mut(owner)
+                                .decls
+                                .retain(|&x| x != stale);
+                        }
+                    }
+                }
+                let s = self
+                    .ctx
+                    .symbols
+                    .new_term(owner, d.name, flags, Type::NoType);
+                self.push_rebuilt(owner, s);
+                s
+            }
+        };
         self.ctx.symbols.sym_mut(sym).span = d.span;
 
         let tparams: Vec<SymbolId> = d
@@ -425,6 +657,9 @@ impl<'a> Typer<'a> {
                     if let Some(d) = self.ctx.symbols.decl(pkg, *name) {
                         if self.ctx.symbols.sym(d).kind == SymKind::Class {
                             found = d;
+                            // Package-scope type resolution: a cross-unit
+                            // dependency root (filtered by the session).
+                            self.pkg_refs.push(d);
                         }
                     }
                 }
@@ -667,6 +902,9 @@ impl<'a> Typer<'a> {
         let pkg = self.ctx_root();
         if let Some(d) = self.ctx.symbols.decl(pkg, name) {
             if self.ctx.symbols.sym(d).kind == SymKind::Term {
+                // Package-scope value resolution: a cross-unit dependency
+                // root (filtered by the session).
+                self.pkg_refs.push(d);
                 let tpe = self.ctx.symbols.sym(d).info.clone();
                 let t = self.ctx.mk(TreeKind::Ident { sym: d }, tpe, span);
                 return self.adapt(t, fun_position);
@@ -979,6 +1217,18 @@ impl<'a> Typer<'a> {
         }
         match self.ctx.symbols.member(&q_t, name) {
             Some((m, seen)) => {
+                // Selecting a member pins this unit to the *owning class's*
+                // interface (and to the qualifier's class): a signature
+                // change there must cascade even when the class was never
+                // named through the package scope (e.g. it arrived as a
+                // call's result type).
+                if let Some(cs) = q_t.class_sym() {
+                    self.pkg_refs.push(cs);
+                }
+                let owner = self.ctx.symbols.sym(m).owner;
+                if owner.exists() {
+                    self.pkg_refs.push(owner);
+                }
                 let sel = self.ctx.mk(
                     TreeKind::Select {
                         qual: q,

@@ -278,18 +278,21 @@ impl Ctx {
         let mut summary = crate::tree::NodeKindSet::of(kind.node_kind());
         let mut i = 0usize;
         while let Some(c) = kind.child_at(i) {
-            depth = depth.max(c.depth);
-            size = size.saturating_add(c.size);
-            summary = summary.union(c.summary);
+            depth = depth.max(c.depth());
+            size = size.saturating_add(c.subtree_size());
+            summary = summary.union(c.kinds_below());
             i += 1;
         }
+        // Both 24-bit header lanes saturate at their sentinel rather than
+        // wrap: a saturated size means "unknown, never prune", a saturated
+        // depth still exceeds every small depth gate.
+        let depth = depth.saturating_add(1).min(Tree::DEPTH_SATURATED);
+        let size = size.saturating_add(1).min(Tree::SIZE_SATURATED);
         Rc::new(Tree {
             id,
             addr,
             bytes,
-            depth: depth + 1,
-            size: size.saturating_add(1),
-            summary,
+            header: crate::tree::pack_header(summary, size, depth),
             span,
             tpe,
             kind,

@@ -30,6 +30,12 @@ macro_rules! flag_consts {
             pub const ALL_NAMED: &'static [(&'static str, Flags)] = &[
                 $( (stringify!($name), Flags::$name), )*
             ];
+
+            /// The raw bit pattern — stable input for the interface
+            /// fingerprints ([`crate::fingerprint`]).
+            pub const fn bits(self) -> u32 {
+                self.0
+            }
         }
     };
 }

@@ -28,6 +28,7 @@
 
 mod constant;
 mod ctx;
+pub mod fingerprint;
 mod flags;
 mod names;
 pub mod printer;

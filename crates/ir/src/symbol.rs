@@ -159,10 +159,64 @@ pub struct ShardGrowth {
 /// adopted verbatim; a primary shard plus any chained overflow shards) and
 /// the base symbols it mutated (fork-time snapshot + final value, merged
 /// field-wise with append-aware `decls` handling).
+#[derive(Clone)]
 pub struct SymbolDelta {
     shards: Vec<Shard>,
     /// `(id, fork-time snapshot, final value)`, ascending by id.
     dirty: Vec<(SymbolId, SymbolData, SymbolData)>,
+}
+
+impl SymbolDelta {
+    /// True when the delta carries neither new symbols nor mutations.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty() && self.dirty.is_empty()
+    }
+
+    /// One past the highest symbol id this delta's shards occupy (0 when it
+    /// created no symbols). Compile sessions use this to advance their
+    /// shard cursor so the next fork's id range clears every cached delta.
+    pub fn max_id_end(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| s.start + s.syms.len() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Looks up a symbol **created by this delta** (i.e. living in one of
+    /// its shards); `None` for pre-fork ids.
+    pub fn new_symbol(&self, id: SymbolId) -> Option<&SymbolData> {
+        find_shard(&self.shards, id.index()).map(|at| {
+            let sh = &self.shards[at];
+            &sh.syms[(id.index() - sh.start) as usize]
+        })
+    }
+
+    /// The *final* value this delta records for a mutated pre-fork symbol,
+    /// or `None` if the fork never wrote it.
+    pub fn dirty_final(&self, id: SymbolId) -> Option<&SymbolData> {
+        self.dirty
+            .binary_search_by_key(&id, |(d, _, _)| *d)
+            .ok()
+            .map(|at| &self.dirty[at].2)
+    }
+
+    /// The dirty entries — mutated pre-fork symbols — as `(id, final
+    /// value)` pairs, ascending by id.
+    pub fn dirty_entries(&self) -> impl Iterator<Item = (SymbolId, &SymbolData)> {
+        self.dirty.iter().map(|(id, _, fin)| (*id, fin))
+    }
+
+    /// Drops every dirty (mutated pre-fork symbol) entry for which `keep`
+    /// returns false; `keep` receives the id and the recorded final value.
+    /// Compile sessions use this to discard a cached unit's whole-table
+    /// sweep residue over *other* units' symbols — entries that would go
+    /// stale (and poison a later table rebuild) as soon as those units are
+    /// re-typed. New-symbol shards are never filtered: their ids are born
+    /// unit-private.
+    pub fn retain_dirty(&mut self, mut keep: impl FnMut(SymbolId, &SymbolData) -> bool) {
+        self.dirty.retain(|(id, _, fin)| keep(*id, fin));
+    }
 }
 
 /// The arena of all symbols plus hierarchy-dependent type operations.
@@ -176,6 +230,13 @@ pub struct SymbolDelta {
 /// let c = tab.new_class(owner, Name::from("C"), Flags::EMPTY, vec![Type::AnyRef], vec![]);
 /// assert!(tab.is_subtype(&tab.class_type(c), &Type::AnyRef));
 /// ```
+///
+/// Cloning is cheap (`Arc`-shared base arena and adopted shards) until the
+/// clone — or the original — first mutates, at which point `Arc::make_mut`
+/// copies the touched region. The incremental compile session leans on
+/// this: every `compile()` clones the pristine frontend table and splices
+/// cached per-unit deltas into the clone.
+#[derive(Clone)]
 pub struct SymbolTable {
     /// The base arena. `Arc`-shared so [`SymbolTable::fork_for_worker`] is
     /// O(1) in base-table size: forks alias the same frozen snapshot, and

@@ -354,6 +354,13 @@ impl NodeKindSet {
         NodeKindSet(self.0 | other.0)
     }
 
+    /// Set intersection. The `Auto` pruning heuristic intersects a fusion
+    /// group's hoisted mask with a unit root's kinds-below summary to judge
+    /// how much of the unit the group can actually touch.
+    pub fn intersect(self, other: NodeKindSet) -> NodeKindSet {
+        NodeKindSet(self.0 & other.0)
+    }
+
     /// True if the sets share at least one kind. This is the subtree-pruning
     /// test: one AND against a node's cached kinds-below summary decides
     /// whether a whole subtree can interest a phase group.
@@ -915,6 +922,45 @@ fn vec_bytes(n: usize) -> u32 {
     24 + 8 * n as u32
 }
 
+/// Bit budget of the packed header's `summary` lane: exactly the 32 node
+/// kinds (a compile-time guarantee — see the const assert below).
+const HEADER_SUMMARY_BITS: u32 = 32;
+/// Bit budget of the packed header's `size` lane.
+const HEADER_SIZE_BITS: u32 = 24;
+/// Bit budget of the packed header's `depth` lane.
+const HEADER_DEPTH_BITS: u32 = 24;
+
+const _: () = assert!(
+    NODE_KIND_COUNT <= HEADER_SUMMARY_BITS as usize,
+    "NodeKindSet outgrew the packed header's 32-bit summary lane"
+);
+
+/// Packs the derived node-header trio — kinds-below `summary` (32 bits),
+/// saturating subtree `size` (24 bits) and subtree `depth` (24 bits) — into
+/// one 128-bit word, lane layout `[.. spare | depth | size | summary]`.
+///
+/// The 24-bit lanes saturate at [`Tree::SIZE_SATURATED`] /
+/// [`Tree::DEPTH_SATURATED`] rather than wrapping; callers must have
+/// clamped already (debug-asserted here), which [`crate::Ctx::mk`] does via
+/// saturating arithmetic.
+pub(crate) fn pack_header(summary: NodeKindSet, size: u32, depth: u32) -> u128 {
+    debug_assert!(
+        summary.0 >> HEADER_SUMMARY_BITS == 0,
+        "summary exceeds its 32-bit header lane"
+    );
+    debug_assert!(
+        size <= Tree::SIZE_SATURATED,
+        "size {size} exceeds its 24-bit header lane"
+    );
+    debug_assert!(
+        depth <= Tree::DEPTH_SATURATED,
+        "depth {depth} exceeds its 24-bit header lane"
+    );
+    u128::from(summary.0)
+        | (u128::from(size) << HEADER_SUMMARY_BITS)
+        | (u128::from(depth) << (HEADER_SUMMARY_BITS + HEADER_SIZE_BITS))
+}
+
 /// One immutable tree node.
 ///
 /// Nodes are only created through [`crate::Ctx::mk`] (or the convenience
@@ -924,28 +970,33 @@ pub struct Tree {
     pub(crate) id: NodeId,
     pub(crate) addr: u64,
     pub(crate) bytes: u32,
-    /// Height of this subtree (a leaf is 1). Lets the destructor prove that
-    /// plain automatic recursion is safe for ordinary trees and divert only
-    /// genuinely deep ones onto the explicit teardown worklist.
-    pub(crate) depth: u32,
-    /// Node count of this subtree (a leaf is 1; shared children count once
-    /// per occurrence, i.e. as a traversal would visit them). Saturates at
-    /// `u32::MAX` on pathological DAGs. Cached like `depth`, it prices what
-    /// a skipped traversal *would* have visited, so pruned executors can
-    /// report exact `nodes_pruned` without walking the subtree.
-    pub(crate) size: u32,
-    /// Kinds at-or-below this node: the union of the child summaries and the
-    /// node's own kind, computed once at construction (trees are immutable,
-    /// so it never changes). Executors intersect a phase group's hoisted
-    /// prepare/transform masks with a child's summary to skip whole subtrees
-    /// the group cannot affect.
-    pub(crate) summary: NodeKindSet,
+    /// The packed `summary`/`size`/`depth` trio (see [`pack_header`]):
+    /// kinds at-or-below this node, saturating subtree node count, and
+    /// subtree height, all computed once at construction (trees are
+    /// immutable, so none of them ever change). One 128-bit word instead of
+    /// three fields keeps the hot header compact with 48 spare bits for
+    /// future per-node derived data.
+    pub(crate) header: u128,
     pub(crate) span: Span,
     pub(crate) tpe: Type,
     pub(crate) kind: TreeKind,
 }
 
 impl Tree {
+    /// Sentinel value of the packed header's 24-bit `size` lane: a subtree
+    /// whose structural node count reached this bound has an *unknown* true
+    /// size (pathological sharing can push the count past 2²⁴), so pruned
+    /// executors must visit it instead of pricing it — pricing a saturated
+    /// subtree would corrupt the exact
+    /// `node_visits + nodes_pruned == unpruned node_visits` invariant.
+    pub const SIZE_SATURATED: u32 = (1 << HEADER_SIZE_BITS) - 1;
+
+    /// Saturation bound of the packed header's 24-bit `depth` lane. Depth
+    /// consumers only compare against small constants (the destructor's
+    /// 1 000-frame recursion bound, the eager walk's 512 gate), so a
+    /// saturated depth still routes such trees to the iterative paths.
+    pub const DEPTH_SATURATED: u32 = (1 << HEADER_DEPTH_BITS) - 1;
+
     /// The node's identity / allocation timestamp.
     pub fn id(&self) -> NodeId {
         self.id
@@ -961,25 +1012,29 @@ impl Tree {
         self.bytes
     }
 
-    /// Height of this subtree (a leaf is 1), cached at construction.
+    /// Height of this subtree (a leaf is 1), cached at construction in the
+    /// packed header; saturates at [`Tree::DEPTH_SATURATED`].
+    #[inline]
     pub fn depth(&self) -> u32 {
-        self.depth
+        ((self.header >> (HEADER_SUMMARY_BITS + HEADER_SIZE_BITS)) as u32) & Tree::DEPTH_SATURATED
     }
 
-    /// Node count of this subtree (a leaf is 1), cached at construction;
-    /// saturating. Shared children count once per occurrence, matching what
-    /// a traversal would visit.
+    /// Node count of this subtree (a leaf is 1), cached at construction in
+    /// the packed header; saturating at [`Tree::SIZE_SATURATED`]. Shared
+    /// children count once per occurrence, matching what a traversal would
+    /// visit.
+    #[inline]
     pub fn subtree_size(&self) -> u32 {
-        self.size
+        ((self.header >> HEADER_SUMMARY_BITS) as u32) & Tree::SIZE_SATURATED
     }
 
-    /// The kinds occurring at or below this node, cached at construction.
-    /// This is the pruning summary: if a phase group's combined
-    /// prepare/transform mask does not [`NodeKindSet::intersects`] it, no
-    /// hook of the group can fire anywhere in the subtree.
+    /// The kinds occurring at or below this node, cached at construction in
+    /// the packed header. This is the pruning summary: if a phase group's
+    /// combined prepare/transform mask does not [`NodeKindSet::intersects`]
+    /// it, no hook of the group can fire anywhere in the subtree.
     #[inline]
     pub fn kinds_below(&self) -> NodeKindSet {
-        self.summary
+        NodeKindSet(u64::from(self.header as u32))
     }
 
     /// Source span.
@@ -1186,7 +1241,7 @@ impl Drop for Tree {
         // the destructor switches to an explicit worklist: it steals the
         // kind of every uniquely-owned child, keeping each child's own
         // `drop` shallow.
-        if self.depth <= DROP_RECURSION_LIMIT {
+        if self.depth() <= DROP_RECURSION_LIMIT {
             return;
         }
         let kind = std::mem::replace(&mut self.kind, TreeKind::Empty);
@@ -1437,6 +1492,78 @@ mod tests {
             args: (0..10).map(|i| ctx.lit_int(i)).collect(),
         };
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn packed_header_roundtrips_at_budget_edges() {
+        // Every lane round-trips independently at its extremes.
+        let cases = [
+            (NodeKindSet::EMPTY, 1u32, 1u32),
+            (
+                NodeKindSet::ALL,
+                Tree::SIZE_SATURATED,
+                Tree::DEPTH_SATURATED,
+            ),
+            (
+                NodeKindSet::of(NodeKind::Super),
+                Tree::SIZE_SATURATED - 1,
+                3,
+            ),
+            (
+                NodeKindSet::of(NodeKind::Empty),
+                7,
+                Tree::DEPTH_SATURATED - 1,
+            ),
+        ];
+        for (summary, size, depth) in cases {
+            let header = pack_header(summary, size, depth);
+            let t = Tree {
+                id: NodeId(1),
+                addr: 0,
+                bytes: 0,
+                header,
+                span: Span::SYNTHETIC,
+                tpe: Type::NoType,
+                kind: TreeKind::Empty,
+            };
+            assert_eq!(t.kinds_below(), summary);
+            assert_eq!(t.subtree_size(), size);
+            assert_eq!(t.depth(), depth);
+        }
+    }
+
+    #[test]
+    fn header_size_lane_saturates_instead_of_wrapping() {
+        // Two saturated children sum past the 24-bit lane; the parent must
+        // pin at the sentinel (unknown), not wrap into a small bogus count.
+        let mut ctx = Ctx::new();
+        let mut wide = ctx.lit_int(0);
+        // Doubling a shared child each level reaches 2^24 nodes in 24 steps
+        // while allocating only 24 parents.
+        for _ in 0..26 {
+            let (a, b) = (wide.clone(), wide.clone());
+            wide = ctx.mk(
+                TreeKind::Block {
+                    stats: vec![a].into(),
+                    expr: b,
+                },
+                Type::Unit,
+                Span::SYNTHETIC,
+            );
+        }
+        assert_eq!(wide.subtree_size(), Tree::SIZE_SATURATED);
+        // Depth stayed exact: 26 blocks over a leaf.
+        assert_eq!(wide.depth(), 27);
+    }
+
+    #[test]
+    fn node_kind_set_intersect() {
+        let a = NodeKindSet::of(NodeKind::ValDef).with(NodeKind::Apply);
+        let b = NodeKindSet::of(NodeKind::Apply).with(NodeKind::If);
+        let i = a.intersect(b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(NodeKind::Apply));
+        assert!(a.intersect(NodeKindSet::EMPTY).is_empty());
     }
 
     #[test]

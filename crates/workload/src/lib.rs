@@ -294,6 +294,227 @@ def {p}useBox{cid}(n: Int): Int = {{
     ));
 }
 
+// ---------------------------------------------------------------------------
+// Linked corpora and edit series (the incremental-compilation workload).
+// ---------------------------------------------------------------------------
+
+/// Parameters of a *linked* corpus: units with explicit cross-unit
+/// dependencies, built for exercising incremental recompilation. Every
+/// dependency points to a unit **earlier in name order** (the same
+/// constraint a batch compile imposes, since the typer processes units in
+/// sequence), and the driver unit `zmain.ms` — sorted last — calls into the
+/// graph so VM output observes every edit.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkedConfig {
+    /// Number of library units (`unit0000.ms` …), excluding `zmain.ms`.
+    pub units: usize,
+    /// Seed for the dependency graph and per-unit constants.
+    pub seed: u64,
+}
+
+impl LinkedConfig {
+    /// The 16-unit corpus the `incr` benchmark measures.
+    pub fn incr_bench() -> LinkedConfig {
+        LinkedConfig {
+            units: 16,
+            seed: 0x1c5,
+        }
+    }
+}
+
+/// What an [`Edit`] changes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EditKind {
+    /// A definition-body change (constants in expressions): the unit's
+    /// exported interface is untouched, so dependents must stay cached.
+    Body,
+    /// An exported-signature change (a helper def's parameter list toggles
+    /// arity): the unit's interface hash moves, so dependents must
+    /// recompile.
+    Signature,
+}
+
+/// One staged edit of a linked corpus.
+#[derive(Clone, Debug)]
+pub struct Edit {
+    /// The edited unit's file name.
+    pub unit: String,
+    /// Body-only or signature-changing.
+    pub kind: EditKind,
+    /// The unit's full replacement source.
+    pub source: String,
+}
+
+/// A linked corpus plus a deterministic series of edits to replay on it.
+#[derive(Clone, Debug)]
+pub struct EditScript {
+    /// The initial sources.
+    pub base: Workload,
+    /// Edits in replay order.
+    pub edits: Vec<Edit>,
+}
+
+/// SplitMix64 — a tiny keyed generator so each unit's constants and dep
+/// list derive from `(corpus seed, uid)` alone: regenerating one edited
+/// unit never disturbs any other unit's content.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_key(cfg: &LinkedConfig, uid: usize) -> u64 {
+    mix(cfg.seed ^ mix(uid as u64 + 1))
+}
+
+/// The dependency list of unit `uid`: up to two units strictly earlier in
+/// name order, derived from the corpus seed only (edits never change the
+/// graph).
+pub fn linked_deps(cfg: &LinkedConfig, uid: usize) -> Vec<usize> {
+    if uid == 0 {
+        return Vec::new();
+    }
+    let k = unit_key(cfg, uid);
+    let mut deps = vec![(k % uid as u64) as usize];
+    if uid > 1 && !k.is_multiple_of(3) {
+        let second = ((k >> 16) % uid as u64) as usize;
+        if second != deps[0] {
+            deps.push(second);
+        }
+    }
+    deps.sort_unstable();
+    deps
+}
+
+/// The file name of linked unit `uid`.
+pub fn linked_unit_name(uid: usize) -> String {
+    format!("unit{uid:04}.ms")
+}
+
+/// Generates the full source of linked unit `uid` at a given edit state:
+/// `body_salt` perturbs expression constants only (a body-only edit);
+/// `sig_variant` toggles the exported `spare` helper between one and two
+/// parameters (a signature edit). Deterministic in all arguments.
+pub fn linked_unit_source(
+    cfg: &LinkedConfig,
+    uid: usize,
+    body_salt: u64,
+    sig_variant: u8,
+) -> String {
+    let k = unit_key(cfg, uid);
+    let k1 = (k % 7 + 2) as i64;
+    let k2 = ((k >> 8) % 11 + 1) as i64;
+    let k3 = ((k >> 16) % 13 + 1) as i64 + body_salt as i64 * 17;
+    let k4 = ((k >> 24) % 5 + 1) as i64;
+    let p = format!("U{uid}");
+    let dep_calls: String = linked_deps(cfg, uid)
+        .iter()
+        .map(|d| format!(" + U{d}entry(seedv % 5 + {})", d % 3 + 1))
+        .collect();
+    let (spare_sig, spare_body, spare_call) = if sig_variant.is_multiple_of(2) {
+        (format!("{p}spare(n: Int)"), "n", format!("{p}spare(local)"))
+    } else {
+        (
+            format!("{p}spare(n: Int, m: Int)"),
+            "n + m * 2",
+            format!("{p}spare(local, 1)"),
+        )
+    };
+    format!(
+        r#"def {p}entry(n: Int): Int = {{
+  val seedv: Int = n * {k1} + {k3}
+  val local: Int = {p}helper(seedv){dep_calls}
+  {spare_call} + local
+}}
+def {p}helper(v: Int): Int = {{
+  var acc: Int = v
+  var i: Int = 0
+  while (i < 3) {{
+    acc = acc + i * {k2}
+    i = i + 1
+  }}
+  if (acc % 2 == 0) acc / 2 else acc * 3 + 1
+}}
+def {spare_sig}: Int = {spare_body} + {k3}
+class {p}Box(seed: Int) {{
+  var state{uid}: Int = seed
+  def poke(kk: Int): Int = {{
+    state{uid} = state{uid} + kk
+    state{uid}
+  }}
+  def tag(x: Any): Int = x match {{
+    case n: Int => n + {k4}
+    case s: String => 0 - 1
+    case _ => 0
+  }}
+}}
+def {p}drive(n: Int): Int = {{
+  val b: {p}Box = new {p}Box(n + {k3})
+  val f: (Int) => Int = (x: Int) => b.poke(x) + {p}entry(x)
+  f(n) + b.tag(n * {k4})
+}}
+"#
+    )
+}
+
+/// The driver unit (sorted last as `zmain.ms`): calls a spread of entries
+/// and drivers so every unit's output is observable at the VM level.
+fn linked_main(cfg: &LinkedConfig) -> String {
+    let n = cfg.units;
+    let mut body = String::from("def main(): Unit = {\n  var total: Int = 0\n");
+    for uid in [0, n / 2, n.saturating_sub(1)] {
+        body.push_str(&format!("  total = total + U{uid}drive({})\n", uid % 4 + 2));
+    }
+    for uid in 0..n {
+        body.push_str(&format!("  total = total + U{uid}entry({})\n", uid % 5 + 1));
+    }
+    body.push_str("  println(total)\n}\n");
+    body
+}
+
+/// Generates a linked corpus at its unedited state.
+pub fn generate_linked(cfg: &LinkedConfig) -> Workload {
+    let mut units: Vec<(String, String)> = (0..cfg.units)
+        .map(|uid| (linked_unit_name(uid), linked_unit_source(cfg, uid, 0, 0)))
+        .collect();
+    units.push(("zmain.ms".to_owned(), linked_main(cfg)));
+    let total_loc = units.iter().map(|(_, s)| s.lines().count()).sum();
+    Workload { units, total_loc }
+}
+
+/// Builds a linked corpus plus a seeded series of `edits` single-unit
+/// edits: mostly body-only constant changes, with roughly one in three
+/// toggling the exported `spare` helper's arity (a signature change).
+/// Fully deterministic: the same `(cfg, edits, edit_seed)` always yields a
+/// byte-identical base corpus and edit list.
+pub fn edit_series(cfg: &LinkedConfig, edits: usize, edit_seed: u64) -> EditScript {
+    let base = generate_linked(cfg);
+    let mut body_salt = vec![0u64; cfg.units];
+    let mut sig_variant = vec![0u8; cfg.units];
+    let mut out = Vec::with_capacity(edits);
+    let mut state = mix(edit_seed ^ 0xed17);
+    for _ in 0..edits {
+        state = mix(state);
+        let uid = (state % cfg.units as u64) as usize;
+        let kind = if state % 3 == 1 {
+            EditKind::Signature
+        } else {
+            EditKind::Body
+        };
+        match kind {
+            EditKind::Body => body_salt[uid] += 1,
+            EditKind::Signature => sig_variant[uid] ^= 1,
+        }
+        out.push(Edit {
+            unit: linked_unit_name(uid),
+            kind,
+            source: linked_unit_source(cfg, uid, body_salt[uid], sig_variant[uid]),
+        });
+    }
+    EditScript { base, edits: out }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +554,86 @@ mod tests {
     fn corpus_presets_match_the_paper() {
         assert_eq!(WorkloadConfig::stdlib_like().target_loc, 34_000);
         assert_eq!(WorkloadConfig::dotty_like().target_loc, 50_000);
+    }
+
+    #[test]
+    fn linked_corpus_is_deterministic_and_backward_linked() {
+        let cfg = LinkedConfig { units: 8, seed: 42 };
+        let a = generate_linked(&cfg);
+        let b = generate_linked(&cfg);
+        assert_eq!(a.units, b.units);
+        // Dependencies only ever point at earlier units (name order), so
+        // the corpus compiles in one front-to-back pass.
+        for uid in 0..cfg.units {
+            for d in linked_deps(&cfg, uid) {
+                assert!(d < uid, "unit {uid} depends forward on {d}");
+            }
+        }
+        // At least one unit actually has a dependency.
+        assert!((1..cfg.units).any(|u| !linked_deps(&cfg, u).is_empty()));
+        // Names sort with the driver last.
+        let mut names: Vec<&String> = a.units.iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names.last().expect("non-empty").as_str(), "zmain.ms");
+    }
+
+    #[test]
+    fn edit_series_is_deterministic_under_fixed_seed() {
+        let cfg = LinkedConfig { units: 6, seed: 7 };
+        let a = edit_series(&cfg, 12, 99);
+        let b = edit_series(&cfg, 12, 99);
+        assert_eq!(a.base.units, b.base.units);
+        assert_eq!(a.edits.len(), 12);
+        for (x, y) in a.edits.iter().zip(b.edits.iter()) {
+            assert_eq!(x.unit, y.unit);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.source, y.source);
+        }
+        // A different edit seed reorders/changes the series.
+        let c = edit_series(&cfg, 12, 100);
+        assert!(
+            a.edits
+                .iter()
+                .zip(c.edits.iter())
+                .any(|(x, y)| x.unit != y.unit || x.source != y.source),
+            "different seeds must differ"
+        );
+        // Both kinds occur over a modest series.
+        assert!(a.edits.iter().any(|e| e.kind == EditKind::Body));
+        assert!(a.edits.iter().any(|e| e.kind == EditKind::Signature));
+    }
+
+    #[test]
+    fn body_edits_touch_bodies_only() {
+        // The only textual difference a body edit may introduce is inside
+        // definition bodies: every `def`/`class`/`val`/`var` header line is
+        // byte-identical across body salts.
+        let cfg = LinkedConfig { units: 4, seed: 3 };
+        for uid in 0..cfg.units {
+            let v0 = linked_unit_source(&cfg, uid, 0, 0);
+            let v1 = linked_unit_source(&cfg, uid, 5, 0);
+            assert_ne!(v0, v1, "the edit must change the source");
+            let headers = |s: &str| -> Vec<String> {
+                s.lines()
+                    .filter(|l| {
+                        let t = l.trim_start();
+                        t.starts_with("def ") || t.starts_with("class ")
+                    })
+                    .map(|l| {
+                        // Keep the signature part: everything up to `= ` for
+                        // defs (bodies may be inline).
+                        match l.split_once(" = ") {
+                            Some((sig, _)) => sig.to_owned(),
+                            None => l.to_owned(),
+                        }
+                    })
+                    .collect()
+            };
+            assert_eq!(headers(&v0), headers(&v1), "unit {uid} headers moved");
+            // A signature toggle, by contrast, changes a header.
+            let v2 = linked_unit_source(&cfg, uid, 0, 1);
+            assert_ne!(headers(&v0), headers(&v2));
+        }
     }
 
     #[test]

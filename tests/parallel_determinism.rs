@@ -14,7 +14,7 @@ use miniphases::mini_driver::{standard_plan, CompilerOptions};
 use miniphases::mini_ir::{printer, Ctx, NodeKindSet, TreeKind, TreeRef};
 use miniphases::miniphase::{
     run_units_parallel, CompilationUnit, ExecStats, MiniPhase, NoInstrumentation, PhaseInfo,
-    Pipeline,
+    Pipeline, SubtreePruning,
 };
 use miniphases::{mini_front, mini_phases, workload};
 use proptest::prelude::*;
@@ -72,13 +72,17 @@ fn run_pipeline(
     (printed, stats, failures)
 }
 
-fn opts_for(mode: u8, prune: bool) -> CompilerOptions {
+fn opts_for(mode: u8, prune: u8) -> CompilerOptions {
     let mut opts = match mode % 3 {
         0 => CompilerOptions::fused(),
         1 => CompilerOptions::mega(),
         _ => CompilerOptions::legacy(),
     };
-    opts.fusion.subtree_pruning = prune;
+    opts.fusion.subtree_pruning = match prune % 3 {
+        0 => SubtreePruning::Off,
+        1 => SubtreePruning::On,
+        _ => SubtreePruning::Auto,
+    };
     opts
 }
 
@@ -117,9 +121,8 @@ proptest! {
         seed in 0u64..10_000,
         loc in 300usize..1_000,
         mode in 0u8..3,
-        prune in 0u8..2,
+        prune in 0u8..3,
     ) {
-        let prune = prune == 1;
         // Small units force a multi-unit corpus, so chunking really splits.
         let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 150 };
         let opts = opts_for(mode, prune);
@@ -146,7 +149,7 @@ proptest! {
         mode in 0u8..3,
     ) {
         let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 150 };
-        let opts = opts_for(mode, false);
+        let opts = opts_for(mode, 0);
         let unchecked = run_pipeline(&cfg, &opts, 1, false);
         let seq = run_pipeline(&cfg, &opts, 1, true);
         prop_assert_eq!(

@@ -16,8 +16,10 @@
 //! * **paper-exact default** — with the flag off, `nodes_pruned` stays 0.
 
 use miniphases::mini_driver::{standard_plan, CompilerOptions};
-use miniphases::mini_ir::{printer, Ctx};
-use miniphases::miniphase::{CompilationUnit, ExecStats, MiniPhase, PhasePlan, Pipeline};
+use miniphases::mini_ir::{printer, Ctx, Tree};
+use miniphases::miniphase::{
+    CompilationUnit, ExecStats, MiniPhase, PhasePlan, Pipeline, SubtreePruning,
+};
 use miniphases::{mini_front, mini_phases, workload};
 use proptest::prelude::*;
 
@@ -86,8 +88,10 @@ proptest! {
         let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 250 };
         let off = opts_for(mode, ablation);
         let on = off.with_subtree_pruning(true);
+        let auto = off.with_pruning_mode(SubtreePruning::Auto);
         let (trees_off, stats_off) = run_standard(&cfg, &off);
         let (trees_on, stats_on) = run_standard(&cfg, &on);
+        let (trees_auto, stats_auto) = run_standard(&cfg, &auto);
 
         prop_assert_eq!(stats_off.nodes_pruned, 0, "paper-exact mode never prunes");
         prop_assert_eq!(
@@ -97,7 +101,17 @@ proptest! {
              (mode {}, ablation {}): {:?} vs {:?}",
             mode, ablation, stats_on, stats_off
         );
+        // `Auto` decides per traversal, but whatever it decides the exact
+        // accounting invariant (and the output trees) must hold.
+        prop_assert_eq!(
+            stats_auto.node_visits + stats_auto.nodes_pruned,
+            stats_off.node_visits,
+            "auto pruning must account exactly (mode {}, ablation {}): {:?} vs {:?}",
+            mode, ablation, stats_auto, stats_off
+        );
         prop_assert_eq!(stats_on.traversals, stats_off.traversals);
+        prop_assert_eq!(stats_auto.traversals, stats_off.traversals);
+        prop_assert_eq!(&trees_auto, &trees_off, "auto-pruned trees must match");
         if ablation % 4 == 0 {
             // With identity skip on and per-kind prepares, hooks only ever
             // fire on mask kinds — which pruning never skips — so the work
@@ -128,13 +142,16 @@ fn solo_plan(phases: &[Box<dyn MiniPhase>]) -> PhasePlan {
 
 /// Runs a sparse single-group plan over the corpus with and without pruning;
 /// returns (pruned stats, unpruned stats, trees equal).
-fn run_sparse(mk: fn() -> Vec<Box<dyn MiniPhase>>, prune: bool) -> (ExecStats, Vec<String>) {
+fn run_sparse(
+    mk: fn() -> Vec<Box<dyn MiniPhase>>,
+    prune: SubtreePruning,
+) -> (ExecStats, Vec<String>) {
     let cfg = workload::WorkloadConfig {
         target_loc: 2_000,
         seed: 0xd077,
         unit_loc: 400,
     };
-    let opts = CompilerOptions::fused().with_subtree_pruning(prune);
+    let opts = CompilerOptions::fused().with_pruning_mode(prune);
     let (mut ctx, units) = frontend(&cfg, &opts);
     let phases = mk();
     let plan = solo_plan(&phases);
@@ -163,8 +180,8 @@ fn tailrec_only() -> Vec<Box<dyn MiniPhase>> {
 
 #[test]
 fn sparse_patmat_plan_prunes_subtrees() {
-    let (on, trees_on) = run_sparse(patmat_only, true);
-    let (off, trees_off) = run_sparse(patmat_only, false);
+    let (on, trees_on) = run_sparse(patmat_only, SubtreePruning::On);
+    let (off, trees_off) = run_sparse(patmat_only, SubtreePruning::Off);
     assert!(on.nodes_pruned > 0, "sparse plan must prune: {on:?}");
     assert!(
         on.node_visits < off.node_visits,
@@ -185,11 +202,55 @@ fn sparse_patmat_plan_prunes_subtrees() {
 fn sparse_tailrec_plan_prunes_subtrees() {
     // `tailRec` transforms only `DefDef`: everything below a method's
     // signature line that contains no nested def is skippable.
-    let (on, trees_on) = run_sparse(tailrec_only, true);
-    let (off, trees_off) = run_sparse(tailrec_only, false);
+    let (on, trees_on) = run_sparse(tailrec_only, SubtreePruning::On);
+    let (off, trees_off) = run_sparse(tailrec_only, SubtreePruning::Off);
     assert!(on.nodes_pruned > 0, "sparse plan must prune: {on:?}");
     assert!(on.node_visits < off.node_visits);
     assert_eq!(trees_on, trees_off);
+}
+
+#[test]
+fn auto_pruning_enables_on_sparse_plans() {
+    // On a sparse single-phase plan the heuristic must engage — `Auto`
+    // behaves exactly like `On`, stats and trees alike.
+    let (auto, trees_auto) = run_sparse(patmat_only, SubtreePruning::Auto);
+    let (on, trees_on) = run_sparse(patmat_only, SubtreePruning::On);
+    assert!(
+        auto.nodes_pruned > 0,
+        "auto must prune a sparse plan: {auto:?}"
+    );
+    assert_eq!(auto, on, "auto on a sparse plan is exactly `On`");
+    assert_eq!(trees_auto, trees_on);
+}
+
+#[test]
+fn auto_pruning_declines_dense_groups() {
+    // The dense standard fused pipeline's groups blanket most interior
+    // kinds; the sparseness test must keep (at least) the bulk of the
+    // traversals on the paper-exact walk, so `Auto` prunes far less than
+    // `On` while keeping the exact accounting invariant.
+    let cfg = workload::WorkloadConfig {
+        target_loc: 1_200,
+        seed: 0xd077,
+        unit_loc: 300,
+    };
+    let (_, off) = run_standard(&cfg, &CompilerOptions::fused());
+    let (_, on) = run_standard(&cfg, &CompilerOptions::fused().with_subtree_pruning(true));
+    let (_, auto) = run_standard(
+        &cfg,
+        &CompilerOptions::fused().with_pruning_mode(SubtreePruning::Auto),
+    );
+    assert_eq!(auto.node_visits + auto.nodes_pruned, off.node_visits);
+    assert!(
+        auto.nodes_pruned <= on.nodes_pruned,
+        "auto can never prune more than always-on: auto {} vs on {}",
+        auto.nodes_pruned,
+        on.nodes_pruned
+    );
+    assert!(
+        auto.node_visits >= on.node_visits,
+        "declined groups walk paper-exact"
+    );
 }
 
 #[test]
@@ -208,8 +269,9 @@ fn full_standard_pipeline_stays_paper_exact_by_default() {
 // Saturated subtree sizes (regression).
 //
 // `Tree::subtree_size` counts *structural* occurrences and saturates at
-// `u32::MAX`; pathological sharing (a node referenced three times per level)
-// overflows 2³² with ~20 allocations. Pruning prices a skipped subtree from
+// `Tree::SIZE_SATURATED` (the packed header's 24-bit size lane);
+// pathological sharing (a node referenced three times per level) overflows
+// the lane within ~20 allocations. Pruning prices a skipped subtree from
 // that cached size, so skipping a saturated one would add a wrong count to
 // `nodes_pruned` and silently break the documented
 // `node_visits + nodes_pruned == unpruned node_visits` invariant. The walk
@@ -277,20 +339,17 @@ fn saturated_subtree_size_is_never_pruned() {
     let root = saturated_dag(&mut ctx, 20);
     assert_eq!(
         root.subtree_size(),
-        u32::MAX,
+        Tree::SIZE_SATURATED,
         "fixture must saturate the cached size"
     );
-    let child = root.child_at(0).expect("root has children");
-    assert_ne!(
-        child.subtree_size(),
-        u32::MAX,
-        "children must stay exactly sized (the walk prunes them)"
-    );
     let truth = structural_count(&root);
-    assert!(truth > u64::from(u32::MAX), "true size exceeds u32");
+    assert!(
+        truth > u64::from(Tree::SIZE_SATURATED),
+        "true size exceeds the 24-bit header lane"
+    );
 
     let opts = FusionOptions {
-        subtree_pruning: true,
+        subtree_pruning: SubtreePruning::On,
         ..FusionOptions::default()
     };
     let unit = CompilationUnit::new("sat", root.clone());

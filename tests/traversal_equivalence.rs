@@ -7,7 +7,7 @@
 
 use miniphases::mini_driver::{standard_plan, CompilerOptions};
 use miniphases::mini_ir::{printer, Ctx};
-use miniphases::miniphase::{CompilationUnit, ExecStats, Pipeline};
+use miniphases::miniphase::{CompilationUnit, ExecStats, Pipeline, SubtreePruning};
 use miniphases::{mini_front, workload};
 use proptest::prelude::*;
 
@@ -53,11 +53,12 @@ fn opts_for(mode: u8, ablation: u8) -> CompilerOptions {
         1 => CompilerOptions::mega(),
         _ => CompilerOptions::legacy(),
     };
-    match ablation % 5 {
+    match ablation % 6 {
         1 => opts.fusion.identity_skip = false,
         2 => opts.fusion.same_kind_fast_path = false,
         3 => opts.fusion.prepare_always = true,
-        4 => opts.fusion.subtree_pruning = true,
+        4 => opts.fusion.subtree_pruning = SubtreePruning::On,
+        5 => opts.fusion.subtree_pruning = SubtreePruning::Auto,
         _ => {}
     }
     opts
@@ -71,7 +72,7 @@ proptest! {
         seed in 0u64..10_000,
         loc in 200usize..900,
         mode in 0u8..3,
-        ablation in 0u8..5,
+        ablation in 0u8..6,
     ) {
         let cfg = workload::WorkloadConfig { target_loc: loc, seed, unit_loc: 250 };
         let opts = opts_for(mode, ablation);
