@@ -1,0 +1,172 @@
+//! `soak` — the fault-recovery soak smoke.
+//!
+//! Drives an incremental [`CompileSession`] (fused pipeline, `jobs = 4`)
+//! through a seeded edit series over the linked corpus, with a one-shot
+//! panic injected mid-series. The soak passes (exit 0) only if:
+//!
+//! * no panic ever escapes `CompileSession::compile` — the injected fault
+//!   either heals through the sequential retry-with-downgrade or surfaces
+//!   as a structured [`CompileError`];
+//! * every *successful* compile is byte-identical (printed trees and
+//!   merged `ExecStats`) to a from-scratch [`compile_sources`] run over
+//!   the same sources;
+//! * after the fault, the session recovers: all later compiles succeed.
+//!
+//! ```text
+//! cargo run --release -p bench --bin soak -- [UNITS] [EDITS]
+//! ```
+//!
+//! Defaults: 12 units, 20 edits. CI runs this as the robustness smoke.
+
+use mini_driver::{compile_sources, CompileError, CompileSession, Compiled, CompilerOptions};
+use miniphase::{FaultKind, FaultPlan};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: soak [UNITS] [EDITS]   (positive integers; defaults 12 and 20)");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Printed trees + merged ExecStats: the byte-identical observation.
+fn observe(c: &Compiled) -> (Vec<String>, miniphase::ExecStats) {
+    let printed = c
+        .units
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                mini_ir::printer::print_tree(&u.tree, &c.ctx.symbols)
+            )
+        })
+        .collect();
+    (printed, c.exec)
+}
+
+fn scratch(
+    sources: &BTreeMap<String, String>,
+    opts: &CompilerOptions,
+) -> (Vec<String>, miniphase::ExecStats) {
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let c = compile_sources(&refs, opts).unwrap_or_else(|e| fail(&format!("scratch compile: {e}")));
+    observe(&c)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 2 {
+        usage_exit(&format!("unexpected extra argument `{}`", args[2]));
+    }
+    let parse = |what: &str, v: Option<&String>, default: usize| -> usize {
+        match v {
+            None => default,
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => usage_exit(&format!("{what} must be a positive integer, got `{v}`")),
+            },
+        }
+    };
+    let units = parse("UNITS", args.first(), 12);
+    let edits = parse("EDITS", args.get(1), 20);
+
+    let opts = CompilerOptions::fused().with_jobs(4);
+    let cfg = workload::LinkedConfig {
+        units,
+        seed: 0x50ac,
+    };
+    let script = workload::edit_series(&cfg, edits, 0xed1);
+    let mut sources: BTreeMap<String, String> = script.base.units.iter().cloned().collect();
+
+    let mut session = CompileSession::new(opts);
+    for (n, s) in &sources {
+        session.update(n.clone(), s.clone());
+    }
+
+    let fault_at = edits / 2;
+    println!(
+        "soak: {}-unit linked corpus, {edits} edits, jobs=4 fused, one-shot panic injected at edit {fault_at}",
+        sources.len()
+    );
+
+    let t0 = Instant::now();
+    let mut faulted_compiles = 0usize;
+    let mut degraded_compiles = 0usize;
+    // Edit 0 is the cold compile; edits 1..=edits apply the series.
+    for step in 0..=edits {
+        if step > 0 {
+            let edit = &script.edits[step - 1];
+            sources.insert(edit.unit.clone(), edit.source.clone());
+            session.update(edit.unit.clone(), edit.source.clone());
+        }
+        if step == fault_at {
+            session.inject_faults(Arc::new(
+                FaultPlan::new(step as u64).with_fault(FaultKind::PanicOnUnit { unit: 0 }, 1),
+            ));
+        }
+        let result = match catch_unwind(AssertUnwindSafe(|| session.compile())) {
+            Ok(r) => r,
+            Err(_) => fail(&format!(
+                "step {step}: a panic escaped CompileSession::compile"
+            )),
+        };
+        match result {
+            Ok(c) => {
+                if c.retried_sequential {
+                    degraded_compiles += 1;
+                }
+                if observe(&c) != scratch(&sources, &opts) {
+                    fail(&format!(
+                        "step {step}: session output diverged from scratch"
+                    ));
+                }
+            }
+            Err(CompileError::Internal {
+                unit,
+                phase,
+                message,
+            }) => {
+                faulted_compiles += 1;
+                println!(
+                    "  step {step}: structured internal error (unit {:?}, {phase}): {message}",
+                    unit
+                );
+                if step != fault_at {
+                    fail(&format!(
+                        "step {step}: internal error outside the injected window"
+                    ));
+                }
+            }
+            Err(e) => fail(&format!("step {step}: unexpected compile error: {e}")),
+        }
+    }
+    session.clear_faults();
+
+    let stats = session.cache_stats();
+    println!(
+        "soak done in {:.1} ms: {} compiles ({} reused / {} recompiled units), \
+         {} caught worker panic(s), {} sequential retrie(s), {} degraded compile(s), {} structured failure(s)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        stats.compiles,
+        stats.units_reused,
+        stats.units_recompiled,
+        stats.worker_panics,
+        stats.sequential_retries,
+        degraded_compiles,
+        faulted_compiles,
+    );
+    if stats.worker_panics == 0 {
+        fail("the injected fault never fired — the soak exercised nothing");
+    }
+    println!("PASS");
+}

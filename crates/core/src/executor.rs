@@ -50,11 +50,14 @@
 //! phase-major over the unit batch.
 
 use crate::checker::{check_unit, CheckFailure};
+use crate::faults::{self, FaultPlan};
 use crate::fused::{Fused, FusionOptions, SubtreePruning};
 use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase};
 use crate::plan::PhasePlan;
 use crate::unit::CompilationUnit;
-use mini_ir::{Ctx, NodeKindSet, Tree, TreeRef};
+use mini_ir::{Ctx, NodeKindSet, Span, Tree, TreeRef};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Synthetic instruction address of the shared traversal machinery.
 pub const TRAVERSAL_CODE_ADDR: u64 = (1 << 40) + (1 << 30);
@@ -639,6 +642,21 @@ pub struct Pipeline {
     /// parallel executor re-sequences these across unit chunks so the
     /// merged failure list is byte-identical to a sequential run.
     failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Deterministic fault injection ([`crate::faults`]): when set,
+    /// [`Pipeline::run_units_recorded`] offers every `(unit, group)` entry
+    /// to the plan before running it. `None` (the default) costs one
+    /// branch per traversal.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Global batch index of this pipeline's first unit. Chunked executors
+    /// set it to the chunk's start so fault targeting and panic
+    /// attribution use batch-wide unit indexes, not chunk-local ones.
+    pub unit_index_base: usize,
+    /// Optional wall-clock deadline, checked at **group boundaries** (the
+    /// natural preemption points of the phase-major loop — §3's Listing 3
+    /// structure). A boundary past the deadline reports a `"budget"`-phase
+    /// diagnostic and skips all remaining groups instead of starting
+    /// another full corpus pass.
+    pub deadline: Option<Instant>,
     /// Walk stacks reused across every unit and group this pipeline runs.
     scratch: TraversalScratch,
 }
@@ -671,6 +689,9 @@ impl Pipeline {
             stats: ExecStats::default(),
             failures: Vec::new(),
             failures_by_group: Vec::new(),
+            faults: None,
+            unit_index_base: 0,
+            deadline: None,
             scratch: TraversalScratch::new(),
         }
     }
@@ -816,10 +837,29 @@ impl Pipeline {
         let mut units = units;
         let mut fresh_scopes = vec![0u32; units.len()];
         let mut grid: Vec<Vec<ExecStats>> = Vec::with_capacity(self.groups.len());
+        let base = self.unit_index_base;
         for gi in 0..self.groups.len() {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    ctx.error(
+                        Span::SYNTHETIC,
+                        "budget",
+                        format!(
+                            "compile deadline exceeded at group boundary: \
+                             {gi} of {} groups completed",
+                            self.groups.len()
+                        ),
+                    );
+                    break;
+                }
+            }
             let mut next = Vec::with_capacity(units.len());
             let mut row = Vec::with_capacity(units.len());
             for (ui, u) in units.into_iter().enumerate() {
+                faults::mark_active_site(base + ui, gi, false);
+                if let Some(plan) = &self.faults {
+                    plan.fire_unit_entry(base + ui, gi);
+                }
                 let mut stats = ExecStats::default();
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 let out = self.run_group_on_unit(gi, ctx, &u, &mut stats);
@@ -838,13 +878,15 @@ impl Pipeline {
                     .flat_map(|g| g.members().iter().map(|m| m.as_ref() as &dyn MiniPhase))
                     .collect();
                 let mut found = Vec::new();
-                for u in &units {
+                for (ui, u) in units.iter().enumerate() {
+                    faults::mark_active_site(base + ui, gi, true);
                     found.extend(check_unit(&prev, ctx, u));
                 }
                 self.failures.extend(found.iter().cloned());
                 self.failures_by_group.push(found);
             }
         }
+        faults::clear_active_site();
         (units, grid)
     }
 }

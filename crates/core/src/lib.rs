@@ -97,6 +97,7 @@
 
 pub mod checker;
 pub mod executor;
+pub mod faults;
 pub mod fused;
 pub mod mini;
 pub mod parallel;
@@ -105,12 +106,13 @@ mod unit;
 
 pub use checker::{check_unit, CheckFailure};
 pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
+pub use faults::{FaultKind, FaultPlan, InternalFault, RunControls, UNLIMITED_SHOTS};
 pub use fused::{Fused, FusionOptions, SubtreePruning};
 pub use mini::{dispatch_prepare, dispatch_transform, synthetic_code_addr, MiniPhase, PhaseInfo};
 pub use parallel::{
-    run_units_isolated, run_units_parallel, run_units_parallel_tuned, IsolatedLayout,
-    IsolatedUnitRun, NoInstrumentation, ParallelRun, ParallelTuning, WorkerInstrumentation,
-    UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
+    run_units_isolated, run_units_parallel, run_units_parallel_controlled,
+    run_units_parallel_tuned, IsolatedLayout, IsolatedUnitRun, NoInstrumentation, ParallelRun,
+    ParallelTuning, WorkerInstrumentation, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
 };
 pub use plan::{build_plan, PhasePlan, PlanError, PlanOptions};
 pub use unit::CompilationUnit;

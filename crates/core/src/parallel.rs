@@ -93,11 +93,13 @@
 
 use crate::checker::CheckFailure;
 use crate::executor::{ExecStats, Pipeline};
+use crate::faults::{self, InternalFault, RunControls};
 use crate::fused::FusionOptions;
 use crate::mini::MiniPhase;
 use crate::plan::PhasePlan;
 use crate::unit::CompilationUnit;
 use mini_ir::{Ctx, ShardGrowth, Tree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -178,7 +180,9 @@ impl WorkerInstrumentation for NoInstrumentation {
 
 /// The result of a parallel batch run.
 pub struct ParallelRun<D> {
-    /// The lowered units, in input order.
+    /// The lowered units, in input order. When [`ParallelRun::faults`] is
+    /// non-empty, the panicked chunks' units are **missing** from this
+    /// vector — callers must inspect `faults` before trusting the batch.
     pub units: Vec<CompilationUnit>,
     /// Executor counters, merged in unit order at group boundaries;
     /// identical to the sequential run's [`Pipeline::stats`].
@@ -193,7 +197,15 @@ pub struct ParallelRun<D> {
     /// a lie in the measurement.
     pub effective_jobs: usize,
     /// Per-chunk instrumentation results, in chunk (= unit) order.
+    /// Panicked chunks contribute no entry.
     pub worker_data: Vec<D>,
+    /// Panics caught at the chunk isolation fence, in chunk (= unit)
+    /// order, each attributed to a unit and phase via the thread-local
+    /// active-site marker (see [`crate::faults`]). Always empty through
+    /// [`run_units_parallel`] / [`run_units_parallel_tuned`], which
+    /// re-panic on the first fault to preserve their fail-fast contract;
+    /// only [`run_units_parallel_controlled`] returns them.
+    pub faults: Vec<InternalFault>,
 }
 
 /// A loan of one unit's tree to a worker thread.
@@ -236,6 +248,9 @@ struct ChunkJob<'a> {
     table: mini_ir::SymbolTable,
     id_floor: u64,
     heap_floor: u64,
+    /// Batch index of the chunk's first unit — fault targeting and panic
+    /// attribution speak batch-wide unit indexes, not chunk-local ones.
+    unit_base: usize,
 }
 
 struct ChunkOutcome<D> {
@@ -245,15 +260,52 @@ struct ChunkOutcome<D> {
     /// `failures[group]` checker findings, unit order within the chunk.
     /// Empty unless `check` was on.
     failures: Vec<Vec<CheckFailure>>,
-    delta: mini_ir::SymbolDelta,
+    /// `None` when the chunk panicked (its fork died with the unwind).
+    delta: Option<mini_ir::SymbolDelta>,
     alloc: mini_ir::AllocStats,
     errors: Vec<mini_ir::Diagnostic>,
-    data: D,
+    /// `None` when the chunk panicked.
+    data: Option<D>,
+    /// The caught panic, attributed to a unit and phase. `Some` means every
+    /// other field is empty/zero — the chunk contributed nothing.
+    fault: Option<InternalFault>,
 }
 
-/// Compiles one claimed chunk end-to-end on the current thread. Entirely
-/// determined by the chunk's job (floors, fork, loans) — the identity of
-/// the claiming thread leaves no trace in the outcome.
+/// Builds the structured fault for a panic caught at a chunk fence: the
+/// thread-local active-site marker pins the unit and phase the executor was
+/// in when the payload flew; a panic *outside* any marked site (scheduling,
+/// import, fork plumbing) is attributed to the chunk's first unit at the
+/// `"scheduler"` phase.
+fn fault_from_panic(
+    payload: Box<dyn std::any::Any + Send>,
+    unit_base: usize,
+    unit_names: &[String],
+) -> InternalFault {
+    let message = faults::panic_message(payload.as_ref());
+    let (unit, phase) = match faults::active_site() {
+        Some((u, g, checker)) => (
+            u.checked_sub(unit_base)
+                .and_then(|local| unit_names.get(local))
+                .cloned(),
+            faults::phase_label(g, checker),
+        ),
+        None => (unit_names.first().cloned(), "scheduler".to_string()),
+    };
+    faults::clear_active_site();
+    InternalFault {
+        unit,
+        phase,
+        message,
+    }
+}
+
+/// Compiles one claimed chunk end-to-end on the current thread, inside a
+/// `catch_unwind` fence — a panic anywhere in the chunk (phase hook,
+/// checker, injected fault) is converted into `ChunkOutcome::fault` instead
+/// of unwinding into the scheduler, so sibling chunks complete and the
+/// fan-in stays deterministic. Entirely determined by the chunk's job
+/// (floors, fork, loans) — the identity of the claiming thread leaves no
+/// trace in the outcome.
 #[allow(clippy::too_many_arguments)]
 fn compile_chunk<F, I>(
     chunk: usize,
@@ -264,49 +316,76 @@ fn compile_chunk<F, I>(
     opts: FusionOptions,
     check: bool,
     instr: &I,
+    controls: &RunControls,
 ) -> ChunkOutcome<I::Data>
 where
     F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
     I: WorkerInstrumentation,
 {
-    let ChunkJob {
-        loans,
-        table,
-        id_floor,
-        heap_floor,
-    } = job;
-    let mut wctx = Ctx::worker(table, ir_options, id_floor, heap_floor);
-    let local: Vec<CompilationUnit> = loans
-        .iter()
-        .map(|l| CompilationUnit::new(l.name, wctx.import_tree(l.tree)))
-        .collect();
-    drop(loans);
-    // Floor AFTER the import copies: the merged AllocStats cover the
-    // transform pipeline only, like sequential measured runs (see the
-    // module docs).
-    let alloc_floor = wctx.stats;
-    let state = instr.install(chunk, &mut wctx);
-    let mut pipeline = Pipeline::new(make_phases(), plan, opts);
-    pipeline.check = check;
-    let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
-    let failures = pipeline.take_failures_by_group();
-    let data = instr.finish(chunk, state, &mut wctx);
-    let alloc = mini_ir::AllocStats {
-        nodes: wctx.stats.nodes - alloc_floor.nodes,
-        bytes: wctx.stats.bytes - alloc_floor.bytes,
-    };
-    let errors = std::mem::take(&mut wctx.errors);
-    // Drop the chunk's intern cache and scratch before the hand-off; the
-    // remaining arena rides out in `units`.
-    let delta = wctx.into_symbol_delta();
-    ChunkOutcome {
-        units: UnitsHandoff(out),
-        grid,
-        failures,
-        delta,
-        alloc,
-        errors,
-        data,
+    let unit_names: Vec<String> = job.loans.iter().map(|l| l.name.to_string()).collect();
+    let unit_base = job.unit_base;
+    faults::clear_active_site();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let ChunkJob {
+            loans,
+            table,
+            id_floor,
+            heap_floor,
+            unit_base,
+        } = job;
+        if let Some(fault_plan) = &controls.faults {
+            fault_plan.fire_chunk_claim(chunk);
+        }
+        let mut wctx = Ctx::worker(table, ir_options, id_floor, heap_floor);
+        let local: Vec<CompilationUnit> = loans
+            .iter()
+            .map(|l| CompilationUnit::new(l.name, wctx.import_tree(l.tree)))
+            .collect();
+        drop(loans);
+        // Floor AFTER the import copies: the merged AllocStats cover the
+        // transform pipeline only, like sequential measured runs (see the
+        // module docs).
+        let alloc_floor = wctx.stats;
+        let state = instr.install(chunk, &mut wctx);
+        let mut pipeline = Pipeline::new(make_phases(), plan, opts);
+        pipeline.check = check;
+        pipeline.faults = controls.faults.clone();
+        pipeline.unit_index_base = unit_base;
+        pipeline.deadline = controls.deadline;
+        let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
+        let failures = pipeline.take_failures_by_group();
+        let data = instr.finish(chunk, state, &mut wctx);
+        let alloc = mini_ir::AllocStats {
+            nodes: wctx.stats.nodes - alloc_floor.nodes,
+            bytes: wctx.stats.bytes - alloc_floor.bytes,
+        };
+        let errors = std::mem::take(&mut wctx.errors);
+        // Drop the chunk's intern cache and scratch before the hand-off;
+        // the remaining arena rides out in `units`.
+        let delta = wctx.into_symbol_delta();
+        ChunkOutcome {
+            units: UnitsHandoff(out),
+            grid,
+            failures,
+            delta: Some(delta),
+            alloc,
+            errors,
+            data: Some(data),
+            fault: None,
+        }
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => ChunkOutcome {
+            units: UnitsHandoff(Vec::new()),
+            grid: Vec::new(),
+            failures: Vec::new(),
+            delta: None,
+            alloc: mini_ir::AllocStats::default(),
+            errors: Vec::new(),
+            data: None,
+            fault: Some(fault_from_panic(payload, unit_base, &unit_names)),
+        },
     }
 }
 
@@ -326,8 +405,10 @@ where
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics (phase hooks are not unwind-fenced, as
-/// in the sequential executor) or if `make_phases` disagrees with `plan`.
+/// Panics if a worker chunk panics (the chunk fence catches the original
+/// unwind, lets sibling chunks finish, then this wrapper re-panics with
+/// the attributed fault — use [`run_units_parallel_controlled`] to receive
+/// the fault as data instead) or if `make_phases` disagrees with `plan`.
 #[allow(clippy::too_many_arguments)]
 pub fn run_units_parallel<F, I>(
     ctx: &mut Ctx,
@@ -358,7 +439,8 @@ where
 
 /// [`run_units_parallel`] with explicit [`ParallelTuning`] — exposed so
 /// tests and benchmarks can shrink chunk sizes and shard capacities to
-/// exercise the scheduler's rare paths on small corpora.
+/// exercise the scheduler's rare paths on small corpora. Fail-fast like
+/// [`run_units_parallel`]: a caught worker panic is re-raised here.
 #[allow(clippy::too_many_arguments)]
 pub fn run_units_parallel_tuned<F, I>(
     ctx: &mut Ctx,
@@ -375,20 +457,85 @@ where
     F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
     I: WorkerInstrumentation,
 {
+    let run = run_units_parallel_controlled(
+        ctx,
+        make_phases,
+        plan,
+        opts,
+        units,
+        jobs,
+        check,
+        instr,
+        tuning,
+        &RunControls::default(),
+    );
+    if let Some(fault) = run.faults.first() {
+        panic!("{fault}");
+    }
+    run
+}
+
+/// [`run_units_parallel_tuned`] plus [`RunControls`] — the fault-tolerant
+/// entry point. Worker panics are caught at the chunk fence, attributed to
+/// a unit and phase, and returned in [`ParallelRun::faults`] (chunk = unit
+/// order) while sibling chunks complete and merge deterministically; the
+/// panicked chunks' units, worker data and symbol deltas are simply absent.
+/// `controls` also threads the optional [`crate::faults::FaultPlan`]
+/// injection plan and the wall-clock deadline down into every chunk's
+/// [`Pipeline`] — both are zero-cost when unset.
+#[allow(clippy::too_many_arguments)]
+pub fn run_units_parallel_controlled<F, I>(
+    ctx: &mut Ctx,
+    make_phases: &F,
+    plan: &PhasePlan,
+    opts: FusionOptions,
+    units: Vec<CompilationUnit>,
+    jobs: usize,
+    check: bool,
+    instr: &I,
+    tuning: ParallelTuning,
+    controls: &RunControls,
+) -> ParallelRun<I::Data>
+where
+    F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
+    I: WorkerInstrumentation,
+{
     let n = units.len();
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
+        let unit_names: Vec<String> = units.iter().map(|u| u.name.clone()).collect();
         let mut pipeline = Pipeline::new(make_phases(), plan, opts);
         pipeline.check = check;
-        let state = instr.install(0, ctx);
-        let units = pipeline.run_units(ctx, units);
-        let data = instr.finish(0, state, ctx);
-        return ParallelRun {
-            units,
-            stats: pipeline.stats,
-            failures: std::mem::take(&mut pipeline.failures),
-            effective_jobs: 1,
-            worker_data: vec![data],
+        pipeline.faults = controls.faults.clone();
+        pipeline.unit_index_base = 0;
+        pipeline.deadline = controls.deadline;
+        faults::clear_active_site();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault_plan) = &controls.faults {
+                fault_plan.fire_chunk_claim(0);
+            }
+            let state = instr.install(0, ctx);
+            let units = pipeline.run_units(ctx, units);
+            let data = instr.finish(0, state, ctx);
+            (units, data)
+        }));
+        return match result {
+            Ok((units, data)) => ParallelRun {
+                units,
+                stats: pipeline.stats,
+                failures: std::mem::take(&mut pipeline.failures),
+                effective_jobs: 1,
+                worker_data: vec![data],
+                faults: Vec::new(),
+            },
+            Err(payload) => ParallelRun {
+                units: Vec::new(),
+                stats: ExecStats::default(),
+                failures: Vec::new(),
+                effective_jobs: 1,
+                worker_data: Vec::new(),
+                faults: vec![fault_from_panic(payload, 0, &unit_names)],
+            },
         };
     }
 
@@ -451,6 +598,7 @@ where
                 table,
                 id_floor: id_floor + c as u64 * ID_STRIDE,
                 heap_floor: heap_floor + c as u64 * HEAP_STRIDE,
+                unit_base: lo,
             }))
         })
         .collect();
@@ -472,14 +620,25 @@ where
                         .expect("chunk job mutex")
                         .take()
                         .expect("atomic index hands each chunk to exactly one worker");
-                    let outcome =
-                        compile_chunk(c, job, ir_options, make_phases, plan, opts, check, instr);
+                    let outcome = compile_chunk(
+                        c,
+                        job,
+                        ir_options,
+                        make_phases,
+                        plan,
+                        opts,
+                        check,
+                        instr,
+                        controls,
+                    );
                     *outcome_slots[c].lock().expect("chunk outcome mutex") = Some(outcome);
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("parallel compilation worker panicked");
+            // Chunk panics are caught inside `compile_chunk`; a join error
+            // here means the scheduler loop itself broke (poisoned mutex).
+            h.join().expect("parallel compilation scheduler panicked");
         }
     });
     // The originals were only loaned; the chunks returned fresh arenas.
@@ -495,12 +654,14 @@ where
         })
         .collect();
 
-    // Deterministic fan-in, chunk order = unit order throughout.
-    let groups = outcomes.first().map_or(0, |o| o.grid.len());
+    // Deterministic fan-in, chunk order = unit order throughout. Panicked
+    // chunks have empty grids/failures and contribute nothing beyond their
+    // attributed fault.
+    let groups = outcomes.iter().map(|o| o.grid.len()).max().unwrap_or(0);
     let mut stats = ExecStats::default();
     for gi in 0..groups {
         for o in &outcomes {
-            for s in &o.grid[gi] {
+            for s in o.grid.get(gi).map_or(&[][..], |row| row.as_slice()) {
                 stats.merge(*s);
             }
         }
@@ -508,7 +669,12 @@ where
     let mut failure_groups: Vec<Vec<CheckFailure>> = Vec::new();
     let mut out_units = Vec::with_capacity(n);
     let mut worker_data = Vec::with_capacity(chunk_count);
+    let mut chunk_faults = Vec::new();
     for o in outcomes {
+        if let Some(fault) = o.fault {
+            chunk_faults.push(fault);
+            continue;
+        }
         for (gi, fs) in o.failures.into_iter().enumerate() {
             if failure_groups.len() <= gi {
                 failure_groups.resize_with(gi + 1, Vec::new);
@@ -519,9 +685,15 @@ where
         ctx.stats.nodes += o.alloc.nodes;
         ctx.stats.bytes += o.alloc.bytes;
         ctx.errors.extend(o.errors);
-        ctx.symbols.adopt(o.delta);
-        worker_data.push(o.data);
+        if let Some(delta) = o.delta {
+            ctx.symbols.adopt(delta);
+        }
+        if let Some(data) = o.data {
+            worker_data.push(data);
+        }
     }
+    // Ranges stay consumed even when a chunk panicked mid-allocation: the
+    // next batch must not reuse a range a dead fork may have touched.
     ctx.advance_watermarks(
         id_floor + chunk_count as u64 * ID_STRIDE,
         heap_floor + chunk_count as u64 * HEAP_STRIDE,
@@ -532,6 +704,7 @@ where
         failures: failure_groups.into_iter().flatten().collect(),
         effective_jobs: jobs,
         worker_data,
+        faults: chunk_faults,
     }
 }
 
@@ -589,11 +762,18 @@ pub struct IsolatedUnitRun {
 /// derived from the unit index, the outcome vector is byte-identical across
 /// `jobs` values.
 ///
+/// Each per-unit chunk runs inside the same `catch_unwind` fence as the
+/// batch executor: a unit whose pipeline panics yields `Err(fault)` in its
+/// slot — attributed to the unit and phase — while every sibling unit's
+/// `Ok` outcome is intact and cacheable. `controls` threads fault
+/// injection and the compile deadline into each unit's pipeline.
+///
 /// # Panics
 ///
-/// Panics if a worker thread panics, if `make_phases` disagrees with
-/// `plan`, or if the layout's symbol floor is below the origin table's id
-/// ceiling.
+/// Panics if `make_phases` disagrees with `plan` in a way the per-unit
+/// fence cannot catch (pipeline construction runs inside it, so in
+/// practice only scheduler-infrastructure failures propagate), or if the
+/// layout's symbol floor is below the origin table's id ceiling.
 #[allow(clippy::too_many_arguments)]
 pub fn run_units_isolated<F>(
     ctx: &Ctx,
@@ -604,7 +784,8 @@ pub fn run_units_isolated<F>(
     jobs: usize,
     check: bool,
     layout: IsolatedLayout,
-) -> Vec<IsolatedUnitRun>
+    controls: &RunControls,
+) -> Vec<Result<IsolatedUnitRun, InternalFault>>
 where
     F: Fn() -> Vec<Box<dyn MiniPhase>> + Sync,
 {
@@ -638,6 +819,7 @@ where
             table,
             id_floor: layout.id_floor + i as u64 * ID_STRIDE,
             heap_floor: layout.heap_floor + i as u64 * HEAP_STRIDE,
+            unit_base: i,
         })));
     }
     let ir_options = ctx.options;
@@ -662,6 +844,7 @@ where
                 opts,
                 check,
                 &NoInstrumentation,
+                controls,
             ));
         }
     } else {
@@ -686,13 +869,16 @@ where
                             opts,
                             check,
                             &NoInstrumentation,
+                            controls,
                         );
                         *outcome_slots[i].lock().expect("unit outcome mutex") = Some(outcome);
                     })
                 })
                 .collect();
             for h in handles {
-                h.join().expect("isolated unit compilation worker panicked");
+                // Unit panics are caught inside `compile_chunk`; a join
+                // error means the claim loop itself broke.
+                h.join().expect("isolated unit scheduler panicked");
             }
         });
         outcomes.extend(outcome_slots.into_iter().map(|m| {
@@ -711,19 +897,23 @@ where
                 failures,
                 delta,
                 errors,
+                fault,
                 ..
             } = o;
+            if let Some(fault) = fault {
+                return Err(fault);
+            }
             let mut units = units.0;
             assert_eq!(units.len(), 1, "isolated chunks hold exactly one unit");
-            IsolatedUnitRun {
+            Ok(IsolatedUnitRun {
                 unit: units.pop().expect("length checked above"),
                 // `run_units_recorded` fills member_transforms per grid row,
                 // so row[0] is the complete per-group counter set.
                 stats_by_group: grid.iter().map(|row| row[0]).collect(),
                 failures_by_group: failures,
-                delta,
+                delta: delta.expect("non-faulted chunks carry a delta"),
                 errors,
-            }
+            })
         })
         .collect()
 }

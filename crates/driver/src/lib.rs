@@ -36,8 +36,7 @@ pub use session::{CacheStats, CompileSession};
 use mini_backend::{generate, Program, Value, Vm};
 use mini_ir::{Ctx, TreeRef};
 use miniphase::{
-    build_plan, CompilationUnit, FusionOptions, MiniPhase, PhasePlan, Pipeline, PlanOptions,
-    SubtreePruning,
+    build_plan, CompilationUnit, FusionOptions, MiniPhase, PhasePlan, PlanOptions, SubtreePruning,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -61,6 +60,33 @@ impl fmt::Display for Mode {
             Mode::Legacy => write!(f, "legacy"),
         }
     }
+}
+
+/// Resource budgets for one compile — the graceful-degradation knobs of
+/// the fault-tolerance layer. All default to `None` (unbudgeted), so the
+/// paper-exact measurement configurations are untouched.
+///
+/// * `deadline` is checked at **group boundaries** of the phase-major loop
+///   (per worker chunk in parallel runs); a breach abandons the remaining
+///   groups and surfaces as [`CompileError::Budget`].
+/// * `max_tree_depth` / `max_tree_size` guard every node construction at
+///   [`mini_ir::Ctx::mk`] (one latched `"budget"` diagnostic per compile).
+/// * `cache_bytes` caps the [`CompileSession`] artifact cache; crossing it
+///   evicts least-recently-*recompiled* units first, surfaced in
+///   [`CacheStats::evicted_units`] — an evicted unit recompiles on its
+///   next dirty-set appearance instead of splicing, costing time, never
+///   correctness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Wall-clock budget for one compile, measured from [`compile_sources`]
+    /// (or [`CompileSession::compile`]) entry.
+    pub deadline: Option<Duration>,
+    /// Maximum tree depth accepted by [`mini_ir::Ctx::mk`].
+    pub max_tree_depth: Option<u32>,
+    /// Maximum subtree size (node count) accepted by [`mini_ir::Ctx::mk`].
+    pub max_tree_size: Option<u32>,
+    /// Approximate byte cap on a session's cached unit artifacts.
+    pub cache_bytes: Option<u64>,
 }
 
 /// Options for one compiler run.
@@ -88,6 +114,9 @@ pub struct CompilerOptions {
     /// Execution sites must read [`CompilerOptions::effective_jobs`], which
     /// clamps struct-literal zeros.
     pub jobs: usize,
+    /// Resource budgets (deadline, tree depth/size, session cache bytes).
+    /// Default: unbudgeted.
+    pub budgets: Budgets,
 }
 
 impl CompilerOptions {
@@ -99,6 +128,7 @@ impl CompilerOptions {
             fusion: FusionOptions::default(),
             max_group_size: None,
             jobs: 1,
+            budgets: Budgets::default(),
         }
     }
 
@@ -149,6 +179,12 @@ impl CompilerOptions {
         self
     }
 
+    /// Returns a copy with the given resource [`Budgets`].
+    pub fn with_budgets(mut self, budgets: Budgets) -> CompilerOptions {
+        self.budgets = budgets;
+        self
+    }
+
     /// Returns a copy with the dynamic tree checker switched on or off
     /// (§6.3; ≈1.5×). Checked runs keep their `jobs` parallelism — the
     /// checker replays per worker chunk with deterministic failure
@@ -177,12 +213,15 @@ impl CompilerOptions {
 
     /// Applies this configuration's IR tunables to `ctx`: `Legacy` imitates
     /// scalac-era tree plumbing by disabling both the copier's same-fields
-    /// reuse and the synthetic-literal interning cache.
+    /// reuse and the synthetic-literal interning cache, and the tree
+    /// depth/size budgets are installed on the node allocator.
     pub fn configure_ctx(&self, ctx: &mut Ctx) {
         if self.mode == Mode::Legacy {
             ctx.options.copier_reuse = false;
             ctx.options.intern_literals = false;
         }
+        ctx.options.max_tree_depth = self.budgets.max_tree_depth;
+        ctx.options.max_tree_size = self.budgets.max_tree_size;
     }
 }
 
@@ -229,6 +268,12 @@ pub struct Compiled {
     /// Units that went through the frontend + transform pipeline in this
     /// compile. Equals the unit count for one-shot [`compile_sources`] runs.
     pub recompiled_units: usize,
+    /// True when a [`CompileSession`] worker panic forced this compile to
+    /// retry sequentially at `jobs = 1` (graceful degradation) — surfaced
+    /// like the `effective_jobs` downgrade so callers can see the compile
+    /// did not run at the requested parallelism. Always false for one-shot
+    /// [`compile_sources`] runs, which fail fast instead of retrying.
+    pub retried_sequential: bool,
     /// Lowered unit trees (for inspection).
     pub units: Vec<CompilationUnit>,
 }
@@ -246,13 +291,31 @@ pub enum CompileError {
     Codegen(mini_backend::CodegenError),
     /// The dynamic tree checker found invariant violations.
     Check(Vec<miniphase::CheckFailure>),
+    /// A panic escaped a phase, the checker or the scheduler and was caught
+    /// at an isolation fence — the structured form of "internal compiler
+    /// error". One unit's panic fails that unit's compile; it never tears
+    /// down the process or a sibling chunk.
+    Internal {
+        /// The unit whose pipeline panicked, when the active-site marker
+        /// could attribute it (`None` for pre-unit scheduler panics).
+        unit: Option<String>,
+        /// Where in the pipeline: `"group N"`, `"checker (group N)"` or
+        /// `"scheduler"`.
+        phase: String,
+        /// The captured panic message.
+        message: String,
+    },
+    /// A resource budget ([`Budgets`]) was exceeded — deadline or tree
+    /// depth/size. Carries every diagnostic of the failed compile; at
+    /// least one has phase `"budget"`.
+    Budget(Vec<mini_ir::Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Parse(e) => write!(f, "{e}"),
-            CompileError::Diagnostics(ds) => {
+            CompileError::Diagnostics(ds) | CompileError::Budget(ds) => {
                 for d in ds {
                     writeln!(f, "{d}")?;
                 }
@@ -266,11 +329,42 @@ impl fmt::Display for CompileError {
                 }
                 Ok(())
             }
+            CompileError::Internal {
+                unit,
+                phase,
+                message,
+            } => write!(
+                f,
+                "internal compiler error in {} at {phase}: {message}",
+                unit.as_deref().unwrap_or("<batch>")
+            ),
         }
     }
 }
 
 impl std::error::Error for CompileError {}
+
+impl From<miniphase::InternalFault> for CompileError {
+    fn from(fault: miniphase::InternalFault) -> CompileError {
+        CompileError::Internal {
+            unit: fault.unit,
+            phase: fault.phase,
+            message: fault.message,
+        }
+    }
+}
+
+/// Classifies a failed compile's diagnostics: a `"budget"`-phase entry
+/// (deadline or tree guard) makes the whole failure a
+/// [`CompileError::Budget`]; anything else is ordinary
+/// [`CompileError::Diagnostics`].
+pub(crate) fn diagnostics_error(ds: Vec<mini_ir::Diagnostic>) -> CompileError {
+    if ds.iter().any(|d| d.phase == "budget") {
+        CompileError::Budget(ds)
+    } else {
+        CompileError::Diagnostics(ds)
+    }
+}
 
 /// Builds the standard plan for the given options (exposed for the figures
 /// binary's Table 2 listing).
@@ -297,6 +391,7 @@ pub fn compile_sources(
     sources: &[(&str, &str)],
     opts: &CompilerOptions,
 ) -> Result<Compiled, CompileError> {
+    let deadline = opts.budgets.deadline.map(|d| Instant::now() + d);
     let mut ctx = Ctx::new();
     opts.configure_ctx(&mut ctx);
 
@@ -309,36 +404,41 @@ pub fn compile_sources(
     }
     let frontend = fe_start.elapsed();
     if ctx.has_errors() {
-        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+        return Err(diagnostics_error(std::mem::take(&mut ctx.errors)));
     }
 
-    // Transformation pipeline.
+    // Transformation pipeline — always through the controlled executor,
+    // whose per-chunk (and, at `jobs = 1`, whole-batch) `catch_unwind`
+    // fence turns phase/checker panics into `CompileError::Internal` with
+    // unit attribution instead of unwinding out of this function.
     let (phases, plan) = standard_plan(opts)?;
+    drop(phases); // each worker builds its own instances via the factory
     let groups = plan.group_count();
     let tr_start = Instant::now();
-    let (units, exec, failures, effective_jobs) = if opts.effective_jobs() > 1 {
-        drop(phases); // each worker builds its own instances via the factory
-        let run = miniphase::run_units_parallel(
-            &mut ctx,
-            &mini_phases::standard_pipeline,
-            &plan,
-            opts.fusion,
-            units,
-            opts.effective_jobs(),
-            opts.check,
-            &miniphase::NoInstrumentation,
-        );
-        (run.units, run.stats, run.failures, run.effective_jobs)
-    } else {
-        let mut pipeline = Pipeline::new(phases, &plan, opts.fusion);
-        pipeline.check = opts.check;
-        let units = pipeline.run_units(&mut ctx, units);
-        let failures = std::mem::take(&mut pipeline.failures);
-        (units, pipeline.stats, failures, 1)
+    let controls = miniphase::RunControls {
+        faults: None,
+        deadline,
     };
+    let run = miniphase::run_units_parallel_controlled(
+        &mut ctx,
+        &mini_phases::standard_pipeline,
+        &plan,
+        opts.fusion,
+        units,
+        opts.effective_jobs(),
+        opts.check,
+        &miniphase::NoInstrumentation,
+        miniphase::ParallelTuning::default(),
+        &controls,
+    );
     let transforms = tr_start.elapsed();
+    if let Some(fault) = run.faults.into_iter().next() {
+        return Err(fault.into());
+    }
+    let (units, exec, failures, effective_jobs) =
+        (run.units, run.stats, run.failures, run.effective_jobs);
     if ctx.has_errors() {
-        return Err(CompileError::Diagnostics(std::mem::take(&mut ctx.errors)));
+        return Err(diagnostics_error(std::mem::take(&mut ctx.errors)));
     }
     if opts.check && !failures.is_empty() {
         return Err(CompileError::Check(failures));
@@ -364,6 +464,7 @@ pub fn compile_sources(
         effective_jobs,
         reused_units: 0,
         recompiled_units: sources.len(),
+        retried_sequential: false,
         units,
     })
 }

@@ -69,15 +69,64 @@
 //! from-scratch comparison must sort its sources by name. Dependencies must
 //! point to units earlier in name order — the same constraint a batch
 //! compile imposes, since the typer processes units in sequence.
+//!
+//! # Robustness: isolation boundaries, budgets, degradation
+//!
+//! The session is the unit of fault containment for the planned
+//! compile-service daemon: a misbehaving unit must cost one request, never
+//! the process. Four mechanisms carry that:
+//!
+//! * **Isolation boundaries.** Every per-unit pipeline fork runs inside a
+//!   `catch_unwind` fence ([`miniphase::run_units_isolated`]); a panic in a
+//!   phase hook, the checker or the scheduler becomes a structured
+//!   [`CompileError::Internal`]`{ unit, phase, message }` — attributed via
+//!   the thread-local active-site marker ([`miniphase::faults`]) — while
+//!   **sibling units complete, cache their artifacts, and re-sequence
+//!   deterministically**. The panic poisons this session only, never a
+//!   sibling session or the process.
+//!
+//! * **Degradation policy.** After a worker panic the session retries
+//!   *only the faulted units*, once, sequentially (`jobs = 1`), inside the
+//!   same compile — the sibling artifacts cached in the first pass are
+//!   reused, which [`CacheStats::worker_panics`] /
+//!   [`CacheStats::sequential_retries`] surface and
+//!   [`Compiled::retried_sequential`] records (mirroring the
+//!   `effective_jobs` downgrade surfacing). A unit that panics *again* on
+//!   the sequential retry fails the compile with the first faulted unit in
+//!   unit order and poisons the session; the next compile rebuilds from
+//!   scratch.
+//!
+//! * **Budget semantics** ([`crate::Budgets`]). The wall-clock deadline is
+//!   checked at group boundaries of the phase-major loop and surfaces as
+//!   [`CompileError::Budget`]; tree depth/size guards latch one `"budget"`
+//!   diagnostic at `Ctx::mk`; the artifact-cache byte budget evicts
+//!   least-recently-*recompiled* artifacts (oldest compile stamp first,
+//!   name as tiebreak) after each successful compile — eviction costs a
+//!   recompile later, never correctness. Exhaustion of the symbol-id space
+//!   ([`SESSION_SYM_HIGH_WATER`]) retires the whole id space with a logged
+//!   full rebuild, counted in [`CacheStats::sym_space_retirements`].
+//!
+//! * **Deterministic fault injection** ([`miniphase::FaultPlan`], armed
+//!   via [`CompileSession::inject_faults`]). A seeded plan fires panics at
+//!   chosen `(unit, group)` sites or chunk claims, or corrupts a chosen
+//!   cached artifact's fingerprint (detected as an ordinary key mismatch —
+//!   the unit silently recompiles, counted in
+//!   [`CacheStats::corrupted_artifacts`]). `tests/fault_recovery.rs` pins
+//!   that no fault escapes as a panic and that the next clean compile is
+//!   byte-identical to from-scratch.
 
-use crate::{standard_plan, CompileError, Compiled, CompilerOptions, StageTimes};
+use crate::{
+    diagnostics_error, standard_plan, CompileError, Compiled, CompilerOptions, StageTimes,
+};
 use mini_backend::generate;
 use mini_ir::fingerprint::{export_interface_hash, source_fingerprint, Fnv64};
 use mini_ir::{Ctx, SymbolDelta, SymbolId, SymbolTable, TreeRef};
 use miniphase::{
-    CheckFailure, CompilationUnit, ExecStats, IsolatedLayout, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
+    CheckFailure, CompilationUnit, ExecStats, FaultPlan, IsolatedLayout, IsolatedUnitRun,
+    RunControls, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// First symbol id the session's per-unit pipeline forks may use. The
@@ -118,6 +167,26 @@ pub struct CacheStats {
     /// (or a dependency disappeared) — the cascade a body-only edit never
     /// triggers.
     pub invalidated_by_deps: u64,
+    /// Per-unit pipeline panics caught at the isolation fence (one per
+    /// faulted unit per compile).
+    pub worker_panics: u64,
+    /// Compiles that retried their faulted units sequentially at
+    /// `jobs = 1` after a worker panic (the degradation policy; at most
+    /// one retry per compile).
+    pub sequential_retries: u64,
+    /// Cached artifacts evicted by the [`crate::Budgets::cache_bytes`]
+    /// budget (least-recently-recompiled first).
+    pub evicted_units: u64,
+    /// Approximate bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+    /// Full frontend rebuilds forced by the symbol-id high-water mark
+    /// (id-space retirement, previously folded silently into the poisoned
+    /// path).
+    pub sym_space_retirements: u64,
+    /// Cached artifacts whose fingerprint was found corrupted (today only
+    /// via injected faults); each recompiles like an ordinary source
+    /// invalidation.
+    pub corrupted_artifacts: u64,
 }
 
 /// One unit's cached pipeline artifact plus the key that validates it.
@@ -138,6 +207,14 @@ struct UnitArtifact {
     /// Filtered symbol-table delta (this unit's own symbols, builtins,
     /// root-package appends).
     delta: SymbolDelta,
+    /// Compile sequence number the artifact was (re)built in — the age key
+    /// of the byte-budget eviction. Assigned at creation only: every live
+    /// unit is spliced each compile, so last-*use* stamps would be
+    /// uniform; least-recently-**recompiled** is the meaningful order.
+    stamp: u64,
+    /// Modelled size of the cached artifact (tree nodes × mean node
+    /// footprint) — the unit the cache byte budget is accounted in.
+    approx_bytes: u64,
 }
 
 /// Per-unit session state.
@@ -201,6 +278,15 @@ pub struct CompileSession {
     /// A failed compile may leave the frontend half-updated; the next
     /// compile rebuilds from scratch instead of trusting it.
     poisoned: bool,
+    /// Armed fault-injection plan, threaded into every pipeline run until
+    /// [`CompileSession::clear_faults`]. `None` (the default) is zero-cost.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// The symbol-id retirement threshold — [`SESSION_SYM_HIGH_WATER`] in
+    /// production, lowered by tests to cross it on small corpora.
+    sym_high_water: u32,
+    /// Monotonic compile sequence number stamped onto artifacts (eviction
+    /// age; advances even for failed compiles).
+    compile_seq: u64,
 }
 
 impl CompileSession {
@@ -225,7 +311,32 @@ impl CompileSession {
             builtin_len,
             stats: CacheStats::default(),
             poisoned: false,
+            fault_plan: None,
+            sym_high_water: SESSION_SYM_HIGH_WATER,
+            compile_seq: 0,
         }
+    }
+
+    /// Arms deterministic fault injection: every subsequent
+    /// [`CompileSession::compile`] threads `plan` through the pipeline
+    /// (panic sites, chunk-claim exhaustion) and polls it for artifact
+    /// corruption, until [`CompileSession::clear_faults`]. Injection is
+    /// the test harness of the fault-tolerance layer — a production
+    /// session never arms one.
+    pub fn inject_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Disarms fault injection (see [`CompileSession::inject_faults`]).
+    pub fn clear_faults(&mut self) {
+        self.fault_plan = None;
+    }
+
+    #[doc(hidden)]
+    /// Test hook: lowers the symbol-id retirement threshold so small
+    /// corpora can cross it. Not part of the public API contract.
+    pub fn set_sym_high_water(&mut self, high_water: u32) {
+        self.sym_high_water = high_water;
     }
 
     /// The session's compiler options.
@@ -288,13 +399,52 @@ impl CompileSession {
     /// checker findings ([`CompileError::Check`]) do not poison the session
     /// (the pipeline completed — the artifacts are cached and valid).
     pub fn compile(&mut self) -> Result<Compiled, CompileError> {
-        if self.poisoned || self.sym_cursor >= SESSION_SYM_HIGH_WATER {
-            // Poisoned state or a nearly exhausted symbol-id space: retire
-            // everything and start from a fresh frontend (ids reset too).
+        if self.poisoned {
+            // A failed compile left partial state: rebuild from scratch.
+            self.rebuild_frontend();
+        } else if self.sym_cursor >= self.sym_high_water {
+            // Nearly exhausted symbol-id space: retire the whole id space
+            // with a fresh frontend (ids reset too) rather than risk u32
+            // wrap-around colliding with live cached deltas. Surfaced as
+            // its own counter + log line — this is routine maintenance of
+            // a long-lived session, not a failure.
+            self.stats.sym_space_retirements += 1;
+            eprintln!(
+                "mini-driver session: symbol-id cursor {} crossed high water {}; \
+                 retiring id space with a full frontend rebuild",
+                self.sym_cursor, self.sym_high_water
+            );
             self.rebuild_frontend();
         }
+        self.compile_seq += 1;
+        let deadline = self.opts.budgets.deadline.map(|d| Instant::now() + d);
+        let controls = RunControls {
+            faults: self.fault_plan.clone(),
+            deadline,
+        };
         let full_rebuild = self.units.values().all(|u| u.cached.is_none());
         self.apply_staged()?;
+
+        // Injected artifact corruption: flip a chosen cached unit's source
+        // fingerprint. Detection needs no dedicated machinery — the key
+        // mismatch reads as an ordinary source invalidation and the unit
+        // recompiles below.
+        if let Some(plan) = &self.fault_plan {
+            if let Some(idx) = plan.take_artifact_corruption() {
+                if !self.units.is_empty() {
+                    let name = self
+                        .units
+                        .keys()
+                        .nth(idx % self.units.len())
+                        .cloned()
+                        .expect("index reduced modulo unit count");
+                    if let Some(a) = self.units.get_mut(&name).and_then(|u| u.cached.as_mut()) {
+                        a.source_hash ^= 0xDEAD_BEEF_u64;
+                        self.stats.corrupted_artifacts += 1;
+                    }
+                }
+            }
+        }
 
         // ---- frontend: re-type the invalidation closure, in name order --
         let fe_start = Instant::now();
@@ -335,6 +485,7 @@ impl CompileSession {
         let tr_start = Instant::now();
         let dirty: Vec<String> = retyped.keys().cloned().collect();
         let effective_jobs = self.opts.effective_jobs().min(dirty.len()).max(1);
+        let mut retried_sequential = false;
         if !dirty.is_empty() {
             let inputs: Vec<CompilationUnit> = dirty
                 .iter()
@@ -355,45 +506,76 @@ impl CompileSession {
                 effective_jobs,
                 self.opts.check,
                 layout,
+                &controls,
             );
-            // Advance the cursors past everything this batch consumed. The
-            // checked add is a backstop only — the high-water check at the
-            // top of `compile()` retires the id space long before this can
-            // overflow for any batch the floor's headroom admits.
-            let n = dirty.len() as u32;
-            self.sym_cursor = runs.iter().map(|r| r.delta.max_id_end()).fold(
-                n.checked_mul(SESSION_SHARD_CAPACITY)
-                    .and_then(|span| self.sym_cursor.checked_add(span))
-                    .expect("session symbol-id space exhausted within a single batch"),
-                u32::max,
-            );
-            self.node_cursor += u64::from(n) * UNIT_ID_STRIDE;
-            self.heap_cursor += u64::from(n) * UNIT_HEAP_STRIDE;
+            self.advance_cursors(dirty.len() as u32, &runs);
 
+            // Cache every clean sibling FIRST — a faulted or erroring unit
+            // must not cost its siblings' finished work. Faulted units are
+            // collected (in unit order) for the sequential retry below.
             let mut errors = Vec::new();
-            for r in &runs {
-                errors.extend(r.errors.iter().cloned());
+            let mut faulted: Vec<String> = Vec::new();
+            for (name, run) in dirty.iter().zip(runs) {
+                match run {
+                    Ok(r) if r.errors.is_empty() => self.cache_artifact(name, &retyped[name], r),
+                    Ok(r) => errors.extend(r.errors),
+                    Err(_) => {
+                        self.stats.worker_panics += 1;
+                        faulted.push(name.clone());
+                    }
+                }
             }
+
+            // Degradation policy: one sequential retry of exactly the
+            // faulted units. A deterministic one-shot failure (allocator
+            // corruption in one worker, an injected one-shot fault) heals
+            // here with sibling artifacts reused; a unit that panics again
+            // fails the compile as a structured internal error and poisons
+            // the session.
+            if !faulted.is_empty() {
+                self.stats.sequential_retries += 1;
+                retried_sequential = true;
+                let retry_inputs: Vec<CompilationUnit> = faulted
+                    .iter()
+                    .map(|n| CompilationUnit::new(n.clone(), retyped[n].tree.clone()))
+                    .collect();
+                let retry_layout = IsolatedLayout {
+                    sym_floor: self.sym_cursor,
+                    sym_shard_capacity: SESSION_SHARD_CAPACITY,
+                    id_floor: self.node_cursor,
+                    heap_floor: self.heap_cursor,
+                };
+                let retry_runs = miniphase::run_units_isolated(
+                    &self.front,
+                    &mini_phases::standard_pipeline,
+                    &plan,
+                    self.opts.fusion,
+                    &retry_inputs,
+                    1,
+                    self.opts.check,
+                    retry_layout,
+                    &controls,
+                );
+                self.advance_cursors(faulted.len() as u32, &retry_runs);
+                for (name, run) in faulted.iter().zip(retry_runs) {
+                    match run {
+                        Ok(r) if r.errors.is_empty() => {
+                            self.cache_artifact(name, &retyped[name], r)
+                        }
+                        Ok(r) => errors.extend(r.errors),
+                        Err(fault) => {
+                            // `faulted` is in unit order, so the first
+                            // retry failure is the first failing unit.
+                            self.poisoned = true;
+                            return Err(fault.into());
+                        }
+                    }
+                }
+            }
+
             if !errors.is_empty() {
                 self.poisoned = true;
-                return Err(CompileError::Diagnostics(errors));
-            }
-            for (name, run) in dirty.iter().zip(runs) {
-                let typed = &retyped[name];
-                let deps = self.dep_map(name, typed);
-                let state = self.units.get_mut(name).expect("dirty unit exists");
-                let top_set: HashSet<SymbolId> = state.top_syms.iter().copied().collect();
-                let delta =
-                    filter_unit_delta(run.delta, &self.front.symbols, &top_set, self.builtin_len);
-                state.cached = Some(UnitArtifact {
-                    source_hash: state.source_hash,
-                    deps,
-                    config_fp: self.config_fp,
-                    tree: run.unit.tree,
-                    stats_by_group: run.stats_by_group,
-                    failures_by_group: run.failures_by_group,
-                    delta,
-                });
+                return Err(diagnostics_error(errors));
             }
         }
         let transforms = tr_start.elapsed();
@@ -440,6 +622,10 @@ impl CompileSession {
         backend_ctx.symbols = table;
         let program = generate(&backend_ctx, &trees).map_err(CompileError::Codegen)?;
         let backend = be_start.elapsed();
+        // Enforce the artifact-cache byte budget only after the program is
+        // assembled — an eviction costs the *next* compile a recompile,
+        // never this one its splice sources.
+        self.evict_to_budget();
 
         Ok(Compiled {
             program,
@@ -455,8 +641,96 @@ impl CompileSession {
             effective_jobs,
             reused_units: self.units.len() - dirty.len(),
             recompiled_units: dirty.len(),
+            retried_sequential,
             units: out_units,
         })
+    }
+
+    /// Advances the session's symbol/node/heap cursors past everything a
+    /// just-finished isolated batch of `n` units may have consumed. Faulted
+    /// slots still consume their ranges — a dead fork may have touched
+    /// them, so they are never reused. The checked add is a backstop only —
+    /// the high-water check at the top of `compile()` retires the id space
+    /// long before this can overflow for any batch the floor's headroom
+    /// admits.
+    fn advance_cursors(
+        &mut self,
+        n: u32,
+        runs: &[Result<IsolatedUnitRun, miniphase::InternalFault>],
+    ) {
+        self.sym_cursor = runs
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|r| r.delta.max_id_end())
+            .fold(
+                n.checked_mul(SESSION_SHARD_CAPACITY)
+                    .and_then(|span| self.sym_cursor.checked_add(span))
+                    .expect("session symbol-id space exhausted within a single batch"),
+                u32::max,
+            );
+        self.node_cursor += u64::from(n) * UNIT_ID_STRIDE;
+        self.heap_cursor += u64::from(n) * UNIT_HEAP_STRIDE;
+    }
+
+    /// Caches one clean pipeline outcome as the unit's artifact (filtered
+    /// delta, current compile stamp, modelled byte size).
+    fn cache_artifact(&mut self, name: &str, typed: &mini_front::TypedUnit, run: IsolatedUnitRun) {
+        let deps = self.dep_map(name, typed);
+        let stamp = self.compile_seq;
+        let state = self.units.get_mut(name).expect("dirty unit exists");
+        let top_set: HashSet<SymbolId> = state.top_syms.iter().copied().collect();
+        let delta = filter_unit_delta(run.delta, &self.front.symbols, &top_set, self.builtin_len);
+        // Modelled artifact footprint: tree nodes dominate; 64 bytes is the
+        // mean packed-node cost the allocator reports for the standard
+        // pipeline's mix.
+        let approx_bytes = u64::from(run.unit.tree.subtree_size()) * 64;
+        state.cached = Some(UnitArtifact {
+            source_hash: state.source_hash,
+            deps,
+            config_fp: self.config_fp,
+            tree: run.unit.tree,
+            stats_by_group: run.stats_by_group,
+            failures_by_group: run.failures_by_group,
+            delta,
+            stamp,
+            approx_bytes,
+        });
+    }
+
+    /// Oldest-first artifact eviction down to the
+    /// [`crate::Budgets::cache_bytes`] budget: the victim is the live
+    /// artifact with the smallest compile stamp (least recently
+    /// *recompiled* — every live unit is spliced each compile, so reuse
+    /// stamps carry no signal), unit name as the deterministic tiebreak.
+    fn evict_to_budget(&mut self) {
+        let Some(cap) = self.opts.budgets.cache_bytes else {
+            return;
+        };
+        let mut total: u64 = self
+            .units
+            .values()
+            .filter_map(|u| u.cached.as_ref())
+            .map(|a| a.approx_bytes)
+            .sum();
+        while total > cap {
+            let victim = self
+                .units
+                .iter()
+                .filter_map(|(n, u)| u.cached.as_ref().map(|a| (a.stamp, n.clone())))
+                .min();
+            let Some((_, name)) = victim else {
+                break;
+            };
+            let state = self.units.get_mut(&name).expect("victim exists");
+            let bytes = state
+                .cached
+                .take()
+                .map(|a| a.approx_bytes)
+                .expect("victim was cached");
+            total = total.saturating_sub(bytes);
+            self.stats.evicted_units += 1;
+            self.stats.evicted_bytes += bytes;
+        }
     }
 
     /// True when `name`'s cached artifact is still valid under the current
@@ -537,9 +811,7 @@ impl CompileSession {
         };
         if self.front.has_errors() {
             self.poisoned = true;
-            return Err(CompileError::Diagnostics(std::mem::take(
-                &mut self.front.errors,
-            )));
+            return Err(diagnostics_error(std::mem::take(&mut self.front.errors)));
         }
         // Retract definitions this generation dropped; refresh the maps.
         let fresh: HashSet<SymbolId> = typed.top_syms.iter().copied().collect();

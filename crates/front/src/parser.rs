@@ -38,7 +38,11 @@ impl From<LexError> for ParseError {
 /// Returns the first lexical or syntax error encountered.
 pub fn parse(name: &str, src: &str) -> Result<SUnit, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let stats = p.stats_until(Tok::Eof)?;
     Ok(SUnit {
         name: name.to_owned(),
@@ -46,9 +50,18 @@ pub fn parse(name: &str, src: &str) -> Result<SUnit, ParseError> {
     })
 }
 
+/// Hard ceiling on recursive-descent nesting (expressions, types,
+/// patterns, prefix chains). Hostile inputs — thousands of `(` or `{` —
+/// degrade to a [`ParseError`] instead of a stack overflow, which aborts
+/// the process and no isolation fence can catch. Each nesting level costs
+/// ~10 parser frames, so the ceiling is sized for a 2 MiB thread stack in
+/// debug builds with plenty of headroom over real programs.
+const MAX_PARSE_DEPTH: u32 = 128;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -94,6 +107,23 @@ impl Parser {
             span: self.peek().span,
             msg,
         }
+    }
+
+    /// Runs one recursion step of the descent under the depth ceiling.
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Parser) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(self.err(format!(
+                "nesting exceeds the parser depth limit ({MAX_PARSE_DEPTH})"
+            )));
+        }
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn ident(&mut self, what: &str) -> Result<Name, ParseError> {
@@ -304,6 +334,10 @@ impl Parser {
     // ---- types ----------------------------------------------------------
 
     fn type_expr(&mut self) -> Result<SType, ParseError> {
+        self.descend(Self::type_expr_inner)
+    }
+
+    fn type_expr_inner(&mut self) -> Result<SType, ParseError> {
         if self.at(Tok::LParen) {
             // `(T1, ..., Tn) => R` or a parenthesized type.
             self.bump();
@@ -354,6 +388,10 @@ impl Parser {
     // ---- expressions ------------------------------------------------------
 
     fn expr(&mut self) -> Result<SExpr, ParseError> {
+        self.descend(Self::expr_inner)
+    }
+
+    fn expr_inner(&mut self) -> Result<SExpr, ParseError> {
         match self.peek().tok {
             Tok::KwIf => {
                 let start = self.bump().span;
@@ -503,6 +541,10 @@ impl Parser {
     }
 
     fn prefix(&mut self) -> Result<SExpr, ParseError> {
+        self.descend(Self::prefix_inner)
+    }
+
+    fn prefix_inner(&mut self) -> Result<SExpr, ParseError> {
         if self.op_is("!") {
             let t = self.bump();
             let e = self.prefix()?;
@@ -700,6 +742,10 @@ impl Parser {
     }
 
     fn pattern1(&mut self) -> Result<SPat, ParseError> {
+        self.descend(Self::pattern1_inner)
+    }
+
+    fn pattern1_inner(&mut self) -> Result<SPat, ParseError> {
         let t = self.peek();
         match t.tok {
             Tok::LParen => {

@@ -136,7 +136,17 @@ struct Typer<'a> {
     top_syms: Vec<SymbolId>,
     /// Package-scope and foreign-member resolutions (cross-unit dep roots).
     pkg_refs: Vec<SymbolId>,
+    /// Current expression-typing recursion depth (see [`MAX_TYPE_DEPTH`]).
+    depth: u32,
 }
+
+/// Hard ceiling on expression-typing recursion. The parser bounds
+/// *syntactic* descent, but a long left-associative operator chain
+/// (`a + b + c + ...`) parses with shallow recursion while building an
+/// AST whose left spine is as deep as the chain is long — typing that
+/// spine recurses once per node. The ceiling turns such inputs into a
+/// diagnostic instead of a process-aborting stack overflow.
+const MAX_TYPE_DEPTH: u32 = 200;
 
 impl<'a> Typer<'a> {
     fn new(ctx: &'a mut Ctx, reuse: Option<&HashSet<SymbolId>>) -> Typer<'a> {
@@ -153,6 +163,7 @@ impl<'a> Typer<'a> {
             rebuilt_decls: HashMap::new(),
             top_syms: Vec::new(),
             pkg_refs: Vec::new(),
+            depth: 0,
         }
     }
 
@@ -914,7 +925,16 @@ impl<'a> Typer<'a> {
     }
 
     fn type_expr(&mut self, e: &SExpr, expected: Option<&Type>) -> TreeRef {
+        self.depth += 1;
+        if self.depth > MAX_TYPE_DEPTH {
+            self.depth -= 1;
+            return self.error_tree(
+                e.span(),
+                format!("expression nesting exceeds the typer depth limit ({MAX_TYPE_DEPTH})"),
+            );
+        }
         let t = self.type_expr1(e, expected);
+        self.depth -= 1;
         debug_assert!(!t.tpe().is_missing() || t.is_empty_tree());
         t
     }

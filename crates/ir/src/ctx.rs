@@ -46,6 +46,17 @@ pub struct IrOptions {
     /// `intern_int_max < intern_int_min` disables small-int interning
     /// without touching the other literal kinds.
     pub intern_int_max: i64,
+    /// Resource budget: maximum tree depth [`Ctx::mk`] accepts before
+    /// reporting a `"budget"` diagnostic (once per context — a latch, so a
+    /// runaway construction costs one error, not one per node). `None`
+    /// (the default) is unguarded. Limits at or above
+    /// [`Tree::DEPTH_SATURATED`] cannot fire, because the packed header
+    /// lane saturates there.
+    pub max_tree_depth: Option<u32>,
+    /// Resource budget: maximum subtree size (node count) [`Ctx::mk`]
+    /// accepts, with the same latch/reporting rules as `max_tree_depth`
+    /// and the same saturation caveat at [`Tree::SIZE_SATURATED`].
+    pub max_tree_size: Option<u32>,
 }
 
 impl Default for IrOptions {
@@ -55,6 +66,8 @@ impl Default for IrOptions {
             intern_literals: true,
             intern_int_min: -8,
             intern_int_max: 63,
+            max_tree_depth: None,
+            max_tree_size: None,
         }
     }
 }
@@ -129,6 +142,10 @@ pub struct Ctx {
     heap_cursor: u64,
     fresh: u32,
     interned: InternCache,
+    /// One-shot latch for the tree depth/size budgets: the first breach
+    /// reports a `"budget"` diagnostic, later nodes build silently (the
+    /// compile already carries the error; per-node repeats would flood).
+    budget_breached: bool,
 }
 
 impl Ctx {
@@ -144,6 +161,7 @@ impl Ctx {
             heap_cursor: 0x1000, // keep address 0 unused
             fresh: 0,
             interned: InternCache::default(),
+            budget_breached: false,
         }
     }
 
@@ -164,6 +182,7 @@ impl Ctx {
             heap_cursor,
             fresh: 0,
             interned: InternCache::default(),
+            budget_breached: false,
         }
     }
 
@@ -288,6 +307,9 @@ impl Ctx {
         // depth still exceeds every small depth gate.
         let depth = depth.saturating_add(1).min(Tree::DEPTH_SATURATED);
         let size = size.saturating_add(1).min(Tree::SIZE_SATURATED);
+        if self.options.max_tree_depth.is_some() || self.options.max_tree_size.is_some() {
+            self.check_tree_budgets(depth, size, span);
+        }
         Rc::new(Tree {
             id,
             addr,
@@ -297,6 +319,38 @@ impl Ctx {
             tpe,
             kind,
         })
+    }
+
+    /// Cold path of the [`Ctx::mk`] budget gate: reports the first
+    /// depth/size breach as a `"budget"` diagnostic and latches. The node
+    /// is still built — budgets degrade the compile into a structured
+    /// error at the driver boundary, they never tear the pipeline mid-walk.
+    #[cold]
+    fn check_tree_budgets(&mut self, depth: u32, size: u32, span: Span) {
+        if self.budget_breached {
+            return;
+        }
+        if let Some(limit) = self.options.max_tree_depth {
+            if depth > limit {
+                self.budget_breached = true;
+                self.error(
+                    span,
+                    "budget",
+                    format!("tree depth budget exceeded: depth {depth} > limit {limit}"),
+                );
+                return;
+            }
+        }
+        if let Some(limit) = self.options.max_tree_size {
+            if size > limit {
+                self.budget_breached = true;
+                self.error(
+                    span,
+                    "budget",
+                    format!("tree size budget exceeded: {size} nodes > limit {limit}"),
+                );
+            }
+        }
     }
 
     /// Records a data read of node `t` into the access sink, if installed.

@@ -1,0 +1,414 @@
+//! Fault tolerance: the compile-session robustness pin.
+//!
+//! Over generated linked corpora, seeded edit series and a seeded
+//! injected fault ([`FaultPlan::seeded`]), every
+//! [`mini_driver::CompileSession::compile`] call must uphold the
+//! isolation contract:
+//!
+//! * **no panic escapes** the session API — injected panics are caught at
+//!   the per-unit isolation fence and surfaced as structured
+//!   [`CompileError::Internal`] values with unit attribution;
+//! * a compile that **succeeds** (including one healed by the sequential
+//!   retry-with-downgrade, or one that silently recompiled a corrupted
+//!   artifact) is **byte-identical** to a from-scratch compile of the same
+//!   sources: printed trees, VM output, merged `ExecStats`, checker
+//!   verdict;
+//! * after [`CompileSession::clear_faults`], the **next clean compile
+//!   recovers** to byte-identical output versus from-scratch, across
+//!   fused/mega × jobs ∈ {1, 4} × the dynamic checker.
+//!
+//! Targeted (non-property) tests pin the individual robustness features:
+//! sibling-artifact reuse around a worker panic at `jobs = 4`, poisoning
+//! on a persistent fault, corrupted-artifact recovery, deadline and
+//! tree-shape budgets, cache-byte eviction, and symbol-id-space
+//! retirement at the session high-water mark.
+
+use miniphases::mini_driver::{
+    compile_sources, Budgets, CompileError, CompileSession, Compiled, CompilerOptions,
+};
+use miniphases::mini_ir::printer;
+use miniphases::miniphase::{FaultKind, FaultPlan, UNLIMITED_SHOTS};
+use miniphases::{mini_backend, workload};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Everything observable about one compiled program state (the same
+/// comparator as `tests/incremental_equivalence.rs`).
+#[derive(PartialEq, Debug)]
+enum Observed {
+    Ok {
+        printed: Vec<String>,
+        vm_out: Vec<String>,
+        exec: miniphases::miniphase::ExecStats,
+    },
+    CheckFindings(Vec<String>),
+}
+
+fn observe(result: Result<Compiled, CompileError>) -> Observed {
+    let c = match result {
+        Ok(c) => c,
+        Err(CompileError::Check(findings)) => {
+            return Observed::CheckFindings(findings.iter().map(|f| f.to_string()).collect());
+        }
+        Err(e) => panic!("unexpected compile failure: {e}"),
+    };
+    let printed = c
+        .units
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                printer::print_tree(&u.tree, &c.ctx.symbols)
+            )
+        })
+        .collect();
+    let mut vm = mini_backend::Vm::new(&c.program);
+    vm.run_main().expect("program runs");
+    Observed::Ok {
+        printed,
+        vm_out: vm.out.clone(),
+        exec: c.exec,
+    }
+}
+
+fn scratch(sources: &BTreeMap<String, String>, opts: &CompilerOptions) -> Observed {
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    observe(compile_sources(&refs, opts))
+}
+
+fn opts_for(mode: u8, jobs: usize, check: bool) -> CompilerOptions {
+    let base = if mode.is_multiple_of(2) {
+        CompilerOptions::fused()
+    } else {
+        CompilerOptions::mega()
+    };
+    base.with_jobs(jobs).with_check(check)
+}
+
+/// One session compile behind an unwind fence. Returns the result if the
+/// API upheld its no-escape contract, or the escaped panic's message.
+fn compile_fenced(session: &mut CompileSession) -> Result<Result<Compiled, CompileError>, String> {
+    catch_unwind(AssertUnwindSafe(|| session.compile()))
+        .map_err(|p| miniphases::miniphase::faults::panic_message(p.as_ref()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole pin: corpus × edit series × injected fault. Compiles
+    /// may fail — but only with a structured error, and once the plan is
+    /// cleared the session must converge back to from-scratch output.
+    #[test]
+    fn injected_faults_never_escape_and_recovery_is_exact(
+        corpus_seed in 0u64..10_000,
+        edit_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        units in 4usize..9,
+        mode in 0u8..2,
+        jobs_pick in 0u8..2,
+        check in 0u8..2,
+    ) {
+        let check = check == 1;
+        let jobs = if jobs_pick == 0 { 1 } else { 4 };
+        let opts = opts_for(mode, jobs, check);
+        let cfg = workload::LinkedConfig { units, seed: corpus_seed };
+        let script = workload::edit_series(&cfg, 4, edit_seed);
+
+        let mut sources: BTreeMap<String, String> =
+            script.base.units.iter().cloned().collect();
+        let mut session = CompileSession::new(opts);
+        for (n, s) in &sources {
+            session.update(n.clone(), s.clone());
+        }
+        session.inject_faults(FaultPlan::seeded(fault_seed, units, 4));
+
+        let mut edits = script.edits.iter();
+        // Cold compile + every edit, all under the armed plan.
+        loop {
+            let result = match compile_fenced(&mut session) {
+                Ok(r) => r,
+                Err(msg) => {
+                    return Err(TestCaseError(format!(
+                        "panic escaped CompileSession::compile: {msg}"
+                    )));
+                }
+            };
+            match result {
+                Ok(c) => {
+                    // A surviving compile — degraded or not — must match
+                    // from-scratch byte for byte.
+                    if c.retried_sequential {
+                        prop_assert!(jobs > 1 || units > 0, "retry implies a caught panic");
+                    }
+                    let obs = observe(Ok(c));
+                    prop_assert_eq!(
+                        &obs,
+                        &scratch(&sources, &opts),
+                        "compile under fault plan (seed {}) survived but diverged",
+                        fault_seed
+                    );
+                }
+                Err(CompileError::Internal { phase, message, .. }) => {
+                    prop_assert!(
+                        !phase.is_empty() && !message.is_empty(),
+                        "internal error must carry phase + message"
+                    );
+                }
+                Err(e) => {
+                    return Err(TestCaseError(format!(
+                        "fault surfaced as a non-internal error: {e}"
+                    )));
+                }
+            }
+            let Some(edit) = edits.next() else { break };
+            sources.insert(edit.unit.clone(), edit.source.clone());
+            session.update(edit.unit.clone(), edit.source.clone());
+        }
+
+        // Disarm and converge: the next clean compile is byte-identical
+        // to from-scratch over the final sources.
+        session.clear_faults();
+        let healed = compile_fenced(&mut session)
+            .map_err(|msg| TestCaseError(format!("panic escaped clean compile: {msg}")))?;
+        prop_assert_eq!(
+            &observe(healed),
+            &scratch(&sources, &opts),
+            "post-fault clean compile must recover exactly"
+        );
+    }
+}
+
+/// A linked corpus of `units` generated units plus its `zmain.ms` driver
+/// — so the total unit count is `units + 1`.
+fn linked_sources(units: usize, seed: u64) -> BTreeMap<String, String> {
+    let cfg = workload::LinkedConfig { units, seed };
+    workload::generate_linked(&cfg).units.into_iter().collect()
+}
+
+fn session_over(sources: &BTreeMap<String, String>, opts: CompilerOptions) -> CompileSession {
+    let mut session = CompileSession::new(opts);
+    for (n, s) in sources {
+        session.update(n.clone(), s.clone());
+    }
+    session
+}
+
+/// The acceptance pin for graceful degradation: a one-shot worker panic
+/// at `jobs = 4` fails only the affected unit; sibling artifacts are
+/// cached from the same compile and the sequential retry heals it —
+/// visible through `CacheStats` and `Compiled::retried_sequential`.
+#[test]
+fn worker_panic_at_jobs_4_retries_sequentially_and_reuses_siblings() {
+    let sources = linked_sources(7, 41);
+    let opts = CompilerOptions::fused().with_jobs(4);
+    let mut session = session_over(&sources, opts);
+    session.inject_faults(std::sync::Arc::new(
+        FaultPlan::new(7).with_fault(FaultKind::PanicOnUnit { unit: 3 }, 1),
+    ));
+
+    let cold = compile_fenced(&mut session)
+        .expect("no panic escapes the session")
+        .expect("one-shot fault heals on the sequential retry");
+    assert!(cold.retried_sequential, "the downgrade must be surfaced");
+    assert_eq!(cold.recompiled_units, 8, "cold compile covers the corpus");
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.worker_panics, 1, "exactly one unit's fence tripped");
+    assert_eq!(stats.sequential_retries, 1, "exactly one downgrade retry");
+    assert_eq!(
+        stats.units_recompiled, 8,
+        "siblings compile once; only the faulted unit reruns"
+    );
+    assert_eq!(
+        observe(Ok(cold)),
+        scratch(&sources, &opts),
+        "degraded compile output matches from-scratch"
+    );
+
+    // The healed artifacts are real cache entries: a no-op compile
+    // reuses the whole corpus, including the retried unit.
+    let warm = session.compile().expect("clean warm compile");
+    assert!(!warm.retried_sequential);
+    assert_eq!(warm.reused_units, 8);
+    assert_eq!(warm.recompiled_units, 0);
+}
+
+/// A persistent fault defeats the retry too: the compile fails with a
+/// structured, unit-attributed internal error and poisons the session —
+/// which then recovers fully once the plan is cleared.
+#[test]
+fn persistent_fault_poisons_session_then_clean_compile_recovers() {
+    let sources = linked_sources(5, 13);
+    let opts = CompilerOptions::fused().with_jobs(4);
+    let mut session = session_over(&sources, opts);
+    session.inject_faults(std::sync::Arc::new(
+        FaultPlan::new(9).with_fault(FaultKind::PanicOnUnit { unit: 0 }, UNLIMITED_SHOTS),
+    ));
+
+    let err = match compile_fenced(&mut session).expect("no panic escapes the session") {
+        Ok(_) => panic!("a persistent fault must survive the sequential retry"),
+        Err(e) => e,
+    };
+    match err {
+        CompileError::Internal {
+            unit,
+            phase,
+            message,
+        } => {
+            let first = sources.keys().next().cloned();
+            assert_eq!(unit, first, "the fault is attributed to the faulted unit");
+            assert!(
+                phase.contains("group"),
+                "attribution names the phase: {phase}"
+            );
+            assert!(
+                message.contains("injected"),
+                "the injected panic message survives: {message}"
+            );
+        }
+        other => panic!("expected CompileError::Internal, got: {other}"),
+    }
+    assert_eq!(session.cache_stats().sequential_retries, 1);
+
+    session.clear_faults();
+    let healed = session.compile().expect("poisoned session rebuilds clean");
+    assert_eq!(
+        healed.recompiled_units, 6,
+        "poisoning forces a full rebuild"
+    );
+    assert_eq!(observe(Ok(healed)), scratch(&sources, &opts));
+    // Only completed compiles are counted: the faulted cold compile bailed
+    // out before its counters ticked, so the recovery rebuild is the first.
+    assert_eq!(session.cache_stats().full_rebuilds, 1);
+}
+
+/// A corrupted cached fingerprint is detected as an ordinary key
+/// mismatch: the unit silently recompiles, the counter ticks, and output
+/// stays byte-identical.
+#[test]
+fn corrupted_artifact_recompiles_silently() {
+    let sources = linked_sources(4, 29);
+    let opts = CompilerOptions::fused().with_jobs(2);
+    let mut session = session_over(&sources, opts);
+    session.compile().expect("cold compile");
+
+    session.inject_faults(std::sync::Arc::new(
+        FaultPlan::new(3).with_fault(FaultKind::CorruptArtifact { unit: 1 }, 1),
+    ));
+    let again = session.compile().expect("corruption never fails a compile");
+    assert_eq!(session.cache_stats().corrupted_artifacts, 1);
+    assert_eq!(
+        again.recompiled_units, 1,
+        "only the corrupted unit recompiles"
+    );
+    assert_eq!(again.reused_units, 4);
+    assert_eq!(observe(Ok(again)), scratch(&sources, &opts));
+}
+
+/// A zero wall-clock budget trips at the first group boundary and
+/// surfaces as [`CompileError::Budget`] — never a hang or a panic.
+#[test]
+fn zero_deadline_reports_budget_error() {
+    let sources = linked_sources(4, 3);
+    let opts = CompilerOptions::fused().with_budgets(Budgets {
+        deadline: Some(Duration::ZERO),
+        ..Budgets::default()
+    });
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    match compile_sources(&refs, &opts) {
+        Err(CompileError::Budget(ds)) => {
+            assert!(
+                ds.iter().any(|d| d.to_string().contains("deadline")),
+                "the budget diagnostic names the deadline"
+            );
+        }
+        Ok(_) => panic!("a zero deadline cannot succeed"),
+        Err(e) => panic!("expected CompileError::Budget, got: {e}"),
+    }
+}
+
+/// A tree-depth budget degrades to a diagnostic at `Ctx::mk` instead of
+/// unbounded growth — reported as [`CompileError::Budget`].
+#[test]
+fn tree_depth_budget_reports_budget_error() {
+    let sources = linked_sources(3, 17);
+    let opts = CompilerOptions::fused().with_budgets(Budgets {
+        max_tree_depth: Some(2),
+        ..Budgets::default()
+    });
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    match compile_sources(&refs, &opts) {
+        Err(CompileError::Budget(ds)) => {
+            assert!(
+                ds.iter().any(|d| d.to_string().contains("depth")),
+                "the budget diagnostic names the depth limit"
+            );
+        }
+        Ok(_) => panic!("real programs exceed depth 2"),
+        Err(e) => panic!("expected CompileError::Budget, got: {e}"),
+    }
+}
+
+/// The artifact-cache byte budget evicts least-recently-recompiled
+/// entries; evicted units recompile on the next pass and output stays
+/// correct.
+#[test]
+fn cache_byte_budget_evicts_and_next_compile_recovers() {
+    let sources = linked_sources(6, 51);
+    let opts = CompilerOptions::fused().with_jobs(2).with_budgets(Budgets {
+        cache_bytes: Some(1),
+        ..Budgets::default()
+    });
+    let mut session = session_over(&sources, opts);
+    session
+        .compile()
+        .expect("cold compile under a tiny cache budget");
+
+    let stats = session.cache_stats();
+    assert!(stats.evicted_units > 0, "a 1-byte budget must evict");
+    assert!(stats.evicted_bytes > 0);
+
+    // Evicted artifacts are gone: the next compile rebuilds them and
+    // still matches from-scratch.
+    let warm = session.compile().expect("warm compile after eviction");
+    assert!(
+        warm.recompiled_units > 0,
+        "evicted units recompile on the next pass"
+    );
+    assert_eq!(observe(Ok(warm)), scratch(&sources, &opts));
+}
+
+/// Satellite (b): crossing the session's symbol-id high-water mark is a
+/// visible id-space retirement — its own counter, a full frontend
+/// rebuild, and unchanged output.
+#[test]
+fn sym_high_water_crossing_retires_id_space() {
+    let sources = linked_sources(4, 67);
+    let opts = CompilerOptions::fused().with_jobs(2);
+    let mut session = session_over(&sources, opts);
+    session.compile().expect("cold compile");
+    assert_eq!(session.cache_stats().sym_space_retirements, 0);
+
+    // Force the next compile over the mark: any cursor crosses water 1.
+    session.set_sym_high_water(1);
+    let retired = session.compile().expect("retirement compile");
+    let stats = session.cache_stats();
+    assert_eq!(stats.sym_space_retirements, 1, "the rollover is counted");
+    assert_eq!(
+        retired.recompiled_units, 5,
+        "id-space retirement rebuilds the whole corpus"
+    );
+    assert_eq!(observe(Ok(retired)), scratch(&sources, &opts));
+}

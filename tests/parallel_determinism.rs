@@ -13,11 +13,13 @@
 use miniphases::mini_driver::{standard_plan, CompilerOptions};
 use miniphases::mini_ir::{printer, Ctx, NodeKindSet, TreeKind, TreeRef};
 use miniphases::miniphase::{
-    run_units_parallel, CompilationUnit, ExecStats, MiniPhase, NoInstrumentation, PhaseInfo,
-    Pipeline, SubtreePruning,
+    run_units_parallel, run_units_parallel_controlled, CompilationUnit, ExecStats, FaultKind,
+    FaultPlan, MiniPhase, NoInstrumentation, ParallelTuning, PhaseInfo, Pipeline, RunControls,
+    SubtreePruning,
 };
 use miniphases::{mini_front, mini_phases, workload};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Runs the standard pipeline over a generated corpus on `jobs` workers and
 /// renders every output tree to text plus every checker finding to its
@@ -273,6 +275,105 @@ proptest! {
                 jobs
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Robustness satellite: a seeded-violation corpus where one *clean*
+    /// unit's chunk additionally panics (one-shot injected fault, caught at
+    /// the isolation fence). The surviving chunks must still re-sequence
+    /// deterministically: the merged failure list — including its first
+    /// entry, the first violating unit in unit order — is byte-identical to
+    /// the sequential checked run, the caught fault is attributed to the
+    /// panicked unit, and only that unit drops out of the output.
+    #[test]
+    fn checker_violations_survive_a_sibling_chunk_panic(
+        n_units in 4usize..10,
+        bad_mask in 1u32..255,
+        jobs_pick in 0u8..3,
+    ) {
+        // Unit 0 always carries a violation; unit 1 is always clean and is
+        // the one whose chunk panics.
+        let bad_mask = (bad_mask | 1) & !2;
+        let panicked = 1usize;
+        let jobs = [2usize, 4, 8][jobs_pick as usize % 3];
+        let mk = || -> Vec<Box<dyn MiniPhase>> {
+            let mut ps = mini_phases::standard_pipeline();
+            ps.push(Box::new(NoPoison));
+            ps
+        };
+        let run = |jobs: usize, fault: Option<Arc<FaultPlan>>| {
+            let mut ctx = Ctx::new();
+            let units: Vec<CompilationUnit> = (0..n_units)
+                .map(|u| {
+                    let poisoned = bad_mask & (1 << (u % 8)) != 0;
+                    let text = if poisoned {
+                        format!("POISON-{u}")
+                    } else {
+                        format!("clean-{u}")
+                    };
+                    let src = format!("def f{u}(): Unit = println(\"{text}\")\n");
+                    let t = mini_front::compile_source(&mut ctx, &format!("u{u}.ms"), &src)
+                        .expect("unit parses");
+                    CompilationUnit::new(t.name, t.tree)
+                })
+                .collect();
+            assert!(!ctx.has_errors(), "seeded corpus type-checks");
+            let ps = mk();
+            let plan = miniphases::miniphase::build_plan(
+                &ps,
+                &miniphases::miniphase::PlanOptions::default(),
+            )
+            .expect("plan");
+            // One chunk per unit, so the panic takes down exactly one unit.
+            let tuning = ParallelTuning {
+                chunks_per_worker: 64,
+                ..ParallelTuning::default()
+            };
+            let controls = RunControls {
+                faults: fault,
+                ..RunControls::default()
+            };
+            run_units_parallel_controlled(
+                &mut ctx,
+                &mk,
+                &plan,
+                Default::default(),
+                units,
+                jobs,
+                true,
+                &NoInstrumentation,
+                tuning,
+                &controls,
+            )
+        };
+
+        let seq = run(1, None);
+        prop_assert!(seq.faults.is_empty());
+        let seq_failures: Vec<String> = seq.failures.iter().map(|f| f.to_string()).collect();
+        prop_assert!(
+            seq_failures[0].contains("u0.ms"),
+            "first failure `{}` should name u0.ms",
+            seq_failures[0]
+        );
+
+        let plan = Arc::new(
+            FaultPlan::new(0xfa17).with_fault(FaultKind::PanicOnUnit { unit: panicked }, 1),
+        );
+        let par = run(jobs, Some(plan));
+
+        // The fault is caught, structured and unit-attributed.
+        prop_assert_eq!(par.faults.len(), 1, "exactly one chunk fence trips");
+        prop_assert_eq!(par.faults[0].unit.as_deref(), Some("u1.ms"));
+        // Only the panicked unit drops out; siblings re-sequence in order.
+        prop_assert_eq!(par.units.len(), n_units - 1);
+        prop_assert!(par.units.iter().all(|u| u.name != "u1.ms"));
+        // The failure list — unit 1 is clean, so it contributed none — is
+        // byte-identical to the sequential run, first entry included.
+        let par_failures: Vec<String> = par.failures.iter().map(|f| f.to_string()).collect();
+        prop_assert_eq!(&seq_failures, &par_failures, "failure lists diverged at jobs={}", jobs);
     }
 }
 
