@@ -181,6 +181,15 @@ fn main() {
         cache.invalidated_by_source,
         cache.invalidated_by_deps
     );
+    println!(
+        "robustness (per rep)      : {} worker panic(s), {} sequential retrie(s), \
+         {} corrupted artifact(s), {} evicted ({} bytes)",
+        cache.worker_panics,
+        cache.sequential_retries,
+        cache.corrupted_artifacts,
+        cache.evicted_units,
+        cache.evicted_bytes
+    );
 
     if let Ok(path) = std::env::var("INCR_JSON") {
         let json = format!(

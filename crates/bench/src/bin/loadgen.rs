@@ -1,0 +1,315 @@
+//! `loadgen` — the multi-tenant compile-service load harness.
+//!
+//! Spins up a [`CompileService`] with one tenant per simulated client and
+//! replays seeded, partially-shared edit streams
+//! ([`workload::client_series`]) from concurrent client threads. Each
+//! client runs closed-loop (submit, wait, next edit) with a deliberate
+//! mid-stream burst that overruns its bounded queue, so overload shedding
+//! is exercised on every run. Chaos is injected mid-stream into client 0:
+//! a one-shot worker panic by default, a multi-shot panic storm with
+//! `--storm`, plus an optional shared-store corruption burst with
+//! `--corrupt`.
+//!
+//! The run fails (exit 1) unless:
+//!
+//! * **zero panics escape** any fence — every tenant's `escaped_panics`
+//!   is 0;
+//! * **shed accounting closes** — per tenant,
+//!   `submitted == completed + failed + shed + rejected`;
+//! * **only the faulted tenant fails** — every other tenant completes its
+//!   whole stream with zero structured failures, storm or not;
+//! * the faulted tenant **recovers** — its final compile succeeds;
+//! * the shared store saw **at least one cross-session hit** (clients
+//!   compile the same shared units, so cold compiles after the first
+//!   must reuse published artifacts).
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen -- [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt]
+//! ```
+//!
+//! Defaults: 8 clients, 10 shared units, 6 edits per client. Throughput
+//! and latency numbers are honest for the host they ran on — on a single
+//! vCPU the tenant workers serialize, which is the point of measuring
+//! queueing behaviour there.
+
+use mini_driver::{CompileRequest, CompileService, CompilerOptions, ServiceConfig, ServiceError};
+use miniphase::{FaultKind, FaultPlan};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\nusage: loadgen [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt]\n\
+         (positive integers; defaults 8, 10 and 6)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn tenant_name(client: usize) -> String {
+    format!("client{client:02}")
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn main() {
+    let mut storm = false;
+    let mut corrupt = false;
+    let mut nums: Vec<usize> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--storm" => storm = true,
+            "--corrupt" => corrupt = true,
+            v => match v.parse() {
+                Ok(n) if n >= 1 && nums.len() < 3 => nums.push(n),
+                _ => usage_exit(&format!("unexpected argument `{v}`")),
+            },
+        }
+    }
+    let clients = nums.first().copied().unwrap_or(8);
+    let units = nums.get(1).copied().unwrap_or(10);
+    let edits = nums.get(2).copied().unwrap_or(6);
+
+    let config = ServiceConfig {
+        queue_capacity: 2,
+        ..ServiceConfig::new(CompilerOptions::fused().with_jobs(2))
+    };
+    let mut svc = CompileService::new(config);
+    for c in 0..clients {
+        svc.add_tenant(tenant_name(c))
+            .unwrap_or_else(|e| fail(&format!("register {}: {e}", tenant_name(c))));
+    }
+
+    let cfg = workload::LinkedConfig {
+        units,
+        seed: 0x10ad,
+    };
+    let chaos_at = edits / 2;
+    let storm_plan = Arc::new(if storm {
+        FaultPlan::new(0xc4a05).with_fault(FaultKind::PanicStorm, 3)
+    } else {
+        FaultPlan::new(0xc4a05).with_fault(FaultKind::PanicOnUnit { unit: 0 }, 1)
+    });
+    let fired_handle = Arc::clone(&storm_plan);
+    println!(
+        "loadgen: {clients} clients x ({units} shared units + 1 private), {edits} edits each, \
+         queue depth {}, chaos at edit {chaos_at} ({}{})",
+        config.queue_capacity,
+        if storm {
+            "panic storm x3"
+        } else {
+            "one-shot panic"
+        },
+        if corrupt { " + store corruption" } else { "" },
+    );
+
+    let t0 = Instant::now();
+    // Client 0 cold-compiles alone before the rest join: the canonical
+    // "first tenant populates the shared store" phase. Without it, every
+    // cold probe can race ahead of every publish and the cross-hit
+    // assertion becomes a coin flip on fast machines.
+    let gate = Arc::new(std::sync::Barrier::new(clients));
+    // Per client: (latencies, compile failures seen, last step succeeded).
+    let outcomes: Vec<(Vec<Duration>, u64, bool)> = std::thread::scope(|scope| {
+        let svc = &svc;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let storm_plan = Arc::clone(&storm_plan);
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    let tenant = tenant_name(c);
+                    let script = workload::client_series(&cfg, c, edits, 0xbeef);
+                    let mut latencies = Vec::new();
+                    let mut failures = 0u64;
+                    let mut last_ok = false;
+                    // Step 0 is the cold compile of the whole corpus.
+                    for step in 0..=edits {
+                        if step == 0 && c != 0 {
+                            gate.wait(); // join after client 0 seeded the store
+                        }
+                        let mut req = CompileRequest::new();
+                        if step == 0 {
+                            for (n, s) in &script.base.units {
+                                req = req.edit(n.clone(), s.clone());
+                            }
+                        } else {
+                            let e = &script.edits[step - 1];
+                            req = req.edit(e.unit.clone(), e.source.clone());
+                        }
+                        if step == edits {
+                            req = req.running_main();
+                        }
+                        if c == 0 && step == chaos_at {
+                            svc.inject_tenant_faults(&tenant, Arc::clone(&storm_plan))
+                                .unwrap_or_else(|e| fail(&format!("inject: {e}")));
+                        }
+                        // Mid-stream burst: overrun the bounded queue with
+                        // disposable no-edit requests so shedding happens
+                        // (tickets are waited out below to keep accounting
+                        // closed before drain).
+                        let mut burst_tickets = Vec::new();
+                        if step == chaos_at {
+                            for _ in 0..4 {
+                                match svc.submit(&tenant, CompileRequest::new()) {
+                                    Ok(t) => burst_tickets.push(t),
+                                    Err(ServiceError::Overloaded { .. }) => {}
+                                    Err(e) => fail(&format!("{tenant} burst: {e}")),
+                                }
+                            }
+                        }
+                        // The real edit: retry on shed so no edit is lost.
+                        let ticket = loop {
+                            match svc.submit(&tenant, req.clone()) {
+                                Ok(t) => break t,
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(e) => fail(&format!("{tenant} submit: {e}")),
+                            }
+                        };
+                        match ticket.wait() {
+                            Ok(resp) => {
+                                latencies.push(resp.latency);
+                                last_ok = true;
+                                if step == edits && resp.output.is_none() {
+                                    fail(&format!("{tenant}: final run_main lost its output"));
+                                }
+                            }
+                            Err(ServiceError::Compile(_)) => {
+                                failures += 1;
+                                last_ok = false;
+                            }
+                            Err(e) => fail(&format!("{tenant} wait: {e}")),
+                        }
+                        for t in burst_tickets {
+                            let _ = t.wait();
+                        }
+                        if step == 0 && c == 0 {
+                            gate.wait(); // store seeded; release the fleet
+                        }
+                    }
+                    (latencies, failures, last_ok)
+                })
+            })
+            .collect();
+        // Arm the store-corruption burst while clients are mid-stream.
+        if corrupt {
+            svc.inject_store_faults(Arc::new(
+                FaultPlan::new(0xbad).with_fault(FaultKind::StoreCorruption { entries: 2 }, 1),
+            ));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| fail("client thread panicked")))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let report = svc.drain();
+
+    let mut all_latencies: Vec<Duration> =
+        outcomes.iter().flat_map(|(l, _, _)| l.clone()).collect();
+    all_latencies.sort_unstable();
+    let completed: u64 = report.tenants.values().map(|t| t.completed).sum();
+    let shed: u64 = report.tenants.values().map(|t| t.shed()).sum();
+    let submitted: u64 = report.tenants.values().map(|t| t.submitted).sum();
+    println!(
+        "loadgen done in {:.1} ms: {completed}/{submitted} completed, {shed} shed \
+         ({:.1}% shed rate), {:.1} req/s",
+        wall.as_secs_f64() * 1e3,
+        shed as f64 * 100.0 / submitted.max(1) as f64,
+        completed as f64 / wall.as_secs_f64(),
+    );
+    println!(
+        "  latency p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        percentile(&all_latencies, 50).as_secs_f64() * 1e3,
+        percentile(&all_latencies, 99).as_secs_f64() * 1e3,
+        all_latencies
+            .last()
+            .copied()
+            .unwrap_or_default()
+            .as_secs_f64()
+            * 1e3,
+    );
+    println!(
+        "  store: {} hits / {} misses ({:.1}% cross-hit rate), {} publishes, \
+         {} quarantined, {} evicted, {} bytes live",
+        report.store.hits,
+        report.store.misses,
+        report.store.hits as f64 * 100.0 / (report.store.hits + report.store.misses).max(1) as f64,
+        report.store.publishes,
+        report.store.quarantined,
+        report.store.evicted_entries,
+        report.store.bytes,
+    );
+    for (name, t) in &report.tenants {
+        println!(
+            "  {name}: {}/{} ok, {} shed, {} failed, {} retries, {} degraded, \
+             panics {} caught / {} escaped, {} KiB footprint",
+            t.completed,
+            t.submitted,
+            t.shed(),
+            t.failed(),
+            t.service_retries,
+            t.degraded_compiles,
+            t.cache.worker_panics,
+            t.escaped_panics,
+            t.memory.total_bytes / 1024,
+        );
+    }
+
+    // ---- Assertions ----
+    for (name, t) in &report.tenants {
+        if t.escaped_panics != 0 {
+            fail(&format!(
+                "{name}: {} panic(s) escaped the fences",
+                t.escaped_panics
+            ));
+        }
+        if t.accounted() != t.submitted {
+            fail(&format!(
+                "{name}: accounting leak — {} submitted vs {} accounted",
+                t.submitted,
+                t.accounted()
+            ));
+        }
+        if *name != tenant_name(0) && t.failed() != 0 {
+            fail(&format!(
+                "{name}: {} structured failure(s) on a non-faulted tenant",
+                t.failed()
+            ));
+        }
+    }
+    for (i, (_, failures, last_ok)) in outcomes.iter().enumerate() {
+        if i != 0 && *failures != 0 {
+            fail(&format!("client {i}: saw {failures} compile failure(s)"));
+        }
+        if !last_ok {
+            fail(&format!(
+                "client {i}: final compile did not succeed — no recovery"
+            ));
+        }
+    }
+    if !fired_handle.fired() {
+        fail("the injected chaos never fired — the harness exercised nothing");
+    }
+    if clients > 1 && report.store.hits < (clients - 1) as u64 {
+        fail(&format!(
+            "only {} cross-session hit(s) — after client 0 seeded the store, every \
+             joining client's cold compile should have reused shared units",
+            report.store.hits
+        ));
+    }
+    if shed == 0 {
+        fail("no request was ever shed — the burst never exercised admission control");
+    }
+    println!("PASS");
+}

@@ -102,6 +102,7 @@ fn main() {
     let t0 = Instant::now();
     let mut faulted_compiles = 0usize;
     let mut degraded_compiles = 0usize;
+    let mut fault_plan: Option<Arc<FaultPlan>> = None;
     // Edit 0 is the cold compile; edits 1..=edits apply the series.
     for step in 0..=edits {
         if step > 0 {
@@ -110,9 +111,11 @@ fn main() {
             session.update(edit.unit.clone(), edit.source.clone());
         }
         if step == fault_at {
-            session.inject_faults(Arc::new(
+            let plan = Arc::new(
                 FaultPlan::new(step as u64).with_fault(FaultKind::PanicOnUnit { unit: 0 }, 1),
-            ));
+            );
+            fault_plan = Some(Arc::clone(&plan));
+            session.inject_faults(plan);
         }
         let result = match catch_unwind(AssertUnwindSafe(|| session.compile())) {
             Ok(r) => r,
@@ -165,7 +168,21 @@ fn main() {
         degraded_compiles,
         faulted_compiles,
     );
-    if stats.worker_panics == 0 {
+    println!(
+        "robustness counters: {} corrupted artifact(s), {} evicted unit(s) ({} bytes), \
+         {} sym-space retirement(s), {} shared hit(s) / {} publish(es) / {} quarantined",
+        stats.corrupted_artifacts,
+        stats.evicted_units,
+        stats.evicted_bytes,
+        stats.sym_space_retirements,
+        stats.shared_hits,
+        stats.shared_publishes,
+        stats.shared_quarantined,
+    );
+    // The plan itself records consumption — sharper than inferring it from
+    // downstream counters, and the same check every chaos harness uses.
+    let fired = fault_plan.as_ref().is_some_and(|p| p.fired());
+    if !fired {
         fail("the injected fault never fired — the soak exercised nothing");
     }
     println!("PASS");

@@ -855,7 +855,39 @@ impl Pipeline {
             }
             let mut next = Vec::with_capacity(units.len());
             let mut row = Vec::with_capacity(units.len());
+            let total = fresh_scopes.len();
+            let mut expired = false;
             for (ui, u) in units.into_iter().enumerate() {
+                // Unit-boundary deadline check: a group can hold many units
+                // (and the sequential post-panic downgrade runs whole
+                // batches through one pipeline), so checking only at group
+                // boundaries would let a single slow group blow far past a
+                // nearly-expired request deadline. Once expired, the rest
+                // of the batch passes through untransformed; the budget
+                // diagnostic fails the compile regardless.
+                if expired {
+                    row.push(ExecStats::default());
+                    next.push(u);
+                    continue;
+                }
+                if ui > 0 {
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            ctx.error(
+                                Span::SYNTHETIC,
+                                "budget",
+                                format!(
+                                    "compile deadline exceeded at unit boundary: \
+                                     unit {ui} of {total} in group {gi}"
+                                ),
+                            );
+                            expired = true;
+                            row.push(ExecStats::default());
+                            next.push(u);
+                            continue;
+                        }
+                    }
+                }
                 faults::mark_active_site(base + ui, gi, false);
                 if let Some(plan) = &self.faults {
                     plan.fire_unit_entry(base + ui, gi);
@@ -872,6 +904,11 @@ impl Pipeline {
             }
             units = next;
             grid.push(row);
+            if expired {
+                // Mixed-group trees: skip the checker replay (it would
+                // report phase postconditions the aborted units never ran).
+                break;
+            }
             if self.check {
                 let prev: Vec<&dyn MiniPhase> = self.groups[..=gi]
                     .iter()
@@ -1021,6 +1058,66 @@ mod tests {
             "shallow literal at depth 1: {depths:?}"
         );
         assert!(depths.contains(&2), "deep literal at depth 2: {depths:?}");
+    }
+
+    /// Sleeps on every literal transform — a per-unit time sink for
+    /// deadline-granularity tests.
+    struct Stall {
+        millis: u64,
+    }
+    impl PhaseInfo for Stall {
+        fn name(&self) -> &str {
+            "stall"
+        }
+    }
+    impl MiniPhase for Stall {
+        fn transforms(&self) -> NodeKindSet {
+            NodeKindSet::of(NodeKind::Literal)
+        }
+        fn transform_literal(&mut self, ctx: &mut Ctx, _t: &TreeRef) -> TreeRef {
+            std::thread::sleep(std::time::Duration::from_millis(self.millis));
+            ctx.lit_int(1)
+        }
+    }
+
+    #[test]
+    fn deadline_checked_at_unit_boundaries_within_a_group() {
+        // One fused group over three units, each stalling 40 ms. The
+        // deadline expires during unit 0, so without the unit-boundary
+        // check the single group-boundary check (at gi = 0, before any
+        // work) would never fire and all three units would transform.
+        let ps: Vec<Box<dyn MiniPhase>> = vec![Box::new(Stall { millis: 40 })];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        let mut pipe = Pipeline::new(ps, &plan, FusionOptions::default());
+        assert_eq!(
+            pipe.group_count(),
+            1,
+            "single group: only unit boundaries remain"
+        );
+        let mut ctx = Ctx::new();
+        let units: Vec<CompilationUnit> = (0..3)
+            .map(|i| {
+                let t = ctx.lit_int(0);
+                CompilationUnit::new(format!("u{i}"), t)
+            })
+            .collect();
+        pipe.deadline = Some(Instant::now() + std::time::Duration::from_millis(10));
+        let out = pipe.run_units(&mut ctx, units);
+        assert_eq!(out.len(), 3, "aborted units still pass through");
+        let lit = |u: &CompilationUnit| match u.tree.kind() {
+            TreeKind::Literal { value } => value.as_int().unwrap(),
+            _ => unreachable!(),
+        };
+        assert_eq!(lit(&out[0]), 1, "unit 0 ran before the deadline expired");
+        assert_eq!(lit(&out[1]), 0, "unit 1 aborted at the unit boundary");
+        assert_eq!(lit(&out[2]), 0, "unit 2 aborted at the unit boundary");
+        assert!(
+            ctx.errors
+                .iter()
+                .any(|d| d.phase == "budget" && d.msg.contains("unit boundary")),
+            "budget diagnostic names the unit boundary: {:?}",
+            ctx.errors
+        );
     }
 
     #[test]

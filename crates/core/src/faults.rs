@@ -34,6 +34,19 @@
 //!   fingerprint of the Nth cached artifact, forcing a recompile that must
 //!   still converge to byte-identical output.
 //!
+//! Service-level faults (the multi-tenant compile service's chaos grammar):
+//!
+//! * `SlowUnitStall { unit, millis }` — sleep `millis` when the pipeline
+//!   reaches the Nth unit (group 0). Output-neutral; exists to push a
+//!   request past its deadline and exercise deadline-granularity checks;
+//! * `PanicStorm` — panic on *every* unit entry while shots last. Models a
+//!   misbehaving tenant whose compiles keep failing through the sequential
+//!   downgrade and service-level retries;
+//! * `StoreCorruption { entries }` — no executor behaviour; the shared
+//!   artifact store polls [`FaultPlan::take_store_corruption`] and flips
+//!   the checksums of the first `entries` entries (key order), which the
+//!   next reader must detect, quarantine, and recompile around.
+//!
 //! Determinism: a plan's observable behaviour is a pure function of the
 //! plan and the batch — which unit indexes and chunk indexes exist — never
 //! of thread scheduling. The only cross-thread state is the shot budget,
@@ -181,6 +194,24 @@ pub enum FaultKind {
         /// Index of the target unit in the session's unit-name order.
         unit: usize,
     },
+    /// Stall (sleep) when the pipeline reaches batch unit `unit` at group
+    /// 0. Output-neutral; exists to blow wall-clock deadlines on demand.
+    SlowUnitStall {
+        /// Global batch index of the target unit.
+        unit: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Panic on every unit × group entry while shots last — a tenant whose
+    /// compiles keep failing (give it [`UNLIMITED_SHOTS`] for a permanent
+    /// storm, or a finite budget for one that blows over).
+    PanicStorm,
+    /// Corrupt the checksums of the first `entries` shared-store entries
+    /// (store-level; executors ignore this kind entirely).
+    StoreCorruption {
+        /// How many entries (in deterministic key order) to corrupt.
+        entries: usize,
+    },
 }
 
 /// Shot budget meaning "fires every time it is reached".
@@ -235,6 +266,9 @@ impl Fault {
 pub struct FaultPlan {
     seed: u64,
     faults: Vec<Fault>,
+    /// Count of shots actually consumed (any kind, any site). See
+    /// [`FaultPlan::fired`].
+    fired: AtomicU32,
 }
 
 impl FaultPlan {
@@ -243,7 +277,19 @@ impl FaultPlan {
         FaultPlan {
             seed,
             faults: Vec::new(),
+            fired: AtomicU32::new(0),
         }
+    }
+
+    /// Records a consumed shot. Every fire site funnels through this so
+    /// harnesses can assert "the plan actually did something" without
+    /// re-deriving it from downstream counters.
+    fn record_fire(&self, f: &Fault) -> bool {
+        let hit = f.try_fire();
+        if hit {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     /// Adds a fault with the given shot budget ([`UNLIMITED_SHOTS`] for a
@@ -298,6 +344,26 @@ impl FaultPlan {
             .any(|f| f.shots.load(Ordering::Relaxed) > 0)
     }
 
+    /// True once at least one shot has been consumed at any fire site.
+    /// The canonical "did the injected fault actually exercise anything"
+    /// assertion for soaks, load generators and chaos smokes.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed) > 0
+    }
+
+    /// How many shots have been consumed so far (all faults, all sites).
+    pub fn fired_count(&self) -> u32 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Total shots left across all faults, saturating (a single
+    /// [`UNLIMITED_SHOTS`] budget pins the sum at `u32::MAX`).
+    pub fn shots_remaining(&self) -> u32 {
+        self.faults.iter().fold(0u32, |acc, f| {
+            acc.saturating_add(f.shots.load(Ordering::Relaxed))
+        })
+    }
+
     /// The planned faults and their remaining shots (diagnostics/tests).
     pub fn remaining(&self) -> Vec<(FaultKind, u32)> {
         self.faults
@@ -307,16 +373,25 @@ impl FaultPlan {
     }
 
     /// Pipeline hook: called as group `group` reaches batch unit `unit`.
-    /// Panics if a matching armed panic fault fires.
+    /// Stalls first if a matching [`FaultKind::SlowUnitStall`] fires, then
+    /// panics if a matching armed panic fault fires.
     #[inline]
     pub fn fire_unit_entry(&self, unit: usize, group: usize) {
+        for f in &self.faults {
+            if let FaultKind::SlowUnitStall { unit: u, millis } = f.kind {
+                if u == unit && group == 0 && self.record_fire(f) {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+            }
+        }
         for f in &self.faults {
             let hit = match f.kind {
                 FaultKind::PanicOnUnit { unit: u } => u == unit && group == 0,
                 FaultKind::PanicInGroup { unit: u, group: g } => u == unit && g == group,
+                FaultKind::PanicStorm => true,
                 _ => false,
             };
-            if hit && f.try_fire() {
+            if hit && self.record_fire(f) {
                 panic!(
                     "injected fault (seed {}): panic at unit {unit}, group {group}",
                     self.seed
@@ -332,7 +407,7 @@ impl FaultPlan {
     pub fn fire_chunk_claim(&self, chunk: usize) {
         for f in &self.faults {
             if let FaultKind::ShardExhaustion { chunk: c } = f.kind {
-                if c == chunk && f.try_fire() {
+                if c == chunk && self.record_fire(f) {
                     panic!(
                         "injected fault (seed {}): symbol shard exhaustion in chunk {chunk}",
                         self.seed
@@ -347,8 +422,21 @@ impl FaultPlan {
     pub fn take_artifact_corruption(&self) -> Option<usize> {
         for f in &self.faults {
             if let FaultKind::CorruptArtifact { unit } = f.kind {
-                if f.try_fire() {
+                if self.record_fire(f) {
                     return Some(unit);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shared-store hook: consumes one armed [`FaultKind::StoreCorruption`]
+    /// shot, returning how many entries to corrupt. Never panics.
+    pub fn take_store_corruption(&self) -> Option<usize> {
+        for f in &self.faults {
+            if let FaultKind::StoreCorruption { entries } = f.kind {
+                if self.record_fire(f) {
+                    return Some(entries);
                 }
             }
         }
@@ -403,6 +491,41 @@ mod tests {
         plan.fire_unit_entry(4, 0); // executors ignore corruption faults
         assert_eq!(plan.take_artifact_corruption(), Some(4));
         assert_eq!(plan.take_artifact_corruption(), None, "budget spent");
+    }
+
+    #[test]
+    fn fired_accessor_tracks_consumed_shots() {
+        let plan = FaultPlan::new(11)
+            .with_fault(FaultKind::PanicOnUnit { unit: 0 }, 1)
+            .with_fault(FaultKind::CorruptArtifact { unit: 1 }, 2);
+        assert!(!plan.fired());
+        assert_eq!(plan.shots_remaining(), 3);
+        assert!(std::panic::catch_unwind(|| plan.fire_unit_entry(0, 0)).is_err());
+        assert!(plan.fired());
+        assert_eq!(plan.fired_count(), 1);
+        assert_eq!(plan.shots_remaining(), 2);
+        assert_eq!(plan.take_artifact_corruption(), Some(1));
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn panic_storm_fires_on_any_unit_until_spent() {
+        let plan = FaultPlan::new(5).with_fault(FaultKind::PanicStorm, 2);
+        assert!(std::panic::catch_unwind(|| plan.fire_unit_entry(3, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| plan.fire_unit_entry(0, 0)).is_err());
+        plan.fire_unit_entry(7, 2); // budget spent: the storm blows over
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn stall_fires_without_panicking_and_store_corruption_is_polled() {
+        let plan = FaultPlan::new(9)
+            .with_fault(FaultKind::SlowUnitStall { unit: 0, millis: 1 }, 1)
+            .with_fault(FaultKind::StoreCorruption { entries: 3 }, 1);
+        plan.fire_unit_entry(0, 0); // stalls 1 ms, no panic
+        assert_eq!(plan.fired_count(), 1);
+        assert_eq!(plan.take_store_corruption(), Some(3));
+        assert_eq!(plan.take_store_corruption(), None, "budget spent");
     }
 
     #[test]

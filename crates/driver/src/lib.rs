@@ -29,9 +29,16 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod service;
 pub mod session;
+pub mod store;
 
-pub use session::{CacheStats, CompileSession};
+pub use service::{
+    CompileRequest, CompileResponse, CompileService, DrainReport, OverloadReason, ServiceConfig,
+    ServiceError, ServiceStats, TenantStats, Ticket,
+};
+pub use session::{CacheStats, CompileSession, MemoryFootprint};
+pub use store::{ArtifactKey, SharedArtifactStore, StoreLookup, StoreStats, StoredArtifact};
 
 use mini_backend::{generate, Program, Value, Vm};
 use mini_ir::{Ctx, TreeRef};

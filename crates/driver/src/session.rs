@@ -115,11 +115,12 @@
 //!   that no fault escapes as a panic and that the next clean compile is
 //!   byte-identical to from-scratch.
 
+use crate::store::{ArtifactKey, SharedArtifactStore, StoreLookup};
 use crate::{
     diagnostics_error, standard_plan, CompileError, Compiled, CompilerOptions, StageTimes,
 };
 use mini_backend::generate;
-use mini_ir::fingerprint::{export_interface_hash, source_fingerprint, Fnv64};
+use mini_ir::fingerprint::{binding_fingerprint, export_interface_hash, source_fingerprint, Fnv64};
 use mini_ir::{Ctx, SymbolDelta, SymbolId, SymbolTable, TreeRef};
 use miniphase::{
     CheckFailure, CompilationUnit, ExecStats, FaultPlan, IsolatedLayout, IsolatedUnitRun,
@@ -127,7 +128,7 @@ use miniphase::{
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// First symbol id the session's per-unit pipeline forks may use. The
 /// pristine frontend table allocates contiguously from the bottom; a
@@ -187,6 +188,30 @@ pub struct CacheStats {
     /// via injected faults); each recompiles like an ordinary source
     /// invalidation.
     pub corrupted_artifacts: u64,
+    /// Invalidated units served from the shared cross-session store
+    /// instead of the pipeline (see [`crate::store::SharedArtifactStore`]).
+    pub shared_hits: u64,
+    /// Artifacts this session published to the shared store.
+    pub shared_publishes: u64,
+    /// Shared-store entries this session detected as corrupt and
+    /// quarantined (each also recompiles locally).
+    pub shared_quarantined: u64,
+}
+
+/// Modelled memory accounting for one session (see
+/// [`CompileSession::memory_footprint`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Cached post-pipeline trees (node-count model, as the cache budget).
+    pub artifact_bytes: u64,
+    /// Retained source text.
+    pub source_bytes: u64,
+    /// Frontend symbol-table population.
+    pub symbol_count: u64,
+    /// Modelled bytes for those symbols.
+    pub symbol_bytes: u64,
+    /// Sum of the components — the per-tenant accounting figure.
+    pub total_bytes: u64,
 }
 
 /// One unit's cached pipeline artifact plus the key that validates it.
@@ -215,6 +240,11 @@ struct UnitArtifact {
     /// Modelled size of the cached artifact (tree nodes × mean node
     /// footprint) — the unit the cache byte budget is accounted in.
     approx_bytes: u64,
+    /// `[lo, hi)` symbol-id range of the artifact's delta shards. Local
+    /// artifacts get their pipeline slot's range; imported ones carry the
+    /// producer's. Lookups reject shared entries colliding with any live
+    /// artifact's range — raw ids are identity here (module invariant 2).
+    sym_range: (u32, u32),
 }
 
 /// Per-unit session state.
@@ -287,6 +317,9 @@ pub struct CompileSession {
     /// Monotonic compile sequence number stamped onto artifacts (eviction
     /// age; advances even for failed compiles).
     compile_seq: u64,
+    /// Attached cross-session artifact store and this session's tenant
+    /// label, if any (see [`CompileSession::attach_shared_store`]).
+    shared: Option<(Arc<SharedArtifactStore>, String)>,
 }
 
 impl CompileSession {
@@ -314,7 +347,22 @@ impl CompileSession {
             fault_plan: None,
             sym_high_water: SESSION_SYM_HIGH_WATER,
             compile_seq: 0,
+            shared: None,
         }
+    }
+
+    /// Attaches a process-wide [`SharedArtifactStore`]: every compile first
+    /// probes the store for each invalidated unit (adopting verified
+    /// cross-session artifacts instead of running the pipeline) and
+    /// publishes its own clean pipeline outcomes back. `tenant` labels this
+    /// session in the store's per-tenant byte accounting. Detached
+    /// sessions (the default) behave exactly as before.
+    pub fn attach_shared_store(
+        &mut self,
+        store: Arc<SharedArtifactStore>,
+        tenant: impl Into<String>,
+    ) {
+        self.shared = Some((store, tenant.into()));
     }
 
     /// Arms deterministic fault injection: every subsequent
@@ -332,6 +380,15 @@ impl CompileSession {
         self.fault_plan = None;
     }
 
+    /// Overrides the wall-clock deadline budget for subsequent compiles —
+    /// the compile service clamps each request's deadline into the tenant
+    /// ceiling through this. Budgets are deliberately excluded from the
+    /// config fingerprint, so changing the deadline never invalidates
+    /// cached artifacts.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.opts.budgets.deadline = deadline;
+    }
+
     #[doc(hidden)]
     /// Test hook: lowers the symbol-id retirement threshold so small
     /// corpora can cross it. Not part of the public API contract.
@@ -347,6 +404,32 @@ impl CompileSession {
     /// Cumulative cache bookkeeping.
     pub fn cache_stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Modelled memory footprint of the session — what the compile
+    /// service's per-tenant accounting charges. Artifact bytes use the
+    /// same node-count model as the cache byte budget; symbols and
+    /// retained sources are charged at flat per-entry costs. A model, not
+    /// an allocator measurement — it exists so eviction and admission
+    /// decisions have a stable, deterministic currency.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let artifact_bytes: u64 = self
+            .units
+            .values()
+            .filter_map(|u| u.cached.as_ref())
+            .map(|a| a.approx_bytes)
+            .sum();
+        let source_bytes: u64 = self.units.values().map(|u| u.source.len() as u64).sum();
+        let symbol_count = self.front.symbols.len() as u64;
+        // Mean retained cost per frontend symbol: data + scope entries.
+        let symbol_bytes = symbol_count * 160;
+        MemoryFootprint {
+            artifact_bytes,
+            source_bytes,
+            symbol_count,
+            symbol_bytes,
+            total_bytes: artifact_bytes + source_bytes + symbol_bytes,
+        }
     }
 
     /// Number of units currently in the program (staged edits included).
@@ -478,12 +561,73 @@ impl CompileSession {
         }
         let frontend = fe_start.elapsed();
 
+        // ---- shared store probe: adopt cross-session artifacts ----------
+        // Every re-typed unit is offered to the shared store (when one is
+        // attached) before the pipeline runs. A verified hit installs the
+        // imported artifact directly — the unit drops out of the dirty set
+        // and is spliced like any locally cached artifact. Quarantined or
+        // missing entries stay dirty and compile below.
+        let mut dirty: Vec<String> = retyped.keys().cloned().collect();
+        if let Some((store, tenant)) = self.shared.clone() {
+            let mut import_opts = self.front.options;
+            import_opts.max_tree_depth = None;
+            import_opts.max_tree_size = None;
+            let mut scratch = Ctx::worker(
+                SymbolTable::new(),
+                import_opts,
+                self.node_cursor,
+                self.heap_cursor,
+            );
+            let mut remaining = Vec::with_capacity(dirty.len());
+            for name in dirty {
+                let typed = &retyped[&name];
+                let key = self.shared_key(&name, typed);
+                let live: Vec<(u32, u32)> = self
+                    .units
+                    .values()
+                    .filter_map(|u| u.cached.as_ref())
+                    .map(|a| a.sym_range)
+                    .collect();
+                match store.lookup(&tenant, key, &mut scratch, &live) {
+                    StoreLookup::Hit(art) => {
+                        self.stats.shared_hits += 1;
+                        self.sym_cursor = self.sym_cursor.max(art.sym_range.1);
+                        let deps = self.dep_map(&name, typed);
+                        let stamp = self.compile_seq;
+                        let config_fp = self.config_fp;
+                        let approx_bytes = u64::from(art.tree.subtree_size()) * 64;
+                        let state = self.units.get_mut(&name).expect("unit exists");
+                        state.cached = Some(UnitArtifact {
+                            source_hash: state.source_hash,
+                            deps,
+                            config_fp,
+                            tree: art.tree,
+                            stats_by_group: art.stats_by_group,
+                            failures_by_group: art.failures_by_group,
+                            delta: art.delta,
+                            stamp,
+                            approx_bytes,
+                            sym_range: art.sym_range,
+                        });
+                    }
+                    StoreLookup::Quarantined => {
+                        self.stats.shared_quarantined += 1;
+                        remaining.push(name);
+                    }
+                    StoreLookup::Miss => remaining.push(name),
+                }
+            }
+            let (node_mark, heap_mark) = scratch.alloc_watermarks();
+            self.node_cursor = self.node_cursor.max(node_mark);
+            self.heap_cursor = self.heap_cursor.max(heap_mark);
+            dirty = remaining;
+        }
+
         // ---- transform pipeline over the dirty set ----------------------
         let (phases, plan) = standard_plan(&self.opts)?;
         drop(phases); // per-unit forks build their own instances
         let groups = plan.group_count();
         let tr_start = Instant::now();
-        let dirty: Vec<String> = retyped.keys().cloned().collect();
         let effective_jobs = self.opts.effective_jobs().min(dirty.len()).max(1);
         let mut retried_sequential = false;
         if !dirty.is_empty() {
@@ -515,9 +659,13 @@ impl CompileSession {
             // collected (in unit order) for the sequential retry below.
             let mut errors = Vec::new();
             let mut faulted: Vec<String> = Vec::new();
-            for (name, run) in dirty.iter().zip(runs) {
+            let cap = slot_span(layout.sym_floor, dirty.len() as u32);
+            for (i, (name, run)) in dirty.iter().zip(runs).enumerate() {
+                let slot = (layout.sym_floor + i as u32 * cap, cap);
                 match run {
-                    Ok(r) if r.errors.is_empty() => self.cache_artifact(name, &retyped[name], r),
+                    Ok(r) if r.errors.is_empty() => {
+                        self.cache_artifact(name, &retyped[name], r, slot)
+                    }
                     Ok(r) => errors.extend(r.errors),
                     Err(_) => {
                         self.stats.worker_panics += 1;
@@ -557,10 +705,12 @@ impl CompileSession {
                     &controls,
                 );
                 self.advance_cursors(faulted.len() as u32, &retry_runs);
-                for (name, run) in faulted.iter().zip(retry_runs) {
+                let retry_cap = slot_span(retry_layout.sym_floor, faulted.len() as u32);
+                for (i, (name, run)) in faulted.iter().zip(retry_runs).enumerate() {
+                    let slot = (retry_layout.sym_floor + i as u32 * retry_cap, retry_cap);
                     match run {
                         Ok(r) if r.errors.is_empty() => {
-                            self.cache_artifact(name, &retyped[name], r)
+                            self.cache_artifact(name, &retyped[name], r, slot)
                         }
                         Ok(r) => errors.extend(r.errors),
                         Err(fault) => {
@@ -673,13 +823,26 @@ impl CompileSession {
     }
 
     /// Caches one clean pipeline outcome as the unit's artifact (filtered
-    /// delta, current compile stamp, modelled byte size).
-    fn cache_artifact(&mut self, name: &str, typed: &mini_front::TypedUnit, run: IsolatedUnitRun) {
+    /// delta, current compile stamp, modelled byte size), recording the
+    /// pipeline slot's symbol-id range, and publishes it to the shared
+    /// store when one is attached. `slot` is `(floor, capacity)` of the
+    /// unit's isolated fork shard.
+    fn cache_artifact(
+        &mut self,
+        name: &str,
+        typed: &mini_front::TypedUnit,
+        run: IsolatedUnitRun,
+        slot: (u32, u32),
+    ) {
         let deps = self.dep_map(name, typed);
+        let key = self.shared_key(name, typed);
         let stamp = self.compile_seq;
+        let config_fp = self.config_fp;
         let state = self.units.get_mut(name).expect("dirty unit exists");
         let top_set: HashSet<SymbolId> = state.top_syms.iter().copied().collect();
         let delta = filter_unit_delta(run.delta, &self.front.symbols, &top_set, self.builtin_len);
+        let (slot_floor, slot_cap) = slot;
+        let sym_range = (slot_floor, delta.max_id_end().max(slot_floor));
         // Modelled artifact footprint: tree nodes dominate; 64 bytes is the
         // mean packed-node cost the allocator reports for the standard
         // pipeline's mix.
@@ -687,14 +850,57 @@ impl CompileSession {
         state.cached = Some(UnitArtifact {
             source_hash: state.source_hash,
             deps,
-            config_fp: self.config_fp,
+            config_fp,
             tree: run.unit.tree,
             stats_by_group: run.stats_by_group,
             failures_by_group: run.failures_by_group,
             delta,
             stamp,
             approx_bytes,
+            sym_range,
         });
+        // Publish to the shared store. Units whose delta chained overflow
+        // shards are kept local — their id ranges interleave with sibling
+        // slots, so a contiguous `[floor, hi)` range would overstate (and
+        // falsely conflict with) their footprint. At 65k fresh symbols per
+        // unit this is a theoretical path.
+        if let Some((store, tenant)) = self.shared.clone() {
+            let overflowed = sym_range.1 > slot_floor.saturating_add(slot_cap);
+            if !overflowed {
+                let a = state.cached.as_ref().expect("cached just above");
+                if store.publish(
+                    &tenant,
+                    key,
+                    &a.tree,
+                    &a.stats_by_group,
+                    &a.failures_by_group,
+                    a.delta.clone(),
+                    a.sym_range,
+                ) {
+                    self.stats.shared_publishes += 1;
+                }
+            }
+        }
+    }
+
+    /// The shared-store content address of one just-retyped unit: config,
+    /// source, dependency-interface fold, and the typed tree's raw
+    /// symbol-id environment (see [`crate::store`] module docs).
+    fn shared_key(&self, name: &str, typed: &mini_front::TypedUnit) -> ArtifactKey {
+        let deps = self.dep_map(name, typed);
+        let mut h = Fnv64::new();
+        h.u64(deps.len() as u64);
+        for (dep, hash) in &deps {
+            h.str(dep);
+            h.u64(*hash);
+        }
+        let state = self.units.get(name).expect("unit exists");
+        ArtifactKey {
+            config_fp: self.config_fp,
+            source_hash: state.source_hash,
+            deps_hash: h.finish(),
+            binding_fp: binding_fingerprint(&typed.tree, &self.front.symbols),
+        }
     }
 
     /// Oldest-first artifact eviction down to the
@@ -878,6 +1084,15 @@ impl CompileSession {
         }
         self.poisoned = false;
     }
+}
+
+/// Per-slot symbol capacity of one isolated batch — must mirror
+/// `run_units_isolated`'s clamp exactly, since the session derives each
+/// unit's published `[floor, hi)` id range from it.
+fn slot_span(floor: u32, n: u32) -> u32 {
+    SESSION_SHARD_CAPACITY
+        .max(1)
+        .min((u32::MAX - floor) / (n * 2).max(1))
 }
 
 /// Hashes the output-relevant compiler configuration: mode, checker, fusion

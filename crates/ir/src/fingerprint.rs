@@ -28,6 +28,7 @@
 use crate::printer::print_type;
 use crate::symbol::{SymKind, SymbolId, SymbolTable};
 use crate::tree::{Tree, TreeKind};
+use crate::types::Type;
 
 /// An incremental FNV-1a 64-bit hasher with explicit, stable semantics.
 #[derive(Clone, Debug)]
@@ -201,6 +202,172 @@ pub fn tree_fingerprint(root: &Tree, symbols: &SymbolTable) -> u64 {
     h.finish()
 }
 
+fn hash_type_ids(h: &mut Fnv64, t: &Type) {
+    match t {
+        Type::Class { sym, targs } => {
+            h.u8(1);
+            h.u32(sym.index());
+            h.u64(targs.len() as u64);
+            for ta in targs {
+                hash_type_ids(h, ta);
+            }
+        }
+        Type::TypeParam(sym) => {
+            h.u8(2);
+            h.u32(sym.index());
+        }
+        Type::TermRef(sym) => {
+            h.u8(3);
+            h.u32(sym.index());
+        }
+        Type::Method { params, ret } => {
+            h.u8(4);
+            for list in params {
+                h.u64(list.len() as u64);
+                for p in list {
+                    hash_type_ids(h, p);
+                }
+            }
+            hash_type_ids(h, ret);
+        }
+        Type::Poly {
+            tparams,
+            underlying,
+        } => {
+            h.u8(5);
+            h.u64(tparams.len() as u64);
+            for tp in tparams {
+                h.u32(tp.index());
+            }
+            hash_type_ids(h, underlying);
+        }
+        Type::ByName(t) => {
+            h.u8(6);
+            hash_type_ids(h, t);
+        }
+        Type::Repeated(t) => {
+            h.u8(7);
+            hash_type_ids(h, t);
+        }
+        Type::Array(t) => {
+            h.u8(8);
+            hash_type_ids(h, t);
+        }
+        Type::Function { params, ret } => {
+            h.u8(9);
+            h.u64(params.len() as u64);
+            for p in params {
+                hash_type_ids(h, p);
+            }
+            hash_type_ids(h, ret);
+        }
+        Type::Or(a, b) => {
+            h.u8(20);
+            hash_type_ids(h, a);
+            hash_type_ids(h, b);
+        }
+        // Nullary variants: a distinct tag each (no wildcard — a new
+        // variant must make a conscious choice here).
+        Type::NoType => {
+            h.u8(10);
+        }
+        Type::Error => {
+            h.u8(11);
+        }
+        Type::Any => {
+            h.u8(12);
+        }
+        Type::AnyRef => {
+            h.u8(13);
+        }
+        Type::Nothing => {
+            h.u8(14);
+        }
+        Type::Null => {
+            h.u8(15);
+        }
+        Type::Unit => {
+            h.u8(16);
+        }
+        Type::Int => {
+            h.u8(17);
+        }
+        Type::Boolean => {
+            h.u8(18);
+        }
+        Type::Str => {
+            h.u8(19);
+        }
+    }
+}
+
+/// The **id-environment fingerprint** of a typed tree: every raw
+/// [`SymbolId`] the tree references (node symbols and ids embedded in
+/// types), each paired with its interned name, folded in traversal order.
+///
+/// This is deliberately the *opposite* sensitivity of
+/// [`tree_fingerprint`]: where that hash erases allocator artifacts so
+/// equivalent trees compare equal, this one **pins** them. A shared
+/// cross-session artifact is not self-contained — its post-pipeline tree
+/// and symbol delta resolve dependency and member symbols by raw id — so a
+/// consumer may only adopt it if the producer typed the unit against the
+/// *exact same id assignment*. Two sessions that cold-compile the same
+/// corpus from the same state agree on every id and share; a session whose
+/// edit history drifted the assignment fingerprints differently and safely
+/// misses.
+pub fn binding_fingerprint(root: &Tree, symbols: &SymbolTable) -> u64 {
+    let mut h = Fnv64::new();
+    let mut stack: Vec<&Tree> = vec![root];
+    while let Some(t) = stack.pop() {
+        h.u8(t.node_kind() as u8);
+        hash_type_ids(&mut h, t.tpe());
+        let sym = |h: &mut Fnv64, s: SymbolId| {
+            h.u32(s.index());
+            h.str(sym_name_str(symbols, s));
+        };
+        match t.kind() {
+            TreeKind::Ident { sym: s }
+            | TreeKind::Bind { sym: s, .. }
+            | TreeKind::Return { from: s, .. }
+            | TreeKind::Labeled { label: s, .. }
+            | TreeKind::JumpTo { label: s, .. }
+            | TreeKind::ValDef { sym: s, .. }
+            | TreeKind::DefDef { sym: s, .. }
+            | TreeKind::ClassDef { sym: s, .. }
+            | TreeKind::PackageDef { pkg: s, .. }
+            | TreeKind::This { cls: s }
+            | TreeKind::Super { cls: s } => sym(&mut h, *s),
+            TreeKind::Select { name, sym: s, .. } => {
+                h.str(name.as_str());
+                sym(&mut h, *s);
+            }
+            TreeKind::Literal { value } => {
+                h.str(&value.to_string());
+            }
+            TreeKind::Unresolved { name } => {
+                h.str(name.as_str());
+            }
+            TreeKind::TypeApply { targs, .. } => {
+                for ta in targs {
+                    hash_type_ids(&mut h, ta);
+                }
+            }
+            TreeKind::New { tpe } => hash_type_ids(&mut h, tpe),
+            TreeKind::Typed { tpe, .. }
+            | TreeKind::Cast { tpe, .. }
+            | TreeKind::IsInstance { tpe, .. }
+            | TreeKind::SeqLiteral { elem_tpe: tpe, .. } => hash_type_ids(&mut h, tpe),
+            _ => {}
+        }
+        let n = t.child_count();
+        h.u64(n as u64);
+        for i in (0..n).rev() {
+            stack.push(t.child_at(i).expect("child index below count"));
+        }
+    }
+    h.finish()
+}
+
 /// Folds one symbol's externally visible surface into `h`: name, kind,
 /// flags, rendered type, type-parameter names and rendered parents. For
 /// classes the member surface (each member's name/kind/flags/rendered type,
@@ -321,6 +488,42 @@ mod tests {
             tree_fingerprint(&t1, &ctx1.symbols),
             tree_fingerprint(&other, &ctx1.symbols)
         );
+    }
+
+    #[test]
+    fn binding_fingerprint_pins_raw_symbol_ids() {
+        // Same structure and names, skewed id assignment: tree_fingerprint
+        // must agree, binding_fingerprint must not — it exists to detect
+        // exactly this drift before a cross-session artifact is adopted.
+        let build = |skew: usize| {
+            let mut ctx = Ctx::new();
+            let root = ctx.symbols.builtins().root_pkg;
+            for i in 0..skew {
+                ctx.symbols.new_term(
+                    root,
+                    Name::intern(&format!("pad{i}")),
+                    Flags::EMPTY,
+                    Type::Int,
+                );
+            }
+            let f = ctx
+                .symbols
+                .new_term(root, Name::intern("f"), Flags::EMPTY, Type::Int);
+            let id = ctx.ident(f);
+            let lit = ctx.lit_int(7);
+            let tree = ctx.block(vec![id], lit);
+            (
+                tree_fingerprint(&tree, &ctx.symbols),
+                binding_fingerprint(&tree, &ctx.symbols),
+            )
+        };
+        let (t0, b0) = build(0);
+        let (t0b, b0b) = build(0);
+        let (t5, b5) = build(5);
+        assert_eq!(t0, t0b);
+        assert_eq!(b0, b0b, "deterministic for identical histories");
+        assert_eq!(t0, t5, "structural hash erases the id skew");
+        assert_ne!(b0, b5, "binding hash pins the id skew");
     }
 
     #[test]

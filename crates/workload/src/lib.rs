@@ -460,7 +460,8 @@ def {p}drive(n: Int): Int = {{
 
 /// The driver unit (sorted last as `zmain.ms`): calls a spread of entries
 /// and drivers so every unit's output is observable at the VM level.
-fn linked_main(cfg: &LinkedConfig) -> String {
+/// `extra` lets a client corpus splice in calls to its private unit.
+fn linked_main_with(cfg: &LinkedConfig, extra: &str) -> String {
     let n = cfg.units;
     let mut body = String::from("def main(): Unit = {\n  var total: Int = 0\n");
     for uid in [0, n / 2, n.saturating_sub(1)] {
@@ -469,8 +470,13 @@ fn linked_main(cfg: &LinkedConfig) -> String {
     for uid in 0..n {
         body.push_str(&format!("  total = total + U{uid}entry({})\n", uid % 5 + 1));
     }
+    body.push_str(extra);
     body.push_str("  println(total)\n}\n");
     body
+}
+
+fn linked_main(cfg: &LinkedConfig) -> String {
+    linked_main_with(cfg, "")
 }
 
 /// Generates a linked corpus at its unedited state.
@@ -496,6 +502,87 @@ pub fn edit_series(cfg: &LinkedConfig, edits: usize, edit_seed: u64) -> EditScri
     let mut state = mix(edit_seed ^ 0xed17);
     for _ in 0..edits {
         state = mix(state);
+        let uid = (state % cfg.units as u64) as usize;
+        let kind = if state % 3 == 1 {
+            EditKind::Signature
+        } else {
+            EditKind::Body
+        };
+        match kind {
+            EditKind::Body => body_salt[uid] += 1,
+            EditKind::Signature => sig_variant[uid] ^= 1,
+        }
+        out.push(Edit {
+            unit: linked_unit_name(uid),
+            kind,
+            source: linked_unit_source(cfg, uid, body_salt[uid], sig_variant[uid]),
+        });
+    }
+    EditScript { base, edits: out }
+}
+
+/// The file name of client `client`'s private unit. `v…` sorts after every
+/// `unitNNNN.ms` and before `zmain.ms`, so adding it never perturbs the
+/// shared units' typing order — their symbol-id layout (and therefore
+/// their binding fingerprints) stays byte-identical across clients, which
+/// is what makes cross-client shared-store hits possible at all.
+pub fn client_unit_name(client: usize) -> String {
+    format!("vpriv{client:02}.ms")
+}
+
+/// The source of client `client`'s private unit at body-edit state `salt`.
+pub fn client_unit_source(client: usize, salt: u64) -> String {
+    format!(
+        "def V{client}priv(n: Int): Int = n * {} + {}\n",
+        client % 5 + 2,
+        salt * 13 + client as u64 * 7
+    )
+}
+
+/// Builds one simulated client's corpus + edit stream for the multi-tenant
+/// load harness: the `cfg` linked units are **shared verbatim across all
+/// clients** (the cross-session reuse surface), while each client gets a
+/// private unit (name-sorted between the shared units and the driver) and
+/// a `zmain.ms` that also calls it. The edit stream is seeded per
+/// `(edit_seed, client)`: mostly shared-unit edits as in [`edit_series`],
+/// with roughly one in five touching the private unit only. Clients given
+/// the same `edit_seed` still produce distinct streams.
+pub fn client_series(
+    cfg: &LinkedConfig,
+    client: usize,
+    edits: usize,
+    edit_seed: u64,
+) -> EditScript {
+    let mut base = generate_linked(cfg);
+    let zmain = base.units.pop().expect("generate_linked ends with zmain");
+    debug_assert_eq!(zmain.0, "zmain.ms");
+    base.units
+        .push((client_unit_name(client), client_unit_source(client, 0)));
+    base.units.push((
+        "zmain.ms".to_owned(),
+        linked_main_with(
+            cfg,
+            &format!("  total = total + V{client}priv({})\n", client % 4 + 1),
+        ),
+    ));
+    base.total_loc = base.units.iter().map(|(_, s)| s.lines().count()).sum();
+
+    let mut body_salt = vec![0u64; cfg.units];
+    let mut sig_variant = vec![0u8; cfg.units];
+    let mut priv_salt = 0u64;
+    let mut out = Vec::with_capacity(edits);
+    let mut state = mix(edit_seed ^ mix(client as u64 + 0xc11e));
+    for _ in 0..edits {
+        state = mix(state);
+        if state % 5 == 4 {
+            priv_salt += 1;
+            out.push(Edit {
+                unit: client_unit_name(client),
+                kind: EditKind::Body,
+                source: client_unit_source(client, priv_salt),
+            });
+            continue;
+        }
         let uid = (state % cfg.units as u64) as usize;
         let kind = if state % 3 == 1 {
             EditKind::Signature
@@ -634,6 +721,47 @@ mod tests {
             let v2 = linked_unit_source(&cfg, uid, 0, 1);
             assert_ne!(headers(&v0), headers(&v2));
         }
+    }
+
+    #[test]
+    fn client_series_shares_linked_units_and_privatizes_the_rest() {
+        let cfg = LinkedConfig { units: 6, seed: 7 };
+        let a = client_series(&cfg, 0, 10, 99);
+        let b = client_series(&cfg, 1, 10, 99);
+        // Deterministic per client.
+        let a2 = client_series(&cfg, 0, 10, 99);
+        assert_eq!(a.base.units, a2.base.units);
+        assert_eq!(a.edits.len(), a2.edits.len());
+        // The first `units` files are the shared linked corpus, verbatim.
+        for uid in 0..cfg.units {
+            assert_eq!(a.base.units[uid], b.base.units[uid], "unit {uid} shared");
+        }
+        // Private unit and driver differ, and names still sort private
+        // between the shared units and zmain.
+        assert_ne!(a.base.units[cfg.units], b.base.units[cfg.units]);
+        assert_ne!(a.base.units[cfg.units + 1].1, b.base.units[cfg.units + 1].1);
+        let mut names: Vec<String> = a.base.units.iter().map(|(n, _)| n.clone()).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(names, sorted, "corpus arrives name-sorted");
+        assert_eq!(names.pop().expect("non-empty"), "zmain.ms");
+        assert_eq!(names.pop().expect("non-empty"), client_unit_name(0));
+        // Same edit seed, different clients: streams still diverge.
+        assert!(
+            a.edits
+                .iter()
+                .zip(b.edits.iter())
+                .any(|(x, y)| x.unit != y.unit || x.source != y.source),
+            "client streams must differ"
+        );
+        // Private-unit edits occur and carry the client's unit name.
+        assert!(
+            a.edits.iter().any(|e| e.unit == client_unit_name(0)),
+            "private edits present"
+        );
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Cross-session isolation: the shared-store pin.
+//!
+//! K compile sessions sharing one [`SharedArtifactStore`] — with faults
+//! injected into one tenant — must be observably indistinguishable from K
+//! fully-isolated sessions replaying the same edit streams:
+//!
+//! * every **non-faulted** tenant's per-step output (printed trees, VM
+//!   output, merged `ExecStats`) is byte-identical to its isolated twin;
+//! * the **faulted** tenant never lets a panic escape, fails only with
+//!   structured errors, and — once the fault budget is spent — converges
+//!   back to byte-identity with its isolated twin;
+//! * a **corrupted shared entry** is quarantined by the detecting session
+//!   and recompiled locally, without evicting other tenants' healthy
+//!   entries or perturbing any output.
+//!
+//! Sharing may change *wall clock* (cross-session cache hits) — never
+//! output. This is the same determinism contract the incremental and
+//! parallel pins enforce, extended across session boundaries.
+
+use miniphases::mini_driver::{
+    CompileError, CompileSession, Compiled, CompilerOptions, SharedArtifactStore,
+};
+use miniphases::miniphase::{FaultKind, FaultPlan};
+use miniphases::{mini_backend, mini_ir, workload};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+const CLIENTS: usize = 3;
+const EDITS: usize = 4;
+
+/// Printed trees + VM output + merged ExecStats: the byte-identity
+/// observation.
+#[derive(PartialEq, Debug, Clone)]
+struct Observed {
+    printed: Vec<String>,
+    vm_out: Vec<String>,
+    exec: miniphases::miniphase::ExecStats,
+}
+
+fn observe(c: &Compiled) -> Observed {
+    let printed = c
+        .units
+        .iter()
+        .map(|u| {
+            format!(
+                "// {}\n{}",
+                u.name,
+                mini_ir::printer::print_tree(&u.tree, &c.ctx.symbols)
+            )
+        })
+        .collect();
+    let mut vm = mini_backend::Vm::new(&c.program);
+    vm.run_main().expect("program runs");
+    Observed {
+        printed,
+        vm_out: vm.out.clone(),
+        exec: c.exec,
+    }
+}
+
+/// One client's sessions (shared-store and isolated twin) plus its edit
+/// stream.
+struct Client {
+    shared: CompileSession,
+    isolated: CompileSession,
+    script: workload::EditScript,
+}
+
+fn build_clients(
+    cfg: &workload::LinkedConfig,
+    edit_seed: u64,
+    opts: CompilerOptions,
+    store: &Arc<SharedArtifactStore>,
+) -> Vec<Client> {
+    (0..CLIENTS)
+        .map(|c| {
+            let script = workload::client_series(cfg, c, EDITS, edit_seed);
+            let mut shared = CompileSession::new(opts);
+            shared.attach_shared_store(Arc::clone(store), format!("client{c:02}"));
+            let mut isolated = CompileSession::new(opts);
+            for (n, s) in &script.base.units {
+                shared.update(n.clone(), s.clone());
+                isolated.update(n.clone(), s.clone());
+            }
+            Client {
+                shared,
+                isolated,
+                script,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn shared_store_sessions_match_isolated_twins(
+        corpus_seed in 0u64..10_000,
+        edit_seed in 0u64..10_000,
+        units in 4usize..7,
+        fault_step in 1usize..(EDITS + 1),
+    ) {
+        let opts = CompilerOptions::fused().with_jobs(2);
+        let cfg = workload::LinkedConfig { units, seed: corpus_seed };
+        let store = Arc::new(SharedArtifactStore::new(None));
+        let mut clients = build_clients(&cfg, edit_seed, opts, &store);
+
+        // Two shots: the parallel attempt AND the sequential downgrade both
+        // panic, so the faulted step surfaces a structured Internal error
+        // rather than healing silently.
+        let plan = Arc::new(
+            FaultPlan::new(edit_seed).with_fault(FaultKind::PanicOnUnit { unit: 0 }, 2),
+        );
+
+        // Round-robin the clients through their streams: step 0 is the cold
+        // compile, steps 1..=EDITS apply each client's edit series.
+        for step in 0..=EDITS {
+            for (c, client) in clients.iter_mut().enumerate() {
+                if step > 0 {
+                    let edit = &client.script.edits[step - 1];
+                    client.shared.update(edit.unit.clone(), edit.source.clone());
+                    client.isolated.update(edit.unit.clone(), edit.source.clone());
+                }
+                if c == 0 && step == fault_step {
+                    client.shared.inject_faults(Arc::clone(&plan));
+                }
+                let shared_result =
+                    catch_unwind(AssertUnwindSafe(|| client.shared.compile()))
+                        .map_err(|_| ())
+                        .ok();
+                prop_assert!(
+                    shared_result.is_some(),
+                    "client {c} step {step}: a panic escaped the shared session"
+                );
+                let isolated = client.isolated.compile();
+                match (shared_result.expect("checked above"), isolated) {
+                    (Ok(s), Ok(i)) => {
+                        prop_assert_eq!(
+                            observe(&s),
+                            observe(&i),
+                            "client {} step {}: shared output diverged",
+                            c,
+                            step
+                        );
+                    }
+                    (Err(CompileError::Internal { .. }), Ok(_)) => {
+                        // Only the faulted tenant, only inside its window.
+                        prop_assert_eq!(c, 0, "non-faulted tenant failed");
+                        prop_assert_eq!(step, fault_step, "failure outside the window");
+                        // Re-align the isolated twin: drop its result for
+                        // this step (already consumed) — the next compile
+                        // on both sides rebuilds from the same sources.
+                    }
+                    (Err(e), _) => {
+                        return Err(TestCaseError(format!(
+                            "client {c} step {step}: unexpected error {e}"
+                        )));
+                    }
+                    (Ok(_), Err(e)) => {
+                        return Err(TestCaseError(format!(
+                            "client {c} step {step}: isolated twin failed: {e}"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Faulted tenant: budget spent, final clean compile converges.
+        clients[0].shared.clear_faults();
+        prop_assert!(plan.fired(), "the fault never fired");
+        let final_shared = clients[0].shared.compile();
+        let final_isolated = clients[0].isolated.compile();
+        match (final_shared, final_isolated) {
+            (Ok(s), Ok(i)) => prop_assert_eq!(
+                observe(&s),
+                observe(&i),
+                "faulted tenant did not converge after recovery"
+            ),
+            (s, i) => {
+                return Err(TestCaseError(format!(
+                    "final compiles failed: shared ok={} isolated ok={}",
+                    s.is_ok(),
+                    i.is_ok()
+                )))
+            }
+        }
+
+        // The sharing actually happened (identical shared units across
+        // clients' cold compiles), and nothing was silently dropped.
+        let stats = store.stats();
+        prop_assert!(stats.hits >= 1, "no cross-session reuse occurred");
+        prop_assert!(stats.publishes >= 1);
+    }
+}
+
+/// Deterministic quarantine scenario: one corrupted shared entry is
+/// detected, quarantined and recompiled by the *consuming* session; every
+/// healthy entry still hits; no other tenant's artifacts are evicted.
+#[test]
+fn corrupted_shared_entry_is_quarantined_not_spread() {
+    let opts = CompilerOptions::fused();
+    let cfg = workload::LinkedConfig { units: 5, seed: 77 };
+    let base = workload::generate_linked(&cfg);
+    let store = Arc::new(SharedArtifactStore::new(None));
+
+    // Session A publishes the whole corpus.
+    let mut a = CompileSession::new(opts);
+    a.attach_shared_store(Arc::clone(&store), "tenant-a");
+    for (n, s) in &base.units {
+        a.update(n.clone(), s.clone());
+    }
+    let a_out = observe(&a.compile().expect("A compiles"));
+    let published = store.stats().publishes;
+    assert!(
+        published >= base.units.len() as u64,
+        "A published its units"
+    );
+
+    // Corrupt exactly one stored entry (checksum flip, injected).
+    store.inject_faults(Arc::new(
+        FaultPlan::new(9).with_fault(FaultKind::StoreCorruption { entries: 1 }, 1),
+    ));
+
+    // Session B cold-compiles the same corpus through the store.
+    let mut b = CompileSession::new(opts);
+    b.attach_shared_store(Arc::clone(&store), "tenant-b");
+    for (n, s) in &base.units {
+        b.update(n.clone(), s.clone());
+    }
+    let b_out = observe(&b.compile().expect("B compiles despite the corruption"));
+    assert_eq!(a_out, b_out, "quarantine must not change output");
+
+    let b_stats = b.cache_stats();
+    assert_eq!(
+        b_stats.shared_quarantined, 1,
+        "B detected and quarantined exactly the corrupted entry"
+    );
+    assert!(
+        b_stats.shared_hits >= 1,
+        "healthy entries still hit (got {})",
+        b_stats.shared_hits
+    );
+    let stats = store.stats();
+    assert_eq!(stats.quarantined, 1, "store counted the quarantine");
+    assert_eq!(stats.injected_corruptions, 1);
+    assert!(
+        stats.entries >= published,
+        "B's recompile republished; healthy entries were not evicted \
+         ({} entries vs {} published)",
+        stats.entries,
+        published
+    );
+
+    // A third session now sees a fully healed store: no further
+    // quarantines, and the recompiled entry hits again.
+    let mut c = CompileSession::new(opts);
+    c.attach_shared_store(Arc::clone(&store), "tenant-c");
+    for (n, s) in &base.units {
+        c.update(n.clone(), s.clone());
+    }
+    let c_out = observe(&c.compile().expect("C compiles"));
+    assert_eq!(a_out, c_out);
+    assert_eq!(c.cache_stats().shared_quarantined, 0, "store healed");
+    assert_eq!(store.stats().quarantined, 1, "no new quarantines");
+}
