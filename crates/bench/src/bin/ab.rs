@@ -27,10 +27,16 @@
 //! and the modifiers are `+prune` (set `FusionOptions::subtree_pruning`
 //! to `On`), `+autoprune` (`SubtreePruning::Auto` — the per-traversal
 //! sparseness heuristic), `+jobsN` (run the transform
-//! pipeline on `N` worker threads — e.g. `fused+jobs4`) and `+check` (run
+//! pipeline on `N` worker threads — e.g. `fused+jobs4`), `+check` (run
 //! the dynamic tree checker between groups; composes with `+jobsN`, since
 //! checked runs no longer force sequential execution — e.g.
-//! `fused+jobs4+check`). The default comparison is `patmat+prune` vs
+//! `fused+jobs4+check`) and `+lint` (prefix the prepare-only
+//! static-analysis group; standard plans only). When the two specs differ
+//! *only* in `+lint`, the harness also times a standalone lint traversal
+//! over the same typed corpus and **fails** if the fused suite's marginal
+//! cost exceeds it by more than 1.5× + 2 ms — pinning the tentpole claim
+//! that riding the pipeline is never worse than a dedicated walk.
+//! The default comparison is `patmat+prune` vs
 //! `patmat` over the dotty-like corpus slice — the headline sparse-kind
 //! pruning measurement recorded in `BENCH_pipeline.json`. The reported
 //! ratio is B (first spec) relative to A (second spec); negative means B
@@ -69,11 +75,12 @@ struct Spec {
     prune: SubtreePruning,
     jobs: usize,
     check: bool,
+    lint: bool,
     label: String,
 }
 
 const USAGE: &str = "usage: ab [SPEC_B] [SPEC_A] [REPS] [LOC]\n\
-     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune|+autoprune][+jobsN][+check]\n\
+     SPEC    = (fused|mega|legacy|patmat|tailrec)[+prune|+autoprune][+jobsN][+check][+lint]\n\
      REPS    = positive integer (default 16, env REPS)\n\
      LOC     = positive integer (default 12000, env CORPUS_LOC)";
 
@@ -95,6 +102,7 @@ fn parse_spec(s: &str) -> Spec {
     let mut prune = SubtreePruning::Off;
     let mut jobs = 1usize;
     let mut check = false;
+    let mut lint = false;
     for modifier in parts {
         if modifier == "prune" {
             prune = SubtreePruning::On;
@@ -102,6 +110,11 @@ fn parse_spec(s: &str) -> Spec {
             prune = SubtreePruning::Auto;
         } else if modifier == "check" {
             check = true;
+        } else if modifier == "lint" {
+            if matches!(plan, Plan::Patmat | Plan::Tailrec) {
+                usage_exit("`+lint` composes with standard plans only");
+            }
+            lint = true;
         } else if let Some(n) = modifier.strip_prefix("jobs") {
             jobs = match n.parse() {
                 Ok(j) if j >= 1 => j,
@@ -116,6 +129,7 @@ fn parse_spec(s: &str) -> Spec {
         prune,
         jobs,
         check,
+        lint,
         label: s.to_string(),
     }
 }
@@ -130,6 +144,7 @@ impl Spec {
         base.with_pruning_mode(self.prune)
             .with_jobs(self.jobs)
             .with_check(self.check)
+            .with_lint(self.lint)
     }
 
     /// One phase-list instance (workers each build their own); sparse plans
@@ -139,6 +154,11 @@ impl Spec {
         match self.plan {
             Plan::Patmat => vec![Box::new(mini_phases::PatternMatcher::default())],
             Plan::Tailrec => vec![Box::new(mini_phases::TailRec)],
+            _ if self.lint => {
+                let mut phases = mini_analysis::lint_phases();
+                phases.extend(mini_phases::standard_pipeline());
+                phases
+            }
             _ => mini_phases::standard_pipeline(),
         }
     }
@@ -295,17 +315,73 @@ fn main() {
     );
 
     // Specs that differ only in `jobs` and/or `check` (same plan, same
-    // pruning) must report identical executor counters — the
+    // pruning, same lint) must report identical executor counters — the
     // parallel-determinism invariant, plus the rule that the dynamic
     // checker observes without perturbing the accounting. Enforce it here
     // so CI smokes like `ab fused+jobs4 fused` and
     // `ab fused+jobs4+check fused+check` are real checks, not just
     // no-crash runs.
-    if spec_a.plan == spec_b.plan && spec_a.prune == spec_b.prune && stats_a != stats_b {
+    if spec_a.plan == spec_b.plan
+        && spec_a.prune == spec_b.prune
+        && spec_a.lint == spec_b.lint
+        && stats_a != stats_b
+    {
         eprintln!(
             "FAIL: same-plan specs disagree on ExecStats (jobs must not change accounting):\n  A {}: {stats_a:?}\n  B {}: {stats_b:?}",
             spec_a.label, spec_b.label
         );
         std::process::exit(1);
     }
+
+    // When the specs differ *only* in `+lint` (B lints, A does not), the
+    // timing pair isolates the fused suite's marginal cost. Compare it
+    // against a standalone reference traversal (`mini_analysis::lint_unit`
+    // over the same typed corpus) and fail if riding the pipeline costs
+    // more than the dedicated walk (1.5× + 2 ms slack for 1-vCPU timer
+    // noise) — the fusion-pays claim, enforced rather than eyeballed.
+    if spec_b.lint
+        && !spec_a.lint
+        && spec_a.plan == spec_b.plan
+        && spec_a.prune == spec_b.prune
+        && spec_a.jobs == spec_b.jobs
+        && spec_a.check == spec_b.check
+    {
+        let standalone = time_standalone_lint(&w, reps);
+        let marginal = min_b.saturating_sub(min_a);
+        println!(
+            "lint marginal cost: fused {:+.2} ms vs standalone walk {:.2} ms",
+            marginal.as_secs_f64() * 1e3,
+            standalone.as_secs_f64() * 1e3,
+        );
+        let ceiling = standalone.mul_f64(1.5) + Duration::from_millis(2);
+        if marginal > ceiling {
+            eprintln!(
+                "FAIL: fused lint marginal cost {marginal:?} exceeds the standalone-walk ceiling {ceiling:?}"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Min-of-`reps` wall time of the standalone reference lint: a dedicated
+/// pre-order walk of every typed unit through all four rules, outside any
+/// pipeline. The frontend is untimed, matching `run_once`.
+fn time_standalone_lint(w: &workload::Workload, reps: usize) -> Duration {
+    let mut ctx = Ctx::new();
+    let mut units = Vec::new();
+    for (n, s) in &w.units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        units.push((t.name, t.tree));
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut findings = 0usize;
+        for (name, tree) in &units {
+            findings += mini_analysis::lint_unit(&ctx.symbols, name, tree).len();
+        }
+        std::hint::black_box(findings);
+        best = best.min(start.elapsed());
+    }
+    best
 }

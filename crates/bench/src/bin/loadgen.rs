@@ -24,8 +24,15 @@
 //!   must reuse published artifacts).
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen -- [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt]
+//! cargo run --release -p bench --bin loadgen -- [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt] [--lint]
 //! ```
+//!
+//! With `--lint` every tenant session runs the static-analysis suite and
+//! the harness additionally asserts that each client's final
+//! `CompileResponse` carries rendered diagnostics for the corpus's seeded
+//! lint findings (unused defs, unreachable tails, constant conditions) —
+//! the service-surfaced-diagnostics smoke. Without it, responses must
+//! carry none.
 //!
 //! Defaults: 8 clients, 10 shared units, 6 edits per client. Throughput
 //! and latency numbers are honest for the host they ran on — on a single
@@ -39,7 +46,7 @@ use std::time::{Duration, Instant};
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!(
-        "{msg}\nusage: loadgen [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt]\n\
+        "{msg}\nusage: loadgen [CLIENTS] [UNITS] [EDITS] [--storm] [--corrupt] [--lint]\n\
          (positive integers; defaults 8, 10 and 6)"
     );
     std::process::exit(2);
@@ -64,11 +71,13 @@ fn percentile(sorted: &[Duration], p: usize) -> Duration {
 fn main() {
     let mut storm = false;
     let mut corrupt = false;
+    let mut lint = false;
     let mut nums: Vec<usize> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--storm" => storm = true,
             "--corrupt" => corrupt = true,
+            "--lint" => lint = true,
             v => match v.parse() {
                 Ok(n) if n >= 1 && nums.len() < 3 => nums.push(n),
                 _ => usage_exit(&format!("unexpected argument `{v}`")),
@@ -81,7 +90,7 @@ fn main() {
 
     let config = ServiceConfig {
         queue_capacity: 2,
-        ..ServiceConfig::new(CompilerOptions::fused().with_jobs(2))
+        ..ServiceConfig::new(CompilerOptions::fused().with_jobs(2).with_lint(lint))
     };
     let mut svc = CompileService::new(config);
     for c in 0..clients {
@@ -111,6 +120,9 @@ fn main() {
         },
         if corrupt { " + store corruption" } else { "" },
     );
+    if lint {
+        println!("  static-analysis suite on: responses must carry seeded diagnostics");
+    }
 
     let t0 = Instant::now();
     // Client 0 cold-compiles alone before the rest join: the canonical
@@ -182,6 +194,28 @@ fn main() {
                                 last_ok = true;
                                 if step == edits && resp.output.is_none() {
                                     fail(&format!("{tenant}: final run_main lost its output"));
+                                }
+                                if step == edits {
+                                    // The linted service must surface the
+                                    // corpus's seeded findings on every
+                                    // response — including ones replayed
+                                    // from the session/shared caches.
+                                    if lint {
+                                        for code in ["L001", "L002", "L003", "L005"] {
+                                            if !resp.diagnostics.iter().any(|d| d.code == code) {
+                                                fail(&format!(
+                                                    "{tenant}: no {code} diagnostic in the final \
+                                                     response ({} total)",
+                                                    resp.diagnostics.len()
+                                                ));
+                                            }
+                                        }
+                                    } else if !resp.diagnostics.is_empty() {
+                                        fail(&format!(
+                                            "{tenant}: {} diagnostic(s) without --lint",
+                                            resp.diagnostics.len()
+                                        ));
+                                    }
                                 }
                             }
                             Err(ServiceError::Compile(_)) => {
@@ -310,6 +344,13 @@ fn main() {
     }
     if shed == 0 {
         fail("no request was ever shed — the burst never exercised admission control");
+    }
+    if lint {
+        let reported: u64 = report.tenants.values().map(|t| t.findings_reported).sum();
+        if reported == 0 {
+            fail("--lint run reported zero findings in the service accounting");
+        }
+        println!("  lint: {reported} finding(s) surfaced across all tenants");
     }
     println!("PASS");
 }

@@ -45,6 +45,81 @@ impl std::fmt::Display for CheckFailure {
     }
 }
 
+/// How serious a static-analysis [`Finding`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is valid but suspicious (dead code, unused definitions).
+    Warning,
+    /// The program is very likely wrong (use before assignment).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One static-analysis finding, emitted by a prepare-only lint miniphase.
+///
+/// The same location discipline as [`CheckFailure`]: findings locate the
+/// offending node by **span and kind**, never by raw `NodeId` — node ids
+/// are allocator artifacts that differ between the sequential pipeline and
+/// every parallel chunking, while spans and kinds survive cross-arena tree
+/// imports byte-for-byte. That is what lets lint findings stay identical
+/// across fused/mega × jobs × pruning × incremental (proptest-pinned).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule code (`"L001"`-style).
+    pub rule: &'static str,
+    /// Warning or error.
+    pub severity: Severity,
+    /// The unit the finding is in (stamped by the executor at harvest).
+    pub unit: String,
+    /// The offending node's source location.
+    pub span: Span,
+    /// The offending node's kind.
+    pub node_kind: NodeKind,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl Finding {
+    /// The canonical sort key — `(unit, span, rule, kind, msg)`. Sorting by
+    /// this key makes finding lists order-identical across every executor,
+    /// parallel chunking and incremental splice, because the *set* of
+    /// findings depends only on each unit's own pre-transform tree.
+    pub fn sort_key(&self) -> (&str, u32, u32, &'static str, u8, &str) {
+        (
+            self.unit.as_str(),
+            self.span.start,
+            self.span.end,
+            self.rule,
+            self.node_kind as u8,
+            self.msg.as_str(),
+        )
+    }
+}
+
+/// Sorts findings into the canonical client-facing order (see
+/// [`Finding::sort_key`]).
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} {:?}@{}: {}",
+            self.severity, self.rule, self.unit, self.node_kind, self.span, self.msg
+        )
+    }
+}
+
 /// Characters legal in backend (JVM-style) member names; `<init>` is the
 /// blessed exception.
 fn valid_backend_name(name: &str) -> bool {

@@ -49,7 +49,7 @@
 //! *group* of fused Miniphases (or one per phase in Megaphase mode),
 //! phase-major over the unit batch.
 
-use crate::checker::{check_unit, CheckFailure};
+use crate::checker::{check_unit, CheckFailure, Finding};
 use crate::faults::{self, FaultPlan};
 use crate::fused::{Fused, FusionOptions, SubtreePruning};
 use crate::mini::{dispatch_prepare, dispatch_transform, MiniPhase};
@@ -642,6 +642,15 @@ pub struct Pipeline {
     /// parallel executor re-sequences these across unit chunks so the
     /// merged failure list is byte-identical to a sequential run.
     failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Static-analysis findings harvested from every phase's
+    /// [`MiniPhase::take_findings`] after each unit × group traversal,
+    /// stamped with the unit name. Empty unless the plan contains analysis
+    /// (prepare-only lint) phases.
+    pub findings: Vec<Finding>,
+    /// The same findings split per phase group (unit order within each
+    /// group), mirroring `failures_by_group` so the parallel executor can
+    /// re-sequence them across unit chunks.
+    findings_by_group: Vec<Vec<Finding>>,
     /// Deterministic fault injection ([`crate::faults`]): when set,
     /// [`Pipeline::run_units_recorded`] offers every `(unit, group)` entry
     /// to the plan before running it. `None` (the default) costs one
@@ -689,6 +698,8 @@ impl Pipeline {
             stats: ExecStats::default(),
             failures: Vec::new(),
             failures_by_group: Vec::new(),
+            findings: Vec::new(),
+            findings_by_group: Vec::new(),
             faults: None,
             unit_index_base: 0,
             deadline: None,
@@ -701,6 +712,23 @@ impl Pipeline {
     /// was on). Group-major; unit order within each group.
     pub fn take_failures_by_group(&mut self) -> Vec<Vec<CheckFailure>> {
         std::mem::take(&mut self.failures_by_group)
+    }
+
+    /// Takes the per-group analysis findings harvested by the batch entry
+    /// points (one entry per group that ran, unit order within it).
+    pub fn take_findings_by_group(&mut self) -> Vec<Vec<Finding>> {
+        std::mem::take(&mut self.findings_by_group)
+    }
+
+    /// Drains group `gi`'s accumulated findings, stamping each with the
+    /// unit it was harvested over. Phases cannot know the unit name (they
+    /// only see trees), so the executor owns the attribution.
+    fn harvest_findings(&mut self, gi: usize, unit: &str) -> Vec<Finding> {
+        let mut found = self.groups[gi].take_findings();
+        for f in &mut found {
+            f.unit = unit.to_owned();
+        }
+        found
     }
 
     /// Number of fused groups (= tree traversals per unit).
@@ -756,6 +784,8 @@ impl Pipeline {
             let mut stats = ExecStats::default();
             cur = self.run_group_on_unit(gi, ctx, &cur, &mut stats);
             stats.member_transforms = self.groups[gi].take_member_transforms();
+            let found = self.harvest_findings(gi, &cur.name);
+            self.findings.extend(found);
             self.stats.merge(stats);
             if self.check {
                 let prev: Vec<&dyn MiniPhase> = self.groups[..=gi]
@@ -783,6 +813,7 @@ impl Pipeline {
         let mut fresh_scopes = vec![0u32; units.len()];
         for gi in 0..self.groups.len() {
             let mut next = Vec::with_capacity(units.len());
+            let mut found_row = Vec::new();
             for (ui, u) in units.into_iter().enumerate() {
                 let mut stats = ExecStats::default();
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
@@ -796,10 +827,13 @@ impl Pipeline {
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u);
                 stats.member_transforms = self.groups[gi].take_member_transforms();
+                found_row.extend(self.harvest_findings(gi, &out.name));
                 self.stats.merge(stats);
                 next.push(out);
             }
             units = next;
+            self.findings.extend(found_row.iter().cloned());
+            self.findings_by_group.push(found_row);
         }
         units
     }
@@ -838,6 +872,7 @@ impl Pipeline {
         let mut fresh_scopes = vec![0u32; units.len()];
         let mut grid: Vec<Vec<ExecStats>> = Vec::with_capacity(self.groups.len());
         let base = self.unit_index_base;
+        let mut found_row: Vec<Finding> = Vec::new();
         for gi in 0..self.groups.len() {
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
@@ -898,12 +933,15 @@ impl Pipeline {
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u); // the pre-group tree dies here, as in Listing 3
                 stats.member_transforms = self.groups[gi].take_member_transforms();
+                found_row.extend(self.harvest_findings(gi, &out.name));
                 self.stats.merge(stats);
                 row.push(stats);
                 next.push(out);
             }
             units = next;
             grid.push(row);
+            self.findings.extend(found_row.iter().cloned());
+            self.findings_by_group.push(std::mem::take(&mut found_row));
             if expired {
                 // Mixed-group trees: skip the checker replay (it would
                 // report phase postconditions the aborted units never ran).

@@ -233,6 +233,18 @@ impl Fused {
         std::mem::take(&mut self.member_transforms)
     }
 
+    /// Drains the findings accumulated by every member, in member
+    /// (application) order — the per-phase order inside one group is fixed
+    /// by the plan, so draining in member order keeps the raw harvest
+    /// deterministic before the canonical sort even runs.
+    fn take_member_findings(&mut self) -> Vec<crate::checker::Finding> {
+        let mut out = Vec::new();
+        for m in &mut self.members {
+            out.extend(m.take_findings());
+        }
+        out
+    }
+
     /// The fused transform chain for a node of kind `entry` (Listing 6).
     /// Crate-visible so the executor's fused driver enters it directly,
     /// without the per-kind `dyn MiniPhase` re-dispatch.
@@ -390,6 +402,10 @@ macro_rules! impl_fused_hooks {
 
             fn finish_prepared(&mut self, ctx: &mut Ctx, t: &TreeRef) {
                 self.finish_prepared_direct(ctx, t);
+            }
+
+            fn take_findings(&mut self) -> Vec<$crate::checker::Finding> {
+                self.take_member_findings()
             }
 
             $(

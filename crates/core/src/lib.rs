@@ -104,7 +104,7 @@ pub mod parallel;
 pub mod plan;
 mod unit;
 
-pub use checker::{check_unit, CheckFailure};
+pub use checker::{check_unit, sort_findings, CheckFailure, Finding, Severity};
 pub use executor::{run_phase_on_unit, ExecStats, Pipeline, TRAVERSAL_CODE_ADDR};
 pub use faults::{FaultKind, FaultPlan, InternalFault, RunControls, UNLIMITED_SHOTS};
 pub use fused::{Fused, FusionOptions, SubtreePruning};

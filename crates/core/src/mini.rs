@@ -113,6 +113,16 @@ macro_rules! define_mini_phase {
                 synthetic_code_addr(self.name())
             }
 
+            /// Drains the static-analysis findings this phase accumulated
+            /// over the unit just traversed. Called by the executors once
+            /// per `(group, unit)` after `transform_unit`; analysis phases
+            /// finalize deferred rules here (e.g. defined-minus-used) and
+            /// must leave their per-unit state cleared. Transform phases
+            /// keep the default (no findings).
+            fn take_findings(&mut self) -> Vec<$crate::checker::Finding> {
+                Vec::new()
+            }
+
             $(
                 #[doc = concat!(
                     "Transforms a `", stringify!($variant),

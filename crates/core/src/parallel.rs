@@ -91,7 +91,7 @@
 //! [`WorkerInstrumentation`] and fan the per-chunk results back in chunk
 //! order.
 
-use crate::checker::CheckFailure;
+use crate::checker::{CheckFailure, Finding};
 use crate::executor::{ExecStats, Pipeline};
 use crate::faults::{self, InternalFault, RunControls};
 use crate::fused::FusionOptions;
@@ -191,6 +191,11 @@ pub struct ParallelRun<D> {
     /// group-major then unit order — byte-identical in content and order to
     /// the sequential pipeline's [`Pipeline::failures`].
     pub failures: Vec<CheckFailure>,
+    /// Static-analysis findings (empty unless analysis phases were in the
+    /// plan), re-sequenced group-major then unit order like `failures` —
+    /// byte-identical in content and order to the sequential pipeline's
+    /// [`Pipeline::findings`].
+    pub findings: Vec<Finding>,
     /// Worker threads actually used after clamping (at least 1, at most
     /// one per unit). Callers surfacing parallelism in stats or figures
     /// must report this, never the requested value — a silent downgrade is
@@ -260,6 +265,9 @@ struct ChunkOutcome<D> {
     /// `failures[group]` checker findings, unit order within the chunk.
     /// Empty unless `check` was on.
     failures: Vec<Vec<CheckFailure>>,
+    /// `findings[group]` static-analysis findings, unit order within the
+    /// chunk. Empty unless analysis phases were in the plan.
+    findings: Vec<Vec<Finding>>,
     /// `None` when the chunk panicked (its fork died with the unwind).
     delta: Option<mini_ir::SymbolDelta>,
     alloc: mini_ir::AllocStats,
@@ -354,6 +362,7 @@ where
         pipeline.deadline = controls.deadline;
         let (out, grid) = pipeline.run_units_recorded(&mut wctx, local);
         let failures = pipeline.take_failures_by_group();
+        let findings = pipeline.take_findings_by_group();
         let data = instr.finish(chunk, state, &mut wctx);
         let alloc = mini_ir::AllocStats {
             nodes: wctx.stats.nodes - alloc_floor.nodes,
@@ -367,6 +376,7 @@ where
             units: UnitsHandoff(out),
             grid,
             failures,
+            findings,
             delta: Some(delta),
             alloc,
             errors,
@@ -380,6 +390,7 @@ where
             units: UnitsHandoff(Vec::new()),
             grid: Vec::new(),
             failures: Vec::new(),
+            findings: Vec::new(),
             delta: None,
             alloc: mini_ir::AllocStats::default(),
             errors: Vec::new(),
@@ -524,6 +535,7 @@ where
                 units,
                 stats: pipeline.stats,
                 failures: std::mem::take(&mut pipeline.failures),
+                findings: std::mem::take(&mut pipeline.findings),
                 effective_jobs: 1,
                 worker_data: vec![data],
                 faults: Vec::new(),
@@ -532,6 +544,7 @@ where
                 units: Vec::new(),
                 stats: ExecStats::default(),
                 failures: Vec::new(),
+                findings: Vec::new(),
                 effective_jobs: 1,
                 worker_data: Vec::new(),
                 faults: vec![fault_from_panic(payload, 0, &unit_names)],
@@ -667,6 +680,7 @@ where
         }
     }
     let mut failure_groups: Vec<Vec<CheckFailure>> = Vec::new();
+    let mut finding_groups: Vec<Vec<Finding>> = Vec::new();
     let mut out_units = Vec::with_capacity(n);
     let mut worker_data = Vec::with_capacity(chunk_count);
     let mut chunk_faults = Vec::new();
@@ -680,6 +694,12 @@ where
                 failure_groups.resize_with(gi + 1, Vec::new);
             }
             failure_groups[gi].extend(fs);
+        }
+        for (gi, fs) in o.findings.into_iter().enumerate() {
+            if finding_groups.len() <= gi {
+                finding_groups.resize_with(gi + 1, Vec::new);
+            }
+            finding_groups[gi].extend(fs);
         }
         out_units.extend(o.units.0);
         ctx.stats.nodes += o.alloc.nodes;
@@ -702,6 +722,7 @@ where
         units: out_units,
         stats,
         failures: failure_groups.into_iter().flatten().collect(),
+        findings: finding_groups.into_iter().flatten().collect(),
         effective_jobs: jobs,
         worker_data,
         faults: chunk_faults,
@@ -739,6 +760,9 @@ pub struct IsolatedUnitRun {
     pub stats_by_group: Vec<ExecStats>,
     /// Checker findings per phase group (all empty unless `check` was on).
     pub failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Static-analysis findings per phase group (all empty unless analysis
+    /// phases were in the plan).
+    pub findings_by_group: Vec<Vec<Finding>>,
     /// New symbols + mutations of pre-fork symbols this unit's pipeline
     /// made. **Not** adopted anywhere by this call — the origin context
     /// stays byte-for-byte untouched.
@@ -895,6 +919,7 @@ where
                 units,
                 grid,
                 failures,
+                findings,
                 delta,
                 errors,
                 fault,
@@ -911,6 +936,7 @@ where
                 // so row[0] is the complete per-group counter set.
                 stats_by_group: grid.iter().map(|row| row[0]).collect(),
                 failures_by_group: failures,
+                findings_by_group: findings,
                 delta: delta.expect("non-faulted chunks carry a delta"),
                 errors,
             })

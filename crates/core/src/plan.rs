@@ -53,6 +53,35 @@ impl PhasePlan {
         self.groups.len()
     }
 
+    /// Prepends `count` phases (indices `0..count`) as leading group(s),
+    /// shifting every existing phase index up by `count`. Used by the
+    /// driver to splice an analysis (lint) block in front of a plan built
+    /// over the standard pipeline alone: lint phases are prepare-only and
+    /// must observe the *source-shaped* typed trees, so they always form
+    /// the first traversal(s) and are never fused into a transform group.
+    /// Grouping of the new phases honors `opts` (`fuse` off → singleton
+    /// groups; `max_group_size` caps apply).
+    pub fn with_prefix(&self, count: usize, opts: &PlanOptions) -> PhasePlan {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for i in 0..count {
+            let cap_hit = opts.max_group_size.is_some_and(|cap| current.len() >= cap);
+            if (!opts.fuse || cap_hit) && !current.is_empty() {
+                groups.push(std::mem::take(&mut current));
+            }
+            current.push(i);
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+        groups.extend(
+            self.groups
+                .iter()
+                .map(|g| g.iter().map(|&pi| pi + count).collect()),
+        );
+        PhasePlan { groups }
+    }
+
     /// Renders a Table 2-style listing: one line per phase, with horizontal
     /// rules separating fusion groups and `*` marking fused Miniphases.
     pub fn describe(&self, phases: &[Box<dyn MiniPhase>]) -> String {
@@ -320,6 +349,35 @@ mod tests {
             build_plan(&ps3, &PlanOptions::default()),
             Err(PlanError::DuplicateName { name: "x".into() })
         );
+    }
+
+    #[test]
+    fn with_prefix_shifts_and_groups() {
+        let ps = vec![P::new("a"), P::new("b"), P::with("c", vec![], vec!["a"])];
+        let plan = build_plan(&ps, &PlanOptions::default()).unwrap();
+        assert_eq!(plan.groups, vec![vec![0, 1], vec![2]]);
+        let fused = plan.with_prefix(3, &PlanOptions::default());
+        assert_eq!(fused.groups, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+        let mega = plan.with_prefix(
+            2,
+            &PlanOptions {
+                fuse: false,
+                ..PlanOptions::default()
+            },
+        );
+        assert_eq!(mega.groups, vec![vec![0], vec![1], vec![2, 3], vec![4]]);
+        let capped = plan.with_prefix(
+            3,
+            &PlanOptions {
+                fuse: true,
+                max_group_size: Some(2),
+            },
+        );
+        assert_eq!(
+            capped.groups,
+            vec![vec![0, 1], vec![2], vec![3, 4], vec![5]]
+        );
+        assert_eq!(plan.with_prefix(0, &PlanOptions::default()), plan);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Unified diagnostics rendering: one human-readable surface over the
+//! three structured failure/finding streams a compile can produce.
+//!
+//! * **Lint findings** ([`miniphase::Finding`]) from the prepare-only
+//!   analysis suite ([`mini_analysis`]), labelled with their stable
+//!   `L00x` rule codes;
+//! * **Checker failures** ([`miniphase::CheckFailure`]) from the dynamic
+//!   tree checker (code `C900`);
+//! * **Budget breaches** ([`crate::CompileError::Budget`]) and ordinary
+//!   frontend diagnostics (codes `B900` / `E900`).
+//!
+//! Rendering is deliberately decoupled from detection: the pipeline emits
+//! plain structured data (span + kind + message, never node ids or source
+//! text), and this module joins it against the *retained* source text at
+//! the service edge. That keeps cached artifacts small and
+//! source-representation-free — a finding replayed from the shared store
+//! renders identically to a fresh one because the join happens here, not
+//! at detection time. When the source for a unit is unavailable (e.g. a
+//! budget breach before any unit is attributed), rendering degrades to a
+//! byte-span location instead of a caret excerpt.
+
+use mini_ir::Span;
+use miniphase::{CheckFailure, Finding, Severity};
+use std::fmt;
+
+/// One rendered diagnostic: the structured fields plus a ready-to-print
+/// multi-line rendering with source context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code: `L001`..`L005` for lint rules, `C900` for checker
+    /// failures, `B900` for budget breaches, `E900` for frontend errors.
+    pub code: String,
+    /// Warning or error.
+    pub severity: Severity,
+    /// The unit the diagnostic is in (`<compile>` when unattributed).
+    pub unit: String,
+    /// 1-based line of the span start (0 when no source was available).
+    pub line: u32,
+    /// 1-based byte column of the span start (0 without source).
+    pub col: u32,
+    /// The underlying message.
+    pub msg: String,
+    /// Full human rendering: header, location line and — when the source
+    /// is available — the offending line with a caret underline.
+    pub rendered: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Builds the diagnostic for one lint finding, joining it against the
+/// unit's source text when available. The code is the finding's stable
+/// rule code ([`mini_analysis::rule_code`]).
+pub fn from_finding(f: &Finding, source: Option<&str>) -> Diagnostic {
+    render(
+        mini_analysis::rule_code(f.rule),
+        f.severity,
+        &f.unit,
+        f.span,
+        &format!("{} [{}]", f.msg, f.rule),
+        source,
+    )
+}
+
+/// Builds the diagnostic for one dynamic-checker failure (always an
+/// error; code `C900`).
+pub fn from_check_failure(f: &CheckFailure, source: Option<&str>) -> Diagnostic {
+    render(
+        "C900",
+        Severity::Error,
+        &f.unit,
+        f.span,
+        &format!("checker [{}]: {}", f.phase, f.msg),
+        source,
+    )
+}
+
+/// Renders a failed compile's error into diagnostics. Budget breaches
+/// (`B900`) and frontend diagnostics (`E900`) carry spans but no unit
+/// attribution; other error variants render as a single spanless entry.
+pub fn from_error(err: &crate::CompileError) -> Vec<Diagnostic> {
+    use crate::CompileError;
+    match err {
+        CompileError::Budget(ds) => ds
+            .iter()
+            .map(|d| {
+                render(
+                    "B900",
+                    Severity::Error,
+                    "<compile>",
+                    d.span,
+                    &format!("budget [{}]: {}", d.phase, d.msg),
+                    None,
+                )
+            })
+            .collect(),
+        CompileError::Diagnostics(ds) => ds
+            .iter()
+            .map(|d| {
+                render(
+                    "E900",
+                    Severity::Error,
+                    "<compile>",
+                    d.span,
+                    &format!("[{}] {}", d.phase, d.msg),
+                    None,
+                )
+            })
+            .collect(),
+        CompileError::Check(cs) => cs.iter().map(|c| from_check_failure(c, None)).collect(),
+        other => vec![render(
+            "E900",
+            Severity::Error,
+            "<compile>",
+            Span::SYNTHETIC,
+            &other.to_string(),
+            None,
+        )],
+    }
+}
+
+/// Renders a successful compile's findings and checker failures against
+/// retained sources. `source_of` resolves a unit name to its source text
+/// (the service passes the session's retained copy).
+pub fn render_compiled<'a>(
+    findings: &[Finding],
+    check_failures: &[CheckFailure],
+    mut source_of: impl FnMut(&str) -> Option<&'a str>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::with_capacity(findings.len() + check_failures.len());
+    for f in findings {
+        out.push(from_finding(f, source_of(&f.unit)));
+    }
+    for c in check_failures {
+        out.push(from_check_failure(c, source_of(&c.unit)));
+    }
+    out
+}
+
+/// 1-based `(line, col)` of a byte offset (byte columns; clamped to the
+/// source length).
+fn line_col(source: &str, offset: u32) -> (u32, u32) {
+    let offset = (offset as usize).min(source.len());
+    let before = &source.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    (line, (offset - line_start) as u32 + 1)
+}
+
+fn render(
+    code: &str,
+    severity: Severity,
+    unit: &str,
+    span: Span,
+    msg: &str,
+    source: Option<&str>,
+) -> Diagnostic {
+    let mut rendered = format!("{severity}[{code}]: {msg}\n");
+    // A synthetic (zero-width at offset 0) span carries no real location —
+    // pointing a caret at line 1 would be misleading, so degrade to the
+    // bare unit even when the source is at hand.
+    let source = source.filter(|_| span != Span::SYNTHETIC);
+    let (line, col) = match source {
+        Some(src) => {
+            let (line, col) = line_col(src, span.start);
+            rendered.push_str(&format!(" --> {unit}:{line}:{col}\n"));
+            // The excerpt: the span's first line with a caret underline
+            // clipped to that line.
+            let start = (span.start as usize).min(src.len());
+            let line_start = src[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+            let line_end = src[start..]
+                .find('\n')
+                .map(|p| start + p)
+                .unwrap_or(src.len());
+            let text = &src[line_start..line_end];
+            let gutter = line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let underline = ((span.end as usize).min(line_end) - start).max(1);
+            rendered.push_str(&format!("{pad} |\n{gutter} | {text}\n{pad} | "));
+            rendered.push_str(&" ".repeat((col as usize).saturating_sub(1)));
+            rendered.push_str(&"^".repeat(underline));
+            rendered.push('\n');
+            (line, col)
+        }
+        None => {
+            if span != Span::SYNTHETIC {
+                rendered.push_str(&format!(
+                    " --> {unit} (bytes {}..{})\n",
+                    span.start, span.end
+                ));
+            } else {
+                rendered.push_str(&format!(" --> {unit}\n"));
+            }
+            (0, 0)
+        }
+    };
+    Diagnostic {
+        code: code.to_string(),
+        severity,
+        unit: unit.to_string(),
+        line,
+        col,
+        msg: msg.to_string(),
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::NodeKind;
+    use miniphase::Finding;
+
+    #[test]
+    fn finding_renders_with_caret_at_span() {
+        let src = "def one(): Int = 1\ndef dead(): Int = 2\n";
+        let f = Finding {
+            rule: mini_analysis::RULE_UNUSED_DEF,
+            severity: Severity::Warning,
+            unit: "a.ms".to_string(),
+            span: Span::new(23, 27),
+            node_kind: NodeKind::DefDef,
+            msg: "`dead` is never referenced in its defining unit".to_string(),
+        };
+        let d = from_finding(&f, Some(src));
+        assert_eq!(d.code, "L001");
+        assert_eq!((d.line, d.col), (2, 5));
+        assert!(d.rendered.contains(" --> a.ms:2:5"), "{}", d.rendered);
+        assert!(
+            d.rendered.contains("2 | def dead(): Int = 2"),
+            "{}",
+            d.rendered
+        );
+        assert!(d.rendered.contains("|     ^^^^"), "{}", d.rendered);
+    }
+
+    #[test]
+    fn missing_source_degrades_to_byte_span() {
+        let f = Finding {
+            rule: mini_analysis::RULE_CONST_COND,
+            severity: Severity::Warning,
+            unit: "b.ms".to_string(),
+            span: Span::new(7, 9),
+            node_kind: NodeKind::If,
+            msg: "condition is always true".to_string(),
+        };
+        let d = from_finding(&f, None);
+        assert_eq!(d.code, "L005");
+        assert_eq!((d.line, d.col), (0, 0));
+        assert!(d.rendered.contains("b.ms (bytes 7..9)"), "{}", d.rendered);
+    }
+
+    #[test]
+    fn synthetic_span_never_points_at_line_one() {
+        let f = Finding {
+            rule: mini_analysis::RULE_UNREACHABLE,
+            severity: Severity::Warning,
+            unit: "c.ms".to_string(),
+            span: Span::SYNTHETIC,
+            node_kind: NodeKind::Apply,
+            msg: "unreachable statement after `throw`".to_string(),
+        };
+        let d = from_finding(&f, Some("def x(): Int = 1\n"));
+        assert_eq!((d.line, d.col), (0, 0));
+        assert!(d.rendered.contains(" --> c.ms\n"), "{}", d.rendered);
+        assert!(!d.rendered.contains('^'), "{}", d.rendered);
+    }
+
+    #[test]
+    fn budget_error_renders_with_code() {
+        let err = crate::CompileError::Budget(vec![mini_ir::Diagnostic {
+            span: Span::SYNTHETIC,
+            msg: "deadline exceeded".to_string(),
+            phase: "budget",
+        }]);
+        let ds = from_error(&err);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "B900");
+        assert!(ds[0]
+            .rendered
+            .contains("budget [budget]: deadline exceeded"));
+    }
+}

@@ -28,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+pub mod diagnostics;
 pub mod metrics;
 pub mod service;
 pub mod session;
 pub mod store;
 
+pub use diagnostics::Diagnostic;
 pub use service::{
     CompileRequest, CompileResponse, CompileService, DrainReport, OverloadReason, ServiceConfig,
     ServiceError, ServiceStats, TenantStats, Ticket,
@@ -124,6 +126,11 @@ pub struct CompilerOptions {
     /// Resource budgets (deadline, tree depth/size, session cache bytes).
     /// Default: unbudgeted.
     pub budgets: Budgets,
+    /// Run the static-analysis lint suite ([`mini_analysis`]) as a
+    /// prepare-only phase group *prefixed* to the standard pipeline.
+    /// Findings surface in [`Compiled::findings`], canonically sorted;
+    /// default off, which keeps every paper-exact configuration untouched.
+    pub lint: bool,
 }
 
 impl CompilerOptions {
@@ -136,6 +143,7 @@ impl CompilerOptions {
             max_group_size: None,
             jobs: 1,
             budgets: Budgets::default(),
+            lint: false,
         }
     }
 
@@ -201,6 +209,15 @@ impl CompilerOptions {
         self
     }
 
+    /// Returns a copy with the lint suite switched on or off (see
+    /// [`CompilerOptions::lint`]). Lint never changes output trees — the
+    /// suite is prepare-only — but it does add a plan group, so sessions
+    /// include it in their config fingerprint.
+    pub fn with_lint(mut self, on: bool) -> CompilerOptions {
+        self.lint = on;
+        self
+    }
+
     /// The worker-thread count this configuration actually compiles with:
     /// `jobs` clamped to at least 1. Struct-literal construction can
     /// bypass [`CompilerOptions::with_jobs`]'s clamp with `jobs: 0`, so
@@ -262,6 +279,11 @@ pub struct Compiled {
     pub exec: miniphase::ExecStats,
     /// Tree-checker findings (only populated with `check`).
     pub check_failures: Vec<miniphase::CheckFailure>,
+    /// Static-analysis findings (only populated with
+    /// [`CompilerOptions::lint`]), sorted by the canonical
+    /// `(unit, span, rule, kind, msg)` key so the stream is identical
+    /// across execution modes, job counts and incremental replays.
+    pub findings: Vec<miniphase::Finding>,
     /// Number of fusion groups the plan produced.
     pub groups: usize,
     /// Worker threads the transform pipeline actually used — the requested
@@ -383,9 +405,36 @@ pub(crate) fn diagnostics_error(ds: Vec<mini_ir::Diagnostic>) -> CompileError {
 pub fn standard_plan(
     opts: &CompilerOptions,
 ) -> Result<(Vec<Box<dyn MiniPhase>>, PhasePlan), CompileError> {
-    let phases = mini_phases::standard_pipeline();
-    let plan = build_plan(&phases, &opts.plan_options()).map_err(CompileError::Plan)?;
-    Ok((phases, plan))
+    let std_phases = mini_phases::standard_pipeline();
+    let plan = build_plan(&std_phases, &opts.plan_options()).map_err(CompileError::Plan)?;
+    if opts.lint {
+        // The lint suite is a *prefix*: planned separately and prepended so
+        // its prepare-only group never fuses into the first transform group
+        // (the transform groups — and their stats — stay byte-identical to
+        // a lint-off run).
+        let mut phases = mini_analysis::lint_phases();
+        phases.extend(std_phases);
+        let plan = plan.with_prefix(mini_analysis::LINT_PHASE_COUNT, &opts.plan_options());
+        Ok((phases, plan))
+    } else {
+        Ok((std_phases, plan))
+    }
+}
+
+/// Builds the per-worker phase-list factory matching [`standard_plan`] for
+/// the same `lint` setting — executors construct one phase list per chunk.
+pub(crate) fn phase_factory(
+    lint: bool,
+) -> impl Fn() -> Vec<Box<dyn MiniPhase>> + Sync + Send + Copy {
+    move || {
+        if lint {
+            let mut phases = mini_analysis::lint_phases();
+            phases.extend(mini_phases::standard_pipeline());
+            phases
+        } else {
+            mini_phases::standard_pipeline()
+        }
+    }
 }
 
 /// Compiles a batch of named sources through the full pipeline.
@@ -428,7 +477,7 @@ pub fn compile_sources(
     };
     let run = miniphase::run_units_parallel_controlled(
         &mut ctx,
-        &mini_phases::standard_pipeline,
+        &phase_factory(opts.lint),
         &plan,
         opts.fusion,
         units,
@@ -444,6 +493,8 @@ pub fn compile_sources(
     }
     let (units, exec, failures, effective_jobs) =
         (run.units, run.stats, run.failures, run.effective_jobs);
+    let mut findings = run.findings;
+    miniphase::sort_findings(&mut findings);
     if ctx.has_errors() {
         return Err(diagnostics_error(std::mem::take(&mut ctx.errors)));
     }
@@ -467,6 +518,7 @@ pub fn compile_sources(
         },
         exec,
         check_failures: Vec::new(),
+        findings,
         groups,
         effective_jobs,
         reused_units: 0,

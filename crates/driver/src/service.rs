@@ -68,6 +68,7 @@
 //! worker finish (or deadline-out) its queued requests, joins all workers
 //! and returns the final per-tenant accounting.
 
+use crate::diagnostics::{self, Diagnostic};
 use crate::session::{CacheStats, CompileSession, MemoryFootprint};
 use crate::store::{SharedArtifactStore, StoreStats};
 use crate::{CompileError, CompilerOptions};
@@ -186,6 +187,12 @@ pub struct CompileResponse {
     /// `main`'s output lines when [`CompileRequest::run_main`] was set and
     /// the program ran to completion; the VM error message otherwise.
     pub output: Option<Vec<String>>,
+    /// Rendered diagnostics for this compile: every lint finding (when the
+    /// session lints) and checker failure (when it checks), joined against
+    /// the retained sources, in the canonical finding order. Findings
+    /// replayed from cache render identically to fresh ones — the join
+    /// happens here, not at detection time.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Why an admission was refused.
@@ -283,6 +290,12 @@ pub struct TenantStats {
     pub service_retries: u64,
     /// Completed requests that degraded to a sequential retry (ring 2).
     pub degraded_compiles: u64,
+    /// Lint findings reported across all completed compiles (cumulative;
+    /// a finding replayed from cache on a warm compile counts again —
+    /// this tracks what was *surfaced*, not what was *detected*).
+    pub findings_reported: u64,
+    /// Of those, findings with [`miniphase::Severity::Error`].
+    pub error_findings: u64,
     /// Panics that escaped *all* compile fences and were caught by the
     /// service's last-resort fence. Zero unless the fences regress.
     pub escaped_panics: u64,
@@ -582,6 +595,14 @@ fn worker(
                             if resp.retried_sequential {
                                 s.degraded_compiles += 1;
                             }
+                            for d in &resp.diagnostics {
+                                if d.code.starts_with('L') {
+                                    s.findings_reported += 1;
+                                    if d.severity == miniphase::Severity::Error {
+                                        s.error_findings += 1;
+                                    }
+                                }
+                            }
                         }
                         Err(ServiceError::Compile(CompileError::Budget(_))) => s.failed_budget += 1,
                         Err(ServiceError::Compile(CompileError::Internal { .. })) => {
@@ -637,6 +658,11 @@ fn serve_one(
                         Err(e) => vec![format!("vm error: {e:?}")],
                     }
                 });
+                let diags = diagnostics::render_compiled(
+                    &compiled.findings,
+                    &compiled.check_failures,
+                    |unit| session.source(unit),
+                );
                 return Ok(CompileResponse {
                     reused_units: compiled.reused_units,
                     recompiled_units: compiled.recompiled_units,
@@ -646,6 +672,7 @@ fn serve_one(
                     attempts,
                     latency: Duration::ZERO, // stamped by the worker
                     output,
+                    diagnostics: diags,
                 });
             }
             Ok(Err(e @ CompileError::Internal { .. })) if attempts <= config.retries => {
@@ -859,6 +886,52 @@ mod tests {
         assert!(
             report.tenants["chaos"].cache.worker_panics >= 1,
             "panic surfaced in counters"
+        );
+    }
+
+    #[test]
+    fn lint_diagnostics_surface_in_response_and_stats() {
+        let mut svc =
+            CompileService::new(ServiceConfig::new(CompilerOptions::fused().with_lint(true)));
+        svc.add_tenant("lin").expect("register");
+        let cold = svc
+            .submit("lin", cold_request())
+            .expect("admitted")
+            .wait()
+            .expect("compiles");
+        // Lint is observation-only: the program still runs identically.
+        assert_eq!(cold.output.as_deref(), Some(&["20".to_string()][..]));
+        // `spare` in a.ms is defined but never referenced in its unit.
+        let spare = cold
+            .diagnostics
+            .iter()
+            .find(|d| d.unit == "a.ms" && d.msg.contains("`spare`"))
+            .unwrap_or_else(|| panic!("unused-def surfaced: {:?}", cold.diagnostics));
+        assert_eq!(spare.code, "L001");
+        assert!(spare.line > 0, "joined against retained source");
+        assert!(
+            spare.rendered.contains(" --> a.ms:") && spare.rendered.contains('^'),
+            "caret rendering present:\n{}",
+            spare.rendered
+        );
+
+        // A warm no-op compile replays the cached findings byte-identically.
+        let warm = svc
+            .submit("lin", CompileRequest::new())
+            .expect("admitted")
+            .wait()
+            .expect("compiles");
+        assert_eq!(warm.recompiled_units, 0, "nothing dirty");
+        assert_eq!(
+            warm.diagnostics, cold.diagnostics,
+            "cache-replayed findings render identically"
+        );
+
+        let report = svc.drain();
+        let t = &report.tenants["lin"];
+        assert_eq!(
+            t.findings_reported,
+            (cold.diagnostics.len() + warm.diagnostics.len()) as u64
         );
     }
 

@@ -117,14 +117,15 @@
 
 use crate::store::{ArtifactKey, SharedArtifactStore, StoreLookup};
 use crate::{
-    diagnostics_error, standard_plan, CompileError, Compiled, CompilerOptions, StageTimes,
+    diagnostics_error, phase_factory, standard_plan, CompileError, Compiled, CompilerOptions,
+    StageTimes,
 };
 use mini_backend::generate;
 use mini_ir::fingerprint::{binding_fingerprint, export_interface_hash, source_fingerprint, Fnv64};
 use mini_ir::{Ctx, SymbolDelta, SymbolId, SymbolTable, TreeRef};
 use miniphase::{
-    CheckFailure, CompilationUnit, ExecStats, FaultPlan, IsolatedLayout, IsolatedUnitRun,
-    RunControls, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
+    sort_findings, CheckFailure, CompilationUnit, ExecStats, FaultPlan, Finding, IsolatedLayout,
+    IsolatedUnitRun, RunControls, UNIT_HEAP_STRIDE, UNIT_ID_STRIDE,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -229,6 +230,11 @@ struct UnitArtifact {
     stats_by_group: Vec<ExecStats>,
     /// Per-group checker findings (empty unless `check`).
     failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Per-group static-analysis findings (empty unless `lint`), each
+    /// stamped with this unit's name. Cached so warm edits replay lint
+    /// results without re-traversing — per-unit scoping of every rule is
+    /// what makes this sound.
+    findings_by_group: Vec<Vec<Finding>>,
     /// Filtered symbol-table delta (this unit's own symbols, builtins,
     /// root-package appends).
     delta: SymbolDelta,
@@ -460,6 +466,13 @@ impl CompileSession {
         self.staged.insert(name, Staged::Update(src));
     }
 
+    /// The retained source text of a compiled unit (staged-but-uncompiled
+    /// edits are not visible here). The diagnostics renderer joins
+    /// findings against this copy — see [`crate::diagnostics`].
+    pub fn source(&self, name: &str) -> Option<&str> {
+        self.units.get(name).map(|s| s.source.as_str())
+    }
+
     /// Stages a unit removal.
     pub fn remove(&mut self, name: impl Into<String>) {
         let name = name.into();
@@ -604,6 +617,7 @@ impl CompileSession {
                             tree: art.tree,
                             stats_by_group: art.stats_by_group,
                             failures_by_group: art.failures_by_group,
+                            findings_by_group: art.findings_by_group,
                             delta: art.delta,
                             stamp,
                             approx_bytes,
@@ -643,7 +657,7 @@ impl CompileSession {
             };
             let runs = miniphase::run_units_isolated(
                 &self.front,
-                &mini_phases::standard_pipeline,
+                &phase_factory(self.opts.lint),
                 &plan,
                 self.opts.fusion,
                 &inputs,
@@ -695,7 +709,7 @@ impl CompileSession {
                 };
                 let retry_runs = miniphase::run_units_isolated(
                     &self.front,
-                    &mini_phases::standard_pipeline,
+                    &phase_factory(self.opts.lint),
                     &plan,
                     self.opts.fusion,
                     &retry_inputs,
@@ -740,6 +754,7 @@ impl CompileSession {
         let be_start = Instant::now();
         let mut exec = ExecStats::default();
         let mut failure_groups: Vec<Vec<CheckFailure>> = vec![Vec::new(); groups];
+        let mut findings: Vec<Finding> = Vec::new();
         let mut table = self.front.symbols.clone();
         let mut trees: Vec<TreeRef> = Vec::with_capacity(self.units.len());
         let mut out_units: Vec<CompilationUnit> = Vec::with_capacity(self.units.len());
@@ -757,10 +772,16 @@ impl CompileSession {
                     .expect("group count matches the plan")
                     .extend(fs.iter().cloned());
             }
+            for fs in &a.findings_by_group {
+                findings.extend(fs.iter().cloned());
+            }
             table.adopt(a.delta.clone());
             trees.push(a.tree.clone());
             out_units.push(CompilationUnit::new(name.clone(), a.tree.clone()));
         }
+        // The canonical sort makes spliced-from-cache and freshly-compiled
+        // assemblies byte-identical regardless of unit iteration order.
+        sort_findings(&mut findings);
         let failures: Vec<CheckFailure> = failure_groups.into_iter().flatten().collect();
         if self.opts.check && !failures.is_empty() {
             // The pipeline completed and the artifacts are valid — findings
@@ -787,6 +808,7 @@ impl CompileSession {
             },
             exec,
             check_failures: Vec::new(),
+            findings,
             groups,
             effective_jobs,
             reused_units: self.units.len() - dirty.len(),
@@ -854,6 +876,7 @@ impl CompileSession {
             tree: run.unit.tree,
             stats_by_group: run.stats_by_group,
             failures_by_group: run.failures_by_group,
+            findings_by_group: run.findings_by_group,
             delta,
             stamp,
             approx_bytes,
@@ -874,6 +897,7 @@ impl CompileSession {
                     &a.tree,
                     &a.stats_by_group,
                     &a.failures_by_group,
+                    &a.findings_by_group,
                     a.delta.clone(),
                     a.sym_range,
                 ) {
@@ -1101,8 +1125,8 @@ fn slot_span(floor: u32, n: u32) -> u32 {
 fn config_fingerprint(opts: &CompilerOptions) -> u64 {
     let mut h = Fnv64::new();
     h.str(&format!(
-        "{:?}|{}|{:?}|{:?}",
-        opts.mode, opts.check, opts.fusion, opts.max_group_size
+        "{:?}|{}|{:?}|{:?}|{}",
+        opts.mode, opts.check, opts.fusion, opts.max_group_size, opts.lint
     ));
     if let Ok((phases, plan)) = standard_plan(opts) {
         h.str(&plan.describe(&phases));

@@ -50,7 +50,7 @@
 //! never a cache flush and never a wrong answer.
 
 use mini_ir::{Ctx, IrOptions, SymbolDelta, TreeRef};
-use miniphase::{CheckFailure, ExecStats, FaultPlan};
+use miniphase::{CheckFailure, ExecStats, FaultPlan, Finding};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -81,6 +81,11 @@ pub struct StoredArtifact {
     pub stats_by_group: Vec<ExecStats>,
     /// Per-group checker findings (empty unless the config checks).
     pub failures_by_group: Vec<Vec<CheckFailure>>,
+    /// Per-group lint findings (empty unless the config lints). Rides the
+    /// store as plain owned payload: the integrity checksum covers the
+    /// tree only, but key determinism (same key ⇒ same compile ⇒ same
+    /// findings) makes replaying cached findings output-neutral.
+    pub findings_by_group: Vec<Vec<Finding>>,
     /// Filtered symbol delta (the unit's own symbols, builtins, root-pkg
     /// appends — exactly what a session splices).
     pub delta: SymbolDelta,
@@ -94,6 +99,7 @@ struct StoreEntry {
     tree: TreeRef,
     stats_by_group: Vec<ExecStats>,
     failures_by_group: Vec<Vec<CheckFailure>>,
+    findings_by_group: Vec<Vec<Finding>>,
     delta: SymbolDelta,
     sym_range: (u32, u32),
     /// Integrity stamp of the master tree (see [`integrity_checksum`]).
@@ -236,6 +242,7 @@ impl SharedArtifactStore {
         tree: &TreeRef,
         stats_by_group: &[ExecStats],
         failures_by_group: &[Vec<CheckFailure>],
+        findings_by_group: &[Vec<Finding>],
         delta: SymbolDelta,
         sym_range: (u32, u32),
     ) -> bool {
@@ -255,6 +262,7 @@ impl SharedArtifactStore {
                 tree: master,
                 stats_by_group: stats_by_group.to_vec(),
                 failures_by_group: failures_by_group.to_vec(),
+                findings_by_group: findings_by_group.to_vec(),
                 delta,
                 sym_range,
                 checksum,
@@ -317,6 +325,7 @@ impl SharedArtifactStore {
             tree: dest.import_tree(&entry.tree),
             stats_by_group: entry.stats_by_group.clone(),
             failures_by_group: entry.failures_by_group.clone(),
+            findings_by_group: entry.findings_by_group.clone(),
             delta: entry.delta.clone(),
             sym_range: entry.sym_range,
         };

@@ -533,8 +533,12 @@ impl Parser {
             if prec < min_prec {
                 break;
             }
-            let span = self.bump().span;
+            let op_span = self.bump().span;
             let rhs = self.infix(prec + 1)?;
+            // The node's span covers the whole `lhs op rhs` expression, not
+            // just the operator token — enclosing spans (ValDef, Block
+            // statements) union over it, and lint findings anchor on it.
+            let span = lhs.span().union(op_span).union(rhs.span());
             lhs = SExpr::Binary(op, Box::new(lhs), Box::new(rhs), span);
         }
         Ok(lhs)

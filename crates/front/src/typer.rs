@@ -1168,16 +1168,29 @@ impl<'a> Typer<'a> {
                 return self.error_tree(span, format!("unknown operator `{other}`"));
             }
         };
-        let sel = self.ctx.select(
-            l,
-            op,
-            SymbolId::NONE,
+        // Stamp the full `lhs op rhs` source span on the desugared call so
+        // downstream diagnostics (lint findings, checker failures) anchor on
+        // real source positions instead of SYNTHETIC.
+        let sel = self.ctx.mk(
+            TreeKind::Select {
+                qual: l,
+                name: op,
+                sym: SymbolId::NONE,
+            },
             Type::Method {
                 params: vec![vec![arg_t]],
                 ret: Box::new(result.clone()),
             },
+            span,
         );
-        self.ctx.apply(sel, vec![r], result)
+        self.ctx.mk(
+            TreeKind::Apply {
+                fun: sel,
+                args: vec![r].into(),
+            },
+            result,
+            span,
+        )
     }
 
     fn type_select(&mut self, qual: &SExpr, name: Name, span: Span, fun_position: bool) -> TreeRef {

@@ -126,7 +126,27 @@ fn gen_unit(rng: &mut StdRng, uid: usize, target: usize) -> String {
         }
         out.push('\n');
     }
+    gen_lint_seed(&mut out, &p, (uid % 7 + 2) as i64);
     out
+}
+
+/// Deterministic lint-seed block appended to every generated unit: one
+/// unused top-level def with an unused local and an unreachable tail
+/// (after a `throw` terminator), and one constant-condition branch. The
+/// seeded defs are never called, so the corpus's VM output is untouched;
+/// their constants derive from the unit id only, so body edits of a
+/// linked corpus never perturb them. Gives the static-analysis suite
+/// known-position work in every benchmark corpus.
+fn gen_lint_seed(out: &mut String, p: &str, k: i64) {
+    out.push_str(&format!(
+        r#"def {p}lintSeedDead(n: Int): Int = {{
+  val lintSeedLocal: Int = n * {k}
+  throw "lint-seed"
+  n + {k}
+}}
+def {p}lintSeedCond(n: Int): Int = if (true) n + {k} else n - {k}
+"#,
+    ));
 }
 
 /// A trait with a field, a lazy val and a default method, plus a class
@@ -454,6 +474,12 @@ def {p}drive(n: Int): Int = {{
   val f: (Int) => Int = (x: Int) => b.poke(x) + {p}entry(x)
   f(n) + b.tag(n * {k4})
 }}
+def {p}lintSeedDead(n: Int): Int = {{
+  val lintSeedLocal: Int = n * {k1}
+  throw "lint-seed"
+  n + {k1}
+}}
+def {p}lintSeedCond(n: Int): Int = if (true) n + {k4} else n - {k4}
 "#
     )
 }
@@ -762,6 +788,43 @@ mod tests {
             a.edits.iter().any(|e| e.unit == client_unit_name(0)),
             "private edits present"
         );
+    }
+
+    #[test]
+    fn every_generated_unit_carries_the_lint_seed() {
+        let w = generate(&WorkloadConfig::small());
+        for (name, src) in &w.units {
+            if name == "main.ms" {
+                continue; // the tiny driver unit is seed-free by design
+            }
+            assert!(src.contains("lintSeedDead"), "{name}: unused-def seed");
+            assert!(src.contains("lintSeedLocal"), "{name}: unused-local seed");
+            assert!(
+                src.contains("throw \"lint-seed\""),
+                "{name}: unreachable-tail seed"
+            );
+            assert!(src.contains("if (true)"), "{name}: const-cond seed");
+        }
+    }
+
+    #[test]
+    fn linked_lint_seed_is_edit_invariant() {
+        // The seed block derives from the unit id alone: body salts and
+        // signature toggles must leave it byte-identical, so incremental
+        // replays of an edit series keep seeded findings stable.
+        let cfg = LinkedConfig { units: 5, seed: 11 };
+        let seed_lines = |s: &str| -> Vec<String> {
+            s.lines()
+                .skip_while(|l| !l.contains("lintSeedDead"))
+                .map(str::to_owned)
+                .collect()
+        };
+        for uid in 0..cfg.units {
+            let v0 = seed_lines(&linked_unit_source(&cfg, uid, 0, 0));
+            assert!(!v0.is_empty(), "unit {uid} carries the seed");
+            assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 9, 0)));
+            assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 0, 1)));
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * [`mini_ir`] — trees, types, symbols, instrumentation hooks;
 //! * [`mini_front`] — the MiniScala lexer/parser/namer/typer;
 //! * [`mini_phases`] — the concrete lowering Miniphases (Table 2 analogue);
+//! * [`mini_analysis`] — the prepare-only static-analysis (lint) suite;
 //! * [`mini_backend`] — bytecode generator and VM;
 //! * [`mini_driver`] — end-to-end pipelines and experiment runners;
 //! * [`gc_sim`] / [`cache_sim`] — the measurement substrates for the paper's
@@ -18,6 +19,7 @@
 
 pub use cache_sim;
 pub use gc_sim;
+pub use mini_analysis;
 pub use mini_backend;
 pub use mini_driver;
 pub use mini_front;

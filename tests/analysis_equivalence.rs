@@ -1,0 +1,205 @@
+//! The static-analysis suite's three-way equivalence pin.
+//!
+//! The same findings — same rules, same spans, same messages, same
+//! canonical order — must come out of
+//!
+//! 1. the **fused pipeline** (the prepare-only lint group riding
+//!    `compile_sources` with [`CompilerOptions::with_lint`]),
+//! 2. the **reference executor** (`Pipeline::run_units_reference`, the
+//!    retained recursive specification), and
+//! 3. a **standalone traversal** (`mini_analysis::lint_unit`, a dedicated
+//!    pre-order walk outside any pipeline),
+//!
+//! across fused/mega plans × jobs ∈ {1, 4} × subtree pruning
+//! {Off, On, Auto} × the dynamic checker. Pruning is the sharp edge: the
+//! executor may only skip subtrees containing no kind in the lint masks,
+//! so a pruned run dropping (or duplicating) a finding is a soundness bug,
+//! not a tolerable approximation.
+//!
+//! The second property pins the incremental surface: an edit series
+//! replayed through a linted [`CompileSession`] must report byte-identical
+//! findings to a from-scratch `compile_sources` over the same sources
+//! after every edit — cached findings splice back exactly as fresh ones.
+
+use miniphases::mini_driver::{compile_sources, standard_plan, CompileSession, CompilerOptions};
+use miniphases::mini_ir::Ctx;
+use miniphases::miniphase::{sort_findings, CompilationUnit, Finding, Pipeline, SubtreePruning};
+use miniphases::{mini_analysis, mini_front, workload};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Frontend-compiles a corpus into typed units (shared by the reference
+/// and standalone arms; the fused arm drives the full driver instead).
+fn frontend(units: &[(String, String)], opts: &CompilerOptions) -> (Ctx, Vec<CompilationUnit>) {
+    let mut ctx = Ctx::new();
+    opts.configure_ctx(&mut ctx);
+    let mut out = Vec::new();
+    for (n, s) in units {
+        let t = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+        out.push(CompilationUnit::new(t.name, t.tree));
+    }
+    assert!(!ctx.has_errors(), "corpus type-checks");
+    (ctx, out)
+}
+
+fn fused_findings(units: &[(String, String)], opts: &CompilerOptions) -> Vec<Finding> {
+    let refs: Vec<(&str, &str)> = units
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    compile_sources(&refs, opts).expect("compiles").findings
+}
+
+fn reference_findings(units: &[(String, String)], opts: &CompilerOptions) -> Vec<Finding> {
+    let (mut ctx, typed) = frontend(units, opts);
+    let (phases, plan) = standard_plan(opts).expect("plan");
+    let mut pipe = Pipeline::new(phases, &plan, opts.fusion);
+    let out = pipe.run_units_reference(&mut ctx, typed);
+    drop(out);
+    let mut findings = std::mem::take(&mut pipe.findings);
+    sort_findings(&mut findings);
+    findings
+}
+
+fn standalone_findings(units: &[(String, String)], opts: &CompilerOptions) -> Vec<Finding> {
+    let (ctx, typed) = frontend(units, opts);
+    let mut findings = Vec::new();
+    for u in &typed {
+        findings.extend(mini_analysis::lint_unit(&ctx.symbols, &u.name, &u.tree));
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+fn opts_for(mode: u8, jobs: usize, prune: u8, check: bool) -> CompilerOptions {
+    let base = if mode.is_multiple_of(2) {
+        CompilerOptions::fused()
+    } else {
+        CompilerOptions::mega()
+    };
+    base.with_pruning_mode(match prune % 3 {
+        0 => SubtreePruning::Off,
+        1 => SubtreePruning::On,
+        _ => SubtreePruning::Auto,
+    })
+    .with_jobs(jobs)
+    .with_check(check)
+    .with_lint(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fused_matches_reference_and_standalone(
+        seed in 0u64..10_000,
+        loc in 200usize..700,
+        mode in 0u8..2,
+        jobs_pick in 0u8..2,
+        prune in 0u8..3,
+        check in 0u8..2,
+    ) {
+        let jobs = if jobs_pick == 0 { 1 } else { 4 };
+        let opts = opts_for(mode, jobs, prune, check == 1);
+        let w = workload::generate(&workload::WorkloadConfig {
+            target_loc: loc,
+            seed,
+            unit_loc: 250,
+        });
+
+        let fused = fused_findings(&w.units, &opts);
+        prop_assert!(
+            !fused.is_empty(),
+            "the seeded corpus must produce findings (generator seeds regressed?)"
+        );
+        let reference = reference_findings(&w.units, &opts);
+        let standalone = standalone_findings(&w.units, &opts);
+        prop_assert_eq!(
+            &fused, &reference,
+            "fused pipeline != reference executor (jobs {}, prune {})", jobs, prune
+        );
+        prop_assert_eq!(
+            &fused, &standalone,
+            "fused pipeline != standalone traversal (jobs {}, prune {})", jobs, prune
+        );
+    }
+
+    #[test]
+    fn incremental_findings_match_from_scratch(
+        corpus_seed in 0u64..10_000,
+        edit_seed in 0u64..10_000,
+        units in 4usize..8,
+        mode in 0u8..2,
+        jobs_pick in 0u8..2,
+        prune in 0u8..3,
+    ) {
+        let jobs = if jobs_pick == 0 { 1 } else { 4 };
+        let opts = opts_for(mode, jobs, prune, false);
+        let cfg = workload::LinkedConfig { units, seed: corpus_seed };
+        let script = workload::edit_series(&cfg, 4, edit_seed);
+
+        let mut sources: BTreeMap<String, String> =
+            script.base.units.iter().cloned().collect();
+        let mut session = CompileSession::new(opts);
+        for (n, s) in &sources {
+            session.update(n.clone(), s.clone());
+        }
+        let scratch = |sources: &BTreeMap<String, String>| -> Vec<Finding> {
+            let owned: Vec<(String, String)> = sources
+                .iter()
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect();
+            fused_findings(&owned, &opts)
+        };
+
+        let cold = session.compile().expect("cold compile").findings;
+        prop_assert!(!cold.is_empty(), "seeded linked corpus must produce findings");
+        prop_assert_eq!(&cold, &scratch(&sources), "cold findings mismatch");
+
+        for (i, edit) in script.edits.iter().enumerate() {
+            sources.insert(edit.unit.clone(), edit.source.clone());
+            session.update(edit.unit.clone(), edit.source.clone());
+            let warm = session.compile().expect("warm compile");
+            // Body edits splice most findings back from cache — they must
+            // still be byte-identical to a fresh detection pass.
+            prop_assert_eq!(
+                &warm.findings,
+                &scratch(&sources),
+                "after edit {} ({:?} on {}): cached findings != from-scratch",
+                i, edit.kind, edit.unit
+            );
+        }
+    }
+}
+
+/// Lint is observation-only: turning it on changes no output tree, no VM
+/// output and no transform-group accounting (the lint group is a plan
+/// *prefix*, so the transform groups' own stats stay byte-identical).
+#[test]
+fn lint_is_output_neutral() {
+    let w = workload::generate(&workload::WorkloadConfig {
+        target_loc: 400,
+        seed: 17,
+        unit_loc: 200,
+    });
+    let refs: Vec<(&str, &str)> = w
+        .units
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let plain = compile_sources(&refs, &CompilerOptions::fused()).expect("compiles");
+    let linted =
+        compile_sources(&refs, &CompilerOptions::fused().with_lint(true)).expect("compiles");
+    assert!(plain.findings.is_empty(), "lint off must report nothing");
+    assert!(!linted.findings.is_empty(), "lint on must report the seeds");
+    let mut vm_a = miniphases::mini_backend::Vm::new(&plain.program);
+    let mut vm_b = miniphases::mini_backend::Vm::new(&linted.program);
+    vm_a.run_main().expect("runs");
+    vm_b.run_main().expect("runs");
+    assert_eq!(vm_a.out, vm_b.out, "lint must not change program behaviour");
+    assert_eq!(
+        linted.groups,
+        plain.groups + 1,
+        "lint adds exactly one (prefix) group"
+    );
+}
