@@ -1,0 +1,999 @@
+//! Control-flow graph construction for the dataflow suite.
+//!
+//! Each `DefDef` body in a unit (and the unit's top-level statement region)
+//! is lowered into a small CFG of [`Block`]s holding **linearized events**
+//! in evaluation order — reads ([`EventKind::Use`]), writes
+//! ([`EventKind::Assign`]) and declarations ([`EventKind::Decl`]) of
+//! *method-local* variables — with explicit edges for `If`/`Match` arms,
+//! `While` back-edges, `Try`/`Throw` exceptional flow, `Return` and
+//! `Labeled`/`JumpTo` loops. Every graph has one entry ([`ENTRY`], no
+//! events) and exactly one exit ([`EXIT`], no successors); spans are
+//! retained per event so rule reports stay span-exact.
+//!
+//! ## What is tracked
+//!
+//! Only *locals* — term symbols owned directly by a method, excluding
+//! parameters, synthetics and `self` — get events, and only when their
+//! `ValDef` appears inside the region being lowered. Anything referenced
+//! from a nested `Lambda`, `DefDef` or `ClassDef` subtree is recorded as
+//! **escaped** ([`VarInfo::escaped`]): its lifetime is no longer described
+//! by this graph (the closure may run at any time), so every client
+//! analysis treats escaped variables conservatively (no reports, no
+//! elimination). Nested `DefDef` bodies get their own CFGs from
+//! [`build_unit_cfgs`].
+//!
+//! ## Exceptional edges
+//!
+//! Blocks created inside a `try` region carry the region's handler (and
+//! finalizer) entries in [`Block::exc_succs`]: control may leave the block
+//! from *any* event point, not just its end. The solver and its clients
+//! honor that by propagating block-**entry** facts (not exit facts) along
+//! exceptional edges — see [`crate::dataflow`] for the precise semantics.
+//! Explicit `throw` statements get a precise *normal* edge to the
+//! innermost handler entries (every prior event has executed by then).
+
+use std::collections::HashMap;
+
+use mini_ir::{Constant, Flags, NodeKind, Span, SymbolId, SymbolTable, TreeKind, TreeRef};
+
+/// Index of a block within [`Cfg::blocks`].
+pub type BlockId = usize;
+
+/// The entry block: always index 0, no events, no predecessors.
+pub const ENTRY: BlockId = 0;
+/// The single exit block: always index 1, no events, no successors.
+pub const EXIT: BlockId = 1;
+
+/// One linearized occurrence of a tracked variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The variable is read.
+    Use,
+    /// The variable is written by an `Assign` statement.
+    Assign {
+        /// `Some` when the right-hand side is a literal constant.
+        literal: Option<Constant>,
+    },
+    /// The variable's `ValDef` executes.
+    Decl {
+        /// False for `val x: T` declared without an initializer (the shape
+        /// L004 exists for); re-executing such a declaration — e.g. on a
+        /// loop back-edge — *un*-assigns the variable.
+        init: bool,
+        /// `Some` when the initializer is a literal constant.
+        literal: Option<Constant>,
+    },
+}
+
+/// One event: what happened, to which variable, where.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Kind of occurrence.
+    pub kind: EventKind,
+    /// Index into [`Cfg::vars`].
+    pub var: u32,
+    /// Source span of the occurrence (the whole `Assign` for writes).
+    pub span: Span,
+}
+
+/// A basic block: straight-line events plus outgoing edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Events in evaluation order.
+    pub events: Vec<Event>,
+    /// Normal successors (fall-through, branch targets, back-edges).
+    pub succs: Vec<BlockId>,
+    /// Exceptional successors — handler/finalizer entries of every
+    /// enclosing `try` region. Control may take these edges from *any*
+    /// point in the block.
+    pub exc_succs: Vec<BlockId>,
+    /// Normal predecessors (computed when the graph is sealed).
+    pub preds: Vec<BlockId>,
+    /// Exceptional predecessors (computed when the graph is sealed).
+    pub exc_preds: Vec<BlockId>,
+}
+
+/// Where a branch condition's value comes from, for the
+/// constant-propagation rule (L007) and the DCE transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondSource {
+    /// A literal boolean — L005's business, recorded for completeness.
+    Lit(bool),
+    /// A read of a tracked variable (index into [`Cfg::vars`]).
+    Var(u32),
+    /// Anything else.
+    Opaque,
+}
+
+/// One `If`/`While` decision point, recorded at lowering time.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchSite {
+    /// The block whose terminator this branch is.
+    pub block: BlockId,
+    /// `NodeKind::If` or `NodeKind::While`.
+    pub node_kind: NodeKind,
+    /// Span of the whole `If`/`While` node.
+    pub span: Span,
+    /// Condition source.
+    pub cond: CondSource,
+}
+
+/// One tracked variable.
+#[derive(Clone, Debug)]
+pub struct VarInfo {
+    /// The variable's symbol.
+    pub sym: SymbolId,
+    /// Its name (for report messages).
+    pub name: String,
+    /// True when the variable is referenced from a nested
+    /// `Lambda`/`DefDef`/`ClassDef` subtree: excluded from every report
+    /// and from elimination.
+    pub escaped: bool,
+    /// True when some `Decl` event for it has `init: false`.
+    pub declared_without_init: bool,
+    /// Number of `Use` events across the graph.
+    pub use_count: u32,
+    /// Number of defs (`Assign` + initialized `Decl`) across the graph.
+    pub def_count: u32,
+    /// `Some(c)` when the variable is *bound once to a literal*: its only
+    /// def is an initialized `Decl` with literal `c`, and it never
+    /// escapes. Such a variable reads as `c` at every use.
+    pub bound_once: Option<Constant>,
+}
+
+/// A control-flow graph for one method body or the unit's top level.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// The owning method's name, or `"<top>"` for the unit region.
+    pub name: String,
+    /// The owning method symbol ([`SymbolId::NONE`] for the top region).
+    pub method: SymbolId,
+    /// Blocks; `[ENTRY]` and `[EXIT]` are always present.
+    pub blocks: Vec<Block>,
+    /// Tracked variables.
+    pub vars: Vec<VarInfo>,
+    /// `If`/`While` decision points, in lowering order.
+    pub branches: Vec<BranchSite>,
+    /// Per block: reachable from [`ENTRY`] along any edge kind. Blocks
+    /// after a `return`/`throw`/jump terminator are legitimately
+    /// unreachable; analyses skip reporting inside them.
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Indices of blocks not reachable from [`ENTRY`].
+    pub fn unreachable_blocks(&self) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .filter(|&b| !self.reachable[b])
+            .collect()
+    }
+
+    /// Structural well-formedness: every edge target in range, edge lists
+    /// deduplicated, `EXIT` has no successors and no events, `ENTRY` has
+    /// no predecessors, and pred/succ lists are mutually consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant. The shipped
+    /// builder never produces one; the property tests call this on every
+    /// generated corpus.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.blocks.len();
+        if n < 2 {
+            return Err("graph must contain entry and exit".into());
+        }
+        if !self.blocks[EXIT].succs.is_empty() || !self.blocks[EXIT].exc_succs.is_empty() {
+            return Err("exit block has successors".into());
+        }
+        if !self.blocks[EXIT].events.is_empty() {
+            return Err("exit block has events".into());
+        }
+        if !self.blocks[ENTRY].preds.is_empty() || !self.blocks[ENTRY].exc_preds.is_empty() {
+            return Err("entry block has predecessors".into());
+        }
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for lists in [
+                (&b.succs, "succ"),
+                (&b.exc_succs, "exc_succ"),
+                (&b.preds, "pred"),
+                (&b.exc_preds, "exc_pred"),
+            ] {
+                let (list, what) = lists;
+                for &t in list.iter() {
+                    if t >= n {
+                        return Err(format!("block {bi}: {what} {t} out of range"));
+                    }
+                }
+                let mut seen = list.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                if seen.len() != list.len() {
+                    return Err(format!("block {bi}: duplicate {what} edge"));
+                }
+            }
+            for e in &b.events {
+                if e.var as usize >= self.vars.len() {
+                    return Err(format!("block {bi}: event var {} out of range", e.var));
+                }
+            }
+            for &s in &b.succs {
+                if !self.blocks[s].preds.contains(&bi) {
+                    return Err(format!("block {bi} -> {s}: missing back pred"));
+                }
+            }
+            for &s in &b.exc_succs {
+                if !self.blocks[s].exc_preds.contains(&bi) {
+                    return Err(format!("block {bi} -> {s}: missing back exc pred"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when `sym` is a trackable local: a non-parameter, non-synthetic
+/// term owned directly by a method.
+fn trackable(symbols: &SymbolTable, sym: SymbolId) -> bool {
+    if !sym.exists() {
+        return false;
+    }
+    let info = symbols.sym(sym);
+    if info
+        .flags
+        .is_any(Flags::PARAM | Flags::SYNTHETIC | Flags::SELF)
+    {
+        return false;
+    }
+    let owner = info.owner;
+    owner.exists() && symbols.sym(owner).flags.is(Flags::METHOD)
+}
+
+/// Lowers every `DefDef` body in `tree` (plus the top-level statement
+/// region) into CFGs, in pre-order encounter order with the `<top>` region
+/// first. Abstract methods (empty rhs) are skipped.
+pub fn build_unit_cfgs(symbols: &SymbolTable, tree: &TreeRef) -> Vec<Cfg> {
+    let mut out = vec![build_region_cfg(symbols, SymbolId::NONE, "<top>", tree)];
+    // Explicit-stack pre-order walk collecting every DefDef body.
+    let mut stack: Vec<TreeRef> = vec![tree.clone()];
+    while let Some(t) = stack.pop() {
+        if let TreeKind::DefDef { sym, rhs, .. } = t.kind() {
+            if !rhs.is_empty_tree() {
+                let name = if sym.exists() {
+                    symbols.sym(*sym).name.to_string()
+                } else {
+                    "<anon>".to_string()
+                };
+                out.push(build_region_cfg(symbols, *sym, &name, rhs));
+            }
+        }
+        let mut kids: Vec<TreeRef> = Vec::new();
+        t.for_each_child(&mut |c| kids.push(c.clone()));
+        stack.extend(kids.into_iter().rev());
+    }
+    out
+}
+
+/// Lowers one region (a method body, or a whole unit tree treated as the
+/// top-level statement region) into a CFG.
+pub fn build_region_cfg(
+    symbols: &SymbolTable,
+    method: SymbolId,
+    name: &str,
+    root: &TreeRef,
+) -> Cfg {
+    let mut b = Builder {
+        symbols,
+        blocks: vec![Block::default(), Block::default()],
+        cur: ENTRY,
+        vars: Vec::new(),
+        var_ix: HashMap::new(),
+        handlers: Vec::new(),
+        labels: Vec::new(),
+        branches: Vec::new(),
+    };
+    b.lower(root);
+    let end = b.cur;
+    b.edge(end, EXIT);
+    b.seal(name, method)
+}
+
+struct Builder<'a> {
+    symbols: &'a SymbolTable,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    vars: Vec<VarInfo>,
+    var_ix: HashMap<SymbolId, u32>,
+    /// Stack of enclosing `try` regions; each entry is the region's
+    /// exceptional targets (handler entries, then the finalizer entry).
+    handlers: Vec<Vec<BlockId>>,
+    /// Enclosing `Labeled` targets, innermost last.
+    labels: Vec<(SymbolId, BlockId)>,
+    branches: Vec<BranchSite>,
+}
+
+impl Builder<'_> {
+    /// Creates a block stamped with the current exceptional targets.
+    fn new_block(&mut self) -> BlockId {
+        let id = self.blocks.len();
+        let mut exc: Vec<BlockId> = Vec::new();
+        for region in &self.handlers {
+            for &h in region {
+                if !exc.contains(&h) {
+                    exc.push(h);
+                }
+            }
+        }
+        self.blocks.push(Block {
+            exc_succs: exc,
+            ..Block::default()
+        });
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn var_of(&mut self, sym: SymbolId) -> Option<u32> {
+        self.var_ix.get(&sym).copied()
+    }
+
+    fn declare(&mut self, sym: SymbolId) -> u32 {
+        if let Some(v) = self.var_ix.get(&sym) {
+            return *v;
+        }
+        let v = self.vars.len() as u32;
+        self.vars.push(VarInfo {
+            sym,
+            name: self.symbols.sym(sym).name.to_string(),
+            escaped: false,
+            declared_without_init: false,
+            use_count: 0,
+            def_count: 0,
+            bound_once: None,
+        });
+        self.var_ix.insert(sym, v);
+        v
+    }
+
+    fn emit(&mut self, kind: EventKind, var: u32, span: Span) {
+        self.blocks[self.cur].events.push(Event { kind, var, span });
+    }
+
+    fn literal_of(t: &TreeRef) -> Option<Constant> {
+        match t.kind() {
+            TreeKind::Literal { value } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Marks every tracked variable referenced anywhere under `t` (a
+    /// nested `Lambda`/`DefDef`/`ClassDef` subtree) as escaped.
+    fn mark_escapes(&mut self, t: &TreeRef) {
+        let mut stack: Vec<TreeRef> = vec![t.clone()];
+        while let Some(n) = stack.pop() {
+            let sym = match n.kind() {
+                TreeKind::Ident { sym } => *sym,
+                TreeKind::ValDef { sym, .. } => *sym,
+                _ => SymbolId::NONE,
+            };
+            if sym.exists() {
+                if let Some(v) = self.var_ix.get(&sym) {
+                    self.vars[*v as usize].escaped = true;
+                }
+            }
+            let mut kids: Vec<TreeRef> = Vec::new();
+            n.for_each_child(&mut |c| kids.push(c.clone()));
+            stack.extend(kids);
+        }
+    }
+
+    /// Appends `t`'s events to the current block in evaluation order,
+    /// splitting blocks at control flow. `self.cur` ends at the block
+    /// where control continues after `t`.
+    fn lower(&mut self, t: &TreeRef) {
+        match t.kind() {
+            TreeKind::Empty
+            | TreeKind::Literal { .. }
+            | TreeKind::Unresolved { .. }
+            | TreeKind::New { .. }
+            | TreeKind::This { .. }
+            | TreeKind::Super { .. } => {}
+            TreeKind::Ident { sym } => {
+                if let Some(v) = self.var_of(*sym) {
+                    self.emit(EventKind::Use, v, t.span());
+                }
+            }
+            TreeKind::Select { qual, .. } => self.lower(qual),
+            TreeKind::Apply { fun, args } => {
+                self.lower(fun);
+                for a in args.iter() {
+                    self.lower(a);
+                }
+            }
+            TreeKind::TypeApply { fun, .. } => self.lower(fun),
+            TreeKind::Typed { expr, .. }
+            | TreeKind::Cast { expr, .. }
+            | TreeKind::IsInstance { expr, .. } => self.lower(expr),
+            TreeKind::SeqLiteral { elems, .. } => {
+                for e in elems.iter() {
+                    self.lower(e);
+                }
+            }
+            TreeKind::Assign { lhs, rhs } => {
+                // Evaluation order: the rhs value is computed, then stored.
+                self.lower(rhs);
+                if let TreeKind::Ident { sym } = lhs.kind() {
+                    if let Some(v) = self.var_of(*sym) {
+                        self.emit(
+                            EventKind::Assign {
+                                literal: Self::literal_of(rhs),
+                            },
+                            v,
+                            t.span(),
+                        );
+                    }
+                } else {
+                    // Field stores: the receiver is evaluated (a read).
+                    self.lower(lhs);
+                }
+            }
+            TreeKind::Block { stats, expr } => {
+                for s in stats.iter() {
+                    self.lower(s);
+                }
+                self.lower(expr);
+            }
+            TreeKind::ValDef { sym, rhs } => {
+                self.lower(rhs);
+                if trackable(self.symbols, *sym) {
+                    let v = self.declare(*sym);
+                    let init = !rhs.is_empty_tree();
+                    if !init {
+                        self.vars[v as usize].declared_without_init = true;
+                    }
+                    self.emit(
+                        EventKind::Decl {
+                            init,
+                            literal: Self::literal_of(rhs),
+                        },
+                        v,
+                        t.span(),
+                    );
+                }
+            }
+            TreeKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.lower(cond);
+                self.branches.push(BranchSite {
+                    block: self.cur,
+                    node_kind: NodeKind::If,
+                    span: t.span(),
+                    cond: self.cond_source(cond),
+                });
+                let from = self.cur;
+                let join = self.new_block();
+                let then_entry = self.new_block();
+                self.edge(from, then_entry);
+                self.cur = then_entry;
+                self.lower(then_branch);
+                let then_end = self.cur;
+                self.edge(then_end, join);
+                if else_branch.is_empty_tree() {
+                    self.edge(from, join);
+                } else {
+                    let else_entry = self.new_block();
+                    self.edge(from, else_entry);
+                    self.cur = else_entry;
+                    self.lower(else_branch);
+                    let else_end = self.cur;
+                    self.edge(else_end, join);
+                }
+                self.cur = join;
+            }
+            TreeKind::While { cond, body } => {
+                let header = self.new_block();
+                let from = self.cur;
+                self.edge(from, header);
+                self.cur = header;
+                self.lower(cond);
+                // Cond events may split blocks; the branch decision sits at
+                // whatever block the condition ended in.
+                let decide = self.cur;
+                self.branches.push(BranchSite {
+                    block: decide,
+                    node_kind: NodeKind::While,
+                    span: t.span(),
+                    cond: self.cond_source(cond),
+                });
+                let after = self.new_block();
+                let body_entry = self.new_block();
+                self.edge(decide, body_entry);
+                self.edge(decide, after);
+                self.cur = body_entry;
+                self.lower(body);
+                let body_end = self.cur;
+                self.edge(body_end, header); // back-edge
+                self.cur = after;
+            }
+            TreeKind::Match { selector, cases } => {
+                self.lower(selector);
+                let from = self.cur;
+                let join = self.new_block();
+                for c in cases.iter() {
+                    let entry = self.new_block();
+                    self.edge(from, entry);
+                    self.cur = entry;
+                    if let TreeKind::CaseDef { pat, guard, body } = c.kind() {
+                        self.lower_pattern(pat);
+                        self.lower(guard);
+                        self.lower(body);
+                    }
+                    let end = self.cur;
+                    self.edge(end, join);
+                }
+                // No direct selector -> join edge: a non-matching scrutinee
+                // throws (exceptional path), it does not fall through.
+                self.cur = join;
+            }
+            TreeKind::Try {
+                block,
+                cases,
+                finalizer,
+            } => {
+                let has_fin = !finalizer.is_empty_tree();
+                // Targets created *outside* the new region: they are
+                // protected by enclosing regions only.
+                let handler_entries: Vec<BlockId> =
+                    cases.iter().map(|_| self.new_block()).collect();
+                let fin_entry = if has_fin {
+                    Some(self.new_block())
+                } else {
+                    None
+                };
+                let join = self.new_block();
+                let after_body = fin_entry.unwrap_or(join);
+
+                let mut region = handler_entries.clone();
+                if let Some(f) = fin_entry {
+                    region.push(f);
+                }
+                self.handlers.push(region);
+                let body_entry = self.new_block();
+                let from = self.cur;
+                self.edge(from, body_entry);
+                self.cur = body_entry;
+                self.lower(block);
+                let body_end = self.cur;
+                self.edge(body_end, after_body);
+                self.handlers.pop();
+
+                // Handlers run outside the region; if one throws while a
+                // finalizer exists, the finalizer still runs.
+                if let Some(f) = fin_entry {
+                    self.handlers.push(vec![f]);
+                }
+                for (hi, c) in cases.iter().enumerate() {
+                    self.cur = handler_entries[hi];
+                    if let TreeKind::CaseDef { pat, guard, body } = c.kind() {
+                        self.lower_pattern(pat);
+                        self.lower(guard);
+                        self.lower(body);
+                    }
+                    let end = self.cur;
+                    self.edge(end, after_body);
+                }
+                if fin_entry.is_some() {
+                    self.handlers.pop();
+                }
+                if let Some(f) = fin_entry {
+                    self.cur = f;
+                    self.lower(finalizer);
+                    let end = self.cur;
+                    self.edge(end, join);
+                    // The rethrow path after an uncaught exception: the
+                    // finalizer completes and control leaves the method.
+                    self.edge(end, EXIT);
+                }
+                self.cur = join;
+            }
+            TreeKind::Throw { expr } => {
+                self.lower(expr);
+                let from = self.cur;
+                // Precise normal edges: every event before the throw has
+                // executed, so the handler sees the block's full effects.
+                match self.handlers.last() {
+                    Some(region) => {
+                        for h in region.clone() {
+                            self.edge(from, h);
+                        }
+                    }
+                    None => self.edge(from, EXIT),
+                }
+                self.cur = self.new_block(); // unreachable continuation
+            }
+            TreeKind::Return { expr, .. } => {
+                self.lower(expr);
+                let from = self.cur;
+                self.edge(from, EXIT);
+                self.cur = self.new_block();
+            }
+            TreeKind::Labeled { label, body } => {
+                let entry = self.new_block();
+                let from = self.cur;
+                self.edge(from, entry);
+                self.labels.push((*label, entry));
+                self.cur = entry;
+                self.lower(body);
+                self.labels.pop();
+            }
+            TreeKind::JumpTo { label, args } => {
+                for a in args.iter() {
+                    self.lower(a);
+                }
+                let target = self
+                    .labels
+                    .iter()
+                    .rev()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, b)| *b);
+                let from = self.cur;
+                match target {
+                    Some(b) => self.edge(from, b), // loop back-edge
+                    None => self.edge(from, EXIT), // non-local jump
+                }
+                self.cur = self.new_block();
+            }
+            // Nested code: not part of this region's control flow. Its
+            // references to our locals outlive this graph's edges.
+            TreeKind::Lambda { .. } | TreeKind::DefDef { .. } | TreeKind::ClassDef { .. } => {
+                self.mark_escapes(t)
+            }
+            TreeKind::PackageDef { stats, .. } => {
+                for s in stats.iter() {
+                    self.lower(s);
+                }
+            }
+            // Pattern-only kinds reached outside a pattern context (should
+            // not happen on typed trees): treat conservatively as opaque.
+            TreeKind::CaseDef { .. } | TreeKind::Bind { .. } | TreeKind::Alternative { .. } => {
+                self.mark_escapes(t)
+            }
+        }
+    }
+
+    /// Lowers a pattern: binders are initialized declarations (the match
+    /// machinery assigns them), stable identifiers are reads.
+    fn lower_pattern(&mut self, pat: &TreeRef) {
+        match pat.kind() {
+            TreeKind::Bind { sym, pat } => {
+                if trackable(self.symbols, *sym) {
+                    let v = self.declare(*sym);
+                    self.emit(
+                        EventKind::Decl {
+                            init: true,
+                            literal: None,
+                        },
+                        v,
+                        pat.span(),
+                    );
+                }
+                self.lower_pattern(pat);
+            }
+            TreeKind::Alternative { pats } => {
+                for p in pats.iter() {
+                    self.lower_pattern(p);
+                }
+            }
+            TreeKind::Typed { expr, .. } => self.lower_pattern(expr),
+            TreeKind::Ident { sym } => {
+                if let Some(v) = self.var_of(*sym) {
+                    self.emit(EventKind::Use, v, pat.span());
+                }
+            }
+            _ => self.lower(pat),
+        }
+    }
+
+    fn cond_source(&self, cond: &TreeRef) -> CondSource {
+        match cond.kind() {
+            TreeKind::Literal { value } => match value.as_bool() {
+                Some(b) => CondSource::Lit(b),
+                None => CondSource::Opaque,
+            },
+            TreeKind::Ident { sym } => match self.var_ix.get(sym) {
+                Some(&v) => CondSource::Var(v),
+                None => CondSource::Opaque,
+            },
+            _ => CondSource::Opaque,
+        }
+    }
+
+    fn seal(mut self, name: &str, method: SymbolId) -> Cfg {
+        let n = self.blocks.len();
+        // Drop exceptional edges whose region stamp outlived sealing (none
+        // today — new_block snapshots the live stack), then back-fill preds.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut exc_preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for bi in 0..n {
+            self.blocks[bi].succs.retain(|&t| t < n);
+            self.blocks[bi].exc_succs.retain(|&t| t < n);
+            for &s in &self.blocks[bi].succs {
+                if !preds[s].contains(&bi) {
+                    preds[s].push(bi);
+                }
+            }
+            for &s in &self.blocks[bi].exc_succs {
+                if !exc_preds[s].contains(&bi) {
+                    exc_preds[s].push(bi);
+                }
+            }
+        }
+        for (bi, (p, ep)) in preds.into_iter().zip(exc_preds).enumerate() {
+            self.blocks[bi].preds = p;
+            self.blocks[bi].exc_preds = ep;
+        }
+        // Reachability over both edge kinds.
+        let mut reachable = vec![false; n];
+        let mut work = vec![ENTRY];
+        reachable[ENTRY] = true;
+        while let Some(b) = work.pop() {
+            for &s in self.blocks[b].succs.iter().chain(&self.blocks[b].exc_succs) {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        // Per-var summaries.
+        for b in &self.blocks {
+            for e in &b.events {
+                let v = &mut self.vars[e.var as usize];
+                match e.kind {
+                    EventKind::Use => v.use_count += 1,
+                    EventKind::Assign { .. } => v.def_count += 1,
+                    EventKind::Decl { init: true, .. } => v.def_count += 1,
+                    EventKind::Decl { init: false, .. } => {}
+                }
+            }
+        }
+        for b in &self.blocks {
+            for e in &b.events {
+                let v = &mut self.vars[e.var as usize];
+                if let EventKind::Decl {
+                    init: true,
+                    literal: Some(c),
+                } = e.kind
+                {
+                    if v.def_count == 1 && !v.escaped {
+                        v.bound_once = Some(c);
+                    }
+                }
+            }
+        }
+        for v in &mut self.vars {
+            if v.escaped {
+                v.bound_once = None;
+            }
+        }
+        Cfg {
+            name: name.to_string(),
+            method,
+            blocks: self.blocks,
+            vars: self.vars,
+            branches: self.branches,
+            reachable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::{Ctx, Kids, Name, Type};
+
+    fn sp(a: u32, b: u32) -> Span {
+        Span { start: a, end: b }
+    }
+
+    fn method(ctx: &mut Ctx, name: &str) -> SymbolId {
+        let root = ctx.symbols.builtins().root_pkg;
+        ctx.symbols
+            .new_term(root, Name::intern(name), Flags::METHOD, Type::Int)
+    }
+
+    fn local(ctx: &mut Ctx, owner: SymbolId, name: &str) -> SymbolId {
+        ctx.symbols
+            .new_term(owner, Name::intern(name), Flags::EMPTY, Type::Int)
+    }
+
+    #[test]
+    fn straight_line_body_is_three_blocks() {
+        // entry -> exit with one declaration and one use.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let x = local(&mut ctx, m, "x");
+        let one = ctx.lit_int(1);
+        let decl = ctx.mk(TreeKind::ValDef { sym: x, rhs: one }, Type::Unit, sp(0, 8));
+        let use_x = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(9, 10));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![decl]),
+                expr: use_x,
+            },
+            Type::Int,
+            sp(0, 11),
+        );
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &body);
+        cfg.validate().expect("well-formed");
+        assert_eq!(cfg.vars.len(), 1);
+        assert_eq!(cfg.vars[0].use_count, 1);
+        assert_eq!(cfg.vars[0].def_count, 1);
+        let events: usize = cfg.blocks.iter().map(|b| b.events.len()).sum();
+        assert_eq!(events, 2);
+        assert!(cfg.blocks[ENTRY].succs.contains(&EXIT));
+    }
+
+    #[test]
+    fn if_produces_diamond_and_branch_site() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let c = local(&mut ctx, m, "c");
+        let f_lit = ctx.lit(Constant::Bool(false), sp(0, 5));
+        let cdecl = ctx.mk(
+            TreeKind::ValDef { sym: c, rhs: f_lit },
+            Type::Boolean,
+            sp(0, 6),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: c }, Type::Boolean, sp(10, 11));
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: one,
+                else_branch: two,
+            },
+            Type::Int,
+            sp(7, 20),
+        );
+        let blk = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![cdecl]),
+                expr: iff,
+            },
+            Type::Int,
+            sp(0, 21),
+        );
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &blk);
+        cfg.validate().expect("well-formed");
+        assert_eq!(cfg.branches.len(), 1);
+        assert_eq!(cfg.branches[0].node_kind, NodeKind::If);
+        assert_eq!(cfg.branches[0].cond, CondSource::Var(0));
+        assert_eq!(cfg.vars[0].bound_once, Some(Constant::Bool(false)));
+        // The branch block has two successors (then entry and else entry).
+        assert_eq!(cfg.blocks[cfg.branches[0].block].succs.len(), 2);
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let cond = ctx.lit(Constant::Bool(true), sp(0, 4));
+        let body = ctx.lit_unit();
+        let wh = ctx.mk(TreeKind::While { cond, body }, Type::Unit, sp(0, 10));
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &wh);
+        cfg.validate().expect("well-formed");
+        // Some block's successor list points at an earlier block (the
+        // loop header) — a back-edge.
+        let has_back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(bi, b)| b.succs.iter().any(|&s| s <= bi && s != EXIT));
+        assert!(has_back, "while produces a back-edge: {cfg:?}");
+    }
+
+    #[test]
+    fn throw_targets_handler_and_continuation_is_unreachable() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let thrown = ctx.lit_int(1);
+        let thr = ctx.mk(TreeKind::Throw { expr: thrown }, Type::Nothing, sp(5, 10));
+        let after = ctx.lit_int(2);
+        let unit_lit = ctx.lit_unit();
+        let blk = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![thr, after]),
+                expr: unit_lit,
+            },
+            Type::Unit,
+            sp(0, 15),
+        );
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &blk);
+        cfg.validate().expect("well-formed");
+        assert!(
+            !cfg.unreachable_blocks().is_empty(),
+            "post-throw continuation is unreachable"
+        );
+    }
+
+    #[test]
+    fn try_region_blocks_carry_exceptional_edges() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let x = local(&mut ctx, m, "x");
+        let zero = ctx.lit_int(0);
+        let decl = ctx.mk(TreeKind::ValDef { sym: x, rhs: zero }, Type::Unit, sp(0, 5));
+        let body_use = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(10, 11));
+        let handler_body = ctx.lit_int(9);
+        let pat = ctx.mk(TreeKind::Empty, Type::Any, sp(12, 13));
+        let guard = ctx.mk(TreeKind::Empty, Type::Nothing, Span::SYNTHETIC);
+        let case = ctx.mk(
+            TreeKind::CaseDef {
+                pat,
+                guard,
+                body: handler_body,
+            },
+            Type::Int,
+            sp(12, 20),
+        );
+        let fin = ctx.mk(TreeKind::Empty, Type::Nothing, Span::SYNTHETIC);
+        let tr = ctx.mk(
+            TreeKind::Try {
+                block: body_use,
+                cases: Kids::from(vec![case]),
+                finalizer: fin,
+            },
+            Type::Int,
+            sp(6, 21),
+        );
+        let blk = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![decl]),
+                expr: tr,
+            },
+            Type::Int,
+            sp(0, 22),
+        );
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &blk);
+        cfg.validate().expect("well-formed");
+        let has_exc = cfg.blocks.iter().any(|b| !b.exc_succs.is_empty());
+        assert!(has_exc, "try body blocks carry exceptional successors");
+    }
+
+    #[test]
+    fn lambda_references_escape() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let x = local(&mut ctx, m, "x");
+        let one = ctx.lit_int(1);
+        let decl = ctx.mk(TreeKind::ValDef { sym: x, rhs: one }, Type::Unit, sp(0, 8));
+        let inner_use = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(15, 16));
+        let lam = ctx.mk(
+            TreeKind::Lambda {
+                params: Kids::new(),
+                body: inner_use,
+            },
+            Type::Any,
+            sp(10, 17),
+        );
+        let blk = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![decl]),
+                expr: lam,
+            },
+            Type::Any,
+            sp(0, 18),
+        );
+        let cfg = build_region_cfg(&ctx.symbols, m, "m", &blk);
+        cfg.validate().expect("well-formed");
+        assert!(cfg.vars[0].escaped, "lambda capture marks the var escaped");
+        assert_eq!(cfg.vars[0].bound_once, None, "escaped vars are never const");
+    }
+}

@@ -1,0 +1,1041 @@
+//! Generic monotone-framework fixpoint solver and the three shipped
+//! dataflow analyses (definite assignment, liveness, sparse constancy).
+//!
+//! ## Design note: lattices, direction, termination
+//!
+//! Every analysis here works over the **powerset lattice of tracked
+//! variables**, represented as a compact [`BitSet`] (one bit per
+//! [`crate::cfg::VarInfo`]). The framework is parameterized by:
+//!
+//! * **Direction** — [`Direction::Forward`] analyses propagate facts from
+//!   [`crate::cfg::ENTRY`] along successor edges; [`Direction::Backward`]
+//!   analyses propagate from [`crate::cfg::EXIT`] along predecessor edges.
+//! * **Join** — [`Join::Union`] for *may* analyses (a fact holds if it
+//!   holds on *some* path), [`Join::Intersection`] for *must* analyses (a
+//!   fact holds only if it holds on *every* path). Must analyses start
+//!   optimistic (all facts ⊤) everywhere except the boundary block and
+//!   are narrowed; may analyses start at ∅ and are widened.
+//! * **Transfer functions** — [`Analysis::transfer`] maps a block's entry
+//!   facts to its exit facts (or exit to entry, for backward analyses) by
+//!   folding the block's linearized events.
+//!
+//! **Termination:** the lattice is finite (`2^vars` elements, height
+//! `vars`) and every shipped transfer function is monotone (each event
+//! only sets or clears its own bit, independent of other bits), so each
+//! block's state moves monotonically along a finite chain; the worklist
+//! algorithm therefore reaches the unique minimal/maximal fixpoint in at
+//! most `O(blocks × vars)` state changes regardless of the order blocks
+//! are taken off the worklist. The order-independence of the result is
+//! property-tested (`solver_fixpoint_is_order_independent`).
+//!
+//! ## Exceptional edges
+//!
+//! An exceptional edge `b ⇢ h` means control may leave `b` from *any*
+//! event point. The solver therefore propagates **block-entry facts**
+//! along exceptional edges:
+//!
+//! * forward/must: `in[h]` meets `in[b]` (not `out[b]`) — the handler
+//!   can only rely on what was already true when the protected block
+//!   *started*, an under-approximation of assignedness, which is the
+//!   sound side for a must analysis;
+//! * backward/may: `in[h]` is unioned into `b`'s entry facts *and* (via
+//!   [`Solution::exc_live`]) into every interior event point — an
+//!   over-approximation of liveness, again the sound side.
+//!
+//! Only these two configurations (forward+must, backward+may) are
+//! shipped; they are exactly the sound pairings for the entry-fact
+//! treatment above.
+//!
+//! ## The rule clients
+//!
+//! [`dataflow_findings`] packages the analyses as lint rules: L004
+//! (path-sensitive definite assignment — same rule code as the old
+//! syntactic core, strictly better verdicts), L006 (dead store via
+//! liveness) and L007 (branch never taken via single-binding constancy).
+//! Escaped variables are exempt from all three. [`compute_dce_facts`]
+//! derives the span-keyed fact tables the opt-in DCE phase consumes; DCE
+//! stays behind a flag because dropping code — however provably dead —
+//! changes the artifact in ways a default pipeline must not (byte-stable
+//! trees are the contract every equivalence oracle in this repo pins).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mini_ir::{Constant, NodeKind, Span, SymbolTable, TreeRef};
+use miniphase::checker::{Finding, Severity};
+
+use crate::cfg::{build_unit_cfgs, BranchSite, Cfg, CondSource, EventKind, ENTRY, EXIT};
+use crate::{RULE_BRANCH_NEVER, RULE_DEAD_STORE, RULE_USE_BEFORE_ASSIGN};
+
+/// A fixed-width bitset over tracked variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over `bits` variables.
+    pub fn empty(bits: usize) -> BitSet {
+        BitSet {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// The full set over `bits` variables.
+    pub fn full(bits: usize) -> BitSet {
+        let mut s = BitSet::empty(bits);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * 64;
+            let n = s.bits.saturating_sub(lo).min(64);
+            *w = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        }
+        s
+    }
+
+    /// Inserts `bit`.
+    pub fn insert(&mut self, bit: u32) {
+        self.words[bit as usize / 64] |= 1 << (bit % 64);
+    }
+
+    /// Removes `bit`.
+    pub fn remove(&mut self, bit: u32) {
+        self.words[bit as usize / 64] &= !(1 << (bit % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: u32) -> bool {
+        self.words[bit as usize / 64] & (1 << (bit % 64)) != 0
+    }
+
+    /// `self ∪= other`; true when `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a | b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; true when `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let n = *a & b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+}
+
+/// Propagation direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exit along successor edges.
+    Forward,
+    /// Facts flow exit → entry along predecessor edges.
+    Backward,
+}
+
+/// Confluence operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Join {
+    /// May analysis: a fact holds on *some* incoming path.
+    Union,
+    /// Must analysis: a fact holds on *every* incoming path.
+    Intersection,
+}
+
+/// A dataflow analysis over a CFG's event stream. Implementations are
+/// ~30 LoC: a direction, a join, and one transfer function.
+pub trait Analysis {
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+    /// Confluence operator. Only `Forward`+`Intersection` and
+    /// `Backward`+`Union` are sound with respect to exceptional edges
+    /// (see the module docs); the solver debug-asserts this pairing.
+    fn join(&self) -> Join;
+    /// Initializes the boundary block's facts (entry for forward, exit
+    /// for backward). `facts` arrives as ∅.
+    fn boundary(&self, facts: &mut BitSet);
+    /// Applies one block's events to `facts`: entry→exit facts for
+    /// forward analyses, exit→entry for backward ones (the implementation
+    /// iterates events in reverse).
+    fn transfer(&self, block: &crate::cfg::Block, facts: &mut BitSet);
+}
+
+/// The solved fixpoint: per-block entry and exit facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// Facts at each block's entry.
+    pub input: Vec<BitSet>,
+    /// Facts at each block's exit.
+    pub output: Vec<BitSet>,
+}
+
+impl Solution {
+    /// For backward analyses: the facts that must be considered live at
+    /// *every* interior point of `b` because an exception may transfer
+    /// control out — the union of the entry facts of `b`'s exceptional
+    /// successors.
+    pub fn exc_live(&self, cfg: &Cfg, b: usize) -> BitSet {
+        let mut acc = BitSet::empty(cfg.vars.len());
+        for &h in &cfg.blocks[b].exc_succs {
+            acc.union_with(&self.input[h]);
+        }
+        acc
+    }
+}
+
+/// Runs `analysis` to its fixpoint over `cfg`. `order` seeds the
+/// worklist (any permutation of block ids — the fixpoint is the same;
+/// blocks absent from `order` are appended).
+pub fn solve(cfg: &Cfg, analysis: &dyn Analysis, order: &[usize]) -> Solution {
+    let n = cfg.blocks.len();
+    let bits = cfg.vars.len();
+    debug_assert!(
+        matches!(
+            (analysis.direction(), analysis.join()),
+            (Direction::Forward, Join::Intersection) | (Direction::Backward, Join::Union)
+        ),
+        "unsupported direction/join pairing for exceptional edges"
+    );
+    let top = match analysis.join() {
+        Join::Union => BitSet::empty(bits),
+        Join::Intersection => BitSet::full(bits),
+    };
+    let mut input: Vec<BitSet> = vec![top.clone(); n];
+    let mut output: Vec<BitSet> = vec![top; n];
+    let boundary = match analysis.direction() {
+        Direction::Forward => ENTRY,
+        Direction::Backward => EXIT,
+    };
+    {
+        let mut b = BitSet::empty(bits);
+        analysis.boundary(&mut b);
+        match analysis.direction() {
+            Direction::Forward => input[boundary] = b,
+            Direction::Backward => output[boundary] = b,
+        }
+    }
+
+    let mut work: VecDeque<usize> = VecDeque::new();
+    let mut queued = vec![false; n];
+    for b in order.iter().copied().chain(0..n) {
+        if b < n && !queued[b] {
+            queued[b] = true;
+            work.push_back(b);
+        }
+    }
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let changed = match analysis.direction() {
+            Direction::Forward => {
+                let mut inb = if b == boundary {
+                    input[boundary].clone()
+                } else {
+                    let mut acc: Option<BitSet> = None;
+                    // Normal edges contribute predecessor *exit* facts;
+                    // exceptional edges contribute predecessor *entry*
+                    // facts (control may leave before any event ran).
+                    for &p in &cfg.blocks[b].preds {
+                        join_into(&mut acc, &output[p], analysis.join());
+                    }
+                    for &p in &cfg.blocks[b].exc_preds {
+                        join_into(&mut acc, &input[p], analysis.join());
+                    }
+                    acc.unwrap_or_else(|| match analysis.join() {
+                        Join::Union => BitSet::empty(bits),
+                        Join::Intersection => BitSet::full(bits),
+                    })
+                };
+                if b == boundary {
+                    // keep boundary facts
+                } else if inb == input[b] {
+                    // recomputed the same entry state; still re-derive the
+                    // exit state below in case this is the first visit
+                } else {
+                    input[b] = inb.clone();
+                }
+                let mut outb = std::mem::replace(&mut inb, BitSet::empty(0));
+                analysis.transfer(&cfg.blocks[b], &mut outb);
+                if outb != output[b] {
+                    output[b] = outb;
+                    true
+                } else {
+                    false
+                }
+            }
+            Direction::Backward => {
+                let mut outb = if b == boundary {
+                    output[boundary].clone()
+                } else {
+                    let mut acc: Option<BitSet> = None;
+                    for &s in &cfg.blocks[b].succs {
+                        join_into(&mut acc, &input[s], analysis.join());
+                    }
+                    acc.unwrap_or_else(|| BitSet::empty(bits))
+                };
+                if b != boundary {
+                    output[b] = outb.clone();
+                }
+                analysis.transfer(&cfg.blocks[b], &mut outb);
+                // Anything live into a reachable handler is live at every
+                // interior point, including the entry.
+                for &h in &cfg.blocks[b].exc_succs {
+                    let exc = input[h].clone();
+                    outb.union_with(&exc);
+                }
+                if outb != input[b] {
+                    input[b] = outb;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if changed {
+            let deps: Vec<usize> = match analysis.direction() {
+                // out[b] feeds normal successors; in[b] feeds exceptional
+                // successors, and in[b] only changes when out of date with
+                // preds — requeue both kinds.
+                Direction::Forward => cfg.blocks[b]
+                    .succs
+                    .iter()
+                    .chain(&cfg.blocks[b].exc_succs)
+                    .copied()
+                    .collect(),
+                Direction::Backward => cfg.blocks[b]
+                    .preds
+                    .iter()
+                    .chain(&cfg.blocks[b].exc_preds)
+                    .copied()
+                    .collect(),
+            };
+            for d in deps {
+                if !queued[d] {
+                    queued[d] = true;
+                    work.push_back(d);
+                }
+            }
+        }
+    }
+    Solution { input, output }
+}
+
+fn join_into(acc: &mut Option<BitSet>, x: &BitSet, join: Join) {
+    match acc {
+        None => *acc = Some(x.clone()),
+        Some(a) => {
+            match join {
+                Join::Union => a.union_with(x),
+                Join::Intersection => a.intersect_with(x),
+            };
+        }
+    }
+}
+
+/// Forward/must: a variable is *definitely assigned* at a point when
+/// every path from entry assigns it first.
+pub struct DefiniteAssignment;
+
+impl Analysis for DefiniteAssignment {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn join(&self) -> Join {
+        Join::Intersection
+    }
+    fn boundary(&self, _facts: &mut BitSet) {
+        // Nothing is assigned at method entry.
+    }
+    fn transfer(&self, block: &crate::cfg::Block, facts: &mut BitSet) {
+        for e in &block.events {
+            match e.kind {
+                EventKind::Assign { .. } | EventKind::Decl { init: true, .. } => {
+                    facts.insert(e.var)
+                }
+                EventKind::Decl { init: false, .. } => facts.remove(e.var),
+                EventKind::Use => {}
+            }
+        }
+    }
+}
+
+/// Backward/may: a variable is *live* at a point when some path from it
+/// reaches a use before any redefinition.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn join(&self) -> Join {
+        Join::Union
+    }
+    fn boundary(&self, _facts: &mut BitSet) {
+        // Nothing is live at method exit (locals die with the frame).
+    }
+    fn transfer(&self, block: &crate::cfg::Block, facts: &mut BitSet) {
+        for e in block.events.iter().rev() {
+            match e.kind {
+                EventKind::Use => facts.insert(e.var),
+                EventKind::Assign { .. } | EventKind::Decl { .. } => facts.remove(e.var),
+            }
+        }
+    }
+}
+
+/// All dataflow findings for one unit tree: L004 (path-sensitive definite
+/// assignment), L006 (dead store) and L007 (branch never taken). Findings
+/// carry no unit stamp (the caller adds it) and are emitted in
+/// deterministic CFG/block/event order.
+pub fn dataflow_findings(symbols: &SymbolTable, tree: &TreeRef) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for cfg in build_unit_cfgs(symbols, tree) {
+        findings_for_cfg(&cfg, &mut out);
+    }
+    out
+}
+
+fn findings_for_cfg(cfg: &Cfg, out: &mut Vec<Finding>) {
+    if cfg.vars.is_empty() && cfg.branches.is_empty() {
+        return;
+    }
+    let order: Vec<usize> = (0..cfg.blocks.len()).collect();
+    let assigned = solve(cfg, &DefiniteAssignment, &order);
+    let live = solve(cfg, &Liveness, &order);
+
+    // L004 — use while not definitely assigned, on some reachable path.
+    // One report per variable, anchored at the smallest-span offending
+    // use (deterministic across block orders).
+    let mut worst: HashMap<u32, Span> = HashMap::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut facts = assigned.input[bi].clone();
+        for e in &block.events {
+            match e.kind {
+                EventKind::Use => {
+                    let v = &cfg.vars[e.var as usize];
+                    if !facts.contains(e.var) && v.declared_without_init && !v.escaped {
+                        let entry = worst.entry(e.var).or_insert(e.span);
+                        if (e.span.start, e.span.end) < (entry.start, entry.end) {
+                            *entry = e.span;
+                        }
+                    }
+                }
+                EventKind::Assign { .. } | EventKind::Decl { init: true, .. } => {
+                    facts.insert(e.var)
+                }
+                EventKind::Decl { init: false, .. } => facts.remove(e.var),
+            }
+        }
+    }
+    let mut l004: Vec<(u32, Span)> = worst.into_iter().collect();
+    l004.sort_by_key(|&(v, s)| (s.start, s.end, v));
+    for (v, span) in l004 {
+        out.push(Finding {
+            rule: RULE_USE_BEFORE_ASSIGN,
+            severity: Severity::Error,
+            unit: String::new(),
+            span,
+            node_kind: NodeKind::Ident,
+            msg: format!(
+                "`{}` is possibly used before assignment",
+                cfg.vars[v as usize].name
+            ),
+        });
+    }
+
+    // L006 — a store whose value no path reads before redefinition or
+    // exit. Zero-use variables are L002's business; exception-reachable
+    // and escaped values are exempt.
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut facts = live.output[bi].clone();
+        let exc = live.exc_live(cfg, bi);
+        for e in block.events.iter().rev() {
+            match e.kind {
+                EventKind::Use => facts.insert(e.var),
+                EventKind::Assign { .. } => {
+                    let v = &cfg.vars[e.var as usize];
+                    if !facts.contains(e.var)
+                        && !exc.contains(e.var)
+                        && !v.escaped
+                        && v.use_count >= 1
+                    {
+                        out.push(Finding {
+                            rule: RULE_DEAD_STORE,
+                            severity: Severity::Warning,
+                            unit: String::new(),
+                            span: e.span,
+                            node_kind: NodeKind::Assign,
+                            msg: format!("value assigned to `{}` is never read", v.name),
+                        });
+                    }
+                    facts.remove(e.var);
+                }
+                EventKind::Decl { .. } => facts.remove(e.var),
+            }
+        }
+    }
+
+    // L007 — a branch on a variable bound once to a boolean literal.
+    // The definite-assignment fact at the decision point doubles as a
+    // dominance check: the single literal binding reaches the branch on
+    // every path.
+    for br in &cfg.branches {
+        if !cfg.reachable[br.block] {
+            continue;
+        }
+        let Some((v, b)) = branch_constant(cfg, &assigned, br) else {
+            continue;
+        };
+        let name = &cfg.vars[v as usize].name;
+        match br.node_kind {
+            NodeKind::If => out.push(Finding {
+                rule: RULE_BRANCH_NEVER,
+                severity: Severity::Warning,
+                unit: String::new(),
+                span: br.span,
+                node_kind: NodeKind::If,
+                msg: format!("`{name}` is bound once to `{b}`: condition is always {b}"),
+            }),
+            NodeKind::While if !b => out.push(Finding {
+                rule: RULE_BRANCH_NEVER,
+                severity: Severity::Warning,
+                unit: String::new(),
+                span: br.span,
+                node_kind: NodeKind::While,
+                msg: format!("`{name}` is bound once to `false`: loop body never runs"),
+            }),
+            // `while (true)` on a named constant is the same intentional
+            // idiom L005 exempts.
+            _ => {}
+        }
+    }
+}
+
+/// `Some((var, value))` when `br`'s condition reads a variable bound once
+/// to a boolean literal whose binding definitely reaches the decision.
+fn branch_constant(cfg: &Cfg, assigned: &Solution, br: &BranchSite) -> Option<(u32, bool)> {
+    let CondSource::Var(v) = br.cond else {
+        return None;
+    };
+    let b = cfg.vars[v as usize]
+        .bound_once
+        .and_then(Constant::as_bool)?;
+    // The decision sits at the end of its block: require the binding to be
+    // definitely assigned there (guards hand-built trees where the
+    // declaration does not dominate the branch).
+    if !assigned.output[br.block].contains(v) {
+        return None;
+    }
+    Some((v, b))
+}
+
+/// Span-keyed facts the DCE phase consumes: assignments provably dead
+/// (over-approximating liveness, so never falsely dead) and branch
+/// decisions provably constant. Spans duplicated across distinct facts
+/// are dropped — a rewrite keyed on an ambiguous span could fire twice.
+#[derive(Debug, Default)]
+pub struct DceFacts {
+    /// Spans of `Assign` statements whose stored value is never read.
+    /// (Purity of the right-hand side is the rewriter's check.)
+    pub dead_assigns: HashSet<Span>,
+    /// Branch spans (`If`/`While`) with their statically-known condition.
+    pub const_branches: HashMap<Span, bool>,
+}
+
+/// Computes [`DceFacts`] for one unit tree. A span only enters a fact
+/// table when **every** verdict recorded for it agrees (and it is not the
+/// synthetic span): a rewrite keyed on an ambiguous span — possible in
+/// hand-built trees that duplicate spans — could otherwise fire on a live
+/// occurrence.
+pub fn compute_dce_facts(symbols: &SymbolTable, tree: &TreeRef) -> DceFacts {
+    // Verdict per span: `None` once any disagreement is seen.
+    let mut assigns: HashMap<Span, Option<bool>> = HashMap::new();
+    let mut branches: HashMap<Span, Option<bool>> = HashMap::new();
+    let record = |map: &mut HashMap<Span, Option<bool>>, span: Span, v: bool| {
+        if span == Span::SYNTHETIC {
+            return;
+        }
+        map.entry(span)
+            .and_modify(|cur| {
+                if *cur != Some(v) {
+                    *cur = None;
+                }
+            })
+            .or_insert(Some(v));
+    };
+    for cfg in build_unit_cfgs(symbols, tree) {
+        let order: Vec<usize> = (0..cfg.blocks.len()).collect();
+        let assigned = solve(&cfg, &DefiniteAssignment, &order);
+        let live = solve(&cfg, &Liveness, &order);
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            if !cfg.reachable[bi] {
+                continue;
+            }
+            let mut f = live.output[bi].clone();
+            let exc = live.exc_live(&cfg, bi);
+            for e in block.events.iter().rev() {
+                match e.kind {
+                    EventKind::Use => f.insert(e.var),
+                    EventKind::Assign { .. } => {
+                        let v = &cfg.vars[e.var as usize];
+                        // Unlike L006, zero-use variables qualify: their
+                        // stores are equally unobservable.
+                        let dead = !f.contains(e.var) && !exc.contains(e.var) && !v.escaped;
+                        record(&mut assigns, e.span, dead);
+                        f.remove(e.var);
+                    }
+                    EventKind::Decl { .. } => f.remove(e.var),
+                }
+            }
+        }
+        for br in &cfg.branches {
+            if !cfg.reachable[br.block] {
+                continue;
+            }
+            match branch_constant(&cfg, &assigned, br) {
+                Some((_, b)) => record(&mut branches, br.span, b),
+                // A non-constant verdict for a span poisons any constant
+                // one recorded for the same span, before or after.
+                None => {
+                    if br.span != Span::SYNTHETIC {
+                        *branches.entry(br.span).or_insert(None) = None;
+                    }
+                }
+            }
+        }
+    }
+    let mut facts = DceFacts::default();
+    for (span, v) in assigns {
+        if v == Some(true) {
+            facts.dead_assigns.insert(span);
+        }
+    }
+    for (span, v) in branches {
+        if let Some(b) = v {
+            facts.const_branches.insert(span, b);
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_region_cfg;
+    use mini_ir::{Ctx, Flags, Kids, Name, SymbolId, TreeKind, Type};
+
+    fn sp(a: u32, b: u32) -> Span {
+        Span { start: a, end: b }
+    }
+
+    fn method(ctx: &mut Ctx, name: &str) -> SymbolId {
+        let root = ctx.symbols.builtins().root_pkg;
+        ctx.symbols
+            .new_term(root, Name::intern(name), Flags::METHOD, Type::Int)
+    }
+
+    fn local(ctx: &mut Ctx, owner: SymbolId, name: &str) -> SymbolId {
+        ctx.symbols
+            .new_term(owner, Name::intern(name), Flags::EMPTY, Type::Int)
+    }
+
+    /// `val x` (no init); if (c) x = 1 else x = 2; x` — both branches
+    /// assign, so the join sees x definitely assigned: no L004.
+    fn both_branches_assign(ctx: &mut Ctx) -> TreeRef {
+        let m = method(ctx, "m");
+        let x = local(ctx, m, "x");
+        let c = local(ctx, m, "c");
+        let empty = ctx.mk(TreeKind::Empty, Type::Nothing, Span::SYNTHETIC);
+        let xdecl = ctx.mk(
+            TreeKind::ValDef { sym: x, rhs: empty },
+            Type::Unit,
+            sp(0, 8),
+        );
+        let t_lit = ctx.lit(Constant::Bool(true), sp(9, 13));
+        let cdecl = ctx.mk(
+            TreeKind::ValDef { sym: c, rhs: t_lit },
+            Type::Unit,
+            sp(9, 14),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: c }, Type::Boolean, sp(18, 19));
+        let lhs1 = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(21, 22));
+        let one = ctx.lit_int(1);
+        let a1 = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs1,
+                rhs: one,
+            },
+            Type::Unit,
+            sp(21, 26),
+        );
+        let lhs2 = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(32, 33));
+        let two = ctx.lit_int(2);
+        let a2 = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs2,
+                rhs: two,
+            },
+            Type::Unit,
+            sp(32, 37),
+        );
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: a1,
+                else_branch: a2,
+            },
+            Type::Unit,
+            sp(15, 38),
+        );
+        let read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(39, 40));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![xdecl, cdecl, iff]),
+                expr: read,
+            },
+            Type::Int,
+            sp(0, 41),
+        );
+        ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 42),
+        )
+    }
+
+    #[test]
+    fn join_of_assigning_branches_is_not_reported() {
+        let mut ctx = Ctx::new();
+        let tree = both_branches_assign(&mut ctx);
+        let found = dataflow_findings(&ctx.symbols, &tree);
+        assert!(
+            !found.iter().any(|f| f.rule == RULE_USE_BEFORE_ASSIGN),
+            "both-branches-assign join must not be flagged: {found:?}"
+        );
+    }
+
+    #[test]
+    fn one_branch_assigning_is_reported_span_exact() {
+        // val x; if (c) x = 1; x — the else path reaches the read
+        // unassigned.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let x = local(&mut ctx, m, "x");
+        let empty = ctx.mk(TreeKind::Empty, Type::Nothing, Span::SYNTHETIC);
+        let xdecl = ctx.mk(
+            TreeKind::ValDef { sym: x, rhs: empty },
+            Type::Unit,
+            sp(0, 8),
+        );
+        let cond = ctx.lit(Constant::Bool(true), sp(12, 16));
+        let lhs = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(18, 19));
+        let one = ctx.lit_int(1);
+        let a1 = ctx.mk(TreeKind::Assign { lhs, rhs: one }, Type::Unit, sp(18, 23));
+        let none = ctx.mk(TreeKind::Empty, Type::Nothing, Span::SYNTHETIC);
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: a1,
+                else_branch: none,
+            },
+            Type::Unit,
+            sp(9, 24),
+        );
+        let read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(25, 26));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![xdecl, iff]),
+                expr: read,
+            },
+            Type::Int,
+            sp(0, 27),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 28),
+        );
+        let found = dataflow_findings(&ctx.symbols, &mdef);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == RULE_USE_BEFORE_ASSIGN)
+            .collect();
+        assert_eq!(hits.len(), 1, "found: {found:?}");
+        assert_eq!(hits[0].span, sp(25, 26));
+        assert_eq!(hits[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn dead_store_reported_and_final_store_is_not() {
+        // var d = n; d = 1; d = n + 1; d — the middle store dies.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let d = local(&mut ctx, m, "d");
+        let n = local(&mut ctx, m, "n");
+        let zero = ctx.lit_int(0);
+        let ndecl = ctx.mk(TreeKind::ValDef { sym: n, rhs: zero }, Type::Unit, sp(0, 5));
+        let n_read = ctx.mk(TreeKind::Ident { sym: n }, Type::Int, sp(14, 15));
+        let ddecl = ctx.mk(
+            TreeKind::ValDef {
+                sym: d,
+                rhs: n_read,
+            },
+            Type::Unit,
+            sp(6, 16),
+        );
+        let lhs1 = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(17, 18));
+        let one = ctx.lit_int(1);
+        let dead = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs1,
+                rhs: one,
+            },
+            Type::Unit,
+            sp(17, 22),
+        );
+        let lhs2 = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(23, 24));
+        let n_read2 = ctx.mk(TreeKind::Ident { sym: n }, Type::Int, sp(27, 28));
+        let live_store = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs2,
+                rhs: n_read2,
+            },
+            Type::Unit,
+            sp(23, 29),
+        );
+        let d_read = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(30, 31));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![ndecl, ddecl, dead, live_store]),
+                expr: d_read,
+            },
+            Type::Int,
+            sp(0, 32),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 33),
+        );
+        let found = dataflow_findings(&ctx.symbols, &mdef);
+        let hits: Vec<_> = found.iter().filter(|f| f.rule == RULE_DEAD_STORE).collect();
+        assert_eq!(hits.len(), 1, "found: {found:?}");
+        assert_eq!(hits[0].span, sp(17, 22));
+        assert_eq!(hits[0].node_kind, NodeKind::Assign);
+        assert!(hits[0].msg.contains("`d`"));
+
+        let facts = compute_dce_facts(&ctx.symbols, &mdef);
+        assert!(facts.dead_assigns.contains(&sp(17, 22)));
+        assert!(!facts.dead_assigns.contains(&sp(23, 29)));
+    }
+
+    #[test]
+    fn store_live_across_loop_back_edge_is_not_dead() {
+        // var a = 0; while (c) { a = a + 1 }; a — the loop store feeds the
+        // next iteration's read and the final read.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let a = local(&mut ctx, m, "a");
+        let c = local(&mut ctx, m, "c");
+        let zero = ctx.lit_int(0);
+        let adecl = ctx.mk(TreeKind::ValDef { sym: a, rhs: zero }, Type::Unit, sp(0, 9));
+        let t_lit = ctx.lit(Constant::Bool(true), sp(10, 11));
+        let cdecl = ctx.mk(
+            TreeKind::ValDef { sym: c, rhs: t_lit },
+            Type::Unit,
+            sp(10, 12),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: c }, Type::Boolean, sp(20, 21));
+        let a_read = ctx.mk(TreeKind::Ident { sym: a }, Type::Int, sp(29, 30));
+        let lhs = ctx.mk(TreeKind::Ident { sym: a }, Type::Int, sp(25, 26));
+        let store = ctx.mk(
+            TreeKind::Assign { lhs, rhs: a_read },
+            Type::Unit,
+            sp(25, 31),
+        );
+        let wh = ctx.mk(
+            TreeKind::While { cond, body: store },
+            Type::Unit,
+            sp(13, 32),
+        );
+        let final_read = ctx.mk(TreeKind::Ident { sym: a }, Type::Int, sp(33, 34));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![adecl, cdecl, wh]),
+                expr: final_read,
+            },
+            Type::Int,
+            sp(0, 35),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 36),
+        );
+        let found = dataflow_findings(&ctx.symbols, &mdef);
+        assert!(
+            !found.iter().any(|f| f.rule == RULE_DEAD_STORE),
+            "loop-carried store is live: {found:?}"
+        );
+    }
+
+    #[test]
+    fn branch_on_once_bound_literal_reported() {
+        // val g = false; if (g) 1 else 2 — L007, and a DCE const branch.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let g = local(&mut ctx, m, "g");
+        let f_lit = ctx.lit(Constant::Bool(false), sp(10, 15));
+        let gdecl = ctx.mk(
+            TreeKind::ValDef { sym: g, rhs: f_lit },
+            Type::Unit,
+            sp(0, 16),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: g }, Type::Boolean, sp(21, 22));
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: one,
+                else_branch: two,
+            },
+            Type::Int,
+            sp(17, 30),
+        );
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![gdecl]),
+                expr: iff,
+            },
+            Type::Int,
+            sp(0, 31),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 32),
+        );
+        let found = dataflow_findings(&ctx.symbols, &mdef);
+        let hits: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == RULE_BRANCH_NEVER)
+            .collect();
+        assert_eq!(hits.len(), 1, "found: {found:?}");
+        assert_eq!(hits[0].span, sp(17, 30));
+        assert_eq!(hits[0].node_kind, NodeKind::If);
+        assert!(hits[0].msg.contains("`g`"), "{}", hits[0].msg);
+        assert!(hits[0].msg.contains("always false"), "{}", hits[0].msg);
+
+        let facts = compute_dce_facts(&ctx.symbols, &mdef);
+        assert_eq!(facts.const_branches.get(&sp(17, 30)), Some(&false));
+    }
+
+    #[test]
+    fn reassigned_variable_is_not_const() {
+        // var g = false; g = true; if (g) — two defs, no L007.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let g = local(&mut ctx, m, "g");
+        let f_lit = ctx.lit(Constant::Bool(false), sp(5, 10));
+        let gdecl = ctx.mk(
+            TreeKind::ValDef { sym: g, rhs: f_lit },
+            Type::Unit,
+            sp(0, 11),
+        );
+        let lhs = ctx.mk(TreeKind::Ident { sym: g }, Type::Boolean, sp(12, 13));
+        let t_lit = ctx.lit(Constant::Bool(true), sp(16, 20));
+        let re = ctx.mk(TreeKind::Assign { lhs, rhs: t_lit }, Type::Unit, sp(12, 21));
+        let cond = ctx.mk(TreeKind::Ident { sym: g }, Type::Boolean, sp(26, 27));
+        let one = ctx.lit_int(1);
+        let two = ctx.lit_int(2);
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: one,
+                else_branch: two,
+            },
+            Type::Int,
+            sp(22, 33),
+        );
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![gdecl, re]),
+                expr: iff,
+            },
+            Type::Int,
+            sp(0, 34),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 35),
+        );
+        let found = dataflow_findings(&ctx.symbols, &mdef);
+        assert!(
+            !found.iter().any(|f| f.rule == RULE_BRANCH_NEVER),
+            "reassigned var must not fold: {found:?}"
+        );
+        let facts = compute_dce_facts(&ctx.symbols, &mdef);
+        assert!(facts.const_branches.is_empty());
+    }
+
+    #[test]
+    fn solver_fixpoint_is_order_independent_on_a_loop() {
+        let mut ctx = Ctx::new();
+        let tree = both_branches_assign(&mut ctx);
+        let TreeKind::DefDef { sym, rhs, .. } = tree.kind() else {
+            panic!("defdef")
+        };
+        let cfg = build_region_cfg(&ctx.symbols, *sym, "m", rhs);
+        cfg.validate().expect("well-formed");
+        let n = cfg.blocks.len();
+        let forward: Vec<usize> = (0..n).collect();
+        let reverse: Vec<usize> = (0..n).rev().collect();
+        let rotated: Vec<usize> = (0..n).map(|i| (i + n / 2) % n).collect();
+        for analysis in [&DefiniteAssignment as &dyn Analysis, &Liveness] {
+            let a = solve(&cfg, analysis, &forward);
+            let b = solve(&cfg, analysis, &reverse);
+            let c = solve(&cfg, analysis, &rotated);
+            assert_eq!(a, b, "forward vs reverse seed order");
+            assert_eq!(a, c, "forward vs rotated seed order");
+        }
+    }
+}

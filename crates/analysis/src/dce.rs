@@ -1,0 +1,397 @@
+//! Opt-in dead-code elimination driven by the dataflow facts.
+//!
+//! [`Dce`] is a true transform miniphase — the first consumer of the
+//! analysis layer that *changes* trees — but it rewrites whole units in
+//! [`MiniPhase::transform_unit`] rather than through per-kind hooks, for
+//! the same reason the dataflow rules do: liveness and constancy are
+//! whole-graph facts, not per-node ones. Because `transform_unit` runs
+//! *after* the group's traversal (where the lint prepare hooks fire) and
+//! after every member's `prepare_unit`, findings are always computed on
+//! the pre-DCE tree in both fused and mega plans — one half of the
+//! output-neutrality contract.
+//!
+//! ## What it eliminates
+//!
+//! * **Dead stores** — `x = rhs` where the dataflow layer proved no path
+//!   reads the stored value ([`crate::dataflow::DceFacts::dead_assigns`])
+//!   *and* the right-hand side is pure (a literal, a variable read, or
+//!   `this`), so dropping the statement cannot change observable
+//!   behaviour. The assignment is replaced by a unit literal carrying the
+//!   assignment's type and span.
+//! * **Statically dead branches** — `if`/`while` whose condition is a
+//!   local bound once to a boolean literal whose binding dominates the
+//!   decision ([`crate::dataflow::DceFacts::const_branches`]). An `if`
+//!   folds to its taken branch (wrapped in a block keeping the `if`'s
+//!   type and span); a never-entered `while` folds to a unit literal.
+//!   `while (true)` is never touched. Condition reads are pure by the
+//!   [`crate::cfg::CondSource::Var`] construction, so no effects are lost.
+//!
+//! Rewrites are skipped for synthetic spans (fact tables are span-keyed)
+//! and for subtrees whose cached size saturated (the eliminated-node
+//! count, surfaced as [`miniphase::ExecStats::nodes_eliminated`], must
+//! stay exact). Everything here only ever *shrinks* trees; the
+//! output-neutrality property tests pin VM output and findings
+//! byte-identical with the phase on and off across every executor mode.
+
+use mini_ir::{Constant, Ctx, Kids, NodeKindSet, Span, Tree, TreeKind, TreeRef};
+use miniphase::{MiniPhase, PhaseInfo};
+
+use crate::dataflow::{compute_dce_facts, DceFacts};
+
+/// The dead-code-elimination phase. Stateless between units apart from
+/// the eliminated-node counter the executors drain.
+#[derive(Default)]
+pub struct Dce {
+    eliminated: u64,
+}
+
+/// True when evaluating `t` can have no observable effect.
+fn is_pure(t: &TreeRef) -> bool {
+    matches!(
+        t.kind(),
+        TreeKind::Literal { .. } | TreeKind::Ident { .. } | TreeKind::This { .. }
+    )
+}
+
+impl Dce {
+    fn unit_lit(ctx: &mut Ctx, of: &TreeRef) -> TreeRef {
+        ctx.mk(
+            TreeKind::Literal {
+                value: Constant::Unit,
+            },
+            of.tpe().clone(),
+            of.span(),
+        )
+    }
+
+    fn count(&mut self, before: &TreeRef, after: &TreeRef) {
+        self.eliminated += u64::from(before.subtree_size().saturating_sub(after.subtree_size()));
+    }
+
+    fn rewrite(&mut self, ctx: &mut Ctx, t: &TreeRef, facts: &DceFacts) -> TreeRef {
+        let span = t.span();
+        let sized = t.subtree_size() < Tree::SIZE_SATURATED && span != Span::SYNTHETIC;
+        match t.kind() {
+            TreeKind::Assign { lhs, rhs }
+                if sized
+                    && facts.dead_assigns.contains(&span)
+                    && matches!(lhs.kind(), TreeKind::Ident { .. })
+                    && is_pure(rhs) =>
+            {
+                let repl = Self::unit_lit(ctx, t);
+                self.count(t, &repl);
+                repl
+            }
+            TreeKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } if sized && facts.const_branches.contains_key(&span) => {
+                let taken = if facts.const_branches[&span] {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                let expr = if taken.is_empty_tree() {
+                    Self::unit_lit(ctx, t)
+                } else {
+                    self.rewrite(ctx, taken, facts)
+                };
+                let repl = ctx.mk(
+                    TreeKind::Block {
+                        stats: Kids::new(),
+                        expr,
+                    },
+                    t.tpe().clone(),
+                    span,
+                );
+                self.count(t, &repl);
+                repl
+            }
+            TreeKind::While { .. } if sized && facts.const_branches.get(&span) == Some(&false) => {
+                let repl = Self::unit_lit(ctx, t);
+                self.count(t, &repl);
+                repl
+            }
+            _ => ctx.map_children(t, &mut |ctx, c| self.rewrite(ctx, c, facts)),
+        }
+    }
+}
+
+impl PhaseInfo for Dce {
+    fn name(&self) -> &str {
+        "dce"
+    }
+    fn description(&self) -> &str {
+        "dead-code elimination from liveness + constancy facts (opt-in)"
+    }
+}
+
+impl MiniPhase for Dce {
+    // Empty masks: like the dataflow rules, the whole-unit rewrite happens
+    // in `transform_unit`, not in per-kind hooks, so the phase adds
+    // nothing to the group's traversal or pruning masks.
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::EMPTY
+    }
+    fn prepares(&self) -> NodeKindSet {
+        NodeKindSet::EMPTY
+    }
+    fn transform_unit(&mut self, ctx: &mut Ctx, tree: TreeRef) -> TreeRef {
+        let facts = compute_dce_facts(&ctx.symbols, &tree);
+        if facts.dead_assigns.is_empty() && facts.const_branches.is_empty() {
+            return tree;
+        }
+        self.rewrite(ctx, &tree, &facts)
+    }
+    fn take_eliminated(&mut self) -> u64 {
+        std::mem::take(&mut self.eliminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mini_ir::{Flags, Name, SymbolId, Type};
+
+    fn sp(a: u32, b: u32) -> Span {
+        Span { start: a, end: b }
+    }
+
+    fn method(ctx: &mut Ctx, name: &str) -> SymbolId {
+        let root = ctx.symbols.builtins().root_pkg;
+        ctx.symbols
+            .new_term(root, Name::intern(name), Flags::METHOD, Type::Int)
+    }
+
+    fn local(ctx: &mut Ctx, owner: SymbolId, name: &str) -> SymbolId {
+        ctx.symbols
+            .new_term(owner, Name::intern(name), Flags::EMPTY, Type::Int)
+    }
+
+    /// var d = 0; d = 1 (dead); d = 2 (live); if (g=false) … ; d
+    fn fixture(ctx: &mut Ctx) -> TreeRef {
+        let m = method(ctx, "m");
+        let d = local(ctx, m, "d");
+        let g = local(ctx, m, "g");
+        let zero = ctx.lit_int(0);
+        let ddecl = ctx.mk(TreeKind::ValDef { sym: d, rhs: zero }, Type::Unit, sp(0, 9));
+        let lhs1 = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(10, 11));
+        let one = ctx.lit_int(111);
+        let dead = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs1,
+                rhs: one,
+            },
+            Type::Unit,
+            sp(10, 15),
+        );
+        let lhs2 = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(16, 17));
+        let two = ctx.lit_int(222);
+        let live = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs2,
+                rhs: two,
+            },
+            Type::Unit,
+            sp(16, 21),
+        );
+        let f_lit = ctx.lit(Constant::Bool(false), sp(30, 35));
+        let gdecl = ctx.mk(
+            TreeKind::ValDef { sym: g, rhs: f_lit },
+            Type::Unit,
+            sp(22, 36),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: g }, Type::Boolean, sp(41, 42));
+        let ten = ctx.lit_int(101);
+        let twenty = ctx.lit_int(202);
+        let iff = ctx.mk(
+            TreeKind::If {
+                cond,
+                then_branch: ten,
+                else_branch: twenty,
+            },
+            Type::Int,
+            sp(37, 50),
+        );
+        let d_read = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(51, 52));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![ddecl, dead, live, gdecl, iff]),
+                expr: d_read,
+            },
+            Type::Int,
+            sp(0, 53),
+        );
+        ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 54),
+        )
+    }
+
+    #[test]
+    fn dce_drops_dead_store_and_folds_branch() {
+        let mut ctx = Ctx::new();
+        let tree = fixture(&mut ctx);
+        let before = tree.subtree_size();
+        let mut dce = Dce::default();
+        let out = dce.transform_unit(&mut ctx, tree);
+        let after = out.subtree_size();
+        assert!(after < before, "tree must shrink: {before} -> {after}");
+        assert_eq!(
+            dce.take_eliminated(),
+            u64::from(before - after),
+            "counter matches the actual shrinkage"
+        );
+        assert_eq!(dce.take_eliminated(), 0, "counter drains");
+        // The dead store's span now holds a unit literal; the live store
+        // survives; the if folded to its else branch.
+        let printed = mini_ir::printer::print_tree(&out, &ctx.symbols);
+        assert!(!printed.contains("111"), "dead store removed: {printed}");
+        assert!(printed.contains("222"), "live store kept: {printed}");
+        assert!(
+            printed.contains("202") && !printed.contains("101"),
+            "if folded to else branch: {printed}"
+        );
+    }
+
+    #[test]
+    fn dce_is_identity_without_facts() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let x = local(&mut ctx, m, "x");
+        let one = ctx.lit_int(1);
+        let decl = ctx.mk(TreeKind::ValDef { sym: x, rhs: one }, Type::Unit, sp(0, 8));
+        let read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(9, 10));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![decl]),
+                expr: read,
+            },
+            Type::Int,
+            sp(0, 11),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 12),
+        );
+        let mut dce = Dce::default();
+        let out = dce.transform_unit(&mut ctx, mdef.clone());
+        assert!(std::rc::Rc::ptr_eq(&out, &mdef), "no facts, no rewrite");
+        assert_eq!(dce.take_eliminated(), 0);
+    }
+
+    #[test]
+    fn dce_leaves_impure_dead_store() {
+        // d = f() — dead by liveness, but the call may have effects.
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let f = method(&mut ctx, "f");
+        let d = local(&mut ctx, m, "d");
+        let zero = ctx.lit_int(0);
+        let ddecl = ctx.mk(TreeKind::ValDef { sym: d, rhs: zero }, Type::Unit, sp(0, 9));
+        let lhs = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(10, 11));
+        let fref = ctx.mk(TreeKind::Ident { sym: f }, Type::Int, sp(14, 15));
+        let call = ctx.mk(
+            TreeKind::Apply {
+                fun: fref,
+                args: Kids::new(),
+            },
+            Type::Int,
+            sp(14, 17),
+        );
+        let store = ctx.mk(TreeKind::Assign { lhs, rhs: call }, Type::Unit, sp(10, 18));
+        let d_read = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(19, 20));
+        let lhs2 = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(21, 22));
+        let three = ctx.lit_int(3);
+        let live = ctx.mk(
+            TreeKind::Assign {
+                lhs: lhs2,
+                rhs: three,
+            },
+            Type::Unit,
+            sp(21, 27),
+        );
+        let _ = d_read;
+        let final_read = ctx.mk(TreeKind::Ident { sym: d }, Type::Int, sp(28, 29));
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![ddecl, store, live]),
+                expr: final_read,
+            },
+            Type::Int,
+            sp(0, 30),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 31),
+        );
+        let mut dce = Dce::default();
+        let out = dce.transform_unit(&mut ctx, mdef.clone());
+        assert!(
+            std::rc::Rc::ptr_eq(&out, &mdef),
+            "impure store survives untouched"
+        );
+        assert_eq!(dce.take_eliminated(), 0);
+    }
+
+    #[test]
+    fn while_true_is_never_folded() {
+        let mut ctx = Ctx::new();
+        let m = method(&mut ctx, "m");
+        let g = local(&mut ctx, m, "g");
+        let t_lit = ctx.lit(Constant::Bool(true), sp(9, 13));
+        let gdecl = ctx.mk(
+            TreeKind::ValDef { sym: g, rhs: t_lit },
+            Type::Unit,
+            sp(0, 14),
+        );
+        let cond = ctx.mk(TreeKind::Ident { sym: g }, Type::Boolean, sp(21, 22));
+        let unit_body = ctx.lit_unit();
+        let wh = ctx.mk(
+            TreeKind::While {
+                cond,
+                body: unit_body,
+            },
+            Type::Unit,
+            sp(15, 30),
+        );
+        let unit_expr = ctx.lit_unit();
+        let body = ctx.mk(
+            TreeKind::Block {
+                stats: Kids::from(vec![gdecl, wh]),
+                expr: unit_expr,
+            },
+            Type::Unit,
+            sp(0, 31),
+        );
+        let mdef = ctx.mk(
+            TreeKind::DefDef {
+                sym: m,
+                paramss: vec![],
+                rhs: body,
+            },
+            Type::Nothing,
+            sp(0, 32),
+        );
+        let mut dce = Dce::default();
+        let out = dce.transform_unit(&mut ctx, mdef);
+        let printed = mini_ir::printer::print_tree(&out, &ctx.symbols);
+        assert!(printed.contains("while ("), "while(true) kept: {printed}");
+    }
+}

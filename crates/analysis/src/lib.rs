@@ -51,17 +51,42 @@
 //! | L001 | `unused-def` | warning | `ValDef` `DefDef` `Ident` `Select` |
 //! | L002 | `unused-local` | warning | (same phase as L001) |
 //! | L003 | `unreachable` | warning | `Block` |
-//! | L004 | `use-before-assign` | error | `ValDef` `Assign` `Ident` |
+//! | L004 | `use-before-assign` | error | CFG + dataflow (see below) |
 //! | L005 | `const-cond` | warning | `If` `While` |
+//! | L006 | `dead-store` | warning | CFG + dataflow |
+//! | L007 | `branch-never-taken` | warning | CFG + dataflow |
 //!
 //! Unused detection is **per unit**: a definition is flagged when nothing in
 //! its *defining unit* references it, which keeps findings cacheable in
-//! per-unit artifacts (the message says so honestly). Definite assignment is
-//! a linear pre-order approximation — assignments are observed in source
-//! order with no branch merging — so it reports "possibly used before
-//! assignment" and only for locals declared without an initializer.
+//! per-unit artifacts (the message says so honestly).
+//!
+//! ## The dataflow layer
+//!
+//! L004, L006 and L007 are *path-sensitive*: the [`Dataflow`] phase lowers
+//! each method body (and the unit's top level) into a CFG ([`cfg`]) and
+//! runs a monotone-framework fixpoint solver ([`dataflow`]) over it —
+//! forward/must definite assignment, backward/may liveness, and a sparse
+//! single-binding constancy summary. The phase is still prepare-only, but
+//! it declares an *empty* prepare mask and does its whole-unit walk in
+//! [`MiniPhase::prepare_unit`] instead of per-node hooks: a fixpoint over
+//! joins and back-edges fundamentally cannot be computed from one
+//! pre-order arrival per node, and doing it per unit keeps findings
+//! independent of executor mode, pruning and parallelism (pinned by the
+//! equivalence property tests). L004's historical syntactic core is kept
+//! as [`syntactic_use_before_assign`] so the dominance tests can pin that
+//! the path-sensitive verdicts are strictly better on both sides
+//! (suppressed false positive, caught false negative).
+//!
+//! The same facts drive the opt-in dead-code-elimination transform
+//! ([`dce::Dce`], enabled by the driver's `with_dce`), which is pinned
+//! output-neutral: identical VM output and identical findings with DCE on
+//! and off.
 
 #![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod dce;
 
 use std::collections::HashSet;
 
@@ -79,6 +104,10 @@ pub const RULE_UNREACHABLE: &str = "unreachable";
 pub const RULE_USE_BEFORE_ASSIGN: &str = "use-before-assign";
 /// Rule name for constant conditions (L005).
 pub const RULE_CONST_COND: &str = "const-cond";
+/// Rule name for stores whose value is never read (L006).
+pub const RULE_DEAD_STORE: &str = "dead-store";
+/// Rule name for branches on locals bound once to a literal (L007).
+pub const RULE_BRANCH_NEVER: &str = "branch-never-taken";
 
 /// Maps a rule name to its stable diagnostic code (rendered by clients as
 /// e.g. `warning[L003]`). Unknown rules map to `L000`.
@@ -89,6 +118,8 @@ pub fn rule_code(rule: &str) -> &'static str {
         RULE_UNREACHABLE => "L003",
         RULE_USE_BEFORE_ASSIGN => "L004",
         RULE_CONST_COND => "L005",
+        RULE_DEAD_STORE => "L006",
+        RULE_BRANCH_NEVER => "L007",
         _ => "L000",
     }
 }
@@ -243,11 +274,16 @@ impl UnreachableVisitor {
     }
 }
 
-/// Visitor for L004 — a linear pre-order approximation of definite
-/// assignment: a local declared without an initializer is "unassigned" until
-/// an `Assign` to it is *encountered* (in pre-order); a read while
-/// unassigned is reported once per symbol. No branch merging: an assignment
-/// inside one `If` arm counts for everything visited after it.
+/// The retired syntactic core of L004 — a linear pre-order approximation of
+/// definite assignment: a local declared without an initializer is
+/// "unassigned" until an `Assign` to it is *encountered* (in pre-order); a
+/// read while unassigned is reported once per symbol. No branch merging, no
+/// escape analysis — kept (not shipped in [`lint_phases`]) so the dominance
+/// tests can pin the path-sensitive replacement strictly better: this
+/// visitor falsely flags lambda captures (the capture's `Ident` arrives
+/// before the later `Assign`) and misses self-referential first assignments
+/// like `x = x + 1` (the `Assign` node arrives pre-order *before* its rhs
+/// read and clears the tracking).
 #[derive(Default)]
 struct DefAssignVisitor {
     unassigned: HashSet<SymbolId>,
@@ -416,17 +452,63 @@ lint_phase!(
     prepares: [Block => prepare_block]
 );
 
-lint_phase!(
-    /// L004 — locals possibly read before their first assignment.
-    DefiniteAssign, "lintDefAssign", "use before assignment (L004)",
-    DefAssignVisitor,
-    needs_symbols: true,
-    prepares: [
-        ValDef => prepare_val_def,
-        Assign => prepare_assign,
-        Ident => prepare_ident,
-    ]
-);
+/// Runs the retired syntactic L004 core over one unit tree (standalone
+/// pre-order walk). Exists solely as the comparison baseline for the
+/// dominance tests; the shipped rule is [`dataflow::dataflow_findings`].
+pub fn syntactic_use_before_assign(
+    symbols: &SymbolTable,
+    unit: &str,
+    tree: &TreeRef,
+) -> Vec<Finding> {
+    let mut v = DefAssignVisitor::default();
+    let mut stack: Vec<TreeRef> = vec![tree.clone()];
+    while let Some(t) = stack.pop() {
+        v.visit(symbols, &t);
+        let mut kids: Vec<TreeRef> = Vec::new();
+        t.for_each_child(&mut |c| kids.push(c.clone()));
+        stack.extend(kids.into_iter().rev());
+    }
+    let mut out = v.flush();
+    for f in &mut out {
+        f.unit = unit.to_owned();
+    }
+    sort_findings(&mut out);
+    out
+}
+
+/// L004/L006/L007 — the path-sensitive rules, packaged as a prepare-only
+/// miniphase with an **empty** prepare mask: the whole-unit CFG + fixpoint
+/// pass runs once per unit in [`MiniPhase::prepare_unit`] (before any
+/// group member transforms the tree), so its findings are identical across
+/// executors, pruning settings and fusion modes by construction.
+#[derive(Default)]
+pub struct Dataflow {
+    findings: Vec<Finding>,
+}
+
+impl PhaseInfo for Dataflow {
+    fn name(&self) -> &str {
+        "lintDataflow"
+    }
+    fn description(&self) -> &str {
+        "CFG + fixpoint dataflow rules (L004/L006/L007)"
+    }
+}
+
+impl MiniPhase for Dataflow {
+    fn transforms(&self) -> NodeKindSet {
+        NodeKindSet::EMPTY
+    }
+    fn prepares(&self) -> NodeKindSet {
+        NodeKindSet::EMPTY
+    }
+    fn prepare_unit(&mut self, ctx: &mut Ctx, unit_tree: &TreeRef) {
+        self.findings = dataflow::dataflow_findings(&ctx.symbols, unit_tree);
+    }
+    fn take_findings(&mut self) -> Vec<Finding> {
+        std::mem::take(&mut self.findings)
+    }
+}
 
 lint_phase!(
     /// L005 — constant `if`/`while` conditions.
@@ -447,7 +529,7 @@ pub fn lint_phases() -> Vec<Box<dyn MiniPhase>> {
     vec![
         Box::new(UnusedDefs::default()),
         Box::new(Unreachable::default()),
-        Box::new(DefiniteAssign::default()),
+        Box::new(Dataflow::default()),
         Box::new(ConstCond::default()),
     ]
 }
@@ -456,7 +538,9 @@ pub fn lint_phases() -> Vec<Box<dyn MiniPhase>> {
 pub const LINT_PHASE_COUNT: usize = 4;
 
 /// The union of every lint rule's prepare mask — what the suite adds to a
-/// fusion group's subtree-pruning mask.
+/// fusion group's subtree-pruning mask. The dataflow phase contributes
+/// nothing here: its whole-unit walk runs in `prepare_unit`, outside the
+/// pruned traversal.
 pub fn lint_mask() -> NodeKindSet {
     NodeKindSet::EMPTY
         .with(NodeKind::ValDef)
@@ -464,7 +548,6 @@ pub fn lint_mask() -> NodeKindSet {
         .with(NodeKind::Ident)
         .with(NodeKind::Select)
         .with(NodeKind::Block)
-        .with(NodeKind::Assign)
         .with(NodeKind::If)
         .with(NodeKind::While)
 }
@@ -478,7 +561,6 @@ pub fn lint_mask() -> NodeKindSet {
 pub fn lint_unit(symbols: &SymbolTable, unit: &str, tree: &TreeRef) -> Vec<Finding> {
     let mut unused = UnusedVisitor::default();
     let mut unreachable = UnreachableVisitor::default();
-    let mut defassign = DefAssignVisitor::default();
     let mut constcond = ConstCondVisitor::default();
 
     // Explicit-stack pre-order DFS, same arrival order as the executors'
@@ -487,7 +569,6 @@ pub fn lint_unit(symbols: &SymbolTable, unit: &str, tree: &TreeRef) -> Vec<Findi
     while let Some(t) = stack.pop() {
         unused.visit(symbols, &t);
         unreachable.visit(&t);
-        defassign.visit(symbols, &t);
         constcond.visit(&t);
         let mut kids: Vec<TreeRef> = Vec::new();
         t.for_each_child(&mut |c| kids.push(c.clone()));
@@ -496,7 +577,7 @@ pub fn lint_unit(symbols: &SymbolTable, unit: &str, tree: &TreeRef) -> Vec<Findi
 
     let mut out = unused.flush();
     out.extend(unreachable.flush());
-    out.extend(defassign.flush());
+    out.extend(dataflow::dataflow_findings(symbols, tree));
     out.extend(constcond.flush());
     for f in &mut out {
         f.unit = unit.to_owned();

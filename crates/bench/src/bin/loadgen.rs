@@ -201,7 +201,8 @@ fn main() {
                                     // response — including ones replayed
                                     // from the session/shared caches.
                                     if lint {
-                                        for code in ["L001", "L002", "L003", "L005"] {
+                                        for code in ["L001", "L002", "L003", "L005", "L006", "L007"]
+                                        {
                                             if !resp.diagnostics.iter().any(|d| d.code == code) {
                                                 fail(&format!(
                                                     "{tenant}: no {code} diagnostic in the final \

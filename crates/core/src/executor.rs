@@ -87,6 +87,11 @@ pub struct ExecStats {
     pub prepare_calls: u64,
     /// Traversals (unit × group runs).
     pub traversals: u64,
+    /// Tree nodes removed by eliminating transforms (currently the opt-in
+    /// DCE phase), priced from the cached [`mini_ir::Tree::subtree_size`]
+    /// delta of each rewrite; saturated subtrees are left untouched by the
+    /// eliminators, so the count is exact. 0 on every default pipeline.
+    pub nodes_eliminated: u64,
 }
 
 impl ExecStats {
@@ -98,6 +103,7 @@ impl ExecStats {
         self.member_transforms += other.member_transforms;
         self.prepare_calls += other.prepare_calls;
         self.traversals += other.traversals;
+        self.nodes_eliminated += other.nodes_eliminated;
     }
 }
 
@@ -784,6 +790,7 @@ impl Pipeline {
             let mut stats = ExecStats::default();
             cur = self.run_group_on_unit(gi, ctx, &cur, &mut stats);
             stats.member_transforms = self.groups[gi].take_member_transforms();
+            stats.nodes_eliminated = self.groups[gi].take_eliminated();
             let found = self.harvest_findings(gi, &cur.name);
             self.findings.extend(found);
             self.stats.merge(stats);
@@ -827,6 +834,7 @@ impl Pipeline {
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u);
                 stats.member_transforms = self.groups[gi].take_member_transforms();
+                stats.nodes_eliminated = self.groups[gi].take_eliminated();
                 found_row.extend(self.harvest_findings(gi, &out.name));
                 self.stats.merge(stats);
                 next.push(out);
@@ -933,6 +941,7 @@ impl Pipeline {
                 ctx.swap_fresh_scope(&mut fresh_scopes[ui]);
                 drop(u); // the pre-group tree dies here, as in Listing 3
                 stats.member_transforms = self.groups[gi].take_member_transforms();
+                stats.nodes_eliminated = self.groups[gi].take_eliminated();
                 found_row.extend(self.harvest_findings(gi, &out.name));
                 self.stats.merge(stats);
                 row.push(stats);

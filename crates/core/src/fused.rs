@@ -245,6 +245,11 @@ impl Fused {
         out
     }
 
+    /// Drains the eliminated-node counters of every member.
+    fn take_member_eliminated(&mut self) -> u64 {
+        self.members.iter_mut().map(|m| m.take_eliminated()).sum()
+    }
+
     /// The fused transform chain for a node of kind `entry` (Listing 6).
     /// Crate-visible so the executor's fused driver enters it directly,
     /// without the per-kind `dyn MiniPhase` re-dispatch.
@@ -406,6 +411,10 @@ macro_rules! impl_fused_hooks {
 
             fn take_findings(&mut self) -> Vec<$crate::checker::Finding> {
                 self.take_member_findings()
+            }
+
+            fn take_eliminated(&mut self) -> u64 {
+                self.take_member_eliminated()
             }
 
             $(

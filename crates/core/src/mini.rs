@@ -123,6 +123,15 @@ macro_rules! define_mini_phase {
                 Vec::new()
             }
 
+            /// Drains the number of tree nodes this phase eliminated from
+            /// the unit just traversed (dead-code elimination and friends).
+            /// Harvested by the executors once per `(group, unit)` into
+            /// [`crate::ExecStats::nodes_eliminated`]; phases that never
+            /// shrink trees keep the default (zero).
+            fn take_eliminated(&mut self) -> u64 {
+                0
+            }
+
             $(
                 #[doc = concat!(
                     "Transforms a `", stringify!($variant),

@@ -27,8 +27,9 @@ use std::fmt;
 /// multi-line rendering with source context.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable code: `L001`..`L005` for lint rules, `C900` for checker
-    /// failures, `B900` for budget breaches, `E900` for frontend errors.
+    /// Stable code: `L001`..`L007` for lint/dataflow rules, `C900` for
+    /// checker failures, `B900` for budget breaches, `E900` for frontend
+    /// errors.
     pub code: String,
     /// Warning or error.
     pub severity: Severity,
@@ -36,7 +37,9 @@ pub struct Diagnostic {
     pub unit: String,
     /// 1-based line of the span start (0 when no source was available).
     pub line: u32,
-    /// 1-based byte column of the span start (0 without source).
+    /// 1-based **character** column of the span start (0 without source);
+    /// counted in characters so the rendered caret aligns on lines with
+    /// multi-byte text.
     pub col: u32,
     /// The underlying message.
     pub msg: String,
@@ -140,8 +143,10 @@ pub fn render_compiled<'a>(
     out
 }
 
-/// 1-based `(line, col)` of a byte offset (byte columns; clamped to the
-/// source length).
+/// 1-based `(line, col)` of a byte offset, clamped to the source length.
+/// The column counts **characters**, not bytes — the caret line below the
+/// excerpt is padded with one space per character, so a byte column would
+/// drift right of the span whenever the line holds multi-byte characters.
 fn line_col(source: &str, offset: u32) -> (u32, u32) {
     let offset = (offset as usize).min(source.len());
     let before = &source.as_bytes()[..offset];
@@ -151,7 +156,8 @@ fn line_col(source: &str, offset: u32) -> (u32, u32) {
         .rposition(|&b| b == b'\n')
         .map(|p| p + 1)
         .unwrap_or(0);
-    (line, (offset - line_start) as u32 + 1)
+    let col = source[line_start..offset].chars().count() as u32 + 1;
+    (line, col)
 }
 
 fn render(
@@ -182,7 +188,11 @@ fn render(
             let text = &src[line_start..line_end];
             let gutter = line.to_string();
             let pad = " ".repeat(gutter.len());
-            let underline = ((span.end as usize).min(line_end) - start).max(1);
+            // Underline width in characters (like the column), never bytes.
+            let underline = src[start..(span.end as usize).min(line_end).max(start)]
+                .chars()
+                .count()
+                .max(1);
             rendered.push_str(&format!("{pad} |\n{gutter} | {text}\n{pad} | "));
             rendered.push_str(&" ".repeat((col as usize).saturating_sub(1)));
             rendered.push_str(&"^".repeat(underline));
@@ -239,6 +249,34 @@ mod tests {
             d.rendered
         );
         assert!(d.rendered.contains("|     ^^^^"), "{}", d.rendered);
+    }
+
+    #[test]
+    fn caret_counts_characters_not_bytes() {
+        // Three multi-byte characters («, π, ») precede the span on its
+        // line; a byte-counted column would report 2:17 and pad the caret
+        // three cells right of `bad`.
+        let src = "def f(): Int = 1\n// «π» here: bad\n";
+        let start = src.find("bad").unwrap() as u32;
+        let f = Finding {
+            rule: mini_analysis::RULE_DEAD_STORE,
+            severity: Severity::Warning,
+            unit: "u.ms".to_string(),
+            span: Span::new(start, start + 3),
+            node_kind: NodeKind::Assign,
+            msg: "value assigned to `bad` is never read".to_string(),
+        };
+        let d = from_finding(&f, Some(src));
+        assert_eq!(d.code, "L006");
+        assert_eq!((d.line, d.col), (2, 14));
+        assert!(d.rendered.contains(" --> u.ms:2:14"), "{}", d.rendered);
+        assert!(
+            d.rendered.contains("2 | // «π» here: bad"),
+            "{}",
+            d.rendered
+        );
+        let caret_line = format!("| {}^^^", " ".repeat(13));
+        assert!(d.rendered.contains(&caret_line), "{}", d.rendered);
     }
 
     #[test]

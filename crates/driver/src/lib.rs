@@ -131,6 +131,13 @@ pub struct CompilerOptions {
     /// Findings surface in [`Compiled::findings`], canonically sorted;
     /// default off, which keeps every paper-exact configuration untouched.
     pub lint: bool,
+    /// Run the dataflow-driven dead-code eliminator ([`mini_analysis::dce`])
+    /// as a transform member of the analysis prefix group. Output-neutral
+    /// by construction — VM output and findings stay byte-identical to a
+    /// `dce`-off run (proptest-enforced) — but it rewrites trees, so it is
+    /// opt-in and fingerprinted like `lint`. Eliminated nodes are counted
+    /// in [`miniphase::ExecStats::nodes_eliminated`].
+    pub dce: bool,
 }
 
 impl CompilerOptions {
@@ -144,6 +151,7 @@ impl CompilerOptions {
             jobs: 1,
             budgets: Budgets::default(),
             lint: false,
+            dce: false,
         }
     }
 
@@ -215,6 +223,15 @@ impl CompilerOptions {
     /// include it in their config fingerprint.
     pub fn with_lint(mut self, on: bool) -> CompilerOptions {
         self.lint = on;
+        self
+    }
+
+    /// Returns a copy with the dead-code eliminator switched on or off
+    /// (see [`CompilerOptions::dce`]). DCE rides the same analysis prefix
+    /// as the lint suite; it runs after every finding has been harvested
+    /// from the pre-DCE tree, so diagnostics never change with the flag.
+    pub fn with_dce(mut self, on: bool) -> CompilerOptions {
+        self.dce = on;
         self
     }
 
@@ -407,33 +424,52 @@ pub fn standard_plan(
 ) -> Result<(Vec<Box<dyn MiniPhase>>, PhasePlan), CompileError> {
     let std_phases = mini_phases::standard_pipeline();
     let plan = build_plan(&std_phases, &opts.plan_options()).map_err(CompileError::Plan)?;
-    if opts.lint {
-        // The lint suite is a *prefix*: planned separately and prepended so
-        // its prepare-only group never fuses into the first transform group
-        // (the transform groups — and their stats — stay byte-identical to
-        // a lint-off run).
-        let mut phases = mini_analysis::lint_phases();
-        phases.extend(std_phases);
-        let plan = plan.with_prefix(mini_analysis::LINT_PHASE_COUNT, &opts.plan_options());
-        Ok((phases, plan))
-    } else {
+    let prefix = analysis_prefix(opts.lint, opts.dce);
+    if prefix.is_empty() {
         Ok((std_phases, plan))
+    } else {
+        // The analysis block is a *prefix*: planned separately and prepended
+        // so it never fuses into the first transform group (the transform
+        // groups — and their stats — stay byte-identical to an analysis-off
+        // run). Lint members are prepare-only; `Dce` rewrites in
+        // `transform_unit`, which runs after every member's `prepare_unit`
+        // and the traversal, so findings are always computed on the pre-DCE
+        // tree even when the whole prefix fuses into one group.
+        let count = prefix.len();
+        let mut phases = prefix;
+        phases.extend(std_phases);
+        let plan = plan.with_prefix(count, &opts.plan_options());
+        Ok((phases, plan))
     }
 }
 
+/// The analysis prefix for the given flags: the lint suite (when `lint`),
+/// then the dead-code eliminator (when `dce`). `Dce` comes last so that in
+/// unfused (mega) plans its singleton group still runs after every lint
+/// group.
+fn analysis_prefix(lint: bool, dce: bool) -> Vec<Box<dyn MiniPhase>> {
+    let mut prefix: Vec<Box<dyn MiniPhase>> = if lint {
+        mini_analysis::lint_phases()
+    } else {
+        Vec::new()
+    };
+    if dce {
+        prefix.push(Box::new(mini_analysis::dce::Dce::default()));
+    }
+    prefix
+}
+
 /// Builds the per-worker phase-list factory matching [`standard_plan`] for
-/// the same `lint` setting — executors construct one phase list per chunk.
+/// the same `lint`/`dce` settings — executors construct one phase list per
+/// chunk.
 pub(crate) fn phase_factory(
     lint: bool,
+    dce: bool,
 ) -> impl Fn() -> Vec<Box<dyn MiniPhase>> + Sync + Send + Copy {
     move || {
-        if lint {
-            let mut phases = mini_analysis::lint_phases();
-            phases.extend(mini_phases::standard_pipeline());
-            phases
-        } else {
-            mini_phases::standard_pipeline()
-        }
+        let mut phases = analysis_prefix(lint, dce);
+        phases.extend(mini_phases::standard_pipeline());
+        phases
     }
 }
 
@@ -477,7 +513,7 @@ pub fn compile_sources(
     };
     let run = miniphase::run_units_parallel_controlled(
         &mut ctx,
-        &phase_factory(opts.lint),
+        &phase_factory(opts.lint, opts.dce),
         &plan,
         opts.fusion,
         units,

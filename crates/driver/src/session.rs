@@ -657,7 +657,7 @@ impl CompileSession {
             };
             let runs = miniphase::run_units_isolated(
                 &self.front,
-                &phase_factory(self.opts.lint),
+                &phase_factory(self.opts.lint, self.opts.dce),
                 &plan,
                 self.opts.fusion,
                 &inputs,
@@ -709,7 +709,7 @@ impl CompileSession {
                 };
                 let retry_runs = miniphase::run_units_isolated(
                     &self.front,
-                    &phase_factory(self.opts.lint),
+                    &phase_factory(self.opts.lint, self.opts.dce),
                     &plan,
                     self.opts.fusion,
                     &retry_inputs,
@@ -1125,8 +1125,8 @@ fn slot_span(floor: u32, n: u32) -> u32 {
 fn config_fingerprint(opts: &CompilerOptions) -> u64 {
     let mut h = Fnv64::new();
     h.str(&format!(
-        "{:?}|{}|{:?}|{:?}|{}",
-        opts.mode, opts.check, opts.fusion, opts.max_group_size, opts.lint
+        "{:?}|{}|{:?}|{:?}|{}|{}",
+        opts.mode, opts.check, opts.fusion, opts.max_group_size, opts.lint, opts.dce
     ));
     if let Ok((phases, plan)) = standard_plan(opts) {
         h.str(&plan.describe(&phases));

@@ -127,6 +127,7 @@ fn gen_unit(rng: &mut StdRng, uid: usize, target: usize) -> String {
         out.push('\n');
     }
     gen_lint_seed(&mut out, &p, (uid % 7 + 2) as i64);
+    gen_flow_seed(&mut out, &p, (uid % 7 + 2) as i64, (uid % 5 + 1) as i64);
     out
 }
 
@@ -145,6 +146,36 @@ fn gen_lint_seed(out: &mut String, p: &str, k: i64) {
   n + {k}
 }}
 def {p}lintSeedCond(n: Int): Int = if (true) n + {k} else n - {k}
+"#,
+    ));
+}
+
+/// Deterministic control-flow seed block appended after the lint seed,
+/// giving the dataflow suite known-position work in every corpus: a dead
+/// store (`flowAcc = n`, overwritten before any read — L006), a branch
+/// guarded by a local bound once to `false` (never taken — L007), and a
+/// join whose branches both assign (the dataflow rules must stay quiet on
+/// it). Like the lint seed, the defs are never called — so the corpus's VM
+/// output is untouched whether or not DCE rewrites them — and their
+/// constants derive from the unit id only, keeping the block byte-identical
+/// across body salts and signature edits.
+fn gen_flow_seed(out: &mut String, p: &str, k1: i64, k4: i64) {
+    out.push_str(&format!(
+        r#"def {p}flowDead(n: Int): Int = {{
+  var flowAcc: Int = n * {k1}
+  flowAcc = n
+  flowAcc = n + {k4}
+  flowAcc
+}}
+def {p}flowGate(n: Int): Int = {{
+  val flowFlag: Boolean = false
+  if (flowFlag) n - {k4} else n + {k4}
+}}
+def {p}flowJoin(n: Int, m: Int): Int = {{
+  var flowJ: Int = n - m
+  if (n < m) {{ flowJ = m }} else {{ flowJ = n }}
+  flowJ + {k1}
+}}
 "#,
     ));
 }
@@ -441,7 +472,7 @@ pub fn linked_unit_source(
             format!("{p}spare(local, 1)"),
         )
     };
-    format!(
+    let mut src = format!(
         r#"def {p}entry(n: Int): Int = {{
   val seedv: Int = n * {k1} + {k3}
   val local: Int = {p}helper(seedv){dep_calls}
@@ -481,7 +512,9 @@ def {p}lintSeedDead(n: Int): Int = {{
 }}
 def {p}lintSeedCond(n: Int): Int = if (true) n + {k4} else n - {k4}
 "#
-    )
+    );
+    gen_flow_seed(&mut src, &p, k1, k4);
+    src
 }
 
 /// The driver unit (sorted last as `zmain.ms`): calls a spread of entries
@@ -808,6 +841,30 @@ mod tests {
     }
 
     #[test]
+    fn every_generated_unit_carries_the_flow_seed() {
+        let w = generate(&WorkloadConfig::small());
+        for (name, src) in &w.units {
+            if name == "main.ms" {
+                continue; // the tiny driver unit is seed-free by design
+            }
+            assert!(src.contains("flowDead"), "{name}: dead-store seed (L006)");
+            assert!(
+                src.contains("flowAcc = n\n"),
+                "{name}: the overwritten store"
+            );
+            assert!(
+                src.contains("val flowFlag: Boolean = false"),
+                "{name}: never-taken-branch seed (L007)"
+            );
+            assert!(src.contains("if (flowFlag)"), "{name}: gated branch");
+            assert!(
+                src.contains("flowJoin"),
+                "{name}: both-branches-assign join seed"
+            );
+        }
+    }
+
+    #[test]
     fn linked_lint_seed_is_edit_invariant() {
         // The seed block derives from the unit id alone: body salts and
         // signature toggles must leave it byte-identical, so incremental
@@ -822,6 +879,30 @@ mod tests {
         for uid in 0..cfg.units {
             let v0 = seed_lines(&linked_unit_source(&cfg, uid, 0, 0));
             assert!(!v0.is_empty(), "unit {uid} carries the seed");
+            assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 9, 0)));
+            assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 0, 1)));
+        }
+    }
+
+    #[test]
+    fn linked_flow_seed_is_edit_invariant() {
+        // Same contract as the lint seed: the control-flow block derives
+        // from the unit id alone, so salted bodies and signature toggles
+        // leave the dataflow suite's seeded findings byte-stable.
+        let cfg = LinkedConfig { units: 5, seed: 11 };
+        let seed_lines = |s: &str| -> Vec<String> {
+            s.lines()
+                .skip_while(|l| !l.contains("flowDead"))
+                .map(str::to_owned)
+                .collect()
+        };
+        for uid in 0..cfg.units {
+            let v0 = seed_lines(&linked_unit_source(&cfg, uid, 0, 0));
+            assert!(!v0.is_empty(), "unit {uid} carries the flow seed");
+            assert!(
+                v0.iter().any(|l| l.contains("if (flowFlag)")),
+                "unit {uid}: gated branch present"
+            );
             assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 9, 0)));
             assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 0, 1)));
         }

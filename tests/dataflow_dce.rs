@@ -1,0 +1,377 @@
+//! PR 9 pins: the dataflow layer's three contracts.
+//!
+//! 1. **DCE output-neutrality** — compiling with
+//!    [`CompilerOptions::with_dce`] must leave VM output *and* findings
+//!    byte-identical to a DCE-off run across fused/mega plans × jobs
+//!    {1, 4} × subtree pruning {Off, On, Auto} × the dynamic checker, and
+//!    across incremental sessions (cached artifacts ≡ from-scratch). The
+//!    eliminated-node counter must be nonzero exactly when DCE ran (the
+//!    workload's flow seeds guarantee eliminable code in every unit).
+//! 2. **CFG well-formedness** — every graph built over generated corpora
+//!    passes [`Cfg::validate`]: entry/exit invariants, edge targets in
+//!    range, deduplicated and mutually consistent edge lists, and a
+//!    reachability verdict for every block.
+//! 3. **L004 dominance** — the path-sensitive definite-assignment rule is
+//!    strictly better than the retired syntactic core on both sides: it
+//!    suppresses the lambda-capture false positive and catches the
+//!    self-referential-first-assignment false negative.
+
+use miniphases::mini_driver::{compile_sources, CompileSession, CompilerOptions};
+use miniphases::mini_ir::{Constant, Ctx, Flags, Kids, Name, SymbolId, TreeKind, TreeRef, Type};
+use miniphases::miniphase::{Finding, SubtreePruning};
+use miniphases::{mini_analysis, mini_backend, mini_front, workload};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn opts_for(mode: u8, jobs: usize, prune: u8, check: bool) -> CompilerOptions {
+    let base = if mode.is_multiple_of(2) {
+        CompilerOptions::fused()
+    } else {
+        CompilerOptions::mega()
+    };
+    base.with_pruning_mode(match prune % 3 {
+        0 => SubtreePruning::Off,
+        1 => SubtreePruning::On,
+        _ => SubtreePruning::Auto,
+    })
+    .with_jobs(jobs)
+    .with_check(check)
+    .with_lint(true)
+}
+
+/// Compiles and runs, returning (VM output, findings, eliminated nodes).
+fn run(units: &[(String, String)], opts: &CompilerOptions) -> (Vec<String>, Vec<Finding>, u64) {
+    let refs: Vec<(&str, &str)> = units
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
+    let compiled = compile_sources(&refs, opts).expect("compiles");
+    let mut vm = mini_backend::Vm::new(&compiled.program);
+    vm.run_main().expect("runs");
+    (vm.out, compiled.findings, compiled.exec.nodes_eliminated)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn dce_is_output_neutral_across_modes(
+        seed in 0u64..10_000,
+        loc in 200usize..600,
+        mode in 0u8..2,
+        jobs_pick in 0u8..2,
+        prune in 0u8..3,
+        check in 0u8..2,
+    ) {
+        let jobs = if jobs_pick == 0 { 1 } else { 4 };
+        let opts = opts_for(mode, jobs, prune, check == 1);
+        let w = workload::generate(&workload::WorkloadConfig {
+            target_loc: loc,
+            seed,
+            unit_loc: 250,
+        });
+
+        let (out_plain, findings_plain, elim_plain) = run(&w.units, &opts);
+        let (out_dce, findings_dce, elim_dce) = run(&w.units, &opts.with_dce(true));
+        prop_assert_eq!(
+            &out_plain, &out_dce,
+            "DCE changed VM output (mode {}, jobs {}, prune {})", mode, jobs, prune
+        );
+        prop_assert_eq!(
+            &findings_plain, &findings_dce,
+            "DCE changed findings — the analysis prefix must harvest them pre-DCE"
+        );
+        prop_assert!(!findings_dce.is_empty(), "seeded corpus must produce findings");
+        prop_assert_eq!(elim_plain, 0, "no elimination without the flag");
+        prop_assert!(
+            elim_dce > 0,
+            "the flow seeds guarantee eliminable code in every unit"
+        );
+
+        // DCE without lint: same program, no findings channel.
+        let (out_solo, findings_solo, elim_solo) =
+            run(&w.units, &opts.with_lint(false).with_dce(true));
+        prop_assert_eq!(&out_plain, &out_solo, "lint-less DCE changed VM output");
+        prop_assert!(findings_solo.is_empty(), "no lint, no findings");
+        prop_assert!(elim_solo > 0, "DCE runs without the lint suite too");
+    }
+
+    #[test]
+    fn incremental_dce_matches_from_scratch(
+        corpus_seed in 0u64..10_000,
+        edit_seed in 0u64..10_000,
+        units in 4usize..8,
+        mode in 0u8..2,
+        jobs_pick in 0u8..2,
+        prune in 0u8..3,
+    ) {
+        let jobs = if jobs_pick == 0 { 1 } else { 4 };
+        let opts = opts_for(mode, jobs, prune, false).with_dce(true);
+        let cfg = workload::LinkedConfig { units, seed: corpus_seed };
+        let script = workload::edit_series(&cfg, 3, edit_seed);
+
+        let mut sources: BTreeMap<String, String> =
+            script.base.units.iter().cloned().collect();
+        let mut session = CompileSession::new(opts);
+        for (n, s) in &sources {
+            session.update(n.clone(), s.clone());
+        }
+        let scratch = |sources: &BTreeMap<String, String>| {
+            let owned: Vec<(String, String)> = sources
+                .iter()
+                .map(|(n, s)| (n.clone(), s.clone()))
+                .collect();
+            run(&owned, &opts)
+        };
+
+        let cold = session.compile().expect("cold compile");
+        let mut vm = mini_backend::Vm::new(&cold.program);
+        vm.run_main().expect("runs");
+        let (scr_out, scr_findings, _) = scratch(&sources);
+        prop_assert_eq!(&vm.out, &scr_out, "cold VM output mismatch");
+        prop_assert_eq!(&cold.findings, &scr_findings, "cold findings mismatch");
+
+        for (i, edit) in script.edits.iter().enumerate() {
+            sources.insert(edit.unit.clone(), edit.source.clone());
+            session.update(edit.unit.clone(), edit.source.clone());
+            let warm = session.compile().expect("warm compile");
+            let mut vm = mini_backend::Vm::new(&warm.program);
+            vm.run_main().expect("runs");
+            let (scr_out, scr_findings, _) = scratch(&sources);
+            prop_assert_eq!(
+                &vm.out, &scr_out,
+                "after edit {} ({:?} on {}): incremental DCE output != from-scratch",
+                i, edit.kind, edit.unit
+            );
+            prop_assert_eq!(
+                &warm.findings, &scr_findings,
+                "after edit {}: cached findings != from-scratch under DCE", i
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_well_formed_on_generated_corpora(
+        seed in 0u64..10_000,
+        loc in 200usize..600,
+    ) {
+        let w = workload::generate(&workload::WorkloadConfig {
+            target_loc: loc,
+            seed,
+            unit_loc: 250,
+        });
+        let mut ctx = Ctx::new();
+        let mut graphs = 0usize;
+        let mut branches = 0usize;
+        for (n, s) in &w.units {
+            let typed = mini_front::compile_source(&mut ctx, n, s).expect("corpus parses");
+            for cfg in mini_analysis::cfg::build_unit_cfgs(&ctx.symbols, &typed.tree) {
+                cfg.validate().unwrap_or_else(|e| {
+                    panic!("{n}/{}: ill-formed CFG: {e}", cfg.name)
+                });
+                prop_assert_eq!(
+                    cfg.reachable.len(), cfg.blocks.len(),
+                    "every block gets a reachability verdict"
+                );
+                graphs += 1;
+                branches += cfg.branches.len();
+            }
+        }
+        prop_assert!(graphs > 0, "corpus produced no CFGs");
+        prop_assert!(branches > 0, "flow seeds must contribute branch sites");
+    }
+}
+
+fn method(ctx: &mut Ctx, name: &str) -> SymbolId {
+    let root = ctx.symbols.builtins().root_pkg;
+    ctx.symbols
+        .new_term(root, Name::intern(name), Flags::METHOD, Type::Int)
+}
+
+fn local(ctx: &mut Ctx, owner: SymbolId, name: &str) -> SymbolId {
+    ctx.symbols
+        .new_term(owner, Name::intern(name), Flags::EMPTY, Type::Int)
+}
+
+fn sp(a: u32, b: u32) -> miniphases::mini_ir::Span {
+    miniphases::mini_ir::Span { start: a, end: b }
+}
+
+fn l004(findings: &[Finding]) -> Vec<&Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == mini_analysis::RULE_USE_BEFORE_ASSIGN)
+        .collect()
+}
+
+/// The syntactic core's false positive: a lambda captures `y` whose
+/// `Ident` arrives pre-order before the later `Assign`, so the walk flags
+/// it — but the closure may well run after the assignment. The
+/// path-sensitive rule treats captured variables as escaped and stays
+/// quiet.
+#[test]
+fn path_sensitive_l004_suppresses_lambda_capture_false_positive() {
+    let mut ctx = Ctx::new();
+    let m = method(&mut ctx, "m");
+    let y = local(&mut ctx, m, "y");
+    let no_init = ctx.mk(TreeKind::Empty, Type::NoType, sp(0, 0));
+    let decl = ctx.mk(
+        TreeKind::ValDef {
+            sym: y,
+            rhs: no_init,
+        },
+        Type::Unit,
+        sp(0, 8),
+    );
+    let captured = ctx.mk(TreeKind::Ident { sym: y }, Type::Int, sp(12, 13));
+    let lam = ctx.mk(
+        TreeKind::Lambda {
+            params: Kids::new(),
+            body: captured,
+        },
+        Type::Any,
+        sp(9, 14),
+    );
+    let lhs = ctx.mk(TreeKind::Ident { sym: y }, Type::Int, sp(15, 16));
+    let one = ctx.lit_int(1);
+    let assign = ctx.mk(TreeKind::Assign { lhs, rhs: one }, Type::Unit, sp(15, 20));
+    let read = ctx.mk(TreeKind::Ident { sym: y }, Type::Int, sp(21, 22));
+    let tree = body_def(&mut ctx, m, vec![decl, lam, assign], read);
+
+    let syn = mini_analysis::syntactic_use_before_assign(&ctx.symbols, "u", &tree);
+    assert_eq!(
+        l004(&syn).len(),
+        1,
+        "the syntactic core flags the capture (the pinned false positive)"
+    );
+    assert_eq!(l004(&syn)[0].span, sp(12, 13));
+    let df = mini_analysis::dataflow::dataflow_findings(&ctx.symbols, &tree);
+    assert!(
+        l004(&df).is_empty(),
+        "the path-sensitive rule treats the captured variable as escaped: {df:?}"
+    );
+}
+
+/// The syntactic core's false negative: in `x = x`, the `Assign` node
+/// arrives pre-order *before* its rhs read and clears the tracking, so the
+/// genuinely-uninitialized read goes unreported. The CFG linearizes the
+/// rhs read before the assignment event and catches it, span-exact.
+#[test]
+fn path_sensitive_l004_catches_self_assign_false_negative() {
+    let mut ctx = Ctx::new();
+    let m = method(&mut ctx, "m");
+    let x = local(&mut ctx, m, "x");
+    let no_init = ctx.mk(TreeKind::Empty, Type::NoType, sp(0, 0));
+    let decl = ctx.mk(
+        TreeKind::ValDef {
+            sym: x,
+            rhs: no_init,
+        },
+        Type::Unit,
+        sp(0, 8),
+    );
+    let lhs = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(9, 10));
+    let rhs_read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(13, 14));
+    let assign = ctx.mk(
+        TreeKind::Assign { lhs, rhs: rhs_read },
+        Type::Unit,
+        sp(9, 14),
+    );
+    let read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(15, 16));
+    let tree = body_def(&mut ctx, m, vec![decl, assign], read);
+
+    let syn = mini_analysis::syntactic_use_before_assign(&ctx.symbols, "u", &tree);
+    assert!(
+        l004(&syn).is_empty(),
+        "the syntactic core misses the read (the pinned false negative): {syn:?}"
+    );
+    let df = mini_analysis::dataflow::dataflow_findings(&ctx.symbols, &tree);
+    let hits = l004(&df);
+    assert_eq!(hits.len(), 1, "path-sensitive rule reports exactly once");
+    assert_eq!(hits[0].span, sp(13, 14), "at the rhs read, span-exact");
+}
+
+/// Both branches of a join assign before the subsequent read: the
+/// path-sensitive rule proves definiteness at the merge point and stays
+/// quiet, where a purely syntactic treatment has no notion of a join at
+/// all.
+#[test]
+fn path_sensitive_l004_is_quiet_on_both_branches_assign_join() {
+    let mut ctx = Ctx::new();
+    let m = method(&mut ctx, "m");
+    let x = local(&mut ctx, m, "x");
+    let c = local(&mut ctx, m, "c");
+    let no_init = ctx.mk(TreeKind::Empty, Type::NoType, sp(0, 0));
+    let decl = ctx.mk(
+        TreeKind::ValDef {
+            sym: x,
+            rhs: no_init,
+        },
+        Type::Unit,
+        sp(0, 8),
+    );
+    let t_lit = ctx.lit(Constant::Bool(true), sp(9, 13));
+    let cdecl = ctx.mk(
+        TreeKind::ValDef { sym: c, rhs: t_lit },
+        Type::Unit,
+        sp(9, 14),
+    );
+    let cond = ctx.mk(TreeKind::Ident { sym: c }, Type::Boolean, sp(18, 19));
+    let lhs_t = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(20, 21));
+    let one = ctx.lit_int(1);
+    let then_assign = ctx.mk(
+        TreeKind::Assign {
+            lhs: lhs_t,
+            rhs: one,
+        },
+        Type::Unit,
+        sp(20, 25),
+    );
+    let lhs_e = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(26, 27));
+    let two = ctx.lit_int(2);
+    let else_assign = ctx.mk(
+        TreeKind::Assign {
+            lhs: lhs_e,
+            rhs: two,
+        },
+        Type::Unit,
+        sp(26, 31),
+    );
+    let iff = ctx.mk(
+        TreeKind::If {
+            cond,
+            then_branch: then_assign,
+            else_branch: else_assign,
+        },
+        Type::Unit,
+        sp(15, 32),
+    );
+    let read = ctx.mk(TreeKind::Ident { sym: x }, Type::Int, sp(33, 34));
+    let tree = body_def(&mut ctx, m, vec![decl, cdecl, iff], read);
+
+    let df = mini_analysis::dataflow::dataflow_findings(&ctx.symbols, &tree);
+    assert!(
+        l004(&df).is_empty(),
+        "assigned on every path into the join — must not be reported: {df:?}"
+    );
+}
+
+fn body_def(ctx: &mut Ctx, m: SymbolId, stats: Vec<TreeRef>, expr: TreeRef) -> TreeRef {
+    let body = ctx.mk(
+        TreeKind::Block {
+            stats: Kids::from(stats),
+            expr,
+        },
+        Type::Int,
+        sp(0, 60),
+    );
+    ctx.mk(
+        TreeKind::DefDef {
+            sym: m,
+            paramss: vec![],
+            rhs: body,
+        },
+        Type::Nothing,
+        sp(0, 61),
+    )
+}
