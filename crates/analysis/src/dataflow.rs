@@ -402,6 +402,33 @@ pub fn dataflow_findings(symbols: &SymbolTable, tree: &TreeRef) -> Vec<Finding> 
     out
 }
 
+/// Solves both unit analyses **once** and derives the lint findings *and*
+/// the DCE fact tables from the same fixpoint solutions. This is what the
+/// fused pipeline uses when the dataflow lint rule and the DCE phase both
+/// run: the findings are exactly [`dataflow_findings`]'s and the facts
+/// exactly [`compute_dce_facts`]'s, minus one redundant CFG build + solve
+/// per unit. The standalone entry points remain for callers that need only
+/// one side (and as the honestly-costed baselines the benches compare to).
+pub fn analyze_unit(symbols: &SymbolTable, tree: &TreeRef) -> (Vec<Finding>, DceFacts) {
+    let mut out = Vec::new();
+    let mut assigns: HashMap<Span, Option<bool>> = HashMap::new();
+    let mut branches: HashMap<Span, Option<bool>> = HashMap::new();
+    for cfg in build_unit_cfgs(symbols, tree) {
+        // Nothing to report and nothing to record without variables or
+        // branches (fact events are all var- or branch-keyed), so the
+        // solve can be skipped, as `findings_for_cfg` does.
+        if cfg.vars.is_empty() && cfg.branches.is_empty() {
+            continue;
+        }
+        let order: Vec<usize> = (0..cfg.blocks.len()).collect();
+        let assigned = solve(&cfg, &DefiniteAssignment, &order);
+        let live = solve(&cfg, &Liveness, &order);
+        findings_from_solutions(&cfg, &assigned, &live, &mut out);
+        facts_from_solutions(&cfg, &assigned, &live, &mut assigns, &mut branches);
+    }
+    (out, seal_facts(assigns, branches))
+}
+
 fn findings_for_cfg(cfg: &Cfg, out: &mut Vec<Finding>) {
     if cfg.vars.is_empty() && cfg.branches.is_empty() {
         return;
@@ -409,7 +436,15 @@ fn findings_for_cfg(cfg: &Cfg, out: &mut Vec<Finding>) {
     let order: Vec<usize> = (0..cfg.blocks.len()).collect();
     let assigned = solve(cfg, &DefiniteAssignment, &order);
     let live = solve(cfg, &Liveness, &order);
+    findings_from_solutions(cfg, &assigned, &live, out);
+}
 
+fn findings_from_solutions(
+    cfg: &Cfg,
+    assigned: &Solution,
+    live: &Solution,
+    out: &mut Vec<Finding>,
+) {
     // L004 — use while not definitely assigned, on some reachable path.
     // One report per variable, anchored at the smallest-span offending
     // use (deterministic across block orders).
@@ -496,7 +531,7 @@ fn findings_for_cfg(cfg: &Cfg, out: &mut Vec<Finding>) {
         if !cfg.reachable[br.block] {
             continue;
         }
-        let Some((v, b)) = branch_constant(cfg, &assigned, br) else {
+        let Some((v, b)) = branch_constant(cfg, assigned, br) else {
             continue;
         };
         let name = &cfg.vars[v as usize].name;
@@ -564,7 +599,24 @@ pub fn compute_dce_facts(symbols: &SymbolTable, tree: &TreeRef) -> DceFacts {
     // Verdict per span: `None` once any disagreement is seen.
     let mut assigns: HashMap<Span, Option<bool>> = HashMap::new();
     let mut branches: HashMap<Span, Option<bool>> = HashMap::new();
-    let record = |map: &mut HashMap<Span, Option<bool>>, span: Span, v: bool| {
+    for cfg in build_unit_cfgs(symbols, tree) {
+        let order: Vec<usize> = (0..cfg.blocks.len()).collect();
+        let assigned = solve(&cfg, &DefiniteAssignment, &order);
+        let live = solve(&cfg, &Liveness, &order);
+        facts_from_solutions(&cfg, &assigned, &live, &mut assigns, &mut branches);
+    }
+    seal_facts(assigns, branches)
+}
+
+/// Records span verdicts for one CFG into the accumulating verdict maps.
+fn facts_from_solutions(
+    cfg: &Cfg,
+    assigned: &Solution,
+    live: &Solution,
+    assigns: &mut HashMap<Span, Option<bool>>,
+    branches: &mut HashMap<Span, Option<bool>>,
+) {
+    fn record(map: &mut HashMap<Span, Option<bool>>, span: Span, v: bool) {
         if span == Span::SYNTHETIC {
             return;
         }
@@ -575,48 +627,50 @@ pub fn compute_dce_facts(symbols: &SymbolTable, tree: &TreeRef) -> DceFacts {
                 }
             })
             .or_insert(Some(v));
-    };
-    for cfg in build_unit_cfgs(symbols, tree) {
-        let order: Vec<usize> = (0..cfg.blocks.len()).collect();
-        let assigned = solve(&cfg, &DefiniteAssignment, &order);
-        let live = solve(&cfg, &Liveness, &order);
-        for (bi, block) in cfg.blocks.iter().enumerate() {
-            if !cfg.reachable[bi] {
-                continue;
-            }
-            let mut f = live.output[bi].clone();
-            let exc = live.exc_live(&cfg, bi);
-            for e in block.events.iter().rev() {
-                match e.kind {
-                    EventKind::Use => f.insert(e.var),
-                    EventKind::Assign { .. } => {
-                        let v = &cfg.vars[e.var as usize];
-                        // Unlike L006, zero-use variables qualify: their
-                        // stores are equally unobservable.
-                        let dead = !f.contains(e.var) && !exc.contains(e.var) && !v.escaped;
-                        record(&mut assigns, e.span, dead);
-                        f.remove(e.var);
-                    }
-                    EventKind::Decl { .. } => f.remove(e.var),
+    }
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[bi] {
+            continue;
+        }
+        let mut f = live.output[bi].clone();
+        let exc = live.exc_live(cfg, bi);
+        for e in block.events.iter().rev() {
+            match e.kind {
+                EventKind::Use => f.insert(e.var),
+                EventKind::Assign { .. } => {
+                    let v = &cfg.vars[e.var as usize];
+                    // Unlike L006, zero-use variables qualify: their
+                    // stores are equally unobservable.
+                    let dead = !f.contains(e.var) && !exc.contains(e.var) && !v.escaped;
+                    record(assigns, e.span, dead);
+                    f.remove(e.var);
                 }
+                EventKind::Decl { .. } => f.remove(e.var),
             }
         }
-        for br in &cfg.branches {
-            if !cfg.reachable[br.block] {
-                continue;
-            }
-            match branch_constant(&cfg, &assigned, br) {
-                Some((_, b)) => record(&mut branches, br.span, b),
-                // A non-constant verdict for a span poisons any constant
-                // one recorded for the same span, before or after.
-                None => {
-                    if br.span != Span::SYNTHETIC {
-                        *branches.entry(br.span).or_insert(None) = None;
-                    }
+    }
+    for br in &cfg.branches {
+        if !cfg.reachable[br.block] {
+            continue;
+        }
+        match branch_constant(cfg, assigned, br) {
+            Some((_, b)) => record(branches, br.span, b),
+            // A non-constant verdict for a span poisons any constant
+            // one recorded for the same span, before or after.
+            None => {
+                if br.span != Span::SYNTHETIC {
+                    *branches.entry(br.span).or_insert(None) = None;
                 }
             }
         }
     }
+}
+
+/// Keeps only the unanimous verdicts.
+fn seal_facts(
+    assigns: HashMap<Span, Option<bool>>,
+    branches: HashMap<Span, Option<bool>>,
+) -> DceFacts {
     let mut facts = DceFacts::default();
     for (span, v) in assigns {
         if v == Some(true) {

@@ -37,12 +37,27 @@ use mini_ir::{Constant, Ctx, Kids, NodeKindSet, Span, Tree, TreeKind, TreeRef};
 use miniphase::{MiniPhase, PhaseInfo};
 
 use crate::dataflow::{compute_dce_facts, DceFacts};
+use crate::FactCache;
 
 /// The dead-code-elimination phase. Stateless between units apart from
 /// the eliminated-node counter the executors drain.
 #[derive(Default)]
 pub struct Dce {
     eliminated: u64,
+    cache: Option<FactCache>,
+}
+
+impl Dce {
+    /// A DCE phase that first looks for this unit's facts in `cache`
+    /// (published by [`crate::Dataflow::sharing_facts`] from the same
+    /// fixpoint solve that produced the lint findings) and only computes
+    /// them itself on a miss.
+    pub fn consuming_facts(cache: FactCache) -> Dce {
+        Dce {
+            eliminated: 0,
+            cache: Some(cache),
+        }
+    }
 }
 
 /// True when evaluating `t` can have no observable effect.
@@ -138,7 +153,10 @@ impl MiniPhase for Dce {
         NodeKindSet::EMPTY
     }
     fn transform_unit(&mut self, ctx: &mut Ctx, tree: TreeRef) -> TreeRef {
-        let facts = compute_dce_facts(&ctx.symbols, &tree);
+        let facts = match self.cache.as_ref().and_then(|c| c.take(&tree)) {
+            Some(shared) => shared,
+            None => std::rc::Rc::new(compute_dce_facts(&ctx.symbols, &tree)),
+        };
         if facts.dead_assigns.is_empty() && facts.const_branches.is_empty() {
             return tree;
         }
@@ -257,6 +275,47 @@ mod tests {
         assert!(
             printed.contains("202") && !printed.contains("101"),
             "if folded to else branch: {printed}"
+        );
+    }
+
+    #[test]
+    fn shared_fixpoint_matches_standalone_passes() {
+        // `analyze_unit` must reproduce both standalone entry points from
+        // its single solve, and a cache-fed Dce must rewrite identically
+        // to one that computes facts itself.
+        let mut ctx = Ctx::new();
+        let tree = fixture(&mut ctx);
+        let (findings, facts) = crate::dataflow::analyze_unit(&ctx.symbols, &tree);
+        assert_eq!(
+            findings,
+            crate::dataflow::dataflow_findings(&ctx.symbols, &tree)
+        );
+        let standalone = compute_dce_facts(&ctx.symbols, &tree);
+        assert_eq!(facts.dead_assigns, standalone.dead_assigns);
+        assert_eq!(facts.const_branches, standalone.const_branches);
+
+        let cache = crate::FactCache::new();
+        cache.store(&tree, std::rc::Rc::new(facts));
+        let mut shared = Dce::consuming_facts(cache.clone());
+        let shared_out = shared.transform_unit(&mut ctx, tree.clone());
+        assert!(
+            cache.take(&tree).is_none(),
+            "transform consumed the cache entry"
+        );
+        let mut plain = Dce::default();
+        let plain_out = plain.transform_unit(&mut ctx, tree.clone());
+        assert_eq!(
+            mini_ir::printer::print_tree(&shared_out, &ctx.symbols),
+            mini_ir::printer::print_tree(&plain_out, &ctx.symbols)
+        );
+        assert_eq!(shared.take_eliminated(), plain.take_eliminated());
+
+        // A cache miss (no stored entry) falls back to computing facts.
+        let mut missing = Dce::consuming_facts(crate::FactCache::new());
+        let missing_out = missing.transform_unit(&mut ctx, tree.clone());
+        assert_eq!(
+            mini_ir::printer::print_tree(&missing_out, &ctx.symbols),
+            mini_ir::printer::print_tree(&plain_out, &ctx.symbols)
         );
     }
 

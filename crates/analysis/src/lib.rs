@@ -476,6 +476,49 @@ pub fn syntactic_use_before_assign(
     out
 }
 
+/// Identity-keyed hand-off of [`dataflow::DceFacts`] from the dataflow
+/// lint rule to the DCE phase within one phase list.
+///
+/// When both run in a pipeline, each solves the same two fixpoints over the
+/// same unit CFGs; sharing the solved facts halves that cost. The cache is
+/// keyed on **tree identity** (`Rc::ptr_eq`): lint rules are prepare-only,
+/// so the tree `Dce::transform_unit` receives is the very node
+/// `Dataflow::prepare_unit` analyzed — and if any executor mode ever hands
+/// DCE a *different* tree, the lookup simply misses and DCE recomputes from
+/// scratch, trading the speedup back for unconditional correctness.
+/// Entries are consumed by [`FactCache::take`], so the cache never outlives
+/// a unit's trip through the prefix group.
+///
+/// Clones share one store (`Rc`), which also makes the cache `!Send`: each
+/// parallel worker builds its own phase list and its own cache.
+#[derive(Clone, Default)]
+pub struct FactCache {
+    entries: std::rc::Rc<std::cell::RefCell<Vec<FactEntry>>>,
+}
+
+type FactEntry = (TreeRef, std::rc::Rc<dataflow::DceFacts>);
+
+impl FactCache {
+    /// A new, empty cache.
+    pub fn new() -> FactCache {
+        FactCache::default()
+    }
+
+    /// Stores `facts` for `tree` (identity-keyed).
+    pub fn store(&self, tree: &TreeRef, facts: std::rc::Rc<dataflow::DceFacts>) {
+        self.entries.borrow_mut().push((tree.clone(), facts));
+    }
+
+    /// Removes and returns the facts stored for exactly this tree node.
+    pub fn take(&self, tree: &TreeRef) -> Option<std::rc::Rc<dataflow::DceFacts>> {
+        let mut entries = self.entries.borrow_mut();
+        let i = entries
+            .iter()
+            .position(|(t, _)| std::rc::Rc::ptr_eq(t, tree))?;
+        Some(entries.swap_remove(i).1)
+    }
+}
+
 /// L004/L006/L007 — the path-sensitive rules, packaged as a prepare-only
 /// miniphase with an **empty** prepare mask: the whole-unit CFG + fixpoint
 /// pass runs once per unit in [`MiniPhase::prepare_unit`] (before any
@@ -484,6 +527,20 @@ pub fn syntactic_use_before_assign(
 #[derive(Default)]
 pub struct Dataflow {
     findings: Vec<Finding>,
+    cache: Option<FactCache>,
+}
+
+impl Dataflow {
+    /// A dataflow rule that additionally publishes each unit's
+    /// [`dataflow::DceFacts`] into `cache` for the DCE phase to consume,
+    /// deriving findings and facts from one fixpoint solve
+    /// ([`dataflow::analyze_unit`]).
+    pub fn sharing_facts(cache: FactCache) -> Dataflow {
+        Dataflow {
+            findings: Vec::new(),
+            cache: Some(cache),
+        }
+    }
 }
 
 impl PhaseInfo for Dataflow {
@@ -503,7 +560,14 @@ impl MiniPhase for Dataflow {
         NodeKindSet::EMPTY
     }
     fn prepare_unit(&mut self, ctx: &mut Ctx, unit_tree: &TreeRef) {
-        self.findings = dataflow::dataflow_findings(&ctx.symbols, unit_tree);
+        match &self.cache {
+            Some(cache) => {
+                let (findings, facts) = dataflow::analyze_unit(&ctx.symbols, unit_tree);
+                self.findings = findings;
+                cache.store(unit_tree, std::rc::Rc::new(facts));
+            }
+            None => self.findings = dataflow::dataflow_findings(&ctx.symbols, unit_tree),
+        }
     }
     fn take_findings(&mut self) -> Vec<Finding> {
         std::mem::take(&mut self.findings)
@@ -530,6 +594,18 @@ pub fn lint_phases() -> Vec<Box<dyn MiniPhase>> {
         Box::new(UnusedDefs::default()),
         Box::new(Unreachable::default()),
         Box::new(Dataflow::default()),
+        Box::new(ConstCond::default()),
+    ]
+}
+
+/// [`lint_phases`] with the dataflow rule publishing per-unit
+/// [`dataflow::DceFacts`] into `cache` — for pipelines that also run
+/// [`dce::Dce::consuming_facts`] so the unit's fixpoints are solved once.
+pub fn lint_phases_sharing(cache: FactCache) -> Vec<Box<dyn MiniPhase>> {
+    vec![
+        Box::new(UnusedDefs::default()),
+        Box::new(Unreachable::default()),
+        Box::new(Dataflow::sharing_facts(cache)),
         Box::new(ConstCond::default()),
     ]
 }

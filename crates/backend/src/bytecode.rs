@@ -4,14 +4,35 @@
 //! (no `Match`, no `Lambda`, no generics) and emits a simple stack bytecode
 //! that the in-crate VM interprets, so compiled MiniScala programs actually
 //! run.
+//!
+//! ## Method slots and link-time dispatch tables
+//!
+//! Virtual and direct calls do not carry method *names*; they carry dense
+//! **slot ids** interned into [`Program::method_names`] at codegen time.
+//! After all code is emitted, [`Program::link`] builds per-class dense
+//! dispatch tables ([`VmClass::vtable_slots`], indexed by slot) and dense
+//! field-resolution tables ([`VmClass::field_slots`], indexed by global
+//! field id) next to the original `HashMap`s. The VM's fast mode indexes
+//! the dense tables; its reference mode resolves the slot back to a `Name`
+//! and pays the original per-call `HashMap` probe, which keeps the old
+//! dispatch cost honestly measurable in the `exec` A/B bench.
 
 use mini_ir::Name;
+use std::collections::HashMap;
 
 /// Index of a class in [`Program::classes`].
 pub type ClassId = u32;
 
 /// Index of a function in [`Program::functions`].
 pub type FnId = u32;
+
+/// Index into [`Program::method_names`]: a method selector interned at
+/// codegen time so call sites and dispatch tables agree on a dense id.
+pub type MethodSlot = u32;
+
+/// Sentinel in [`VmClass::field_slots`] for "this class has no layout slot
+/// for that global field id".
+pub const NO_FIELD: u16 = u16::MAX;
 
 /// A runtime type test target (for `isInstanceOf` / checked casts).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,11 +57,38 @@ pub enum TypeTest {
     Array,
 }
 
+/// Comparison kind carried by the fused [`Insn::CmpBranch`]
+/// superinstruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    /// Universal equality (`CmpEq`).
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
 /// One bytecode instruction.
 ///
 /// Every expression pushes exactly one value; statements are followed by
 /// `Pop`.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The trailing variants never come out of codegen directly:
+/// [`Insn::LoadLoad`], [`Insn::LoadConst`], [`Insn::AddConst`],
+/// [`Insn::AddStore`], [`Insn::LoadCall`] and [`Insn::CmpBranch`] are
+/// **superinstructions** produced by the peephole pass
+/// ([`crate::codegen::fuse`]) over the hottest decoded pairs, and
+/// [`Insn::CallVirtualIC`] is the inline-cache rewrite of `CallVirtual`
+/// that the VM applies per call site when caches are enabled. Both
+/// rewrites are applied to a *prepared copy* of the code at VM
+/// construction; [`Function::code`] as stored in the [`Program`] stays
+/// plain so one linked program serves fast and reference execution alike.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Insn {
     /// Push an integer constant.
     ConstInt(i64),
@@ -64,11 +112,13 @@ pub enum Insn {
     PutField(u16),
     /// Call a static function with `argc` arguments.
     CallStatic(FnId, u16),
-    /// Virtual dispatch on the receiver (receiver + args on stack).
-    CallVirtual(Name, u16),
+    /// Virtual dispatch on the receiver (receiver + args on stack). The
+    /// first operand is a [`MethodSlot`].
+    CallVirtual(MethodSlot, u16),
     /// Direct (non-virtual) call into a known class's method — `super`
-    /// calls and constructor invocations.
-    CallDirect(ClassId, Name, u16),
+    /// calls and constructor invocations. The second operand is a
+    /// [`MethodSlot`].
+    CallDirect(ClassId, MethodSlot, u16),
     /// Allocate an instance of a class (fields null/zero-initialized).
     New(ClassId),
     /// Pop length, push a new array of unit values.
@@ -132,6 +182,27 @@ pub enum Insn {
     ToStr,
     /// Pop a string, push its length.
     SLen,
+    /// Superinstruction: `Load(a); Load(b)`.
+    LoadLoad(u16, u16),
+    /// Superinstruction: `Load(a); ConstInt(k)`.
+    LoadConst(u16, i64),
+    /// Superinstruction: `ConstInt(k); Add` — add a constant to the top of
+    /// stack without materializing the constant.
+    AddConst(i64),
+    /// Superinstruction: `Add; Store(s)` — pop two ints, write the sum
+    /// straight into a local (the `i = i + d` / accumulator pattern).
+    AddStore(u16),
+    /// Superinstruction: `Load(a); CallStatic(f, argc)` — push the last
+    /// argument and call in one dispatch (hot in call chains).
+    LoadCall(u16, FnId, u16),
+    /// Superinstruction: integer compare + conditional branch. The `bool`
+    /// is the branch *sense*: `true` fuses `JumpIfTrue`, `false` fuses
+    /// `JumpIfFalse`.
+    CmpBranch(Cmp, bool, u32),
+    /// Inline-cached virtual call (VM prepare-time rewrite of
+    /// `CallVirtual`): slot, argc, and the id of this call site's cache
+    /// entry in the VM's cache table.
+    CallVirtualIC(MethodSlot, u16, u32),
 }
 
 /// An exception-handler region (JVM-style table entry).
@@ -173,8 +244,30 @@ pub struct VmClass {
     pub n_fields: u16,
     /// Global field id → local slot in this class's layout.
     pub field_resolve: std::collections::HashMap<u16, u16>,
-    /// Virtual dispatch table.
+    /// Virtual dispatch table, keyed by selector name. The VM's reference
+    /// mode probes this per call; fast mode uses [`VmClass::vtable_slots`].
     pub vtable: std::collections::HashMap<Name, FnId>,
+    /// Dense dispatch table indexed by [`MethodSlot`]; built by
+    /// [`Program::link`]. Empty until linked.
+    pub vtable_slots: Vec<Option<FnId>>,
+    /// Dense field resolution indexed by global field id ([`NO_FIELD`]
+    /// when absent); built by [`Program::link`]. Empty until linked.
+    pub field_slots: Vec<u16>,
+}
+
+impl VmClass {
+    /// A class with empty dispatch/layout tables (tests, builtins).
+    pub fn new(name: impl Into<String>, linearization: Vec<ClassId>, n_fields: u16) -> Self {
+        VmClass {
+            name: name.into(),
+            linearization,
+            n_fields,
+            field_resolve: HashMap::new(),
+            vtable: HashMap::new(),
+            vtable_slots: Vec::new(),
+            field_slots: Vec::new(),
+        }
+    }
 }
 
 /// A complete compiled program.
@@ -186,6 +279,10 @@ pub struct Program {
     pub functions: Vec<Function>,
     /// The `main` entry point, if present.
     pub entry: Option<FnId>,
+    /// Interned method selectors: [`MethodSlot`] → name. Call instructions
+    /// index this table; the reference VM resolves through it back to the
+    /// by-name `HashMap` probe.
+    pub method_names: Vec<Name>,
 }
 
 impl Program {
@@ -197,5 +294,51 @@ impl Program {
     /// Total instruction count (diagnostics).
     pub fn code_size(&self) -> usize {
         self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Intern a method selector, returning its dense slot id.
+    pub fn intern_method(&mut self, name: Name) -> MethodSlot {
+        if let Some(pos) = self.method_names.iter().position(|&n| n == name) {
+            return pos as MethodSlot;
+        }
+        self.method_names.push(name);
+        (self.method_names.len() - 1) as MethodSlot
+    }
+
+    /// The selector name behind a slot.
+    pub fn method_name(&self, slot: MethodSlot) -> Name {
+        self.method_names[slot as usize]
+    }
+
+    /// Build the dense dispatch and field tables from the `HashMap`s.
+    /// Idempotent; call after all code is emitted and all selectors are
+    /// interned (codegen does this, hand-assembled test programs must).
+    pub fn link(&mut self) {
+        let index: HashMap<Name, MethodSlot> = self
+            .method_names
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as MethodSlot))
+            .collect();
+        let n_slots = self.method_names.len();
+        let n_fields = self
+            .classes
+            .iter()
+            .flat_map(|c| c.field_resolve.keys())
+            .map(|&gid| gid as usize + 1)
+            .max()
+            .unwrap_or(0);
+        for class in &mut self.classes {
+            class.vtable_slots = vec![None; n_slots];
+            for (name, &fid) in &class.vtable {
+                if let Some(&slot) = index.get(name) {
+                    class.vtable_slots[slot as usize] = Some(fid);
+                }
+            }
+            class.field_slots = vec![NO_FIELD; n_fields];
+            for (&gid, &local) in &class.field_resolve {
+                class.field_slots[gid as usize] = local;
+            }
+        }
     }
 }

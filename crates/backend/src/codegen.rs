@@ -6,6 +6,7 @@
 
 use crate::bytecode::*;
 use mini_ir::{std_names, Ctx, Flags, Name, SymbolId, TreeKind, TreeRef, Type};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -44,12 +45,23 @@ pub fn generate(ctx: &Ctx, units: &[TreeRef]) -> Result<Program, CodegenError> {
         fn_of: HashMap::new(),
         class_defs: Vec::new(),
         static_defs: Vec::new(),
+        methods: RefCell::new(MethodInterner::default()),
     };
     gen.collect(units)?;
     gen.layout()?;
     gen.declare_functions()?;
     gen.compile_all()?;
+    gen.program.method_names = gen.methods.into_inner().names;
+    gen.program.link();
     Ok(gen.program)
+}
+
+/// Method-selector interner shared by all function compilers (interior
+/// mutability: `FnCompiler` holds the `Gen` immutably while emitting).
+#[derive(Default)]
+struct MethodInterner {
+    names: Vec<Name>,
+    index: HashMap<Name, MethodSlot>,
 }
 
 struct Gen<'a> {
@@ -61,9 +73,22 @@ struct Gen<'a> {
     /// (class sym, body trees).
     class_defs: Vec<(SymbolId, Vec<TreeRef>)>,
     static_defs: Vec<TreeRef>,
+    methods: RefCell<MethodInterner>,
 }
 
 impl<'a> Gen<'a> {
+    /// Intern a method selector into the program's slot table.
+    fn method_slot(&self, name: Name) -> MethodSlot {
+        let mut m = self.methods.borrow_mut();
+        if let Some(&s) = m.index.get(&name) {
+            return s;
+        }
+        let s = m.names.len() as MethodSlot;
+        m.names.push(name);
+        m.index.insert(name, s);
+        s
+    }
+
     fn collect(&mut self, units: &[TreeRef]) -> Result<(), CodegenError> {
         // Builtin classes first (function traits + Any), so closure classes
         // can reference them.
@@ -71,13 +96,11 @@ impl<'a> Gen<'a> {
         for sym in std::iter::once(b.any_class).chain(b.function_classes) {
             let id = self.program.classes.len() as ClassId;
             self.class_of.insert(sym, id);
-            self.program.classes.push(VmClass {
-                name: self.ctx.symbols.sym(sym).name.as_str().to_owned(),
-                linearization: vec![id],
-                n_fields: 0,
-                field_resolve: HashMap::new(),
-                vtable: HashMap::new(),
-            });
+            self.program.classes.push(VmClass::new(
+                self.ctx.symbols.sym(sym).name.as_str().to_owned(),
+                vec![id],
+                0,
+            ));
         }
         for unit in units {
             let TreeKind::PackageDef { stats, .. } = unit.kind() else {
@@ -88,13 +111,11 @@ impl<'a> Gen<'a> {
                     TreeKind::ClassDef { sym, body } => {
                         let id = self.program.classes.len() as ClassId;
                         self.class_of.insert(*sym, id);
-                        self.program.classes.push(VmClass {
-                            name: self.ctx.symbols.full_name(*sym),
-                            linearization: Vec::new(),
-                            n_fields: 0,
-                            field_resolve: HashMap::new(),
-                            vtable: HashMap::new(),
-                        });
+                        self.program.classes.push(VmClass::new(
+                            self.ctx.symbols.full_name(*sym),
+                            Vec::new(),
+                            0,
+                        ));
                         self.class_defs.push((*sym, body.to_vec()));
                     }
                     TreeKind::DefDef { .. } => self.static_defs.push(s.clone()),
@@ -622,11 +643,8 @@ impl FnCompiler<'_, '_> {
                 for a in args {
                     self.expr(a)?;
                 }
-                self.emit(Insn::CallDirect(
-                    cid,
-                    std_names::init(),
-                    args.len() as u16 + 1,
-                ));
+                let slot = self.gen.method_slot(std_names::init());
+                self.emit(Insn::CallDirect(cid, slot, args.len() as u16 + 1));
                 self.emit(Insn::Pop); // drop the unit returned by <init>
                 Ok(())
             }
@@ -771,7 +789,8 @@ impl FnCompiler<'_, '_> {
                     for a in args {
                         self.expr(a)?;
                     }
-                    self.emit(Insn::CallVirtual(name, args.len() as u16 + 1));
+                    let slot = self.gen.method_slot(name);
+                    self.emit(Insn::CallVirtual(slot, args.len() as u16 + 1));
                     return Ok(());
                 }
             }
@@ -804,7 +823,8 @@ impl FnCompiler<'_, '_> {
             for a in args {
                 self.expr(a)?;
             }
-            self.emit(Insn::CallDirect(cid, name, args.len() as u16 + 1));
+            let slot = self.gen.method_slot(name);
+            self.emit(Insn::CallDirect(cid, slot, args.len() as u16 + 1));
             return Ok(());
         }
         // Plain virtual call.
@@ -812,7 +832,104 @@ impl FnCompiler<'_, '_> {
         for a in args {
             self.expr(a)?;
         }
-        self.emit(Insn::CallVirtual(name, args.len() as u16 + 1));
+        let slot = self.gen.method_slot(name);
+        self.emit(Insn::CallVirtual(slot, args.len() as u16 + 1));
         Ok(())
+    }
+}
+
+/// Peephole superinstruction selection over one function body.
+///
+/// Fuses the hottest decoded pairs — `Load;Load` and `Load;ConstInt` (the
+/// preamble of almost every binary op), `ConstInt;Add` and `Add;Store`
+/// (the increment/accumulate patterns), `Load;CallStatic` (the last-arg
+/// push of every call chain) and integer-compare + conditional branch
+/// (every loop header) — into single [`Insn`] variants. A pair is
+/// only fused when control cannot enter between its halves: any jump
+/// target, handler start/end boundary, or handler target is a **barrier**.
+/// Jump operands and handler ranges are remapped to the compacted pc
+/// space.
+///
+/// Codegen stores plain code in the [`Program`]; the VM applies this pass
+/// to a prepared copy when `VmOptions::superinstructions` is on, so a
+/// single linked program serves both fast and reference execution. Fused
+/// instructions charge fuel per constituent instruction, keeping
+/// out-of-fuel traps position-identical with the reference interpreter.
+pub fn fuse(code: &[Insn], handlers: &[Handler]) -> (Vec<Insn>, Vec<Handler>) {
+    let n = code.len();
+    let mut barrier = vec![false; n + 1];
+    for i in code {
+        if let Insn::Jump(t) | Insn::JumpIfFalse(t) | Insn::JumpIfTrue(t) = *i {
+            barrier[t as usize] = true;
+        }
+    }
+    for h in handlers {
+        barrier[h.start as usize] = true;
+        barrier[h.end as usize] = true;
+        barrier[h.target as usize] = true;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut new_pc = vec![0u32; n + 1];
+    let mut pc = 0usize;
+    while pc < n {
+        new_pc[pc] = out.len() as u32;
+        let fused = if pc + 1 < n && !barrier[pc + 1] {
+            fuse_pair(code[pc], code[pc + 1])
+        } else {
+            None
+        };
+        match fused {
+            Some(f) => {
+                // The consumed half is never a jump/handler target (it was
+                // not a barrier), so its remap entry is unreferenced.
+                new_pc[pc + 1] = out.len() as u32;
+                out.push(f);
+                pc += 2;
+            }
+            None => {
+                out.push(code[pc]);
+                pc += 1;
+            }
+        }
+    }
+    new_pc[n] = out.len() as u32;
+    for i in &mut out {
+        match i {
+            Insn::Jump(t)
+            | Insn::JumpIfFalse(t)
+            | Insn::JumpIfTrue(t)
+            | Insn::CmpBranch(_, _, t) => *t = new_pc[*t as usize],
+            _ => {}
+        }
+    }
+    let handlers = handlers
+        .iter()
+        .map(|h| Handler {
+            start: new_pc[h.start as usize],
+            end: new_pc[h.end as usize],
+            target: new_pc[h.target as usize],
+        })
+        .collect();
+    (out, handlers)
+}
+
+fn fuse_pair(a: Insn, b: Insn) -> Option<Insn> {
+    let cmp = |i: Insn| match i {
+        Insn::CmpEq => Some(Cmp::Eq),
+        Insn::CmpLt => Some(Cmp::Lt),
+        Insn::CmpGt => Some(Cmp::Gt),
+        Insn::CmpLe => Some(Cmp::Le),
+        Insn::CmpGe => Some(Cmp::Ge),
+        _ => None,
+    };
+    match (a, b) {
+        (Insn::Load(x), Insn::Load(y)) => Some(Insn::LoadLoad(x, y)),
+        (Insn::Load(x), Insn::ConstInt(k)) => Some(Insn::LoadConst(x, k)),
+        (Insn::Load(x), Insn::CallStatic(f, argc)) => Some(Insn::LoadCall(x, f, argc)),
+        (Insn::ConstInt(k), Insn::Add) => Some(Insn::AddConst(k)),
+        (Insn::Add, Insn::Store(s)) => Some(Insn::AddStore(s)),
+        (c, Insn::JumpIfFalse(t)) if cmp(c).is_some() => Some(Insn::CmpBranch(cmp(c)?, false, t)),
+        (c, Insn::JumpIfTrue(t)) if cmp(c).is_some() => Some(Insn::CmpBranch(cmp(c)?, true, t)),
+        _ => None,
     }
 }

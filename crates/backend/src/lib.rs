@@ -11,9 +11,11 @@ pub mod bytecode;
 pub mod codegen;
 pub mod vm;
 
-pub use bytecode::{ClassId, FnId, Function, Handler, Insn, Program, TypeTest, VmClass};
-pub use codegen::{generate, CodegenError};
-pub use vm::{Value, Vm, VmError};
+pub use bytecode::{
+    ClassId, Cmp, FnId, Function, Handler, Insn, MethodSlot, Program, TypeTest, VmClass, NO_FIELD,
+};
+pub use codegen::{fuse, generate, CodegenError};
+pub use vm::{Value, Vm, VmError, VmOptions, VmStats, DEFAULT_MAX_FRAMES};
 
 #[cfg(test)]
 mod tests;

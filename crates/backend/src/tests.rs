@@ -2,7 +2,7 @@
 //! frontend and phases).
 
 use crate::bytecode::*;
-use crate::vm::{Value, Vm, VmError};
+use crate::vm::{Value, Vm, VmError, VmOptions};
 use mini_ir::Name;
 use std::collections::HashMap;
 
@@ -16,25 +16,43 @@ fn fun(name: &str, n_params: u16, n_locals: u16, code: Vec<Insn>) -> Function {
     }
 }
 
+/// Assemble and link a program. `method_names` assigns slot ids in order,
+/// so `CallVirtual(0, ..)` calls `method_names[0]`.
+fn prog(
+    classes: Vec<VmClass>,
+    functions: Vec<Function>,
+    entry: Option<FnId>,
+    method_names: Vec<Name>,
+) -> Program {
+    let mut p = Program {
+        classes,
+        functions,
+        entry,
+        method_names,
+    };
+    p.link();
+    p
+}
+
 #[test]
 fn arithmetic_and_return() {
-    let p = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p = prog(
+        vec![],
+        vec![fun(
             "f",
             0,
             0,
             vec![Insn::ConstInt(6), Insn::ConstInt(7), Insn::Mul, Insn::Ret],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm = Vm::new(&p);
     let v = vm.run_main().unwrap();
     assert!(matches!(v, Value::Int(42)));
 }
 
-#[test]
-fn loops_and_locals() {
+fn sum_loop_program() -> Program {
     // sum of 0..10 == 45
     let code = vec![
         Insn::ConstInt(0),     // 0
@@ -57,14 +75,33 @@ fn loops_and_locals() {
         Insn::Load(1),         // 17
         Insn::Ret,             // 18
     ];
-    let p = Program {
-        classes: vec![],
-        functions: vec![fun("sum", 0, 2, code)],
-        entry: Some(0),
-    };
+    prog(vec![], vec![fun("sum", 0, 2, code)], Some(0), vec![])
+}
+
+#[test]
+fn loops_and_locals() {
+    let p = sum_loop_program();
     let mut vm = Vm::new(&p);
     let v = vm.run_main().unwrap();
     assert!(matches!(v, Value::Int(45)), "{v:?}");
+}
+
+#[test]
+fn fusion_rewrites_hot_pairs_without_changing_results() {
+    let p = sum_loop_program();
+    // Fast mode fuses Load;ConstInt and CmpLt;JumpIfFalse in the loop
+    // header; result and fuel-per-logical-insn accounting must not change.
+    let mut fast = Vm::new(&p);
+    let mut reference = Vm::with_options(&p, VmOptions::reference());
+    let vf = fast.run_main().unwrap();
+    let vr = reference.run_main().unwrap();
+    assert!(matches!(vf, Value::Int(45)), "{vf:?}");
+    assert!(matches!(vr, Value::Int(45)), "{vr:?}");
+    assert!(fast.stats.fused_retired > 0, "loop pairs should fuse");
+    assert_eq!(reference.stats.fused_retired, 0);
+    // Fused execution dispatches fewer times but charges identical fuel.
+    assert_eq!(fast.fuel, reference.fuel);
+    assert!(fast.stats.insns_retired < reference.stats.insns_retired);
 }
 
 #[test]
@@ -89,11 +126,7 @@ fn exceptions_unwind_to_handlers() {
         end: 2,
         target: 2,
     });
-    let p = Program {
-        classes: vec![],
-        functions: vec![f],
-        entry: Some(0),
-    };
+    let p = prog(vec![], vec![f], Some(0), vec![]);
     let mut vm = Vm::new(&p);
     let v = vm.run_main().unwrap();
     match v {
@@ -111,20 +144,17 @@ fn uncaught_exceptions_propagate_across_calls() {
         vec![Insn::ConstStr(Name::intern("oops")), Insn::Throw],
     );
     let caller = fun("caller", 0, 0, vec![Insn::CallStatic(0, 0), Insn::Ret]);
-    let p = Program {
-        classes: vec![],
-        functions: vec![thrower, caller],
-        entry: Some(1),
-    };
-    let mut vm = Vm::new(&p);
-    match vm.run_main() {
-        Err(VmError::Uncaught(Value::Str(s))) => assert_eq!(&*s, "oops"),
-        other => panic!("expected uncaught, got {other:?}"),
+    let p = prog(vec![], vec![thrower, caller], Some(1), vec![]);
+    for opts in [VmOptions::fast(), VmOptions::reference()] {
+        let mut vm = Vm::with_options(&p, opts);
+        match vm.run_main() {
+            Err(VmError::Uncaught(Value::Str(s))) => assert_eq!(&*s, "oops"),
+            other => panic!("expected uncaught, got {other:?}"),
+        }
     }
 }
 
-#[test]
-fn objects_fields_and_virtual_dispatch() {
+fn dispatch_program() -> Program {
     // class A { def get(): Int = 1 }; class B extends A { override get = 2 }
     let get_name = Name::intern("get");
     let a_get = fun("A.get", 1, 1, vec![Insn::ConstInt(1), Insn::Ret]);
@@ -133,37 +163,71 @@ fn objects_fields_and_virtual_dispatch() {
         "main",
         0,
         0,
-        vec![Insn::New(1), Insn::CallVirtual(get_name, 1), Insn::Ret],
+        vec![Insn::New(1), Insn::CallVirtual(0, 1), Insn::Ret],
     );
-    let mut a_vt = HashMap::new();
-    a_vt.insert(get_name, 0);
-    let mut b_vt = HashMap::new();
-    b_vt.insert(get_name, 1);
-    let p = Program {
-        classes: vec![
-            VmClass {
-                name: "A".into(),
-                linearization: vec![0],
-                n_fields: 0,
-                field_resolve: HashMap::new(),
-                vtable: a_vt,
-            },
-            VmClass {
-                name: "B".into(),
-                linearization: vec![1, 0],
-                n_fields: 0,
-                field_resolve: HashMap::new(),
-                vtable: b_vt,
-            },
-        ],
-        functions: vec![a_get, b_get, main],
-        entry: Some(2),
-    };
-    let mut vm = Vm::new(&p);
-    let v = vm.run_main().unwrap();
-    assert!(matches!(v, Value::Int(2)), "B overrides A: {v:?}");
+    let mut a = VmClass::new("A", vec![0], 0);
+    a.vtable.insert(get_name, 0);
+    let mut b = VmClass::new("B", vec![1, 0], 0);
+    b.vtable.insert(get_name, 1);
+    prog(
+        vec![a, b],
+        vec![a_get, b_get, main],
+        Some(2),
+        vec![get_name],
+    )
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    let p = dispatch_program();
+    for opts in [VmOptions::fast(), VmOptions::reference()] {
+        let mut vm = Vm::with_options(&p, opts);
+        let v = vm.run_main().unwrap();
+        assert!(matches!(v, Value::Int(2)), "B overrides A: {v:?}");
+    }
     assert!(p.is_subclass(1, 0));
     assert!(!p.is_subclass(0, 1));
+}
+
+#[test]
+fn inline_caches_hit_on_monomorphic_sites() {
+    // Call b.get() in a loop: the first call misses and fills the cache,
+    // every later call hits.
+    let get_name = Name::intern("get");
+    let b_get = fun("B.get", 1, 1, vec![Insn::ConstInt(2), Insn::Ret]);
+    let code = vec![
+        Insn::New(0),            // 0  b = new B
+        Insn::Store(0),          // 1
+        Insn::ConstInt(0),       // 2  i = 0
+        Insn::Store(1),          // 3
+        Insn::Load(1),           // 4  loop:
+        Insn::ConstInt(8),       // 5
+        Insn::CmpLt,             // 6
+        Insn::JumpIfFalse(16),   // 7
+        Insn::Load(0),           // 8
+        Insn::CallVirtual(0, 1), // 9
+        Insn::Pop,               // 10
+        Insn::Load(1),           // 11
+        Insn::ConstInt(1),       // 12
+        Insn::Add,               // 13
+        Insn::Store(1),          // 14
+        Insn::Jump(4),           // 15
+        Insn::ConstUnit,         // 16
+        Insn::Ret,               // 17
+    ];
+    let mut b = VmClass::new("B", vec![0], 0);
+    b.vtable.insert(get_name, 0);
+    let p = prog(
+        vec![b],
+        vec![b_get, fun("main", 0, 2, code)],
+        Some(1),
+        vec![get_name],
+    );
+    let mut vm = Vm::new(&p);
+    vm.run_main().unwrap();
+    assert_eq!(vm.stats.ic_misses, 1, "{:?}", vm.stats);
+    assert_eq!(vm.stats.ic_hits, 7, "{:?}", vm.stats);
+    assert!(vm.stats.ic_hit_rate() > 0.8);
 }
 
 #[test]
@@ -184,26 +248,20 @@ fn field_roundtrip() {
             Insn::Ret,
         ],
     );
-    let p = Program {
-        classes: vec![VmClass {
-            name: "C".into(),
-            linearization: vec![0],
-            n_fields: 1,
-            field_resolve: HashMap::from([(0, 0)]),
-            vtable: HashMap::new(),
-        }],
-        functions: vec![main],
-        entry: Some(0),
-    };
-    let mut vm = Vm::new(&p);
-    assert!(matches!(vm.run_main().unwrap(), Value::Int(7)));
+    let mut c = VmClass::new("C", vec![0], 1);
+    c.field_resolve = HashMap::from([(0, 0)]);
+    let p = prog(vec![c], vec![main], Some(0), vec![]);
+    for opts in [VmOptions::fast(), VmOptions::reference()] {
+        let mut vm = Vm::with_options(&p, opts);
+        assert!(matches!(vm.run_main().unwrap(), Value::Int(7)));
+    }
 }
 
 #[test]
 fn arrays_bounds_and_division_throw() {
-    let p = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p = prog(
+        vec![],
+        vec![fun(
             "f",
             0,
             0,
@@ -215,8 +273,9 @@ fn arrays_bounds_and_division_throw() {
                 Insn::Ret,
             ],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm = Vm::new(&p);
     match vm.run_main() {
         Err(VmError::Uncaught(Value::Str(s))) => {
@@ -224,16 +283,17 @@ fn arrays_bounds_and_division_throw() {
         }
         other => panic!("expected bounds exception, got {other:?}"),
     }
-    let p2 = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p2 = prog(
+        vec![],
+        vec![fun(
             "g",
             0,
             0,
             vec![Insn::ConstInt(1), Insn::ConstInt(0), Insn::Div, Insn::Ret],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm2 = Vm::new(&p2);
     assert!(matches!(
         vm2.run_main(),
@@ -243,9 +303,9 @@ fn arrays_bounds_and_division_throw() {
 
 #[test]
 fn println_is_captured_and_fuel_guards_loops() {
-    let p = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p = prog(
+        vec![],
+        vec![fun(
             "spin",
             0,
             0,
@@ -256,23 +316,62 @@ fn println_is_captured_and_fuel_guards_loops() {
                 Insn::Jump(0),
             ],
         )],
-        entry: Some(0),
-    };
-    let mut vm = Vm::new(&p);
-    vm.fuel = 10_000;
-    match vm.run_main() {
-        Err(VmError::Trap(m)) => assert!(m.contains("fuel")),
-        other => panic!("expected fuel trap, got {other:?}"),
+        Some(0),
+        vec![],
+    );
+    for opts in [VmOptions::fast(), VmOptions::reference()] {
+        let mut vm = Vm::with_options(&p, opts);
+        vm.fuel = 10_000;
+        match vm.run_main() {
+            Err(VmError::Trap(m)) => assert!(m.contains("fuel")),
+            other => panic!("expected fuel trap, got {other:?}"),
+        }
+        assert!(!vm.out.is_empty());
+        assert_eq!(vm.out[0], "hello");
     }
-    assert!(!vm.out.is_empty());
-    assert_eq!(vm.out[0], "hello");
+}
+
+#[test]
+fn guest_recursion_traps_at_depth_budget_in_both_modes() {
+    // f() calls itself forever: must degrade to a structured trap at the
+    // same guest depth in flat and recursive modes, never a host overflow.
+    let p = prog(
+        vec![],
+        vec![fun("f", 0, 0, vec![Insn::CallStatic(0, 0), Insn::Ret])],
+        Some(0),
+        vec![],
+    );
+    let mut msgs = Vec::new();
+    for base in [VmOptions::fast(), VmOptions::reference()] {
+        let opts = VmOptions {
+            max_frames: 64,
+            ..base
+        };
+        let mut vm = Vm::with_options(&p, opts);
+        match vm.run_main() {
+            Err(VmError::Trap(m)) => {
+                assert!(m.contains("max call depth 64"), "{m}");
+                msgs.push(m);
+            }
+            other => panic!("expected depth trap, got {other:?}"),
+        }
+        assert_eq!(vm.stats.peak_frames, 64, "budget reached: {:?}", vm.stats);
+    }
+    assert_eq!(msgs[0], msgs[1]);
+
+    // Default budget: deep recursion still traps (structured) in fast mode.
+    let mut vm = Vm::new(&p);
+    match vm.run_main() {
+        Err(VmError::Trap(m)) => assert!(m.contains("max call depth"), "{m}"),
+        other => panic!("expected depth trap, got {other:?}"),
+    }
 }
 
 #[test]
 fn type_tests_and_null_casts() {
-    let p = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p = prog(
+        vec![],
+        vec![fun(
             "f",
             0,
             0,
@@ -286,36 +385,39 @@ fn type_tests_and_null_casts() {
                 Insn::Ret,
             ],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm = Vm::new(&p);
     assert!(matches!(vm.run_main().unwrap(), Value::Bool(true)));
 
     // null passes reference casts.
-    let p2 = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p2 = prog(
+        vec![],
+        vec![fun(
             "g",
             0,
             0,
             vec![Insn::ConstNull, Insn::Cast(TypeTest::Str), Insn::Ret],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm2 = Vm::new(&p2);
     assert!(matches!(vm2.run_main().unwrap(), Value::Null));
 
     // but a bad cast throws.
-    let p3 = Program {
-        classes: vec![],
-        functions: vec![fun(
+    let p3 = prog(
+        vec![],
+        vec![fun(
             "h",
             0,
             0,
             vec![Insn::ConstInt(3), Insn::Cast(TypeTest::Str), Insn::Ret],
         )],
-        entry: Some(0),
-    };
+        Some(0),
+        vec![],
+    );
     let mut vm3 = Vm::new(&p3);
     assert!(matches!(
         vm3.run_main(),
@@ -326,15 +428,9 @@ fn type_tests_and_null_casts() {
 #[test]
 fn universal_methods_have_defaults() {
     let eq = Name::intern("equals");
-    let p = Program {
-        classes: vec![VmClass {
-            name: "C".into(),
-            linearization: vec![0],
-            n_fields: 0,
-            field_resolve: HashMap::new(),
-            vtable: HashMap::new(),
-        }],
-        functions: vec![fun(
+    let p = prog(
+        vec![VmClass::new("C", vec![0], 0)],
+        vec![fun(
             "f",
             0,
             1,
@@ -343,12 +439,78 @@ fn universal_methods_have_defaults() {
                 Insn::Store(0),
                 Insn::Load(0),
                 Insn::Load(0),
-                Insn::CallVirtual(eq, 2),
+                Insn::CallVirtual(0, 2),
                 Insn::Ret,
             ],
         )],
-        entry: Some(0),
+        Some(0),
+        vec![eq],
+    );
+    for opts in [VmOptions::fast(), VmOptions::reference()] {
+        let mut vm = Vm::with_options(&p, opts);
+        assert!(matches!(vm.run_main().unwrap(), Value::Bool(true)));
+    }
+}
+
+#[test]
+fn fuse_respects_jump_and_handler_barriers() {
+    // Jump target 2 lands between Load(0) at 1 and Load(1) at 2: that pair
+    // must NOT fuse (a branch would land mid-superinstruction). Fusion is
+    // free to restart *at* the target, so (2,3) fuses and the Jump operand
+    // is remapped through the compaction.
+    let code = vec![
+        Insn::Jump(2), // 0
+        Insn::Load(0), // 1 (dead)
+        Insn::Load(1), // 2 <- target
+        Insn::Load(0), // 3
+        Insn::Load(1), // 4
+        Insn::Add,     // 5
+        Insn::Ret,     // 6
+    ];
+    let (fused, handlers) = crate::codegen::fuse(&code, &[]);
+    assert!(handlers.is_empty());
+    assert_eq!(
+        fused,
+        vec![
+            Insn::Jump(2),
+            Insn::Load(0),
+            Insn::LoadLoad(1, 0),
+            Insn::Load(1),
+            Insn::Add,
+            Insn::Ret,
+        ]
+    );
+
+    // A handler end boundary between the halves also blocks fusion, and
+    // handler ranges are remapped through the compaction.
+    let code = vec![
+        Insn::Load(0),     // 0
+        Insn::ConstInt(1), // 1  fuses with 0
+        Insn::Load(0),     // 2  last covered insn
+        Insn::Load(1),     // 3  first uncovered insn — must not fuse with 2
+        Insn::Ret,         // 4
+    ];
+    let h = Handler {
+        start: 0,
+        end: 3,
+        target: 4,
     };
-    let mut vm = Vm::new(&p);
-    assert!(matches!(vm.run_main().unwrap(), Value::Bool(true)));
+    let (fused, handlers) = crate::codegen::fuse(&code, &[h]);
+    assert_eq!(
+        fused,
+        vec![
+            Insn::LoadConst(0, 1),
+            Insn::Load(0),
+            Insn::Load(1),
+            Insn::Ret,
+        ]
+    );
+    assert_eq!(
+        handlers,
+        vec![Handler {
+            start: 0,
+            end: 2,
+            target: 3,
+        }]
+    );
 }

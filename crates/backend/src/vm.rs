@@ -1,8 +1,59 @@
 //! The stack VM that executes compiled [`Program`]s.
+//!
+//! # Execution design note
+//!
+//! The VM has two interpreters pinned byte-identical to each other by the
+//! `vm_equivalence` proptest, selected per feature by [`VmOptions`]:
+//!
+//! - **Reference mode** (`VmOptions::reference()`, all features off) is the
+//!   original interpreter: a recursive `invoke` that allocates a fresh
+//!   locals vector and operand stack per call, probes `HashMap<Name, FnId>`
+//!   vtables on every virtual/direct call, and resolves field ids through a
+//!   per-class `HashMap`. It is kept as the semantic oracle *and* as the
+//!   honest A/B baseline for the `exec` bench — it genuinely pays the old
+//!   per-call costs.
+//!
+//! - **Fast mode** (`VmOptions::fast()`, the default for [`Vm::new`])
+//!   layers three classic OO-VM optimizations, each independently
+//!   toggleable so ablations can be benchmarked and equivalence-tested:
+//!
+//!   1. *Link-time dispatch resolution* (`resolved_dispatch`): call sites
+//!      carry interned [`MethodSlot`] ids and dispatch indexes the dense
+//!      [`VmClass::vtable_slots`] / [`VmClass::field_slots`] tables built
+//!      by [`Program::link`] — an array load instead of a hash probe.
+//!   2. *Monomorphic inline caches* (`inline_caches`): at VM construction
+//!      every `CallVirtual` in the prepared code is rewritten to
+//!      `CallVirtualIC` with a per-site cache entry (`ClassId → FnId`,
+//!      hit/miss counted in [`VmStats`]). Monomorphic sites skip even the
+//!      dense-table load after the first call.
+//!   3. *Superinstructions* (`superinstructions`): the peephole pass
+//!      [`crate::codegen::fuse`] fuses the hottest decoded pairs
+//!      (`Load;Load`, `Load;ConstInt`, `ConstInt;Add`, `Add;Store`,
+//!      `Load;CallStatic`, integer-compare + branch) in a prepared copy
+//!      of the code — on the exec corpus over 60% of logical
+//!      instructions retire inside a fused pair. Fused instructions
+//!      charge fuel per constituent instruction so out-of-fuel traps
+//!      stay position-identical with reference execution, and the
+//!      merged dataflow (e.g. `AddConst` never materializing its
+//!      constant) is legal because the intermediate stack state between
+//!      the two halves is unobservable.
+//!
+//!   Independently, *flat frames* (`flat_frames`) replaces the recursive
+//!   `invoke` with a non-recursive dispatch loop over an explicit frame
+//!   stack (mirroring the middle end's iterative tree walk): one shared
+//!   locals arena and one shared operand stack with per-frame base
+//!   offsets, so calls reuse storage instead of allocating two vectors
+//!   each.
+//!
+//! Both modes enforce the same guest call-depth budget
+//! ([`VmOptions::max_frames`]): deep guest recursion degrades to a
+//! structured [`VmError::Trap`] at the same guest depth instead of a host
+//! stack overflow. Rewrites (fusion, IC) apply to a *prepared copy* of
+//! the code held by the VM; the [`Program`] itself is never mutated, so
+//! one linked program serves both sides of an A/B run.
 
 use crate::bytecode::*;
-use mini_ir::Name;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -99,6 +150,126 @@ enum Flow {
     Exception(Value),
 }
 
+/// Default guest call-depth budget. Sized so that even the *recursive*
+/// reference interpreter stays well inside a 2 MiB test-thread host stack
+/// while allowing far deeper guest recursion than the corpora use.
+pub const DEFAULT_MAX_FRAMES: u32 = 512;
+
+/// Execution-feature toggles. [`VmOptions::fast`] (the [`Default`], used by
+/// [`Vm::new`]) turns everything on; [`VmOptions::reference`] turns
+/// everything off and reproduces the original interpreter's costs. Each
+/// flag is independent so the `exec` bench and the equivalence proptest can
+/// ablate features one at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmOptions {
+    /// Dispatch through dense slot-indexed vtables / field tables
+    /// (requires a [`Program::link`]ed program) instead of per-call
+    /// `HashMap` probes.
+    pub resolved_dispatch: bool,
+    /// Rewrite virtual call sites to monomorphic inline caches.
+    pub inline_caches: bool,
+    /// Run the [`crate::codegen::fuse`] peephole over a prepared copy of
+    /// the code.
+    pub superinstructions: bool,
+    /// Execute on an explicit frame stack with reused locals storage
+    /// instead of host recursion.
+    pub flat_frames: bool,
+    /// Guest call-depth budget (both modes); exceeding it is a structured
+    /// [`VmError::Trap`], never a host stack overflow.
+    pub max_frames: u32,
+}
+
+impl VmOptions {
+    /// All execution features on (the production configuration).
+    pub fn fast() -> VmOptions {
+        VmOptions {
+            resolved_dispatch: true,
+            inline_caches: true,
+            superinstructions: true,
+            flat_frames: true,
+            max_frames: DEFAULT_MAX_FRAMES,
+        }
+    }
+
+    /// All execution features off: the original recursive, hash-probing
+    /// interpreter. Semantic oracle and A/B baseline.
+    pub fn reference() -> VmOptions {
+        VmOptions {
+            resolved_dispatch: false,
+            inline_caches: false,
+            superinstructions: false,
+            flat_frames: false,
+            max_frames: DEFAULT_MAX_FRAMES,
+        }
+    }
+}
+
+impl Default for VmOptions {
+    fn default() -> VmOptions {
+        VmOptions::fast()
+    }
+}
+
+/// Execution counters, accumulated across every call made through one
+/// [`Vm`]. Deterministic for a given program + options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions dispatched (a fused superinstruction counts once).
+    pub insns_retired: u64,
+    /// Superinstructions among [`VmStats::insns_retired`].
+    pub fused_retired: u64,
+    /// Inline-cache hits at `CallVirtualIC` sites.
+    pub ic_hits: u64,
+    /// Inline-cache misses (object receivers only; each miss refills the
+    /// site's cache when resolution succeeds).
+    pub ic_misses: u64,
+    /// Deepest guest call depth reached.
+    pub peak_frames: u64,
+}
+
+impl VmStats {
+    /// Hit fraction over all inline-cache lookups (0.0 when none ran).
+    pub fn ic_hit_rate(&self) -> f64 {
+        let total = self.ic_hits + self.ic_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ic_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One inline-cache entry: last receiver class seen at the site and the
+/// method it resolved to.
+#[derive(Clone, Copy)]
+struct IcEntry {
+    class: ClassId,
+    target: FnId,
+}
+
+const IC_EMPTY: IcEntry = IcEntry {
+    class: ClassId::MAX,
+    target: 0,
+};
+
+/// Per-function executable code as prepared at VM construction: a plain
+/// copy in reference mode, fused and/or IC-rewritten in fast mode.
+struct FnCode {
+    name: String,
+    n_params: u16,
+    n_locals: u16,
+    code: Vec<Insn>,
+    handlers: Vec<Handler>,
+}
+
+/// A suspended caller in the flat-frame interpreter.
+struct Frame {
+    code: Rc<FnCode>,
+    pc: usize,
+    base: usize,
+    stack_base: usize,
+}
+
 /// The virtual machine.
 ///
 /// # Examples
@@ -111,16 +282,75 @@ pub struct Vm<'p> {
     pub out: Vec<String>,
     /// Remaining instruction budget (guards against runaway programs).
     pub fuel: u64,
+    /// Execution counters (instructions retired, IC hits, peak frames).
+    pub stats: VmStats,
+    opts: VmOptions,
+    code_tab: Vec<Rc<FnCode>>,
+    ics: Vec<Cell<IcEntry>>,
+    depth: u32,
 }
 
 impl<'p> Vm<'p> {
-    /// Creates a VM with the default fuel budget (100M instructions).
+    /// Creates a VM with the default fuel budget (100M instructions) and
+    /// the fast execution options.
     pub fn new(program: &'p Program) -> Vm<'p> {
+        Vm::with_options(program, VmOptions::default())
+    }
+
+    /// Creates a VM with explicit [`VmOptions`]. `resolved_dispatch`
+    /// requires the program to have been [`Program::link`]ed (codegen
+    /// links automatically; hand-assembled programs must call it).
+    pub fn with_options(program: &'p Program, opts: VmOptions) -> Vm<'p> {
+        if opts.resolved_dispatch {
+            let n = program.method_names.len();
+            assert!(
+                program.classes.iter().all(|c| c.vtable_slots.len() == n),
+                "VmOptions::resolved_dispatch requires a linked Program (call Program::link)"
+            );
+        }
+        let mut ics = Vec::new();
+        let code_tab = program
+            .functions
+            .iter()
+            .map(|f| {
+                let (mut code, handlers) = if opts.superinstructions {
+                    crate::codegen::fuse(&f.code, &f.handlers)
+                } else {
+                    (f.code.clone(), f.handlers.clone())
+                };
+                if opts.inline_caches {
+                    for i in &mut code {
+                        if let Insn::CallVirtual(slot, argc) = *i {
+                            let site = ics.len() as u32;
+                            ics.push(Cell::new(IC_EMPTY));
+                            *i = Insn::CallVirtualIC(slot, argc, site);
+                        }
+                    }
+                }
+                Rc::new(FnCode {
+                    name: f.name.clone(),
+                    n_params: f.n_params,
+                    n_locals: f.n_locals,
+                    code,
+                    handlers,
+                })
+            })
+            .collect();
         Vm {
             program,
             out: Vec::new(),
             fuel: 100_000_000,
+            stats: VmStats::default(),
+            opts,
+            code_tab,
+            ics,
+            depth: 0,
         }
+    }
+
+    /// The options this VM was built with.
+    pub fn options(&self) -> VmOptions {
+        self.opts
     }
 
     /// Runs the program's `main`.
@@ -143,10 +373,24 @@ impl<'p> Vm<'p> {
     ///
     /// Same conditions as [`Vm::run_main`].
     pub fn call(&mut self, fid: FnId, args: Vec<Value>) -> Result<Value, VmError> {
-        match self.invoke(fid, args)? {
-            Flow::Value(v) => Ok(v),
-            Flow::Exception(v) => Err(VmError::Uncaught(v)),
-        }
+        // Instruction accounting by fuel delta, not a per-dispatch counter
+        // in the hot loop: every dispatch burns one fuel, and each fused
+        // pair burns one more for its second half, so
+        // dispatches = fuel spent − fused retired.
+        let fuel0 = self.fuel;
+        let fused0 = self.stats.fused_retired;
+        let r = if self.opts.flat_frames {
+            self.run_flat(fid, args)
+        } else {
+            match self.invoke(fid, args) {
+                Ok(Flow::Value(v)) => Ok(v),
+                Ok(Flow::Exception(v)) => Err(VmError::Uncaught(v)),
+                Err(e) => Err(e),
+            }
+        };
+        let spent = fuel0 - self.fuel;
+        self.stats.insns_retired += spent - (self.stats.fused_retired - fused0);
+        r
     }
 
     fn class_name(&self, v: &Value) -> &str {
@@ -191,8 +435,63 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Resolve a virtual call: dense slot table in fast mode, by-name
+    /// `HashMap` probe in reference mode.
+    #[inline]
+    fn resolve_virtual(&self, recv: &Value, slot: MethodSlot) -> Option<FnId> {
+        match recv {
+            Value::Obj(o) => {
+                let class = &self.program.classes[o.class as usize];
+                if self.opts.resolved_dispatch {
+                    class.vtable_slots[slot as usize]
+                } else {
+                    class.vtable.get(&self.program.method_name(slot)).copied()
+                }
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn resolve_direct(&self, cls: ClassId, slot: MethodSlot) -> Option<FnId> {
+        let class = &self.program.classes[cls as usize];
+        if self.opts.resolved_dispatch {
+            class.vtable_slots[slot as usize]
+        } else {
+            class.vtable.get(&self.program.method_name(slot)).copied()
+        }
+    }
+
+    #[inline]
+    fn resolve_field(&self, cls: ClassId, gid: u16) -> Option<u16> {
+        let class = &self.program.classes[cls as usize];
+        if self.opts.resolved_dispatch {
+            match class.field_slots.get(gid as usize).copied() {
+                Some(NO_FIELD) | None => None,
+                slot => slot,
+            }
+        } else {
+            class.field_resolve.get(&gid).copied()
+        }
+    }
+
+    fn depth_trap(max: u32) -> VmError {
+        VmError::Trap(format!("max call depth {max} exceeded"))
+    }
+
     fn invoke(&mut self, fid: FnId, args: Vec<Value>) -> Result<Flow, VmError> {
-        let f = &self.program.functions[fid as usize];
+        if self.depth >= self.opts.max_frames {
+            return Err(Self::depth_trap(self.opts.max_frames));
+        }
+        self.depth += 1;
+        self.stats.peak_frames = self.stats.peak_frames.max(self.depth as u64);
+        let r = self.invoke_inner(fid, args);
+        self.depth -= 1;
+        r
+    }
+
+    fn invoke_inner(&mut self, fid: FnId, args: Vec<Value>) -> Result<Flow, VmError> {
+        let f = self.code_tab[fid as usize].clone();
         if f.code.is_empty() {
             return Err(VmError::Trap(format!(
                 "call to abstract method `{}`",
@@ -241,16 +540,62 @@ impl<'p> Vm<'p> {
                 continue;
             }};
         }
+        // Second fuel charge for the second half of a fused pair: keeps
+        // out-of-fuel traps position-identical with unfused execution.
+        macro_rules! fuel2 {
+            () => {
+                if self.fuel == 0 {
+                    return Err(VmError::Trap("out of fuel".into()));
+                } else {
+                    self.fuel -= 1;
+                }
+            };
+        }
+        // Universal `Any` members when dispatch found no method.
+        macro_rules! virtual_fallback {
+            ($recv:expr, $slot:expr, $call_args:expr) => {{
+                let recv = $recv;
+                let call_args: Vec<Value> = $call_args;
+                match self.program.method_name($slot).as_str() {
+                    "equals" => {
+                        let eq = Self::values_equal(&recv, &call_args[1]);
+                        stack.push(Value::Bool(eq));
+                    }
+                    "toString" => {
+                        stack.push(Value::Str(Rc::from(self.render(&recv))));
+                    }
+                    "getClass" => {
+                        stack.push(Value::Str(Rc::from(self.class_name(&recv))));
+                    }
+                    name => {
+                        if matches!(recv, Value::Null) {
+                            throw!(Value::Str(Rc::from("NullPointerException")));
+                        }
+                        return Err(VmError::Trap(format!(
+                            "no method `{name}` on {}",
+                            self.class_name(&recv)
+                        )));
+                    }
+                }
+            }};
+        }
+        macro_rules! invoke_to_stack {
+            ($g:expr, $args:expr) => {
+                match self.invoke($g, $args)? {
+                    Flow::Value(v) => stack.push(v),
+                    Flow::Exception(e) => throw!(e),
+                }
+            };
+        }
 
         loop {
             if self.fuel == 0 {
                 return Err(VmError::Trap("out of fuel".into()));
             }
             self.fuel -= 1;
-            let insn = code
+            let insn = *code
                 .get(pc)
-                .ok_or_else(|| VmError::Trap(format!("pc out of range in `{}`", f.name)))?
-                .clone();
+                .ok_or_else(|| VmError::Trap(format!("pc out of range in `{}`", f.name)))?;
             pc += 1;
             match insn {
                 Insn::ConstInt(i) => stack.push(Value::Int(i)),
@@ -267,12 +612,9 @@ impl<'p> Vm<'p> {
                     let recv = pop!();
                     match recv {
                         Value::Obj(o) => {
-                            let slot = *self.program.classes[o.class as usize]
-                                .field_resolve
-                                .get(&gid)
-                                .ok_or_else(|| {
-                                    VmError::Trap(format!("unknown field #{gid} read"))
-                                })?;
+                            let slot = self.resolve_field(o.class, gid).ok_or_else(|| {
+                                VmError::Trap(format!("unknown field #{gid} read"))
+                            })?;
                             stack.push(o.fields.borrow()[slot as usize].clone())
                         }
                         Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
@@ -286,12 +628,9 @@ impl<'p> Vm<'p> {
                     let recv = pop!();
                     match recv {
                         Value::Obj(o) => {
-                            let slot = *self.program.classes[o.class as usize]
-                                .field_resolve
-                                .get(&gid)
-                                .ok_or_else(|| {
-                                    VmError::Trap(format!("unknown field #{gid} write"))
-                                })?;
+                            let slot = self.resolve_field(o.class, gid).ok_or_else(|| {
+                                VmError::Trap(format!("unknown field #{gid} write"))
+                            })?;
                             o.fields.borrow_mut()[slot as usize] = v;
                         }
                         Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
@@ -303,66 +642,64 @@ impl<'p> Vm<'p> {
                 Insn::CallStatic(g, argc) => {
                     let split = stack.len() - argc as usize;
                     let call_args = stack.split_off(split);
-                    match self.invoke(g, call_args)? {
-                        Flow::Value(v) => stack.push(v),
-                        Flow::Exception(e) => throw!(e),
-                    }
+                    invoke_to_stack!(g, call_args);
                 }
-                Insn::CallVirtual(name, argc) => {
+                Insn::CallVirtual(slot, argc) => {
                     let split = stack.len() - argc as usize;
                     let call_args = stack.split_off(split);
                     let recv = call_args
                         .first()
                         .ok_or_else(|| VmError::Trap("virtual call without receiver".into()))?
                         .clone();
-                    match self.dispatch(&recv, name) {
-                        Some(g) => match self.invoke(g, call_args)? {
-                            Flow::Value(v) => stack.push(v),
-                            Flow::Exception(e) => throw!(e),
-                        },
-                        None => match name.as_str() {
-                            // Universal defaults.
-                            "equals" => {
-                                let eq = Self::values_equal(&recv, &call_args[1]);
-                                stack.push(Value::Bool(eq));
-                            }
-                            "toString" => {
-                                stack.push(Value::Str(Rc::from(self.render(&recv))));
-                            }
-                            "getClass" => {
-                                stack.push(Value::Str(Rc::from(self.class_name(&recv))));
-                            }
-                            _ => {
-                                if matches!(recv, Value::Null) {
-                                    throw!(Value::Str(Rc::from("NullPointerException")));
-                                }
-                                return Err(VmError::Trap(format!(
-                                    "no method `{name}` on {}",
-                                    self.class_name(&recv)
-                                )));
-                            }
-                        },
+                    match self.resolve_virtual(&recv, slot) {
+                        Some(g) => invoke_to_stack!(g, call_args),
+                        None => virtual_fallback!(recv, slot, call_args),
                     }
                 }
-                Insn::CallDirect(cls, name, argc) => {
+                Insn::CallVirtualIC(slot, argc, site) => {
                     let split = stack.len() - argc as usize;
                     let call_args = stack.split_off(split);
-                    let g = self.program.classes[cls as usize]
-                        .vtable
-                        .get(&name)
-                        .copied();
-                    match g {
-                        Some(g) => match self.invoke(g, call_args)? {
-                            Flow::Value(v) => stack.push(v),
-                            Flow::Exception(e) => throw!(e),
-                        },
-                        None if name == mini_ir::std_names::init() => {
+                    let recv = call_args
+                        .first()
+                        .ok_or_else(|| VmError::Trap("virtual call without receiver".into()))?
+                        .clone();
+                    let target = if let Value::Obj(o) = &recv {
+                        let entry = self.ics[site as usize].get();
+                        if entry.class == o.class {
+                            self.stats.ic_hits += 1;
+                            Some(entry.target)
+                        } else {
+                            self.stats.ic_misses += 1;
+                            let resolved = self.resolve_virtual(&recv, slot);
+                            if let Some(g) = resolved {
+                                self.ics[site as usize].set(IcEntry {
+                                    class: o.class,
+                                    target: g,
+                                });
+                            }
+                            resolved
+                        }
+                    } else {
+                        None
+                    };
+                    match target {
+                        Some(g) => invoke_to_stack!(g, call_args),
+                        None => virtual_fallback!(recv, slot, call_args),
+                    }
+                }
+                Insn::CallDirect(cls, slot, argc) => {
+                    let split = stack.len() - argc as usize;
+                    let call_args = stack.split_off(split);
+                    match self.resolve_direct(cls, slot) {
+                        Some(g) => invoke_to_stack!(g, call_args),
+                        None if self.program.method_name(slot) == mini_ir::std_names::init() => {
                             // Fieldless class without an explicit ctor.
                             stack.push(Value::Unit);
                         }
                         None => {
                             return Err(VmError::Trap(format!(
-                                "no direct method `{name}` on class {}",
+                                "no direct method `{}` on class {}",
+                                self.program.method_name(slot),
                                 self.program.classes[cls as usize].name
                             )))
                         }
@@ -572,17 +909,625 @@ impl<'p> Vm<'p> {
                     };
                     stack.push(Value::Int(s.chars().count() as i64));
                 }
+                Insn::LoadLoad(a, b) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(locals[a as usize].clone());
+                    fuel2!();
+                    stack.push(locals[b as usize].clone());
+                }
+                Insn::LoadConst(a, k) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(locals[a as usize].clone());
+                    fuel2!();
+                    stack.push(Value::Int(k));
+                }
+                Insn::AddConst(k) => {
+                    self.stats.fused_retired += 1;
+                    fuel2!();
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_add(k)));
+                }
+                Insn::AddStore(s) => {
+                    self.stats.fused_retired += 1;
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    fuel2!();
+                    locals[s as usize] = Value::Int(a.wrapping_add(b));
+                }
+                Insn::LoadCall(x, g, argc) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(locals[x as usize].clone());
+                    fuel2!();
+                    let split = stack.len() - argc as usize;
+                    let call_args = stack.split_off(split);
+                    invoke_to_stack!(g, call_args);
+                }
+                Insn::CmpBranch(kind, sense, t) => {
+                    self.stats.fused_retired += 1;
+                    let b = pop!();
+                    let a = pop!();
+                    let cond = match kind {
+                        Cmp::Eq => Self::values_equal(&a, &b),
+                        kind => {
+                            // Type-check in the reference pop order (b first).
+                            let bi = b.int()?;
+                            let ai = a.int()?;
+                            match kind {
+                                Cmp::Lt => ai < bi,
+                                Cmp::Gt => ai > bi,
+                                Cmp::Le => ai <= bi,
+                                Cmp::Ge => ai >= bi,
+                                Cmp::Eq => unreachable!("handled above"),
+                            }
+                        }
+                    };
+                    fuel2!();
+                    if cond == sense {
+                        pc = t as usize;
+                    }
+                }
             }
         }
     }
 
-    fn dispatch(&self, recv: &Value, name: Name) -> Option<FnId> {
-        match recv {
-            Value::Obj(o) => self.program.classes[o.class as usize]
-                .vtable
-                .get(&name)
-                .copied(),
-            _ => None,
+    /// The non-recursive interpreter: an explicit frame stack over one
+    /// shared locals arena and one shared operand stack (per-frame base
+    /// offsets), so guest calls reuse storage instead of allocating, and
+    /// guest recursion depth is bounded by `max_frames`, not the host
+    /// stack.
+    fn run_flat(&mut self, fid: FnId, args: Vec<Value>) -> Result<Value, VmError> {
+        if self.opts.max_frames == 0 {
+            return Err(Self::depth_trap(0));
+        }
+        let mut cur = self.code_tab[fid as usize].clone();
+        if cur.code.is_empty() {
+            return Err(VmError::Trap(format!(
+                "call to abstract method `{}`",
+                cur.name
+            )));
+        }
+        if args.len() != cur.n_params as usize {
+            return Err(VmError::Trap(format!(
+                "arity mismatch calling `{}`: expected {}, got {}",
+                cur.name,
+                cur.n_params,
+                args.len()
+            )));
+        }
+        let mut arena: Vec<Value> = Vec::with_capacity(256);
+        arena.resize(cur.n_locals as usize, Value::Unit);
+        for (i, v) in args.into_iter().enumerate() {
+            arena[i] = v;
+        }
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut frames: Vec<Frame> = Vec::with_capacity(16);
+        let mut pc: usize = 0;
+        let mut base: usize = 0;
+        let mut stack_base: usize = 0;
+        self.stats.peak_frames = self.stats.peak_frames.max(1);
+
+        macro_rules! pop {
+            () => {{
+                // Codegen's stack discipline keeps every pop above the
+                // frame's stack_base; checked in debug builds only so the
+                // release hot loop pays no extra branch per pop.
+                debug_assert!(stack.len() > stack_base, "underflow in `{}`", cur.name);
+                stack.pop().expect("operand stack underflow")
+            }};
+        }
+        macro_rules! throw {
+            ($val:expr) => {{
+                let exc: Value = $val;
+                // `pc` was already advanced past the faulting instruction;
+                // when unwinding into a caller, its saved pc points past
+                // the call, so `pc - 1` is the call site there too.
+                let mut at = pc - 1;
+                'unwind: loop {
+                    for h in &cur.handlers {
+                        if (h.start as usize) <= at && at < (h.end as usize) {
+                            stack.truncate(stack_base);
+                            stack.push(exc.clone());
+                            pc = h.target as usize;
+                            break 'unwind;
+                        }
+                    }
+                    stack.truncate(stack_base);
+                    arena.truncate(base);
+                    match frames.pop() {
+                        None => return Err(VmError::Uncaught(exc)),
+                        Some(fr) => {
+                            cur = fr.code;
+                            pc = fr.pc;
+                            base = fr.base;
+                            stack_base = fr.stack_base;
+                            at = pc - 1;
+                        }
+                    }
+                }
+                continue;
+            }};
+        }
+        macro_rules! fuel2 {
+            () => {
+                if self.fuel == 0 {
+                    return Err(VmError::Trap("out of fuel".into()));
+                } else {
+                    self.fuel -= 1;
+                }
+            };
+        }
+        macro_rules! virtual_fallback {
+            ($recv:expr, $slot:expr, $call_args:expr) => {{
+                let recv = $recv;
+                let call_args: Vec<Value> = $call_args;
+                match self.program.method_name($slot).as_str() {
+                    "equals" => {
+                        let eq = Self::values_equal(&recv, &call_args[1]);
+                        stack.push(Value::Bool(eq));
+                    }
+                    "toString" => {
+                        stack.push(Value::Str(Rc::from(self.render(&recv))));
+                    }
+                    "getClass" => {
+                        stack.push(Value::Str(Rc::from(self.class_name(&recv))));
+                    }
+                    name => {
+                        if matches!(recv, Value::Null) {
+                            throw!(Value::Str(Rc::from("NullPointerException")));
+                        }
+                        return Err(VmError::Trap(format!(
+                            "no method `{name}` on {}",
+                            self.class_name(&recv)
+                        )));
+                    }
+                }
+            }};
+        }
+        // Push a frame: move the top `argc` operands into a fresh arena
+        // region and continue the loop inside the callee.
+        macro_rules! do_call {
+            ($g:expr, $argc:expr) => {{
+                let g: FnId = $g;
+                let argc: usize = $argc;
+                if frames.len() as u32 + 1 >= self.opts.max_frames {
+                    return Err(Self::depth_trap(self.opts.max_frames));
+                }
+                let callee = self.code_tab[g as usize].clone();
+                if callee.code.is_empty() {
+                    return Err(VmError::Trap(format!(
+                        "call to abstract method `{}`",
+                        callee.name
+                    )));
+                }
+                if argc != callee.n_params as usize {
+                    return Err(VmError::Trap(format!(
+                        "arity mismatch calling `{}`: expected {}, got {}",
+                        callee.name, callee.n_params, argc
+                    )));
+                }
+                if stack.len() < stack_base + argc {
+                    return Err(VmError::Trap(format!("stack underflow in `{}`", cur.name)));
+                }
+                let nbase = arena.len();
+                let split = stack.len() - argc;
+                arena.extend(stack.drain(split..));
+                arena.resize(nbase + callee.n_locals as usize, Value::Unit);
+                frames.push(Frame {
+                    code: std::mem::replace(&mut cur, callee),
+                    pc,
+                    base,
+                    stack_base,
+                });
+                pc = 0;
+                base = nbase;
+                stack_base = stack.len();
+                self.stats.peak_frames = self.stats.peak_frames.max(frames.len() as u64 + 1);
+            }};
+        }
+
+        loop {
+            if self.fuel == 0 {
+                return Err(VmError::Trap("out of fuel".into()));
+            }
+            self.fuel -= 1;
+            let insn = *cur
+                .code
+                .get(pc)
+                .ok_or_else(|| VmError::Trap(format!("pc out of range in `{}`", cur.name)))?;
+            pc += 1;
+            match insn {
+                Insn::ConstInt(i) => stack.push(Value::Int(i)),
+                Insn::ConstBool(b) => stack.push(Value::Bool(b)),
+                Insn::ConstStr(s) => stack.push(Value::Str(Rc::from(s.as_str()))),
+                Insn::ConstUnit => stack.push(Value::Unit),
+                Insn::ConstNull => stack.push(Value::Null),
+                Insn::Load(s) => stack.push(arena[base + s as usize].clone()),
+                Insn::Store(s) => {
+                    let v = pop!();
+                    arena[base + s as usize] = v;
+                }
+                Insn::GetField(gid) => {
+                    let recv = pop!();
+                    match recv {
+                        Value::Obj(o) => {
+                            let slot = self.resolve_field(o.class, gid).ok_or_else(|| {
+                                VmError::Trap(format!("unknown field #{gid} read"))
+                            })?;
+                            stack.push(o.fields.borrow()[slot as usize].clone())
+                        }
+                        Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
+                        other => {
+                            return Err(VmError::Trap(format!("field read on {other}")));
+                        }
+                    }
+                }
+                Insn::PutField(gid) => {
+                    let v = pop!();
+                    let recv = pop!();
+                    match recv {
+                        Value::Obj(o) => {
+                            let slot = self.resolve_field(o.class, gid).ok_or_else(|| {
+                                VmError::Trap(format!("unknown field #{gid} write"))
+                            })?;
+                            o.fields.borrow_mut()[slot as usize] = v;
+                        }
+                        Value::Null => throw!(Value::Str(Rc::from("NullPointerException"))),
+                        other => {
+                            return Err(VmError::Trap(format!("field write on {other}")));
+                        }
+                    }
+                }
+                Insn::CallStatic(g, argc) => do_call!(g, argc as usize),
+                Insn::CallVirtual(slot, argc) => {
+                    let argc = argc as usize;
+                    if argc == 0 {
+                        return Err(VmError::Trap("virtual call without receiver".into()));
+                    }
+                    if stack.len() < stack_base + argc {
+                        return Err(VmError::Trap(format!("stack underflow in `{}`", cur.name)));
+                    }
+                    // Peek the receiver in place: the hit path never needs
+                    // to clone it (its Rc stays on the stack and moves into
+                    // the callee's frame with the other args).
+                    match self.resolve_virtual(&stack[stack.len() - argc], slot) {
+                        Some(g) => do_call!(g, argc),
+                        None => {
+                            let split = stack.len() - argc;
+                            let call_args = stack.split_off(split);
+                            let recv = call_args[0].clone();
+                            virtual_fallback!(recv, slot, call_args);
+                        }
+                    }
+                }
+                Insn::CallVirtualIC(slot, argc, site) => {
+                    let argc = argc as usize;
+                    if argc == 0 {
+                        return Err(VmError::Trap("virtual call without receiver".into()));
+                    }
+                    if stack.len() < stack_base + argc {
+                        return Err(VmError::Trap(format!("stack underflow in `{}`", cur.name)));
+                    }
+                    let target = match &stack[stack.len() - argc] {
+                        Value::Obj(o) => {
+                            let entry = self.ics[site as usize].get();
+                            if entry.class == o.class {
+                                self.stats.ic_hits += 1;
+                                Some(entry.target)
+                            } else {
+                                let class = o.class;
+                                self.stats.ic_misses += 1;
+                                let resolved = self.resolve_direct(class, slot);
+                                if let Some(g) = resolved {
+                                    self.ics[site as usize].set(IcEntry { class, target: g });
+                                }
+                                resolved
+                            }
+                        }
+                        _ => None,
+                    };
+                    match target {
+                        Some(g) => do_call!(g, argc),
+                        None => {
+                            let split = stack.len() - argc;
+                            let call_args = stack.split_off(split);
+                            let recv = call_args[0].clone();
+                            virtual_fallback!(recv, slot, call_args);
+                        }
+                    }
+                }
+                Insn::CallDirect(cls, slot, argc) => {
+                    let argc = argc as usize;
+                    if stack.len() < stack_base + argc {
+                        return Err(VmError::Trap(format!("stack underflow in `{}`", cur.name)));
+                    }
+                    match self.resolve_direct(cls, slot) {
+                        Some(g) => do_call!(g, argc),
+                        None if self.program.method_name(slot) == mini_ir::std_names::init() => {
+                            // Fieldless class without an explicit ctor: the
+                            // args (receiver via Dup) are consumed.
+                            stack.truncate(stack.len() - argc);
+                            stack.push(Value::Unit);
+                        }
+                        None => {
+                            return Err(VmError::Trap(format!(
+                                "no direct method `{}` on class {}",
+                                self.program.method_name(slot),
+                                self.program.classes[cls as usize].name
+                            )))
+                        }
+                    }
+                }
+                Insn::New(cls) => {
+                    let n = self.program.classes[cls as usize].n_fields as usize;
+                    stack.push(Value::Obj(Rc::new(ObjCell {
+                        class: cls,
+                        fields: RefCell::new(vec![Value::Null; n]),
+                    })));
+                }
+                Insn::NewArray => {
+                    let n = pop!().int()?;
+                    if n < 0 {
+                        throw!(Value::Str(Rc::from("NegativeArraySizeException")));
+                    }
+                    stack.push(Value::Arr(Rc::new(RefCell::new(vec![
+                        Value::Unit;
+                        n as usize
+                    ]))));
+                }
+                Insn::ALoad => {
+                    let i = pop!().int()?;
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("array read on non-array".into()));
+                    };
+                    let b = a.borrow();
+                    match b.get(i as usize) {
+                        Some(v) => stack.push(v.clone()),
+                        None => {
+                            drop(b);
+                            throw!(Value::Str(Rc::from("ArrayIndexOutOfBoundsException")));
+                        }
+                    }
+                }
+                Insn::AStore => {
+                    let v = pop!();
+                    let i = pop!().int()?;
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("array write on non-array".into()));
+                    };
+                    let mut b = a.borrow_mut();
+                    let len = b.len();
+                    if (i as usize) < len && i >= 0 {
+                        b[i as usize] = v;
+                        drop(b);
+                        stack.push(Value::Unit);
+                    } else {
+                        drop(b);
+                        throw!(Value::Str(Rc::from("ArrayIndexOutOfBoundsException")));
+                    }
+                }
+                Insn::ALen => {
+                    let a = pop!();
+                    let Value::Arr(a) = a else {
+                        return Err(VmError::Trap("length of non-array".into()));
+                    };
+                    let n = a.borrow().len() as i64;
+                    stack.push(Value::Int(n));
+                }
+                Insn::Add => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                Insn::Sub => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                Insn::Mul => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_mul(b)));
+                }
+                Insn::Div => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    if b == 0 {
+                        throw!(Value::Str(Rc::from("ArithmeticException: / by zero")));
+                    }
+                    stack.push(Value::Int(a.wrapping_div(b)));
+                }
+                Insn::Mod => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    if b == 0 {
+                        throw!(Value::Str(Rc::from("ArithmeticException: % by zero")));
+                    }
+                    stack.push(Value::Int(a.wrapping_rem(b)));
+                }
+                Insn::Neg => {
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(-a));
+                }
+                Insn::Not => {
+                    let a = pop!().truthy()?;
+                    stack.push(Value::Bool(!a));
+                }
+                Insn::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(Value::Bool(Self::values_equal(&a, &b)));
+                }
+                Insn::CmpLt => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a < b));
+                }
+                Insn::CmpGt => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a > b));
+                }
+                Insn::CmpLe => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a <= b));
+                }
+                Insn::CmpGe => {
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    stack.push(Value::Bool(a >= b));
+                }
+                Insn::Concat => {
+                    let b = pop!();
+                    let a = pop!();
+                    let s = format!("{}{}", self.render(&a), self.render(&b));
+                    stack.push(Value::Str(Rc::from(s)));
+                }
+                Insn::Jump(t) => pc = t as usize,
+                Insn::JumpIfFalse(t) => {
+                    if !pop!().truthy()? {
+                        pc = t as usize;
+                    }
+                }
+                Insn::JumpIfTrue(t) => {
+                    if pop!().truthy()? {
+                        pc = t as usize;
+                    }
+                }
+                Insn::Pop => {
+                    let _ = pop!();
+                }
+                Insn::Dup => {
+                    if stack.len() <= stack_base {
+                        return Err(VmError::Trap("dup on empty stack".into()));
+                    }
+                    let v = stack.last().unwrap().clone();
+                    stack.push(v);
+                }
+                Insn::Ret => {
+                    let v = pop!();
+                    stack.truncate(stack_base);
+                    arena.truncate(base);
+                    match frames.pop() {
+                        None => return Ok(v),
+                        Some(fr) => {
+                            cur = fr.code;
+                            pc = fr.pc;
+                            base = fr.base;
+                            stack_base = fr.stack_base;
+                            stack.push(v);
+                        }
+                    }
+                }
+                Insn::Throw => {
+                    let v = pop!();
+                    throw!(v);
+                }
+                Insn::IsInstance(t) => {
+                    let v = pop!();
+                    stack.push(Value::Bool(self.type_test(&v, t)));
+                }
+                Insn::Cast(t) => {
+                    let v = pop!();
+                    // `null` passes reference casts, as on the JVM.
+                    let ok = self.type_test(&v, t)
+                        || (matches!(v, Value::Null)
+                            && matches!(
+                                t,
+                                TypeTest::Class(_)
+                                    | TypeTest::AnyRef
+                                    | TypeTest::Str
+                                    | TypeTest::Array
+                            ));
+                    if ok {
+                        stack.push(v);
+                    } else {
+                        throw!(Value::Str(Rc::from(format!(
+                            "ClassCastException: {} is not {:?}",
+                            self.class_name(&v),
+                            t
+                        ))));
+                    }
+                }
+                Insn::Println => {
+                    let v = pop!();
+                    let line = self.render(&v);
+                    self.out.push(line);
+                    stack.push(Value::Unit);
+                }
+                Insn::GetClassName => {
+                    let v = pop!();
+                    stack.push(Value::Str(Rc::from(self.class_name(&v))));
+                }
+                Insn::ToStr => {
+                    let v = pop!();
+                    stack.push(Value::Str(Rc::from(self.render(&v))));
+                }
+                Insn::SLen => {
+                    let v = pop!();
+                    let Value::Str(s) = v else {
+                        return Err(VmError::Trap("length of non-string".into()));
+                    };
+                    stack.push(Value::Int(s.chars().count() as i64));
+                }
+                Insn::LoadLoad(a, b) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(arena[base + a as usize].clone());
+                    fuel2!();
+                    stack.push(arena[base + b as usize].clone());
+                }
+                Insn::LoadConst(a, k) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(arena[base + a as usize].clone());
+                    fuel2!();
+                    stack.push(Value::Int(k));
+                }
+                Insn::AddConst(k) => {
+                    self.stats.fused_retired += 1;
+                    fuel2!();
+                    let a = pop!().int()?;
+                    stack.push(Value::Int(a.wrapping_add(k)));
+                }
+                Insn::AddStore(s) => {
+                    self.stats.fused_retired += 1;
+                    let b = pop!().int()?;
+                    let a = pop!().int()?;
+                    fuel2!();
+                    arena[base + s as usize] = Value::Int(a.wrapping_add(b));
+                }
+                Insn::LoadCall(x, g, argc) => {
+                    self.stats.fused_retired += 1;
+                    stack.push(arena[base + x as usize].clone());
+                    fuel2!();
+                    do_call!(g, argc as usize);
+                }
+                Insn::CmpBranch(kind, sense, t) => {
+                    self.stats.fused_retired += 1;
+                    let b = pop!();
+                    let a = pop!();
+                    let cond = match kind {
+                        Cmp::Eq => Self::values_equal(&a, &b),
+                        kind => {
+                            // Type-check in the reference pop order (b first).
+                            let bi = b.int()?;
+                            let ai = a.int()?;
+                            match kind {
+                                Cmp::Lt => ai < bi,
+                                Cmp::Gt => ai > bi,
+                                Cmp::Le => ai <= bi,
+                                Cmp::Ge => ai >= bi,
+                                Cmp::Eq => unreachable!("handled above"),
+                            }
+                        }
+                    };
+                    fuel2!();
+                    if cond == sense {
+                        pc = t as usize;
+                    }
+                }
+            }
         }
     }
 

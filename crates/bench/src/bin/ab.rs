@@ -176,15 +176,18 @@ impl Spec {
             Plan::Tailrec => vec![Box::new(mini_phases::TailRec)],
             _ if self.lint || self.dce => {
                 // Mirrors the driver's analysis prefix: lint suite first,
-                // DCE last, then the standard pipeline.
-                let mut phases: Vec<Box<dyn MiniPhase>> = if self.lint {
+                // DCE last (sharing one fixpoint solve per unit when both
+                // run), then the standard pipeline.
+                let mut phases: Vec<Box<dyn MiniPhase>> = if self.lint && self.dce {
+                    let cache = mini_analysis::FactCache::new();
+                    let mut p = mini_analysis::lint_phases_sharing(cache.clone());
+                    p.push(Box::new(mini_analysis::dce::Dce::consuming_facts(cache)));
+                    p
+                } else if self.lint {
                     mini_analysis::lint_phases()
                 } else {
-                    Vec::new()
+                    vec![Box::new(mini_analysis::dce::Dce::default())]
                 };
-                if self.dce {
-                    phases.push(Box::new(mini_analysis::dce::Dce::default()));
-                }
                 phases.extend(mini_phases::standard_pipeline());
                 phases
             }

@@ -300,6 +300,20 @@ fn main() {
             t.memory.total_bytes / 1024,
         );
     }
+    let vm_insns: u64 = report.tenants.values().map(|t| t.vm_insns_retired).sum();
+    let vm_hits: u64 = report.tenants.values().map(|t| t.vm_ic_hits).sum();
+    let vm_lookups: u64 = vm_hits + report.tenants.values().map(|t| t.vm_ic_misses).sum::<u64>();
+    let vm_peak: u64 = report
+        .tenants
+        .values()
+        .map(|t| t.vm_peak_frames)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "  vm: {vm_insns} insns retired across run_main executions, \
+         IC {vm_hits}/{vm_lookups} ({:.1}% hit), peak frames {vm_peak}",
+        vm_hits as f64 * 100.0 / vm_lookups.max(1) as f64,
+    );
 
     // ---- Assertions ----
     for (name, t) in &report.tenants {
@@ -345,6 +359,9 @@ fn main() {
     }
     if shed == 0 {
         fail("no request was ever shed — the burst never exercised admission control");
+    }
+    if vm_insns == 0 {
+        fail("run_main executions retired zero VM instructions — execution stats lost");
     }
     if lint {
         let reported: u64 = report.tenants.values().map(|t| t.findings_reported).sum();

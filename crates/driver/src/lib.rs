@@ -446,8 +446,17 @@ pub fn standard_plan(
 /// The analysis prefix for the given flags: the lint suite (when `lint`),
 /// then the dead-code eliminator (when `dce`). `Dce` comes last so that in
 /// unfused (mega) plans its singleton group still runs after every lint
-/// group.
+/// group. When both run, a [`mini_analysis::FactCache`] hands each unit's
+/// solved dataflow facts from the lint rule to the eliminator, so the
+/// CFG + fixpoint pass runs once per unit instead of twice. The cache is
+/// created per phase list, so every parallel worker gets its own.
 fn analysis_prefix(lint: bool, dce: bool) -> Vec<Box<dyn MiniPhase>> {
+    if lint && dce {
+        let cache = mini_analysis::FactCache::new();
+        let mut prefix = mini_analysis::lint_phases_sharing(cache.clone());
+        prefix.push(Box::new(mini_analysis::dce::Dce::consuming_facts(cache)));
+        return prefix;
+    }
     let mut prefix: Vec<Box<dyn MiniPhase>> = if lint {
         mini_analysis::lint_phases()
     } else {

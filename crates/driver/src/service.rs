@@ -307,6 +307,15 @@ pub struct TenantStats {
     pub cache: CacheStats,
     /// Latest snapshot of the session's modelled memory footprint.
     pub memory: MemoryFootprint,
+    /// VM instructions retired across this tenant's `run_main` executions
+    /// (cumulative; fused superinstructions count once per dispatch).
+    pub vm_insns_retired: u64,
+    /// Inline-cache hits across this tenant's `run_main` executions.
+    pub vm_ic_hits: u64,
+    /// Inline-cache misses across this tenant's `run_main` executions.
+    pub vm_ic_misses: u64,
+    /// Deepest guest frame stack any of this tenant's executions reached.
+    pub vm_peak_frames: u64,
 }
 
 impl TenantStats {
@@ -324,6 +333,17 @@ impl TenantStats {
     /// [`TenantStats::submitted`] once the service has drained.
     pub fn accounted(&self) -> u64 {
         self.completed + self.failed() + self.shed() + self.rejected_draining
+    }
+
+    /// Inline-cache hit fraction over this tenant's executions (0.0 when
+    /// nothing ran or no virtual calls dispatched through a cache).
+    pub fn vm_ic_hit_rate(&self) -> f64 {
+        let total = self.vm_ic_hits + self.vm_ic_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.vm_ic_hits as f64 / total as f64
+        }
     }
 }
 
@@ -653,7 +673,17 @@ fn serve_one(
             Ok(Ok(compiled)) => {
                 let output = req.run_main.then(|| {
                     let mut vm = Vm::new(&compiled.program);
-                    match vm.run_main() {
+                    let result = vm.run_main();
+                    // Fold execution counters into the tenant's account
+                    // before `vm.out` is moved out of the VM.
+                    {
+                        let mut s = lock(stats);
+                        s.vm_insns_retired += vm.stats.insns_retired;
+                        s.vm_ic_hits += vm.stats.ic_hits;
+                        s.vm_ic_misses += vm.stats.ic_misses;
+                        s.vm_peak_frames = s.vm_peak_frames.max(vm.stats.peak_frames);
+                    }
+                    match result {
                         Ok(_) => vm.out,
                         Err(e) => vec![format!("vm error: {e:?}")],
                     }

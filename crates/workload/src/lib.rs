@@ -661,6 +661,161 @@ pub fn client_series(
     EditScript { base, edits: out }
 }
 
+// ---------------------------------------------------------------------------
+// Execution-heavy corpora (the `exec` benchmark workload).
+// ---------------------------------------------------------------------------
+
+/// Parameters of an *execution-heavy* corpus: small compiled size, large
+/// dynamic instruction count. Every unit contributes a polymorphic call
+/// site iterating over three shape classes (megamorphic for the inline
+/// caches, slot-resolved for the dense vtables), a monomorphic hot loop
+/// through a counter object (IC-friendly, field traffic), a deep non-tail
+/// static call chain, and a non-tail guest recursion a couple hundred
+/// frames deep (exercises the flat frame stack without tripping the
+/// depth budget). Generation is keyed like the linked corpus: each unit's
+/// constants derive from `(seed, uid)` alone.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Number of library units (`exec0000.ms` …), excluding `zmain.ms`.
+    pub units: usize,
+    /// Seed for per-unit constants.
+    pub seed: u64,
+    /// Loop trip count each unit's driver runs (dynamic work knob).
+    pub iters: usize,
+}
+
+impl ExecConfig {
+    /// The corpus the `exec` A/B benchmark measures.
+    pub fn exec_bench() -> ExecConfig {
+        ExecConfig {
+            units: 4,
+            seed: 0xe8ec,
+            iters: 6_000,
+        }
+    }
+
+    /// A small corpus for tests and smoke runs.
+    pub fn small() -> ExecConfig {
+        ExecConfig {
+            units: 2,
+            seed: 7,
+            iters: 200,
+        }
+    }
+}
+
+/// The file name of exec unit `uid`.
+pub fn exec_unit_name(uid: usize) -> String {
+    format!("exec{uid:04}.ms")
+}
+
+/// Generates the full source of exec unit `uid`. `body_salt` perturbs
+/// expression constants only (definition headers stay byte-identical), so
+/// edit-invariance contracts match the linked corpus. Deterministic in all
+/// arguments.
+pub fn exec_unit_source(cfg: &ExecConfig, uid: usize, body_salt: u64) -> String {
+    let k = mix(cfg.seed ^ mix(uid as u64 + 0xe8));
+    let k1 = (k % 7 + 2) as i64;
+    let k2 = ((k >> 8) % 11 + 1) as i64;
+    let k3 = ((k >> 16) % 13 + 1) as i64 + body_salt as i64 * 17;
+    let depth = 160 + (k >> 24) % 80; // guest recursion depth, < budget
+    let p = format!("E{uid}");
+    let mut src = format!(
+        r#"trait {p}Shape {{
+  def area(n: Int): Int
+  def tag(): Int = {k1}
+}}
+class {p}Circle extends {p}Shape {{
+  def area(n: Int): Int = n * {k1} + {k3}
+  override def tag(): Int = {k2}
+}}
+class {p}Square extends {p}Shape {{
+  def area(n: Int): Int = n * n + {k2}
+}}
+class {p}Tri extends {p}Shape {{
+  def area(n: Int): Int = n + n + {k3}
+  override def tag(): Int = {k1} + 1
+}}
+class {p}Counter(seed: Int) {{
+  var count: Int = seed
+  def bump(d: Int): Int = {{
+    count = count + d
+    count
+  }}
+}}
+def {p}poly(n: Int): Int = {{
+  val a: {p}Shape = new {p}Circle()
+  val b: {p}Shape = new {p}Square()
+  val c: {p}Shape = new {p}Tri()
+  var i: Int = 0
+  var acc: Int = 0
+  while (i < n) {{
+    acc = acc + a.area(i) + b.area(i) + c.area(i) + a.tag() + c.tag()
+    i = i + 1
+  }}
+  acc
+}}
+def {p}mono(n: Int): Int = {{
+  val ctr: {p}Counter = new {p}Counter({k2})
+  var i: Int = 0
+  while (i < n) {{
+    ctr.bump(i % 3 + 1)
+    i = i + 1
+  }}
+  ctr.count
+}}
+"#
+    );
+    // A non-tail static call chain: chainK calls chain(K-1) and adds after
+    // the call, so every link really pushes a frame.
+    let chain = 12usize;
+    src.push_str(&format!("def {p}chain0(n: Int): Int = n + {k1}\n"));
+    for c in 1..chain {
+        src.push_str(&format!(
+            "def {p}chain{c}(n: Int): Int = {p}chain{prev}(n) + {add}\n",
+            prev = c - 1,
+            add = c as i64 % 3 + 1,
+        ));
+    }
+    src.push_str(&format!(
+        r#"def {p}deep(n: Int): Int = if (n <= 0) {k2} else {p}deep(n - 1) + 1
+def {p}run(iters: Int): Int = {{
+  var total: Int = {p}poly(iters) + {p}mono(iters)
+  var j: Int = 0
+  while (j < iters) {{
+    total = total + {p}chain{last}(j % 31)
+    j = j + 1
+  }}
+  total + {p}deep({depth})
+}}
+"#,
+        last = chain - 1,
+    ));
+    src
+}
+
+/// Generates an execution-heavy corpus: `units` library units plus a
+/// `zmain.ms` driver (sorted last) that runs every unit's workload and
+/// prints a per-unit line plus a final total, so the `exec` A/B harness
+/// can compare captured output byte-for-byte.
+pub fn generate_exec(cfg: &ExecConfig) -> Workload {
+    let mut units: Vec<(String, String)> = (0..cfg.units)
+        .map(|uid| (exec_unit_name(uid), exec_unit_source(cfg, uid, 0)))
+        .collect();
+    let mut body =
+        String::from("def main(): Unit = {\n  var total: Int = 0\n  var part: Int = 0\n");
+    for uid in 0..cfg.units {
+        body.push_str(&format!(
+            "  part = E{uid}run({})\n  println(\"E{uid}:\" + part)\n  total = total + part\n",
+            cfg.iters
+        ));
+    }
+    body.push_str("  println(total)\n}\n");
+    units.push(("zmain.ms".to_owned(), body));
+    let total_loc = units.iter().map(|(_, s)| s.lines().count()).sum();
+    Workload { units, total_loc }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -905,6 +1060,55 @@ mod tests {
             );
             assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 9, 0)));
             assert_eq!(v0, seed_lines(&linked_unit_source(&cfg, uid, 0, 1)));
+        }
+    }
+
+    #[test]
+    fn exec_corpus_is_deterministic_and_call_heavy() {
+        let cfg = ExecConfig::small();
+        let a = generate_exec(&cfg);
+        let b = generate_exec(&cfg);
+        assert_eq!(a.units, b.units);
+        assert_eq!(a.units.len(), cfg.units + 1);
+        let mut names: Vec<&String> = a.units.iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names.last().expect("non-empty").as_str(), "zmain.ms");
+        // A different seed changes the corpus.
+        let c = generate_exec(&ExecConfig { seed: 8, ..cfg });
+        assert_ne!(a.units, c.units);
+        // Every library unit carries the call-shape mix the VM bench needs:
+        // a polymorphic site over >= 3 classes, a monomorphic hot loop, a
+        // static call chain and a non-tail recursion.
+        for uid in 0..cfg.units {
+            let src = &a.units[uid].1;
+            for shape in ["Circle", "Square", "Tri", "Counter", "chain11", "deep("] {
+                assert!(src.contains(shape), "unit {uid} missing {shape}");
+            }
+        }
+    }
+
+    #[test]
+    fn exec_body_salt_touches_bodies_only() {
+        // Same contract as the linked corpus: a body salt may only change
+        // expression constants, never a definition header.
+        let cfg = ExecConfig::small();
+        let headers = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| {
+                    let t = l.trim_start();
+                    t.starts_with("def ") || t.starts_with("class ") || t.starts_with("trait ")
+                })
+                .map(|l| match l.split_once(" = ") {
+                    Some((sig, _)) => sig.to_owned(),
+                    None => l.to_owned(),
+                })
+                .collect()
+        };
+        for uid in 0..cfg.units {
+            let v0 = exec_unit_source(&cfg, uid, 0);
+            let v1 = exec_unit_source(&cfg, uid, 4);
+            assert_ne!(v0, v1, "the salt must change the source");
+            assert_eq!(headers(&v0), headers(&v1), "unit {uid} headers moved");
         }
     }
 
